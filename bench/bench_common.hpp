@@ -1,0 +1,64 @@
+// Shared scaffolding for the figure-reproduction benches.
+//
+// Every bench binary prints the corresponding paper figure's series as a
+// table on stdout. Iteration counts default to CI-friendly sizes; set
+// DUST_BENCH_SCALE=full to run paper-scale sweeps (Figs 7-12 used 100-1000
+// iterations in the paper).
+#pragma once
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "core/nmdb.hpp"
+#include "graph/topology.hpp"
+#include "net/traffic.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+namespace dust::bench {
+
+inline bool full_scale() {
+  const char* env = std::getenv("DUST_BENCH_SCALE");
+  return env != nullptr && std::string(env) == "full";
+}
+
+/// Iterations: paper-scale when DUST_BENCH_SCALE=full, else the CI default.
+inline std::size_t iterations(std::size_t paper, std::size_t ci) {
+  return full_scale() ? paper : ci;
+}
+
+inline std::uint64_t base_seed() {
+  if (const char* env = std::getenv("DUST_BENCH_SEED"))
+    return std::strtoull(env, nullptr, 10);
+  return 0x5eedu;
+}
+
+/// Random k-port fat-tree scenario matching §V-B: links 10 GbE with random
+/// utilization, node loads uniform in [x_min, 100], default thresholds
+/// (Cmax 80, COmax 60, x_min 10 — Δ_io = 2.5, inside the recommended band).
+inline core::Nmdb fat_tree_scenario(std::uint32_t k, util::Rng& rng,
+                                    core::Thresholds thresholds = {}) {
+  net::NetworkState state =
+      net::make_random_state(graph::FatTree(k).graph(), net::LinkProfile{},
+                             net::NodeLoadProfile{}, rng);
+  return core::Nmdb(std::move(state), thresholds);
+}
+
+/// Emit a result table; DUST_BENCH_FORMAT=csv switches every bench to
+/// machine-readable CSV (for plotting) instead of aligned text.
+inline void emit(const util::Table& table) {
+  const char* format = std::getenv("DUST_BENCH_FORMAT");
+  if (format != nullptr && std::string(format) == "csv")
+    table.print_csv(std::cout);
+  else
+    table.print(std::cout);
+}
+
+inline void print_header(const std::string& name, const std::string& claim) {
+  std::cout << "\n# " << name << "\n# paper: " << claim << "\n"
+            << "# scale: " << (full_scale() ? "full (paper)" : "ci (default)")
+            << " — set DUST_BENCH_SCALE=full for paper-scale iterations\n\n";
+}
+
+}  // namespace dust::bench

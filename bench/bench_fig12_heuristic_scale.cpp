@@ -1,0 +1,70 @@
+// Figure 12: scalability of the heuristic algorithm — execution time as the
+// fat-tree grows to 64-k (5120 nodes, 131072 edges).
+// Paper: the heuristic stays tractable where the ILP does not, with 124 s
+// observed at 5120 nodes (Python); our C++ heuristic is much faster in
+// absolute terms but reproduces the trend and the heuristic-vs-ILP gap.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/heuristic.hpp"
+#include "core/optimizer.hpp"
+#include "util/stats.hpp"
+#include "util/thread_pool.hpp"
+
+int main() {
+  using namespace dust;
+  bench::print_header(
+      "Figure 12 — heuristic scalability to 5120 nodes",
+      "heuristic remains tractable at every size and beats the ILP by orders "
+      "of magnitude at scale");
+
+  const std::size_t runs = bench::iterations(20, 5);
+  const std::uint32_t ks[] = {4, 8, 16, 64};
+
+  util::Table table("Figure 12 — heuristic execution time vs scale");
+  table.set_precision(6).header({"k", "nodes", "edges", "avg_heuristic_s",
+                                 "avg_HFR_%", "avg_ilp_s(maxhop=3)"});
+
+  for (std::uint32_t k : ks) {
+    const graph::FatTree ft(k);
+    std::vector<double> heuristic_s(runs, 0.0), hfr(runs, 0.0);
+    util::Rng root(bench::base_seed() + 7 * k);
+    std::vector<util::Rng> streams;
+    for (std::size_t i = 0; i < runs; ++i) streams.push_back(root.fork(i));
+    util::global_pool().parallel_for(runs, [&](std::size_t i) {
+      core::Nmdb nmdb = bench::fat_tree_scenario(k, streams[i]);
+      const core::HeuristicResult r = core::HeuristicEngine().run(nmdb);
+      heuristic_s[i] = r.solve_seconds;
+      hfr[i] = r.hfr_percent();
+    });
+    util::RunningStats hs, hf;
+    for (std::size_t i = 0; i < runs; ++i) {
+      hs.add(heuristic_s[i]);
+      hf.add(hfr[i]);
+    }
+
+    // ILP comparison point at a tame max-hop; skipped at 64-k where even
+    // the model build is the bottleneck the paper's zoning avoids.
+    std::string ilp_cell = "(intractable; use zones)";
+    if (k <= 16) {
+      util::Rng rng = root.fork(runs + 1);
+      core::Nmdb nmdb = bench::fat_tree_scenario(k, rng);
+      core::OptimizerOptions options;
+      options.placement.max_hops = 3;
+      options.placement.evaluator = net::EvaluatorMode::kEnumerate;
+      options.allow_partial = true;
+      const core::PlacementResult r = core::OptimizationEngine(options).run(nmdb);
+      ilp_cell = std::to_string(r.build_seconds + r.solve_seconds);
+    }
+    table.row({static_cast<std::int64_t>(k),
+               static_cast<std::int64_t>(ft.graph().node_count()),
+               static_cast<std::int64_t>(ft.graph().edge_count()), hs.mean(),
+               hf.mean(), ilp_cell});
+  }
+  bench::emit(table);
+
+  std::cout << "\nexpectation: heuristic time grows roughly linearly in "
+               "network size and stays far below the ILP at every scale; "
+               "64-k (5120 nodes / 131072 edges) completes comfortably\n";
+  return 0;
+}

@@ -1,0 +1,104 @@
+// Micro-benchmarks (google-benchmark) for the hot substrate paths: Gorilla
+// compression, TSDB queries, hop-bounded path evaluation, and the full
+// placement pipeline at small scale.
+#include <benchmark/benchmark.h>
+
+#include "core/heuristic.hpp"
+#include "core/optimizer.hpp"
+#include "graph/paths.hpp"
+#include "graph/topology.hpp"
+#include "net/traffic.hpp"
+#include "telemetry/tsdb.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace dust;
+
+void BM_GorillaAppend(benchmark::State& state) {
+  util::Rng rng(1);
+  std::vector<telemetry::Sample> samples;
+  double v = 50.0;
+  for (int i = 0; i < 1024; ++i) {
+    v += rng.uniform(-0.5, 0.5);
+    samples.push_back({1000LL * i, v});
+  }
+  for (auto _ : state) {
+    telemetry::CompressedBlock block;
+    for (const auto& s : samples) block.append(s);
+    benchmark::DoNotOptimize(block.compressed_bytes());
+  }
+  state.SetItemsProcessed(state.iterations() * 1024);
+}
+
+void BM_GorillaDecode(benchmark::State& state) {
+  util::Rng rng(1);
+  telemetry::CompressedBlock block;
+  double v = 50.0;
+  for (int i = 0; i < 1024; ++i) {
+    v += rng.uniform(-0.5, 0.5);
+    block.append({1000LL * i, v});
+  }
+  for (auto _ : state) benchmark::DoNotOptimize(block.decode());
+  state.SetItemsProcessed(state.iterations() * 1024);
+}
+
+void BM_TsdbRangeQuery(benchmark::State& state) {
+  telemetry::Tsdb db;
+  const auto id = db.register_metric({"cpu", "%", telemetry::MetricKind::kGauge});
+  util::Rng rng(2);
+  for (int i = 0; i < 100000; ++i)
+    db.append(id, {100LL * i, rng.uniform(0, 100)});
+  for (auto _ : state)
+    benchmark::DoNotOptimize(db.query(id, 5000000, 6000000));
+}
+
+void BM_HopBoundedDp(benchmark::State& state) {
+  const graph::FatTree ft(static_cast<std::uint32_t>(state.range(0)));
+  std::vector<double> cost(ft.graph().edge_count(), 1.0);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(
+        graph::hop_bounded_min_cost(ft.graph(), 0, cost, 6));
+}
+BENCHMARK(BM_HopBoundedDp)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_PathEnumeration(benchmark::State& state) {
+  const graph::FatTree ft(4);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(graph::count_simple_paths(
+        ft.graph(), ft.edge_switch(0, 0), ft.edge_switch(1, 0),
+        static_cast<std::uint32_t>(state.range(0))));
+}
+BENCHMARK(BM_PathEnumeration)->Arg(4)->Arg(6)->Arg(8);
+
+core::Nmdb bench_scenario(std::uint32_t k) {
+  util::Rng rng(7);
+  net::NetworkState s = net::make_random_state(
+      graph::FatTree(k).graph(), net::LinkProfile{}, net::NodeLoadProfile{}, rng);
+  return core::Nmdb(std::move(s), core::Thresholds{});
+}
+
+void BM_PlacementPipelineDp(benchmark::State& state) {
+  core::Nmdb nmdb = bench_scenario(static_cast<std::uint32_t>(state.range(0)));
+  core::OptimizerOptions options;
+  options.placement.evaluator = net::EvaluatorMode::kHopBoundedDp;
+  options.allow_partial = true;
+  const core::OptimizationEngine engine(options);
+  for (auto _ : state) benchmark::DoNotOptimize(engine.run(nmdb));
+}
+BENCHMARK(BM_PlacementPipelineDp)->Arg(4)->Arg(8);
+
+void BM_HeuristicEngine(benchmark::State& state) {
+  core::Nmdb nmdb = bench_scenario(static_cast<std::uint32_t>(state.range(0)));
+  const core::HeuristicEngine engine;
+  for (auto _ : state) benchmark::DoNotOptimize(engine.run(nmdb));
+}
+BENCHMARK(BM_HeuristicEngine)->Arg(4)->Arg(8)->Arg(16);
+
+BENCHMARK(BM_GorillaAppend);
+BENCHMARK(BM_GorillaDecode);
+BENCHMARK(BM_TsdbRangeQuery);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,59 @@
+// Quickstart: build a small network, mark node loads, run the DUST
+// optimization engine, and print where the monitoring load goes.
+//
+//   cmake --build build && ./build/examples/quickstart
+#include <iostream>
+
+#include "core/optimizer.hpp"
+#include "graph/topology.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace dust;
+
+  // 1. Topology: the paper's illustrative 7-node network (Fig. 4) — one
+  //    busy switch S1, two offload candidates S2 and S6, relays in between.
+  graph::Graph g(7);
+  g.add_edge(0, 3);  // e1: S1-S4
+  g.add_edge(3, 1);  // e2: S4-S2
+  g.add_edge(3, 4);  // e3: S4-S5
+  g.add_edge(4, 1);  // e4: S5-S2
+  g.add_edge(1, 2);  // e5: S2-S3
+  g.add_edge(2, 6);  // e6: S3-S7
+  g.add_edge(3, 5);  // e7: S4-S6
+
+  // 2. Dynamic state: per-link utilized bandwidth and per-node load.
+  net::NetworkState state(std::move(g));
+  for (graph::EdgeId e = 0; e < state.edge_count(); ++e)
+    state.set_link(e, net::LinkState{.bandwidth_mbps = 10000.0,
+                                     .utilization = 0.5});
+  state.set_node_utilization(0, 93.0);   // S1: busy (Cs = 13)
+  state.set_node_utilization(1, 42.0);   // S2: candidate (Cd = 18)
+  state.set_node_utilization(5, 52.0);   // S6: candidate (Cd = 8)
+  for (graph::NodeId v : {2u, 3u, 4u, 6u}) state.set_node_utilization(v, 70.0);
+  state.set_monitoring_data_mb(0, 80.0);  // D_1 = 80 Mb to move
+
+  // 3. NMDB + thresholds (Cmax = 80, COmax = 60, x_min = 10 by default).
+  core::Nmdb nmdb(std::move(state), core::Thresholds{});
+  std::cout << "Δ_io = " << nmdb.default_thresholds().delta_io()
+            << " (recommended >= " << core::Thresholds::kRecommendedKio
+            << ")\n";
+
+  // 4. Optimize: minimize β = Σ x_ij · Trmin(i,j) over controllable routes.
+  core::OptimizerOptions options;
+  options.placement.max_hops = 4;
+  const core::PlacementResult result =
+      core::OptimizationEngine(options).run(nmdb);
+
+  std::cout << "status: " << solver::to_string(result.status)
+            << ", objective β = " << result.objective << " s\n";
+  util::Table table("offload plan");
+  table.set_precision(4).header(
+      {"busy_node", "destination", "amount_%cap", "trmin_s"});
+  for (const core::Assignment& a : result.assignments)
+    table.row({std::string("S") + std::to_string(a.from + 1),
+               std::string("S") + std::to_string(a.to + 1), a.amount,
+               a.trmin_seconds});
+  table.print(std::cout);
+  return 0;
+}

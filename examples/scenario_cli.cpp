@@ -1,0 +1,151 @@
+// Scenario CLI: load a scenario file, run the ILP optimizer and the one-hop
+// heuristic, and print the offload plans (optionally the topology as DOT).
+//
+//   ./build/examples/scenario_cli <scenario-file> [max_hops] [--dot]
+//   ./build/examples/scenario_cli <scenario-file> --trace <trace-file>
+//   ./build/examples/scenario_cli --demo            # built-in Fig. 4 demo
+//
+// Scenario format: see src/core/scenario.hpp. Trace format (CSV
+// "<time_ms>,<node>,<utilization>[,<data_mb>]"): see src/core/replay.hpp.
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "core/heuristic.hpp"
+#include "core/optimizer.hpp"
+#include "core/replay.hpp"
+#include "core/scenario.hpp"
+#include "graph/dot.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+constexpr const char* kDemoScenario = R"(# paper Fig. 4: S1 busy, S2/S6 candidates
+nodes 7
+thresholds 80 60 10
+edge 0 3 1000 1.0   # e1 S1-S4
+edge 3 1 1000 1.0   # e2 S4-S2
+edge 3 4 1000 1.0   # e3 S4-S5
+edge 4 1 1000 1.0   # e4 S5-S2
+edge 1 2 1000 1.0   # e5 S2-S3
+edge 2 6 1000 1.0   # e6 S3-S7
+edge 3 5 1000 1.0   # e7 S4-S6
+load 0 93 80
+load 1 42 10
+load 5 52 10
+load 2 70 10
+load 3 70 10
+load 4 70 10
+load 6 70 10
+)";
+
+void print_plan(const std::string& title,
+                const std::vector<dust::core::Assignment>& plan) {
+  dust::util::Table table(title);
+  table.set_precision(4).header({"from", "to", "amount_%cap", "trmin_s"});
+  for (const dust::core::Assignment& a : plan)
+    table.row({static_cast<std::int64_t>(a.from),
+               static_cast<std::int64_t>(a.to), a.amount, a.trmin_seconds});
+  table.print(std::cout);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace dust;
+  if (argc < 2) {
+    std::cerr << "usage: " << argv[0] << " <scenario-file>|--demo [max_hops] [--dot]\n";
+    return 2;
+  }
+  std::uint32_t max_hops = 0;
+  bool dot = false;
+  std::string trace_file;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--dot") {
+      dot = true;
+    } else if (arg == "--trace" && i + 1 < argc) {
+      trace_file = argv[++i];
+    } else {
+      max_hops = static_cast<std::uint32_t>(std::stoul(arg));
+    }
+  }
+
+  core::Nmdb nmdb = [&] {
+    const std::string source = argv[1];
+    if (source == "--demo") {
+      std::istringstream demo(kDemoScenario);
+      return core::load_scenario(demo);
+    }
+    std::ifstream file(source);
+    if (!file) {
+      std::cerr << "cannot open " << source << "\n";
+      std::exit(2);
+    }
+    return core::load_scenario(file);
+  }();
+
+  std::cout << "scenario: " << nmdb.node_count() << " nodes, "
+            << nmdb.network().edge_count() << " links, "
+            << nmdb.busy_nodes().size() << " busy, "
+            << nmdb.candidate_nodes().size() << " candidates, ΣCs="
+            << nmdb.total_excess() << " ΣCd=" << nmdb.total_spare() << "\n\n";
+
+  if (!trace_file.empty()) {
+    std::ifstream trace_in(trace_file);
+    if (!trace_in) {
+      std::cerr << "cannot open trace " << trace_file << "\n";
+      return 2;
+    }
+    const auto trace = core::load_trace(trace_in);
+    core::ReplayOptions replay_options;
+    replay_options.optimizer.placement.max_hops = max_hops;
+    replay_options.optimizer.placement.evaluator =
+        net::EvaluatorMode::kHopBoundedDp;
+    const core::ReplayReport report =
+        core::replay_trace(nmdb, trace, replay_options);
+    util::Table table("trace replay report");
+    table.set_precision(3).header({"metric", "value"});
+    table.row({std::string("updates applied"),
+               static_cast<std::int64_t>(report.updates_applied)});
+    table.row({std::string("placement cycles"),
+               static_cast<std::int64_t>(report.placement_cycles)});
+    table.row({std::string("cycles with offloads"),
+               static_cast<std::int64_t>(report.cycles_with_offloads)});
+    table.row({std::string("capacity moved (%-points)"),
+               report.total_offloaded});
+    table.row({std::string("unplaced (%-points)"), report.total_unplaced});
+    table.row({std::string("overloaded node-cycles (%)"),
+               report.overload_fraction() * 100.0});
+    table.print(std::cout);
+    return 0;
+  }
+
+  core::OptimizerOptions options;
+  options.placement.max_hops = max_hops;
+  options.allow_partial = true;
+  const core::PlacementResult opt = core::OptimizationEngine(options).run(nmdb);
+  std::cout << "ILP: " << solver::to_string(opt.status) << ", β = "
+            << opt.objective << " s, unplaced = " << opt.unplaced << "\n";
+  print_plan("ILP offload plan", opt.assignments);
+
+  const core::HeuristicResult heuristic = core::HeuristicEngine().run(nmdb);
+  std::cout << "\nheuristic: HFR = " << heuristic.hfr_percent()
+            << "%, β = " << heuristic.objective << " s\n";
+  print_plan("heuristic offload plan", heuristic.assignments);
+
+  if (dot) {
+    graph::DotOptions dot_options;
+    dot_options.node_color = [&nmdb](graph::NodeId v) -> std::string {
+      switch (nmdb.role(v)) {
+        case core::NodeRole::kBusy: return "tomato";
+        case core::NodeRole::kOffloadCandidate: return "gold";
+        default: return "";
+      }
+    };
+    std::cout << "\n";
+    graph::write_dot(std::cout, nmdb.network().graph(), dot_options);
+  }
+  return opt.optimal() ? 0 : 1;
+}

@@ -1,0 +1,90 @@
+#include "core/baselines.hpp"
+
+#include <algorithm>
+
+#include "graph/paths.hpp"
+#include "util/timer.hpp"
+
+namespace dust::core {
+
+namespace {
+
+struct CandidateInfo {
+  graph::NodeId node;
+  std::uint32_t hops;
+  double tr_seconds;
+};
+
+std::vector<CandidateInfo> reachable_candidates(
+    const Nmdb& nmdb, graph::NodeId busy, const std::vector<double>& remaining,
+    std::uint32_t max_hops) {
+  const net::NetworkState& net = nmdb.network();
+  const std::vector<std::uint32_t> hops = graph::bfs_hops(net.graph(), busy);
+  const std::vector<double> cost = graph::hop_bounded_min_cost(
+      net.graph(), busy, net.inverse_bandwidth_costs(), max_hops);
+  const double data_mb = net.monitoring_data_mb(busy);
+  std::vector<CandidateInfo> out;
+  for (graph::NodeId v = 0; v < net.node_count(); ++v) {
+    if (v == busy || remaining[v] <= 0) continue;
+    if (hops[v] == graph::kUnreachable) continue;
+    if (max_hops != 0 && hops[v] > max_hops) continue;
+    if (cost[v] == graph::kInfiniteCost) continue;
+    out.push_back(CandidateInfo{v, hops[v], data_mb * cost[v]});
+  }
+  return out;
+}
+
+BaselineResult place(const Nmdb& nmdb, std::uint32_t max_hops,
+                     const std::function<void(std::vector<CandidateInfo>&)>&
+                         order_candidates) {
+  util::Timer timer;
+  BaselineResult result;
+  const net::NetworkState& net = nmdb.network();
+  std::vector<double> remaining(net.node_count(), 0.0);
+  for (graph::NodeId o : nmdb.candidate_nodes())
+    remaining[o] = nmdb.thresholds(o).spare_capacity(net.node_utilization(o));
+
+  for (graph::NodeId b : nmdb.busy_nodes()) {
+    double left = nmdb.thresholds(b).excess_load(net.node_utilization(b));
+    std::vector<CandidateInfo> candidates =
+        reachable_candidates(nmdb, b, remaining, max_hops);
+    order_candidates(candidates);
+    for (const CandidateInfo& candidate : candidates) {
+      if (left <= 1e-12) break;
+      const double amount = std::min(left, remaining[candidate.node]);
+      if (amount <= 0) continue;
+      result.assignments.push_back(
+          Assignment{b, candidate.node, amount, candidate.tr_seconds});
+      result.objective += amount * candidate.tr_seconds;
+      remaining[candidate.node] -= amount;
+      left -= amount;
+    }
+    result.unplaced += std::max(0.0, left);
+  }
+  result.solve_seconds = timer.seconds();
+  return result;
+}
+
+}  // namespace
+
+BaselineResult greedy_nearest_placement(const Nmdb& nmdb,
+                                        std::uint32_t max_hops) {
+  return place(nmdb, max_hops, [](std::vector<CandidateInfo>& candidates) {
+    std::sort(candidates.begin(), candidates.end(),
+              [](const CandidateInfo& a, const CandidateInfo& b) {
+                if (a.hops != b.hops) return a.hops < b.hops;
+                if (a.tr_seconds != b.tr_seconds)
+                  return a.tr_seconds < b.tr_seconds;
+                return a.node < b.node;
+              });
+  });
+}
+
+BaselineResult random_placement(const Nmdb& nmdb, util::Rng& rng,
+                                std::uint32_t max_hops) {
+  return place(nmdb, max_hops, [&rng](std::vector<CandidateInfo>& candidates) {
+    rng.shuffle(candidates);
+  });
+}
+
+}  // namespace dust::core

@@ -1,0 +1,33 @@
+// Baseline placement strategies for ablation against the ILP optimizer and
+// the paper's one-hop heuristic:
+//   * greedy-nearest — each busy node ships to the hop-closest candidates
+//     with spare capacity (ties by response time), no hop radius limit;
+//   * random — each busy node ships to uniformly random candidates with
+//     spare capacity. A lower bound on placement quality.
+// Both respect capacities (3a) and never overship (3b).
+#pragma once
+
+#include "core/placement.hpp"
+#include "util/rng.hpp"
+
+namespace dust::core {
+
+struct BaselineResult {
+  std::vector<Assignment> assignments;
+  double objective = 0.0;  ///< Σ amount · Trmin over chosen pairs
+  double unplaced = 0.0;
+  double solve_seconds = 0.0;
+
+  [[nodiscard]] bool complete() const noexcept { return unplaced <= 1e-9; }
+};
+
+/// Greedy: busy nodes in id order; candidates by (hop distance, response
+/// time). max_hops = 0 means unbounded.
+BaselineResult greedy_nearest_placement(const Nmdb& nmdb,
+                                        std::uint32_t max_hops = 0);
+
+/// Random feasible placement (seeded); max_hops = 0 means unbounded.
+BaselineResult random_placement(const Nmdb& nmdb, util::Rng& rng,
+                                std::uint32_t max_hops = 0);
+
+}  // namespace dust::core

@@ -1,0 +1,244 @@
+#include "core/client.hpp"
+
+#include <algorithm>
+
+#include "util/log.hpp"
+
+namespace dust::core {
+
+DustClient::DustClient(sim::Simulator& sim, sim::Transport& transport,
+                       graph::NodeId node, ClientConfig config, util::Rng rng,
+                       sim::MonitoredNode* device)
+    : sim_(&sim),
+      transport_(&transport),
+      node_(node),
+      config_(config),
+      rng_(rng),
+      device_(device) {
+  endpoint_token_ = transport_->register_endpoint(
+      client_endpoint(node_),
+      [this](const sim::Envelope& envelope) { handle(envelope); });
+}
+
+DustClient::~DustClient() {
+  // Token-scoped: if another client re-registered this node's endpoint
+  // (e.g. a replacement instance), leave the new registration in place.
+  transport_->unregister_endpoint(client_endpoint(node_), endpoint_token_);
+}
+
+void DustClient::start() {
+  transport_->send(client_endpoint(node_), manager_endpoint(),
+                   Message{OffloadCapableMsg{node_, config_.offload_capable,
+                                             config_.platform_factor}});
+}
+
+void DustClient::set_reported_state(double utilization_percent,
+                                    double monitoring_data_mb,
+                                    std::uint32_t agent_count) {
+  reported_utilization_ = utilization_percent;
+  reported_data_mb_ = monitoring_data_mb;
+  reported_agents_ = agent_count;
+}
+
+void DustClient::send_stat() {
+  if (failed_) return;
+  StatMsg stat;
+  stat.node = node_;
+  if (device_ != nullptr) {
+    stat.utilization_percent = device_->last_stats().device_cpu_percent;
+    stat.monitoring_data_mb =
+        static_cast<double>(device_->tsdb().storage_bytes()) * 8.0 / 1e6;
+    stat.agent_count = static_cast<std::uint32_t>(device_->local_agent_count());
+  } else {
+    stat.utilization_percent = reported_utilization_;
+    stat.monitoring_data_mb = reported_data_mb_;
+    stat.agent_count = reported_agents_;
+  }
+  transport_->send(client_endpoint(node_), manager_endpoint(), Message{stat});
+}
+
+void DustClient::publish_snapshot(const telemetry::DeviceSnapshot& snapshot) {
+  if (failed_) return;
+  for (const OutboundOffload& outbound : outbound_) {
+    transport_->send(client_endpoint(node_),
+                     client_endpoint(outbound.destination),
+                     Message{TelemetryDataMsg{node_, snapshot}},
+                     sim::Priority::kLow);
+  }
+}
+
+void DustClient::set_failed(bool failed) {
+  failed_ = failed;
+  if (failed_) {
+    stat_task_.reset();
+    keepalive_task_.reset();
+  }
+}
+
+std::size_t DustClient::hosted_agent_count() const noexcept {
+  std::size_t total = 0;
+  for (const auto& [owner, count] : hosted_) total += count;
+  return total;
+}
+
+std::size_t DustClient::offloaded_agent_count() const noexcept {
+  std::size_t total = 0;
+  for (const OutboundOffload& outbound : outbound_)
+    total += outbound.blueprints.size();
+  return total;
+}
+
+std::vector<graph::NodeId> DustClient::hosting_destinations() const {
+  std::vector<graph::NodeId> out;
+  out.reserve(outbound_.size());
+  for (const OutboundOffload& outbound : outbound_)
+    out.push_back(outbound.destination);
+  return out;
+}
+
+void DustClient::handle(const sim::Envelope& envelope) {
+  if (failed_) return;
+  const Message* message = std::any_cast<Message>(&envelope.payload);
+  if (message == nullptr) {
+    DUST_LOG_WARN << "client " << node_ << ": non-protocol payload";
+    return;
+  }
+  std::visit(
+      [this](const auto& msg) {
+        using T = std::decay_t<decltype(msg)>;
+        if constexpr (std::is_same_v<T, AckMsg>) {
+          on_ack(msg);
+        } else if constexpr (std::is_same_v<T, OffloadRequestMsg>) {
+          on_offload_request(msg);
+        } else if constexpr (std::is_same_v<T, AgentTransferMsg>) {
+          on_agent_transfer(msg);
+        } else if constexpr (std::is_same_v<T, TelemetryDataMsg>) {
+          on_telemetry(msg);
+        } else if constexpr (std::is_same_v<T, RepMsg>) {
+          on_rep(msg);
+        } else if constexpr (std::is_same_v<T, ReleaseMsg>) {
+          on_release(msg);
+        } else {
+          DUST_LOG_WARN << "client " << node_ << ": unexpected message";
+        }
+      },
+      *message);
+}
+
+void DustClient::on_ack(const AckMsg& msg) {
+  if (acknowledged_) return;
+  acknowledged_ = true;
+  stat_task_ = std::make_unique<sim::PeriodicTask>(
+      *sim_, sim_->now(), msg.update_interval_ms,
+      [this](sim::TimeMs) { send_stat(); });
+}
+
+void DustClient::on_offload_request(const OffloadRequestMsg& msg) {
+  if (msg.busy != node_) return;  // destination copy handled on transfer
+  transport_->send(client_endpoint(node_), manager_endpoint(),
+                   Message{OffloadAckMsg{msg.request_id, node_, true}});
+  // Move agents off the device (or synthesize blueprints when device-less).
+  AgentTransferMsg transfer;
+  transfer.request_id = msg.request_id;
+  transfer.owner = node_;
+  if (device_ != nullptr) {
+    std::vector<telemetry::MonitorAgent> local = device_->remove_local_agents();
+    const std::size_t moving =
+        std::min<std::size_t>(msg.agents_to_move, local.size());
+    for (std::size_t i = 0; i < moving; ++i)
+      transfer.agents.push_back(local.back()), local.pop_back();
+    // Re-install what stays local.
+    for (telemetry::MonitorAgent& agent : local)
+      device_->add_local_agent(std::move(agent));
+    device_->set_offloaded_agent_count(offloaded_agent_count() +
+                                       transfer.agents.size());
+  } else {
+    for (std::uint32_t i = 0; i < msg.agents_to_move; ++i)
+      transfer.agents.emplace_back(
+          "synthetic." + std::to_string(node_) + "." + std::to_string(i),
+          telemetry::AgentCostModel{}, 1000);
+  }
+  OutboundOffload outbound;
+  outbound.destination = msg.destination;
+  outbound.blueprints = transfer.agents;  // copies for REP re-instantiation
+  outbound_.push_back(std::move(outbound));
+  transport_->send(client_endpoint(node_), client_endpoint(msg.destination),
+                   Message{std::move(transfer)});
+}
+
+void DustClient::on_agent_transfer(const AgentTransferMsg& msg) {
+  if (device_ != nullptr) {
+    for (const telemetry::MonitorAgent& agent : msg.agents)
+      device_->add_remote_agent(client_endpoint(msg.owner), agent);
+  }
+  hosted_.emplace_back(msg.owner, static_cast<std::uint32_t>(msg.agents.size()));
+  ensure_keepalive_task();
+}
+
+void DustClient::on_telemetry(const TelemetryDataMsg& msg) {
+  if (device_ == nullptr) return;
+  device_->observe_remote(client_endpoint(msg.owner), msg.snapshot, rng_);
+}
+
+void DustClient::on_rep(const RepMsg& msg) {
+  if (msg.busy != node_) return;
+  // Drop the failed relationship and re-home the same agents to the replica.
+  auto it = std::find_if(outbound_.begin(), outbound_.end(),
+                         [&msg](const OutboundOffload& o) {
+                           return o.destination == msg.failed;
+                         });
+  if (it == outbound_.end()) return;
+  AgentTransferMsg transfer;
+  transfer.request_id = msg.request_id;
+  transfer.owner = node_;
+  transfer.agents = it->blueprints;
+  it->destination = msg.replacement;
+  transport_->send(client_endpoint(node_), manager_endpoint(),
+                   Message{OffloadAckMsg{msg.request_id, node_, true}});
+  transport_->send(client_endpoint(node_), client_endpoint(msg.replacement),
+                   Message{std::move(transfer)});
+}
+
+void DustClient::on_release(const ReleaseMsg& msg) {
+  if (msg.busy == node_) {
+    // Reclaim: reinstall our agents locally.
+    auto it = std::find_if(outbound_.begin(), outbound_.end(),
+                           [&msg](const OutboundOffload& o) {
+                             return o.destination == msg.destination;
+                           });
+    if (it == outbound_.end()) return;
+    if (device_ != nullptr) {
+      for (const telemetry::MonitorAgent& blueprint : it->blueprints)
+        device_->add_local_agent(blueprint);
+    }
+    outbound_.erase(it);
+    if (device_ != nullptr)
+      device_->set_offloaded_agent_count(offloaded_agent_count());
+  } else if (msg.destination == node_) {
+    // Stop hosting this owner's agents.
+    std::erase_if(hosted_, [&msg](const auto& entry) {
+      return entry.first == msg.busy;
+    });
+    if (device_ != nullptr)
+      device_->remove_remote_agents(client_endpoint(msg.busy));
+    maybe_stop_keepalive_task();
+  }
+}
+
+void DustClient::ensure_keepalive_task() {
+  if (keepalive_task_ && keepalive_task_->active()) return;
+  keepalive_task_ = std::make_unique<sim::PeriodicTask>(
+      *sim_, sim_->now(), config_.keepalive_interval_ms,
+      [this](sim::TimeMs) {
+        if (failed_ || hosted_.empty()) return;
+        ++keepalives_sent_;
+        transport_->send(client_endpoint(node_), manager_endpoint(),
+                         Message{KeepaliveMsg{node_, keepalive_seq_++}});
+      });
+}
+
+void DustClient::maybe_stop_keepalive_task() {
+  if (hosted_.empty()) keepalive_task_.reset();
+}
+
+}  // namespace dust::core

@@ -1,0 +1,115 @@
+// DUST-Client: per-device agent of the protocol (paper §III-B).
+//
+// Joins via Offload-capable, streams periodic STATs once acknowledged,
+// sheds monitoring agents on Offload-Request (transferring them to the
+// destination client), hosts transferred agents and keepalives while doing
+// so, re-homes its agents on REP, and reinstalls them on Release.
+//
+// A client can optionally wrap a sim::MonitoredNode (the testbed device
+// model); without one, STAT contents are set explicitly — useful for
+// protocol-only tests.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "core/messages.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/node.hpp"
+#include "sim/transport.hpp"
+#include "util/rng.hpp"
+
+namespace dust::core {
+
+struct ClientConfig {
+  bool offload_capable = true;
+  std::int64_t keepalive_interval_ms = 5000;
+  /// Device persona sent in the Offload-capable handshake (see
+  /// OffloadCapableMsg::platform_factor).
+  double platform_factor = 1.0;
+};
+
+class DustClient {
+ public:
+  DustClient(sim::Simulator& sim, sim::Transport& transport,
+             graph::NodeId node, ClientConfig config, util::Rng rng,
+             sim::MonitoredNode* device = nullptr);
+  ~DustClient();
+
+  DustClient(const DustClient&) = delete;
+  DustClient& operator=(const DustClient&) = delete;
+
+  /// Send the Offload-capable handshake. STATs begin after the manager ACKs.
+  void start();
+
+  /// Without a device model: the values the next STATs will report.
+  void set_reported_state(double utilization_percent, double monitoring_data_mb,
+                          std::uint32_t agent_count);
+
+  /// Push one STAT immediately (also happens on the ACKed interval).
+  void send_stat();
+
+  /// Stream a snapshot of this node to every destination hosting its agents
+  /// (QoS kLow). The testbed harness calls this after each device tick.
+  void publish_snapshot(const telemetry::DeviceSnapshot& snapshot);
+
+  /// Simulate a node crash: stops keepalives/STATs and ignores messages.
+  void set_failed(bool failed);
+  [[nodiscard]] bool failed() const noexcept { return failed_; }
+
+  [[nodiscard]] graph::NodeId node() const noexcept { return node_; }
+  [[nodiscard]] bool acknowledged() const noexcept { return acknowledged_; }
+  /// Agents currently running here for remote owners.
+  [[nodiscard]] std::size_t hosted_agent_count() const noexcept;
+  /// This node's own agents currently running remotely.
+  [[nodiscard]] std::size_t offloaded_agent_count() const noexcept;
+  [[nodiscard]] std::vector<graph::NodeId> hosting_destinations() const;
+  [[nodiscard]] std::uint64_t keepalives_sent() const noexcept {
+    return keepalives_sent_;
+  }
+
+ private:
+  void handle(const sim::Envelope& envelope);
+  void on_ack(const AckMsg& msg);
+  void on_offload_request(const OffloadRequestMsg& msg);
+  void on_agent_transfer(const AgentTransferMsg& msg);
+  void on_telemetry(const TelemetryDataMsg& msg);
+  void on_rep(const RepMsg& msg);
+  void on_release(const ReleaseMsg& msg);
+  void ensure_keepalive_task();
+  void maybe_stop_keepalive_task();
+
+  sim::Simulator* sim_;
+  sim::Transport* transport_;
+  graph::NodeId node_;
+  ClientConfig config_;
+  util::Rng rng_;
+  sim::MonitoredNode* device_;
+
+  bool acknowledged_ = false;
+  bool failed_ = false;
+  double reported_utilization_ = 0.0;
+  double reported_data_mb_ = 0.0;
+  std::uint32_t reported_agents_ = 0;
+
+  /// Where this node's own agents went: destination -> blueprint copies
+  /// (used to re-instantiate on REP / Release).
+  struct OutboundOffload {
+    graph::NodeId destination;
+    std::vector<telemetry::MonitorAgent> blueprints;
+  };
+  std::vector<OutboundOffload> outbound_;
+  /// Owners whose agents run here, with counts (hosted agents live in the
+  /// device model).
+  std::vector<std::pair<graph::NodeId, std::uint32_t>> hosted_;
+
+  std::unique_ptr<sim::PeriodicTask> stat_task_;
+  std::unique_ptr<sim::PeriodicTask> keepalive_task_;
+  std::uint64_t keepalive_seq_ = 0;
+  std::uint64_t keepalives_sent_ = 0;
+  std::uint64_t endpoint_token_ = 0;
+};
+
+}  // namespace dust::core

@@ -1,0 +1,112 @@
+#include "core/heuristic.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "graph/paths.hpp"
+#include "util/timer.hpp"
+
+namespace dust::core {
+
+HeuristicResult HeuristicEngine::run(const Nmdb& nmdb) const {
+  util::Timer timer;
+  HeuristicResult result;
+  const net::NetworkState& net = nmdb.network();
+  const graph::Graph& g = net.graph();
+
+  std::vector<graph::NodeId> busy = nmdb.busy_nodes();
+  result.busy_count = busy.size();
+  if (busy.empty()) {
+    result.solve_seconds = timer.seconds();
+    return result;
+  }
+
+  // Shared remaining capacity across all busy nodes' local solves.
+  std::vector<double> remaining(g.node_count(), 0.0);
+  for (graph::NodeId o : nmdb.candidate_nodes())
+    remaining[o] = nmdb.thresholds(o).spare_capacity(net.node_utilization(o));
+
+  if (options_.order == HeuristicOptions::Order::kLargestExcessFirst) {
+    std::stable_sort(busy.begin(), busy.end(),
+                     [&](graph::NodeId a, graph::NodeId b) {
+                       return nmdb.thresholds(a).excess_load(
+                                  net.node_utilization(a)) >
+                              nmdb.thresholds(b).excess_load(
+                                  net.node_utilization(b));
+                     });
+  }
+
+  const std::vector<double> inv_bandwidth = net.inverse_bandwidth_costs();
+  for (graph::NodeId b : busy) {
+    const double cs = nmdb.thresholds(b).excess_load(net.node_utilization(b));
+    result.total_cs += cs;
+    const double data_mb = net.monitoring_data_mb(b);
+
+    // Candidates within `radius` hops with their Tr cost.
+    struct Option {
+      graph::NodeId node;
+      double tr_seconds;
+    };
+    std::vector<Option> options;
+    if (options_.radius == 1) {
+      // Paper Algorithm 1: direct neighbours only; Tr = D_i / Lu_e.
+      for (const graph::Adjacency& adj : g.neighbors(b)) {
+        if (remaining[adj.neighbor] <= 0) continue;
+        options.push_back(
+            Option{adj.neighbor, data_mb * inv_bandwidth[adj.edge]});
+      }
+    } else {
+      const std::vector<double> cost = graph::hop_bounded_min_cost(
+          g, b, inv_bandwidth, options_.radius);
+      for (graph::NodeId v = 0; v < g.node_count(); ++v) {
+        if (v == b || remaining[v] <= 0) continue;
+        if (cost[v] == graph::kInfiniteCost) continue;
+        options.push_back(Option{v, data_mb * cost[v]});
+      }
+    }
+    if (options_.packing == HeuristicOptions::Packing::kLargestCapacityFirst) {
+      std::sort(options.begin(), options.end(),
+                [&remaining](const Option& a, const Option& b) {
+                  if (remaining[a.node] != remaining[b.node])
+                    return remaining[a.node] > remaining[b.node];
+                  if (a.tr_seconds != b.tr_seconds)
+                    return a.tr_seconds < b.tr_seconds;
+                  return a.node < b.node;
+                });
+    } else {
+      std::sort(options.begin(), options.end(),
+                [](const Option& a, const Option& b) {
+                  return a.tr_seconds != b.tr_seconds
+                             ? a.tr_seconds < b.tr_seconds
+                             : a.node < b.node;
+                });
+    }
+
+    double left = cs;
+    bool placed_any = false;
+    for (const Option& option : options) {
+      if (left <= 1e-12) break;
+      const double amount = std::min(left, remaining[option.node]);
+      if (amount <= 0) continue;
+      result.assignments.push_back(
+          Assignment{b, option.node, amount, option.tr_seconds});
+      result.objective += amount * option.tr_seconds;
+      remaining[option.node] -= amount;
+      left -= amount;
+      placed_any = true;
+    }
+    if (left > 1e-9) {
+      result.total_cse += left;
+      if (placed_any)
+        ++result.partially_offloaded;
+      else
+        ++result.failed;
+    } else {
+      ++result.fully_offloaded;
+    }
+  }
+  result.solve_seconds = timer.seconds();
+  return result;
+}
+
+}  // namespace dust::core

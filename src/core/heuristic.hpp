@@ -1,0 +1,65 @@
+// Heuristic min-cost offload (paper Algorithm 1) and the Heuristic Failure
+// Rate metric (Eq. 4).
+//
+// For every busy node the candidate set is restricted to offload-candidates
+// within `radius` hops (the paper fixes radius = 1; exposing it as a knob is
+// the ablation of bench_abl_heuristic_radius). Each busy node then solves its
+// private single-source min-cost assignment greedily cheapest-first — optimal
+// for a single supply row — against the *shared* remaining capacities, so
+// earlier busy nodes can consume a common neighbour's spare capacity.
+// Whatever cannot be placed within the radius is Cse_i, and
+//   HFR(%) = Σ Cse_i / Σ Cs_i × 100.
+#pragma once
+
+#include <cstdint>
+
+#include "core/placement.hpp"
+
+namespace dust::core {
+
+struct HeuristicOptions {
+  std::uint32_t radius = 1;  ///< paper Algorithm 1: max-hop = 1
+  /// Busy-node processing order. The paper iterates the busy set directly;
+  /// kLargestFirst is a fairness ablation (big shedders pick first).
+  enum class Order { kNodeId, kLargestExcessFirst } order = Order::kNodeId;
+  /// Candidate packing within one busy node's solve. kCheapestFirst is
+  /// cost-optimal for that node (paper behaviour); kLargestCapacityFirst
+  /// drains big bins first, leaving small neighbours usable for later busy
+  /// nodes — it can trade objective for a lower HFR under contention.
+  enum class Packing { kCheapestFirst, kLargestCapacityFirst } packing =
+      Packing::kCheapestFirst;
+};
+
+struct HeuristicResult {
+  std::vector<Assignment> assignments;
+  double objective = 0.0;       ///< Σ x_ij · Tr(i,j) over chosen links
+  double total_cs = 0.0;        ///< Σ Cs_i
+  double total_cse = 0.0;       ///< Σ Cse_i (failed to place)
+  std::size_t busy_count = 0;
+  std::size_t fully_offloaded = 0;
+  std::size_t partially_offloaded = 0;  ///< placed some but not all
+  std::size_t failed = 0;               ///< placed nothing
+  double solve_seconds = 0.0;
+
+  /// HFR(%) per Eq. 4; 0 when there was nothing to offload.
+  [[nodiscard]] double hfr_percent() const noexcept {
+    return total_cs > 0 ? total_cse / total_cs * 100.0 : 0.0;
+  }
+  [[nodiscard]] bool complete() const noexcept { return total_cse <= 1e-9; }
+};
+
+class HeuristicEngine {
+ public:
+  explicit HeuristicEngine(HeuristicOptions options = {}) : options_(options) {}
+
+  [[nodiscard]] const HeuristicOptions& options() const noexcept {
+    return options_;
+  }
+
+  [[nodiscard]] HeuristicResult run(const Nmdb& nmdb) const;
+
+ private:
+  HeuristicOptions options_;
+};
+
+}  // namespace dust::core

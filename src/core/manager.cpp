@@ -1,0 +1,323 @@
+#include "core/manager.hpp"
+
+#include "core/routes.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/log.hpp"
+
+namespace dust::core {
+
+std::string manager_endpoint() { return "dust-manager"; }
+std::string client_endpoint(graph::NodeId node) {
+  return "dust-client-" + std::to_string(node);
+}
+
+DustManager::DustManager(sim::Simulator& sim, sim::Transport& transport,
+                         Nmdb nmdb, ManagerConfig config)
+    : sim_(&sim),
+      transport_(&transport),
+      nmdb_(std::move(nmdb)),
+      config_(config) {
+  transport_->register_endpoint(
+      manager_endpoint(),
+      [this](const sim::Envelope& envelope) { handle(envelope); });
+}
+
+void DustManager::start() {
+  placement_task_ = std::make_unique<sim::PeriodicTask>(
+      *sim_, sim_->now() + config_.placement_period_ms,
+      config_.placement_period_ms,
+      [this](sim::TimeMs) { run_placement_cycle(); });
+  keepalive_task_ = std::make_unique<sim::PeriodicTask>(
+      *sim_, sim_->now() + config_.keepalive_check_period_ms,
+      config_.keepalive_check_period_ms,
+      [this](sim::TimeMs) { check_keepalives(); });
+}
+
+void DustManager::stop() {
+  placement_task_.reset();
+  keepalive_task_.reset();
+}
+
+void DustManager::handle(const sim::Envelope& envelope) {
+  const Message* message = std::any_cast<Message>(&envelope.payload);
+  if (message == nullptr) {
+    DUST_LOG_WARN << "manager: non-protocol payload from " << envelope.from;
+    return;
+  }
+  std::visit(
+      [this](const auto& msg) {
+        using T = std::decay_t<decltype(msg)>;
+        if constexpr (std::is_same_v<T, OffloadCapableMsg>) {
+          on_offload_capable(msg);
+        } else if constexpr (std::is_same_v<T, StatMsg>) {
+          on_stat(msg);
+        } else if constexpr (std::is_same_v<T, OffloadAckMsg>) {
+          on_offload_ack(msg);
+        } else if constexpr (std::is_same_v<T, KeepaliveMsg>) {
+          on_keepalive(msg);
+        } else {
+          DUST_LOG_WARN << "manager: unexpected message type";
+        }
+      },
+      *message);
+}
+
+void DustManager::on_offload_capable(const OffloadCapableMsg& msg) {
+  nmdb_.set_offload_capable(msg.node, msg.capable);
+  if (msg.platform_factor > 0)
+    nmdb_.set_platform_factor(msg.node, msg.platform_factor);
+  if (msg.capable) {
+    transport_->send(manager_endpoint(), client_endpoint(msg.node),
+                     Message{AckMsg{msg.node, config_.update_interval_ms}});
+  }
+}
+
+void DustManager::on_stat(const StatMsg& msg) {
+  ++stats_received_;
+  nmdb_.record_stat(msg.node, msg.utilization_percent, msg.monitoring_data_mb,
+                    msg.agent_count);
+  // Reclaim: a previously busy node whose load (which already excludes the
+  // offloaded agents) dropped back under Cmax with margin keeps its offloads;
+  // release only when it could re-absorb them: load + offloaded < Cmax.
+  double offloaded = 0.0;
+  for (const auto& [id, offload] : offloads_)
+    if (offload.busy == msg.node) offloaded += offload.amount;
+  if (offloaded > 0 &&
+      msg.utilization_percent + offloaded + config_.release_margin_percent <
+          nmdb_.thresholds(msg.node).c_max) {
+    release_offloads_of(msg.node);
+  }
+  // Redirect (§III-B): "an Offload-destination node can redirect the
+  // workload to another node if it becomes busy." The node stays capable —
+  // it is overloaded, not dead.
+  if (destination_hosting(msg.node) &&
+      msg.utilization_percent >= nmdb_.thresholds(msg.node).c_max) {
+    ++redirects_;
+    replace_destination(msg.node, /*quarantine=*/false);
+  }
+}
+
+void DustManager::on_offload_ack(const OffloadAckMsg& msg) {
+  auto it = offloads_.find(msg.request_id);
+  if (it == offloads_.end()) return;
+  if (!msg.accepted) {
+    const graph::NodeId destination = it->second.destination;
+    offloads_.erase(it);  // erase first: hosting reflects remaining offloads
+    nmdb_.set_hosting(destination, destination_hosting(destination));
+    return;
+  }
+  it->second.acknowledged = true;
+  // Grace-stamp the keepalive clock so a just-acked destination is not
+  // declared dead before its first Keepalive crosses the transport.
+  sim::TimeMs& last = last_keepalive_[it->second.destination];
+  last = std::max(last, sim_->now());
+}
+
+void DustManager::on_keepalive(const KeepaliveMsg& msg) {
+  last_keepalive_[msg.node] = sim_->now();
+}
+
+std::size_t DustManager::run_placement_cycle() {
+  ++placement_cycles_;
+  // Plan against a reservation-adjusted view: capacity already booked on a
+  // destination is added to its utilization, so lagging STATs (which may
+  // not yet reflect freshly transferred agents) cannot lead to over-booking
+  // the same spare capacity in consecutive cycles. Conservative by design:
+  // once the destination's STAT does include the hosted load, the
+  // reservation double-counts it and the optimizer simply under-uses that
+  // node slightly.
+  Nmdb adjusted = nmdb_;
+  for (const auto& [id, offload] : offloads_) {
+    const double arriving = offload.amount *
+                            nmdb_.platform_factor(offload.busy) /
+                            nmdb_.platform_factor(offload.destination);
+    const double utilization =
+        adjusted.network().node_utilization(offload.destination) + arriving;
+    adjusted.network().set_node_utilization(
+        offload.destination, std::min(100.0, utilization));
+  }
+  const OptimizationEngine engine(config_.optimizer);
+  const PlacementResult result = engine.run(adjusted);
+  if (!result.optimal() && result.assignments.empty()) {
+    DUST_LOG_INFO << "manager: placement " << to_string(result.status)
+                  << ", nothing offloaded";
+    return 0;
+  }
+  // Resolve each assignment's controllable route for the request messages.
+  RouteOptions route_options;
+  route_options.max_hops = config_.optimizer.placement.max_hops;
+  const std::vector<ResolvedRoute> routes =
+      resolve_routes(nmdb_.network(), result.assignments, route_options);
+
+  std::size_t created = 0;
+  for (std::size_t index = 0; index < result.assignments.size(); ++index) {
+    const Assignment& assignment = result.assignments[index];
+    if (assignment.amount < config_.min_offload_amount_percent) continue;
+    // One relationship per (busy, destination) pair; refresh amount if the
+    // pair already exists.
+    bool exists = false;
+    for (auto& [id, offload] : offloads_) {
+      if (offload.busy == assignment.from &&
+          offload.destination == assignment.to) {
+        exists = true;
+        break;
+      }
+    }
+    if (exists) continue;
+    const double cs = nmdb_.thresholds(assignment.from)
+                          .excess_load(nmdb_.network().node_utilization(
+                              assignment.from));
+    const std::uint32_t total_agents = nmdb_.agent_count(assignment.from);
+    const auto agents_to_move = static_cast<std::uint32_t>(std::min<double>(
+        total_agents,
+        std::round(total_agents * (cs > 0 ? assignment.amount / cs : 0.0))));
+    ActiveOffload offload;
+    offload.request_id = next_request_id_++;
+    offload.busy = assignment.from;
+    offload.destination = assignment.to;
+    offload.amount = assignment.amount;
+    offload.agents = agents_to_move;
+    offload.route = routes[index].primary.nodes;
+    offloads_[offload.request_id] = offload;
+    nmdb_.set_hosting(assignment.to, true);
+
+    OffloadRequestMsg request{offload.request_id, assignment.from,
+                              assignment.to,      assignment.amount,
+                              agents_to_move,     {}};
+    request.route = routes[index].primary.nodes;
+    transport_->send(manager_endpoint(), client_endpoint(assignment.from),
+                     Message{request});
+    transport_->send(manager_endpoint(), client_endpoint(assignment.to),
+                     Message{request});
+    ++created;
+  }
+  DUST_LOG_INFO << "manager: placement cycle created " << created
+                << " offload(s), objective " << result.objective;
+  return created;
+}
+
+bool DustManager::destination_hosting(graph::NodeId node) const {
+  for (const auto& [id, offload] : offloads_)
+    if (offload.destination == node) return true;
+  return false;
+}
+
+void DustManager::release_offloads_of(graph::NodeId busy) {
+  std::vector<std::uint64_t> to_erase;
+  for (const auto& [id, offload] : offloads_) {
+    if (offload.busy != busy) continue;
+    transport_->send(manager_endpoint(), client_endpoint(busy),
+                     Message{ReleaseMsg{busy, offload.destination}});
+    transport_->send(manager_endpoint(), client_endpoint(offload.destination),
+                     Message{ReleaseMsg{busy, offload.destination}});
+    to_erase.push_back(id);
+  }
+  for (std::uint64_t id : to_erase) {
+    const graph::NodeId dest = offloads_[id].destination;
+    offloads_.erase(id);
+    nmdb_.set_hosting(dest, destination_hosting(dest));
+    ++releases_;
+  }
+}
+
+void DustManager::check_keepalives() {
+  // Destinations with live offloads must keepalive within the timeout.
+  std::vector<graph::NodeId> failed;
+  for (const auto& [id, offload] : offloads_) {
+    if (!offload.acknowledged) continue;  // transfer still in flight
+    const auto it = last_keepalive_.find(offload.destination);
+    const sim::TimeMs last = it == last_keepalive_.end() ? 0 : it->second;
+    if (sim_->now() - last > config_.keepalive_timeout_ms) {
+      if (std::find(failed.begin(), failed.end(), offload.destination) ==
+          failed.end())
+        failed.push_back(offload.destination);
+    }
+  }
+  for (graph::NodeId node : failed) {
+    ++keepalive_failures_;
+    replace_destination(node, /*quarantine=*/true);
+  }
+}
+
+void DustManager::replace_destination(graph::NodeId failed, bool quarantine) {
+  DUST_LOG_INFO << "manager: moving offloads off destination " << failed
+                << (quarantine ? " (keepalive failure)" : " (became busy)");
+  if (quarantine) nmdb_.set_offload_capable(failed, false);
+  nmdb_.set_hosting(failed, false);
+  // Collect the relationships to move.
+  std::vector<ActiveOffload> moved;
+  std::vector<std::uint64_t> to_erase;
+  for (const auto& [id, offload] : offloads_) {
+    if (offload.destination != failed) continue;
+    moved.push_back(offload);
+    to_erase.push_back(id);
+    // Tell the (possibly still alive) old destination to drop the hosted
+    // agents; harmless no-op when it is actually dead.
+    transport_->send(manager_endpoint(), client_endpoint(failed),
+                     Message{ReleaseMsg{offload.busy, failed}});
+  }
+  for (std::uint64_t id : to_erase) offloads_.erase(id);
+
+  // Pick replicas: nearest candidate (by hops) with spare capacity, net of
+  // capacity already booked by live relationships (same reservation rule as
+  // the placement cycle — lagging STATs must not cause over-booking).
+  std::map<graph::NodeId, double> booked;
+  for (const auto& [id, offload] : offloads_)
+    booked[offload.destination] += offload.amount *
+                                   nmdb_.platform_factor(offload.busy) /
+                                   nmdb_.platform_factor(offload.destination);
+  for (const ActiveOffload& old : moved) {
+    const std::vector<std::uint32_t> hops =
+        graph::bfs_hops(nmdb_.network().graph(), old.busy);
+    graph::NodeId best = graph::kInvalidNode;
+    std::uint32_t best_hops = graph::kUnreachable;
+    for (graph::NodeId candidate : nmdb_.candidate_nodes()) {
+      if (candidate == failed || candidate == old.busy) continue;
+      const double spare =
+          nmdb_.thresholds(candidate)
+              .spare_capacity(nmdb_.network().node_utilization(candidate)) -
+          booked[candidate];
+      if (spare < old.amount) continue;
+      if (hops[candidate] < best_hops) {
+        best_hops = hops[candidate];
+        best = candidate;
+      }
+    }
+    if (best == graph::kInvalidNode) {
+      DUST_LOG_WARN << "manager: no replica available for busy node "
+                    << old.busy;
+      continue;
+    }
+    booked[best] += old.amount * nmdb_.platform_factor(old.busy) /
+                    nmdb_.platform_factor(best);
+    ActiveOffload replacement = old;
+    replacement.request_id = next_request_id_++;
+    replacement.destination = best;
+    replacement.acknowledged = false;
+    // The old controllable route pointed at the dead destination; install
+    // the best hop-bounded route to the replica instead.
+    replacement.route =
+        graph::hop_bounded_path(nmdb_.network().graph(), old.busy, best,
+                                nmdb_.network().inverse_bandwidth_costs(),
+                                config_.optimizer.placement.max_hops)
+            .nodes;
+    offloads_[replacement.request_id] = replacement;
+    nmdb_.set_hosting(best, true);
+    transport_->send(
+        manager_endpoint(), client_endpoint(old.busy),
+        Message{RepMsg{failed, best, old.busy, replacement.request_id,
+                       old.amount}});
+  }
+}
+
+std::vector<ActiveOffload> DustManager::active_offloads() const {
+  std::vector<ActiveOffload> out;
+  out.reserve(offloads_.size());
+  for (const auto& [id, offload] : offloads_) out.push_back(offload);
+  return out;
+}
+
+}  // namespace dust::core

@@ -1,0 +1,111 @@
+// DUST-Manager: the decision node (paper §III-B, Fig. 3).
+//
+// Owns the NMDB, runs the optimization engine on a period, notifies busy
+// nodes and destinations with Offload-Request messages, tracks Keepalives
+// from hosting destinations, substitutes failed destinations with replicas
+// (REP), and releases offloads when a busy node's load recedes below Cmax.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+
+#include "core/messages.hpp"
+#include "core/nmdb.hpp"
+#include "core/optimizer.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/transport.hpp"
+
+namespace dust::core {
+
+struct ManagerConfig {
+  std::int64_t update_interval_ms = 60000;    ///< STAT interval sent in ACK
+  std::int64_t placement_period_ms = 60000;   ///< optimization cadence
+  std::int64_t keepalive_timeout_ms = 15000;  ///< destination declared dead
+  std::int64_t keepalive_check_period_ms = 5000;
+  /// Hysteresis: release offloads only when the busy node could re-absorb
+  /// them with this much headroom below Cmax (prevents offload/release
+  /// oscillation when the shed monitoring load is close to the excess).
+  double release_margin_percent = 5.0;
+  /// Assignments smaller than this (capacity-percent) are not worth a
+  /// relationship: skip them rather than move zero agents.
+  double min_offload_amount_percent = 1.0;
+  OptimizerOptions optimizer;
+};
+
+/// One live offload relationship.
+struct ActiveOffload {
+  std::uint64_t request_id = 0;
+  graph::NodeId busy = graph::kInvalidNode;
+  graph::NodeId destination = graph::kInvalidNode;
+  double amount = 0.0;
+  std::uint32_t agents = 0;
+  bool acknowledged = false;
+  /// Controllable route installed for this relationship (busy ... dest).
+  std::vector<graph::NodeId> route;
+};
+
+class DustManager {
+ public:
+  DustManager(sim::Simulator& sim, sim::Transport& transport, Nmdb nmdb,
+              ManagerConfig config);
+
+  /// Begin periodic placement and keepalive supervision.
+  void start();
+  void stop();
+
+  /// Run one placement cycle immediately (also called by the periodic task).
+  /// Returns the number of new offload relationships created.
+  std::size_t run_placement_cycle();
+
+  [[nodiscard]] Nmdb& nmdb() noexcept { return nmdb_; }
+  [[nodiscard]] const Nmdb& nmdb() const noexcept { return nmdb_; }
+
+  [[nodiscard]] std::size_t active_offload_count() const noexcept {
+    return offloads_.size();
+  }
+  [[nodiscard]] std::vector<ActiveOffload> active_offloads() const;
+  [[nodiscard]] std::size_t placement_cycles() const noexcept {
+    return placement_cycles_;
+  }
+  [[nodiscard]] std::size_t keepalive_failures() const noexcept {
+    return keepalive_failures_;
+  }
+  [[nodiscard]] std::size_t releases() const noexcept { return releases_; }
+  [[nodiscard]] std::size_t redirects() const noexcept { return redirects_; }
+  [[nodiscard]] std::size_t stats_received() const noexcept {
+    return stats_received_;
+  }
+
+ private:
+  void handle(const sim::Envelope& envelope);
+  void on_offload_capable(const OffloadCapableMsg& msg);
+  void on_stat(const StatMsg& msg);
+  void on_offload_ack(const OffloadAckMsg& msg);
+  void on_keepalive(const KeepaliveMsg& msg);
+  void check_keepalives();
+  void release_offloads_of(graph::NodeId busy);
+  /// Move all relationships off `node`. `quarantine` marks it non-capable
+  /// (keepalive death); without it the node stays eligible (it merely became
+  /// busy and redirects its hosted workload, §III-B).
+  void replace_destination(graph::NodeId node, bool quarantine);
+  [[nodiscard]] bool destination_hosting(graph::NodeId node) const;
+
+  sim::Simulator* sim_;
+  sim::Transport* transport_;
+  Nmdb nmdb_;
+  ManagerConfig config_;
+  std::uint64_t next_request_id_ = 1;
+  std::map<std::uint64_t, ActiveOffload> offloads_;
+  std::map<graph::NodeId, sim::TimeMs> last_keepalive_;
+  std::unique_ptr<sim::PeriodicTask> placement_task_;
+  std::unique_ptr<sim::PeriodicTask> keepalive_task_;
+  std::size_t placement_cycles_ = 0;
+  std::size_t keepalive_failures_ = 0;
+  std::size_t releases_ = 0;
+  std::size_t redirects_ = 0;
+  std::size_t stats_received_ = 0;
+};
+
+}  // namespace dust::core

@@ -1,0 +1,125 @@
+#include "core/multi_resource.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "solver/simplex.hpp"
+#include "util/timer.hpp"
+
+namespace dust::core {
+
+double MultiResourceProblem::total_excess() const {
+  double total = 0.0;
+  for (double v : cs_cpu) total += v;
+  return total;
+}
+
+MultiResourceProblem build_multi_resource_problem(
+    const Nmdb& nmdb, const std::vector<double>& memory_utilization_percent,
+    const std::vector<double>& memory_per_cpu_unit,
+    const MultiResourceOptions& options) {
+  if (memory_utilization_percent.size() != nmdb.node_count() ||
+      memory_per_cpu_unit.size() != nmdb.node_count())
+    throw std::invalid_argument(
+        "build_multi_resource_problem: per-node vector size mismatch");
+  const PlacementProblem base =
+      build_placement_problem(nmdb, options.placement);
+  MultiResourceProblem problem;
+  problem.busy = base.busy;
+  problem.candidates = base.candidates;
+  problem.cs_cpu = base.cs;
+  problem.cd_cpu = base.cd;
+  problem.trmin = base.trmin;
+  problem.mem_ratio.reserve(base.busy.size());
+  for (graph::NodeId b : base.busy) {
+    const double ratio = memory_per_cpu_unit[b];
+    if (ratio < 0)
+      throw std::invalid_argument("multi-resource: negative memory ratio");
+    problem.mem_ratio.push_back(ratio);
+  }
+  problem.cd_mem.reserve(base.candidates.size());
+  for (graph::NodeId o : base.candidates)
+    problem.cd_mem.push_back(
+        std::max(0.0, options.mem_co_max - memory_utilization_percent[o]));
+  return problem;
+}
+
+MultiResourceResult solve_multi_resource(const MultiResourceProblem& problem) {
+  MultiResourceResult result;
+  util::Timer timer;
+  const std::size_t m = problem.busy.size();
+  const std::size_t n = problem.candidates.size();
+  if (m == 0) {
+    result.status = solver::Status::kOptimal;
+    return result;
+  }
+  solver::LinearProgram lp;
+  for (std::size_t cell = 0; cell < m * n; ++cell) {
+    if (problem.trmin[cell] == solver::kInfinity)
+      lp.add_variable(0.0, 0.0, 0.0);
+    else
+      lp.add_variable(0.0, solver::kInfinity, problem.trmin[cell]);
+  }
+  for (std::size_t bi = 0; bi < m; ++bi) {
+    std::vector<std::pair<std::size_t, double>> terms;
+    for (std::size_t cj = 0; cj < n; ++cj) terms.emplace_back(bi * n + cj, 1.0);
+    lp.add_constraint(std::move(terms), solver::Sense::kEqual,
+                      problem.cs_cpu[bi]);
+  }
+  for (std::size_t cj = 0; cj < n; ++cj) {
+    std::vector<std::pair<std::size_t, double>> cpu_terms, mem_terms;
+    for (std::size_t bi = 0; bi < m; ++bi) {
+      cpu_terms.emplace_back(bi * n + cj, 1.0);
+      mem_terms.emplace_back(bi * n + cj, problem.mem_ratio[bi]);
+    }
+    lp.add_constraint(std::move(cpu_terms), solver::Sense::kLessEqual,
+                      problem.cd_cpu[cj]);
+    lp.add_constraint(std::move(mem_terms), solver::Sense::kLessEqual,
+                      problem.cd_mem[cj]);
+  }
+  const solver::Solution s = solver::solve_simplex(lp);
+  result.status = s.status;
+  if (s.optimal()) {
+    result.objective = s.objective;
+    for (std::size_t bi = 0; bi < m; ++bi) {
+      for (std::size_t cj = 0; cj < n; ++cj) {
+        const double amount = s.values[bi * n + cj];
+        if (amount <= 1e-9) continue;
+        result.assignments.push_back(Assignment{problem.busy[bi],
+                                                problem.candidates[cj], amount,
+                                                problem.trmin[bi * n + cj]});
+      }
+    }
+  }
+  result.solve_seconds = timer.seconds();
+  return result;
+}
+
+double multi_resource_violation(const MultiResourceProblem& problem,
+                                const MultiResourceResult& result) {
+  const std::size_t m = problem.busy.size();
+  const std::size_t n = problem.candidates.size();
+  double worst = 0.0;
+  std::vector<double> shipped(m, 0.0), cpu(n, 0.0), mem(n, 0.0);
+  for (const Assignment& a : result.assignments) {
+    if (a.amount < 0) worst = std::max(worst, -a.amount);
+    for (std::size_t bi = 0; bi < m; ++bi) {
+      if (problem.busy[bi] != a.from) continue;
+      shipped[bi] += a.amount;
+      for (std::size_t cj = 0; cj < n; ++cj) {
+        if (problem.candidates[cj] != a.to) continue;
+        cpu[cj] += a.amount;
+        mem[cj] += a.amount * problem.mem_ratio[bi];
+      }
+    }
+  }
+  for (std::size_t bi = 0; bi < m; ++bi)
+    worst = std::max(worst, std::abs(shipped[bi] - problem.cs_cpu[bi]));
+  for (std::size_t cj = 0; cj < n; ++cj) {
+    worst = std::max(worst, cpu[cj] - problem.cd_cpu[cj]);
+    worst = std::max(worst, mem[cj] - problem.cd_mem[cj]);
+  }
+  return worst;
+}
+
+}  // namespace dust::core

@@ -1,0 +1,63 @@
+// Multi-resource placement (extension).
+//
+// The paper's evaluation tracks *both* CPU and memory (Fig. 6) but the
+// placement model (Eq. 3) is single-resource. Moving a monitoring agent in
+// reality ships a coupled bundle: x CPU-percent plus mem_ratio * x memory.
+// This module extends the model with a per-destination memory capacity row:
+//
+//   min β = Σ x_ij · Trmin(i,j)
+//   s.t.  Σ_i x_ij             ≤ CdCpu_j   ∀j      (CPU capacity)
+//         Σ_i mem_ratio_i x_ij ≤ CdMem_j   ∀j      (memory capacity)
+//         Σ_j x_ij             = Cs_i      ∀i      (shed everything)
+//
+// Still an LP; solved with the general simplex. With all memory rows slack
+// it reduces exactly to the paper's model (tested).
+#pragma once
+
+#include "core/placement.hpp"
+
+namespace dust::core {
+
+struct MultiResourceProblem {
+  std::vector<graph::NodeId> busy;
+  std::vector<graph::NodeId> candidates;
+  std::vector<double> cs_cpu;     ///< per busy node, capacity-percent
+  std::vector<double> mem_ratio;  ///< per busy node: memory shipped per unit CPU
+  std::vector<double> cd_cpu;     ///< per candidate
+  std::vector<double> cd_mem;     ///< per candidate, memory-percent
+  std::vector<double> trmin;      ///< row-major busy x candidates
+
+  [[nodiscard]] double total_excess() const;
+};
+
+struct MultiResourceOptions {
+  PlacementOptions placement;
+  /// Memory-side thresholds (percent), mirroring Cmax/COmax for CPU.
+  double mem_co_max = 80.0;
+};
+
+/// Build from the NMDB (CPU side) plus explicit per-node memory utilization
+/// (percent) and per-busy-node memory ratios.
+MultiResourceProblem build_multi_resource_problem(
+    const Nmdb& nmdb, const std::vector<double>& memory_utilization_percent,
+    const std::vector<double>& memory_per_cpu_unit,
+    const MultiResourceOptions& options);
+
+struct MultiResourceResult {
+  solver::Status status = solver::Status::kInfeasible;
+  double objective = 0.0;
+  std::vector<Assignment> assignments;
+  double solve_seconds = 0.0;
+
+  [[nodiscard]] bool optimal() const noexcept {
+    return status == solver::Status::kOptimal;
+  }
+};
+
+MultiResourceResult solve_multi_resource(const MultiResourceProblem& problem);
+
+/// Max violation of the CPU/memory capacity and supply rows (0 = feasible).
+double multi_resource_violation(const MultiResourceProblem& problem,
+                                const MultiResourceResult& result);
+
+}  // namespace dust::core

@@ -1,0 +1,105 @@
+#include "core/nmdb.hpp"
+
+namespace dust::core {
+
+Nmdb::Nmdb(net::NetworkState state, Thresholds defaults)
+    : state_(std::move(state)),
+      defaults_(defaults),
+      overrides_(state_.node_count()),
+      capable_(state_.node_count(), 1),
+      hosting_(state_.node_count(), 0),
+      agents_(state_.node_count(), 0),
+      platform_factor_(state_.node_count(), 1.0) {
+  defaults_.validate();
+}
+
+void Nmdb::set_platform_factor(graph::NodeId node, double factor) {
+  if (factor <= 0.0)
+    throw std::invalid_argument("Nmdb: platform factor must be positive");
+  platform_factor_.at(node) = factor;
+}
+
+double Nmdb::platform_factor(graph::NodeId node) const {
+  return platform_factor_.at(node);
+}
+
+bool Nmdb::homogeneous() const noexcept {
+  for (double f : platform_factor_)
+    if (f != 1.0) return false;
+  return true;
+}
+
+void Nmdb::set_thresholds(graph::NodeId node, const Thresholds& thresholds) {
+  thresholds.validate();
+  overrides_.at(node) = thresholds;
+}
+
+const Thresholds& Nmdb::thresholds(graph::NodeId node) const {
+  const std::optional<Thresholds>& override = overrides_.at(node);
+  return override ? *override : defaults_;
+}
+
+void Nmdb::set_offload_capable(graph::NodeId node, bool capable) {
+  capable_.at(node) = capable ? 1 : 0;
+}
+
+bool Nmdb::offload_capable(graph::NodeId node) const {
+  return capable_.at(node) != 0;
+}
+
+void Nmdb::record_stat(graph::NodeId node, double utilization_percent,
+                       double monitoring_data_mb, std::uint32_t agent_count) {
+  state_.set_node_utilization(node, utilization_percent);
+  state_.set_monitoring_data_mb(node, monitoring_data_mb);
+  agents_.at(node) = agent_count;
+}
+
+std::uint32_t Nmdb::agent_count(graph::NodeId node) const {
+  return agents_.at(node);
+}
+
+NodeRole Nmdb::role(graph::NodeId node) const {
+  if (!offload_capable(node)) return NodeRole::kNoneOffloading;
+  const NodeRole base = thresholds(node).classify(state_.node_utilization(node));
+  if (base == NodeRole::kOffloadCandidate && hosting_.at(node))
+    return NodeRole::kOffloadDestination;
+  return base;
+}
+
+void Nmdb::set_hosting(graph::NodeId node, bool hosting) {
+  hosting_.at(node) = hosting ? 1 : 0;
+}
+
+std::vector<graph::NodeId> Nmdb::busy_nodes() const {
+  std::vector<graph::NodeId> out;
+  for (graph::NodeId v = 0; v < state_.node_count(); ++v)
+    if (offload_capable(v) &&
+        thresholds(v).classify(state_.node_utilization(v)) == NodeRole::kBusy)
+      out.push_back(v);
+  return out;
+}
+
+std::vector<graph::NodeId> Nmdb::candidate_nodes() const {
+  std::vector<graph::NodeId> out;
+  for (graph::NodeId v = 0; v < state_.node_count(); ++v)
+    if (offload_capable(v) && thresholds(v).classify(state_.node_utilization(v)) ==
+                                  NodeRole::kOffloadCandidate)
+      out.push_back(v);
+  return out;
+}
+
+double Nmdb::total_excess() const {
+  double total = 0.0;
+  for (graph::NodeId v : busy_nodes())
+    total += thresholds(v).excess_load(state_.node_utilization(v));
+  return total;
+}
+
+double Nmdb::total_spare() const {
+  double total = 0.0;
+  for (graph::NodeId v : candidate_nodes())
+    total += thresholds(v).spare_capacity(state_.node_utilization(v));
+  return total;
+}
+
+}  // namespace dust::core

@@ -1,0 +1,75 @@
+// Network Monitoring Data Base (NMDB) — the DUST-Manager's view of the
+// network (§III-B): topology, link utilization, per-node resource
+// utilization, offload capability, thresholds, and monitoring-agent counts.
+// STAT messages update it; the optimization engine reads it.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "core/types.hpp"
+#include "net/network_state.hpp"
+
+namespace dust::core {
+
+class Nmdb {
+ public:
+  Nmdb(net::NetworkState state, Thresholds defaults);
+
+  [[nodiscard]] const net::NetworkState& network() const noexcept {
+    return state_;
+  }
+  [[nodiscard]] net::NetworkState& network() noexcept { return state_; }
+  [[nodiscard]] std::size_t node_count() const noexcept {
+    return state_.node_count();
+  }
+  [[nodiscard]] const Thresholds& default_thresholds() const noexcept {
+    return defaults_;
+  }
+
+  /// Per-node threshold override (heterogeneous personas, §IV-A).
+  void set_thresholds(graph::NodeId node, const Thresholds& thresholds);
+  [[nodiscard]] const Thresholds& thresholds(graph::NodeId node) const;
+
+  /// Offload-capable handshake result ('1' participates, '0' opts out).
+  void set_offload_capable(graph::NodeId node, bool capable);
+  [[nodiscard]] bool offload_capable(graph::NodeId node) const;
+
+  /// Platform capacity factor (paper §IV-A: the homogeneity assumption "can
+  /// be adjusted with a coefficient factor relating two endpoint platform
+  /// capacities"). A node with factor 2 absorbs a unit of another node's
+  /// load using half of its own capacity. Default 1 (homogeneous).
+  void set_platform_factor(graph::NodeId node, double factor);
+  [[nodiscard]] double platform_factor(graph::NodeId node) const;
+  [[nodiscard]] bool homogeneous() const noexcept;
+
+  /// STAT update: current utilized capacity and monitoring state.
+  void record_stat(graph::NodeId node, double utilization_percent,
+                   double monitoring_data_mb, std::uint32_t agent_count);
+  [[nodiscard]] std::uint32_t agent_count(graph::NodeId node) const;
+
+  /// Role of a node under current utilization (opt-outs are kNoneOffloading;
+  /// nodes currently hosting offloaded work report kOffloadDestination).
+  [[nodiscard]] NodeRole role(graph::NodeId node) const;
+  void set_hosting(graph::NodeId node, bool hosting);
+
+  /// V_b: offload-capable nodes with C_i >= Cmax.
+  [[nodiscard]] std::vector<graph::NodeId> busy_nodes() const;
+  /// V_o: offload-capable nodes with C_j <= COmax. Busy nodes never qualify.
+  [[nodiscard]] std::vector<graph::NodeId> candidate_nodes() const;
+
+  /// Total load to shed / capacity available (the paper's Cs and Cd).
+  [[nodiscard]] double total_excess() const;
+  [[nodiscard]] double total_spare() const;
+
+ private:
+  net::NetworkState state_;
+  Thresholds defaults_;
+  std::vector<std::optional<Thresholds>> overrides_;
+  std::vector<char> capable_;
+  std::vector<char> hosting_;
+  std::vector<std::uint32_t> agents_;
+  std::vector<double> platform_factor_;
+};
+
+}  // namespace dust::core

@@ -1,0 +1,51 @@
+#include "core/nms.hpp"
+
+#include <stdexcept>
+
+#include "util/log.hpp"
+
+namespace dust::core {
+
+void NetworkMonitorService::watch_node(graph::NodeId node,
+                                       const telemetry::Tsdb* db,
+                                       telemetry::AlertRule rule) {
+  if (db == nullptr)
+    throw std::invalid_argument("NetworkMonitorService: null TSDB");
+  Watch& watch = watches_[node];
+  watch.db = db;
+  watch.engine.add_rule(std::move(rule));
+}
+
+std::size_t NetworkMonitorService::trigger_manual() {
+  ++triggers_;
+  return manager_->run_placement_cycle();
+}
+
+std::size_t NetworkMonitorService::evaluate(std::int64_t now_ms) {
+  bool fired = false;
+  for (auto& [node, watch] : watches_) {
+    const std::size_t history_before = watch.engine.history().size();
+    watch.engine.evaluate(*watch.db, now_ms);
+    for (std::size_t i = history_before; i < watch.engine.history().size();
+         ++i) {
+      if (watch.engine.history()[i].to == telemetry::AlertState::kFiring) {
+        DUST_LOG_INFO << "nms: rule '" << watch.engine.history()[i].rule
+                      << "' firing on node " << node
+                      << ", triggering placement";
+        fired = true;
+      }
+    }
+  }
+  if (!fired) return 0;
+  ++triggers_;
+  return manager_->run_placement_cycle();
+}
+
+telemetry::AlertState NetworkMonitorService::state(graph::NodeId node) const {
+  const auto it = watches_.find(node);
+  if (it == watches_.end() || it->second.engine.rule_count() == 0)
+    throw std::out_of_range("NetworkMonitorService: node not watched");
+  return it->second.engine.state(0);
+}
+
+}  // namespace dust::core

@@ -1,0 +1,54 @@
+// Network Monitor Service (NMS) — Fig. 2's trigger box.
+//
+// "Our 'Network Monitor Service' can initiate network monitoring either
+// based on user input or through automated triggers." The NMS watches
+// per-node TSDBs through alert rules; when a watched rule transitions to
+// Firing it kicks the DUST-Manager into an immediate placement cycle
+// instead of waiting for the next periodic run.
+#pragma once
+
+#include <map>
+
+#include "core/manager.hpp"
+#include "telemetry/alerts.hpp"
+
+namespace dust::core {
+
+class NetworkMonitorService {
+ public:
+  explicit NetworkMonitorService(DustManager& manager) : manager_(&manager) {}
+
+  /// Watch `db` (non-owning) with `rule`; a Firing transition triggers
+  /// placement. One AlertEngine per watched node.
+  void watch_node(graph::NodeId node, const telemetry::Tsdb* db,
+                  telemetry::AlertRule rule);
+
+  [[nodiscard]] std::size_t watched_count() const noexcept {
+    return watches_.size();
+  }
+
+  /// User-input trigger (§III-A): run a placement cycle now.
+  /// Returns offload relationships created.
+  std::size_t trigger_manual();
+
+  /// Evaluate every watched node's rules at `now_ms`; any rule newly firing
+  /// triggers one placement cycle (at most one per evaluate call, however
+  /// many rules fired). Returns offloads created (0 if nothing fired).
+  std::size_t evaluate(std::int64_t now_ms);
+
+  [[nodiscard]] std::size_t triggers() const noexcept { return triggers_; }
+  /// Alert state of a node's first watched rule (for tests/inspection).
+  [[nodiscard]] telemetry::AlertState state(graph::NodeId node) const;
+
+ private:
+  struct Watch {
+    const telemetry::Tsdb* db = nullptr;
+    telemetry::AlertEngine engine;
+  };
+
+  DustManager* manager_;
+  std::map<graph::NodeId, Watch> watches_;
+  std::size_t triggers_ = 0;
+};
+
+}  // namespace dust::core

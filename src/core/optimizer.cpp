@@ -1,0 +1,275 @@
+#include "core/optimizer.hpp"
+
+#include <cmath>
+
+#include "solver/branch_and_bound.hpp"
+#include "solver/min_cost_flow.hpp"
+#include "solver/simplex.hpp"
+#include "solver/transportation.hpp"
+#include "util/timer.hpp"
+
+namespace dust::core {
+
+namespace {
+
+constexpr double kAmountEps = 1e-9;
+
+solver::TransportationProblem to_transportation(const PlacementProblem& p) {
+  solver::TransportationProblem t;
+  t.supply = p.cs;
+  t.capacity = p.cd;
+  t.cost = p.trmin;
+  return t;
+}
+
+void extract_assignments(const PlacementProblem& problem,
+                         const std::vector<double>& flow,
+                         PlacementResult& result) {
+  const std::size_t n = problem.candidates.size();
+  for (std::size_t bi = 0; bi < problem.busy.size(); ++bi) {
+    for (std::size_t cj = 0; cj < n; ++cj) {
+      const double amount = flow[bi * n + cj];
+      if (amount <= kAmountEps) continue;
+      result.assignments.push_back(Assignment{
+          problem.busy[bi], problem.candidates[cj], amount,
+          problem.trmin[bi * n + cj]});
+    }
+  }
+}
+
+// Generalized (heterogeneous) model: capacity rows carry the platform
+// coefficient f_i / f_j. No longer a pure transportation problem, so it is
+// solved with the general simplex regardless of the configured backend.
+solver::LinearProgram to_general_lp(const PlacementProblem& p,
+                                    bool supply_equality) {
+  const std::size_t m = p.busy.size();
+  const std::size_t n = p.candidates.size();
+  solver::LinearProgram lp;
+  for (std::size_t cell = 0; cell < m * n; ++cell) {
+    if (p.trmin[cell] == solver::kInfinity)
+      lp.add_variable(0.0, 0.0, 0.0);
+    else
+      lp.add_variable(0.0, solver::kInfinity, p.trmin[cell]);
+  }
+  for (std::size_t bi = 0; bi < m; ++bi) {
+    std::vector<std::pair<std::size_t, double>> terms;
+    for (std::size_t cj = 0; cj < n; ++cj) terms.emplace_back(bi * n + cj, 1.0);
+    lp.add_constraint(std::move(terms),
+                      supply_equality ? solver::Sense::kEqual
+                                      : solver::Sense::kLessEqual,
+                      p.cs[bi]);
+  }
+  for (std::size_t cj = 0; cj < n; ++cj) {
+    std::vector<std::pair<std::size_t, double>> terms;
+    for (std::size_t bi = 0; bi < m; ++bi)
+      terms.emplace_back(bi * n + cj, p.capacity_coefficient(bi, cj));
+    lp.add_constraint(std::move(terms), solver::Sense::kLessEqual, p.cd[cj]);
+  }
+  return lp;
+}
+
+PlacementResult solve_heterogeneous_exact(const PlacementProblem& problem) {
+  PlacementResult result;
+  util::Timer timer;
+  const solver::LinearProgram lp = to_general_lp(problem, true);
+  const solver::Solution s = solver::solve_simplex(lp);
+  result.status = s.status;
+  result.solver_iterations = s.iterations;
+  if (s.optimal()) {
+    result.objective = s.objective;
+    extract_assignments(problem, s.values, result);
+  }
+  result.solve_seconds = timer.seconds();
+  return result;
+}
+
+PlacementResult solve_heterogeneous_partial(const PlacementProblem& problem) {
+  // Phase 1: maximize shipped load; phase 2: minimum cost at that level.
+  PlacementResult result;
+  util::Timer timer;
+  const std::size_t total_vars = problem.busy.size() * problem.candidates.size();
+  solver::LinearProgram max_ship = to_general_lp(problem, false);
+  {
+    // Overwrite objective: maximize Σ x == minimize -Σ x.
+    solver::LinearProgram rebuilt;
+    for (std::size_t v = 0; v < max_ship.variable_count(); ++v) {
+      const solver::Variable& var = max_ship.variable(v);
+      rebuilt.add_variable(var.lower, var.upper, -1.0);
+    }
+    for (std::size_t c = 0; c < max_ship.constraint_count(); ++c)
+      rebuilt.add_constraint(max_ship.constraint(c));
+    max_ship = std::move(rebuilt);
+  }
+  const solver::Solution ship = solver::solve_simplex(max_ship);
+  if (!ship.optimal()) {
+    result.status = ship.status;
+    result.solve_seconds = timer.seconds();
+    return result;
+  }
+  const double shipped = -ship.objective;
+  solver::LinearProgram min_cost = to_general_lp(problem, false);
+  std::vector<std::pair<std::size_t, double>> all;
+  for (std::size_t v = 0; v < total_vars; ++v) all.emplace_back(v, 1.0);
+  // Slight slack keeps the pinned total numerically feasible.
+  min_cost.add_constraint(std::move(all), solver::Sense::kGreaterEqual,
+                          shipped * (1.0 - 1e-9) - 1e-9);
+  const solver::Solution s = solver::solve_simplex(min_cost);
+  result.status = s.status;
+  result.solver_iterations = ship.iterations + s.iterations;
+  if (s.optimal()) {
+    result.objective = s.objective;
+    extract_assignments(problem, s.values, result);
+    result.unplaced = std::max(0.0, problem.total_excess() - shipped);
+  }
+  result.solve_seconds = timer.seconds();
+  return result;
+}
+
+}  // namespace
+
+const char* to_string(SolverBackend backend) noexcept {
+  switch (backend) {
+    case SolverBackend::kTransportation: return "transportation";
+    case SolverBackend::kSimplex: return "simplex";
+    case SolverBackend::kMinCostFlow: return "min-cost-flow";
+    case SolverBackend::kBranchAndBound: return "branch-and-bound";
+  }
+  return "?";
+}
+
+PlacementResult OptimizationEngine::run(const Nmdb& nmdb) const {
+  util::Timer build_timer;
+  const PlacementProblem problem =
+      build_placement_problem(nmdb, options_.placement);
+  const double build_seconds = build_timer.seconds();
+  PlacementResult result = solve(problem);
+  result.build_seconds = build_seconds;
+  return result;
+}
+
+PlacementResult OptimizationEngine::solve(const PlacementProblem& problem) const {
+  PlacementResult result = solve_exact(problem);
+  if (result.status == solver::Status::kInfeasible && options_.allow_partial) {
+    PlacementResult partial = solve_partial(problem);
+    partial.paths_explored = problem.paths_explored;
+    return partial;
+  }
+  result.paths_explored = problem.paths_explored;
+  return result;
+}
+
+PlacementResult OptimizationEngine::solve_exact(
+    const PlacementProblem& problem) const {
+  if (problem.heterogeneous()) return solve_heterogeneous_exact(problem);
+  PlacementResult result;
+  util::Timer timer;
+  switch (options_.backend) {
+    case SolverBackend::kTransportation: {
+      const solver::TransportationResult t =
+          solver::solve_transportation(to_transportation(problem));
+      result.status = t.status;
+      result.solver_iterations = t.iterations;
+      if (t.optimal()) {
+        result.objective = t.objective;
+        extract_assignments(problem, t.flow, result);
+      }
+      break;
+    }
+    case SolverBackend::kSimplex: {
+      const solver::LinearProgram lp =
+          solver::to_linear_program(to_transportation(problem));
+      const solver::Solution s = solver::solve_simplex(lp);
+      result.status = s.status;
+      result.solver_iterations = s.iterations;
+      if (s.optimal()) {
+        result.objective = s.objective;
+        extract_assignments(problem, s.values, result);
+      }
+      break;
+    }
+    case SolverBackend::kBranchAndBound: {
+      const solver::LinearProgram lp =
+          solver::to_linear_program(to_transportation(problem));
+      const solver::Solution s = solver::solve_branch_and_bound(lp);
+      result.status = s.status;
+      result.solver_iterations = s.iterations;
+      if (s.optimal()) {
+        result.objective = s.objective;
+        extract_assignments(problem, s.values, result);
+      }
+      break;
+    }
+    case SolverBackend::kMinCostFlow: {
+      // Exact solve via MCMF: feasible iff max-flow == ΣCs over finite arcs.
+      const std::size_t m = problem.busy.size();
+      const std::size_t n = problem.candidates.size();
+      solver::MinCostFlow mcf(m + n + 2);
+      const std::size_t source = m + n;
+      const std::size_t sink = m + n + 1;
+      for (std::size_t bi = 0; bi < m; ++bi)
+        mcf.add_arc(source, bi, problem.cs[bi], 0.0);
+      std::vector<std::size_t> arc_of(m * n, static_cast<std::size_t>(-1));
+      for (std::size_t bi = 0; bi < m; ++bi)
+        for (std::size_t cj = 0; cj < n; ++cj)
+          if (problem.trmin[bi * n + cj] != solver::kInfinity)
+            arc_of[bi * n + cj] = mcf.add_arc(bi, m + cj, solver::kInfinity,
+                                              problem.trmin[bi * n + cj]);
+      for (std::size_t cj = 0; cj < n; ++cj)
+        mcf.add_arc(m + cj, sink, problem.cd[cj], 0.0);
+      const solver::MinCostFlow::FlowResult f = mcf.solve(source, sink);
+      result.solver_iterations = f.augmentations;
+      if (f.max_flow + 1e-6 < problem.total_excess()) {
+        result.status = solver::Status::kInfeasible;
+        break;
+      }
+      result.status = solver::Status::kOptimal;
+      result.objective = f.total_cost;
+      std::vector<double> flow(m * n, 0.0);
+      for (std::size_t cell = 0; cell < m * n; ++cell)
+        if (arc_of[cell] != static_cast<std::size_t>(-1))
+          flow[cell] = mcf.arc_flow(arc_of[cell]);
+      extract_assignments(problem, flow, result);
+      break;
+    }
+  }
+  result.solve_seconds = timer.seconds();
+  return result;
+}
+
+PlacementResult OptimizationEngine::solve_partial(
+    const PlacementProblem& problem) const {
+  if (problem.heterogeneous()) return solve_heterogeneous_partial(problem);
+  // Min-cost max-offload: ship as much of ΣCs as the reachable capacity
+  // allows, at minimum cost; the remainder is reported as unplaced.
+  PlacementResult result;
+  util::Timer timer;
+  const std::size_t m = problem.busy.size();
+  const std::size_t n = problem.candidates.size();
+  solver::MinCostFlow mcf(m + n + 2);
+  const std::size_t source = m + n;
+  const std::size_t sink = m + n + 1;
+  for (std::size_t bi = 0; bi < m; ++bi)
+    mcf.add_arc(source, bi, problem.cs[bi], 0.0);
+  std::vector<std::size_t> arc_of(m * n, static_cast<std::size_t>(-1));
+  for (std::size_t bi = 0; bi < m; ++bi)
+    for (std::size_t cj = 0; cj < n; ++cj)
+      if (problem.trmin[bi * n + cj] != solver::kInfinity)
+        arc_of[bi * n + cj] = mcf.add_arc(bi, m + cj, solver::kInfinity,
+                                          problem.trmin[bi * n + cj]);
+  for (std::size_t cj = 0; cj < n; ++cj)
+    mcf.add_arc(m + cj, sink, problem.cd[cj], 0.0);
+  const solver::MinCostFlow::FlowResult f = mcf.solve(source, sink);
+  result.solver_iterations = f.augmentations;
+  result.status = solver::Status::kOptimal;
+  result.objective = f.total_cost;
+  result.unplaced = std::max(0.0, problem.total_excess() - f.max_flow);
+  std::vector<double> flow(m * n, 0.0);
+  for (std::size_t cell = 0; cell < m * n; ++cell)
+    if (arc_of[cell] != static_cast<std::size_t>(-1))
+      flow[cell] = mcf.arc_flow(arc_of[cell]);
+  extract_assignments(problem, flow, result);
+  result.solve_seconds = timer.seconds();
+  return result;
+}
+
+}  // namespace dust::core

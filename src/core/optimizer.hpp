@@ -1,0 +1,50 @@
+// Optimization engine: solves the placement model (paper Eq. 3) with a
+// choice of exact backends, plus a partial-offload fallback for infeasible
+// instances (documented extension — the paper reports such instances as
+// "infeasible optimization", Fig. 7).
+#pragma once
+
+#include "core/placement.hpp"
+
+namespace dust::core {
+
+enum class SolverBackend {
+  kTransportation,  ///< dedicated transportation simplex (default, fastest)
+  kSimplex,         ///< general two-phase simplex on the LP form
+  kMinCostFlow,     ///< successive-shortest-paths on the bipartite graph
+  kBranchAndBound,  ///< MILP path (identical result; model is continuous)
+};
+
+[[nodiscard]] const char* to_string(SolverBackend backend) noexcept;
+
+struct OptimizerOptions {
+  PlacementOptions placement;
+  SolverBackend backend = SolverBackend::kTransportation;
+  /// If the exact model is infeasible (ΣCs > reachable ΣCd), fall back to a
+  /// min-cost max-offload solve and report the remainder in `unplaced`.
+  bool allow_partial = false;
+};
+
+class OptimizationEngine {
+ public:
+  explicit OptimizationEngine(OptimizerOptions options = {})
+      : options_(options) {}
+
+  [[nodiscard]] const OptimizerOptions& options() const noexcept {
+    return options_;
+  }
+
+  /// Build the model from the NMDB snapshot and solve it.
+  [[nodiscard]] PlacementResult run(const Nmdb& nmdb) const;
+
+  /// Solve an already-built model (timing excludes the build phase).
+  [[nodiscard]] PlacementResult solve(const PlacementProblem& problem) const;
+
+ private:
+  [[nodiscard]] PlacementResult solve_exact(const PlacementProblem& problem) const;
+  [[nodiscard]] PlacementResult solve_partial(const PlacementProblem& problem) const;
+
+  OptimizerOptions options_;
+};
+
+}  // namespace dust::core

@@ -1,0 +1,156 @@
+#include "core/placement.hpp"
+
+#include <algorithm>
+#include <atomic>
+
+#include "util/thread_pool.hpp"
+
+namespace dust::core {
+
+double PlacementProblem::total_excess() const {
+  double total = 0.0;
+  for (double v : cs) total += v;
+  return total;
+}
+
+bool PlacementProblem::heterogeneous() const noexcept {
+  for (double f : busy_factor)
+    if (f != 1.0) return true;
+  for (double f : candidate_factor)
+    if (f != 1.0) return true;
+  return false;
+}
+
+double PlacementProblem::total_spare() const {
+  double total = 0.0;
+  for (double v : cd) total += v;
+  return total;
+}
+
+PlacementProblem build_placement_problem(const Nmdb& nmdb,
+                                         const PlacementOptions& options) {
+  PlacementProblem problem;
+  problem.busy = nmdb.busy_nodes();
+  problem.candidates = nmdb.candidate_nodes();
+  const net::NetworkState& net = nmdb.network();
+
+  problem.cs.reserve(problem.busy.size());
+  for (graph::NodeId b : problem.busy)
+    problem.cs.push_back(
+        nmdb.thresholds(b).excess_load(net.node_utilization(b)));
+  problem.cd.reserve(problem.candidates.size());
+  for (graph::NodeId o : problem.candidates)
+    problem.cd.push_back(
+        nmdb.thresholds(o).spare_capacity(net.node_utilization(o)));
+  problem.busy_factor.reserve(problem.busy.size());
+  for (graph::NodeId b : problem.busy)
+    problem.busy_factor.push_back(nmdb.platform_factor(b));
+  problem.candidate_factor.reserve(problem.candidates.size());
+  for (graph::NodeId o : problem.candidates)
+    problem.candidate_factor.push_back(nmdb.platform_factor(o));
+
+  problem.trmin.assign(problem.busy.size() * problem.candidates.size(),
+                       solver::kInfinity);
+  if (problem.busy.empty() || problem.candidates.empty()) return problem;
+
+  net::ResponseTimeOptions rt;
+  rt.max_hops = options.max_hops;
+  rt.mode = options.evaluator;
+  rt.max_paths_per_source = options.max_paths_per_source;
+
+  std::atomic<std::size_t> total_work{0};
+  std::atomic<bool> truncated{false};
+  auto fill_row = [&](std::size_t bi) {
+    const graph::NodeId source = problem.busy[bi];
+    const net::ResponseTimeResult result = net::min_response_times(
+        net, source, net.monitoring_data_mb(source), rt);
+    for (std::size_t cj = 0; cj < problem.candidates.size(); ++cj) {
+      const double t = result.trmin_seconds[problem.candidates[cj]];
+      problem.trmin[bi * problem.candidates.size() + cj] =
+          t == graph::kInfiniteCost ? solver::kInfinity : t;
+    }
+    total_work += result.work;
+    if (result.truncated) truncated = true;
+  };
+  if (options.parallel_trmin && problem.busy.size() > 1) {
+    util::global_pool().parallel_for(problem.busy.size(), fill_row);
+  } else {
+    for (std::size_t bi = 0; bi < problem.busy.size(); ++bi) fill_row(bi);
+  }
+  problem.paths_explored = total_work;
+  problem.truncated = truncated;
+  return problem;
+}
+
+double PlacementResult::offloaded_total() const {
+  double total = 0.0;
+  for (const Assignment& a : assignments) total += a.amount;
+  return total;
+}
+
+double PlacementResult::offloaded_from(graph::NodeId node) const {
+  double total = 0.0;
+  for (const Assignment& a : assignments)
+    if (a.from == node) total += a.amount;
+  return total;
+}
+
+double PlacementResult::absorbed_by(graph::NodeId node) const {
+  double total = 0.0;
+  for (const Assignment& a : assignments)
+    if (a.to == node) total += a.amount;
+  return total;
+}
+
+void apply_assignments(Nmdb& nmdb, std::span<const Assignment> plan) {
+  net::NetworkState& state = nmdb.network();
+  for (const Assignment& a : plan) {
+    const double origin =
+        state.node_utilization(a.from) - a.amount;
+    const double arriving = a.amount * nmdb.platform_factor(a.from) /
+                            nmdb.platform_factor(a.to);
+    const double destination = state.node_utilization(a.to) + arriving;
+    state.set_node_utilization(a.from, std::clamp(origin, 0.0, 100.0));
+    state.set_node_utilization(a.to, std::clamp(destination, 0.0, 100.0));
+  }
+}
+
+double placement_violation(const PlacementProblem& problem,
+                           const PlacementResult& result) {
+  double worst = 0.0;
+  // 3b: every busy node sheds exactly Cs_i (>= for partial solves is checked
+  // against unplaced separately — here we compare to Cs_i - unplaced share).
+  for (std::size_t bi = 0; bi < problem.busy.size(); ++bi) {
+    const double shipped = result.offloaded_from(problem.busy[bi]);
+    if (shipped > problem.cs[bi])
+      worst = std::max(worst, shipped - problem.cs[bi]);
+  }
+  const double total_shortfall =
+      problem.total_excess() - result.offloaded_total();
+  worst = std::max(worst, std::abs(total_shortfall - result.unplaced));
+  // 3a: destinations never exceed Cd_j (factor-weighted when heterogeneous).
+  for (std::size_t cj = 0; cj < problem.candidates.size(); ++cj) {
+    double absorbed = 0.0;
+    for (const Assignment& a : result.assignments) {
+      if (a.to != problem.candidates[cj]) continue;
+      // Find the busy row to apply its factor.
+      for (std::size_t bi = 0; bi < problem.busy.size(); ++bi) {
+        if (problem.busy[bi] == a.from) {
+          absorbed += a.amount * problem.capacity_coefficient(bi, cj);
+          break;
+        }
+      }
+    }
+    if (absorbed > problem.cd[cj])
+      worst = std::max(worst, absorbed - problem.cd[cj]);
+  }
+  // No flow on forbidden (unreachable) pairs.
+  for (const Assignment& a : result.assignments) {
+    if (a.amount < 0) worst = std::max(worst, -a.amount);
+    if (a.trmin_seconds == solver::kInfinity && a.amount > 0)
+      worst = std::max(worst, a.amount);
+  }
+  return worst;
+}
+
+}  // namespace dust::core

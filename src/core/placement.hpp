@@ -1,0 +1,107 @@
+// Monitoring placement problem (paper §IV): builds the min-cost offload
+// model from the NMDB snapshot — busy set V_b, candidate set V_o, excess
+// loads Cs_i, spare capacities Cd_j, and the Trmin(i,j) matrix from the
+// Eq. 1-2 response-time evaluation over hop-bounded controllable routes.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/nmdb.hpp"
+#include "net/response_time.hpp"
+#include "solver/lp.hpp"
+
+namespace dust::core {
+
+struct PlacementOptions {
+  /// Max-hop bound on controllable routes (0 = unbounded).
+  std::uint32_t max_hops = 0;
+  /// Paper-faithful exhaustive enumeration vs. fast DP (see DESIGN.md).
+  net::EvaluatorMode evaluator = net::EvaluatorMode::kEnumerate;
+  /// Safety cap per source in enumerate mode (0 = none).
+  std::size_t max_paths_per_source = 0;
+  /// Compute Trmin rows on the global thread pool (one task per busy node).
+  bool parallel_trmin = false;
+};
+
+/// The built model, ready for any backend in optimizer.hpp.
+struct PlacementProblem {
+  std::vector<graph::NodeId> busy;        ///< V_b
+  std::vector<graph::NodeId> candidates;  ///< V_o
+  std::vector<double> cs;                 ///< Cs_i, aligned with busy
+  std::vector<double> cd;                 ///< Cd_j, aligned with candidates
+  /// Trmin seconds, row-major busy x candidates; kInfinity = no route
+  /// within the hop bound.
+  std::vector<double> trmin;
+  /// Platform capacity factors (heterogeneity extension): a unit of load
+  /// from busy i consumes busy_factor[i]/candidate_factor[j] units of
+  /// destination j's capacity. All 1.0 under the paper's homogeneity
+  /// assumption.
+  std::vector<double> busy_factor;
+  std::vector<double> candidate_factor;
+  std::size_t paths_explored = 0;  ///< total enumeration work (Figs 8/10)
+  bool truncated = false;          ///< a source hit max_paths_per_source
+
+  [[nodiscard]] double trmin_at(std::size_t bi, std::size_t cj) const {
+    return trmin.at(bi * candidates.size() + cj);
+  }
+  /// Destination capacity consumed per unit of load shipped from bi to cj.
+  /// Problems built by hand may leave the factor vectors empty (homogeneous).
+  [[nodiscard]] double capacity_coefficient(std::size_t bi,
+                                            std::size_t cj) const {
+    const double from = busy_factor.empty() ? 1.0 : busy_factor.at(bi);
+    const double to = candidate_factor.empty() ? 1.0 : candidate_factor.at(cj);
+    return from / to;
+  }
+  [[nodiscard]] bool heterogeneous() const noexcept;
+  [[nodiscard]] double total_excess() const;
+  [[nodiscard]] double total_spare() const;
+};
+
+PlacementProblem build_placement_problem(const Nmdb& nmdb,
+                                         const PlacementOptions& options);
+
+/// One flow of offloaded load: `amount` capacity-percent from a busy node to
+/// a destination, at unit cost `trmin_seconds`.
+struct Assignment {
+  graph::NodeId from = graph::kInvalidNode;
+  graph::NodeId to = graph::kInvalidNode;
+  double amount = 0.0;
+  double trmin_seconds = 0.0;
+};
+
+struct PlacementResult {
+  solver::Status status = solver::Status::kInfeasible;
+  double objective = 0.0;  ///< β = Σ x_ij · Trmin(i,j)
+  std::vector<Assignment> assignments;
+  double build_seconds = 0.0;
+  double solve_seconds = 0.0;
+  std::size_t paths_explored = 0;
+  std::size_t solver_iterations = 0;
+  /// Load that could not be placed (only nonzero for partial-mode solves).
+  double unplaced = 0.0;
+
+  [[nodiscard]] bool optimal() const noexcept {
+    return status == solver::Status::kOptimal;
+  }
+  [[nodiscard]] double offloaded_total() const;
+  /// Amount shed by one busy node across all its assignments.
+  [[nodiscard]] double offloaded_from(graph::NodeId node) const;
+  /// Amount absorbed by one destination.
+  [[nodiscard]] double absorbed_by(graph::NodeId node) const;
+};
+
+/// Check a result against the problem's constraints (3a/3b); returns the
+/// maximum violation (0 = feasible). Used by tests and the orchestrator.
+double placement_violation(const PlacementProblem& problem,
+                           const PlacementResult& result);
+
+/// What-if: apply a plan to the NMDB's utilization state — each origin
+/// drops by its shipped amount, each destination rises by the
+/// platform-factor-weighted amount. This is the network state the manager
+/// expects after the offload completes; the invariant (tested) is that no
+/// destination crosses COmax and every fully-shed origin lands at Cmax.
+void apply_assignments(Nmdb& nmdb, std::span<const Assignment> plan);
+
+}  // namespace dust::core

@@ -1,0 +1,102 @@
+#include "core/replay.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace dust::core {
+
+std::vector<LoadUpdate> load_trace(std::istream& in) {
+  std::vector<LoadUpdate> trace;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const std::size_t comment = line.find('#');
+    if (comment != std::string::npos) line.erase(comment);
+    // Strip whitespace-only lines.
+    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+    std::istringstream fields(line);
+    LoadUpdate update;
+    char comma = ',';
+    if (!(fields >> update.time_ms >> comma) || comma != ',' ||
+        !(fields >> update.node >> comma) || comma != ',' ||
+        !(fields >> update.utilization_percent)) {
+      throw std::invalid_argument(
+          "trace line " + std::to_string(line_no) +
+          ": expected <time_ms>,<node>,<utilization>[,<data_mb>]");
+    }
+    if (fields >> comma && comma == ',') {
+      if (!(fields >> update.monitoring_data_mb))
+        throw std::invalid_argument("trace line " + std::to_string(line_no) +
+                                    ": bad data_mb field");
+    }
+    if (update.utilization_percent < 0 || update.utilization_percent > 100)
+      throw std::invalid_argument("trace line " + std::to_string(line_no) +
+                                  ": utilization out of [0,100]");
+    trace.push_back(update);
+  }
+  std::stable_sort(trace.begin(), trace.end(),
+                   [](const LoadUpdate& a, const LoadUpdate& b) {
+                     return a.time_ms < b.time_ms;
+                   });
+  return trace;
+}
+
+ReplayReport replay_trace(Nmdb& nmdb, const std::vector<LoadUpdate>& trace,
+                          const ReplayOptions& options) {
+  if (options.placement_period_ms <= 0)
+    throw std::invalid_argument("replay_trace: non-positive period");
+  ReplayReport report;
+  if (trace.empty()) return report;
+
+  const OptimizationEngine engine([&options] {
+    OptimizerOptions opt = options.optimizer;
+    opt.allow_partial = true;  // traces routinely exceed capacity
+    return opt;
+  }());
+
+  std::size_t cursor = 0;
+  std::int64_t next_cycle = trace.front().time_ms + options.placement_period_ms;
+  const std::int64_t end_ms = trace.back().time_ms;
+
+  auto run_cycle = [&]() {
+    ++report.placement_cycles;
+    const PlacementResult result = engine.run(nmdb);
+    if (!result.assignments.empty()) {
+      ++report.cycles_with_offloads;
+      report.total_offloaded += result.offloaded_total();
+      if (options.apply_plans) apply_assignments(nmdb, result.assignments);
+    }
+    report.total_unplaced += result.unplaced;
+    for (graph::NodeId v = 0; v < nmdb.node_count(); ++v) {
+      ++report.node_cycles;
+      if (nmdb.network().node_utilization(v) >
+          nmdb.thresholds(v).c_max + 1e-9)
+        ++report.overloaded_node_cycles;
+    }
+  };
+
+  while (next_cycle <= end_ms + options.placement_period_ms) {
+    // Apply every update strictly before this cycle.
+    while (cursor < trace.size() && trace[cursor].time_ms < next_cycle) {
+      const LoadUpdate& update = trace[cursor];
+      if (update.node >= nmdb.node_count())
+        throw std::invalid_argument("replay_trace: node out of range");
+      nmdb.network().set_node_utilization(update.node,
+                                          update.utilization_percent);
+      if (update.monitoring_data_mb >= 0)
+        nmdb.network().set_monitoring_data_mb(update.node,
+                                              update.monitoring_data_mb);
+      ++report.updates_applied;
+      ++cursor;
+    }
+    run_cycle();
+    if (cursor >= trace.size()) break;  // all data consumed and measured
+    next_cycle += options.placement_period_ms;
+  }
+  return report;
+}
+
+}  // namespace dust::core

@@ -1,0 +1,63 @@
+// Load-trace replay: drive placement from recorded telemetry.
+//
+// A trace is CSV-ish text, one update per line:
+//
+//   <time_ms>,<node>,<utilization_percent>[,<monitoring_data_mb>]
+//
+// sorted or unsorted (replay sorts). ReplayDriver applies updates in time
+// order onto an NMDB and runs the optimization engine on a fixed cadence,
+// accumulating the overload/offload statistics the closed-loop bench
+// reports — but from *your* data instead of a synthetic drift model. Used
+// by scenario_cli --trace.
+#pragma once
+
+#include <istream>
+#include <vector>
+
+#include "core/optimizer.hpp"
+
+namespace dust::core {
+
+struct LoadUpdate {
+  std::int64_t time_ms = 0;
+  graph::NodeId node = graph::kInvalidNode;
+  double utilization_percent = 0.0;
+  double monitoring_data_mb = -1.0;  ///< < 0 = leave unchanged
+};
+
+/// Parse a trace; throws std::invalid_argument with a line number on
+/// malformed input. '#' comments and blank lines are ignored.
+std::vector<LoadUpdate> load_trace(std::istream& in);
+
+struct ReplayOptions {
+  std::int64_t placement_period_ms = 60000;
+  OptimizerOptions optimizer;
+  /// Apply each cycle's plan to the NMDB (the what-if operator), modelling
+  /// completed offloads. Off = measure-only.
+  bool apply_plans = true;
+};
+
+struct ReplayReport {
+  std::size_t updates_applied = 0;
+  std::size_t placement_cycles = 0;
+  std::size_t cycles_with_offloads = 0;
+  double total_offloaded = 0.0;     ///< capacity-percent moved overall
+  double total_unplaced = 0.0;      ///< excess no cycle could place
+  std::size_t overloaded_node_cycles = 0;  ///< node-cycles above Cmax after
+                                           ///< the cycle's plan applied
+  std::size_t node_cycles = 0;
+
+  [[nodiscard]] double overload_fraction() const noexcept {
+    return node_cycles ? static_cast<double>(overloaded_node_cycles) /
+                             static_cast<double>(node_cycles)
+                       : 0.0;
+  }
+};
+
+/// Replay `trace` over `nmdb` (mutated in place). Updates referencing nodes
+/// outside the topology throw. The first placement cycle runs one period
+/// after the earliest update.
+ReplayReport replay_trace(Nmdb& nmdb, const std::vector<LoadUpdate>& trace,
+                          const ReplayOptions& options = {});
+
+}  // namespace dust::core

@@ -1,0 +1,42 @@
+#include "core/routes.hpp"
+
+namespace dust::core {
+
+std::vector<ResolvedRoute> resolve_routes(const net::NetworkState& net,
+                                          std::span<const Assignment> plan,
+                                          const RouteOptions& options) {
+  const std::vector<double> inv = net.inverse_bandwidth_costs();
+  std::vector<ResolvedRoute> routes;
+  routes.reserve(plan.size());
+  for (const Assignment& assignment : plan) {
+    ResolvedRoute route;
+    route.assignment = assignment;
+    const double data_mb = net.monitoring_data_mb(assignment.from);
+    route.primary = graph::hop_bounded_path(net.graph(), assignment.from,
+                                            assignment.to, inv,
+                                            options.max_hops);
+    route.primary_seconds = data_mb * route.primary.cost(inv);
+    if (options.with_backup && !route.primary.nodes.empty()) {
+      // Two cheapest edge-disjoint routes; the one that is not the primary
+      // (or the second of the pair) becomes the standby.
+      const std::vector<graph::Path> pair = graph::edge_disjoint_paths(
+          net.graph(), assignment.from, assignment.to, inv, 2);
+      for (const graph::Path& candidate : pair) {
+        if (candidate.edges == route.primary.edges) continue;
+        // Must share no edge with the primary.
+        bool disjoint = true;
+        for (graph::EdgeId e : candidate.edges)
+          for (graph::EdgeId p : route.primary.edges)
+            if (e == p) disjoint = false;
+        if (!disjoint) continue;
+        route.backup = candidate;
+        route.backup_seconds = data_mb * candidate.cost(inv);
+        break;
+      }
+    }
+    routes.push_back(std::move(route));
+  }
+  return routes;
+}
+
+}  // namespace dust::core

@@ -1,0 +1,44 @@
+// Controllable-route resolution: turn placement assignments into concrete
+// installable routes.
+//
+// The optimizer prices each (busy, destination) pair at Trmin — the cost of
+// the best hop-bounded route — but reports only the pair. This module
+// reconstructs that route (and, optionally, an edge-disjoint backup for the
+// replica path of §III-C) so the manager can install it, which is the
+// "corresponding routing control solution" the paper's related-work section
+// claims over prior schemes.
+#pragma once
+
+#include <span>
+
+#include "core/placement.hpp"
+#include "graph/paths.hpp"
+
+namespace dust::core {
+
+struct ResolvedRoute {
+  Assignment assignment;
+  graph::Path primary;            ///< achieves Trmin(i,j) within the bound
+  double primary_seconds = 0.0;
+  graph::Path backup;             ///< edge-disjoint from primary; may be empty
+  double backup_seconds = 0.0;
+
+  [[nodiscard]] bool has_backup() const noexcept {
+    return !backup.nodes.empty();
+  }
+};
+
+struct RouteOptions {
+  std::uint32_t max_hops = 0;   ///< same bound the placement used
+  bool with_backup = false;     ///< also compute an edge-disjoint standby
+};
+
+/// Resolve every assignment to a concrete route. The primary path's response
+/// time equals the assignment's trmin_seconds (asserted in tests). Backup is
+/// empty when no edge-disjoint alternative exists; the backup is not
+/// hop-bounded (a standby route trades latency for survivability).
+std::vector<ResolvedRoute> resolve_routes(const net::NetworkState& net,
+                                          std::span<const Assignment> plan,
+                                          const RouteOptions& options = {});
+
+}  // namespace dust::core

@@ -1,0 +1,153 @@
+#include "core/scenario.hpp"
+
+#include <optional>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace dust::core {
+
+namespace {
+
+[[noreturn]] void fail(std::size_t line, const std::string& message) {
+  throw std::invalid_argument("scenario line " + std::to_string(line) + ": " +
+                              message);
+}
+
+}  // namespace
+
+Nmdb load_scenario(std::istream& in) {
+  std::optional<net::NetworkState> state;
+  Thresholds thresholds;
+  struct Pending {
+    enum class Kind { kCapable, kFactor } kind;
+    graph::NodeId node;
+    double value;
+  };
+  std::vector<Pending> pending;
+
+  // First pass builds the graph topology; node attributes are applied to the
+  // state as we go, capability/factor buffered until the Nmdb exists.
+  std::optional<graph::Graph> graph;
+  struct EdgeSpec {
+    graph::NodeId a, b;
+    double bandwidth, utilization;
+  };
+  std::vector<EdgeSpec> edges;
+  struct LoadSpec {
+    graph::NodeId node;
+    double utilization, data_mb;
+  };
+  std::vector<LoadSpec> loads;
+
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const std::size_t comment = line.find('#');
+    if (comment != std::string::npos) line.erase(comment);
+    std::istringstream tokens(line);
+    std::string keyword;
+    if (!(tokens >> keyword)) continue;  // blank
+    if (keyword == "nodes") {
+      std::size_t count = 0;
+      if (!(tokens >> count) || count == 0) fail(line_no, "nodes <count>");
+      if (graph) fail(line_no, "duplicate nodes directive");
+      graph.emplace(count);
+    } else if (keyword == "thresholds") {
+      if (!(tokens >> thresholds.c_max >> thresholds.co_max >>
+            thresholds.x_min))
+        fail(line_no, "thresholds <cmax> <comax> <xmin>");
+      try {
+        thresholds.validate();
+      } catch (const std::invalid_argument& error) {
+        fail(line_no, error.what());
+      }
+    } else if (keyword == "edge") {
+      if (!graph) fail(line_no, "edge before nodes");
+      EdgeSpec spec{};
+      if (!(tokens >> spec.a >> spec.b >> spec.bandwidth >> spec.utilization))
+        fail(line_no, "edge <a> <b> <bandwidth_mbps> <utilization>");
+      if (spec.a >= graph->node_count() || spec.b >= graph->node_count())
+        fail(line_no, "edge endpoint out of range");
+      try {
+        graph->add_edge(spec.a, spec.b);
+      } catch (const std::exception& error) {
+        fail(line_no, error.what());
+      }
+      edges.push_back(spec);
+    } else if (keyword == "load") {
+      if (!graph) fail(line_no, "load before nodes");
+      LoadSpec spec{};
+      if (!(tokens >> spec.node >> spec.utilization >> spec.data_mb))
+        fail(line_no, "load <node> <utilization> <data_mb>");
+      if (spec.node >= graph->node_count())
+        fail(line_no, "load node out of range");
+      loads.push_back(spec);
+    } else if (keyword == "capable") {
+      int flag = 1;
+      graph::NodeId node = 0;
+      if (!(tokens >> node >> flag)) fail(line_no, "capable <node> <0|1>");
+      pending.push_back({Pending::Kind::kCapable, node, double(flag)});
+    } else if (keyword == "factor") {
+      graph::NodeId node = 0;
+      double factor = 1.0;
+      if (!(tokens >> node >> factor)) fail(line_no, "factor <node> <value>");
+      pending.push_back({Pending::Kind::kFactor, node, factor});
+    } else {
+      fail(line_no, "unknown directive '" + keyword + "'");
+    }
+  }
+  if (!graph) throw std::invalid_argument("scenario: missing nodes directive");
+
+  state.emplace(std::move(*graph));
+  for (std::size_t e = 0; e < edges.size(); ++e) {
+    try {
+      state->set_link(static_cast<graph::EdgeId>(e),
+                      net::LinkState{edges[e].bandwidth, edges[e].utilization});
+    } catch (const std::exception& error) {
+      throw std::invalid_argument(std::string("scenario edge ") +
+                                  std::to_string(e) + ": " + error.what());
+    }
+  }
+  for (const LoadSpec& load : loads) {
+    state->set_node_utilization(load.node, load.utilization);
+    state->set_monitoring_data_mb(load.node, load.data_mb);
+  }
+  Nmdb nmdb(std::move(*state), thresholds);
+  for (const Pending& entry : pending) {
+    if (entry.node >= nmdb.node_count())
+      throw std::invalid_argument("scenario: node attribute out of range");
+    if (entry.kind == Pending::Kind::kCapable)
+      nmdb.set_offload_capable(entry.node, entry.value != 0.0);
+    else
+      nmdb.set_platform_factor(entry.node, entry.value);
+  }
+  return nmdb;
+}
+
+void save_scenario(std::ostream& os, const Nmdb& nmdb) {
+  const net::NetworkState& state = nmdb.network();
+  // Round-trip exactness: shortest representation that restores the double.
+  os.precision(17);
+  os << "# dust scenario\n";
+  os << "nodes " << state.node_count() << '\n';
+  const Thresholds& t = nmdb.default_thresholds();
+  os << "thresholds " << t.c_max << ' ' << t.co_max << ' ' << t.x_min << '\n';
+  for (graph::EdgeId e = 0; e < state.edge_count(); ++e) {
+    const graph::Edge& edge = state.graph().edge(e);
+    const net::LinkState& link = state.link(e);
+    os << "edge " << edge.a << ' ' << edge.b << ' ' << link.bandwidth_mbps
+       << ' ' << link.utilization << '\n';
+  }
+  for (graph::NodeId v = 0; v < state.node_count(); ++v) {
+    os << "load " << v << ' ' << state.node_utilization(v) << ' '
+       << state.monitoring_data_mb(v) << '\n';
+    if (!nmdb.offload_capable(v)) os << "capable " << v << " 0\n";
+    if (nmdb.platform_factor(v) != 1.0)
+      os << "factor " << v << ' ' << nmdb.platform_factor(v) << '\n';
+  }
+}
+
+}  // namespace dust::core

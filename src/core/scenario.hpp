@@ -1,0 +1,29 @@
+// Scenario file I/O: a small line-based text format describing a network
+// state + thresholds, so experiments can be authored, saved, and replayed
+// without writing C++. Used by the scenario_cli example.
+//
+// Format ('#' starts a comment, blank lines ignored):
+//   nodes <count>                          (must come first)
+//   thresholds <cmax> <comax> <xmin>       (optional; defaults 80 60 10)
+//   edge <a> <b> <bandwidth_mbps> <utilization>
+//   load <node> <utilization_%> <monitoring_data_mb>
+//   capable <node> <0|1>
+//   factor <node> <platform_factor>
+#pragma once
+
+#include <istream>
+#include <ostream>
+
+#include "core/nmdb.hpp"
+
+namespace dust::core {
+
+/// Parse a scenario; throws std::invalid_argument with a line number on
+/// malformed input.
+Nmdb load_scenario(std::istream& in);
+
+/// Serialize an NMDB back to the scenario format (lossless round-trip for
+/// everything the format covers).
+void save_scenario(std::ostream& os, const Nmdb& nmdb);
+
+}  // namespace dust::core

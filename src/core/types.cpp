@@ -1,0 +1,16 @@
+#include "core/types.hpp"
+
+namespace dust::core {
+
+const char* to_string(NodeRole role) noexcept {
+  switch (role) {
+    case NodeRole::kNoneOffloading: return "none-offloading";
+    case NodeRole::kBusy: return "busy";
+    case NodeRole::kOffloadCandidate: return "offload-candidate";
+    case NodeRole::kNeutral: return "neutral";
+    case NodeRole::kOffloadDestination: return "offload-destination";
+  }
+  return "?";
+}
+
+}  // namespace dust::core

@@ -1,0 +1,67 @@
+// Core DUST domain types: node roles, thresholds, and the Δ_io feasibility
+// guide (Eq. 5).
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+
+#include "graph/graph.hpp"
+
+namespace dust::core {
+
+/// DUST-Client roles (§III-B).
+enum class NodeRole : std::uint8_t {
+  kNoneOffloading,     ///< opted out of offloading (Offload-capable = 0)
+  kBusy,               ///< C_i >= Cmax: must shed Cs_i = C_i - Cmax
+  kOffloadCandidate,   ///< C_j <= COmax: can absorb Cd_j = COmax - C_j
+  kNeutral,            ///< COmax < C < Cmax: neither busy nor a candidate
+  kOffloadDestination, ///< candidate currently hosting offloaded agents
+};
+
+[[nodiscard]] const char* to_string(NodeRole role) noexcept;
+
+/// User-defined capacity thresholds (percent). Requires
+/// x_min <= co_max <= c_max <= 100 — a node cannot be simultaneously a safe
+/// destination above co_max, and busy-ness starts at c_max.
+struct Thresholds {
+  double c_max = 80.0;   ///< busy threshold (Cmax)
+  double co_max = 60.0;  ///< offload-candidate threshold (COmax)
+  double x_min = 10.0;   ///< minimum node usage (constraint 3e)
+
+  void validate() const {
+    if (!(0.0 <= x_min && x_min <= co_max && co_max <= c_max && c_max <= 100.0))
+      throw std::invalid_argument(
+          "Thresholds: require 0 <= x_min <= co_max <= c_max <= 100");
+  }
+
+  /// Role from utilized capacity (ignoring offload-capability opt-out).
+  [[nodiscard]] NodeRole classify(double utilization_percent) const noexcept {
+    if (utilization_percent >= c_max) return NodeRole::kBusy;
+    if (utilization_percent <= co_max) return NodeRole::kOffloadCandidate;
+    return NodeRole::kNeutral;
+  }
+
+  /// Cs_i for a busy node (callers must check classify() first).
+  [[nodiscard]] double excess_load(double utilization_percent) const noexcept {
+    return utilization_percent - c_max;
+  }
+  /// Cd_j for a candidate node.
+  [[nodiscard]] double spare_capacity(double utilization_percent) const noexcept {
+    return co_max - utilization_percent;
+  }
+
+  /// Δ_io = (COmax - x_min) / (100 - Cmax), Eq. 5. The paper recommends
+  /// choosing thresholds such that Δ_io >= K_io with K_io ~= 2 to keep the
+  /// infeasible-optimization rate low (Fig. 7).
+  [[nodiscard]] double delta_io() const {
+    const double busy_band = 100.0 - c_max;
+    if (busy_band <= 0.0)
+      throw std::invalid_argument("Thresholds::delta_io: c_max must be < 100");
+    return (co_max - x_min) / busy_band;
+  }
+
+  /// Recommended minimum Δ_io (the paper's K_io >= 2 guidance).
+  static constexpr double kRecommendedKio = 2.0;
+};
+
+}  // namespace dust::core

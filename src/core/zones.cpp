@@ -1,0 +1,200 @@
+#include "core/zones.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <stdexcept>
+
+namespace dust::core {
+
+namespace {
+
+/// BFS-grow zones over `graph` visiting seeds in the given order.
+std::vector<Zone> grow_zones(const graph::Graph& graph,
+                             std::size_t max_zone_size,
+                             const std::vector<graph::NodeId>& seeds) {
+  std::vector<Zone> zones;
+  std::vector<char> assigned(graph.node_count(), 0);
+  for (graph::NodeId seed : seeds) {
+    if (assigned[seed]) continue;
+    Zone zone;
+    std::queue<graph::NodeId> frontier;
+    frontier.push(seed);
+    assigned[seed] = 1;
+    while (!frontier.empty() && zone.members.size() < max_zone_size) {
+      const graph::NodeId node = frontier.front();
+      frontier.pop();
+      zone.members.push_back(node);
+      for (const graph::Adjacency& adj : graph.neighbors(node)) {
+        if (assigned[adj.neighbor]) continue;
+        if (zone.members.size() + frontier.size() >= max_zone_size) break;
+        assigned[adj.neighbor] = 1;
+        frontier.push(adj.neighbor);
+      }
+    }
+    // Nodes still queued when the zone filled: release them for later seeds.
+    while (!frontier.empty()) {
+      assigned[frontier.front()] = 0;
+      frontier.pop();
+    }
+    zones.push_back(std::move(zone));
+  }
+  return zones;
+}
+
+/// Merge any zone into an adjacent one whenever the union still fits the
+/// cap (the connecting edge keeps the merged zone connected). BFS growth
+/// strands fragments whose neighbours were claimed by earlier zones; this
+/// coalesces them. Iterates to a fixed point.
+void merge_fragments(const graph::Graph& graph, std::size_t max_zone_size,
+                     std::vector<Zone>& zones) {
+  std::vector<std::size_t> zone_of(graph.node_count());
+  for (std::size_t z = 0; z < zones.size(); ++z)
+    for (graph::NodeId v : zones[z].members) zone_of[v] = z;
+  bool merged = true;
+  while (merged) {
+    merged = false;
+    // Smallest zones first so fragments coalesce before big zones fill up.
+    std::vector<std::size_t> order(zones.size());
+    for (std::size_t z = 0; z < zones.size(); ++z) order[z] = z;
+    std::sort(order.begin(), order.end(),
+              [&zones](std::size_t a, std::size_t b) {
+                return zones[a].members.size() < zones[b].members.size();
+              });
+    for (std::size_t z : order) {
+      if (zones[z].members.empty()) continue;
+      std::size_t target = zones.size();
+      for (graph::NodeId v : zones[z].members) {
+        for (const graph::Adjacency& adj : graph.neighbors(v)) {
+          const std::size_t other = zone_of[adj.neighbor];
+          if (other == z || zones[other].members.empty()) continue;
+          if (zones[other].members.size() + zones[z].members.size() >
+              max_zone_size)
+            continue;
+          // Prefer the fullest neighbour that still fits (best packing).
+          if (target == zones.size() ||
+              zones[other].members.size() > zones[target].members.size())
+            target = other;
+        }
+      }
+      if (target == zones.size()) continue;
+      for (graph::NodeId v : zones[z].members) zone_of[v] = target;
+      zones[target].members.insert(zones[target].members.end(),
+                                   zones[z].members.begin(),
+                                   zones[z].members.end());
+      zones[z].members.clear();
+      merged = true;
+    }
+  }
+  std::erase_if(zones, [](const Zone& zone) { return zone.members.empty(); });
+}
+
+}  // namespace
+
+std::vector<Zone> partition_zones(const graph::Graph& graph,
+                                  std::size_t max_zone_size) {
+  if (max_zone_size == 0)
+    throw std::invalid_argument("partition_zones: max_zone_size == 0");
+  // Two seed orders behave very differently depending on how the cap
+  // relates to the topology's natural clusters: id order packs well when
+  // zones can span whole tiers; low-degree-first grows zones around the
+  // periphery so hub nodes (fat-tree cores) are absorbed as neighbours
+  // instead of being stranded. Grow both, repair both, keep the partition
+  // with fewer zones (deterministic tie-break: id order).
+  std::vector<graph::NodeId> by_id(graph.node_count());
+  for (graph::NodeId v = 0; v < graph.node_count(); ++v) by_id[v] = v;
+  std::vector<graph::NodeId> by_degree = by_id;
+  std::stable_sort(by_degree.begin(), by_degree.end(),
+                   [&graph](graph::NodeId a, graph::NodeId b) {
+                     return graph.degree(a) < graph.degree(b);
+                   });
+
+  std::vector<Zone> id_zones = grow_zones(graph, max_zone_size, by_id);
+  merge_fragments(graph, max_zone_size, id_zones);
+  std::vector<Zone> degree_zones = grow_zones(graph, max_zone_size, by_degree);
+  merge_fragments(graph, max_zone_size, degree_zones);
+  return degree_zones.size() < id_zones.size() ? std::move(degree_zones)
+                                               : std::move(id_zones);
+}
+
+std::vector<Assignment> ZonedResult::all_assignments() const {
+  std::vector<Assignment> out;
+  for (const PlacementResult& zone : per_zone)
+    out.insert(out.end(), zone.assignments.begin(), zone.assignments.end());
+  return out;
+}
+
+namespace {
+
+/// Induced-subgraph NMDB over the zone, with old->new id mapping.
+struct SubNmdb {
+  Nmdb nmdb;
+  std::vector<graph::NodeId> to_global;
+};
+
+SubNmdb make_zone_nmdb(const Nmdb& full, const Zone& zone) {
+  const net::NetworkState& net = full.network();
+  const graph::Graph& g = net.graph();
+  std::vector<graph::NodeId> to_local(g.node_count(), graph::kInvalidNode);
+  for (std::size_t i = 0; i < zone.members.size(); ++i)
+    to_local[zone.members[i]] = static_cast<graph::NodeId>(i);
+
+  graph::Graph sub(zone.members.size());
+  std::vector<graph::EdgeId> edge_source;
+  for (graph::EdgeId e = 0; e < g.edge_count(); ++e) {
+    const graph::Edge& edge = g.edge(e);
+    const graph::NodeId a = to_local[edge.a];
+    const graph::NodeId b = to_local[edge.b];
+    if (a == graph::kInvalidNode || b == graph::kInvalidNode) continue;
+    sub.add_edge(a, b);
+    edge_source.push_back(e);
+  }
+  net::NetworkState state(std::move(sub));
+  for (graph::EdgeId e = 0; e < state.edge_count(); ++e)
+    state.set_link(e, net.link(edge_source[e]));
+  for (std::size_t i = 0; i < zone.members.size(); ++i) {
+    state.set_node_utilization(static_cast<graph::NodeId>(i),
+                               net.node_utilization(zone.members[i]));
+    state.set_monitoring_data_mb(static_cast<graph::NodeId>(i),
+                                 net.monitoring_data_mb(zone.members[i]));
+  }
+  SubNmdb out{Nmdb(std::move(state), full.default_thresholds()), zone.members};
+  for (std::size_t i = 0; i < zone.members.size(); ++i) {
+    const auto local = static_cast<graph::NodeId>(i);
+    out.nmdb.set_thresholds(local, full.thresholds(zone.members[i]));
+    out.nmdb.set_offload_capable(local,
+                                 full.offload_capable(zone.members[i]));
+    out.nmdb.set_platform_factor(local,
+                                 full.platform_factor(zone.members[i]));
+  }
+  return out;
+}
+
+}  // namespace
+
+ZonedResult optimize_by_zones(const Nmdb& nmdb, std::size_t max_zone_size,
+                              OptimizerOptions options) {
+  // Per-zone infeasibility must not sink the whole run.
+  options.allow_partial = true;
+  ZonedResult result;
+  const std::vector<Zone> zones =
+      partition_zones(nmdb.network().graph(), max_zone_size);
+  result.zones = zones.size();
+  const OptimizationEngine engine(options);
+  for (const Zone& zone : zones) {
+    SubNmdb sub = make_zone_nmdb(nmdb, zone);
+    PlacementResult zone_result = engine.run(sub.nmdb);
+    // Map assignment ids back to the global graph.
+    for (Assignment& a : zone_result.assignments) {
+      a.from = sub.to_global[a.from];
+      a.to = sub.to_global[a.to];
+    }
+    result.objective += zone_result.objective;
+    result.unplaced += zone_result.unplaced;
+    result.total_seconds +=
+        zone_result.build_seconds + zone_result.solve_seconds;
+    result.per_zone.push_back(std::move(zone_result));
+  }
+  return result;
+}
+
+}  // namespace dust::core

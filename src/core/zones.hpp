@@ -1,0 +1,40 @@
+// Zone partitioning (paper §V-B conclusion): "dividing large-scale networks
+// into zones containing a maximum of 80 nodes" keeps per-zone optimization
+// cheap. ZonePartitioner grows connected zones by BFS; ZonedOptimizer runs
+// the optimization engine independently per zone (offloads never cross zone
+// boundaries) and merges the results.
+#pragma once
+
+#include <vector>
+
+#include "core/optimizer.hpp"
+
+namespace dust::core {
+
+struct Zone {
+  std::vector<graph::NodeId> members;
+};
+
+/// Partition the graph into connected zones of at most `max_zone_size` nodes
+/// via BFS growth from unassigned seeds. Every node lands in exactly one
+/// zone; zones are connected subgraphs.
+std::vector<Zone> partition_zones(const graph::Graph& graph,
+                                  std::size_t max_zone_size);
+
+struct ZonedResult {
+  std::vector<PlacementResult> per_zone;
+  double objective = 0.0;
+  double unplaced = 0.0;       ///< excess that its own zone could not absorb
+  double total_seconds = 0.0;  ///< sum of per-zone build+solve times
+  std::size_t zones = 0;
+
+  [[nodiscard]] std::vector<Assignment> all_assignments() const;
+};
+
+/// Run the optimizer per zone. Busy/candidate sets are restricted to zone
+/// members; per-zone infeasibility degrades to a partial solve so other
+/// zones still complete.
+ZonedResult optimize_by_zones(const Nmdb& nmdb, std::size_t max_zone_size,
+                              OptimizerOptions options);
+
+}  // namespace dust::core

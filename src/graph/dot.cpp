@@ -1,0 +1,45 @@
+#include "graph/dot.hpp"
+
+namespace dust::graph {
+
+namespace {
+
+std::string escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char ch : text) {
+    if (ch == '"' || ch == '\\') out.push_back('\\');
+    out.push_back(ch);
+  }
+  return out;
+}
+
+}  // namespace
+
+void write_dot(std::ostream& os, const Graph& graph, const DotOptions& options) {
+  os << "graph " << options.graph_name << " {\n";
+  for (NodeId v = 0; v < graph.node_count(); ++v) {
+    os << "  n" << v;
+    const std::string label =
+        options.node_label ? options.node_label(v) : std::to_string(v);
+    os << " [label=\"" << escape(label) << '"';
+    if (options.node_color) {
+      const std::string color = options.node_color(v);
+      if (!color.empty())
+        os << ", style=filled, fillcolor=\"" << escape(color) << '"';
+    }
+    os << "];\n";
+  }
+  for (EdgeId e = 0; e < graph.edge_count(); ++e) {
+    const Edge& edge = graph.edge(e);
+    os << "  n" << edge.a << " -- n" << edge.b;
+    if (options.edge_label) {
+      const std::string label = options.edge_label(e);
+      if (!label.empty()) os << " [label=\"" << escape(label) << "\"]";
+    }
+    os << ";\n";
+  }
+  os << "}\n";
+}
+
+}  // namespace dust::graph

@@ -1,0 +1,27 @@
+// GraphViz DOT export for topologies and offload plans — handy for
+// debugging placements and documenting scenarios.
+#pragma once
+
+#include <functional>
+#include <ostream>
+#include <string>
+
+#include "graph/graph.hpp"
+
+namespace dust::graph {
+
+struct DotOptions {
+  /// Label for a node (defaults to its id).
+  std::function<std::string(NodeId)> node_label;
+  /// Optional fill color per node (empty = default).
+  std::function<std::string(NodeId)> node_color;
+  /// Optional label per edge (empty = none).
+  std::function<std::string(EdgeId)> edge_label;
+  std::string graph_name = "dust";
+};
+
+/// Write the graph as an undirected DOT document.
+void write_dot(std::ostream& os, const Graph& graph,
+               const DotOptions& options = {});
+
+}  // namespace dust::graph

@@ -1,0 +1,54 @@
+#include "graph/graph.hpp"
+
+#include <stdexcept>
+
+namespace dust::graph {
+
+NodeId Graph::add_node() {
+  adjacency_.emplace_back();
+  return static_cast<NodeId>(adjacency_.size() - 1);
+}
+
+EdgeId Graph::add_edge(NodeId a, NodeId b) {
+  if (a >= node_count() || b >= node_count())
+    throw std::out_of_range("Graph::add_edge: node id out of range");
+  if (a == b) throw std::invalid_argument("Graph::add_edge: self-loop");
+  if (find_edge(a, b)) throw std::invalid_argument("Graph::add_edge: parallel edge");
+  const auto id = static_cast<EdgeId>(edges_.size());
+  edges_.push_back(Edge{a, b});
+  adjacency_[a].push_back(Adjacency{b, id});
+  adjacency_[b].push_back(Adjacency{a, id});
+  return id;
+}
+
+std::optional<EdgeId> Graph::find_edge(NodeId a, NodeId b) const {
+  if (a >= node_count() || b >= node_count()) return std::nullopt;
+  // Scan the smaller adjacency list.
+  const NodeId base = adjacency_[a].size() <= adjacency_[b].size() ? a : b;
+  const NodeId target = base == a ? b : a;
+  for (const Adjacency& adj : adjacency_[base])
+    if (adj.neighbor == target) return adj.edge;
+  return std::nullopt;
+}
+
+bool Graph::connected() const {
+  if (node_count() == 0) return true;
+  std::vector<char> seen(node_count(), 0);
+  std::vector<NodeId> stack{0};
+  seen[0] = 1;
+  std::size_t visited = 1;
+  while (!stack.empty()) {
+    const NodeId node = stack.back();
+    stack.pop_back();
+    for (const Adjacency& adj : adjacency_[node]) {
+      if (!seen[adj.neighbor]) {
+        seen[adj.neighbor] = 1;
+        ++visited;
+        stack.push_back(adj.neighbor);
+      }
+    }
+  }
+  return visited == node_count();
+}
+
+}  // namespace dust::graph

@@ -1,0 +1,72 @@
+// Undirected graph core.
+//
+// Nodes are dense integer ids [0, node_count). Edges are dense integer ids
+// [0, edge_count) with the two endpoints recorded; adjacency lists store
+// (neighbor, edge id) pairs so per-edge attributes (bandwidth, utilization)
+// can live in parallel arrays owned by higher layers (net::NetworkState).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+namespace dust::graph {
+
+using NodeId = std::uint32_t;
+using EdgeId = std::uint32_t;
+
+inline constexpr NodeId kInvalidNode = static_cast<NodeId>(-1);
+inline constexpr EdgeId kInvalidEdge = static_cast<EdgeId>(-1);
+
+struct Edge {
+  NodeId a = kInvalidNode;
+  NodeId b = kInvalidNode;
+
+  /// The endpoint that is not `from` (precondition: from is an endpoint).
+  [[nodiscard]] NodeId other(NodeId from) const noexcept {
+    return from == a ? b : a;
+  }
+};
+
+/// (neighbor, connecting edge) adjacency entry.
+struct Adjacency {
+  NodeId neighbor = kInvalidNode;
+  EdgeId edge = kInvalidEdge;
+};
+
+class Graph {
+ public:
+  Graph() = default;
+  explicit Graph(std::size_t node_count) : adjacency_(node_count) {}
+
+  [[nodiscard]] std::size_t node_count() const noexcept { return adjacency_.size(); }
+  [[nodiscard]] std::size_t edge_count() const noexcept { return edges_.size(); }
+
+  /// Append a node; returns its id.
+  NodeId add_node();
+
+  /// Add an undirected edge a—b; returns its id. Parallel edges and
+  /// self-loops are rejected (the network model has no use for them).
+  EdgeId add_edge(NodeId a, NodeId b);
+
+  [[nodiscard]] const Edge& edge(EdgeId id) const { return edges_.at(id); }
+  [[nodiscard]] std::span<const Adjacency> neighbors(NodeId node) const {
+    return adjacency_.at(node);
+  }
+  [[nodiscard]] std::size_t degree(NodeId node) const {
+    return adjacency_.at(node).size();
+  }
+
+  /// Edge id between a and b if present.
+  [[nodiscard]] std::optional<EdgeId> find_edge(NodeId a, NodeId b) const;
+
+  /// True if every node is reachable from node 0 (vacuously true when empty).
+  [[nodiscard]] bool connected() const;
+
+ private:
+  std::vector<Edge> edges_;
+  std::vector<std::vector<Adjacency>> adjacency_;
+};
+
+}  // namespace dust::graph

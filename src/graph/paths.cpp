@@ -1,0 +1,374 @@
+#include "graph/paths.hpp"
+
+#include <algorithm>
+#include <map>
+#include <queue>
+#include <set>
+#include <stdexcept>
+
+#include "solver/min_cost_flow.hpp"
+
+namespace dust::graph {
+
+double Path::cost(std::span<const double> edge_cost) const {
+  double total = 0.0;
+  for (EdgeId e : edges) total += edge_cost[e];
+  return total;
+}
+
+std::vector<std::uint32_t> bfs_hops(const Graph& graph, NodeId src) {
+  std::vector<std::uint32_t> dist(graph.node_count(), kUnreachable);
+  if (src >= graph.node_count()) throw std::out_of_range("bfs_hops: src");
+  std::queue<NodeId> frontier;
+  dist[src] = 0;
+  frontier.push(src);
+  while (!frontier.empty()) {
+    const NodeId node = frontier.front();
+    frontier.pop();
+    for (const Adjacency& adj : graph.neighbors(node)) {
+      if (dist[adj.neighbor] == kUnreachable) {
+        dist[adj.neighbor] = dist[node] + 1;
+        frontier.push(adj.neighbor);
+      }
+    }
+  }
+  return dist;
+}
+
+Path ShortestPathTree::extract(const Graph& graph, NodeId src, NodeId dst) const {
+  Path path;
+  if (distance.at(dst) == kInfiniteCost) return path;
+  NodeId node = dst;
+  while (node != src) {
+    const EdgeId via = parent_edge.at(node);
+    path.edges.push_back(via);
+    path.nodes.push_back(node);
+    node = graph.edge(via).other(node);
+  }
+  path.nodes.push_back(src);
+  std::reverse(path.nodes.begin(), path.nodes.end());
+  std::reverse(path.edges.begin(), path.edges.end());
+  return path;
+}
+
+ShortestPathTree dijkstra(const Graph& graph, NodeId src,
+                          std::span<const double> edge_cost) {
+  if (edge_cost.size() != graph.edge_count())
+    throw std::invalid_argument("dijkstra: edge_cost size mismatch");
+  ShortestPathTree tree;
+  tree.distance.assign(graph.node_count(), kInfiniteCost);
+  tree.parent_edge.assign(graph.node_count(), kInvalidEdge);
+  using Entry = std::pair<double, NodeId>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+  tree.distance.at(src) = 0.0;
+  heap.emplace(0.0, src);
+  while (!heap.empty()) {
+    const auto [dist, node] = heap.top();
+    heap.pop();
+    if (dist > tree.distance[node]) continue;  // stale entry
+    for (const Adjacency& adj : graph.neighbors(node)) {
+      const double cost = edge_cost[adj.edge];
+      if (cost < 0) throw std::invalid_argument("dijkstra: negative edge cost");
+      const double candidate = dist + cost;
+      if (candidate < tree.distance[adj.neighbor]) {
+        tree.distance[adj.neighbor] = candidate;
+        tree.parent_edge[adj.neighbor] = adj.edge;
+        heap.emplace(candidate, adj.neighbor);
+      }
+    }
+  }
+  return tree;
+}
+
+std::vector<double> hop_bounded_min_cost(const Graph& graph, NodeId src,
+                                         std::span<const double> edge_cost,
+                                         std::uint32_t max_hops) {
+  if (edge_cost.size() != graph.edge_count())
+    throw std::invalid_argument("hop_bounded_min_cost: edge_cost size mismatch");
+  if (src >= graph.node_count())
+    throw std::out_of_range("hop_bounded_min_cost: src");
+  const std::uint32_t bound =
+      max_hops == 0 ? static_cast<std::uint32_t>(graph.node_count()) - 1 : max_hops;
+  std::vector<double> best(graph.node_count(), kInfiniteCost);
+  std::vector<double> frontier(graph.node_count(), kInfiniteCost);
+  best[src] = frontier[src] = 0.0;
+  std::vector<double> next(graph.node_count());
+  for (std::uint32_t hop = 0; hop < bound; ++hop) {
+    std::fill(next.begin(), next.end(), kInfiniteCost);
+    bool improved = false;
+    for (NodeId node = 0; node < graph.node_count(); ++node) {
+      if (frontier[node] == kInfiniteCost) continue;
+      for (const Adjacency& adj : graph.neighbors(node)) {
+        const double candidate = frontier[node] + edge_cost[adj.edge];
+        if (candidate < next[adj.neighbor]) next[adj.neighbor] = candidate;
+      }
+    }
+    for (NodeId node = 0; node < graph.node_count(); ++node) {
+      if (next[node] < best[node]) {
+        best[node] = next[node];
+        improved = true;
+      }
+    }
+    frontier.swap(next);
+    if (!improved) break;  // converged before the hop bound
+  }
+  return best;
+}
+
+Path hop_bounded_path(const Graph& graph, NodeId src, NodeId dst,
+                      std::span<const double> edge_cost,
+                      std::uint32_t max_hops) {
+  if (edge_cost.size() != graph.edge_count())
+    throw std::invalid_argument("hop_bounded_path: edge_cost size mismatch");
+  if (src >= graph.node_count() || dst >= graph.node_count())
+    throw std::out_of_range("hop_bounded_path: node out of range");
+  Path path;
+  if (src == dst) {
+    path.nodes.push_back(src);
+    return path;
+  }
+  const std::uint32_t bound =
+      max_hops == 0 ? static_cast<std::uint32_t>(graph.node_count()) - 1 : max_hops;
+  // Layered DP with per-layer predecessors: layer h holds the best cost of
+  // reaching each node in exactly h hops.
+  const std::size_t n = graph.node_count();
+  std::vector<std::vector<double>> cost(bound + 1,
+                                        std::vector<double>(n, kInfiniteCost));
+  std::vector<std::vector<EdgeId>> via(bound + 1,
+                                       std::vector<EdgeId>(n, kInvalidEdge));
+  cost[0][src] = 0.0;
+  double best = kInfiniteCost;
+  std::uint32_t best_layer = 0;
+  for (std::uint32_t h = 1; h <= bound; ++h) {
+    for (NodeId node = 0; node < n; ++node) {
+      if (cost[h - 1][node] == kInfiniteCost) continue;
+      for (const Adjacency& adj : graph.neighbors(node)) {
+        const double candidate = cost[h - 1][node] + edge_cost[adj.edge];
+        if (candidate < cost[h][adj.neighbor]) {
+          cost[h][adj.neighbor] = candidate;
+          via[h][adj.neighbor] = adj.edge;
+        }
+      }
+    }
+    if (cost[h][dst] < best) {
+      best = cost[h][dst];
+      best_layer = h;
+    }
+  }
+  if (best == kInfiniteCost) return path;  // unreachable within the bound
+  // Walk predecessors back from (best_layer, dst).
+  NodeId node = dst;
+  for (std::uint32_t h = best_layer; h > 0; --h) {
+    const EdgeId edge = via[h][node];
+    path.edges.push_back(edge);
+    path.nodes.push_back(node);
+    node = graph.edge(edge).other(node);
+  }
+  path.nodes.push_back(src);
+  std::reverse(path.nodes.begin(), path.nodes.end());
+  std::reverse(path.edges.begin(), path.edges.end());
+  return path;
+}
+
+std::vector<Path> edge_disjoint_paths(const Graph& graph, NodeId src,
+                                      NodeId dst,
+                                      std::span<const double> edge_cost,
+                                      std::size_t k) {
+  if (edge_cost.size() != graph.edge_count())
+    throw std::invalid_argument("edge_disjoint_paths: edge_cost size mismatch");
+  std::vector<Path> paths;
+  if (k == 0 || src == dst) return paths;
+  // Unit-capacity min-cost flow; an undirected edge becomes one arc per
+  // direction. With non-negative costs an optimal integral flow never uses
+  // both directions of the same edge, so arc-disjointness in the flow is
+  // edge-disjointness in the graph.
+  solver::MinCostFlow mcf(graph.node_count());
+  std::map<std::size_t, std::pair<EdgeId, bool>> arc_info;  // arc -> (edge, a->b)
+  for (EdgeId e = 0; e < graph.edge_count(); ++e) {
+    const Edge& edge = graph.edge(e);
+    if (edge_cost[e] < 0)
+      throw std::invalid_argument("edge_disjoint_paths: negative cost");
+    arc_info[mcf.add_arc(edge.a, edge.b, 1.0, edge_cost[e])] = {e, true};
+    arc_info[mcf.add_arc(edge.b, edge.a, 1.0, edge_cost[e])] = {e, false};
+  }
+  const auto result = mcf.solve(src, dst, static_cast<double>(k));
+  const auto flows = static_cast<std::size_t>(result.max_flow + 0.5);
+  if (flows == 0) return paths;
+  // Collect used directed arcs (net usage) and peel off paths.
+  std::map<NodeId, std::vector<std::pair<NodeId, EdgeId>>> outgoing;
+  for (const auto& [arc, info] : arc_info) {
+    if (mcf.arc_flow(arc) < 0.5) continue;
+    const Edge& edge = graph.edge(info.first);
+    const NodeId from = info.second ? edge.a : edge.b;
+    const NodeId to = info.second ? edge.b : edge.a;
+    outgoing[from].emplace_back(to, info.first);
+  }
+  for (std::size_t i = 0; i < flows; ++i) {
+    Path path;
+    path.nodes.push_back(src);
+    NodeId node = src;
+    while (node != dst) {
+      auto& arcs = outgoing[node];
+      if (arcs.empty()) {
+        path.nodes.clear();  // degenerate (cancelled flow); give up this one
+        path.edges.clear();
+        break;
+      }
+      const auto [next, edge] = arcs.back();
+      arcs.pop_back();
+      path.nodes.push_back(next);
+      path.edges.push_back(edge);
+      node = next;
+    }
+    if (!path.nodes.empty()) paths.push_back(std::move(path));
+  }
+  return paths;
+}
+
+namespace {
+
+/// Shared DFS state for exhaustive simple-path enumeration.
+struct EnumerationState {
+  const Graph* graph = nullptr;
+  std::uint32_t max_hops = 0;
+  const std::function<bool(NodeId)>* is_target = nullptr;
+  const std::function<bool(const Path&)>* visit = nullptr;
+  std::vector<char> on_path;
+  Path path;
+  bool stopped = false;
+
+  void dfs(NodeId node) {
+    if ((*is_target)(node) && !path.edges.empty()) {
+      if (!(*visit)(path)) {
+        stopped = true;
+        return;
+      }
+    }
+    if (path.edges.size() >= max_hops) return;
+    for (const Adjacency& adj : graph->neighbors(node)) {
+      if (on_path[adj.neighbor]) continue;
+      on_path[adj.neighbor] = 1;
+      path.nodes.push_back(adj.neighbor);
+      path.edges.push_back(adj.edge);
+      dfs(adj.neighbor);
+      path.edges.pop_back();
+      path.nodes.pop_back();
+      on_path[adj.neighbor] = 0;
+      if (stopped) return;
+    }
+  }
+};
+
+}  // namespace
+
+void for_each_simple_path(const Graph& graph, NodeId src,
+                          const std::function<bool(NodeId)>& is_target,
+                          std::uint32_t max_hops,
+                          const std::function<bool(const Path&)>& visit) {
+  if (src >= graph.node_count())
+    throw std::out_of_range("for_each_simple_path: src");
+  EnumerationState state;
+  state.graph = &graph;
+  state.max_hops = max_hops == 0
+                       ? static_cast<std::uint32_t>(graph.node_count()) - 1
+                       : max_hops;
+  state.is_target = &is_target;
+  state.visit = &visit;
+  state.on_path.assign(graph.node_count(), 0);
+  state.on_path[src] = 1;
+  state.path.nodes.push_back(src);
+  state.dfs(src);
+}
+
+std::vector<Path> enumerate_simple_paths(const Graph& graph, NodeId src,
+                                         NodeId dst, std::uint32_t max_hops,
+                                         std::size_t max_paths) {
+  std::vector<Path> result;
+  for_each_simple_path(
+      graph, src, [dst](NodeId node) { return node == dst; }, max_hops,
+      [&result, max_paths](const Path& path) {
+        result.push_back(path);
+        return max_paths == 0 || result.size() < max_paths;
+      });
+  return result;
+}
+
+std::size_t count_simple_paths(const Graph& graph, NodeId src, NodeId dst,
+                               std::uint32_t max_hops) {
+  std::size_t count = 0;
+  for_each_simple_path(
+      graph, src, [dst](NodeId node) { return node == dst; }, max_hops,
+      [&count](const Path&) {
+        ++count;
+        return true;
+      });
+  return count;
+}
+
+std::vector<Path> k_shortest_paths(const Graph& graph, NodeId src, NodeId dst,
+                                   std::span<const double> edge_cost,
+                                   std::size_t k) {
+  std::vector<Path> accepted;
+  if (k == 0) return accepted;
+  std::vector<double> cost(edge_cost.begin(), edge_cost.end());
+  {
+    const ShortestPathTree tree = dijkstra(graph, src, cost);
+    Path first = tree.extract(graph, src, dst);
+    if (first.nodes.empty()) return accepted;
+    accepted.push_back(std::move(first));
+  }
+  // Candidate pool ordered by cost; set-based dedup on the node sequence.
+  auto path_cost = [&cost](const Path& path) { return path.cost(cost); };
+  auto cheaper = [&](const Path& a, const Path& b) {
+    return path_cost(a) < path_cost(b);
+  };
+  std::vector<Path> candidates;
+  std::set<std::vector<NodeId>> seen;
+  seen.insert(accepted[0].nodes);
+
+  while (accepted.size() < k) {
+    const Path& previous = accepted.back();
+    // Spur from every node of the previous path.
+    for (std::size_t spur_index = 0; spur_index < previous.nodes.size() - 1;
+         ++spur_index) {
+      const NodeId spur_node = previous.nodes[spur_index];
+      // Root = previous path up to the spur node.
+      std::vector<NodeId> root_nodes(previous.nodes.begin(),
+                                     previous.nodes.begin() + spur_index + 1);
+      // Ban edges that would recreate an already-accepted path with this root,
+      // and ban root nodes (except the spur) to keep paths loopless.
+      std::vector<double> banned = cost;
+      for (const Path& path : accepted) {
+        if (path.nodes.size() > spur_index + 1 &&
+            std::equal(root_nodes.begin(), root_nodes.end(), path.nodes.begin()))
+          banned[path.edges[spur_index]] = kInfiniteCost;
+      }
+      std::vector<char> removed(graph.node_count(), 0);
+      for (std::size_t i = 0; i < spur_index; ++i)
+        removed[previous.nodes[i]] = 1;
+      for (EdgeId e = 0; e < graph.edge_count(); ++e) {
+        const Edge& edge = graph.edge(e);
+        if (removed[edge.a] || removed[edge.b]) banned[e] = kInfiniteCost;
+      }
+      const ShortestPathTree tree = dijkstra(graph, spur_node, banned);
+      Path spur = tree.extract(graph, spur_node, dst);
+      if (spur.nodes.empty() || tree.distance[dst] == kInfiniteCost) continue;
+      // Total = root + spur.
+      Path total;
+      total.nodes = root_nodes;
+      total.edges.assign(previous.edges.begin(),
+                         previous.edges.begin() + spur_index);
+      total.nodes.insert(total.nodes.end(), spur.nodes.begin() + 1,
+                         spur.nodes.end());
+      total.edges.insert(total.edges.end(), spur.edges.begin(), spur.edges.end());
+      if (seen.insert(total.nodes).second) candidates.push_back(std::move(total));
+    }
+    if (candidates.empty()) break;
+    auto best = std::min_element(candidates.begin(), candidates.end(), cheaper);
+    accepted.push_back(std::move(*best));
+    candidates.erase(best);
+  }
+  return accepted;
+}
+
+}  // namespace dust::graph

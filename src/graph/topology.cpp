@@ -1,0 +1,140 @@
+#include "graph/topology.hpp"
+
+#include <stdexcept>
+
+namespace dust::graph {
+
+// Node layout: cores [0, c) with c = (k/2)^2, then per pod p:
+// aggregations [c + p*k, c + p*k + k/2), edges [c + p*k + k/2, c + (p+1)*k).
+FatTree::FatTree(std::uint32_t k) : k_(k) {
+  if (k < 2 || k % 2 != 0)
+    throw std::invalid_argument("FatTree: k must be even and >= 2");
+  const std::uint32_t half = k / 2;
+  const std::size_t nodes = static_cast<std::size_t>(half) * half +
+                            static_cast<std::size_t>(k) * k;
+  graph_ = Graph(nodes);
+
+  // Aggregation-to-core: aggregation switch `a` of each pod connects to the
+  // `half` core switches in core group `a` (cores [a*half, (a+1)*half)).
+  for (std::uint32_t p = 0; p < k; ++p) {
+    for (std::uint32_t a = 0; a < half; ++a) {
+      const NodeId agg = aggregation(p, a);
+      for (std::uint32_t c = 0; c < half; ++c)
+        graph_.add_edge(agg, core(a * half + c));
+    }
+  }
+  // Intra-pod full bipartite aggregation-to-edge.
+  for (std::uint32_t p = 0; p < k; ++p)
+    for (std::uint32_t a = 0; a < half; ++a)
+      for (std::uint32_t e = 0; e < half; ++e)
+        graph_.add_edge(aggregation(p, a), edge_switch(p, e));
+}
+
+SwitchLayer FatTree::layer(NodeId node) const {
+  const std::uint32_t half = k_ / 2;
+  if (node < half * half) return SwitchLayer::kCore;
+  const std::uint32_t offset = (node - half * half) % k_;
+  return offset < half ? SwitchLayer::kAggregation : SwitchLayer::kEdge;
+}
+
+std::uint32_t FatTree::pod(NodeId node) const {
+  const std::uint32_t half = k_ / 2;
+  if (node < half * half)
+    throw std::invalid_argument("FatTree::pod: core switches have no pod");
+  return (node - half * half) / k_;
+}
+
+NodeId FatTree::core(std::uint32_t index) const {
+  const std::uint32_t half = k_ / 2;
+  if (index >= half * half) throw std::out_of_range("FatTree::core");
+  return index;
+}
+
+NodeId FatTree::aggregation(std::uint32_t pod, std::uint32_t index) const {
+  const std::uint32_t half = k_ / 2;
+  if (pod >= k_ || index >= half) throw std::out_of_range("FatTree::aggregation");
+  return half * half + pod * k_ + index;
+}
+
+NodeId FatTree::edge_switch(std::uint32_t pod, std::uint32_t index) const {
+  const std::uint32_t half = k_ / 2;
+  if (pod >= k_ || index >= half) throw std::out_of_range("FatTree::edge_switch");
+  return half * half + pod * k_ + half + index;
+}
+
+std::string FatTree::node_name(NodeId node) const {
+  const std::uint32_t half = k_ / 2;
+  if (node < half * half) return "core" + std::to_string(node);
+  const std::uint32_t p = pod(node);
+  const std::uint32_t offset = (node - half * half) % k_;
+  if (offset < half)
+    return "agg" + std::to_string(p) + "." + std::to_string(offset);
+  return "edge" + std::to_string(p) + "." + std::to_string(offset - half);
+}
+
+Graph make_leaf_spine(std::uint32_t spines, std::uint32_t leaves) {
+  if (spines == 0 || leaves == 0)
+    throw std::invalid_argument("make_leaf_spine: empty tier");
+  Graph graph(spines + leaves);
+  for (std::uint32_t leaf = 0; leaf < leaves; ++leaf)
+    for (std::uint32_t spine = 0; spine < spines; ++spine)
+      graph.add_edge(spine, spines + leaf);
+  return graph;
+}
+
+Graph make_ring(std::uint32_t n) {
+  if (n < 3) throw std::invalid_argument("make_ring: n < 3");
+  Graph graph(n);
+  for (std::uint32_t i = 0; i < n; ++i) graph.add_edge(i, (i + 1) % n);
+  return graph;
+}
+
+Graph make_grid(std::uint32_t rows, std::uint32_t cols) {
+  if (rows == 0 || cols == 0) throw std::invalid_argument("make_grid: empty");
+  Graph graph(static_cast<std::size_t>(rows) * cols);
+  auto id = [cols](std::uint32_t r, std::uint32_t c) { return r * cols + c; };
+  for (std::uint32_t r = 0; r < rows; ++r) {
+    for (std::uint32_t c = 0; c < cols; ++c) {
+      if (c + 1 < cols) graph.add_edge(id(r, c), id(r, c + 1));
+      if (r + 1 < rows) graph.add_edge(id(r, c), id(r + 1, c));
+    }
+  }
+  return graph;
+}
+
+Graph make_star(std::uint32_t leaves) {
+  if (leaves == 0) throw std::invalid_argument("make_star: no leaves");
+  Graph graph(leaves + 1);
+  for (std::uint32_t leaf = 1; leaf <= leaves; ++leaf) graph.add_edge(0, leaf);
+  return graph;
+}
+
+Graph make_random_connected(std::uint32_t n, std::uint32_t extra_edges,
+                            util::Rng& rng) {
+  if (n == 0) throw std::invalid_argument("make_random_connected: n == 0");
+  Graph graph(n);
+  // Random spanning tree: attach each node i >= 1 to a uniformly random
+  // earlier node, after shuffling labels so the tree shape is unbiased by id.
+  std::vector<NodeId> order(n);
+  for (std::uint32_t i = 0; i < n; ++i) order[i] = i;
+  rng.shuffle(order);
+  for (std::uint32_t i = 1; i < n; ++i) {
+    const NodeId parent = order[rng.below(i)];
+    graph.add_edge(order[i], parent);
+  }
+  const std::size_t max_edges = static_cast<std::size_t>(n) * (n - 1) / 2;
+  std::uint32_t added = 0;
+  std::uint32_t attempts = 0;
+  while (added < extra_edges && graph.edge_count() < max_edges &&
+         attempts < extra_edges * 64 + 1024) {
+    ++attempts;
+    const auto a = static_cast<NodeId>(rng.below(n));
+    const auto b = static_cast<NodeId>(rng.below(n));
+    if (a == b || graph.find_edge(a, b)) continue;
+    graph.add_edge(a, b);
+    ++added;
+  }
+  return graph;
+}
+
+}  // namespace dust::graph

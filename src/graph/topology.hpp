@@ -1,0 +1,68 @@
+// Topology generators.
+//
+// The paper evaluates on k-port fat-trees counted at the *switch* level
+// (no hosts): 5k^2/4 nodes and k^3/2 links — 20/32 for k=4, 80/256 for k=8,
+// 320/2048 for k=16, 5120/131072 for k=64 (§V-B). FatTree reproduces exactly
+// those counts. Additional generators cover the "versatile, deployable across
+// various network topologies" claim (§III) and give tests non-fat-tree cases.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "util/rng.hpp"
+
+namespace dust::graph {
+
+enum class SwitchLayer : std::uint8_t { kCore, kAggregation, kEdge };
+
+/// k-port fat-tree at switch granularity (Al-Fares et al., SIGCOMM'08).
+class FatTree {
+ public:
+  /// k must be even and >= 2.
+  explicit FatTree(std::uint32_t k);
+
+  [[nodiscard]] std::uint32_t k() const noexcept { return k_; }
+  [[nodiscard]] const Graph& graph() const noexcept { return graph_; }
+
+  [[nodiscard]] std::size_t core_count() const noexcept { return (k_ / 2) * (k_ / 2); }
+  [[nodiscard]] std::size_t pod_count() const noexcept { return k_; }
+  [[nodiscard]] std::size_t aggregation_per_pod() const noexcept { return k_ / 2; }
+  [[nodiscard]] std::size_t edge_per_pod() const noexcept { return k_ / 2; }
+
+  [[nodiscard]] SwitchLayer layer(NodeId node) const;
+  /// Pod index for aggregation/edge switches; throws for core switches.
+  [[nodiscard]] std::uint32_t pod(NodeId node) const;
+
+  [[nodiscard]] NodeId core(std::uint32_t index) const;
+  [[nodiscard]] NodeId aggregation(std::uint32_t pod, std::uint32_t index) const;
+  [[nodiscard]] NodeId edge_switch(std::uint32_t pod, std::uint32_t index) const;
+
+  /// Human-readable name, e.g. "core3", "agg1.0", "edge2.1".
+  [[nodiscard]] std::string node_name(NodeId node) const;
+
+ private:
+  std::uint32_t k_;
+  Graph graph_;
+};
+
+/// Two-tier leaf-spine: every leaf connects to every spine.
+Graph make_leaf_spine(std::uint32_t spines, std::uint32_t leaves);
+
+/// Cycle of n >= 3 nodes.
+Graph make_ring(std::uint32_t n);
+
+/// rows x cols 2D mesh.
+Graph make_grid(std::uint32_t rows, std::uint32_t cols);
+
+/// Star: node 0 is the hub.
+Graph make_star(std::uint32_t leaves);
+
+/// Connected random graph: a random spanning tree plus `extra_edges`
+/// additional distinct random edges.
+Graph make_random_connected(std::uint32_t n, std::uint32_t extra_edges,
+                            util::Rng& rng);
+
+}  // namespace dust::graph

@@ -1,0 +1,88 @@
+#include "net/diagnosis.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace dust::net {
+
+double expected_probe_seconds(const NetworkState& net, const PathProbe& probe) {
+  double seconds = 0.0;
+  for (graph::EdgeId e : probe.path.edges)
+    seconds += probe.data_mb / net.link(e).utilized_bandwidth();
+  return seconds;
+}
+
+Diagnosis localize_bottleneck(const NetworkState& net,
+                              const std::vector<PathProbe>& probes,
+                              const DiagnosisOptions& options) {
+  Diagnosis diagnosis;
+  std::set<graph::EdgeId> healthy_edges;
+  struct Accumulator {
+    double ratio_sum = 0.0;
+    std::size_t count = 0;
+  };
+  std::map<graph::EdgeId, Accumulator> degraded_edges;
+  std::set<graph::EdgeId> in_all_degraded;
+  bool first_degraded = true;
+
+  for (const PathProbe& probe : probes) {
+    const double expected = expected_probe_seconds(net, probe);
+    const bool degraded =
+        expected > 0 && probe.measured_seconds > options.tolerance * expected;
+    if (!degraded) {
+      ++diagnosis.healthy_probes;
+      healthy_edges.insert(probe.path.edges.begin(), probe.path.edges.end());
+      continue;
+    }
+    ++diagnosis.degraded_probes;
+    const double ratio = probe.measured_seconds / expected;
+    std::set<graph::EdgeId> edges(probe.path.edges.begin(),
+                                  probe.path.edges.end());
+    for (graph::EdgeId e : edges) {
+      Accumulator& acc = degraded_edges[e];
+      acc.ratio_sum += ratio;
+      ++acc.count;
+    }
+    if (first_degraded) {
+      in_all_degraded = edges;
+      first_degraded = false;
+    } else {
+      std::set<graph::EdgeId> intersection;
+      std::set_intersection(in_all_degraded.begin(), in_all_degraded.end(),
+                            edges.begin(), edges.end(),
+                            std::inserter(intersection, intersection.begin()));
+      in_all_degraded = std::move(intersection);
+    }
+  }
+  if (diagnosis.degraded_probes == 0) return diagnosis;
+
+  // Suspects: edges on every degraded probe that no healthy probe crossed.
+  // If healthy probes exonerate everything (shared edge was fine elsewhere),
+  // fall back to the un-exonerated edges of any degraded probe.
+  std::vector<graph::EdgeId> candidates;
+  for (graph::EdgeId e : in_all_degraded)
+    if (!healthy_edges.count(e)) candidates.push_back(e);
+  if (candidates.empty()) {
+    for (const auto& [e, acc] : degraded_edges)
+      if (!healthy_edges.count(e)) candidates.push_back(e);
+  }
+  for (graph::EdgeId e : candidates) {
+    const Accumulator& acc = degraded_edges.at(e);
+    Suspect suspect;
+    suspect.edge = e;
+    suspect.slowdown = acc.ratio_sum / static_cast<double>(acc.count);
+    suspect.degraded_probes = acc.count;
+    diagnosis.suspects.push_back(suspect);
+  }
+  std::sort(diagnosis.suspects.begin(), diagnosis.suspects.end(),
+            [](const Suspect& a, const Suspect& b) {
+              if (a.degraded_probes != b.degraded_probes)
+                return a.degraded_probes > b.degraded_probes;
+              if (a.slowdown != b.slowdown) return a.slowdown > b.slowdown;
+              return a.edge < b.edge;
+            });
+  return diagnosis;
+}
+
+}  // namespace dust::net

@@ -1,0 +1,57 @@
+// Latency-bottleneck localization — one of the in-device telemetry use
+// cases the paper's introduction motivates ("localization of latency
+// bottlenecks acquired in case an anomaly is detected").
+//
+// Input: path probes (a route plus its measured end-to-end response time).
+// Each probe's expected time comes from the network model (Eq. 1); a probe
+// is degraded when measurement exceeds expectation by the tolerance factor.
+// Suspect edges are those shared by degraded probes and exonerated by
+// healthy ones; each surviving suspect is scored by the mean excess latency
+// of the degraded probes crossing it.
+#pragma once
+
+#include <vector>
+
+#include "graph/paths.hpp"
+#include "net/network_state.hpp"
+
+namespace dust::net {
+
+struct PathProbe {
+  graph::Path path;
+  double measured_seconds = 0.0;
+  double data_mb = 1.0;  ///< probe payload used for the expected-time model
+};
+
+struct Suspect {
+  graph::EdgeId edge = graph::kInvalidEdge;
+  /// Mean measured/expected ratio over degraded probes crossing this edge.
+  double slowdown = 1.0;
+  std::size_t degraded_probes = 0;  ///< degraded probes crossing the edge
+};
+
+struct DiagnosisOptions {
+  /// A probe is degraded when measured > tolerance x expected.
+  double tolerance = 1.5;
+};
+
+struct Diagnosis {
+  std::vector<Suspect> suspects;  ///< sorted by slowdown, worst first
+  std::size_t degraded_probes = 0;
+  std::size_t healthy_probes = 0;
+
+  [[nodiscard]] bool localized() const noexcept { return !suspects.empty(); }
+  /// The top suspect (precondition: localized()).
+  [[nodiscard]] const Suspect& culprit() const { return suspects.front(); }
+};
+
+/// Expected response time of a probe under the current network model.
+double expected_probe_seconds(const NetworkState& net, const PathProbe& probe);
+
+/// Localize: intersect degraded probes' edges, subtract edges any healthy
+/// probe crossed, score the rest.
+Diagnosis localize_bottleneck(const NetworkState& net,
+                              const std::vector<PathProbe>& probes,
+                              const DiagnosisOptions& options = {});
+
+}  // namespace dust::net

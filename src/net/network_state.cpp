@@ -1,0 +1,19 @@
+#include "net/network_state.hpp"
+
+namespace dust::net {
+
+std::vector<double> NetworkState::utilized_bandwidths() const {
+  std::vector<double> lu(links_.size());
+  for (std::size_t e = 0; e < links_.size(); ++e)
+    lu[e] = links_[e].utilized_bandwidth();
+  return lu;
+}
+
+std::vector<double> NetworkState::inverse_bandwidth_costs() const {
+  std::vector<double> cost(links_.size());
+  for (std::size_t e = 0; e < links_.size(); ++e)
+    cost[e] = 1.0 / links_[e].utilized_bandwidth();
+  return cost;
+}
+
+}  // namespace dust::net

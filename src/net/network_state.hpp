@@ -1,0 +1,85 @@
+// Dynamic network state: per-link bandwidth/utilization and per-node
+// utilized capacity. This is the data the paper's NMDB stores (topology,
+// link utilization, node resource utilization) and the optimization engine
+// consumes.
+#pragma once
+
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace dust::net {
+
+/// One link's dynamic state. Lu (the paper's "link utilization bandwidth",
+/// Mbps) = physical bandwidth x utilization rate of data in transit.
+struct LinkState {
+  double bandwidth_mbps = 10000.0;  ///< physical capacity
+  double utilization = 0.5;         ///< fraction of capacity in use, (0, 1]
+
+  /// Lu_e in Mbps; the denominator of the paper's Eq. 1.
+  [[nodiscard]] double utilized_bandwidth() const noexcept {
+    return bandwidth_mbps * utilization;
+  }
+};
+
+/// Topology + per-edge link state + per-node utilized capacity C_j (%) and
+/// monitoring data volume D_i (Mb).
+class NetworkState {
+ public:
+  explicit NetworkState(graph::Graph graph)
+      : graph_(std::move(graph)),
+        links_(graph_.edge_count()),
+        node_utilization_(graph_.node_count(), 0.0),
+        monitoring_data_mb_(graph_.node_count(), 0.0) {}
+
+  [[nodiscard]] const graph::Graph& graph() const noexcept { return graph_; }
+  [[nodiscard]] std::size_t node_count() const noexcept { return graph_.node_count(); }
+  [[nodiscard]] std::size_t edge_count() const noexcept { return graph_.edge_count(); }
+
+  [[nodiscard]] const LinkState& link(graph::EdgeId edge) const {
+    return links_.at(edge);
+  }
+  void set_link(graph::EdgeId edge, LinkState state) {
+    if (state.bandwidth_mbps <= 0 || state.utilization <= 0 ||
+        state.utilization > 1.0)
+      throw std::invalid_argument("NetworkState::set_link: invalid link state");
+    links_.at(edge) = state;
+  }
+
+  /// C_j, percent in [0, 100].
+  [[nodiscard]] double node_utilization(graph::NodeId node) const {
+    return node_utilization_.at(node);
+  }
+  void set_node_utilization(graph::NodeId node, double percent) {
+    if (percent < 0.0 || percent > 100.0)
+      throw std::invalid_argument("NetworkState: utilization out of [0,100]");
+    node_utilization_.at(node) = percent;
+  }
+
+  /// D_i, the monitoring data volume to move if node i offloads (Mb).
+  [[nodiscard]] double monitoring_data_mb(graph::NodeId node) const {
+    return monitoring_data_mb_.at(node);
+  }
+  void set_monitoring_data_mb(graph::NodeId node, double mb) {
+    if (mb < 0.0)
+      throw std::invalid_argument("NetworkState: negative monitoring data");
+    monitoring_data_mb_.at(node) = mb;
+  }
+
+  /// Per-edge Lu vector (Mbps), aligned with edge ids.
+  [[nodiscard]] std::vector<double> utilized_bandwidths() const;
+
+  /// Per-edge cost 1/Lu_e — the Eq. 1 response-time weight without the D_i
+  /// factor (multiply by D_i to get seconds).
+  [[nodiscard]] std::vector<double> inverse_bandwidth_costs() const;
+
+ private:
+  graph::Graph graph_;
+  std::vector<LinkState> links_;
+  std::vector<double> node_utilization_;
+  std::vector<double> monitoring_data_mb_;
+};
+
+}  // namespace dust::net

@@ -1,0 +1,58 @@
+#include "net/response_time.hpp"
+
+#include "graph/paths.hpp"
+
+namespace dust::net {
+
+double path_response_time(const NetworkState& net, const graph::Path& path,
+                          double data_mb) {
+  double seconds = 0.0;
+  for (graph::EdgeId e : path.edges)
+    seconds += data_mb / net.link(e).utilized_bandwidth();
+  return seconds;
+}
+
+ResponseTimeResult min_response_times(const NetworkState& net,
+                                      graph::NodeId source, double data_mb,
+                                      const ResponseTimeOptions& options) {
+  ResponseTimeResult result;
+  const std::vector<double> inv = net.inverse_bandwidth_costs();
+
+  if (options.mode == EvaluatorMode::kHopBoundedDp) {
+    result.trmin_seconds =
+        graph::hop_bounded_min_cost(net.graph(), source, inv, options.max_hops);
+    for (double& t : result.trmin_seconds)
+      if (t != graph::kInfiniteCost) t *= data_mb;
+    result.work = options.max_hops ? options.max_hops : net.node_count() - 1;
+    return result;
+  }
+
+  // Paper-faithful exhaustive enumeration: every node is a target, so a
+  // single DFS from `source` covers all pairs (i, j).
+  result.trmin_seconds.assign(net.node_count(), graph::kInfiniteCost);
+  result.trmin_seconds[source] = 0.0;
+  std::size_t visited = 0;
+  graph::for_each_simple_path(
+      net.graph(), source, [](graph::NodeId) { return true; },
+      options.max_hops,
+      [&](const graph::Path& path) {
+        ++visited;
+        double cost = 0.0;
+        for (graph::EdgeId e : path.edges) cost += inv[e];
+        const graph::NodeId dst = path.destination();
+        if (cost < result.trmin_seconds[dst]) result.trmin_seconds[dst] = cost;
+        if (options.max_paths_per_source &&
+            visited >= options.max_paths_per_source) {
+          result.truncated = true;
+          return false;
+        }
+        return true;
+      });
+  result.work = visited;
+  for (graph::NodeId v = 0; v < net.node_count(); ++v)
+    if (v != source && result.trmin_seconds[v] != graph::kInfiniteCost)
+      result.trmin_seconds[v] *= data_mb;
+  return result;
+}
+
+}  // namespace dust::net

@@ -1,0 +1,41 @@
+#include "net/traffic.hpp"
+
+#include <stdexcept>
+
+namespace dust::net {
+
+void randomize_links(NetworkState& net, const LinkProfile& profile,
+                     util::Rng& rng) {
+  if (profile.min_utilization <= 0 || profile.max_utilization > 1.0 ||
+      profile.min_utilization > profile.max_utilization)
+    throw std::invalid_argument("randomize_links: bad utilization range");
+  for (graph::EdgeId e = 0; e < net.edge_count(); ++e) {
+    LinkState state;
+    state.bandwidth_mbps = profile.bandwidth_mbps;
+    state.utilization =
+        rng.uniform(profile.min_utilization, profile.max_utilization);
+    net.set_link(e, state);
+  }
+}
+
+void randomize_node_loads(NetworkState& net, const NodeLoadProfile& profile,
+                          util::Rng& rng) {
+  if (profile.x_min < 0 || profile.x_max > 100 || profile.x_min > profile.x_max)
+    throw std::invalid_argument("randomize_node_loads: bad load range");
+  for (graph::NodeId v = 0; v < net.node_count(); ++v) {
+    net.set_node_utilization(v, rng.uniform(profile.x_min, profile.x_max));
+    net.set_monitoring_data_mb(
+        v, rng.uniform(profile.monitoring_data_min_mb,
+                       profile.monitoring_data_max_mb));
+  }
+}
+
+NetworkState make_random_state(graph::Graph graph, const LinkProfile& links,
+                               const NodeLoadProfile& loads, util::Rng& rng) {
+  NetworkState net(std::move(graph));
+  randomize_links(net, links, rng);
+  randomize_node_loads(net, loads, rng);
+  return net;
+}
+
+}  // namespace dust::net

@@ -1,0 +1,36 @@
+// Random scenario generation: link states and node loads for the
+// iteration-based evaluations (Figs 7-12), plus simple traffic matrices.
+#pragma once
+
+#include "net/network_state.hpp"
+#include "util/rng.hpp"
+
+namespace dust::net {
+
+struct LinkProfile {
+  double bandwidth_mbps = 10000.0;  ///< 10 GbE default
+  double min_utilization = 0.1;
+  double max_utilization = 0.9;
+};
+
+struct NodeLoadProfile {
+  double x_min = 10.0;   ///< paper's x_min: nodes' minimum usage capacity (%)
+  double x_max = 100.0;  ///< constraint 3e upper end
+  double monitoring_data_min_mb = 10.0;
+  double monitoring_data_max_mb = 100.0;
+};
+
+/// Assign every link uniform-random utilization within the profile.
+void randomize_links(NetworkState& net, const LinkProfile& profile,
+                     util::Rng& rng);
+
+/// Assign every node uniform-random utilized capacity C_j in [x_min, x_max]
+/// and a monitoring data volume D_i.
+void randomize_node_loads(NetworkState& net, const NodeLoadProfile& profile,
+                          util::Rng& rng);
+
+/// Convenience: build a fully randomized state over a topology.
+NetworkState make_random_state(graph::Graph graph, const LinkProfile& links,
+                               const NodeLoadProfile& loads, util::Rng& rng);
+
+}  // namespace dust::net

@@ -1,0 +1,84 @@
+#include "sim/event_queue.hpp"
+
+#include <memory>
+#include <stdexcept>
+
+namespace dust::sim {
+
+void Simulator::schedule(TimeMs delay_ms, std::function<void()> fn) {
+  if (delay_ms < 0) throw std::invalid_argument("Simulator: negative delay");
+  schedule_at(now_ + delay_ms, std::move(fn));
+}
+
+void Simulator::schedule_at(TimeMs when_ms, std::function<void()> fn) {
+  if (when_ms < now_)
+    throw std::invalid_argument("Simulator: schedule in the past");
+  queue_.push(Event{when_ms, next_seq_++, std::move(fn)});
+}
+
+std::size_t Simulator::run_until(TimeMs until_ms) {
+  std::size_t executed = 0;
+  while (!queue_.empty() && queue_.top().when <= until_ms) {
+    // Copy out before pop: fn may schedule new events.
+    Event event = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    now_ = event.when;
+    event.fn();
+    ++executed;
+  }
+  if (now_ < until_ms) now_ = until_ms;
+  return executed;
+}
+
+std::size_t Simulator::run() {
+  std::size_t executed = 0;
+  while (!queue_.empty()) {
+    Event event = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    now_ = event.when;
+    event.fn();
+    ++executed;
+  }
+  return executed;
+}
+
+void Simulator::clear() {
+  while (!queue_.empty()) queue_.pop();
+}
+
+struct PeriodicTask::State {
+  Simulator* sim = nullptr;
+  TimeMs period = 0;
+  std::function<void(TimeMs)> fn;
+  bool cancelled = false;
+
+  void arm(TimeMs when, const std::shared_ptr<State>& self) {
+    sim->schedule_at(when, [self] {
+      if (self->cancelled) return;
+      self->fn(self->sim->now());
+      if (!self->cancelled) self->arm(self->sim->now() + self->period, self);
+    });
+  }
+};
+
+PeriodicTask::PeriodicTask(Simulator& sim, TimeMs start_ms, TimeMs period_ms,
+                           std::function<void(TimeMs)> fn)
+    : state_(std::make_shared<State>()) {
+  if (period_ms <= 0) throw std::invalid_argument("PeriodicTask: period <= 0");
+  state_->sim = &sim;
+  state_->period = period_ms;
+  state_->fn = std::move(fn);
+  state_->arm(start_ms, state_);
+}
+
+PeriodicTask::~PeriodicTask() { cancel(); }
+
+void PeriodicTask::cancel() noexcept {
+  if (state_) state_->cancelled = true;
+}
+
+bool PeriodicTask::active() const noexcept {
+  return state_ && !state_->cancelled;
+}
+
+}  // namespace dust::sim

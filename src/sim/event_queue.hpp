@@ -1,0 +1,76 @@
+// Discrete-event simulation core.
+//
+// A Simulator owns virtual time (milliseconds) and a priority queue of
+// callbacks. Everything in the testbed simulation — traffic ticks, agent
+// sampling, protocol timers (STAT, Keepalive) — is scheduled here, so
+// experiments are deterministic and run at CPU speed, not wall-clock speed.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+namespace dust::sim {
+
+using TimeMs = std::int64_t;
+
+class Simulator {
+ public:
+  [[nodiscard]] TimeMs now() const noexcept { return now_; }
+
+  /// Schedule `fn` to run `delay_ms >= 0` after the current time.
+  void schedule(TimeMs delay_ms, std::function<void()> fn);
+  /// Schedule at an absolute time >= now().
+  void schedule_at(TimeMs when_ms, std::function<void()> fn);
+
+  /// Run events until the queue is empty or `until_ms` is passed
+  /// (events exactly at until_ms are executed). Returns events executed.
+  std::size_t run_until(TimeMs until_ms);
+
+  /// Run until the queue drains. Returns events executed.
+  std::size_t run();
+
+  /// Cancel everything not yet executed.
+  void clear();
+
+  [[nodiscard]] std::size_t pending() const noexcept { return queue_.size(); }
+
+ private:
+  struct Event {
+    TimeMs when;
+    std::uint64_t seq;  // FIFO among same-time events
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const noexcept {
+      return a.when != b.when ? a.when > b.when : a.seq > b.seq;
+    }
+  };
+
+  TimeMs now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+};
+
+/// Repeating timer helper: schedules `fn(now)` every `period_ms` starting at
+/// `start_ms`, until cancel() or the simulator is cleared.
+class PeriodicTask {
+ public:
+  PeriodicTask(Simulator& sim, TimeMs start_ms, TimeMs period_ms,
+               std::function<void(TimeMs)> fn);
+  ~PeriodicTask();
+
+  PeriodicTask(const PeriodicTask&) = delete;
+  PeriodicTask& operator=(const PeriodicTask&) = delete;
+
+  void cancel() noexcept;
+  [[nodiscard]] bool active() const noexcept;
+
+ private:
+  struct State;
+  std::shared_ptr<State> state_;
+};
+
+}  // namespace dust::sim

@@ -1,0 +1,117 @@
+#include "sim/node.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace dust::sim {
+
+MonitoredNode::MonitoredNode(std::string name, NodeResources resources,
+                             double base_cpu_percent, double base_memory_mib)
+    : name_(std::move(name)),
+      resources_(resources),
+      base_cpu_percent_(base_cpu_percent),
+      base_memory_mib_(base_memory_mib) {
+  if (resources_.cores == 0 || resources_.memory_mib <= 0)
+    throw std::invalid_argument("MonitoredNode: empty resources");
+  if (base_cpu_percent < 0 || base_cpu_percent > 100)
+    throw std::invalid_argument("MonitoredNode: base CPU out of range");
+  if (base_memory_mib < 0 || base_memory_mib > resources_.memory_mib)
+    throw std::invalid_argument("MonitoredNode: base memory out of range");
+}
+
+void MonitoredNode::add_local_agent(telemetry::MonitorAgent agent) {
+  agent.bind(db_);
+  local_agents_.push_back(std::move(agent));
+}
+
+void MonitoredNode::add_remote_agent(const std::string& owner,
+                                     telemetry::MonitorAgent agent) {
+  agent.bind(db_);
+  remote_agents_.push_back(RemoteAgent{owner, std::move(agent)});
+}
+
+std::vector<telemetry::MonitorAgent> MonitoredNode::remove_local_agents() {
+  std::vector<telemetry::MonitorAgent> out = std::move(local_agents_);
+  local_agents_.clear();
+  return out;
+}
+
+std::size_t MonitoredNode::remove_remote_agents(const std::string& owner) {
+  const std::size_t before = remote_agents_.size();
+  std::erase_if(remote_agents_,
+                [&owner](const RemoteAgent& r) { return r.owner == owner; });
+  return before - remote_agents_.size();
+}
+
+telemetry::DeviceSnapshot MonitoredNode::make_snapshot(std::int64_t now_ms,
+                                                       double rx_mbps,
+                                                       double tx_mbps,
+                                                       util::Rng& rng) const {
+  telemetry::DeviceSnapshot snap;
+  snap.timestamp_ms = now_ms;
+  snap.device_cpu_percent = last_.device_cpu_percent;  // self-observation lag
+  snap.memory_used_mib =
+      last_.memory_percent / 100.0 * resources_.memory_mib;
+  snap.rx_mbps = rx_mbps;
+  snap.tx_mbps = tx_mbps;
+  snap.temperature_c = 38.0 + rx_mbps / 10000.0 + rng.uniform(0.0, 2.0);
+  snap.links_total = 32;
+  snap.links_up = 32 - static_cast<std::uint32_t>(rng.bernoulli(0.01) ? 1 : 0);
+  snap.protocol_flaps = rng.bernoulli(0.02) ? 1 : 0;
+  snap.faults = rng.bernoulli(0.005) ? 1 : 0;
+  return snap;
+}
+
+TickStats MonitoredNode::tick(std::int64_t now_ms, std::int64_t tick_ms,
+                              double rx_mbps, double tx_mbps, util::Rng& rng) {
+  if (tick_ms <= 0) throw std::invalid_argument("MonitoredNode::tick: tick_ms");
+  const telemetry::DeviceSnapshot snapshot =
+      make_snapshot(now_ms, rx_mbps, tx_mbps, rng);
+
+  double monitor_cpu_ms = 0.0;
+  for (telemetry::MonitorAgent& agent : local_agents_)
+    if (agent.due(now_ms)) monitor_cpu_ms += agent.sample(snapshot, db_, rng);
+  // Export residual for agents of this node running remotely.
+  monitor_cpu_ms += export_cost_ms_ * static_cast<double>(offloaded_agents_);
+  // Remote observations charged since the last tick.
+  monitor_cpu_ms += pending_remote_cpu_ms_;
+  pending_remote_cpu_ms_ = 0.0;
+
+  const double available_core_ms =
+      static_cast<double>(resources_.cores) * static_cast<double>(tick_ms);
+  const double monitor_cpu_fraction =
+      std::min(1.0, monitor_cpu_ms / available_core_ms);
+
+  double monitor_memory = 0.0;
+  for (const telemetry::MonitorAgent& agent : local_agents_)
+    monitor_memory += agent.memory_mib();
+  for (const RemoteAgent& remote : remote_agents_)
+    monitor_memory += remote.agent.memory_mib();
+  monitor_memory += static_cast<double>(db_.storage_bytes()) / (1024.0 * 1024.0);
+
+  TickStats stats;
+  stats.timestamp_ms = now_ms;
+  stats.monitor_cpu_cores = monitor_cpu_ms / static_cast<double>(tick_ms);
+  stats.device_cpu_percent =
+      std::min(100.0, base_cpu_percent_ + 100.0 * monitor_cpu_fraction);
+  stats.monitor_memory_mib = monitor_memory;
+  stats.memory_percent = std::min(
+      100.0, (base_memory_mib_ + monitor_memory) / resources_.memory_mib * 100.0);
+  last_ = stats;
+  return stats;
+}
+
+double MonitoredNode::observe_remote(const std::string& owner,
+                                     const telemetry::DeviceSnapshot& snapshot,
+                                     util::Rng& rng) {
+  double cpu_ms = 0.0;
+  for (RemoteAgent& remote : remote_agents_) {
+    if (remote.owner != owner) continue;
+    if (remote.agent.due(snapshot.timestamp_ms))
+      cpu_ms += remote.agent.sample(snapshot, db_, rng);
+  }
+  pending_remote_cpu_ms_ += cpu_ms;
+  return cpu_ms;
+}
+
+}  // namespace dust::sim

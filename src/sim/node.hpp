@@ -1,0 +1,110 @@
+// Simulated network device with a resource model and hosted monitoring.
+//
+// Replaces the paper's hardware testbed (HPE Aruba 8325: 8 cores, 16 GiB RAM)
+// for Figs 1 and 6. A MonitoredNode charges CPU for its primary switching
+// functions (base load) plus every monitoring agent it hosts — local agents
+// observing itself and remote agents observing *other* nodes that offloaded
+// to it (the paper's homogeneity assumption: an offloaded agent costs the
+// destination what it cost the source). Memory = base + agent footprints +
+// compressed TSDB storage.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "telemetry/agent.hpp"
+#include "telemetry/tsdb.hpp"
+#include "util/rng.hpp"
+
+namespace dust::sim {
+
+struct NodeResources {
+  std::uint32_t cores = 8;
+  double memory_mib = 16384.0;  // 16 GiB
+};
+
+/// One tick's resource readings.
+struct TickStats {
+  std::int64_t timestamp_ms = 0;
+  double device_cpu_percent = 0.0;   ///< whole-device CPU, 0-100
+  double monitor_cpu_cores = 0.0;    ///< monitoring-only load in cores
+                                     ///< (x100 = the "module CPU %" of Fig. 1)
+  double memory_percent = 0.0;
+  double monitor_memory_mib = 0.0;
+};
+
+class MonitoredNode {
+ public:
+  MonitoredNode(std::string name, NodeResources resources,
+                double base_cpu_percent, double base_memory_mib);
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] const NodeResources& resources() const noexcept {
+    return resources_;
+  }
+  [[nodiscard]] telemetry::Tsdb& tsdb() noexcept { return db_; }
+  [[nodiscard]] const telemetry::Tsdb& tsdb() const noexcept { return db_; }
+
+  /// Install an agent that monitors this node itself.
+  void add_local_agent(telemetry::MonitorAgent agent);
+  /// Install an agent offloaded from `owner` — it monitors the owner's
+  /// snapshots remotely but consumes *this* node's CPU/memory.
+  void add_remote_agent(const std::string& owner, telemetry::MonitorAgent agent);
+  /// Remove local agents by name; returns them (for re-hosting elsewhere).
+  std::vector<telemetry::MonitorAgent> remove_local_agents();
+  /// Drop remote agents belonging to `owner`; returns how many were dropped.
+  std::size_t remove_remote_agents(const std::string& owner);
+
+  [[nodiscard]] std::size_t local_agent_count() const noexcept {
+    return local_agents_.size();
+  }
+  [[nodiscard]] std::size_t remote_agent_count() const noexcept {
+    return remote_agents_.size();
+  }
+
+  /// Advance one tick of `tick_ms` with the node's own traffic. Runs local
+  /// agents (they observe this node) and charges their CPU/memory here.
+  /// `export_remote` should be true while this node's agents run elsewhere:
+  /// it charges the small telemetry-export residual instead of agent cost.
+  TickStats tick(std::int64_t now_ms, std::int64_t tick_ms, double rx_mbps,
+                 double tx_mbps, util::Rng& rng);
+
+  /// Feed a remote owner's snapshot to the agents hosted here for it.
+  /// Returns CPU charged (core-ms) — included in the next tick()'s stats.
+  double observe_remote(const std::string& owner,
+                        const telemetry::DeviceSnapshot& snapshot,
+                        util::Rng& rng);
+
+  /// Residual per-tick export cost charged while agents run remotely
+  /// (core-ms per offloaded agent; streams DB table deltas to the host).
+  void set_export_cost_ms(double cost) { export_cost_ms_ = cost; }
+  /// Number of this node's own agents currently running remotely.
+  void set_offloaded_agent_count(std::size_t n) { offloaded_agents_ = n; }
+
+  [[nodiscard]] const TickStats& last_stats() const noexcept { return last_; }
+
+ private:
+  [[nodiscard]] telemetry::DeviceSnapshot make_snapshot(
+      std::int64_t now_ms, double rx_mbps, double tx_mbps,
+      util::Rng& rng) const;
+
+  std::string name_;
+  NodeResources resources_;
+  double base_cpu_percent_;
+  double base_memory_mib_;
+  telemetry::Tsdb db_;
+  std::vector<telemetry::MonitorAgent> local_agents_;
+  struct RemoteAgent {
+    std::string owner;
+    telemetry::MonitorAgent agent;
+  };
+  std::vector<RemoteAgent> remote_agents_;
+  double export_cost_ms_ = 0.5;
+  std::size_t offloaded_agents_ = 0;
+  double pending_remote_cpu_ms_ = 0.0;  // charged by observe_remote
+  TickStats last_;
+};
+
+}  // namespace dust::sim

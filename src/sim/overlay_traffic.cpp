@@ -1,0 +1,24 @@
+#include "sim/overlay_traffic.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dust::sim {
+
+TrafficTick OverlayTraffic::next(util::Rng& rng) {
+  TrafficTick tick;
+  const double nominal = nominal_mbps();
+  // Multiplicative noise: exp(N(0, sigma)) keeps traffic positive and
+  // right-skewed like real overlay load.
+  double rx = nominal * std::exp(rng.normal(0.0, profile_.noise_stddev));
+  if (profile_.burst_probability > 0 &&
+      rng.bernoulli(profile_.burst_probability)) {
+    rx = nominal * rng.uniform(profile_.burst_low, profile_.burst_high);
+    tick.burst = true;
+  }
+  tick.rx_mbps = std::min(rx, profile_.line_rate_mbps);
+  tick.tx_mbps = tick.rx_mbps * profile_.tx_fraction;
+  return tick;
+}
+
+}  // namespace dust::sim

@@ -1,0 +1,71 @@
+#include "sim/transport.hpp"
+
+#include <stdexcept>
+#include <memory>
+#include <utility>
+
+namespace dust::sim {
+
+void Transport::set_loss_probability(double p) {
+  if (p < 0.0 || p > 1.0)
+    throw std::invalid_argument("Transport: loss probability out of [0,1]");
+  loss_probability_ = p;
+}
+
+void Transport::set_partitioned(const std::string& endpoint, bool partitioned) {
+  partitioned_[endpoint] = partitioned;
+}
+
+std::uint64_t Transport::register_endpoint(const std::string& name,
+                                           Handler handler) {
+  if (!handler) throw std::invalid_argument("Transport: null handler");
+  const std::uint64_t token = next_token_++;
+  endpoints_[name] = Endpoint{std::move(handler), token};
+  return token;
+}
+
+void Transport::unregister_endpoint(const std::string& name) {
+  endpoints_.erase(name);
+}
+
+void Transport::unregister_endpoint(const std::string& name,
+                                    std::uint64_t token) {
+  auto it = endpoints_.find(name);
+  if (it != endpoints_.end() && it->second.token == token)
+    endpoints_.erase(it);
+}
+
+bool Transport::has_endpoint(const std::string& name) const {
+  return endpoints_.count(name) > 0;
+}
+
+void Transport::send(const std::string& from, const std::string& to,
+                     std::any payload, Priority priority) {
+  ++sent_;
+  if (congested_ && priority == Priority::kLow) {
+    ++dropped_;  // QoS: monitoring data is discardable under congestion
+    return;
+  }
+  if (loss_probability_ > 0 && rng_.bernoulli(loss_probability_)) {
+    ++dropped_;
+    return;
+  }
+  if (auto it = partitioned_.find(to); it != partitioned_.end() && it->second) {
+    ++dropped_;
+    return;
+  }
+  auto envelope = std::make_shared<Envelope>(
+      Envelope{from, to, std::move(payload), priority});
+  sim_->schedule(default_latency_ms_, [this, envelope] {
+    // Endpoint may have unregistered while in flight (e.g. failed node).
+    auto it = endpoints_.find(envelope->to);
+    if (it == endpoints_.end()) {
+      ++dropped_;
+      return;
+    }
+    ++delivered_;
+    it->second.handler(*envelope);
+  });
+}
+
+}  // namespace dust::sim

@@ -1,0 +1,86 @@
+// In-memory message transport with latency and loss injection.
+//
+// Stands in for the REST/gRPC channels between DUST-Clients and the
+// DUST-Manager. Endpoints register a handler under a name; send() delivers a
+// type-erased payload after the configured latency, unless the (seeded) loss
+// process drops it. Protocol state machines in dust::core are exercised over
+// this transport, including Keepalive loss -> replica substitution.
+#pragma once
+
+#include <any>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+
+#include "sim/event_queue.hpp"
+#include "util/rng.hpp"
+
+namespace dust::sim {
+
+/// QoS class. Offloaded monitoring data travels at kLow ("assigned the
+/// lowest priority value", §III-C) and is dropped when the transport is
+/// congested; control-plane messages ride kNormal.
+enum class Priority : std::uint8_t { kLow, kNormal };
+
+struct Envelope {
+  std::string from;
+  std::string to;
+  std::any payload;
+  Priority priority = Priority::kNormal;
+};
+
+class Transport {
+ public:
+  using Handler = std::function<void(const Envelope&)>;
+
+  Transport(Simulator& sim, util::Rng rng) : sim_(&sim), rng_(rng) {}
+
+  void set_default_latency_ms(TimeMs latency) { default_latency_ms_ = latency; }
+  /// Message loss probability in [0, 1] applied to every send.
+  void set_loss_probability(double p);
+  /// Per-destination partition: all traffic to `endpoint` is dropped.
+  void set_partitioned(const std::string& endpoint, bool partitioned);
+
+  /// Register (or replace) the handler for `name`. Returns a registration
+  /// token; unregistering with a stale token is a no-op, so a destroyed
+  /// owner can never tear down a successor that re-registered the name.
+  std::uint64_t register_endpoint(const std::string& name, Handler handler);
+  void unregister_endpoint(const std::string& name);
+  void unregister_endpoint(const std::string& name, std::uint64_t token);
+  [[nodiscard]] bool has_endpoint(const std::string& name) const;
+
+  /// Congestion drops all kLow-priority traffic (QoS guarantee of §III-C).
+  void set_congested(bool congested) noexcept { congested_ = congested; }
+  [[nodiscard]] bool congested() const noexcept { return congested_; }
+
+  /// Queue delivery of `payload` to `to` after the transport latency.
+  /// Messages to unknown endpoints, lost messages, low-priority messages
+  /// under congestion, and messages to partitioned endpoints are counted in
+  /// dropped().
+  void send(const std::string& from, const std::string& to, std::any payload,
+            Priority priority = Priority::kNormal);
+
+  [[nodiscard]] std::uint64_t sent() const noexcept { return sent_; }
+  [[nodiscard]] std::uint64_t delivered() const noexcept { return delivered_; }
+  [[nodiscard]] std::uint64_t dropped() const noexcept { return dropped_; }
+
+ private:
+  Simulator* sim_;
+  util::Rng rng_;
+  TimeMs default_latency_ms_ = 1;
+  double loss_probability_ = 0.0;
+  bool congested_ = false;
+  struct Endpoint {
+    Handler handler;
+    std::uint64_t token = 0;
+  };
+  std::unordered_map<std::string, Endpoint> endpoints_;
+  std::uint64_t next_token_ = 1;
+  std::unordered_map<std::string, bool> partitioned_;
+  std::uint64_t sent_ = 0;
+  std::uint64_t delivered_ = 0;
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace dust::sim

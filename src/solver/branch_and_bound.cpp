@@ -1,0 +1,138 @@
+#include "solver/branch_and_bound.hpp"
+
+#include <cmath>
+#include <memory>
+#include <queue>
+#include <vector>
+
+namespace dust::solver {
+
+namespace {
+
+struct Node {
+  std::vector<std::pair<std::size_t, double>> lower_overrides;
+  std::vector<std::pair<std::size_t, double>> upper_overrides;
+  double bound = -kInfinity;  // parent relaxation objective
+};
+
+struct NodeOrder {
+  bool operator()(const std::shared_ptr<Node>& a,
+                  const std::shared_ptr<Node>& b) const {
+    return a->bound > b->bound;  // best-first: smallest bound on top
+  }
+};
+
+/// Apply a node's bound overrides to a copy of the base model.
+LinearProgram with_bounds(const LinearProgram& base, const Node& node) {
+  LinearProgram lp;
+  for (std::size_t v = 0; v < base.variable_count(); ++v) {
+    const Variable& var = base.variable(v);
+    double lower = var.lower;
+    double upper = var.upper;
+    for (const auto& [idx, value] : node.lower_overrides)
+      if (idx == v) lower = std::max(lower, value);
+    for (const auto& [idx, value] : node.upper_overrides)
+      if (idx == v) upper = std::min(upper, value);
+    lp.add_variable(lower, upper, var.objective, var.integer, var.name);
+  }
+  for (std::size_t c = 0; c < base.constraint_count(); ++c)
+    lp.add_constraint(base.constraint(c));
+  return lp;
+}
+
+/// Most-fractional integer variable, or npos if integral.
+std::size_t pick_branch_variable(const LinearProgram& lp,
+                                 const std::vector<double>& x, double tol) {
+  std::size_t chosen = static_cast<std::size_t>(-1);
+  double best_score = tol;
+  for (std::size_t v = 0; v < lp.variable_count(); ++v) {
+    if (!lp.variable(v).integer) continue;
+    const double frac = x[v] - std::floor(x[v]);
+    const double score = std::min(frac, 1.0 - frac);
+    if (score > best_score) {
+      best_score = score;
+      chosen = v;
+    }
+  }
+  return chosen;
+}
+
+}  // namespace
+
+Solution solve_branch_and_bound(const LinearProgram& lp,
+                                const BranchAndBoundOptions& options) {
+  if (!lp.has_integer_variables()) return solve_simplex(lp, options.simplex);
+
+  Solution best;
+  best.status = Status::kInfeasible;
+  best.objective = kInfinity;
+
+  std::priority_queue<std::shared_ptr<Node>, std::vector<std::shared_ptr<Node>>,
+                      NodeOrder>
+      open;
+  open.push(std::make_shared<Node>());
+  std::size_t explored = 0;
+  bool hit_node_limit = false;
+
+  while (!open.empty()) {
+    if (explored >= options.max_nodes) {
+      hit_node_limit = true;
+      break;
+    }
+    const std::shared_ptr<Node> node = open.top();
+    open.pop();
+    if (best.status == Status::kOptimal) {
+      const double gap = (best.objective - node->bound) /
+                         std::max(1.0, std::abs(best.objective));
+      if (node->bound >= best.objective || gap <= options.relative_gap) continue;
+    }
+    ++explored;
+
+    const LinearProgram sub = with_bounds(lp, *node);
+    const Solution relaxed = solve_simplex(sub, options.simplex);
+    if (relaxed.status == Status::kUnbounded) {
+      // Integer restriction cannot repair an unbounded relaxation direction
+      // unless bounding below; report unbounded (matches LP convention).
+      Solution out;
+      out.status = Status::kUnbounded;
+      out.iterations = explored;
+      return out;
+    }
+    if (relaxed.status != Status::kOptimal) continue;  // pruned (infeasible)
+    if (best.status == Status::kOptimal && relaxed.objective >= best.objective)
+      continue;  // bound prune
+
+    const std::size_t branch_var =
+        pick_branch_variable(lp, relaxed.values, options.integrality_tolerance);
+    if (branch_var == static_cast<std::size_t>(-1)) {
+      // Integral: candidate incumbent. Round to kill float noise.
+      Solution candidate = relaxed;
+      for (std::size_t v = 0; v < lp.variable_count(); ++v)
+        if (lp.variable(v).integer)
+          candidate.values[v] = std::round(candidate.values[v]);
+      candidate.objective = lp.objective_value(candidate.values);
+      if (best.status != Status::kOptimal ||
+          candidate.objective < best.objective) {
+        best = candidate;
+        best.status = Status::kOptimal;
+      }
+      continue;
+    }
+    const double value = relaxed.values[branch_var];
+    auto down = std::make_shared<Node>(*node);
+    down->upper_overrides.emplace_back(branch_var, std::floor(value));
+    down->bound = relaxed.objective;
+    auto up = std::make_shared<Node>(*node);
+    up->lower_overrides.emplace_back(branch_var, std::ceil(value));
+    up->bound = relaxed.objective;
+    open.push(std::move(down));
+    open.push(std::move(up));
+  }
+
+  best.iterations = explored;
+  if (best.status != Status::kOptimal && hit_node_limit)
+    best.status = Status::kIterationLimit;
+  return best;
+}
+
+}  // namespace dust::solver

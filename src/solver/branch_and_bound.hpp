@@ -1,0 +1,28 @@
+// Branch-and-bound MILP solver on top of the simplex LP relaxation.
+//
+// The paper labels the placement model an ILP; its decision variables are in
+// fact continuous, so the plain simplex solve is exact for DUST. This solver
+// exists for the general case (and for extensions such as boolean
+// "assign-whole-agent" placement): variables marked `integer` are branched on
+// with best-first search and depth-limited dive fallback.
+#pragma once
+
+#include "solver/lp.hpp"
+#include "solver/simplex.hpp"
+
+namespace dust::solver {
+
+struct BranchAndBoundOptions {
+  SimplexOptions simplex;
+  std::size_t max_nodes = 100000;
+  double integrality_tolerance = 1e-6;
+  /// Stop when bound gap (best - lower)/max(1,|best|) is below this.
+  double relative_gap = 1e-9;
+};
+
+/// Solve the MILP. If the model has no integer variables this is exactly one
+/// simplex solve. `iterations` in the result counts explored B&B nodes.
+Solution solve_branch_and_bound(const LinearProgram& lp,
+                                const BranchAndBoundOptions& options = {});
+
+}  // namespace dust::solver

@@ -1,0 +1,89 @@
+#include "solver/lp_format.hpp"
+
+#include <cmath>
+
+namespace dust::solver {
+
+namespace {
+
+std::string variable_name(const LinearProgram& lp, std::size_t index) {
+  const std::string& name = lp.variable(index).name;
+  return name.empty() ? "x" + std::to_string(index) : name;
+}
+
+void write_terms(std::ostream& os, const LinearProgram& lp,
+                 const std::vector<std::pair<std::size_t, double>>& terms) {
+  bool first = true;
+  for (const auto& [var, coeff] : terms) {
+    if (coeff == 0.0) continue;
+    if (first) {
+      if (coeff < 0) os << "- ";
+      first = false;
+    } else {
+      os << (coeff < 0 ? " - " : " + ");
+    }
+    const double magnitude = std::abs(coeff);
+    if (magnitude != 1.0) os << magnitude << ' ';
+    os << variable_name(lp, var);
+  }
+  if (first) os << "0 " << variable_name(lp, 0);  // empty row: harmless 0-term
+}
+
+}  // namespace
+
+void write_lp_format(std::ostream& os, const LinearProgram& lp,
+                     const std::string& problem_name) {
+  os << "\\ " << problem_name << " — " << lp.variable_count()
+     << " variables, " << lp.constraint_count() << " constraints\n";
+  os << "Minimize\n obj: ";
+  std::vector<std::pair<std::size_t, double>> objective;
+  for (std::size_t v = 0; v < lp.variable_count(); ++v)
+    if (lp.variable(v).objective != 0.0)
+      objective.emplace_back(v, lp.variable(v).objective);
+  if (objective.empty() && lp.variable_count() > 0)
+    objective.emplace_back(0, 0.0);
+  write_terms(os, lp, objective);
+  os << "\nSubject To\n";
+  for (std::size_t c = 0; c < lp.constraint_count(); ++c) {
+    const Constraint& con = lp.constraint(c);
+    os << " c" << c << ": ";
+    write_terms(os, lp, con.terms);
+    switch (con.sense) {
+      case Sense::kLessEqual: os << " <= "; break;
+      case Sense::kGreaterEqual: os << " >= "; break;
+      case Sense::kEqual: os << " = "; break;
+    }
+    os << con.rhs << '\n';
+  }
+  os << "Bounds\n";
+  for (std::size_t v = 0; v < lp.variable_count(); ++v) {
+    const Variable& var = lp.variable(v);
+    const std::string name = variable_name(lp, v);
+    if (var.lower == -kInfinity && var.upper == kInfinity) {
+      os << ' ' << name << " free\n";
+    } else if (var.lower == var.upper) {
+      os << ' ' << name << " = " << var.lower << '\n';
+    } else {
+      if (var.lower == -kInfinity)
+        os << " -inf <= " << name;
+      else if (var.lower != 0.0)
+        os << ' ' << var.lower << " <= " << name;
+      else
+        os << ' ' << name;
+      if (var.upper != kInfinity) os << " <= " << var.upper;
+      os << '\n';
+    }
+  }
+  bool any_integer = false;
+  for (std::size_t v = 0; v < lp.variable_count(); ++v) {
+    if (!lp.variable(v).integer) continue;
+    if (!any_integer) {
+      os << "General\n";
+      any_integer = true;
+    }
+    os << ' ' << variable_name(lp, v) << '\n';
+  }
+  os << "End\n";
+}
+
+}  // namespace dust::solver

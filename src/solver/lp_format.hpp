@@ -1,0 +1,20 @@
+// CPLEX-LP-format export for LinearProgram models.
+//
+// Lets a placement model be dumped and solved/inspected with external tools
+// (glpsol, lp_solve, CPLEX, Gurobi) — useful for debugging the in-tree
+// solvers and for comparing against the paper's Gurobi setup.
+#pragma once
+
+#include <ostream>
+#include <string>
+
+#include "solver/lp.hpp"
+
+namespace dust::solver {
+
+/// Write `lp` in LP format. Variables get their model names, or x<i> when
+/// unnamed. Integer variables are listed in a GENERAL section.
+void write_lp_format(std::ostream& os, const LinearProgram& lp,
+                     const std::string& problem_name = "dust");
+
+}  // namespace dust::solver

@@ -1,0 +1,93 @@
+#include "solver/min_cost_flow.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <stdexcept>
+
+namespace dust::solver {
+
+namespace {
+constexpr double kEps = 1e-9;
+}
+
+MinCostFlow::MinCostFlow(std::size_t node_count) : arcs_(node_count) {}
+
+std::size_t MinCostFlow::add_arc(std::size_t from, std::size_t to,
+                                 double capacity, double cost) {
+  if (from >= arcs_.size() || to >= arcs_.size())
+    throw std::out_of_range("MinCostFlow::add_arc: node out of range");
+  if (capacity < 0 || cost < 0)
+    throw std::invalid_argument("MinCostFlow::add_arc: negative capacity/cost");
+  arcs_[from].push_back(Arc{to, arcs_[to].size(), capacity, cost});
+  arcs_[to].push_back(Arc{from, arcs_[from].size() - 1, 0.0, -cost});
+  arc_refs_.emplace_back(from, arcs_[from].size() - 1);
+  original_capacity_.push_back(capacity);
+  return arc_refs_.size() - 1;
+}
+
+MinCostFlow::FlowResult MinCostFlow::solve(std::size_t source, std::size_t sink,
+                                           double flow_limit) {
+  FlowResult result;
+  const std::size_t n = arcs_.size();
+  std::vector<double> potential(n, 0.0);
+  // Costs are non-negative so initial potentials of zero are valid.
+  while (result.max_flow + kEps < flow_limit) {
+    // Dijkstra on reduced costs.
+    std::vector<double> dist(n, kInfinity);
+    std::vector<std::pair<std::size_t, std::size_t>> parent(
+        n, {static_cast<std::size_t>(-1), 0});
+    using Entry = std::pair<double, std::size_t>;
+    std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+    dist[source] = 0.0;
+    heap.emplace(0.0, source);
+    while (!heap.empty()) {
+      const auto [d, node] = heap.top();
+      heap.pop();
+      if (d > dist[node] + kEps) continue;
+      for (std::size_t a = 0; a < arcs_[node].size(); ++a) {
+        const Arc& arc = arcs_[node][a];
+        if (arc.capacity <= kEps) continue;
+        const double reduced =
+            arc.cost + potential[node] - potential[arc.to];
+        const double candidate = d + reduced;
+        if (candidate + kEps < dist[arc.to]) {
+          dist[arc.to] = candidate;
+          parent[arc.to] = {node, a};
+          heap.emplace(candidate, arc.to);
+        }
+      }
+    }
+    if (dist[sink] == kInfinity) break;  // no augmenting path left
+    for (std::size_t v = 0; v < n; ++v)
+      if (dist[v] != kInfinity) potential[v] += dist[v];
+    // Bottleneck along the path.
+    double bottleneck = flow_limit - result.max_flow;
+    for (std::size_t v = sink; v != source;) {
+      const auto [u, a] = parent[v];
+      bottleneck = std::min(bottleneck, arcs_[u][a].capacity);
+      v = u;
+    }
+    for (std::size_t v = sink; v != source;) {
+      const auto [u, a] = parent[v];
+      Arc& arc = arcs_[u][a];
+      arc.capacity -= bottleneck;
+      arcs_[v][arc.reverse].capacity += bottleneck;
+      result.total_cost += bottleneck * arc.cost;
+      v = u;
+    }
+    result.max_flow += bottleneck;
+    ++result.augmentations;
+  }
+  return result;
+}
+
+double MinCostFlow::arc_flow(std::size_t arc_id) const {
+  // The paired reverse arc starts at capacity 0 and accumulates exactly the
+  // net flow pushed forward — robust even for infinite-capacity arcs, where
+  // original - remaining would be inf - inf.
+  const auto [node, index] = arc_refs_.at(arc_id);
+  const Arc& arc = arcs_[node][index];
+  return arcs_[arc.to][arc.reverse].capacity;
+}
+
+}  // namespace dust::solver

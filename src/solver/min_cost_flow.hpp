@@ -1,0 +1,51 @@
+// Generic min-cost max-flow (successive shortest paths with potentials).
+//
+// Third independent solving path for the placement problem (after simplex and
+// the transportation solver), used for cross-validation and the solver
+// ablation bench. Costs must be non-negative; capacities and flows are real.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "solver/lp.hpp"
+
+namespace dust::solver {
+
+class MinCostFlow {
+ public:
+  explicit MinCostFlow(std::size_t node_count);
+
+  /// Directed arc with capacity >= 0 and cost >= 0. Returns arc id for flow
+  /// queries after solve().
+  std::size_t add_arc(std::size_t from, std::size_t to, double capacity,
+                      double cost);
+
+  struct FlowResult {
+    double max_flow = 0.0;
+    double total_cost = 0.0;
+    std::size_t augmentations = 0;
+  };
+
+  /// Push up to `flow_limit` (kInfinity = max flow) from source to sink along
+  /// successive cheapest paths. Call once per instance.
+  FlowResult solve(std::size_t source, std::size_t sink,
+                   double flow_limit = kInfinity);
+
+  /// Flow on the arc returned by add_arc (valid after solve()).
+  [[nodiscard]] double arc_flow(std::size_t arc_id) const;
+
+ private:
+  struct Arc {
+    std::size_t to;
+    std::size_t reverse;  // index of the paired reverse arc in arcs_[to]
+    double capacity;
+    double cost;
+  };
+
+  std::vector<std::vector<Arc>> arcs_;
+  std::vector<std::pair<std::size_t, std::size_t>> arc_refs_;  // (node, index)
+  std::vector<double> original_capacity_;
+};
+
+}  // namespace dust::solver

@@ -1,0 +1,24 @@
+// Two-phase dense tableau simplex for LinearProgram relaxations.
+//
+// Designed for the moderate problem sizes DUST generates (thousands of
+// variables, hundreds of constraints). Uses Dantzig pricing with an automatic
+// switch to Bland's rule after a degenerate streak, guaranteeing termination.
+// Integer markers on variables are ignored here (LP relaxation) — use
+// branch_and_bound.hpp for MILP solves.
+#pragma once
+
+#include "solver/lp.hpp"
+
+namespace dust::solver {
+
+struct SimplexOptions {
+  std::size_t max_iterations = 0;  ///< 0 = automatic (scales with model size)
+  double tolerance = 1e-9;         ///< pivot / feasibility tolerance
+  /// Consecutive degenerate pivots before switching to Bland's rule.
+  std::size_t degenerate_streak_limit = 32;
+};
+
+/// Solve the LP relaxation (integrality markers ignored).
+Solution solve_simplex(const LinearProgram& lp, const SimplexOptions& options = {});
+
+}  // namespace dust::solver

@@ -1,0 +1,364 @@
+#include "solver/transportation.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+#include <tuple>
+#include <vector>
+
+namespace dust::solver {
+
+namespace {
+
+constexpr double kEps = 1e-9;
+
+// Internal balanced instance: a dummy *source* row absorbs spare destination
+// capacity (zero cost), so every row supply ships fully and every column
+// receives exactly its capacity. Forbidden cells get big-M.
+struct Balanced {
+  std::size_t m = 0;  // rows including dummy
+  std::size_t n = 0;
+  std::vector<double> supply;
+  std::vector<double> demand;
+  std::vector<double> cost;
+  double big_m = 0.0;
+  bool has_dummy = false;
+
+  [[nodiscard]] double& at(std::vector<double>& grid, std::size_t i,
+                           std::size_t j) const {
+    return grid[i * n + j];
+  }
+};
+
+/// MODI / u-v transportation simplex over a balanced instance.
+class TransportSimplex {
+ public:
+  explicit TransportSimplex(const Balanced& bal)
+      : bal_(bal),
+        flow_(bal.m * bal.n, 0.0),
+        basic_(bal.m * bal.n, 0) {}
+
+  Status solve(std::size_t max_iterations) {
+    least_cost_start();
+    repair_basis_tree();
+    for (std::size_t iter = 0; iter < max_iterations; ++iter) {
+      compute_potentials();
+      const auto [enter_i, enter_j, reduced] = most_negative_cell();
+      if (reduced >= -kEps) {
+        iterations_ = iter;
+        return Status::kOptimal;
+      }
+      pivot(enter_i, enter_j);
+    }
+    iterations_ = max_iterations;
+    return Status::kIterationLimit;
+  }
+
+  [[nodiscard]] const std::vector<double>& flow() const noexcept { return flow_; }
+  [[nodiscard]] std::size_t iterations() const noexcept { return iterations_; }
+
+ private:
+  // Least-cost method: repeatedly allocate to the cheapest open cell.
+  void least_cost_start() {
+    std::vector<double> remaining_supply = bal_.supply;
+    std::vector<double> remaining_demand = bal_.demand;
+    // Cells sorted by cost once; skip exhausted rows/cols while scanning.
+    std::vector<std::size_t> order(bal_.m * bal_.n);
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(), [this](std::size_t a, std::size_t b) {
+      return bal_.cost[a] < bal_.cost[b];
+    });
+    for (std::size_t cell : order) {
+      const std::size_t i = cell / bal_.n;
+      const std::size_t j = cell % bal_.n;
+      if (remaining_supply[i] <= kEps || remaining_demand[j] <= kEps) continue;
+      const double quantity = std::min(remaining_supply[i], remaining_demand[j]);
+      flow_[cell] = quantity;
+      basic_[cell] = 1;
+      remaining_supply[i] -= quantity;
+      remaining_demand[j] -= quantity;
+    }
+  }
+
+  // The basis must be a spanning tree on the bipartite row/col node set with
+  // exactly m + n - 1 cells. The least-cost start can be degenerate (fewer
+  // cells) or accidentally contain a cycle-free subset already; add zero
+  // cells until the bipartite graph is connected and acyclic.
+  void repair_basis_tree() {
+    // Union-find over m + n nodes (rows then cols).
+    parent_.resize(bal_.m + bal_.n);
+    std::iota(parent_.begin(), parent_.end(), 0);
+    std::size_t basic_count = 0;
+    for (std::size_t i = 0; i < bal_.m; ++i) {
+      for (std::size_t j = 0; j < bal_.n; ++j) {
+        if (!basic_[i * bal_.n + j]) continue;
+        if (!unite(i, bal_.m + j)) {
+          // Cycle among basic cells (possible with ties): demote to nonbasic.
+          basic_[i * bal_.n + j] = 0;
+          // Note: flow stays; a cycle of equal-cost cells keeps feasibility.
+        } else {
+          ++basic_count;
+        }
+      }
+    }
+    // Connect remaining components with zero-flow basic cells, preferring
+    // cheap cells so potentials stay tame.
+    for (std::size_t i = 0; i < bal_.m && basic_count + 1 < bal_.m + bal_.n; ++i) {
+      for (std::size_t j = 0; j < bal_.n && basic_count + 1 < bal_.m + bal_.n; ++j) {
+        if (basic_[i * bal_.n + j]) continue;
+        if (unite(i, bal_.m + j)) {
+          basic_[i * bal_.n + j] = 1;
+          ++basic_count;
+        }
+      }
+    }
+  }
+
+  std::size_t find(std::size_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+  bool unite(std::size_t a, std::size_t b) {
+    const std::size_t ra = find(a);
+    const std::size_t rb = find(b);
+    if (ra == rb) return false;
+    parent_[ra] = rb;
+    return true;
+  }
+
+  // Potentials u_i + v_j = c_ij on basic cells; tree traversal from row 0.
+  void compute_potentials() {
+    u_.assign(bal_.m, 0.0);
+    v_.assign(bal_.n, 0.0);
+    std::vector<char> u_set(bal_.m, 0), v_set(bal_.n, 0);
+    u_set[0] = 1;
+    // Relaxation sweeps; the basis is a tree so m+n-1 sweeps suffice, and in
+    // practice it converges in a handful.
+    bool progress = true;
+    while (progress) {
+      progress = false;
+      for (std::size_t i = 0; i < bal_.m; ++i) {
+        for (std::size_t j = 0; j < bal_.n; ++j) {
+          if (!basic_[i * bal_.n + j]) continue;
+          if (u_set[i] && !v_set[j]) {
+            v_[j] = bal_.cost[i * bal_.n + j] - u_[i];
+            v_set[j] = 1;
+            progress = true;
+          } else if (!u_set[i] && v_set[j]) {
+            u_[i] = bal_.cost[i * bal_.n + j] - v_[j];
+            u_set[i] = 1;
+            progress = true;
+          }
+        }
+      }
+    }
+  }
+
+  [[nodiscard]] std::tuple<std::size_t, std::size_t, double>
+  most_negative_cell() const {
+    double best = 0.0;
+    std::size_t bi = 0, bj = 0;
+    for (std::size_t i = 0; i < bal_.m; ++i) {
+      for (std::size_t j = 0; j < bal_.n; ++j) {
+        if (basic_[i * bal_.n + j]) continue;
+        const double reduced = bal_.cost[i * bal_.n + j] - u_[i] - v_[j];
+        if (reduced < best) {
+          best = reduced;
+          bi = i;
+          bj = j;
+        }
+      }
+    }
+    return {bi, bj, best};
+  }
+
+  // Find the unique alternating cycle created by adding (enter_i, enter_j)
+  // to the basis tree, shift flow around it, and swap basis membership.
+  void pivot(std::size_t enter_i, std::size_t enter_j) {
+    // DFS in the bipartite basis graph from row enter_i to col enter_j.
+    // Nodes: rows [0, m), cols [m, m+n).
+    const std::size_t start = enter_i;
+    const std::size_t goal = bal_.m + enter_j;
+    std::vector<std::size_t> stack{start};
+    std::vector<std::size_t> prev(bal_.m + bal_.n, static_cast<std::size_t>(-1));
+    std::vector<char> seen(bal_.m + bal_.n, 0);
+    seen[start] = 1;
+    while (!stack.empty()) {
+      const std::size_t node = stack.back();
+      stack.pop_back();
+      if (node == goal) break;
+      if (node < bal_.m) {
+        const std::size_t i = node;
+        for (std::size_t j = 0; j < bal_.n; ++j) {
+          if (!basic_[i * bal_.n + j]) continue;
+          const std::size_t next = bal_.m + j;
+          if (!seen[next]) {
+            seen[next] = 1;
+            prev[next] = node;
+            stack.push_back(next);
+          }
+        }
+      } else {
+        const std::size_t j = node - bal_.m;
+        for (std::size_t i = 0; i < bal_.m; ++i) {
+          if (!basic_[i * bal_.n + j]) continue;
+          if (!seen[i]) {
+            seen[i] = 1;
+            prev[i] = node;
+            stack.push_back(i);
+          }
+        }
+      }
+    }
+    // Reconstruct node path goal -> start, then build the cell cycle.
+    std::vector<std::size_t> node_path;
+    for (std::size_t node = goal; node != static_cast<std::size_t>(-1);
+         node = prev[node])
+      node_path.push_back(node);
+    std::reverse(node_path.begin(), node_path.end());  // start ... goal
+    // Cycle cells alternate starting with the entering cell (+):
+    // (enter_i, enter_j) then edges along node_path back from goal..start?
+    // node_path is start(row) -> ... -> goal(col); consecutive nodes share a
+    // basic cell. Walking it gives cells with alternating signs beginning
+    // with '-', since the entering '+' cell closes the loop goal->start.
+    std::vector<std::pair<std::size_t, std::size_t>> minus_cells, plus_cells;
+    plus_cells.emplace_back(enter_i, enter_j);
+    bool minus = true;
+    for (std::size_t s = 0; s + 1 < node_path.size(); ++s) {
+      const std::size_t a = node_path[s];
+      const std::size_t b = node_path[s + 1];
+      const std::size_t i = a < bal_.m ? a : b;
+      const std::size_t j = (a < bal_.m ? b : a) - bal_.m;
+      (minus ? minus_cells : plus_cells).emplace_back(i, j);
+      minus = !minus;
+    }
+    // Theta = min flow on minus cells.
+    double theta = kInfinity;
+    std::pair<std::size_t, std::size_t> leaving{0, 0};
+    for (const auto& [i, j] : minus_cells) {
+      const double f = flow_[i * bal_.n + j];
+      if (f < theta) {
+        theta = f;
+        leaving = {i, j};
+      }
+    }
+    for (const auto& [i, j] : plus_cells) flow_[i * bal_.n + j] += theta;
+    for (const auto& [i, j] : minus_cells) flow_[i * bal_.n + j] -= theta;
+    basic_[enter_i * bal_.n + enter_j] = 1;
+    basic_[leaving.first * bal_.n + leaving.second] = 0;
+    flow_[leaving.first * bal_.n + leaving.second] = 0.0;  // kill -0 noise
+  }
+
+  const Balanced& bal_;
+  std::vector<double> flow_;
+  std::vector<char> basic_;
+  std::vector<double> u_, v_;
+  std::vector<std::size_t> parent_;
+  std::size_t iterations_ = 0;
+};
+
+}  // namespace
+
+TransportationResult solve_transportation(const TransportationProblem& problem) {
+  const std::size_t m = problem.sources();
+  const std::size_t n = problem.destinations();
+  if (problem.cost.size() != m * n)
+    throw std::invalid_argument("solve_transportation: cost size mismatch");
+  for (double s : problem.supply)
+    if (s < 0) throw std::invalid_argument("solve_transportation: negative supply");
+  for (double c : problem.capacity)
+    if (c < 0) throw std::invalid_argument("solve_transportation: negative capacity");
+
+  TransportationResult result;
+  result.flow.assign(m * n, 0.0);
+  const double total_supply =
+      std::accumulate(problem.supply.begin(), problem.supply.end(), 0.0);
+  const double total_capacity =
+      std::accumulate(problem.capacity.begin(), problem.capacity.end(), 0.0);
+  if (m == 0 || total_supply <= kEps) {
+    // Nothing to ship: trivially optimal at zero.
+    result.status = Status::kOptimal;
+    return result;
+  }
+  if (n == 0 || total_supply > total_capacity + kEps) {
+    result.status = Status::kInfeasible;
+    return result;
+  }
+
+  Balanced bal;
+  bal.has_dummy = total_capacity > total_supply + kEps;
+  bal.m = m + (bal.has_dummy ? 1 : 0);
+  bal.n = n;
+  bal.supply = problem.supply;
+  if (bal.has_dummy) bal.supply.push_back(total_capacity - total_supply);
+  bal.demand = problem.capacity;
+  // Big-M: strictly dominates any finite objective.
+  double max_finite = 1.0;
+  for (double c : problem.cost)
+    if (c != kInfinity) max_finite = std::max(max_finite, std::abs(c));
+  bal.big_m = max_finite * 1e6 * static_cast<double>(m + n) + 1e6;
+  bal.cost.assign(bal.m * bal.n, 0.0);
+  for (std::size_t i = 0; i < m; ++i)
+    for (std::size_t j = 0; j < n; ++j)
+      bal.cost[i * n + j] =
+          problem.cost[i * n + j] == kInfinity ? bal.big_m : problem.cost[i * n + j];
+  // Dummy row cost stays 0.
+
+  TransportSimplex simplex(bal);
+  const std::size_t max_iterations = 100 * (bal.m + bal.n) * (bal.m + bal.n) + 1000;
+  const Status status = simplex.solve(max_iterations);
+  result.iterations = simplex.iterations();
+  if (status != Status::kOptimal) {
+    result.status = status;
+    return result;
+  }
+  // Check forbidden cells and extract the real flow grid.
+  double objective = 0.0;
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      const double f = simplex.flow()[i * bal.n + j];
+      if (f > kEps && problem.cost[i * n + j] == kInfinity) {
+        result.status = Status::kInfeasible;  // needed a forbidden route
+        return result;
+      }
+      result.flow[i * n + j] = f;
+      if (f > 0) objective += f * problem.cost[i * n + j];
+    }
+  }
+  result.objective = objective;
+  result.status = Status::kOptimal;
+  return result;
+}
+
+LinearProgram to_linear_program(const TransportationProblem& problem) {
+  const std::size_t m = problem.sources();
+  const std::size_t n = problem.destinations();
+  LinearProgram lp;
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      const double cost = problem.cost[i * n + j];
+      // Forbidden cells become fixed-at-zero variables.
+      if (cost == kInfinity)
+        lp.add_variable(0.0, 0.0, 0.0);
+      else
+        lp.add_variable(0.0, kInfinity, cost);
+    }
+  }
+  for (std::size_t i = 0; i < m; ++i) {
+    std::vector<std::pair<std::size_t, double>> terms;
+    for (std::size_t j = 0; j < n; ++j) terms.emplace_back(i * n + j, 1.0);
+    lp.add_constraint(std::move(terms), Sense::kEqual, problem.supply[i]);
+  }
+  for (std::size_t j = 0; j < n; ++j) {
+    std::vector<std::pair<std::size_t, double>> terms;
+    for (std::size_t i = 0; i < m; ++i) terms.emplace_back(i * n + j, 1.0);
+    lp.add_constraint(std::move(terms), Sense::kLessEqual, problem.capacity[j]);
+  }
+  return lp;
+}
+
+}  // namespace dust::solver

@@ -1,0 +1,92 @@
+// User-defined modular monitoring agents — the movable workload unit of DUST.
+//
+// The paper's testbed (§V-A) runs 10 Python analytic agents on a switch NOS:
+// routing-protocol health, software/network health, software functions,
+// CPU/memory utilization, Rx/Tx packet rates, link states, temperature,
+// hardware health, fault finder. Each agent samples a DeviceSnapshot into
+// TSDB metrics and charges CPU according to its cost model; the simulator
+// (sim::MonitoredNode) accumulates those charges into node CPU utilization.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "telemetry/tsdb.hpp"
+#include "util/rng.hpp"
+
+namespace dust::telemetry {
+
+/// Point-in-time device state an agent observes.
+struct DeviceSnapshot {
+  std::int64_t timestamp_ms = 0;
+  double device_cpu_percent = 0.0;     ///< core switching/bridging CPU
+  double memory_used_mib = 0.0;
+  double rx_mbps = 0.0;
+  double tx_mbps = 0.0;
+  double temperature_c = 40.0;
+  std::uint32_t links_up = 0;
+  std::uint32_t links_total = 0;
+  std::uint32_t protocol_flaps = 0;    ///< routing adjacency changes this tick
+  std::uint32_t faults = 0;            ///< hardware fault events this tick
+};
+
+/// CPU/memory cost model for one agent. CPU is charged in core-milliseconds
+/// per sampling tick; the traffic-proportional term is what makes in-device
+/// monitoring blow up under line-rate overlay traffic (Fig. 1).
+struct AgentCostModel {
+  double cpu_base_ms = 2.0;           ///< fixed DB-table scan per tick
+  double cpu_per_gbps_ms = 10.0;      ///< per Gbps of device traffic
+  double burst_probability = 0.0;     ///< heavy tick (full table walk)
+  double burst_multiplier = 1.0;
+  double memory_base_mib = 25.0;      ///< interpreter + agent footprint
+};
+
+/// One monitoring agent: samples device state into metrics and reports cost.
+class MonitorAgent {
+ public:
+  MonitorAgent(std::string name, AgentCostModel cost_model,
+               std::int64_t interval_ms);
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] const AgentCostModel& cost_model() const noexcept {
+    return cost_model_;
+  }
+  [[nodiscard]] std::int64_t interval_ms() const noexcept { return interval_ms_; }
+
+  /// Register this agent's metrics in `db` (idempotent).
+  void bind(Tsdb& db);
+
+  /// True if a sample is due at `now_ms` (first call always samples).
+  [[nodiscard]] bool due(std::int64_t now_ms) const noexcept;
+
+  /// Sample the device into the bound TSDB. Returns CPU consumed this tick
+  /// in core-milliseconds. Requires bind() first.
+  double sample(const DeviceSnapshot& snapshot, Tsdb& db, util::Rng& rng);
+
+  /// Steady-state memory footprint excluding TSDB storage (MiB).
+  [[nodiscard]] double memory_mib() const noexcept {
+    return cost_model_.memory_base_mib;
+  }
+
+  [[nodiscard]] std::size_t samples_taken() const noexcept { return samples_; }
+
+ private:
+  std::string name_;
+  AgentCostModel cost_model_;
+  std::int64_t interval_ms_;
+  std::int64_t last_sample_ms_ = std::numeric_limits<std::int64_t>::min();
+  std::vector<MetricId> metric_ids_;
+  bool bound_ = false;
+  std::size_t samples_ = 0;
+};
+
+/// The 10 user-defined agents of the paper's testbed (§V-A footnote), with
+/// cost models calibrated so that under ~20% line-rate VxLAN overlay traffic
+/// the monitoring module averages ~100% of one core and spikes to ~600%
+/// (Fig. 1), and at the Fig. 6 operating point local monitoring adds ~16
+/// points of 8-core CPU and ~1.2 GiB of memory.
+std::vector<MonitorAgent> standard_agents();
+
+}  // namespace dust::telemetry

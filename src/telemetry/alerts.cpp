@@ -1,0 +1,72 @@
+#include "telemetry/alerts.hpp"
+
+#include <stdexcept>
+
+namespace dust::telemetry {
+
+const char* to_string(AlertState state) noexcept {
+  switch (state) {
+    case AlertState::kOk: return "ok";
+    case AlertState::kPending: return "pending";
+    case AlertState::kFiring: return "firing";
+  }
+  return "?";
+}
+
+AlertEngine::RuleId AlertEngine::add_rule(AlertRule rule) {
+  if (rule.name.empty() || rule.metric.empty())
+    throw std::invalid_argument("AlertEngine: rule needs name and metric");
+  if (rule.for_ms < 0)
+    throw std::invalid_argument("AlertEngine: negative hold duration");
+  rules_.push_back(Entry{std::move(rule), AlertState::kOk, 0});
+  return rules_.size() - 1;
+}
+
+void AlertEngine::transition(Entry& entry, AlertState to, std::int64_t now_ms) {
+  if (entry.state == to) return;
+  history_.push_back(AlertTransition{now_ms, entry.rule.name, entry.state, to});
+  entry.state = to;
+}
+
+std::size_t AlertEngine::evaluate(const Tsdb& db, std::int64_t now_ms) {
+  const std::size_t before = history_.size();
+  for (Entry& entry : rules_) {
+    const std::optional<MetricId> id = db.find(entry.rule.metric);
+    if (!id) continue;
+    const std::optional<Sample> last = db.series(*id).last();
+    if (!last) continue;
+    const bool breached = entry.rule.comparison == Comparison::kAbove
+                              ? last->value > entry.rule.threshold
+                              : last->value < entry.rule.threshold;
+    if (!breached) {
+      transition(entry, AlertState::kOk, now_ms);
+      continue;
+    }
+    switch (entry.state) {
+      case AlertState::kOk:
+        entry.pending_since_ms = now_ms;
+        if (entry.rule.for_ms == 0) {
+          transition(entry, AlertState::kFiring, now_ms);
+        } else {
+          transition(entry, AlertState::kPending, now_ms);
+        }
+        break;
+      case AlertState::kPending:
+        if (now_ms - entry.pending_since_ms >= entry.rule.for_ms)
+          transition(entry, AlertState::kFiring, now_ms);
+        break;
+      case AlertState::kFiring:
+        break;
+    }
+  }
+  return history_.size() - before;
+}
+
+std::vector<std::string> AlertEngine::firing() const {
+  std::vector<std::string> names;
+  for (const Entry& entry : rules_)
+    if (entry.state == AlertState::kFiring) names.push_back(entry.rule.name);
+  return names;
+}
+
+}  // namespace dust::telemetry

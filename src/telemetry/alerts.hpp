@@ -1,0 +1,74 @@
+// Alerting over TSDB metrics.
+//
+// The paper's Monitor Agents "update the associated time series data" and
+// the TSDB "stores the metrics and rules established by these Monitor
+// Agents"; alerts are also how DUST's Network Monitor Service triggers
+// monitoring "through automated triggers" (§III-A). An AlertRule watches one
+// metric against a threshold; a breach must persist for `for_ms` before the
+// rule transitions Pending -> Firing (the usual anti-flap hold), and clears
+// as soon as a sample is back in range.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "telemetry/tsdb.hpp"
+
+namespace dust::telemetry {
+
+enum class Comparison : std::uint8_t { kAbove, kBelow };
+enum class AlertState : std::uint8_t { kOk, kPending, kFiring };
+
+[[nodiscard]] const char* to_string(AlertState state) noexcept;
+
+struct AlertRule {
+  std::string name;          ///< e.g. "cpu-overload"
+  std::string metric;        ///< TSDB metric name to watch
+  Comparison comparison = Comparison::kAbove;
+  double threshold = 0.0;
+  std::int64_t for_ms = 0;   ///< breach must persist this long to fire
+};
+
+struct AlertTransition {
+  std::int64_t timestamp_ms = 0;
+  std::string rule;
+  AlertState from = AlertState::kOk;
+  AlertState to = AlertState::kOk;
+};
+
+class AlertEngine {
+ public:
+  using RuleId = std::size_t;
+
+  RuleId add_rule(AlertRule rule);
+  [[nodiscard]] std::size_t rule_count() const noexcept { return rules_.size(); }
+  [[nodiscard]] const AlertRule& rule(RuleId id) const { return rules_.at(id).rule; }
+
+  /// Evaluate every rule against the latest sample of its metric in `db`.
+  /// Metrics with no data yet leave their rule untouched. Returns the number
+  /// of state transitions that occurred.
+  std::size_t evaluate(const Tsdb& db, std::int64_t now_ms);
+
+  [[nodiscard]] AlertState state(RuleId id) const { return rules_.at(id).state; }
+  /// Names of rules currently firing.
+  [[nodiscard]] std::vector<std::string> firing() const;
+  [[nodiscard]] const std::vector<AlertTransition>& history() const noexcept {
+    return history_;
+  }
+
+ private:
+  struct Entry {
+    AlertRule rule;
+    AlertState state = AlertState::kOk;
+    std::int64_t pending_since_ms = 0;
+  };
+
+  void transition(Entry& entry, AlertState to, std::int64_t now_ms);
+
+  std::vector<Entry> rules_;
+  std::vector<AlertTransition> history_;
+};
+
+}  // namespace dust::telemetry

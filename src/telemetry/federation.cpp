@@ -1,0 +1,76 @@
+#include "telemetry/federation.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace dust::telemetry {
+
+void Federation::add_member(const std::string& node_name, const Tsdb* db) {
+  if (db == nullptr) throw std::invalid_argument("Federation: null member");
+  members_[node_name] = db;
+}
+
+void Federation::remove_member(const std::string& node_name) {
+  members_.erase(node_name);
+}
+
+std::vector<std::string> Federation::member_names() const {
+  std::vector<std::string> names;
+  names.reserve(members_.size());
+  for (const auto& [name, db] : members_) names.push_back(name);
+  return names;
+}
+
+std::vector<Federation::NodeSamples> Federation::query(
+    const std::string& metric_name, std::int64_t from_ms,
+    std::int64_t to_ms) const {
+  std::vector<NodeSamples> out;
+  for (const auto& [name, db] : members_) {
+    const std::optional<MetricId> id = db->find(metric_name);
+    if (!id) continue;
+    out.push_back(NodeSamples{name, db->query(*id, from_ms, to_ms)});
+  }
+  return out;
+}
+
+std::map<std::string, double> Federation::aggregate_per_node(
+    const std::string& metric_name, std::int64_t from_ms, std::int64_t to_ms,
+    Aggregation op) const {
+  std::map<std::string, double> out;
+  for (const auto& [name, db] : members_) {
+    const std::optional<MetricId> id = db->find(metric_name);
+    if (!id) continue;
+    if (const std::optional<double> value =
+            db->aggregate(*id, from_ms, to_ms, op))
+      out.emplace(name, *value);
+  }
+  return out;
+}
+
+std::optional<double> Federation::aggregate(const std::string& metric_name,
+                                            std::int64_t from_ms,
+                                            std::int64_t to_ms,
+                                            Aggregation op) const {
+  // Merge all member samples, then aggregate once so kMean/kRate weight
+  // samples (not nodes) uniformly.
+  std::vector<Sample> merged;
+  for (const NodeSamples& node : query(metric_name, from_ms, to_ms))
+    merged.insert(merged.end(), node.samples.begin(), node.samples.end());
+  if (merged.empty()) return std::nullopt;
+  std::sort(merged.begin(), merged.end(),
+            [](const Sample& a, const Sample& b) {
+              return a.timestamp_ms < b.timestamp_ms;
+            });
+  // Reuse TimeSeries aggregation by rebuilding a scratch series.
+  TimeSeries scratch(MetricDescriptor{metric_name, "", MetricKind::kGauge});
+  for (const Sample& s : merged) scratch.append(s);
+  return scratch.aggregate(from_ms, to_ms, op);
+}
+
+std::size_t Federation::total_storage_bytes() const noexcept {
+  std::size_t total = 0;
+  for (const auto& [name, db] : members_) total += db->storage_bytes();
+  return total;
+}
+
+}  // namespace dust::telemetry

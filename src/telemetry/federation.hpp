@@ -1,0 +1,59 @@
+// Time-Series Federation: network-wide aggregation over per-node TSDBs
+// (the "Time-Series Federation" component of Fig. 2).
+//
+// Nodes register their local Tsdb under a name; queries fan out across all
+// member databases and merge results. Federation never copies series — it
+// reads members in place, which mirrors DUST's "aggregate where the data
+// lives" philosophy.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "telemetry/tsdb.hpp"
+
+namespace dust::telemetry {
+
+class Federation {
+ public:
+  /// Register a member database (non-owning; caller keeps it alive).
+  /// Re-registering a name replaces the pointer.
+  void add_member(const std::string& node_name, const Tsdb* db);
+  void remove_member(const std::string& node_name);
+
+  [[nodiscard]] std::size_t member_count() const noexcept {
+    return members_.size();
+  }
+  [[nodiscard]] std::vector<std::string> member_names() const;
+
+  struct NodeSamples {
+    std::string node;
+    std::vector<Sample> samples;
+  };
+
+  /// Range query for `metric_name` across all members that have it.
+  [[nodiscard]] std::vector<NodeSamples> query(const std::string& metric_name,
+                                               std::int64_t from_ms,
+                                               std::int64_t to_ms) const;
+
+  /// Per-node aggregate for a metric; nodes without data are omitted.
+  [[nodiscard]] std::map<std::string, double> aggregate_per_node(
+      const std::string& metric_name, std::int64_t from_ms, std::int64_t to_ms,
+      Aggregation op) const;
+
+  /// Network-wide aggregate: applies `op` over the union of all samples.
+  [[nodiscard]] std::optional<double> aggregate(const std::string& metric_name,
+                                                std::int64_t from_ms,
+                                                std::int64_t to_ms,
+                                                Aggregation op) const;
+
+  /// Total compressed storage across members (bytes).
+  [[nodiscard]] std::size_t total_storage_bytes() const noexcept;
+
+ private:
+  std::map<std::string, const Tsdb*> members_;
+};
+
+}  // namespace dust::telemetry

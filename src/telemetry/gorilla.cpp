@@ -1,0 +1,260 @@
+#include "telemetry/gorilla.hpp"
+
+#include <bit>
+#include <cstring>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+namespace dust::telemetry {
+
+void BitWriter::write_bit(bool bit) {
+  const std::size_t byte = bit_count_ / 8;
+  if (byte == data_.size()) data_.push_back(0);
+  if (bit) data_[byte] |= static_cast<std::uint8_t>(0x80u >> (bit_count_ % 8));
+  ++bit_count_;
+}
+
+void BitWriter::write_bits(std::uint64_t value, unsigned bits) {
+  if (bits > 64) throw std::invalid_argument("BitWriter::write_bits: bits > 64");
+  for (unsigned i = bits; i-- > 0;)
+    write_bit((value >> i) & 1u);
+}
+
+bool BitReader::read_bit() {
+  if (cursor_ >= bit_count_)
+    throw std::out_of_range("BitReader: read past end");
+  const bool bit =
+      (data_[cursor_ / 8] >> (7 - cursor_ % 8)) & 1u;
+  ++cursor_;
+  return bit;
+}
+
+std::uint64_t BitReader::read_bits(unsigned bits) {
+  std::uint64_t value = 0;
+  for (unsigned i = 0; i < bits; ++i) value = (value << 1) | (read_bit() ? 1u : 0u);
+  return value;
+}
+
+namespace {
+
+std::uint64_t double_bits(double v) {
+  std::uint64_t bits;
+  std::memcpy(&bits, &v, sizeof bits);
+  return bits;
+}
+
+double bits_double(std::uint64_t bits) {
+  double v;
+  std::memcpy(&v, &bits, sizeof v);
+  return v;
+}
+
+/// Zig-zag to keep small signed deltas in few bits.
+std::uint64_t zigzag(std::int64_t v) {
+  return (static_cast<std::uint64_t>(v) << 1) ^
+         static_cast<std::uint64_t>(v >> 63);
+}
+std::int64_t unzigzag(std::uint64_t v) {
+  return static_cast<std::int64_t>(v >> 1) ^
+         -static_cast<std::int64_t>(v & 1);
+}
+
+}  // namespace
+
+void CompressedBlock::append(const Sample& sample) {
+  if (count_ > 0 && sample.timestamp_ms < prev_timestamp_)
+    throw std::invalid_argument("CompressedBlock: timestamps must not decrease");
+
+  // --- timestamp ---
+  if (count_ == 0) {
+    first_timestamp_ = prev_timestamp_ = sample.timestamp_ms;
+    writer_.write_bits(static_cast<std::uint64_t>(sample.timestamp_ms), 64);
+  } else {
+    const std::int64_t delta = sample.timestamp_ms - prev_timestamp_;
+    const std::int64_t dod = delta - prev_delta_;
+    if (dod == 0) {
+      writer_.write_bit(false);
+    } else if (dod >= -63 && dod <= 64) {
+      writer_.write_bits(0b10, 2);
+      writer_.write_bits(zigzag(dod), 7);
+    } else if (dod >= -255 && dod <= 256) {
+      writer_.write_bits(0b110, 3);
+      writer_.write_bits(zigzag(dod), 9);
+    } else if (dod >= -2047 && dod <= 2048) {
+      writer_.write_bits(0b1110, 4);
+      writer_.write_bits(zigzag(dod), 12);
+    } else {
+      writer_.write_bits(0b1111, 4);
+      writer_.write_bits(zigzag(dod), 64);
+    }
+    prev_delta_ = delta;
+    prev_timestamp_ = sample.timestamp_ms;
+  }
+
+  // --- value ---
+  const std::uint64_t bits = double_bits(sample.value);
+  if (count_ == 0) {
+    writer_.write_bits(bits, 64);
+  } else {
+    const std::uint64_t x = bits ^ prev_value_bits_;
+    if (x == 0) {
+      writer_.write_bit(false);
+    } else {
+      writer_.write_bit(true);
+      auto leading = static_cast<unsigned>(std::countl_zero(x));
+      auto trailing = static_cast<unsigned>(std::countr_zero(x));
+      if (leading > 31) leading = 31;  // cap so the window field fits
+      if (has_window_ && leading >= prev_leading_ && trailing >= prev_trailing_) {
+        // Fits in the previous meaningful-bit window.
+        writer_.write_bit(false);
+        const unsigned length = 64 - prev_leading_ - prev_trailing_;
+        writer_.write_bits(x >> prev_trailing_, length);
+      } else {
+        writer_.write_bit(true);
+        const unsigned length = 64 - leading - trailing;
+        writer_.write_bits(leading, 6);
+        writer_.write_bits(length - 1, 6);  // length in [1, 64]
+        writer_.write_bits(x >> trailing, length);
+        prev_leading_ = leading;
+        prev_trailing_ = trailing;
+        has_window_ = true;
+      }
+    }
+    prev_value_bits_ = bits;
+  }
+  if (count_ == 0) prev_value_bits_ = bits;
+  ++count_;
+}
+
+std::vector<Sample> CompressedBlock::decode() const {
+  std::vector<Sample> samples;
+  samples.reserve(count_);
+  if (count_ == 0) return samples;
+  BitReader reader(writer_.bytes(), writer_.bit_count());
+
+  std::int64_t timestamp =
+      static_cast<std::int64_t>(reader.read_bits(64));
+  std::uint64_t value_bits = reader.read_bits(64);
+  samples.push_back(Sample{timestamp, bits_double(value_bits)});
+
+  std::int64_t delta = 0;
+  unsigned leading = 0, trailing = 0;
+  for (std::size_t i = 1; i < count_; ++i) {
+    // timestamp
+    std::int64_t dod = 0;
+    if (!reader.read_bit()) {
+      dod = 0;
+    } else if (!reader.read_bit()) {
+      dod = unzigzag(reader.read_bits(7));
+    } else if (!reader.read_bit()) {
+      dod = unzigzag(reader.read_bits(9));
+    } else if (!reader.read_bit()) {
+      dod = unzigzag(reader.read_bits(12));
+    } else {
+      dod = unzigzag(reader.read_bits(64));
+    }
+    delta += dod;
+    timestamp += delta;
+    // value
+    if (reader.read_bit()) {
+      if (reader.read_bit()) {
+        leading = static_cast<unsigned>(reader.read_bits(6));
+        const unsigned length = static_cast<unsigned>(reader.read_bits(6)) + 1;
+        trailing = 64 - leading - length;
+        value_bits ^= reader.read_bits(length) << trailing;
+      } else {
+        const unsigned length = 64 - leading - trailing;
+        value_bits ^= reader.read_bits(length) << trailing;
+      }
+    }
+    samples.push_back(Sample{timestamp, bits_double(value_bits)});
+  }
+  return samples;
+}
+
+namespace {
+
+constexpr std::uint32_t kBlockMagic = 0x44535442;  // "DSTB"
+constexpr std::uint32_t kBlockVersion = 1;
+
+template <typename T>
+void put(std::ostream& os, T value) {
+  // Little-endian regardless of host (portable snapshots).
+  for (std::size_t i = 0; i < sizeof(T); ++i)
+    os.put(static_cast<char>((static_cast<std::uint64_t>(value) >> (8 * i)) &
+                             0xff));
+}
+
+template <typename T>
+T get(std::istream& is) {
+  std::uint64_t value = 0;
+  for (std::size_t i = 0; i < sizeof(T); ++i) {
+    const int byte = is.get();
+    if (byte == std::char_traits<char>::eof())
+      throw std::runtime_error("CompressedBlock: truncated stream");
+    value |= static_cast<std::uint64_t>(byte & 0xff) << (8 * i);
+  }
+  return static_cast<T>(value);
+}
+
+}  // namespace
+
+void CompressedBlock::serialize(std::ostream& os) const {
+  put(os, kBlockMagic);
+  put(os, kBlockVersion);
+  put(os, static_cast<std::uint64_t>(count_));
+  put(os, static_cast<std::uint64_t>(first_timestamp_));
+  put(os, static_cast<std::uint64_t>(prev_timestamp_));
+  put(os, static_cast<std::uint64_t>(prev_delta_));
+  put(os, prev_value_bits_);
+  put(os, static_cast<std::uint32_t>(prev_leading_));
+  put(os, static_cast<std::uint32_t>(prev_trailing_));
+  put(os, static_cast<std::uint8_t>(has_window_ ? 1 : 0));
+  put(os, static_cast<std::uint64_t>(writer_.bit_count()));
+  const auto& bytes = writer_.bytes();
+  put(os, static_cast<std::uint64_t>(bytes.size()));
+  os.write(reinterpret_cast<const char*>(bytes.data()),
+           static_cast<std::streamsize>(bytes.size()));
+}
+
+CompressedBlock CompressedBlock::deserialize(std::istream& is) {
+  if (get<std::uint32_t>(is) != kBlockMagic)
+    throw std::runtime_error("CompressedBlock: bad magic");
+  if (get<std::uint32_t>(is) != kBlockVersion)
+    throw std::runtime_error("CompressedBlock: unsupported version");
+  CompressedBlock block;
+  block.count_ = static_cast<std::size_t>(get<std::uint64_t>(is));
+  block.first_timestamp_ = static_cast<std::int64_t>(get<std::uint64_t>(is));
+  block.prev_timestamp_ = static_cast<std::int64_t>(get<std::uint64_t>(is));
+  block.prev_delta_ = static_cast<std::int64_t>(get<std::uint64_t>(is));
+  block.prev_value_bits_ = get<std::uint64_t>(is);
+  block.prev_leading_ = get<std::uint32_t>(is);
+  block.prev_trailing_ = get<std::uint32_t>(is);
+  block.has_window_ = get<std::uint8_t>(is) != 0;
+  const auto bit_count = static_cast<std::size_t>(get<std::uint64_t>(is));
+  const auto byte_count = static_cast<std::size_t>(get<std::uint64_t>(is));
+  if (byte_count != (bit_count + 7) / 8)
+    throw std::runtime_error("CompressedBlock: inconsistent sizes");
+  std::vector<char> raw(byte_count);
+  is.read(raw.data(), static_cast<std::streamsize>(byte_count));
+  if (static_cast<std::size_t>(is.gcount()) != byte_count)
+    throw std::runtime_error("CompressedBlock: truncated payload");
+  // Rebuild the writer bit-exactly.
+  BitWriter writer;
+  for (std::size_t bit = 0; bit < bit_count; ++bit) {
+    const auto byte = static_cast<std::uint8_t>(raw[bit / 8]);
+    writer.write_bit((byte >> (7 - bit % 8)) & 1u);
+  }
+  block.writer_ = std::move(writer);
+  return block;
+}
+
+double CompressedBlock::compression_ratio() const {
+  if (count_ == 0) return 1.0;
+  const double raw = static_cast<double>(count_) * 16.0;
+  const double stored = static_cast<double>(compressed_bytes());
+  return stored > 0 ? raw / stored : 1.0;
+}
+
+}  // namespace dust::telemetry

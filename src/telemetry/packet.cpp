@@ -1,0 +1,197 @@
+#include "telemetry/packet.hpp"
+
+namespace dust::telemetry {
+
+namespace {
+
+std::uint16_t read_u16(std::span<const std::uint8_t> bytes, std::size_t at) {
+  return static_cast<std::uint16_t>((bytes[at] << 8) | bytes[at + 1]);
+}
+
+std::uint32_t read_u32(std::span<const std::uint8_t> bytes, std::size_t at) {
+  return (static_cast<std::uint32_t>(bytes[at]) << 24) |
+         (static_cast<std::uint32_t>(bytes[at + 1]) << 16) |
+         (static_cast<std::uint32_t>(bytes[at + 2]) << 8) |
+         static_cast<std::uint32_t>(bytes[at + 3]);
+}
+
+void write_u16(std::vector<std::uint8_t>& out, std::uint16_t value) {
+  out.push_back(static_cast<std::uint8_t>(value >> 8));
+  out.push_back(static_cast<std::uint8_t>(value & 0xff));
+}
+
+void write_u32(std::vector<std::uint8_t>& out, std::uint32_t value) {
+  out.push_back(static_cast<std::uint8_t>(value >> 24));
+  out.push_back(static_cast<std::uint8_t>((value >> 16) & 0xff));
+  out.push_back(static_cast<std::uint8_t>((value >> 8) & 0xff));
+  out.push_back(static_cast<std::uint8_t>(value & 0xff));
+}
+
+std::optional<EthernetHeader> parse_ethernet(
+    std::span<const std::uint8_t> bytes) {
+  if (bytes.size() < EthernetHeader::kSize) return std::nullopt;
+  EthernetHeader eth;
+  for (int i = 0; i < 6; ++i) eth.destination[i] = bytes[i];
+  for (int i = 0; i < 6; ++i) eth.source[i] = bytes[6 + i];
+  eth.ethertype = read_u16(bytes, 12);
+  return eth;
+}
+
+void append_ethernet(std::vector<std::uint8_t>& out, std::uint16_t ethertype) {
+  const MacAddress dst{0x02, 0, 0, 0, 0, 0x01};
+  const MacAddress src{0x02, 0, 0, 0, 0, 0x02};
+  out.insert(out.end(), dst.begin(), dst.end());
+  out.insert(out.end(), src.begin(), src.end());
+  write_u16(out, ethertype);
+}
+
+void append_ipv4(std::vector<std::uint8_t>& out, std::uint32_t src,
+                 std::uint32_t dst, std::uint16_t payload_bytes) {
+  const std::size_t start = out.size();
+  out.push_back(0x45);  // version 4, IHL 5
+  out.push_back(0);     // DSCP/ECN
+  write_u16(out, static_cast<std::uint16_t>(20 + payload_bytes));
+  write_u16(out, 0);  // identification
+  write_u16(out, 0);  // flags/fragment
+  out.push_back(64);  // TTL
+  out.push_back(Ipv4Header::kProtocolUdp);
+  write_u16(out, 0);  // checksum placeholder
+  write_u32(out, src);
+  write_u32(out, dst);
+  const std::uint16_t checksum =
+      ipv4_checksum(std::span<const std::uint8_t>(out).subspan(start, 20));
+  out[start + 10] = static_cast<std::uint8_t>(checksum >> 8);
+  out[start + 11] = static_cast<std::uint8_t>(checksum & 0xff);
+}
+
+void append_udp(std::vector<std::uint8_t>& out, std::uint16_t src_port,
+                std::uint16_t dst_port, std::uint16_t payload_bytes) {
+  write_u16(out, src_port);
+  write_u16(out, dst_port);
+  write_u16(out, static_cast<std::uint16_t>(UdpHeader::kSize + payload_bytes));
+  write_u16(out, 0);  // UDP checksum optional over IPv4
+}
+
+}  // namespace
+
+std::uint16_t ipv4_checksum(std::span<const std::uint8_t> header) {
+  std::uint32_t sum = 0;
+  for (std::size_t i = 0; i + 1 < header.size(); i += 2) {
+    if (i == 10) continue;  // checksum field counts as zero
+    sum += static_cast<std::uint32_t>((header[i] << 8) | header[i + 1]);
+  }
+  while (sum >> 16) sum = (sum & 0xffff) + (sum >> 16);
+  return static_cast<std::uint16_t>(~sum & 0xffff);
+}
+
+std::optional<ParsedPacket> parse_packet(std::span<const std::uint8_t> bytes,
+                                         ParseError* error) {
+  auto fail = [error](ParseError code) -> std::optional<ParsedPacket> {
+    if (error != nullptr) *error = code;
+    return std::nullopt;
+  };
+  ParsedPacket packet;
+  packet.total_bytes = bytes.size();
+  const std::optional<EthernetHeader> eth = parse_ethernet(bytes);
+  if (!eth) return fail(ParseError::kTruncated);
+  packet.ethernet = *eth;
+  if (eth->ethertype != EthernetHeader::kEthertypeIpv4)
+    return fail(ParseError::kNotIpv4);
+  std::size_t at = EthernetHeader::kSize;
+
+  if (bytes.size() < at + 20) return fail(ParseError::kTruncated);
+  const std::uint8_t version_ihl = bytes[at];
+  if ((version_ihl >> 4) != 4) return fail(ParseError::kBadIpHeader);
+  Ipv4Header ip;
+  ip.ihl = version_ihl & 0x0f;
+  if (ip.ihl < 5) return fail(ParseError::kBadIpHeader);
+  if (bytes.size() < at + ip.header_bytes()) return fail(ParseError::kTruncated);
+  ip.total_length = read_u16(bytes, at + 2);
+  ip.ttl = bytes[at + 8];
+  ip.protocol = bytes[at + 9];
+  ip.checksum = read_u16(bytes, at + 10);
+  ip.source = read_u32(bytes, at + 12);
+  ip.destination = read_u32(bytes, at + 16);
+  if (ipv4_checksum(bytes.subspan(at, ip.header_bytes())) != ip.checksum)
+    return fail(ParseError::kBadChecksum);
+  packet.ip = ip;
+  at += ip.header_bytes();
+  packet.payload_offset = at;
+  if (ip.protocol != Ipv4Header::kProtocolUdp) {
+    // Parsed as deep as this stack goes; not an error.
+    return packet;
+  }
+
+  if (bytes.size() < at + UdpHeader::kSize) return fail(ParseError::kTruncated);
+  UdpHeader udp;
+  udp.source_port = read_u16(bytes, at);
+  udp.destination_port = read_u16(bytes, at + 2);
+  udp.length = read_u16(bytes, at + 4);
+  packet.udp = udp;
+  at += UdpHeader::kSize;
+  packet.payload_offset = at;
+  if (udp.destination_port != UdpHeader::kVxlanPort) return packet;
+
+  if (bytes.size() < at + VxlanHeader::kSize)
+    return fail(ParseError::kTruncated);
+  VxlanHeader vxlan;
+  vxlan.vni = read_u32(bytes, at + 4) >> 8;  // VNI sits in bytes 4-6
+  packet.vxlan = vxlan;
+  at += VxlanHeader::kSize;
+  packet.payload_offset = at;
+
+  if (const std::optional<EthernetHeader> inner =
+          parse_ethernet(bytes.subspan(at))) {
+    packet.inner = *inner;
+    packet.payload_offset = at + EthernetHeader::kSize;
+  }
+  return packet;
+}
+
+std::vector<std::uint8_t> build_vxlan_packet(std::uint32_t vni,
+                                             std::uint32_t outer_src_ip,
+                                             std::uint32_t outer_dst_ip,
+                                             std::size_t inner_payload_bytes) {
+  std::vector<std::uint8_t> out;
+  const std::size_t inner_frame =
+      EthernetHeader::kSize + inner_payload_bytes;
+  const std::size_t udp_payload = VxlanHeader::kSize + inner_frame;
+  append_ethernet(out, EthernetHeader::kEthertypeIpv4);
+  append_ipv4(out, outer_src_ip, outer_dst_ip,
+              static_cast<std::uint16_t>(UdpHeader::kSize + udp_payload));
+  append_udp(out, 49152, UdpHeader::kVxlanPort,
+             static_cast<std::uint16_t>(udp_payload));
+  // VxLAN header: flags (I bit set) + reserved, then VNI << 8.
+  write_u32(out, 0x08000000u);
+  write_u32(out, vni << 8);
+  // Inner Ethernet frame (ethertype 0x0800 but no inner IP needed).
+  append_ethernet(out, EthernetHeader::kEthertypeIpv4);
+  out.insert(out.end(), inner_payload_bytes, 0);
+  return out;
+}
+
+std::vector<std::uint8_t> build_udp_packet(std::uint32_t src_ip,
+                                           std::uint32_t dst_ip,
+                                           std::uint16_t src_port,
+                                           std::uint16_t dst_port,
+                                           std::size_t payload_bytes) {
+  std::vector<std::uint8_t> out;
+  append_ethernet(out, EthernetHeader::kEthertypeIpv4);
+  append_ipv4(out, src_ip, dst_ip,
+              static_cast<std::uint16_t>(UdpHeader::kSize + payload_bytes));
+  append_udp(out, src_port, dst_port,
+             static_cast<std::uint16_t>(payload_bytes));
+  out.insert(out.end(), payload_bytes, 0);
+  return out;
+}
+
+void FlowCounter::add(const ParsedPacket& packet) {
+  const std::uint32_t vni = packet.vxlan ? packet.vxlan->vni : kNonVxlan;
+  Counters& entry = counters_[vni];
+  ++entry.packets;
+  entry.bytes += packet.total_bytes;
+  ++packets_;
+  bytes_ += packet.total_bytes;
+}
+
+}  // namespace dust::telemetry

@@ -1,0 +1,126 @@
+// In-situ packet parsing (paper §III-A: "in-situ data compression and packet
+// parsing capabilities in SmartNICs, which aid in reducing data transfers").
+//
+// A minimal, allocation-free parser for the header stack the testbed's
+// overlay traffic carries — Ethernet II / IPv4 / UDP / VxLAN / inner
+// Ethernet — plus a builder for synthesizing test traffic and a per-VNI
+// flow counter, the aggregation a SmartNIC would run before exporting
+// telemetry instead of raw packets.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <span>
+#include <vector>
+
+namespace dust::telemetry {
+
+using MacAddress = std::array<std::uint8_t, 6>;
+
+struct EthernetHeader {
+  MacAddress destination{};
+  MacAddress source{};
+  std::uint16_t ethertype = 0;  ///< 0x0800 = IPv4
+
+  static constexpr std::size_t kSize = 14;
+  static constexpr std::uint16_t kEthertypeIpv4 = 0x0800;
+};
+
+struct Ipv4Header {
+  std::uint8_t ihl = 5;  ///< header length in 32-bit words
+  std::uint8_t ttl = 64;
+  std::uint8_t protocol = 17;  ///< 17 = UDP
+  std::uint16_t total_length = 0;
+  std::uint16_t checksum = 0;
+  std::uint32_t source = 0;
+  std::uint32_t destination = 0;
+
+  static constexpr std::uint8_t kProtocolUdp = 17;
+  [[nodiscard]] std::size_t header_bytes() const { return ihl * 4u; }
+};
+
+struct UdpHeader {
+  std::uint16_t source_port = 0;
+  std::uint16_t destination_port = 0;
+  std::uint16_t length = 0;
+
+  static constexpr std::size_t kSize = 8;
+  static constexpr std::uint16_t kVxlanPort = 4789;
+};
+
+struct VxlanHeader {
+  std::uint32_t vni = 0;  ///< 24-bit VxLAN network identifier
+
+  static constexpr std::size_t kSize = 8;
+};
+
+enum class ParseError {
+  kTruncated,
+  kNotIpv4,
+  kBadIpHeader,
+  kBadChecksum,
+  kNotUdp,
+};
+
+struct ParsedPacket {
+  EthernetHeader ethernet;
+  Ipv4Header ip;
+  std::optional<UdpHeader> udp;
+  std::optional<VxlanHeader> vxlan;       ///< set when UDP dst port is 4789
+  std::optional<EthernetHeader> inner;    ///< inner frame behind the VxLAN tag
+  std::size_t payload_offset = 0;         ///< first byte past parsed headers
+  std::size_t total_bytes = 0;
+};
+
+/// RFC 1071 ones'-complement sum over the IPv4 header (checksum field
+/// counted as zero). A valid header verifies to its stored checksum.
+std::uint16_t ipv4_checksum(std::span<const std::uint8_t> header);
+
+/// Parse an Ethernet/IPv4/UDP(/VxLAN) packet. On success, nested headers
+/// are present as deep as the packet actually goes (a non-UDP IPv4 packet
+/// parses fine with udp == nullopt). Checksum is verified.
+std::optional<ParsedPacket> parse_packet(std::span<const std::uint8_t> bytes,
+                                         ParseError* error = nullptr);
+
+/// Synthesize a VxLAN-encapsulated packet carrying `inner_payload_bytes` of
+/// zero payload behind an inner Ethernet frame. Checksums are valid.
+std::vector<std::uint8_t> build_vxlan_packet(std::uint32_t vni,
+                                             std::uint32_t outer_src_ip,
+                                             std::uint32_t outer_dst_ip,
+                                             std::size_t inner_payload_bytes);
+
+/// Plain (non-encapsulated) UDP/IPv4 packet.
+std::vector<std::uint8_t> build_udp_packet(std::uint32_t src_ip,
+                                           std::uint32_t dst_ip,
+                                           std::uint16_t src_port,
+                                           std::uint16_t dst_port,
+                                           std::size_t payload_bytes);
+
+/// Per-VNI aggregation a SmartNIC keeps instead of exporting raw packets.
+class FlowCounter {
+ public:
+  struct Counters {
+    std::uint64_t packets = 0;
+    std::uint64_t bytes = 0;
+  };
+
+  /// Account a parsed packet. Non-VxLAN traffic lands in VNI 0xffffffff.
+  void add(const ParsedPacket& packet);
+
+  [[nodiscard]] const std::map<std::uint32_t, Counters>& per_vni() const {
+    return counters_;
+  }
+  [[nodiscard]] std::uint64_t total_packets() const noexcept { return packets_; }
+  [[nodiscard]] std::uint64_t total_bytes() const noexcept { return bytes_; }
+
+  static constexpr std::uint32_t kNonVxlan = 0xffffffffu;
+
+ private:
+  std::map<std::uint32_t, Counters> counters_;
+  std::uint64_t packets_ = 0;
+  std::uint64_t bytes_ = 0;
+};
+
+}  // namespace dust::telemetry

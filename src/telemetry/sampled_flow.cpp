@@ -1,0 +1,55 @@
+#include "telemetry/sampled_flow.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace dust::telemetry {
+
+SampledFlowCollector::SampledFlowCollector(std::uint32_t sampling_rate,
+                                           util::Rng rng)
+    : rate_(sampling_rate), rng_(rng) {
+  if (sampling_rate == 0)
+    throw std::invalid_argument("SampledFlowCollector: rate must be >= 1");
+}
+
+void SampledFlowCollector::offer(const ParsedPacket& packet) {
+  ++offered_;
+  // Random 1-in-N sampling (as sFlow does), not deterministic striding —
+  // deterministic sampling aliases against periodic traffic.
+  if (rate_ > 1 && rng_.below(rate_) != 0) return;
+  ++sampled_;
+  samples_.add(packet);
+}
+
+std::map<std::uint32_t, FlowCounter::Counters>
+SampledFlowCollector::estimate() const {
+  std::map<std::uint32_t, FlowCounter::Counters> out;
+  for (const auto& [vni, counters] : samples_.per_vni()) {
+    FlowCounter::Counters scaled;
+    scaled.packets = counters.packets * rate_;
+    scaled.bytes = counters.bytes * rate_;
+    out.emplace(vni, scaled);
+  }
+  return out;
+}
+
+std::uint64_t SampledFlowCollector::estimated_total_packets() const {
+  return samples_.total_packets() * rate_;
+}
+
+double estimation_error(const FlowCounter& truth,
+                        const std::map<std::uint32_t, FlowCounter::Counters>&
+                            estimate) {
+  if (truth.per_vni().empty()) return 0.0;
+  double total_error = 0.0;
+  for (const auto& [vni, actual] : truth.per_vni()) {
+    const auto it = estimate.find(vni);
+    const double estimated =
+        it == estimate.end() ? 0.0 : static_cast<double>(it->second.packets);
+    total_error += std::abs(estimated - static_cast<double>(actual.packets)) /
+                   static_cast<double>(actual.packets);
+  }
+  return total_error / static_cast<double>(truth.per_vni().size());
+}
+
+}  // namespace dust::telemetry

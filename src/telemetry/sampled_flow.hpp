@@ -1,0 +1,49 @@
+// Legacy sampled-flow telemetry (sFlow/NetFlow-style), for comparison.
+//
+// The paper positions DUST against "centralized and legacy mechanisms such
+// as SNMP, sFlow, Netflow" and "outdated sampling-based telemetry" — this
+// module implements that baseline: 1-in-N packet sampling with scaled-up
+// per-VNI estimates, so the accuracy gap versus full in-device counting
+// (FlowCounter) can be measured instead of asserted. See
+// estimation_error() and the telemetry tests.
+#pragma once
+
+#include <cstdint>
+#include <map>
+
+#include "telemetry/packet.hpp"
+#include "util/rng.hpp"
+
+namespace dust::telemetry {
+
+class SampledFlowCollector {
+ public:
+  /// Sample 1 in `sampling_rate` packets (1 = count everything).
+  SampledFlowCollector(std::uint32_t sampling_rate, util::Rng rng);
+
+  /// Offer a packet; it is counted only if sampled.
+  void offer(const ParsedPacket& packet);
+
+  [[nodiscard]] std::uint32_t sampling_rate() const noexcept { return rate_; }
+  [[nodiscard]] std::uint64_t offered() const noexcept { return offered_; }
+  [[nodiscard]] std::uint64_t sampled() const noexcept { return sampled_; }
+
+  /// Scaled estimates (sampled counts x rate), per VNI.
+  [[nodiscard]] std::map<std::uint32_t, FlowCounter::Counters> estimate() const;
+  [[nodiscard]] std::uint64_t estimated_total_packets() const;
+
+ private:
+  std::uint32_t rate_;
+  util::Rng rng_;
+  FlowCounter samples_;
+  std::uint64_t offered_ = 0;
+  std::uint64_t sampled_ = 0;
+};
+
+/// Mean relative per-VNI packet-count error of a sampled estimate against
+/// ground truth (VNIs missing from the estimate count as 100% error).
+double estimation_error(const FlowCounter& truth,
+                        const std::map<std::uint32_t, FlowCounter::Counters>&
+                            estimate);
+
+}  // namespace dust::telemetry

@@ -1,0 +1,112 @@
+// In-memory time-series database with Gorilla-compressed storage.
+//
+// The paper's TSDB "efficiently stores the metrics and rules established by
+// the Monitor Agents" on each DUST node. Series are stored as a chain of
+// compressed blocks; queries decode only blocks overlapping the range.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "telemetry/gorilla.hpp"
+#include "telemetry/metric.hpp"
+
+namespace dust::telemetry {
+
+enum class Aggregation { kMean, kMin, kMax, kSum, kLast, kCount, kRate };
+
+/// One metric's storage: sealed compressed blocks plus an active block.
+class TimeSeries {
+ public:
+  explicit TimeSeries(MetricDescriptor descriptor,
+                      std::size_t samples_per_block = 1024);
+
+  void append(const Sample& sample);
+
+  [[nodiscard]] const MetricDescriptor& descriptor() const noexcept {
+    return descriptor_;
+  }
+  [[nodiscard]] std::size_t sample_count() const noexcept { return count_; }
+  [[nodiscard]] std::optional<Sample> last() const noexcept { return last_; }
+
+  /// All samples with from_ms <= t <= to_ms, in timestamp order.
+  [[nodiscard]] std::vector<Sample> query(std::int64_t from_ms,
+                                          std::int64_t to_ms) const;
+
+  /// Aggregate over a range. kRate = (last-first)/(seconds) for counters.
+  /// Returns nullopt if the range holds no samples (or <2 for kRate).
+  [[nodiscard]] std::optional<double> aggregate(std::int64_t from_ms,
+                                                std::int64_t to_ms,
+                                                Aggregation op) const;
+
+  /// Downsample [from_ms, to_ms] into fixed windows of `window_ms`; each
+  /// output sample carries the window's start timestamp and the aggregate of
+  /// the raw samples inside it (empty windows are omitted). This is the
+  /// "collective interval" view enterprise telemetry tools export (§III-B).
+  [[nodiscard]] std::vector<Sample> rollup(std::int64_t from_ms,
+                                           std::int64_t to_ms,
+                                           std::int64_t window_ms,
+                                           Aggregation op) const;
+
+  /// Drop sealed blocks entirely older than `cutoff_ms`. Returns samples
+  /// dropped. The active block is never dropped.
+  std::size_t drop_before(std::int64_t cutoff_ms);
+
+  [[nodiscard]] std::size_t compressed_bytes() const noexcept;
+
+  void serialize(std::ostream& os) const;
+  static TimeSeries deserialize(std::istream& is);
+
+ private:
+  void seal_active();
+
+  MetricDescriptor descriptor_;
+  std::size_t samples_per_block_;
+  std::vector<CompressedBlock> sealed_;
+  CompressedBlock active_;
+  std::size_t count_ = 0;
+  std::optional<Sample> last_;
+};
+
+/// Named-metric registry + storage, one instance per DUST node.
+class Tsdb {
+ public:
+  /// Registering the same name twice returns the existing id (descriptor of
+  /// the first registration wins).
+  MetricId register_metric(const MetricDescriptor& descriptor);
+
+  [[nodiscard]] std::optional<MetricId> find(const std::string& name) const;
+  [[nodiscard]] std::size_t metric_count() const noexcept { return series_.size(); }
+
+  void append(MetricId id, const Sample& sample);
+  [[nodiscard]] const TimeSeries& series(MetricId id) const;
+  [[nodiscard]] TimeSeries& series(MetricId id);
+
+  [[nodiscard]] std::vector<Sample> query(MetricId id, std::int64_t from_ms,
+                                          std::int64_t to_ms) const;
+  [[nodiscard]] std::optional<double> aggregate(MetricId id, std::int64_t from_ms,
+                                                std::int64_t to_ms,
+                                                Aggregation op) const;
+
+  /// Apply retention across all series; returns samples dropped.
+  std::size_t drop_before(std::int64_t cutoff_ms);
+
+  /// Total compressed storage footprint (bytes) — used by the simulator's
+  /// node memory model.
+  [[nodiscard]] std::size_t storage_bytes() const noexcept;
+
+  /// Snapshot/restore the whole database (descriptors + compressed blocks,
+  /// still compressed on the wire). A restored database keeps accepting
+  /// appends. load() throws std::runtime_error on corrupt input.
+  void save(std::ostream& os) const;
+  static Tsdb load(std::istream& is);
+
+ private:
+  std::vector<TimeSeries> series_;
+  std::unordered_map<std::string, MetricId> by_name_;
+};
+
+}  // namespace dust::telemetry

@@ -1,0 +1,31 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace dust::util {
+
+double Rng::sqrt_ratio(double s) noexcept {
+  return std::sqrt(-2.0 * std::log(s) / s);
+}
+
+double Rng::exponential(double rate) noexcept {
+  // Inverse-CDF; uniform() < 1 so log argument is in (0, 1].
+  return -std::log(1.0 - uniform()) / rate;
+}
+
+std::vector<std::size_t> Rng::sample_indices(std::size_t n, std::size_t k) {
+  if (k > n) throw std::invalid_argument("sample_indices: k > n");
+  // Partial Fisher-Yates over an index vector; O(n) setup, fine for the
+  // network sizes in this library (<= hundreds of thousands of nodes).
+  std::vector<std::size_t> idx(n);
+  for (std::size_t i = 0; i < n; ++i) idx[i] = i;
+  for (std::size_t i = 0; i < k; ++i) {
+    const std::size_t j = i + static_cast<std::size_t>(below(n - i));
+    std::swap(idx[i], idx[j]);
+  }
+  idx.resize(k);
+  return idx;
+}
+
+}  // namespace dust::util

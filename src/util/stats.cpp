@@ -1,0 +1,134 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace dust::util {
+
+void RunningStats::add(double x) noexcept {
+  ++n_;
+  if (n_ == 1) {
+    mean_ = min_ = max_ = x;
+    m2_ = 0.0;
+    return;
+  }
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+void RunningStats::merge(const RunningStats& other) noexcept {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double total = na + nb;
+  mean_ += delta * nb / total;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  n_ += other.n_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double RunningStats::variance() const noexcept {
+  return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double RunningStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+double percentile(std::span<const double> sample, double q) {
+  if (sample.empty()) throw std::invalid_argument("percentile: empty sample");
+  if (q < 0.0 || q > 100.0) throw std::invalid_argument("percentile: q out of range");
+  std::vector<double> sorted(sample.begin(), sample.end());
+  std::sort(sorted.begin(), sorted.end());
+  if (sorted.size() == 1) return sorted.front();
+  const double rank = q / 100.0 * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+
+double mean(std::span<const double> sample) {
+  RunningStats s;
+  for (double x : sample) s.add(x);
+  return s.mean();
+}
+
+double stddev(std::span<const double> sample) {
+  RunningStats s;
+  for (double x : sample) s.add(x);
+  return s.stddev();
+}
+
+LinearFit linear_fit(std::span<const double> x, std::span<const double> y) {
+  if (x.size() != y.size() || x.size() < 2)
+    throw std::invalid_argument("linear_fit: need >= 2 equal-length samples");
+  const double n = static_cast<double>(x.size());
+  double sx = 0, sy = 0, sxx = 0, sxy = 0, syy = 0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    sx += x[i];
+    sy += y[i];
+    sxx += x[i] * x[i];
+    sxy += x[i] * y[i];
+    syy += y[i] * y[i];
+  }
+  const double denom = n * sxx - sx * sx;
+  if (denom == 0.0) throw std::invalid_argument("linear_fit: degenerate x");
+  LinearFit fit;
+  fit.slope = (n * sxy - sx * sy) / denom;
+  fit.intercept = (sy - fit.slope * sx) / n;
+  const double ss_tot = syy - sy * sy / n;
+  double ss_res = 0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double r = y[i] - (fit.intercept + fit.slope * x[i]);
+    ss_res += r * r;
+  }
+  fit.r_squared = ss_tot > 0 ? 1.0 - ss_res / ss_tot : 1.0;
+  return fit;
+}
+
+PowerFit power_fit(std::span<const double> x, std::span<const double> y) {
+  std::vector<double> lx(x.size()), ly(y.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    if (x[i] <= 0 || y[i] <= 0)
+      throw std::invalid_argument("power_fit: inputs must be positive");
+    lx[i] = std::log(x[i]);
+    ly[i] = std::log(y[i]);
+  }
+  const LinearFit fit = linear_fit(lx, ly);
+  return PowerFit{std::exp(fit.intercept), fit.slope, fit.r_squared};
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0) {
+  if (bins == 0 || !(lo < hi))
+    throw std::invalid_argument("Histogram: invalid range or bins");
+}
+
+void Histogram::add(double x) noexcept {
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  auto bucket = static_cast<std::ptrdiff_t>((x - lo_) / width);
+  bucket = std::clamp<std::ptrdiff_t>(bucket, 0,
+                                      static_cast<std::ptrdiff_t>(counts_.size()) - 1);
+  ++counts_[static_cast<std::size_t>(bucket)];
+  ++total_;
+}
+
+double Histogram::bucket_low(std::size_t bucket) const noexcept {
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  return lo_ + width * static_cast<double>(bucket);
+}
+
+double Histogram::bucket_high(std::size_t bucket) const noexcept {
+  return bucket_low(bucket + 1);
+}
+
+}  // namespace dust::util

@@ -1,0 +1,75 @@
+// Descriptive statistics helpers used across benches and the simulator.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace dust::util {
+
+/// Streaming accumulator (Welford) for mean/variance plus min/max.
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+  void merge(const RunningStats& other) noexcept;
+
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  [[nodiscard]] double variance() const noexcept;  // sample variance (n-1)
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double min() const noexcept { return min_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+  [[nodiscard]] double sum() const noexcept { return mean_ * static_cast<double>(n_); }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Percentile of a sample using linear interpolation between order statistics.
+/// `q` in [0, 100]. Copies and sorts; use for result reporting, not hot paths.
+double percentile(std::span<const double> sample, double q);
+
+double mean(std::span<const double> sample);
+double stddev(std::span<const double> sample);
+
+/// Least-squares fit y = a + b*x. Returns {a, b}. Requires >= 2 points.
+struct LinearFit {
+  double intercept = 0.0;
+  double slope = 0.0;
+  double r_squared = 0.0;
+};
+LinearFit linear_fit(std::span<const double> x, std::span<const double> y);
+
+/// Fit y = c * x^p by log-log linear regression (all inputs must be > 0).
+/// Returns {log(c) as intercept-equivalent c, exponent p, r^2 in log space}.
+struct PowerFit {
+  double coefficient = 0.0;
+  double exponent = 0.0;
+  double r_squared = 0.0;
+};
+PowerFit power_fit(std::span<const double> x, std::span<const double> y);
+
+/// Simple fixed-width histogram over [lo, hi) with `bins` buckets; values
+/// outside the range clamp into the first/last bucket.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+  void add(double x) noexcept;
+  [[nodiscard]] std::size_t bucket_count() const noexcept { return counts_.size(); }
+  [[nodiscard]] std::size_t count(std::size_t bucket) const { return counts_.at(bucket); }
+  [[nodiscard]] std::size_t total() const noexcept { return total_; }
+  [[nodiscard]] double bucket_low(std::size_t bucket) const noexcept;
+  [[nodiscard]] double bucket_high(std::size_t bucket) const noexcept;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace dust::util

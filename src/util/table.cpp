@@ -1,0 +1,89 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+
+namespace dust::util {
+
+Table& Table::header(std::vector<std::string> names) {
+  header_ = std::move(names);
+  return *this;
+}
+
+Table& Table::row(std::vector<Cell> cells) {
+  if (!header_.empty() && cells.size() != header_.size())
+    throw std::invalid_argument("Table: row width != header width");
+  rows_.push_back(std::move(cells));
+  return *this;
+}
+
+std::string Table::format(const Cell& cell) const {
+  if (const auto* text = std::get_if<std::string>(&cell)) return *text;
+  if (const auto* integer = std::get_if<std::int64_t>(&cell))
+    return std::to_string(*integer);
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision_) << std::get<double>(cell);
+  return os.str();
+}
+
+void Table::print(std::ostream& os) const {
+  std::size_t columns = header_.size();
+  for (const auto& row : rows_) columns = std::max(columns, row.size());
+  std::vector<std::size_t> widths(columns, 0);
+  for (std::size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  std::vector<std::vector<std::string>> cells;
+  cells.reserve(rows_.size());
+  for (const auto& row : rows_) {
+    auto& out = cells.emplace_back();
+    out.reserve(row.size());
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      out.push_back(format(row[c]));
+      if (c < widths.size()) widths[c] = std::max(widths[c], out.back().size());
+    }
+  }
+  os << "== " << title_ << " ==\n";
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << (c ? "  " : "") << std::setw(static_cast<int>(widths[c])) << row[c];
+    }
+    os << '\n';
+  };
+  if (!header_.empty()) {
+    print_row(header_);
+    std::size_t total = 0;
+    for (std::size_t c = 0; c < widths.size(); ++c) total += widths[c] + (c ? 2 : 0);
+    os << std::string(total, '-') << '\n';
+  }
+  for (const auto& row : cells) print_row(row);
+  os.flush();
+}
+
+void Table::print_csv(std::ostream& os) const {
+  auto emit = [&](const std::string& field, bool last) {
+    const bool quote = field.find_first_of(",\"\n") != std::string::npos;
+    if (quote) {
+      os << '"';
+      for (char ch : field) {
+        if (ch == '"') os << '"';
+        os << ch;
+      }
+      os << '"';
+    } else {
+      os << field;
+    }
+    os << (last ? '\n' : ',');
+  };
+  if (!header_.empty()) {
+    for (std::size_t c = 0; c < header_.size(); ++c)
+      emit(header_[c], c + 1 == header_.size());
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c)
+      emit(format(row[c]), c + 1 == row.size());
+  }
+  os.flush();
+}
+
+}  // namespace dust::util

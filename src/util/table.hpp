@@ -1,0 +1,41 @@
+// Console table / CSV emitters for the figure-reproduction benches.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace dust::util {
+
+/// A cell is a string, integer, or double (printed with fixed precision).
+using Cell = std::variant<std::string, std::int64_t, double>;
+
+/// Column-aligned text table with a title, printed to an ostream.
+class Table {
+ public:
+  explicit Table(std::string title) : title_(std::move(title)) {}
+
+  Table& set_precision(int digits) {
+    precision_ = digits;
+    return *this;
+  }
+
+  Table& header(std::vector<std::string> names);
+  Table& row(std::vector<Cell> cells);
+
+  void print(std::ostream& os) const;
+  void print_csv(std::ostream& os) const;
+
+  [[nodiscard]] std::size_t row_count() const noexcept { return rows_.size(); }
+
+ private:
+  [[nodiscard]] std::string format(const Cell& cell) const;
+
+  std::string title_;
+  int precision_ = 4;
+  std::vector<std::string> header_;
+  std::vector<std::vector<Cell>> rows_;
+};
+
+}  // namespace dust::util

@@ -1,0 +1,26 @@
+// Wall-clock timing helpers.
+#pragma once
+
+#include <chrono>
+
+namespace dust::util {
+
+/// Monotonic stopwatch; starts on construction.
+class Timer {
+ public:
+  using clock = std::chrono::steady_clock;
+
+  Timer() : start_(clock::now()) {}
+
+  void restart() noexcept { start_ = clock::now(); }
+
+  [[nodiscard]] double seconds() const noexcept {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+  [[nodiscard]] double millis() const noexcept { return seconds() * 1e3; }
+
+ private:
+  clock::time_point start_;
+};
+
+}  // namespace dust::util

@@ -1,0 +1,138 @@
+#include "core/baselines.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/optimizer.hpp"
+#include "graph/topology.hpp"
+#include "net/traffic.hpp"
+
+namespace dust::core {
+namespace {
+
+Nmdb random_nmdb(std::uint64_t seed) {
+  util::Rng rng(seed);
+  net::NetworkState state = net::make_random_state(
+      graph::FatTree(4).graph(), net::LinkProfile{}, net::NodeLoadProfile{}, rng);
+  return Nmdb(std::move(state), Thresholds{});
+}
+
+void check_feasible(const Nmdb& nmdb, const BaselineResult& r) {
+  std::vector<double> absorbed(nmdb.node_count(), 0.0);
+  double shipped = 0;
+  for (const Assignment& a : r.assignments) {
+    EXPECT_GT(a.amount, 0.0);
+    absorbed[a.to] += a.amount;
+    shipped += a.amount;
+  }
+  for (graph::NodeId o : nmdb.candidate_nodes())
+    EXPECT_LE(absorbed[o], nmdb.thresholds(o).spare_capacity(
+                               nmdb.network().node_utilization(o)) +
+                               1e-9);
+  EXPECT_NEAR(shipped + r.unplaced, nmdb.total_excess(), 1e-6);
+}
+
+TEST(GreedyNearest, PrefersCloserCandidate) {
+  // Path: cand(1) - busy(0) - relay(2) - cand(3). Closest wins outright.
+  graph::Graph g(4);
+  g.add_edge(1, 0);
+  g.add_edge(0, 2);
+  g.add_edge(2, 3);
+  net::NetworkState state(std::move(g));
+  state.set_node_utilization(0, 85.0);  // Cs = 5
+  state.set_node_utilization(1, 30.0);
+  state.set_node_utilization(3, 30.0);
+  state.set_node_utilization(2, 70.0);
+  state.set_monitoring_data_mb(0, 10.0);
+  Nmdb nmdb(std::move(state), Thresholds{});
+  const BaselineResult r = greedy_nearest_placement(nmdb);
+  ASSERT_EQ(r.assignments.size(), 1u);
+  EXPECT_EQ(r.assignments[0].to, 1u);
+  EXPECT_TRUE(r.complete());
+}
+
+TEST(GreedyNearest, OverflowsToFartherWhenNearFull) {
+  graph::Graph g(4);
+  g.add_edge(1, 0);
+  g.add_edge(0, 2);
+  g.add_edge(2, 3);
+  net::NetworkState state(std::move(g));
+  state.set_node_utilization(0, 95.0);  // Cs = 15
+  state.set_node_utilization(1, 55.0);  // Cd = 5 (near)
+  state.set_node_utilization(3, 30.0);  // Cd = 30 (far)
+  state.set_node_utilization(2, 70.0);
+  state.set_monitoring_data_mb(0, 10.0);
+  Nmdb nmdb(std::move(state), Thresholds{});
+  const BaselineResult r = greedy_nearest_placement(nmdb);
+  EXPECT_TRUE(r.complete());
+  EXPECT_NEAR(r.assignments[0].amount, 5.0, 1e-9);
+  EXPECT_EQ(r.assignments[0].to, 1u);
+  EXPECT_EQ(r.assignments[1].to, 3u);
+  EXPECT_NEAR(r.assignments[1].amount, 10.0, 1e-9);
+}
+
+TEST(GreedyNearest, MaxHopsLimitsReach) {
+  graph::Graph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  net::NetworkState state(std::move(g));
+  state.set_node_utilization(0, 90.0);
+  state.set_node_utilization(1, 70.0);
+  state.set_node_utilization(2, 30.0);
+  state.set_monitoring_data_mb(0, 10.0);
+  Nmdb nmdb(std::move(state), Thresholds{});
+  EXPECT_FALSE(greedy_nearest_placement(nmdb, 1).complete());
+  EXPECT_TRUE(greedy_nearest_placement(nmdb, 2).complete());
+}
+
+class BaselineSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BaselineSweep, GreedyFeasible) {
+  Nmdb nmdb = random_nmdb(GetParam());
+  check_feasible(nmdb, greedy_nearest_placement(nmdb));
+}
+
+TEST_P(BaselineSweep, RandomFeasible) {
+  Nmdb nmdb = random_nmdb(GetParam());
+  util::Rng rng(GetParam() * 31 + 7);
+  check_feasible(nmdb, random_placement(nmdb, rng));
+}
+
+// The exact optimizer is never worse than either baseline on cost when
+// everything can be placed by all three.
+TEST_P(BaselineSweep, OptimizerDominatesOnObjective) {
+  Nmdb nmdb = random_nmdb(GetParam() ^ 0x555);
+  util::Rng rng(GetParam());
+  const BaselineResult greedy = greedy_nearest_placement(nmdb);
+  const BaselineResult random = random_placement(nmdb, rng);
+  const PlacementResult optimal = OptimizationEngine().run(nmdb);
+  if (!optimal.optimal() || !greedy.complete() || !random.complete())
+    GTEST_SKIP();
+  EXPECT_LE(optimal.objective, greedy.objective + 1e-6);
+  EXPECT_LE(optimal.objective, random.objective + 1e-6);
+}
+
+// Unbounded baselines ship min(ΣCs, ΣCd) — as much as theoretically possible.
+TEST_P(BaselineSweep, GreedyShipsMaximum) {
+  Nmdb nmdb = random_nmdb(GetParam() ^ 0x888);
+  const BaselineResult r = greedy_nearest_placement(nmdb);
+  const double shipped = nmdb.total_excess() - r.unplaced;
+  EXPECT_NEAR(shipped, std::min(nmdb.total_excess(), nmdb.total_spare()), 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BaselineSweep,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u));
+
+TEST(RandomPlacement, DeterministicGivenSeed) {
+  Nmdb nmdb = random_nmdb(9);
+  util::Rng a(5), b(5);
+  const BaselineResult ra = random_placement(nmdb, a);
+  const BaselineResult rb = random_placement(nmdb, b);
+  ASSERT_EQ(ra.assignments.size(), rb.assignments.size());
+  for (std::size_t i = 0; i < ra.assignments.size(); ++i) {
+    EXPECT_EQ(ra.assignments[i].to, rb.assignments[i].to);
+    EXPECT_DOUBLE_EQ(ra.assignments[i].amount, rb.assignments[i].amount);
+  }
+}
+
+}  // namespace
+}  // namespace dust::core

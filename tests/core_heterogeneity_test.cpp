@@ -1,0 +1,119 @@
+// Heterogeneous platform factors (paper §IV-A: the homogeneity assumption
+// "can be adjusted with a coefficient factor relating two endpoint platform
+// capacities").
+#include <gtest/gtest.h>
+
+#include "core/optimizer.hpp"
+#include "graph/topology.hpp"
+#include "net/traffic.hpp"
+
+namespace dust::core {
+namespace {
+
+Nmdb star_scenario() {
+  // Hub 0 busy (Cs = 18), two leaves as candidates (Cd = 5 each).
+  net::NetworkState state(graph::make_star(2));
+  state.set_node_utilization(0, 98.0);
+  state.set_node_utilization(1, 55.0);
+  state.set_node_utilization(2, 55.0);
+  state.set_monitoring_data_mb(0, 10.0);
+  return Nmdb(std::move(state), Thresholds{});
+}
+
+TEST(Heterogeneity, FactorValidation) {
+  Nmdb nmdb = star_scenario();
+  EXPECT_TRUE(nmdb.homogeneous());
+  nmdb.set_platform_factor(1, 4.0);
+  EXPECT_FALSE(nmdb.homogeneous());
+  EXPECT_DOUBLE_EQ(nmdb.platform_factor(1), 4.0);
+  EXPECT_THROW(nmdb.set_platform_factor(1, 0.0), std::invalid_argument);
+  EXPECT_THROW(nmdb.set_platform_factor(1, -2.0), std::invalid_argument);
+}
+
+TEST(Heterogeneity, HomogeneousProblemHasUnitCoefficients) {
+  Nmdb nmdb = star_scenario();
+  const PlacementProblem p = build_placement_problem(nmdb, PlacementOptions{});
+  EXPECT_FALSE(p.heterogeneous());
+  for (std::size_t bi = 0; bi < p.busy.size(); ++bi)
+    for (std::size_t cj = 0; cj < p.candidates.size(); ++cj)
+      EXPECT_DOUBLE_EQ(p.capacity_coefficient(bi, cj), 1.0);
+}
+
+TEST(Heterogeneity, StrongerDestinationAbsorbsMore) {
+  // Homogeneous: Cs = 18 > Cd total = 10 -> infeasible.
+  Nmdb nmdb = star_scenario();
+  EXPECT_EQ(OptimizationEngine().run(nmdb).status, solver::Status::kInfeasible);
+  // A 4x-capable DPU at leaf 1: 18 units of hub load consume 18/4 = 4.5 of
+  // leaf 1's 5 spare points -> now feasible on leaf 1 alone.
+  nmdb.set_platform_factor(1, 4.0);
+  const PlacementResult r = OptimizationEngine().run(nmdb);
+  ASSERT_TRUE(r.optimal());
+  EXPECT_NEAR(r.offloaded_from(0), 18.0, 1e-6);
+  const PlacementProblem p = build_placement_problem(nmdb, PlacementOptions{});
+  EXPECT_LT(placement_violation(p, r), 1e-6);
+}
+
+TEST(Heterogeneity, WeakerDestinationAbsorbsLess) {
+  // Leaf capacities halved in effect: factor 0.5 means each unit of hub
+  // load costs 2 units of leaf capacity -> only 5 of 18 can ship at most
+  // (2.5 effective per leaf), so the exact model is infeasible and partial
+  // mode ships 5.
+  Nmdb nmdb = star_scenario();
+  nmdb.set_platform_factor(1, 0.5);
+  nmdb.set_platform_factor(2, 0.5);
+  EXPECT_EQ(OptimizationEngine().run(nmdb).status, solver::Status::kInfeasible);
+  OptimizerOptions options;
+  options.allow_partial = true;
+  const PlacementResult r = OptimizationEngine(options).run(nmdb);
+  ASSERT_TRUE(r.optimal());
+  EXPECT_NEAR(r.offloaded_total(), 5.0, 1e-6);
+  EXPECT_NEAR(r.unplaced, 13.0, 1e-6);
+}
+
+TEST(Heterogeneity, FactorOneMatchesHomogeneousSolver) {
+  util::Rng rng(5);
+  net::NetworkState state = net::make_random_state(
+      graph::FatTree(4).graph(), net::LinkProfile{}, net::NodeLoadProfile{}, rng);
+  Nmdb nmdb(std::move(state), Thresholds{});
+  OptimizerOptions options;
+  options.placement.evaluator = net::EvaluatorMode::kHopBoundedDp;
+  options.allow_partial = true;
+  const PlacementResult homogeneous = OptimizationEngine(options).run(nmdb);
+  // Equal non-unit factors everywhere: coefficients are still 1, so the
+  // heterogeneous LP path must reproduce the transportation result.
+  for (graph::NodeId v = 0; v < nmdb.node_count(); ++v)
+    nmdb.set_platform_factor(v, 3.0);
+  const PlacementResult scaled = OptimizationEngine(options).run(nmdb);
+  ASSERT_EQ(scaled.status, homogeneous.status);
+  EXPECT_NEAR(scaled.objective, homogeneous.objective,
+              1e-6 * (1.0 + homogeneous.objective));
+  EXPECT_NEAR(scaled.offloaded_total(), homogeneous.offloaded_total(), 1e-6);
+}
+
+class HeterogeneitySweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+// Property: heterogeneous solves are feasible w.r.t. factor-weighted
+// capacities and never ship more than ΣCs.
+TEST_P(HeterogeneitySweep, FactorWeightedFeasibility) {
+  util::Rng rng(GetParam());
+  net::NetworkState state = net::make_random_state(
+      graph::FatTree(4).graph(), net::LinkProfile{}, net::NodeLoadProfile{}, rng);
+  Nmdb nmdb(std::move(state), Thresholds{});
+  for (graph::NodeId v = 0; v < nmdb.node_count(); ++v)
+    nmdb.set_platform_factor(v, rng.uniform(0.5, 4.0));
+  OptimizerOptions options;
+  options.placement.evaluator = net::EvaluatorMode::kHopBoundedDp;
+  options.allow_partial = true;
+  const PlacementResult r = OptimizationEngine(options).run(nmdb);
+  ASSERT_TRUE(r.optimal());
+  const PlacementProblem p =
+      build_placement_problem(nmdb, options.placement);
+  EXPECT_LT(placement_violation(p, r), 1e-6);
+  EXPECT_LE(r.offloaded_total(), nmdb.total_excess() + 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HeterogeneitySweep,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u));
+
+}  // namespace
+}  // namespace dust::core

@@ -1,0 +1,225 @@
+#include "core/heuristic.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/optimizer.hpp"
+#include "graph/topology.hpp"
+#include "net/traffic.hpp"
+
+namespace dust::core {
+namespace {
+
+TEST(Heuristic, NoBusyNodesTrivial) {
+  net::NetworkState state(graph::make_ring(4));
+  for (graph::NodeId v = 0; v < 4; ++v) state.set_node_utilization(v, 50.0);
+  Nmdb nmdb(std::move(state), Thresholds{});
+  const HeuristicResult r = HeuristicEngine().run(nmdb);
+  EXPECT_EQ(r.busy_count, 0u);
+  EXPECT_DOUBLE_EQ(r.hfr_percent(), 0.0);
+  EXPECT_TRUE(r.complete());
+}
+
+TEST(Heuristic, RadiusOneOnlyUsesDirectNeighbours) {
+  // Path 0-1-2: node 0 busy, node 2 candidate but 2 hops away, node 1 neutral.
+  graph::Graph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  net::NetworkState state(std::move(g));
+  state.set_node_utilization(0, 90.0);
+  state.set_node_utilization(1, 70.0);
+  state.set_node_utilization(2, 30.0);
+  state.set_monitoring_data_mb(0, 10.0);
+  Nmdb nmdb(std::move(state), Thresholds{});
+  const HeuristicResult r = HeuristicEngine().run(nmdb);
+  EXPECT_TRUE(r.assignments.empty());
+  EXPECT_EQ(r.failed, 1u);
+  EXPECT_DOUBLE_EQ(r.hfr_percent(), 100.0);  // nothing placed
+}
+
+TEST(Heuristic, RadiusTwoReachesThatCandidate) {
+  graph::Graph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  net::NetworkState state(std::move(g));
+  state.set_node_utilization(0, 90.0);
+  state.set_node_utilization(1, 70.0);
+  state.set_node_utilization(2, 30.0);
+  state.set_monitoring_data_mb(0, 10.0);
+  Nmdb nmdb(std::move(state), Thresholds{});
+  HeuristicOptions options;
+  options.radius = 2;
+  const HeuristicResult r = HeuristicEngine(options).run(nmdb);
+  EXPECT_TRUE(r.complete());
+  ASSERT_EQ(r.assignments.size(), 1u);
+  EXPECT_EQ(r.assignments[0].to, 2u);
+}
+
+TEST(Heuristic, PicksCheapestNeighbourFirst) {
+  // Star: hub 0 busy; two leaf candidates with different link speeds.
+  net::NetworkState state(graph::make_star(2));
+  state.set_node_utilization(0, 85.0);  // Cs = 5
+  state.set_node_utilization(1, 30.0);
+  state.set_node_utilization(2, 30.0);
+  state.set_monitoring_data_mb(0, 100.0);
+  state.set_link(0, net::LinkState{1000.0, 1.0});   // to leaf 1: fast
+  state.set_link(1, net::LinkState{1000.0, 0.1});   // to leaf 2: slow
+  Nmdb nmdb(std::move(state), Thresholds{});
+  const HeuristicResult r = HeuristicEngine().run(nmdb);
+  ASSERT_EQ(r.assignments.size(), 1u);
+  EXPECT_EQ(r.assignments[0].to, 1u);
+  EXPECT_NEAR(r.assignments[0].trmin_seconds, 0.1, 1e-12);
+}
+
+TEST(Heuristic, PartialWhenNeighbourCapacityShort) {
+  net::NetworkState state(graph::make_star(1));
+  state.set_node_utilization(0, 95.0);  // Cs = 15
+  state.set_node_utilization(1, 55.0);  // Cd = 5
+  state.set_monitoring_data_mb(0, 10.0);
+  Nmdb nmdb(std::move(state), Thresholds{});
+  const HeuristicResult r = HeuristicEngine().run(nmdb);
+  EXPECT_EQ(r.partially_offloaded, 1u);
+  EXPECT_DOUBLE_EQ(r.total_cse, 10.0);
+  EXPECT_NEAR(r.hfr_percent(), 10.0 / 15.0 * 100.0, 1e-9);
+}
+
+TEST(Heuristic, SharedNeighbourCapacityConsumedAcrossBusyNodes) {
+  // Path 0-1-2 where 0 and 2 are both busy and 1 is the only candidate.
+  graph::Graph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  net::NetworkState state(std::move(g));
+  state.set_node_utilization(0, 90.0);  // Cs = 10
+  state.set_node_utilization(2, 90.0);  // Cs = 10
+  state.set_node_utilization(1, 45.0);  // Cd = 15 total, < 20 needed
+  state.set_monitoring_data_mb(0, 10.0);
+  state.set_monitoring_data_mb(2, 10.0);
+  Nmdb nmdb(std::move(state), Thresholds{});
+  const HeuristicResult r = HeuristicEngine().run(nmdb);
+  EXPECT_DOUBLE_EQ(r.total_cs, 20.0);
+  EXPECT_DOUBLE_EQ(r.total_cse, 5.0);
+  EXPECT_NEAR(r.hfr_percent(), 25.0, 1e-9);
+  EXPECT_EQ(r.fully_offloaded + r.partially_offloaded, 2u);
+  // Destination capacity never exceeded.
+  double absorbed = 0;
+  for (const Assignment& a : r.assignments) {
+    EXPECT_EQ(a.to, 1u);
+    absorbed += a.amount;
+  }
+  EXPECT_NEAR(absorbed, 15.0, 1e-9);
+}
+
+TEST(Heuristic, LargestFirstOrderChangesAllocation) {
+  graph::Graph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  net::NetworkState state(std::move(g));
+  state.set_node_utilization(0, 85.0);  // Cs = 5 (node id first)
+  state.set_node_utilization(2, 95.0);  // Cs = 15 (largest)
+  state.set_node_utilization(1, 50.0);  // Cd = 10
+  state.set_monitoring_data_mb(0, 10.0);
+  state.set_monitoring_data_mb(2, 10.0);
+  Nmdb nmdb(std::move(state), Thresholds{});
+  HeuristicOptions largest;
+  largest.order = HeuristicOptions::Order::kLargestExcessFirst;
+  const HeuristicResult by_id = HeuristicEngine().run(nmdb);
+  const HeuristicResult by_size = HeuristicEngine(largest).run(nmdb);
+  // Same HFR either way (total capacity is the binding constraint)...
+  EXPECT_NEAR(by_id.total_cse, by_size.total_cse, 1e-9);
+  // ...but the largest shedder got the full capacity in largest-first order.
+  double to_node1_from_2 = 0;
+  for (const Assignment& a : by_size.assignments)
+    if (a.from == 2) to_node1_from_2 += a.amount;
+  EXPECT_NEAR(to_node1_from_2, 10.0, 1e-9);
+}
+
+TEST(Heuristic, LargestCapacityPackingAvoidsStranding) {
+  // B1(0) reaches both C1(1, Cd 5, cheap) and C2(2, Cd 10, slow);
+  // B2(3) reaches only C1. Cheapest-first lets B1 drain C1 and strands B2;
+  // largest-capacity-first routes B1 to C2 so B2 survives.
+  graph::Graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(0, 2);
+  g.add_edge(3, 1);
+  net::NetworkState state(std::move(g));
+  state.set_node_utilization(0, 85.0);  // Cs = 5
+  state.set_node_utilization(3, 85.0);  // Cs = 5
+  state.set_node_utilization(1, 55.0);  // Cd = 5
+  state.set_node_utilization(2, 50.0);  // Cd = 10
+  state.set_monitoring_data_mb(0, 100.0);
+  state.set_monitoring_data_mb(3, 100.0);
+  state.set_link(0, net::LinkState{1000.0, 1.0});  // B1-C1 fast
+  state.set_link(1, net::LinkState{1000.0, 0.2});  // B1-C2 slow
+  state.set_link(2, net::LinkState{1000.0, 1.0});  // B2-C1 fast
+  Nmdb nmdb(std::move(state), Thresholds{});
+
+  const HeuristicResult cheapest = HeuristicEngine().run(nmdb);
+  EXPECT_NEAR(cheapest.hfr_percent(), 50.0, 1e-9);  // B2 stranded
+
+  HeuristicOptions packing;
+  packing.packing = HeuristicOptions::Packing::kLargestCapacityFirst;
+  const HeuristicResult largest = HeuristicEngine(packing).run(nmdb);
+  EXPECT_TRUE(largest.complete());
+  // The fragmentation win costs objective: B1 paid the slow link.
+  EXPECT_GT(largest.objective, cheapest.objective);
+}
+
+class HeuristicFatTreeSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+// Properties on random fat-tree scenarios.
+TEST_P(HeuristicFatTreeSweep, InvariantsHold) {
+  util::Rng rng(GetParam());
+  net::NetworkState state = net::make_random_state(
+      graph::FatTree(4).graph(), net::LinkProfile{}, net::NodeLoadProfile{}, rng);
+  Nmdb nmdb(std::move(state), Thresholds{});
+  const HeuristicResult r = HeuristicEngine().run(nmdb);
+
+  EXPECT_GE(r.hfr_percent(), 0.0);
+  EXPECT_LE(r.hfr_percent(), 100.0);
+  EXPECT_EQ(r.fully_offloaded + r.partially_offloaded + r.failed, r.busy_count);
+  EXPECT_NEAR(r.total_cs, nmdb.total_excess(), 1e-9);
+
+  // Every assignment is busy -> direct neighbour candidate.
+  const graph::Graph& g = nmdb.network().graph();
+  std::vector<double> absorbed(g.node_count(), 0.0);
+  for (const Assignment& a : r.assignments) {
+    EXPECT_TRUE(g.find_edge(a.from, a.to).has_value());
+    EXPECT_EQ(nmdb.thresholds(a.to).classify(
+                  nmdb.network().node_utilization(a.to)),
+              NodeRole::kOffloadCandidate);
+    absorbed[a.to] += a.amount;
+  }
+  for (graph::NodeId o : nmdb.candidate_nodes())
+    EXPECT_LE(absorbed[o], nmdb.thresholds(o).spare_capacity(
+                               nmdb.network().node_utilization(o)) +
+                               1e-9);
+  // Shipped + failed = total excess.
+  double shipped = 0;
+  for (const Assignment& a : r.assignments) shipped += a.amount;
+  EXPECT_NEAR(shipped + r.total_cse, r.total_cs, 1e-6);
+}
+
+// A radius covering the whole diameter places the theoretical maximum
+// min(ΣCs, ΣCd), so its HFR is a lower bound for the one-hop heuristic.
+// (Intermediate radii are NOT monotone in general: a busy node may drain a
+// distant candidate that was another busy node's only neighbour.)
+TEST_P(HeuristicFatTreeSweep, FullRadiusIsLowerBound) {
+  util::Rng rng(GetParam() ^ 0xcafe);
+  net::NetworkState state = net::make_random_state(
+      graph::FatTree(4).graph(), net::LinkProfile{}, net::NodeLoadProfile{}, rng);
+  Nmdb nmdb(std::move(state), Thresholds{});
+  HeuristicOptions full;
+  full.radius = 6;  // >= 4-k fat-tree diameter
+  const HeuristicResult one_hop = HeuristicEngine().run(nmdb);
+  const HeuristicResult wide = HeuristicEngine(full).run(nmdb);
+  EXPECT_LE(wide.hfr_percent(), one_hop.hfr_percent() + 1e-9);
+  // Full reachability ships min(ΣCs, ΣCd) exactly.
+  const double expected_shipped =
+      std::min(nmdb.total_excess(), nmdb.total_spare());
+  EXPECT_NEAR(wide.total_cs - wide.total_cse, expected_shipped, 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HeuristicFatTreeSweep,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u));
+
+}  // namespace
+}  // namespace dust::core

@@ -1,0 +1,103 @@
+#include "core/nmdb.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/topology.hpp"
+
+namespace dust::core {
+namespace {
+
+Nmdb make_nmdb(std::size_t nodes = 5) {
+  return Nmdb(net::NetworkState(graph::make_ring(static_cast<std::uint32_t>(nodes))),
+              Thresholds{});
+}
+
+TEST(Nmdb, InvalidDefaultsRejected) {
+  Thresholds bad;
+  bad.co_max = 90.0;
+  bad.c_max = 80.0;
+  EXPECT_THROW(Nmdb(net::NetworkState(graph::make_ring(3)), bad),
+               std::invalid_argument);
+}
+
+TEST(Nmdb, RecordStatUpdatesState) {
+  Nmdb nmdb = make_nmdb();
+  nmdb.record_stat(2, 85.0, 33.0, 7);
+  EXPECT_DOUBLE_EQ(nmdb.network().node_utilization(2), 85.0);
+  EXPECT_DOUBLE_EQ(nmdb.network().monitoring_data_mb(2), 33.0);
+  EXPECT_EQ(nmdb.agent_count(2), 7u);
+}
+
+TEST(Nmdb, BusyAndCandidateSets) {
+  Nmdb nmdb = make_nmdb();
+  nmdb.record_stat(0, 90.0, 10, 1);  // busy
+  nmdb.record_stat(1, 70.0, 10, 1);  // neutral
+  nmdb.record_stat(2, 50.0, 10, 1);  // candidate
+  nmdb.record_stat(3, 81.0, 10, 1);  // busy
+  nmdb.record_stat(4, 60.0, 10, 1);  // candidate (<= co_max)
+  EXPECT_EQ(nmdb.busy_nodes(), (std::vector<graph::NodeId>{0, 3}));
+  EXPECT_EQ(nmdb.candidate_nodes(), (std::vector<graph::NodeId>{2, 4}));
+}
+
+TEST(Nmdb, OptOutExcludesFromBothSets) {
+  Nmdb nmdb = make_nmdb();
+  nmdb.record_stat(0, 90.0, 10, 1);
+  nmdb.record_stat(2, 50.0, 10, 1);
+  for (graph::NodeId v : {1u, 3u, 4u}) nmdb.record_stat(v, 70.0, 10, 1);
+  nmdb.set_offload_capable(0, false);
+  nmdb.set_offload_capable(2, false);
+  EXPECT_TRUE(nmdb.busy_nodes().empty());
+  EXPECT_TRUE(nmdb.candidate_nodes().empty());
+  EXPECT_EQ(nmdb.role(0), NodeRole::kNoneOffloading);
+}
+
+TEST(Nmdb, PerNodeThresholdOverride) {
+  Nmdb nmdb = make_nmdb();
+  nmdb.record_stat(0, 75.0, 10, 1);
+  EXPECT_EQ(nmdb.role(0), NodeRole::kNeutral);
+  Thresholds strict;
+  strict.c_max = 70.0;
+  strict.co_max = 50.0;
+  nmdb.set_thresholds(0, strict);
+  EXPECT_EQ(nmdb.role(0), NodeRole::kBusy);
+  EXPECT_DOUBLE_EQ(nmdb.thresholds(0).c_max, 70.0);
+  EXPECT_DOUBLE_EQ(nmdb.thresholds(1).c_max, 80.0);  // default untouched
+}
+
+TEST(Nmdb, InvalidOverrideRejected) {
+  Nmdb nmdb = make_nmdb();
+  Thresholds bad;
+  bad.x_min = 99.0;
+  EXPECT_THROW(nmdb.set_thresholds(0, bad), std::invalid_argument);
+}
+
+TEST(Nmdb, HostingRoleReported) {
+  Nmdb nmdb = make_nmdb();
+  nmdb.record_stat(1, 40.0, 10, 1);
+  EXPECT_EQ(nmdb.role(1), NodeRole::kOffloadCandidate);
+  nmdb.set_hosting(1, true);
+  EXPECT_EQ(nmdb.role(1), NodeRole::kOffloadDestination);
+  nmdb.set_hosting(1, false);
+  EXPECT_EQ(nmdb.role(1), NodeRole::kOffloadCandidate);
+}
+
+TEST(Nmdb, TotalsMatchSums) {
+  Nmdb nmdb = make_nmdb();
+  nmdb.record_stat(0, 90.0, 10, 1);  // Cs = 10
+  nmdb.record_stat(1, 85.0, 10, 1);  // Cs = 5
+  nmdb.record_stat(2, 40.0, 10, 1);  // Cd = 20
+  nmdb.record_stat(3, 55.0, 10, 1);  // Cd = 5
+  nmdb.record_stat(4, 70.0, 10, 1);  // neutral
+  EXPECT_DOUBLE_EQ(nmdb.total_excess(), 15.0);
+  EXPECT_DOUBLE_EQ(nmdb.total_spare(), 25.0);
+}
+
+TEST(Nmdb, OutOfRangeNodeThrows) {
+  Nmdb nmdb = make_nmdb(3);
+  EXPECT_THROW(nmdb.record_stat(9, 50, 1, 1), std::out_of_range);
+  EXPECT_THROW(nmdb.set_offload_capable(9, true), std::out_of_range);
+  EXPECT_THROW(static_cast<void>(nmdb.role(9)), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace dust::core

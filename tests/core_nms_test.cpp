@@ -1,0 +1,91 @@
+#include "core/nms.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/topology.hpp"
+
+namespace dust::core {
+namespace {
+
+struct Fixture : ::testing::Test {
+  sim::Simulator sim;
+  sim::Transport transport{sim, util::Rng(1)};
+  DustManager manager{sim, transport, make_nmdb(), ManagerConfig{}};
+  telemetry::Tsdb db;
+  telemetry::MetricId cpu =
+      db.register_metric({"cpu", "%", telemetry::MetricKind::kGauge});
+  NetworkMonitorService nms{manager};
+
+  static Nmdb make_nmdb() {
+    net::NetworkState state(graph::make_ring(4));
+    state.set_node_utilization(0, 90.0);  // busy already
+    state.set_node_utilization(1, 40.0);  // candidate
+    state.set_node_utilization(2, 70.0);
+    state.set_node_utilization(3, 70.0);
+    state.set_monitoring_data_mb(0, 10.0);
+    return Nmdb(std::move(state), Thresholds{});
+  }
+
+  telemetry::AlertRule overload_rule() {
+    return {"cpu-overload", "cpu", telemetry::Comparison::kAbove, 80.0, 0};
+  }
+};
+
+TEST_F(Fixture, WatchValidation) {
+  EXPECT_THROW(nms.watch_node(0, nullptr, overload_rule()),
+               std::invalid_argument);
+  nms.watch_node(0, &db, overload_rule());
+  EXPECT_EQ(nms.watched_count(), 1u);
+  EXPECT_THROW(static_cast<void>(nms.state(5)), std::out_of_range);
+}
+
+TEST_F(Fixture, ManualTriggerRunsPlacement) {
+  EXPECT_EQ(manager.placement_cycles(), 0u);
+  nms.trigger_manual();
+  EXPECT_EQ(manager.placement_cycles(), 1u);
+  EXPECT_EQ(nms.triggers(), 1u);
+  // Node 0 was already busy, so the cycle created an offload.
+  EXPECT_GE(manager.active_offload_count(), 1u);
+}
+
+TEST_F(Fixture, FiringAlertTriggersPlacement) {
+  nms.watch_node(0, &db, overload_rule());
+  db.append(cpu, {1000, 50.0});
+  EXPECT_EQ(nms.evaluate(1000), 0u);  // below threshold: no trigger
+  EXPECT_EQ(manager.placement_cycles(), 0u);
+  db.append(cpu, {2000, 95.0});
+  nms.evaluate(2000);  // fires -> placement
+  EXPECT_EQ(manager.placement_cycles(), 1u);
+  EXPECT_EQ(nms.state(0), telemetry::AlertState::kFiring);
+}
+
+TEST_F(Fixture, SteadyFiringDoesNotRetrigger) {
+  nms.watch_node(0, &db, overload_rule());
+  db.append(cpu, {1000, 95.0});
+  nms.evaluate(1000);
+  ASSERT_EQ(manager.placement_cycles(), 1u);
+  db.append(cpu, {2000, 96.0});
+  nms.evaluate(2000);  // still firing, no new transition
+  EXPECT_EQ(manager.placement_cycles(), 1u);
+  // Recover, then breach again: a fresh Firing transition re-triggers.
+  db.append(cpu, {3000, 10.0});
+  nms.evaluate(3000);
+  db.append(cpu, {4000, 95.0});
+  nms.evaluate(4000);
+  EXPECT_EQ(manager.placement_cycles(), 2u);
+}
+
+TEST_F(Fixture, MultipleWatchedNodesOneCyclePerEvaluate) {
+  telemetry::Tsdb db2;
+  const auto cpu2 =
+      db2.register_metric({"cpu", "%", telemetry::MetricKind::kGauge});
+  nms.watch_node(0, &db, overload_rule());
+  nms.watch_node(2, &db2, overload_rule());
+  db.append(cpu, {1000, 95.0});
+  db2.append(cpu2, {1000, 95.0});
+  nms.evaluate(1000);  // both fire; still just one placement cycle
+  EXPECT_EQ(manager.placement_cycles(), 1u);
+}
+
+}  // namespace
+}  // namespace dust::core

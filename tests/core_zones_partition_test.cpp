@@ -1,0 +1,101 @@
+// Focused tests for the zone partitioner's growth/merge machinery: the
+// dual seed-order selection and the fragment-merging repair pass.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/zones.hpp"
+#include "graph/topology.hpp"
+#include "util/rng.hpp"
+
+namespace dust::core {
+namespace {
+
+std::size_t smallest_zone(const std::vector<Zone>& zones) {
+  std::size_t best = static_cast<std::size_t>(-1);
+  for (const Zone& zone : zones) best = std::min(best, zone.members.size());
+  return best;
+}
+
+TEST(ZonePartition, FatTreeCap20PacksPerfectly) {
+  // 8-k fat-tree (80 nodes): cap 20 admits a perfect 4-way split; the
+  // partitioner must find it (id seed order packs tiers cleanly).
+  const auto zones = partition_zones(graph::FatTree(8).graph(), 20);
+  ASSERT_EQ(zones.size(), 4u);
+  for (const Zone& zone : zones) EXPECT_EQ(zone.members.size(), 20u);
+}
+
+TEST(ZonePartition, FatTreeCap10AvoidsMassFragmentation) {
+  // Cap 10 on the 8-k fat-tree: naive id-order growth strands ~40
+  // singleton fragments; degree-order seeding plus merging must keep the
+  // zone count near the ceil(80/10) = 8 ideal.
+  const auto zones = partition_zones(graph::FatTree(8).graph(), 10);
+  EXPECT_LE(zones.size(), 12u);
+  std::size_t total = 0;
+  for (const Zone& zone : zones) total += zone.members.size();
+  EXPECT_EQ(total, 80u);
+}
+
+TEST(ZonePartition, MergeCoalescesLineFragments) {
+  // A path graph partitions into consecutive runs; no fragment smaller than
+  // half the cap should survive merging (its neighbour run always fits).
+  const auto zones = partition_zones(graph::make_grid(1, 23), 5);
+  std::size_t total = 0;
+  for (const Zone& zone : zones) {
+    EXPECT_LE(zone.members.size(), 5u);
+    total += zone.members.size();
+  }
+  EXPECT_EQ(total, 23u);
+  EXPECT_EQ(zones.size(), 5u);  // ceil(23/5)
+  EXPECT_GE(smallest_zone(zones), 3u);  // 23 = 5+5+5+5+3
+}
+
+TEST(ZonePartition, StarHubCannotFragment) {
+  // Star with 12 leaves, cap 4: every zone except the hub's is grown from
+  // leaves that only connect via the hub — fragments are unavoidable in
+  // growth but every leaf zone must still be a connected singleton set.
+  const graph::Graph star = graph::make_star(12);
+  const auto zones = partition_zones(star, 4);
+  std::set<graph::NodeId> seen;
+  for (const Zone& zone : zones)
+    for (graph::NodeId v : zone.members) EXPECT_TRUE(seen.insert(v).second);
+  EXPECT_EQ(seen.size(), 13u);
+  for (const Zone& zone : zones) EXPECT_LE(zone.members.size(), 4u);
+}
+
+TEST(ZonePartition, RandomGraphsAlwaysCoverConnectedWithinCap) {
+  util::Rng rng(31);
+  for (int trial = 0; trial < 10; ++trial) {
+    const graph::Graph g = graph::make_random_connected(60, 60, rng);
+    for (std::size_t cap : {5u, 13u, 29u}) {
+      const auto zones = partition_zones(g, cap);
+      std::set<graph::NodeId> seen;
+      for (const Zone& zone : zones) {
+        ASSERT_FALSE(zone.members.empty());
+        EXPECT_LE(zone.members.size(), cap);
+        // Connectivity within the induced subgraph.
+        std::set<graph::NodeId> members(zone.members.begin(),
+                                        zone.members.end());
+        std::vector<graph::NodeId> stack{zone.members[0]};
+        std::set<graph::NodeId> reached{zone.members[0]};
+        while (!stack.empty()) {
+          const graph::NodeId node = stack.back();
+          stack.pop_back();
+          for (const graph::Adjacency& adj : g.neighbors(node)) {
+            if (members.count(adj.neighbor) && !reached.count(adj.neighbor)) {
+              reached.insert(adj.neighbor);
+              stack.push_back(adj.neighbor);
+            }
+          }
+        }
+        EXPECT_EQ(reached.size(), zone.members.size());
+        for (graph::NodeId v : zone.members)
+          EXPECT_TRUE(seen.insert(v).second);
+      }
+      EXPECT_EQ(seen.size(), 60u);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dust::core

@@ -1,0 +1,110 @@
+#include "graph/graph.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dust::graph {
+namespace {
+
+TEST(Graph, EmptyGraph) {
+  Graph g;
+  EXPECT_EQ(g.node_count(), 0u);
+  EXPECT_EQ(g.edge_count(), 0u);
+  EXPECT_TRUE(g.connected());
+}
+
+TEST(Graph, AddNodesSequentialIds) {
+  Graph g;
+  EXPECT_EQ(g.add_node(), 0u);
+  EXPECT_EQ(g.add_node(), 1u);
+  EXPECT_EQ(g.node_count(), 2u);
+}
+
+TEST(Graph, ConstructWithNodeCount) {
+  Graph g(5);
+  EXPECT_EQ(g.node_count(), 5u);
+  EXPECT_EQ(g.edge_count(), 0u);
+}
+
+TEST(Graph, AddEdgeUpdatesAdjacencyBothWays) {
+  Graph g(3);
+  const EdgeId e = g.add_edge(0, 2);
+  EXPECT_EQ(g.edge_count(), 1u);
+  ASSERT_EQ(g.neighbors(0).size(), 1u);
+  EXPECT_EQ(g.neighbors(0)[0].neighbor, 2u);
+  EXPECT_EQ(g.neighbors(0)[0].edge, e);
+  ASSERT_EQ(g.neighbors(2).size(), 1u);
+  EXPECT_EQ(g.neighbors(2)[0].neighbor, 0u);
+  EXPECT_EQ(g.neighbors(1).size(), 0u);
+}
+
+TEST(Graph, EdgeEndpointsAndOther) {
+  Graph g(2);
+  const EdgeId e = g.add_edge(0, 1);
+  EXPECT_EQ(g.edge(e).a, 0u);
+  EXPECT_EQ(g.edge(e).b, 1u);
+  EXPECT_EQ(g.edge(e).other(0), 1u);
+  EXPECT_EQ(g.edge(e).other(1), 0u);
+}
+
+TEST(Graph, RejectsSelfLoop) {
+  Graph g(2);
+  EXPECT_THROW(g.add_edge(1, 1), std::invalid_argument);
+}
+
+TEST(Graph, RejectsParallelEdge) {
+  Graph g(2);
+  g.add_edge(0, 1);
+  EXPECT_THROW(g.add_edge(0, 1), std::invalid_argument);
+  EXPECT_THROW(g.add_edge(1, 0), std::invalid_argument);
+}
+
+TEST(Graph, RejectsOutOfRangeEndpoints) {
+  Graph g(2);
+  EXPECT_THROW(g.add_edge(0, 2), std::out_of_range);
+  EXPECT_THROW(g.add_edge(5, 0), std::out_of_range);
+}
+
+TEST(Graph, FindEdge) {
+  Graph g(4);
+  const EdgeId e = g.add_edge(1, 3);
+  EXPECT_EQ(g.find_edge(1, 3), e);
+  EXPECT_EQ(g.find_edge(3, 1), e);
+  EXPECT_FALSE(g.find_edge(0, 1).has_value());
+  EXPECT_FALSE(g.find_edge(0, 99).has_value());
+}
+
+TEST(Graph, Degree) {
+  Graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(0, 2);
+  g.add_edge(0, 3);
+  EXPECT_EQ(g.degree(0), 3u);
+  EXPECT_EQ(g.degree(1), 1u);
+}
+
+TEST(Graph, ConnectedPath) {
+  Graph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  EXPECT_TRUE(g.connected());
+}
+
+TEST(Graph, DisconnectedDetected) {
+  Graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(2, 3);
+  EXPECT_FALSE(g.connected());
+}
+
+TEST(Graph, IsolatedNodeDisconnects) {
+  Graph g(2);
+  EXPECT_FALSE(g.connected());
+}
+
+TEST(Graph, SingleNodeConnected) {
+  Graph g(1);
+  EXPECT_TRUE(g.connected());
+}
+
+}  // namespace
+}  // namespace dust::graph

@@ -1,0 +1,130 @@
+// Testbed-level integration: the Fig. 1 / Fig. 6 scenarios on the simulated
+// HPE Aruba 8325 device model (8 cores, 16 GiB). These assert the calibrated
+// operating points the benches report — local monitoring ~31% CPU / ~70%
+// memory, offloaded ~15% / ~62%, monitoring module ~100% of a core with
+// multi-hundred-percent spikes.
+#include <gtest/gtest.h>
+
+#include "sim/node.hpp"
+#include "sim/overlay_traffic.hpp"
+#include "telemetry/agent.hpp"
+#include "util/stats.hpp"
+
+namespace dust {
+namespace {
+
+sim::MonitoredNode make_switch(const std::string& name) {
+  // Base: 15% CPU for switching/bridging; 62% of 16 GiB for NOS + tables.
+  return sim::MonitoredNode(name, sim::NodeResources{8, 16384.0}, 15.0,
+                            0.62 * 16384.0);
+}
+
+struct RunStats {
+  util::RunningStats device_cpu;
+  util::RunningStats monitor_cores;
+  util::RunningStats memory;
+};
+
+RunStats run_local_monitoring(int seconds, std::uint64_t seed) {
+  sim::MonitoredNode node = make_switch("dut");
+  for (auto& agent : telemetry::standard_agents()) node.add_local_agent(agent);
+  sim::OverlayTraffic traffic{sim::OverlayTrafficProfile{}};
+  util::Rng rng(seed);
+  RunStats stats;
+  for (int t = 0; t < seconds; ++t) {
+    const sim::TrafficTick tick = traffic.next(rng);
+    const sim::TickStats s =
+        node.tick(1000LL * t, 1000, tick.rx_mbps, tick.tx_mbps, rng);
+    stats.device_cpu.add(s.device_cpu_percent);
+    stats.monitor_cores.add(s.monitor_cpu_cores);
+    stats.memory.add(s.memory_percent);
+  }
+  return stats;
+}
+
+TEST(TestbedFig1, MonitoringModuleAveragesAboutOneCore) {
+  const RunStats stats = run_local_monitoring(600, 42);
+  // "around 100% average" — our calibration lands ~1.3-1.45 cores.
+  EXPECT_GT(stats.monitor_cores.mean(), 0.9);
+  EXPECT_LT(stats.monitor_cores.mean(), 1.8);
+}
+
+TEST(TestbedFig1, SpikesReachSeveralHundredPercent) {
+  const RunStats stats = run_local_monitoring(2000, 43);
+  // "spiking to as high as 600%" — max must exceed 400% of one core and can
+  // not exceed the 8-core ceiling.
+  EXPECT_GT(stats.monitor_cores.max(), 4.0);
+  EXPECT_LE(stats.monitor_cores.max(), 8.0);
+}
+
+TEST(TestbedFig6, LocalOperatingPointMatchesPaper) {
+  const RunStats stats = run_local_monitoring(600, 44);
+  // Local monitoring: ~31% device CPU, ~70% memory.
+  EXPECT_NEAR(stats.device_cpu.mean(), 31.0, 5.0);
+  EXPECT_NEAR(stats.memory.mean(), 70.0, 3.0);
+}
+
+TEST(TestbedFig6, OffloadRestoresBaseline) {
+  sim::MonitoredNode origin = make_switch("busy");
+  sim::MonitoredNode destination("server", sim::NodeResources{16, 32768.0},
+                                 20.0, 8000.0);
+  for (auto& agent : telemetry::standard_agents()) origin.add_local_agent(agent);
+
+  sim::OverlayTraffic traffic{sim::OverlayTrafficProfile{}};
+  util::Rng rng(45);
+  util::RunningStats local_cpu, local_mem;
+  for (int t = 0; t < 300; ++t) {
+    const auto tick = traffic.next(rng);
+    const auto s = origin.tick(1000LL * t, 1000, tick.rx_mbps, tick.tx_mbps, rng);
+    local_cpu.add(s.device_cpu_percent);
+    local_mem.add(s.memory_percent);
+  }
+
+  // Offload all ten agents (DUST placement outcome).
+  auto agents = origin.remove_local_agents();
+  const std::size_t moved = agents.size();
+  for (auto& agent : agents) destination.add_remote_agent("busy", agent);
+  origin.set_offloaded_agent_count(moved);
+
+  util::RunningStats offloaded_cpu, offloaded_mem, dest_cores;
+  for (int t = 300; t < 600; ++t) {
+    const auto tick = traffic.next(rng);
+    const auto s = origin.tick(1000LL * t, 1000, tick.rx_mbps, tick.tx_mbps, rng);
+    offloaded_cpu.add(s.device_cpu_percent);
+    offloaded_mem.add(s.memory_percent);
+    telemetry::DeviceSnapshot snap;
+    snap.timestamp_ms = 1000LL * t;
+    snap.rx_mbps = tick.rx_mbps;
+    snap.tx_mbps = tick.tx_mbps;
+    destination.observe_remote("busy", snap, rng);
+    dest_cores.add(
+        destination.tick(1000LL * t, 1000, 1000.0, 0.0, rng).monitor_cpu_cores);
+  }
+
+  // Paper: CPU 31% -> 15% (52% relative), memory 70% -> 62% (12% relative).
+  EXPECT_NEAR(offloaded_cpu.mean(), 15.0, 2.0);
+  EXPECT_NEAR(offloaded_mem.mean(), 62.0, 2.0);
+  const double cpu_saving =
+      (local_cpu.mean() - offloaded_cpu.mean()) / local_cpu.mean();
+  EXPECT_GT(cpu_saving, 0.40);  // "up to 50%" / 52% reported
+  const double mem_saving =
+      (local_mem.mean() - offloaded_mem.mean()) / local_mem.mean();
+  EXPECT_GT(mem_saving, 0.08);
+  // The workload didn't vanish: the destination now pays for it
+  // (homogeneity assumption).
+  EXPECT_GT(dest_cores.mean(), 0.9);
+}
+
+TEST(TestbedFig6, MonitoringMemoryIsAboutOnePointTwoGiB) {
+  sim::MonitoredNode node = make_switch("dut");
+  for (auto& agent : telemetry::standard_agents()) node.add_local_agent(agent);
+  util::Rng rng(46);
+  sim::TickStats last{};
+  for (int t = 0; t < 60; ++t)
+    last = node.tick(1000LL * t, 1000, 20000.0, 0.0, rng);
+  // "retaining around 1.2 GiB memory usage" for monitoring workloads.
+  EXPECT_NEAR(last.monitor_memory_mib, 1280.0, 100.0);
+}
+
+}  // namespace
+}  // namespace dust

@@ -1,0 +1,138 @@
+#include "net/diagnosis.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/topology.hpp"
+#include "net/traffic.hpp"
+
+namespace dust::net {
+namespace {
+
+// Square 0-1-3 / 0-2-3 with uniform 1000 Mbps effective links.
+NetworkState square_net() {
+  graph::Graph g(4);
+  g.add_edge(0, 1);  // e0
+  g.add_edge(1, 3);  // e1
+  g.add_edge(0, 2);  // e2
+  g.add_edge(2, 3);  // e3
+  NetworkState net(std::move(g));
+  for (graph::EdgeId e = 0; e < net.edge_count(); ++e)
+    net.set_link(e, LinkState{1000.0, 1.0});
+  return net;
+}
+
+graph::Path path_over(std::vector<graph::NodeId> nodes,
+                      std::vector<graph::EdgeId> edges) {
+  graph::Path p;
+  p.nodes = std::move(nodes);
+  p.edges = std::move(edges);
+  return p;
+}
+
+TEST(Diagnosis, ExpectedTimeMatchesModel) {
+  const NetworkState net = square_net();
+  PathProbe probe{path_over({0, 1, 3}, {0, 1}), 0.0, 100.0};
+  EXPECT_NEAR(expected_probe_seconds(net, probe), 0.2, 1e-12);
+}
+
+TEST(Diagnosis, NoDegradationNoSuspects) {
+  const NetworkState net = square_net();
+  std::vector<PathProbe> probes{
+      {path_over({0, 1, 3}, {0, 1}), 0.21, 100.0},
+      {path_over({0, 2, 3}, {2, 3}), 0.19, 100.0},
+  };
+  const Diagnosis d = localize_bottleneck(net, probes);
+  EXPECT_FALSE(d.localized());
+  EXPECT_EQ(d.healthy_probes, 2u);
+  EXPECT_EQ(d.degraded_probes, 0u);
+}
+
+TEST(Diagnosis, HealthyProbeExoneratesSharedEdges) {
+  // Both routes start at node 0 but only the 0-1-3 route is slow; the
+  // healthy 0-2-3 probe exonerates nothing shared (disjoint), so both edges
+  // of the slow route remain suspects — with e0/e1 tied.
+  const NetworkState net = square_net();
+  std::vector<PathProbe> probes{
+      {path_over({0, 1, 3}, {0, 1}), 1.0, 100.0},   // 5x expected
+      {path_over({0, 2, 3}, {2, 3}), 0.2, 100.0},   // healthy
+  };
+  const Diagnosis d = localize_bottleneck(net, probes);
+  ASSERT_TRUE(d.localized());
+  EXPECT_EQ(d.suspects.size(), 2u);
+  EXPECT_NEAR(d.culprit().slowdown, 5.0, 1e-9);
+}
+
+TEST(Diagnosis, IntersectionPinpointsSharedSlowEdge) {
+  // Line 0-1-2-3 plus alternates so probes overlap only on edge (1,2).
+  graph::Graph g(5);
+  const auto e01 = g.add_edge(0, 1);
+  const auto e12 = g.add_edge(1, 2);
+  const auto e23 = g.add_edge(2, 3);
+  const auto e14 = g.add_edge(1, 4);
+  const auto e42 = g.add_edge(4, 2);
+  NetworkState net(std::move(g));
+  for (graph::EdgeId e = 0; e < net.edge_count(); ++e)
+    net.set_link(e, LinkState{1000.0, 1.0});
+  std::vector<PathProbe> probes{
+      // Degraded probes crossing e12 from both sides.
+      {path_over({0, 1, 2}, {e01, e12}), 1.0, 100.0},
+      {path_over({1, 2, 3}, {e12, e23}), 1.0, 100.0},
+      // Healthy probes exonerating e01 and e23 individually.
+      {path_over({0, 1, 4}, {e01, e14}), 0.2, 100.0},
+      {path_over({4, 2, 3}, {e42, e23}), 0.2, 100.0},
+  };
+  const Diagnosis d = localize_bottleneck(net, probes);
+  ASSERT_TRUE(d.localized());
+  EXPECT_EQ(d.suspects.size(), 1u);
+  EXPECT_EQ(d.culprit().edge, e12);
+  EXPECT_EQ(d.culprit().degraded_probes, 2u);
+}
+
+TEST(Diagnosis, ToleranceControlsSensitivity) {
+  const NetworkState net = square_net();
+  std::vector<PathProbe> probes{
+      {path_over({0, 1, 3}, {0, 1}), 0.32, 100.0},  // 1.6x expected
+  };
+  DiagnosisOptions strict;
+  strict.tolerance = 1.5;
+  EXPECT_TRUE(localize_bottleneck(net, probes, strict).localized());
+  DiagnosisOptions lenient;
+  lenient.tolerance = 2.0;
+  EXPECT_FALSE(localize_bottleneck(net, probes, lenient).localized());
+}
+
+TEST(Diagnosis, EndToEndWithRealSlowLink) {
+  // Inject an actually slow link into a fat-tree, generate probes from the
+  // *healthy* model, and check the localizer finds the injected edge.
+  util::Rng rng(8);
+  NetworkState net = make_random_state(graph::FatTree(4).graph(),
+                                       LinkProfile{}, NodeLoadProfile{}, rng);
+  NetworkState degraded = net;  // measured reality: one link 10x slower
+  const graph::EdgeId slow_edge = 13;
+  LinkState slow = degraded.link(slow_edge);
+  slow.utilization = std::max(0.01, slow.utilization / 10.0);
+  degraded.set_link(slow_edge, slow);
+
+  // Probes: best hop-bounded paths between random pairs, "measured" on the
+  // degraded network, expected on the healthy model.
+  std::vector<PathProbe> probes;
+  const std::vector<double> inv = net.inverse_bandwidth_costs();
+  for (int i = 0; i < 60; ++i) {
+    const auto src = static_cast<graph::NodeId>(rng.below(net.node_count()));
+    const auto dst = static_cast<graph::NodeId>(rng.below(net.node_count()));
+    if (src == dst) continue;
+    PathProbe probe;
+    probe.path = graph::hop_bounded_path(net.graph(), src, dst, inv, 6);
+    if (probe.path.nodes.empty()) continue;
+    probe.data_mb = 50.0;
+    probe.measured_seconds = expected_probe_seconds(degraded, probe);
+    probes.push_back(std::move(probe));
+  }
+  const Diagnosis d = localize_bottleneck(net, probes);
+  ASSERT_TRUE(d.localized());
+  EXPECT_EQ(d.culprit().edge, slow_edge);
+  EXPECT_GT(d.culprit().slowdown, 1.5);
+}
+
+}  // namespace
+}  // namespace dust::net

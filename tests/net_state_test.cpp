@@ -1,0 +1,78 @@
+#include "net/network_state.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/topology.hpp"
+
+namespace dust::net {
+namespace {
+
+graph::Graph triangle() {
+  graph::Graph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(0, 2);
+  return g;
+}
+
+TEST(LinkState, UtilizedBandwidth) {
+  LinkState link{10000.0, 0.5};
+  EXPECT_DOUBLE_EQ(link.utilized_bandwidth(), 5000.0);
+}
+
+TEST(NetworkState, ConstructsWithDefaults) {
+  NetworkState net(triangle());
+  EXPECT_EQ(net.node_count(), 3u);
+  EXPECT_EQ(net.edge_count(), 3u);
+  EXPECT_GT(net.link(0).utilized_bandwidth(), 0.0);
+  EXPECT_DOUBLE_EQ(net.node_utilization(0), 0.0);
+  EXPECT_DOUBLE_EQ(net.monitoring_data_mb(0), 0.0);
+}
+
+TEST(NetworkState, SetLinkValidates) {
+  NetworkState net(triangle());
+  net.set_link(0, LinkState{25000.0, 0.8});
+  EXPECT_DOUBLE_EQ(net.link(0).utilized_bandwidth(), 20000.0);
+  EXPECT_THROW(net.set_link(0, LinkState{0.0, 0.5}), std::invalid_argument);
+  EXPECT_THROW(net.set_link(0, LinkState{100.0, 0.0}), std::invalid_argument);
+  EXPECT_THROW(net.set_link(0, LinkState{100.0, 1.5}), std::invalid_argument);
+  EXPECT_THROW(net.set_link(9, LinkState{}), std::out_of_range);
+}
+
+TEST(NetworkState, NodeUtilizationBounds) {
+  NetworkState net(triangle());
+  net.set_node_utilization(1, 85.0);
+  EXPECT_DOUBLE_EQ(net.node_utilization(1), 85.0);
+  EXPECT_THROW(net.set_node_utilization(1, -1.0), std::invalid_argument);
+  EXPECT_THROW(net.set_node_utilization(1, 101.0), std::invalid_argument);
+  EXPECT_THROW(net.set_node_utilization(7, 50.0), std::out_of_range);
+}
+
+TEST(NetworkState, MonitoringDataValidation) {
+  NetworkState net(triangle());
+  net.set_monitoring_data_mb(2, 55.0);
+  EXPECT_DOUBLE_EQ(net.monitoring_data_mb(2), 55.0);
+  EXPECT_THROW(net.set_monitoring_data_mb(2, -0.1), std::invalid_argument);
+}
+
+TEST(NetworkState, UtilizedBandwidthsVector) {
+  NetworkState net(triangle());
+  net.set_link(0, LinkState{1000.0, 0.5});
+  net.set_link(1, LinkState{2000.0, 0.25});
+  net.set_link(2, LinkState{4000.0, 1.0});
+  const auto lu = net.utilized_bandwidths();
+  ASSERT_EQ(lu.size(), 3u);
+  EXPECT_DOUBLE_EQ(lu[0], 500.0);
+  EXPECT_DOUBLE_EQ(lu[1], 500.0);
+  EXPECT_DOUBLE_EQ(lu[2], 4000.0);
+}
+
+TEST(NetworkState, InverseBandwidthCosts) {
+  NetworkState net(triangle());
+  net.set_link(0, LinkState{1000.0, 0.5});
+  const auto costs = net.inverse_bandwidth_costs();
+  EXPECT_DOUBLE_EQ(costs[0], 1.0 / 500.0);
+}
+
+}  // namespace
+}  // namespace dust::net

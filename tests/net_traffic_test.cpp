@@ -1,0 +1,88 @@
+#include "net/traffic.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/topology.hpp"
+
+namespace dust::net {
+namespace {
+
+TEST(RandomizeLinks, RespectsProfileRange) {
+  util::Rng rng(1);
+  NetworkState net(graph::make_ring(10));
+  LinkProfile profile;
+  profile.bandwidth_mbps = 25000.0;
+  profile.min_utilization = 0.3;
+  profile.max_utilization = 0.7;
+  randomize_links(net, profile, rng);
+  for (graph::EdgeId e = 0; e < net.edge_count(); ++e) {
+    EXPECT_DOUBLE_EQ(net.link(e).bandwidth_mbps, 25000.0);
+    EXPECT_GE(net.link(e).utilization, 0.3);
+    EXPECT_LE(net.link(e).utilization, 0.7);
+  }
+}
+
+TEST(RandomizeLinks, RejectsBadRange) {
+  util::Rng rng(2);
+  NetworkState net(graph::make_ring(4));
+  LinkProfile bad;
+  bad.min_utilization = 0.8;
+  bad.max_utilization = 0.2;
+  EXPECT_THROW(randomize_links(net, bad, rng), std::invalid_argument);
+  bad.min_utilization = 0.0;
+  bad.max_utilization = 0.5;
+  EXPECT_THROW(randomize_links(net, bad, rng), std::invalid_argument);
+}
+
+TEST(RandomizeNodeLoads, RespectsProfile) {
+  util::Rng rng(3);
+  NetworkState net(graph::make_ring(20));
+  NodeLoadProfile profile;
+  profile.x_min = 20.0;
+  profile.x_max = 90.0;
+  profile.monitoring_data_min_mb = 5.0;
+  profile.monitoring_data_max_mb = 15.0;
+  randomize_node_loads(net, profile, rng);
+  for (graph::NodeId v = 0; v < net.node_count(); ++v) {
+    EXPECT_GE(net.node_utilization(v), 20.0);
+    EXPECT_LE(net.node_utilization(v), 90.0);
+    EXPECT_GE(net.monitoring_data_mb(v), 5.0);
+    EXPECT_LE(net.monitoring_data_mb(v), 15.0);
+  }
+}
+
+TEST(RandomizeNodeLoads, RejectsBadRange) {
+  util::Rng rng(4);
+  NetworkState net(graph::make_ring(4));
+  NodeLoadProfile bad;
+  bad.x_min = 80.0;
+  bad.x_max = 20.0;
+  EXPECT_THROW(randomize_node_loads(net, bad, rng), std::invalid_argument);
+}
+
+TEST(MakeRandomState, Deterministic) {
+  util::Rng rng_a(42), rng_b(42);
+  const NetworkState a = make_random_state(graph::make_ring(8), LinkProfile{},
+                                           NodeLoadProfile{}, rng_a);
+  const NetworkState b = make_random_state(graph::make_ring(8), LinkProfile{},
+                                           NodeLoadProfile{}, rng_b);
+  for (graph::NodeId v = 0; v < a.node_count(); ++v)
+    EXPECT_DOUBLE_EQ(a.node_utilization(v), b.node_utilization(v));
+  for (graph::EdgeId e = 0; e < a.edge_count(); ++e)
+    EXPECT_DOUBLE_EQ(a.link(e).utilization, b.link(e).utilization);
+}
+
+TEST(MakeRandomState, DifferentSeedsDiffer) {
+  util::Rng rng_a(1), rng_b(2);
+  const NetworkState a = make_random_state(graph::make_ring(8), LinkProfile{},
+                                           NodeLoadProfile{}, rng_a);
+  const NetworkState b = make_random_state(graph::make_ring(8), LinkProfile{},
+                                           NodeLoadProfile{}, rng_b);
+  bool any_different = false;
+  for (graph::NodeId v = 0; v < a.node_count(); ++v)
+    if (a.node_utilization(v) != b.node_utilization(v)) any_different = true;
+  EXPECT_TRUE(any_different);
+}
+
+}  // namespace
+}  // namespace dust::net

@@ -1,0 +1,135 @@
+#include "sim/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace dust::sim {
+namespace {
+
+TEST(Simulator, StartsAtZero) {
+  Simulator sim;
+  EXPECT_EQ(sim.now(), 0);
+  EXPECT_EQ(sim.pending(), 0u);
+}
+
+TEST(Simulator, RunsEventsInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule(30, [&order] { order.push_back(3); });
+  sim.schedule(10, [&order] { order.push_back(1); });
+  sim.schedule(20, [&order] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), 30);
+}
+
+TEST(Simulator, SameTimeIsFifo) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i)
+    sim.schedule(100, [&order, i] { order.push_back(i); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Simulator, RunUntilStopsAtBoundaryInclusive) {
+  Simulator sim;
+  int ran = 0;
+  sim.schedule(10, [&ran] { ++ran; });
+  sim.schedule(20, [&ran] { ++ran; });
+  sim.schedule(21, [&ran] { ++ran; });
+  EXPECT_EQ(sim.run_until(20), 2u);
+  EXPECT_EQ(ran, 2);
+  EXPECT_EQ(sim.now(), 20);
+  EXPECT_EQ(sim.pending(), 1u);
+}
+
+TEST(Simulator, RunUntilAdvancesClockEvenWithoutEvents) {
+  Simulator sim;
+  sim.run_until(500);
+  EXPECT_EQ(sim.now(), 500);
+}
+
+TEST(Simulator, EventsCanScheduleEvents) {
+  Simulator sim;
+  std::vector<TimeMs> fired;
+  sim.schedule(10, [&] {
+    fired.push_back(sim.now());
+    sim.schedule(5, [&] { fired.push_back(sim.now()); });
+  });
+  sim.run();
+  EXPECT_EQ(fired, (std::vector<TimeMs>{10, 15}));
+}
+
+TEST(Simulator, NegativeDelayThrows) {
+  Simulator sim;
+  EXPECT_THROW(sim.schedule(-1, [] {}), std::invalid_argument);
+}
+
+TEST(Simulator, ScheduleInPastThrows) {
+  Simulator sim;
+  sim.schedule(10, [] {});
+  sim.run();
+  EXPECT_THROW(sim.schedule_at(5, [] {}), std::invalid_argument);
+}
+
+TEST(Simulator, ClearDropsPending) {
+  Simulator sim;
+  int ran = 0;
+  sim.schedule(10, [&ran] { ++ran; });
+  sim.clear();
+  sim.run();
+  EXPECT_EQ(ran, 0);
+}
+
+TEST(PeriodicTask, FiresOnPeriod) {
+  Simulator sim;
+  std::vector<TimeMs> fired;
+  PeriodicTask task(sim, 100, 50, [&fired](TimeMs t) { fired.push_back(t); });
+  sim.run_until(300);
+  EXPECT_EQ(fired, (std::vector<TimeMs>{100, 150, 200, 250, 300}));
+}
+
+TEST(PeriodicTask, CancelStopsFiring) {
+  Simulator sim;
+  int count = 0;
+  PeriodicTask task(sim, 0, 10, [&count](TimeMs) { ++count; });
+  sim.run_until(35);
+  EXPECT_EQ(count, 4);  // t = 0, 10, 20, 30
+  task.cancel();
+  EXPECT_FALSE(task.active());
+  sim.run_until(100);
+  EXPECT_EQ(count, 4);
+}
+
+TEST(PeriodicTask, DestructionCancels) {
+  Simulator sim;
+  int count = 0;
+  {
+    PeriodicTask task(sim, 0, 10, [&count](TimeMs) { ++count; });
+    sim.run_until(15);
+  }
+  sim.run_until(200);
+  EXPECT_EQ(count, 2);
+}
+
+TEST(PeriodicTask, CancelFromInsideCallback) {
+  Simulator sim;
+  int count = 0;
+  PeriodicTask* handle = nullptr;
+  PeriodicTask task(sim, 0, 10, [&](TimeMs) {
+    if (++count == 3) handle->cancel();
+  });
+  handle = &task;
+  sim.run_until(1000);
+  EXPECT_EQ(count, 3);
+}
+
+TEST(PeriodicTask, ZeroPeriodThrows) {
+  Simulator sim;
+  EXPECT_THROW(PeriodicTask(sim, 0, 0, [](TimeMs) {}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dust::sim

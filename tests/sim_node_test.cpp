@@ -1,0 +1,146 @@
+#include "sim/node.hpp"
+
+#include <gtest/gtest.h>
+
+#include "telemetry/agent.hpp"
+
+namespace dust::sim {
+namespace {
+
+NodeResources aruba8325() { return NodeResources{8, 16384.0}; }
+
+TEST(MonitoredNode, ValidatesConstruction) {
+  EXPECT_THROW(MonitoredNode("x", NodeResources{0, 100}, 10, 10),
+               std::invalid_argument);
+  EXPECT_THROW(MonitoredNode("x", NodeResources{4, 0}, 10, 10),
+               std::invalid_argument);
+  EXPECT_THROW(MonitoredNode("x", aruba8325(), 150, 10), std::invalid_argument);
+  EXPECT_THROW(MonitoredNode("x", aruba8325(), 10, 999999), std::invalid_argument);
+}
+
+TEST(MonitoredNode, BaseLoadOnly) {
+  MonitoredNode node("sw", aruba8325(), 15.0, 10000.0);
+  node.set_export_cost_ms(0.0);
+  util::Rng rng(1);
+  const TickStats stats = node.tick(0, 1000, 0.0, 0.0, rng);
+  EXPECT_NEAR(stats.device_cpu_percent, 15.0, 1e-9);
+  EXPECT_NEAR(stats.monitor_cpu_cores, 0.0, 1e-9);
+  EXPECT_NEAR(stats.memory_percent, 10000.0 / 16384.0 * 100.0, 1e-6);
+}
+
+TEST(MonitoredNode, LocalAgentsChargeCpuAndMemory) {
+  MonitoredNode node("sw", aruba8325(), 15.0, 10000.0);
+  util::Rng rng(1);
+  const TickStats before = node.tick(0, 1000, 20000.0, 0.0, rng);
+  for (auto& agent : telemetry::standard_agents()) node.add_local_agent(agent);
+  EXPECT_EQ(node.local_agent_count(), 10u);
+  const TickStats after = node.tick(1000, 1000, 20000.0, 0.0, rng);
+  EXPECT_GT(after.device_cpu_percent, before.device_cpu_percent + 10.0);
+  EXPECT_GT(after.monitor_cpu_cores, 1.0);  // ~1.28 cores at 20 Gbps
+  EXPECT_GT(after.memory_percent, before.memory_percent + 5.0);
+  EXPECT_GT(after.monitor_memory_mib, 1200.0);
+}
+
+TEST(MonitoredNode, AgentsRespectSamplingInterval) {
+  MonitoredNode node("sw", aruba8325(), 15.0, 10000.0);
+  node.set_export_cost_ms(0.0);
+  telemetry::AgentCostModel cost;
+  cost.cpu_base_ms = 100.0;
+  cost.cpu_per_gbps_ms = 0.0;
+  node.add_local_agent(telemetry::MonitorAgent("slow", cost, 10000));
+  util::Rng rng(1);
+  const TickStats t0 = node.tick(0, 1000, 0.0, 0.0, rng);
+  EXPECT_NEAR(t0.monitor_cpu_cores, 0.1, 1e-9);  // sampled
+  const TickStats t1 = node.tick(1000, 1000, 0.0, 0.0, rng);
+  EXPECT_NEAR(t1.monitor_cpu_cores, 0.0, 1e-9);  // not due yet
+}
+
+TEST(MonitoredNode, RemoveLocalAgentsReturnsThem) {
+  MonitoredNode node("sw", aruba8325(), 15.0, 10000.0);
+  for (auto& agent : telemetry::standard_agents()) node.add_local_agent(agent);
+  auto removed = node.remove_local_agents();
+  EXPECT_EQ(removed.size(), 10u);
+  EXPECT_EQ(node.local_agent_count(), 0u);
+}
+
+TEST(MonitoredNode, OffloadShrinksOriginGrowsDestination) {
+  util::Rng rng(1);
+  MonitoredNode origin("busy", aruba8325(), 15.0, 10000.0);
+  MonitoredNode destination("dest", aruba8325(), 10.0, 6000.0);
+  for (auto& agent : telemetry::standard_agents())
+    origin.add_local_agent(agent);
+
+  // Warm both up with traffic.
+  const TickStats origin_before = origin.tick(0, 1000, 20000.0, 0.0, rng);
+  const TickStats dest_before = destination.tick(0, 1000, 5000.0, 0.0, rng);
+
+  // Move all agents.
+  auto agents = origin.remove_local_agents();
+  for (auto& agent : agents) destination.add_remote_agent("busy", agent);
+  origin.set_offloaded_agent_count(agents.size());
+
+  const TickStats origin_after = origin.tick(1000, 1000, 20000.0, 0.0, rng);
+  // Destination observes the origin remotely, then ticks.
+  telemetry::DeviceSnapshot snap;
+  snap.timestamp_ms = 1000;
+  snap.rx_mbps = 20000.0;
+  destination.observe_remote("busy", snap, rng);
+  const TickStats dest_after = destination.tick(1000, 1000, 5000.0, 0.0, rng);
+
+  EXPECT_LT(origin_after.device_cpu_percent,
+            origin_before.device_cpu_percent - 10.0);
+  EXPECT_LT(origin_after.memory_percent, origin_before.memory_percent - 5.0);
+  EXPECT_GT(dest_after.device_cpu_percent, dest_before.device_cpu_percent + 5.0);
+  EXPECT_GT(dest_after.memory_percent, dest_before.memory_percent + 5.0);
+  EXPECT_EQ(destination.remote_agent_count(), 10u);
+}
+
+TEST(MonitoredNode, ExportResidualCharged) {
+  MonitoredNode node("sw", aruba8325(), 15.0, 10000.0);
+  node.set_export_cost_ms(2.0);
+  node.set_offloaded_agent_count(10);
+  util::Rng rng(1);
+  const TickStats stats = node.tick(0, 1000, 0.0, 0.0, rng);
+  EXPECT_NEAR(stats.monitor_cpu_cores, 0.02, 1e-9);  // 10 x 2 ms / 1000 ms
+}
+
+TEST(MonitoredNode, RemoveRemoteAgentsByOwner) {
+  MonitoredNode node("dest", aruba8325(), 10.0, 6000.0);
+  auto agents = telemetry::standard_agents();
+  node.add_remote_agent("owner-a", agents[0]);
+  node.add_remote_agent("owner-a", agents[1]);
+  node.add_remote_agent("owner-b", agents[2]);
+  EXPECT_EQ(node.remove_remote_agents("owner-a"), 2u);
+  EXPECT_EQ(node.remote_agent_count(), 1u);
+  EXPECT_EQ(node.remove_remote_agents("owner-a"), 0u);
+}
+
+TEST(MonitoredNode, CpuClampsAt100Percent) {
+  MonitoredNode node("sw", NodeResources{1, 16384.0}, 50.0, 1000.0);
+  telemetry::AgentCostModel cost;
+  cost.cpu_base_ms = 5000.0;  // 5 cores worth on a 1-core box
+  node.add_local_agent(telemetry::MonitorAgent("hog", cost, 1000));
+  util::Rng rng(1);
+  const TickStats stats = node.tick(0, 1000, 0.0, 0.0, rng);
+  EXPECT_LE(stats.device_cpu_percent, 100.0);
+}
+
+TEST(MonitoredNode, TickRejectsBadTickLength) {
+  MonitoredNode node("sw", aruba8325(), 15.0, 10000.0);
+  util::Rng rng(1);
+  EXPECT_THROW(node.tick(0, 0, 0.0, 0.0, rng), std::invalid_argument);
+}
+
+TEST(MonitoredNode, TsdbAccumulatesAgentSamples) {
+  MonitoredNode node("sw", aruba8325(), 15.0, 10000.0);
+  for (auto& agent : telemetry::standard_agents()) node.add_local_agent(agent);
+  util::Rng rng(1);
+  for (int t = 0; t < 5; ++t) node.tick(1000LL * t, 1000, 10000.0, 0.0, rng);
+  EXPECT_EQ(node.tsdb().metric_count(), 30u);  // 10 agents x 3 metrics
+  const auto id = node.tsdb().find("system.cpu.memory.value");
+  ASSERT_TRUE(id.has_value());
+  EXPECT_EQ(node.tsdb().query(*id, 0, 10000).size(), 5u);
+}
+
+}  // namespace
+}  // namespace dust::sim

@@ -1,0 +1,75 @@
+#include "sim/overlay_traffic.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/stats.hpp"
+
+namespace dust::sim {
+namespace {
+
+TEST(OverlayTraffic, NominalIsLoadFractionOfLineRate) {
+  OverlayTraffic traffic(OverlayTrafficProfile{});
+  EXPECT_DOUBLE_EQ(traffic.nominal_mbps(), 20000.0);  // 20% of 100 G
+}
+
+TEST(OverlayTraffic, MeanNearNominal) {
+  OverlayTrafficProfile profile;
+  profile.burst_probability = 0.0;
+  OverlayTraffic traffic(profile);
+  util::Rng rng(1);
+  util::RunningStats stats;
+  for (int i = 0; i < 20000; ++i) stats.add(traffic.next(rng).rx_mbps);
+  // exp(sigma^2/2) bias with sigma=0.1 is ~0.5%; allow 3%.
+  EXPECT_NEAR(stats.mean(), 20000.0, 600.0);
+}
+
+TEST(OverlayTraffic, NeverExceedsLineRate) {
+  OverlayTraffic traffic(OverlayTrafficProfile{});
+  util::Rng rng(2);
+  for (int i = 0; i < 20000; ++i)
+    EXPECT_LE(traffic.next(rng).rx_mbps, 100000.0);
+}
+
+TEST(OverlayTraffic, BurstsFlaggedAndLarge) {
+  OverlayTrafficProfile profile;
+  profile.burst_probability = 1.0;
+  OverlayTraffic traffic(profile);
+  util::Rng rng(3);
+  for (int i = 0; i < 100; ++i) {
+    const TrafficTick tick = traffic.next(rng);
+    EXPECT_TRUE(tick.burst);
+    EXPECT_GE(tick.rx_mbps, 4.0 * 20000.0 - 1e-9);
+  }
+}
+
+TEST(OverlayTraffic, BurstFrequencyMatchesProbability) {
+  OverlayTrafficProfile profile;
+  profile.burst_probability = 0.05;
+  OverlayTraffic traffic(profile);
+  util::Rng rng(4);
+  int bursts = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i)
+    if (traffic.next(rng).burst) ++bursts;
+  EXPECT_NEAR(static_cast<double>(bursts) / n, 0.05, 0.01);
+}
+
+TEST(OverlayTraffic, TxFraction) {
+  OverlayTrafficProfile profile;
+  profile.tx_fraction = 0.5;
+  profile.burst_probability = 0.0;
+  OverlayTraffic traffic(profile);
+  util::Rng rng(5);
+  const TrafficTick tick = traffic.next(rng);
+  EXPECT_DOUBLE_EQ(tick.tx_mbps, tick.rx_mbps * 0.5);
+}
+
+TEST(OverlayTraffic, DeterministicGivenSeed) {
+  OverlayTraffic traffic(OverlayTrafficProfile{});
+  util::Rng a(9), b(9);
+  for (int i = 0; i < 100; ++i)
+    EXPECT_DOUBLE_EQ(traffic.next(a).rx_mbps, traffic.next(b).rx_mbps);
+}
+
+}  // namespace
+}  // namespace dust::sim

@@ -1,0 +1,131 @@
+#include "sim/transport.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace dust::sim {
+namespace {
+
+struct Fixture : ::testing::Test {
+  Simulator sim;
+  Transport transport{sim, util::Rng(1)};
+  std::vector<Envelope> received;
+
+  void listen(const std::string& name) {
+    transport.register_endpoint(
+        name, [this](const Envelope& e) { received.push_back(e); });
+  }
+};
+
+TEST_F(Fixture, DeliversAfterLatency) {
+  listen("b");
+  transport.set_default_latency_ms(25);
+  transport.send("a", "b", std::string("hello"));
+  sim.run_until(24);
+  EXPECT_TRUE(received.empty());
+  sim.run_until(25);
+  ASSERT_EQ(received.size(), 1u);
+  EXPECT_EQ(received[0].from, "a");
+  EXPECT_EQ(std::any_cast<std::string>(received[0].payload), "hello");
+}
+
+TEST_F(Fixture, UnknownEndpointCountsDropped) {
+  transport.send("a", "ghost", 1);
+  sim.run();
+  EXPECT_EQ(transport.dropped(), 1u);
+  EXPECT_EQ(transport.delivered(), 0u);
+}
+
+TEST_F(Fixture, UnregisterWhileInFlightDrops) {
+  listen("b");
+  transport.send("a", "b", 1);
+  transport.unregister_endpoint("b");
+  sim.run();
+  EXPECT_EQ(transport.delivered(), 0u);
+  EXPECT_EQ(transport.dropped(), 1u);
+}
+
+TEST_F(Fixture, FullLossDropsEverything) {
+  listen("b");
+  transport.set_loss_probability(1.0);
+  for (int i = 0; i < 10; ++i) transport.send("a", "b", i);
+  sim.run();
+  EXPECT_EQ(transport.dropped(), 10u);
+  EXPECT_TRUE(received.empty());
+}
+
+TEST_F(Fixture, PartialLossApproximatesRate) {
+  listen("b");
+  transport.set_loss_probability(0.3);
+  for (int i = 0; i < 2000; ++i) transport.send("a", "b", i);
+  sim.run();
+  EXPECT_NEAR(static_cast<double>(transport.dropped()) / 2000.0, 0.3, 0.05);
+}
+
+TEST_F(Fixture, LossProbabilityValidated) {
+  EXPECT_THROW(transport.set_loss_probability(-0.1), std::invalid_argument);
+  EXPECT_THROW(transport.set_loss_probability(1.1), std::invalid_argument);
+}
+
+TEST_F(Fixture, PartitionBlocksDestination) {
+  listen("b");
+  listen("c");
+  transport.set_partitioned("b", true);
+  transport.send("a", "b", 1);
+  transport.send("a", "c", 2);
+  sim.run();
+  ASSERT_EQ(received.size(), 1u);
+  EXPECT_EQ(received[0].to, "c");
+  transport.set_partitioned("b", false);
+  transport.send("a", "b", 3);
+  sim.run();
+  EXPECT_EQ(received.size(), 2u);
+}
+
+TEST_F(Fixture, CongestionDropsOnlyLowPriority) {
+  listen("b");
+  transport.set_congested(true);
+  transport.send("a", "b", 1, Priority::kLow);
+  transport.send("a", "b", 2, Priority::kNormal);
+  sim.run();
+  ASSERT_EQ(received.size(), 1u);
+  EXPECT_EQ(std::any_cast<int>(received[0].payload), 2);
+  transport.set_congested(false);
+  transport.send("a", "b", 3, Priority::kLow);
+  sim.run();
+  EXPECT_EQ(received.size(), 2u);
+}
+
+TEST_F(Fixture, CountersConsistent) {
+  listen("b");
+  transport.send("a", "b", 1);
+  transport.send("a", "ghost", 2);
+  sim.run();
+  EXPECT_EQ(transport.sent(), 2u);
+  EXPECT_EQ(transport.delivered() + transport.dropped(), 2u);
+}
+
+TEST_F(Fixture, NullHandlerRejected) {
+  EXPECT_THROW(transport.register_endpoint("x", nullptr),
+               std::invalid_argument);
+}
+
+TEST_F(Fixture, HasEndpoint) {
+  EXPECT_FALSE(transport.has_endpoint("b"));
+  listen("b");
+  EXPECT_TRUE(transport.has_endpoint("b"));
+}
+
+TEST_F(Fixture, MessagesPreserveFifoPerLatencyClass) {
+  listen("b");
+  for (int i = 0; i < 5; ++i) transport.send("a", "b", i);
+  sim.run();
+  ASSERT_EQ(received.size(), 5u);
+  for (int i = 0; i < 5; ++i)
+    EXPECT_EQ(std::any_cast<int>(received[i].payload), i);
+}
+
+}  // namespace
+}  // namespace dust::sim

@@ -1,0 +1,155 @@
+#include "solver/branch_and_bound.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace dust::solver {
+namespace {
+
+TEST(BranchAndBound, PureLpDelegatesToSimplex) {
+  LinearProgram lp;
+  const auto x = lp.add_variable(0, kInfinity, -1.0);
+  lp.add_constraint({{x, 1.0}}, Sense::kLessEqual, 2.5);
+  const Solution s = solve_branch_and_bound(lp);
+  ASSERT_EQ(s.status, Status::kOptimal);
+  EXPECT_NEAR(s.values[x], 2.5, 1e-9);  // fractional OK: no integer vars
+}
+
+TEST(BranchAndBound, RoundsDownSingleInteger) {
+  // max x (min -x), x integer, x <= 2.5 → 2.
+  LinearProgram lp;
+  const auto x = lp.add_variable(0, kInfinity, -1.0, /*integer=*/true);
+  lp.add_constraint({{x, 1.0}}, Sense::kLessEqual, 2.5);
+  const Solution s = solve_branch_and_bound(lp);
+  ASSERT_EQ(s.status, Status::kOptimal);
+  EXPECT_NEAR(s.values[x], 2.0, 1e-9);
+  EXPECT_NEAR(s.objective, -2.0, 1e-9);
+}
+
+TEST(BranchAndBound, SmallKnapsack) {
+  // max 10a + 6b + 4c s.t. a+b+c <= 2, 5a+4b+3c <= 7, binary.
+  // Optimum: a=1, b=0, c=... a+c: 5+3=8 > 7 no; a alone 10; a+b: 9 <=7? 5+4=9>7.
+  // b+c: 6+4=10 weight 7 <= 7 → value 10. So optimum 10 via {b,c} (or {a}).
+  LinearProgram lp;
+  const auto a = lp.add_variable(0, 1, -10.0, true);
+  const auto b = lp.add_variable(0, 1, -6.0, true);
+  const auto c = lp.add_variable(0, 1, -4.0, true);
+  lp.add_constraint({{a, 1.0}, {b, 1.0}, {c, 1.0}}, Sense::kLessEqual, 2.0);
+  lp.add_constraint({{a, 5.0}, {b, 4.0}, {c, 3.0}}, Sense::kLessEqual, 7.0);
+  const Solution s = solve_branch_and_bound(lp);
+  ASSERT_EQ(s.status, Status::kOptimal);
+  EXPECT_NEAR(s.objective, -10.0, 1e-6);
+}
+
+TEST(BranchAndBound, IntegerInfeasible) {
+  // 0.4 <= x <= 0.6 with x integer: no integer point.
+  LinearProgram lp;
+  const auto x = lp.add_variable(0, kInfinity, 1.0, true);
+  lp.add_constraint({{x, 1.0}}, Sense::kGreaterEqual, 0.4);
+  lp.add_constraint({{x, 1.0}}, Sense::kLessEqual, 0.6);
+  EXPECT_EQ(solve_branch_and_bound(lp).status, Status::kInfeasible);
+}
+
+TEST(BranchAndBound, LpInfeasiblePropagates) {
+  LinearProgram lp;
+  const auto x = lp.add_variable(0, kInfinity, 1.0, true);
+  lp.add_constraint({{x, 1.0}}, Sense::kLessEqual, -1.0);
+  EXPECT_EQ(solve_branch_and_bound(lp).status, Status::kInfeasible);
+}
+
+TEST(BranchAndBound, MixedIntegerContinuous) {
+  // min -x - y, x integer <= 1.5, y continuous <= 1.5, x + y <= 2.4
+  // → x = 1, y = 1.4 (obj -2.4) beats x=1.5? x integer so x∈{0,1}.
+  LinearProgram lp;
+  const auto x = lp.add_variable(0, 1.5, -1.0, true);
+  const auto y = lp.add_variable(0, 1.5, -1.0, false);
+  lp.add_constraint({{x, 1.0}, {y, 1.0}}, Sense::kLessEqual, 2.4);
+  const Solution s = solve_branch_and_bound(lp);
+  ASSERT_EQ(s.status, Status::kOptimal);
+  EXPECT_NEAR(s.values[x], 1.0, 1e-6);
+  EXPECT_NEAR(s.values[y], 1.4, 1e-6);
+}
+
+TEST(BranchAndBound, IntegralRelaxationNeedsNoBranching) {
+  LinearProgram lp;
+  const auto x = lp.add_variable(0, kInfinity, -1.0, true);
+  lp.add_constraint({{x, 1.0}}, Sense::kLessEqual, 3.0);
+  const Solution s = solve_branch_and_bound(lp);
+  ASSERT_EQ(s.status, Status::kOptimal);
+  EXPECT_NEAR(s.values[x], 3.0, 1e-9);
+  EXPECT_EQ(s.iterations, 1u);  // root node only
+}
+
+TEST(BranchAndBound, EqualityWithIntegers) {
+  // 2x + 3y = 12, x,y >= 0 integer, min x + y → (3, 2) obj 5 or (0,4) obj 4.
+  LinearProgram lp;
+  const auto x = lp.add_variable(0, kInfinity, 1.0, true);
+  const auto y = lp.add_variable(0, kInfinity, 1.0, true);
+  lp.add_constraint({{x, 2.0}, {y, 3.0}}, Sense::kEqual, 12.0);
+  const Solution s = solve_branch_and_bound(lp);
+  ASSERT_EQ(s.status, Status::kOptimal);
+  EXPECT_NEAR(s.objective, 4.0, 1e-6);
+  EXPECT_NEAR(s.values[y], 4.0, 1e-6);
+}
+
+class BnbExhaustiveSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+// Property: B&B matches brute-force enumeration on small bounded integer
+// programs with positive constraint coefficients.
+TEST_P(BnbExhaustiveSweep, MatchesBruteForce) {
+  util::Rng rng(GetParam());
+  for (int trial = 0; trial < 5; ++trial) {
+    constexpr int kVars = 3;
+    constexpr int kBound = 4;  // x in {0..4}
+    LinearProgram lp;
+    std::vector<double> costs;
+    for (int v = 0; v < kVars; ++v) {
+      costs.push_back(rng.uniform(-3.0, 3.0));
+      lp.add_variable(0, kBound, costs.back(), true);
+    }
+    std::vector<std::vector<double>> rows;
+    std::vector<double> rhs;
+    for (int c = 0; c < 2; ++c) {
+      auto& row = rows.emplace_back();
+      std::vector<std::pair<std::size_t, double>> terms;
+      for (int v = 0; v < kVars; ++v) {
+        row.push_back(rng.uniform(0.2, 2.0));
+        terms.emplace_back(v, row.back());
+      }
+      rhs.push_back(rng.uniform(2.0, 8.0));
+      lp.add_constraint(std::move(terms), Sense::kLessEqual, rhs.back());
+    }
+    // Brute force over 5^3 = 125 points.
+    double best = kInfinity;
+    for (int a = 0; a <= kBound; ++a)
+      for (int b = 0; b <= kBound; ++b)
+        for (int c = 0; c <= kBound; ++c) {
+          const double x[3] = {double(a), double(b), double(c)};
+          bool ok = true;
+          for (std::size_t r = 0; r < rows.size(); ++r) {
+            double lhs = 0;
+            for (int v = 0; v < kVars; ++v) lhs += rows[r][v] * x[v];
+            if (lhs > rhs[r] + 1e-9) ok = false;
+          }
+          if (!ok) continue;
+          double obj = 0;
+          for (int v = 0; v < kVars; ++v) obj += costs[v] * x[v];
+          best = std::min(best, obj);
+        }
+    const Solution s = solve_branch_and_bound(lp);
+    ASSERT_EQ(s.status, Status::kOptimal);
+    EXPECT_NEAR(s.objective, best, 1e-6) << "trial " << trial;
+    for (int v = 0; v < kVars; ++v) {
+      EXPECT_NEAR(s.values[v], std::round(s.values[v]), 1e-6);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BnbExhaustiveSweep,
+                         ::testing::Values(10u, 20u, 30u, 40u, 50u));
+
+}  // namespace
+}  // namespace dust::solver

@@ -1,0 +1,88 @@
+#include "solver/lp_format.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace dust::solver {
+namespace {
+
+std::string render(const LinearProgram& lp) {
+  std::ostringstream os;
+  write_lp_format(os, lp, "test");
+  return os.str();
+}
+
+TEST(LpFormat, SectionsPresent) {
+  LinearProgram lp;
+  const auto x = lp.add_variable(0, 5, 2.0);
+  lp.add_constraint({{x, 1.0}}, Sense::kLessEqual, 3.0);
+  const std::string out = render(lp);
+  EXPECT_NE(out.find("Minimize"), std::string::npos);
+  EXPECT_NE(out.find("Subject To"), std::string::npos);
+  EXPECT_NE(out.find("Bounds"), std::string::npos);
+  EXPECT_NE(out.find("End"), std::string::npos);
+  EXPECT_NE(out.find("2 x0"), std::string::npos);
+  EXPECT_NE(out.find("c0: x0 <= 3"), std::string::npos);
+  EXPECT_NE(out.find("x0 <= 5"), std::string::npos);
+}
+
+TEST(LpFormat, NamedVariablesUsed) {
+  LinearProgram lp;
+  lp.add_variable(0, kInfinity, 1.0, false, "x_busy_dest");
+  const std::string out = render(lp);
+  EXPECT_NE(out.find("x_busy_dest"), std::string::npos);
+  EXPECT_EQ(out.find("x0"), std::string::npos);
+}
+
+TEST(LpFormat, SensesRendered) {
+  LinearProgram lp;
+  const auto x = lp.add_variable(0, kInfinity, 1.0);
+  lp.add_constraint({{x, 1.0}}, Sense::kLessEqual, 1.0);
+  lp.add_constraint({{x, 1.0}}, Sense::kGreaterEqual, 0.5);
+  lp.add_constraint({{x, 1.0}}, Sense::kEqual, 0.7);
+  const std::string out = render(lp);
+  EXPECT_NE(out.find("<= 1"), std::string::npos);
+  EXPECT_NE(out.find(">= 0.5"), std::string::npos);
+  EXPECT_NE(out.find("= 0.7"), std::string::npos);
+}
+
+TEST(LpFormat, NegativeCoefficientsAndSigns) {
+  LinearProgram lp;
+  const auto x = lp.add_variable(0, kInfinity, -1.5);
+  const auto y = lp.add_variable(0, kInfinity, 1.0);
+  lp.add_constraint({{x, 2.0}, {y, -3.0}}, Sense::kLessEqual, 4.0);
+  const std::string out = render(lp);
+  EXPECT_NE(out.find("- 1.5 x0"), std::string::npos);
+  EXPECT_NE(out.find("2 x0 - 3 x1"), std::string::npos);
+}
+
+TEST(LpFormat, FreeAndFixedBounds) {
+  LinearProgram lp;
+  lp.add_variable(-kInfinity, kInfinity, 1.0);  // free
+  lp.add_variable(4.0, 4.0, 1.0);               // fixed
+  lp.add_variable(-kInfinity, 7.0, 1.0);        // upper only
+  const std::string out = render(lp);
+  EXPECT_NE(out.find("x0 free"), std::string::npos);
+  EXPECT_NE(out.find("x1 = 4"), std::string::npos);
+  EXPECT_NE(out.find("-inf <= x2 <= 7"), std::string::npos);
+}
+
+TEST(LpFormat, IntegerSection) {
+  LinearProgram lp;
+  lp.add_variable(0, 10, 1.0, /*integer=*/true);
+  lp.add_variable(0, 10, 1.0, /*integer=*/false);
+  const std::string out = render(lp);
+  const std::size_t general = out.find("General");
+  ASSERT_NE(general, std::string::npos);
+  EXPECT_NE(out.find("x0", general), std::string::npos);
+}
+
+TEST(LpFormat, NoIntegerSectionWhenPureLp) {
+  LinearProgram lp;
+  lp.add_variable(0, 10, 1.0);
+  EXPECT_EQ(render(lp).find("General"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dust::solver

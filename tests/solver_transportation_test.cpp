@@ -1,0 +1,229 @@
+#include "solver/transportation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "solver/simplex.hpp"
+#include "util/rng.hpp"
+
+namespace dust::solver {
+namespace {
+
+double row_sum(const TransportationResult& r, std::size_t i, std::size_t n) {
+  double s = 0;
+  for (std::size_t j = 0; j < n; ++j) s += r.flow[i * n + j];
+  return s;
+}
+
+double col_sum(const TransportationResult& r, std::size_t j, std::size_t m,
+               std::size_t n) {
+  double s = 0;
+  for (std::size_t i = 0; i < m; ++i) s += r.flow[i * n + j];
+  return s;
+}
+
+TEST(Transportation, TextbookBalanced) {
+  // Classic 3x3 with supplies 300/400/500 and demands 250/350/400 + dummy
+  // absorbed by capacities exactly (total 1200 vs 1000): capacities chosen
+  // so the instance is tight where it matters.
+  TransportationProblem p;
+  p.supply = {300, 400, 500};
+  p.capacity = {250, 350, 600};
+  p.cost = {3, 1, 7,
+            2, 6, 5,
+            8, 3, 3};
+  const TransportationResult r = solve_transportation(p);
+  ASSERT_EQ(r.status, Status::kOptimal);
+  // Cross-check against the general simplex.
+  const Solution s = solve_simplex(to_linear_program(p));
+  ASSERT_EQ(s.status, Status::kOptimal);
+  EXPECT_NEAR(r.objective, s.objective, 1e-6);
+}
+
+TEST(Transportation, SingleCellExact) {
+  TransportationProblem p;
+  p.supply = {5};
+  p.capacity = {7};
+  p.cost = {2.5};
+  const TransportationResult r = solve_transportation(p);
+  ASSERT_EQ(r.status, Status::kOptimal);
+  EXPECT_NEAR(r.objective, 12.5, 1e-9);
+  EXPECT_NEAR(r.flow[0], 5.0, 1e-9);
+}
+
+TEST(Transportation, PicksCheaperDestination) {
+  TransportationProblem p;
+  p.supply = {10};
+  p.capacity = {10, 10};
+  p.cost = {5.0, 1.0};
+  const TransportationResult r = solve_transportation(p);
+  ASSERT_EQ(r.status, Status::kOptimal);
+  EXPECT_NEAR(r.flow_at(0, 1, 2), 10.0, 1e-9);
+  EXPECT_NEAR(r.objective, 10.0, 1e-9);
+}
+
+TEST(Transportation, SplitsWhenCapacityBinds) {
+  TransportationProblem p;
+  p.supply = {10};
+  p.capacity = {4, 10};
+  p.cost = {1.0, 2.0};
+  const TransportationResult r = solve_transportation(p);
+  ASSERT_EQ(r.status, Status::kOptimal);
+  EXPECT_NEAR(r.flow_at(0, 0, 2), 4.0, 1e-9);
+  EXPECT_NEAR(r.flow_at(0, 1, 2), 6.0, 1e-9);
+  EXPECT_NEAR(r.objective, 16.0, 1e-9);
+}
+
+TEST(Transportation, InfeasibleWhenSupplyExceedsCapacity) {
+  TransportationProblem p;
+  p.supply = {10, 5};
+  p.capacity = {8};
+  p.cost = {1.0, 1.0};
+  EXPECT_EQ(solve_transportation(p).status, Status::kInfeasible);
+}
+
+TEST(Transportation, ForbiddenCellAvoided) {
+  TransportationProblem p;
+  p.supply = {5};
+  p.capacity = {10, 10};
+  p.cost = {kInfinity, 3.0};
+  const TransportationResult r = solve_transportation(p);
+  ASSERT_EQ(r.status, Status::kOptimal);
+  EXPECT_NEAR(r.flow_at(0, 1, 2), 5.0, 1e-9);
+  EXPECT_NEAR(r.objective, 15.0, 1e-9);
+}
+
+TEST(Transportation, InfeasibleWhenOnlyForbiddenRoutesRemain) {
+  TransportationProblem p;
+  p.supply = {5, 5};
+  p.capacity = {5, 5};
+  p.cost = {kInfinity, kInfinity,
+            1.0, 1.0};
+  EXPECT_EQ(solve_transportation(p).status, Status::kInfeasible);
+}
+
+TEST(Transportation, ZeroSupplyTrivial) {
+  TransportationProblem p;
+  p.supply = {0.0, 0.0};
+  p.capacity = {5.0};
+  p.cost = {1.0, 1.0};
+  const TransportationResult r = solve_transportation(p);
+  ASSERT_EQ(r.status, Status::kOptimal);
+  EXPECT_DOUBLE_EQ(r.objective, 0.0);
+}
+
+TEST(Transportation, EmptyProblem) {
+  TransportationProblem p;
+  const TransportationResult r = solve_transportation(p);
+  EXPECT_EQ(r.status, Status::kOptimal);
+}
+
+TEST(Transportation, NoDestinationsWithSupplyInfeasible) {
+  TransportationProblem p;
+  p.supply = {1.0};
+  EXPECT_EQ(solve_transportation(p).status, Status::kInfeasible);
+}
+
+TEST(Transportation, NegativeInputsThrow) {
+  TransportationProblem p;
+  p.supply = {-1.0};
+  p.capacity = {5.0};
+  p.cost = {1.0};
+  EXPECT_THROW(solve_transportation(p), std::invalid_argument);
+  p.supply = {1.0};
+  p.capacity = {-5.0};
+  EXPECT_THROW(solve_transportation(p), std::invalid_argument);
+}
+
+TEST(Transportation, CostSizeMismatchThrows) {
+  TransportationProblem p;
+  p.supply = {1.0};
+  p.capacity = {1.0};
+  p.cost = {1.0, 2.0};
+  EXPECT_THROW(solve_transportation(p), std::invalid_argument);
+}
+
+TEST(Transportation, DegenerateTiesTerminate) {
+  // All costs equal and supplies exactly matching capacities: maximally
+  // degenerate; any assignment is optimal.
+  TransportationProblem p;
+  p.supply = {2, 2, 2};
+  p.capacity = {2, 2, 2};
+  p.cost = std::vector<double>(9, 1.0);
+  const TransportationResult r = solve_transportation(p);
+  ASSERT_EQ(r.status, Status::kOptimal);
+  EXPECT_NEAR(r.objective, 6.0, 1e-9);
+}
+
+class TransportationRandomSweep
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+// Property: the specialized solver and the general simplex agree on the
+// optimum, and the flow satisfies all constraints.
+TEST_P(TransportationRandomSweep, AgreesWithSimplexAndFeasible) {
+  util::Rng rng(GetParam());
+  for (int trial = 0; trial < 10; ++trial) {
+    const std::size_t m = 1 + rng.below(4);
+    const std::size_t n = 1 + rng.below(5);
+    TransportationProblem p;
+    for (std::size_t i = 0; i < m; ++i)
+      p.supply.push_back(rng.uniform(0.0, 10.0));
+    const double total =
+        std::accumulate(p.supply.begin(), p.supply.end(), 0.0);
+    // Guarantee feasibility: capacities cover supply with slack.
+    for (std::size_t j = 0; j < n; ++j)
+      p.capacity.push_back(total / n + rng.uniform(0.0, 5.0));
+    for (std::size_t c = 0; c < m * n; ++c)
+      p.cost.push_back(rng.uniform(0.1, 9.0));
+    const TransportationResult r = solve_transportation(p);
+    ASSERT_EQ(r.status, Status::kOptimal) << "seed " << GetParam();
+    // Feasibility invariants.
+    for (std::size_t i = 0; i < m; ++i)
+      EXPECT_NEAR(row_sum(r, i, n), p.supply[i], 1e-6);
+    for (std::size_t j = 0; j < n; ++j)
+      EXPECT_LE(col_sum(r, j, m, n), p.capacity[j] + 1e-6);
+    for (double f : r.flow) EXPECT_GE(f, -1e-9);
+    // Optimality: simplex agreement.
+    const Solution s = solve_simplex(to_linear_program(p));
+    ASSERT_EQ(s.status, Status::kOptimal);
+    EXPECT_NEAR(r.objective, s.objective, 1e-5);
+  }
+}
+
+// Property: tight instances (capacity == supply exactly) stay solvable.
+TEST_P(TransportationRandomSweep, TightInstances) {
+  util::Rng rng(GetParam() ^ 0x7777);
+  const std::size_t m = 3, n = 3;
+  TransportationProblem p;
+  double total = 0;
+  for (std::size_t i = 0; i < m; ++i) {
+    p.supply.push_back(rng.uniform(1.0, 5.0));
+    total += p.supply.back();
+  }
+  p.capacity = {total / 3, total / 3, total / 3};
+  for (std::size_t c = 0; c < m * n; ++c)
+    p.cost.push_back(rng.uniform(0.5, 3.0));
+  const TransportationResult r = solve_transportation(p);
+  ASSERT_EQ(r.status, Status::kOptimal);
+  const Solution s = solve_simplex(to_linear_program(p));
+  EXPECT_NEAR(r.objective, s.objective, 1e-5);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TransportationRandomSweep,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u));
+
+TEST(ToLinearProgram, StructureMatches) {
+  TransportationProblem p;
+  p.supply = {3, 4};
+  p.capacity = {5, 6, 7};
+  p.cost = {1, 2, kInfinity, 4, 5, 6};
+  const LinearProgram lp = to_linear_program(p);
+  EXPECT_EQ(lp.variable_count(), 6u);
+  EXPECT_EQ(lp.constraint_count(), 5u);  // 2 supply + 3 capacity
+  // Forbidden cell is fixed at zero.
+  EXPECT_DOUBLE_EQ(lp.variable(2).upper, 0.0);
+}
+
+}  // namespace
+}  // namespace dust::solver

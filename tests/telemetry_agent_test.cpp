@@ -1,0 +1,148 @@
+#include "telemetry/agent.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dust::telemetry {
+namespace {
+
+DeviceSnapshot snapshot_at(std::int64_t t, double rx_mbps = 20000.0) {
+  DeviceSnapshot s;
+  s.timestamp_ms = t;
+  s.device_cpu_percent = 30.0;
+  s.memory_used_mib = 10000.0;
+  s.rx_mbps = rx_mbps;
+  s.tx_mbps = 0.0;
+  return s;
+}
+
+TEST(MonitorAgent, RejectsNonPositiveInterval) {
+  EXPECT_THROW(MonitorAgent("a", {}, 0), std::invalid_argument);
+  EXPECT_THROW(MonitorAgent("a", {}, -5), std::invalid_argument);
+}
+
+TEST(MonitorAgent, DueRespectsInterval) {
+  MonitorAgent agent("a", {}, 1000);
+  EXPECT_TRUE(agent.due(0));  // never sampled yet
+  Tsdb db;
+  agent.bind(db);
+  util::Rng rng(1);
+  agent.sample(snapshot_at(0), db, rng);
+  EXPECT_FALSE(agent.due(500));
+  EXPECT_TRUE(agent.due(1000));
+}
+
+TEST(MonitorAgent, SampleBeforeBindThrows) {
+  MonitorAgent agent("a", {}, 1000);
+  Tsdb db;
+  util::Rng rng(1);
+  EXPECT_THROW(agent.sample(snapshot_at(0), db, rng), std::logic_error);
+}
+
+TEST(MonitorAgent, SampleWritesThreeMetrics) {
+  MonitorAgent agent("network.health", {}, 1000);
+  Tsdb db;
+  agent.bind(db);
+  util::Rng rng(1);
+  agent.sample(snapshot_at(42), db, rng);
+  EXPECT_EQ(db.metric_count(), 3u);
+  ASSERT_TRUE(db.find("network.health.value").has_value());
+  const auto samples = db.query(*db.find("network.health.value"), 0, 100);
+  ASSERT_EQ(samples.size(), 1u);
+  EXPECT_EQ(samples[0].timestamp_ms, 42);
+}
+
+TEST(MonitorAgent, CpuCostScalesWithTraffic) {
+  AgentCostModel cost;
+  cost.cpu_base_ms = 10.0;
+  cost.cpu_per_gbps_ms = 5.0;
+  cost.burst_probability = 0.0;
+  MonitorAgent agent("a", cost, 1000);
+  Tsdb db;
+  agent.bind(db);
+  util::Rng rng(1);
+  // 20 Gbps → 10 + 5*20 = 110 core-ms.
+  EXPECT_NEAR(agent.sample(snapshot_at(0, 20000.0), db, rng), 110.0, 1e-9);
+  // 0 traffic → base only.
+  EXPECT_NEAR(agent.sample(snapshot_at(1000, 0.0), db, rng), 10.0, 1e-9);
+}
+
+TEST(MonitorAgent, BurstMultiplies) {
+  AgentCostModel cost;
+  cost.cpu_base_ms = 10.0;
+  cost.cpu_per_gbps_ms = 0.0;
+  cost.burst_probability = 1.0;  // always burst
+  cost.burst_multiplier = 4.0;
+  MonitorAgent agent("a", cost, 1000);
+  Tsdb db;
+  agent.bind(db);
+  util::Rng rng(1);
+  EXPECT_NEAR(agent.sample(snapshot_at(0), db, rng), 40.0, 1e-9);
+}
+
+TEST(MonitorAgent, RxTxAgentReadsTrafficFields) {
+  MonitorAgent agent("interface.rxtx.rates", {}, 1000);
+  Tsdb db;
+  agent.bind(db);
+  util::Rng rng(1);
+  DeviceSnapshot snap = snapshot_at(0);
+  snap.rx_mbps = 1234.0;
+  snap.tx_mbps = 567.0;
+  agent.sample(snap, db, rng);
+  EXPECT_DOUBLE_EQ(
+      db.query(*db.find("interface.rxtx.rates.value"), 0, 1)[0].value, 1234.0);
+  EXPECT_DOUBLE_EQ(
+      db.query(*db.find("interface.rxtx.rates.aux"), 0, 1)[0].value, 567.0);
+}
+
+TEST(MonitorAgent, SamplesTakenCounter) {
+  MonitorAgent agent("a", {}, 1000);
+  Tsdb db;
+  agent.bind(db);
+  util::Rng rng(1);
+  EXPECT_EQ(agent.samples_taken(), 0u);
+  agent.sample(snapshot_at(0), db, rng);
+  agent.sample(snapshot_at(1000), db, rng);
+  EXPECT_EQ(agent.samples_taken(), 2u);
+}
+
+TEST(StandardAgents, TenAgentsAsInPaper) {
+  const auto agents = standard_agents();
+  EXPECT_EQ(agents.size(), 10u);
+}
+
+TEST(StandardAgents, CalibrationTotals) {
+  // The Fig. 1 / Fig. 6 calibration depends on these aggregate costs
+  // (see agent.cpp): base ~80 core-ms/tick, ~60 core-ms per Gbps, and
+  // ~1.28 GiB of agent memory.
+  const auto agents = standard_agents();
+  double base = 0, per_gbps = 0, memory = 0;
+  for (const auto& agent : agents) {
+    base += agent.cost_model().cpu_base_ms;
+    per_gbps += agent.cost_model().cpu_per_gbps_ms;
+    memory += agent.memory_mib();
+  }
+  EXPECT_NEAR(base, 80.0, 1e-9);
+  EXPECT_NEAR(per_gbps, 60.0, 1e-9);
+  EXPECT_NEAR(memory, 1280.0, 1e-9);
+}
+
+TEST(StandardAgents, AtTwentyGbpsAverageAboutOneCore) {
+  // Deterministic expectation ignoring bursts: (80 + 60*20) ms per 1000 ms
+  // tick = 1.28 cores — the "around 100%" of Fig. 1.
+  const auto agents = standard_agents();
+  double total_ms = 0;
+  for (const auto& agent : agents)
+    total_ms +=
+        agent.cost_model().cpu_base_ms + agent.cost_model().cpu_per_gbps_ms * 20;
+  EXPECT_NEAR(total_ms / 1000.0, 1.28, 1e-9);
+}
+
+TEST(StandardAgents, UniqueNames) {
+  const auto agents = standard_agents();
+  std::set<std::string> names;
+  for (const auto& agent : agents) names.insert(agent.name());
+  EXPECT_EQ(names.size(), agents.size());
+}
+
+}  // namespace
+}  // namespace dust::telemetry

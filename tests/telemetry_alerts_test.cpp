@@ -1,0 +1,135 @@
+#include "telemetry/alerts.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dust::telemetry {
+namespace {
+
+struct Fixture : ::testing::Test {
+  Tsdb db;
+  MetricId cpu = db.register_metric({"cpu", "%", MetricKind::kGauge});
+  AlertEngine engine;
+};
+
+TEST_F(Fixture, RuleValidation) {
+  EXPECT_THROW(engine.add_rule({"", "cpu", Comparison::kAbove, 80, 0}),
+               std::invalid_argument);
+  EXPECT_THROW(engine.add_rule({"r", "", Comparison::kAbove, 80, 0}),
+               std::invalid_argument);
+  EXPECT_THROW(engine.add_rule({"r", "cpu", Comparison::kAbove, 80, -1}),
+               std::invalid_argument);
+  const auto id = engine.add_rule({"r", "cpu", Comparison::kAbove, 80, 0});
+  EXPECT_EQ(engine.rule(id).threshold, 80.0);
+  EXPECT_EQ(engine.rule_count(), 1u);
+}
+
+TEST_F(Fixture, ImmediateFiringWithZeroHold) {
+  const auto id = engine.add_rule({"hot", "cpu", Comparison::kAbove, 80, 0});
+  db.append(cpu, {1000, 95.0});
+  EXPECT_EQ(engine.evaluate(db, 1000), 1u);
+  EXPECT_EQ(engine.state(id), AlertState::kFiring);
+  EXPECT_EQ(engine.firing(), std::vector<std::string>{"hot"});
+}
+
+TEST_F(Fixture, HoldDurationGatesFiring) {
+  const auto id = engine.add_rule({"hot", "cpu", Comparison::kAbove, 80, 5000});
+  db.append(cpu, {0, 95.0});
+  engine.evaluate(db, 0);
+  EXPECT_EQ(engine.state(id), AlertState::kPending);
+  db.append(cpu, {3000, 96.0});
+  engine.evaluate(db, 3000);
+  EXPECT_EQ(engine.state(id), AlertState::kPending);  // 3 s < 5 s hold
+  db.append(cpu, {5000, 97.0});
+  engine.evaluate(db, 5000);
+  EXPECT_EQ(engine.state(id), AlertState::kFiring);
+}
+
+TEST_F(Fixture, RecoveryClearsImmediately) {
+  const auto id = engine.add_rule({"hot", "cpu", Comparison::kAbove, 80, 0});
+  db.append(cpu, {0, 95.0});
+  engine.evaluate(db, 0);
+  ASSERT_EQ(engine.state(id), AlertState::kFiring);
+  db.append(cpu, {1000, 50.0});
+  engine.evaluate(db, 1000);
+  EXPECT_EQ(engine.state(id), AlertState::kOk);
+  EXPECT_TRUE(engine.firing().empty());
+}
+
+TEST_F(Fixture, DipDuringPendingResetsHold) {
+  const auto id = engine.add_rule({"hot", "cpu", Comparison::kAbove, 80, 4000});
+  db.append(cpu, {0, 95.0});
+  engine.evaluate(db, 0);  // pending since 0
+  db.append(cpu, {2000, 50.0});
+  engine.evaluate(db, 2000);  // back to ok
+  EXPECT_EQ(engine.state(id), AlertState::kOk);
+  db.append(cpu, {3000, 95.0});
+  engine.evaluate(db, 3000);  // pending since 3000
+  db.append(cpu, {5000, 95.0});
+  engine.evaluate(db, 5000);  // only 2 s in breach
+  EXPECT_EQ(engine.state(id), AlertState::kPending);
+  db.append(cpu, {7000, 95.0});
+  engine.evaluate(db, 7000);
+  EXPECT_EQ(engine.state(id), AlertState::kFiring);
+}
+
+TEST_F(Fixture, BelowComparison) {
+  const auto id =
+      engine.add_rule({"link-down", "cpu", Comparison::kBelow, 10.0, 0});
+  db.append(cpu, {0, 5.0});
+  engine.evaluate(db, 0);
+  EXPECT_EQ(engine.state(id), AlertState::kFiring);
+  db.append(cpu, {1000, 50.0});
+  engine.evaluate(db, 1000);
+  EXPECT_EQ(engine.state(id), AlertState::kOk);
+}
+
+TEST_F(Fixture, MissingMetricLeavesRuleUntouched) {
+  const auto id =
+      engine.add_rule({"ghost", "does.not.exist", Comparison::kAbove, 1, 0});
+  EXPECT_EQ(engine.evaluate(db, 0), 0u);
+  EXPECT_EQ(engine.state(id), AlertState::kOk);
+}
+
+TEST_F(Fixture, MetricWithoutSamplesLeavesRuleUntouched) {
+  db.register_metric({"empty", "", MetricKind::kGauge});
+  const auto id = engine.add_rule({"e", "empty", Comparison::kAbove, 1, 0});
+  engine.evaluate(db, 0);
+  EXPECT_EQ(engine.state(id), AlertState::kOk);
+}
+
+TEST_F(Fixture, HistoryRecordsTransitions) {
+  engine.add_rule({"hot", "cpu", Comparison::kAbove, 80, 1000});
+  db.append(cpu, {0, 95.0});
+  engine.evaluate(db, 0);
+  db.append(cpu, {1000, 95.0});
+  engine.evaluate(db, 1000);
+  db.append(cpu, {2000, 10.0});
+  engine.evaluate(db, 2000);
+  ASSERT_EQ(engine.history().size(), 3u);
+  EXPECT_EQ(engine.history()[0].to, AlertState::kPending);
+  EXPECT_EQ(engine.history()[1].to, AlertState::kFiring);
+  EXPECT_EQ(engine.history()[2].to, AlertState::kOk);
+  EXPECT_EQ(engine.history()[1].timestamp_ms, 1000);
+}
+
+TEST_F(Fixture, MultipleRulesIndependent) {
+  const auto hot = engine.add_rule({"hot", "cpu", Comparison::kAbove, 80, 0});
+  const auto cold = engine.add_rule({"cold", "cpu", Comparison::kBelow, 20, 0});
+  db.append(cpu, {0, 95.0});
+  engine.evaluate(db, 0);
+  EXPECT_EQ(engine.state(hot), AlertState::kFiring);
+  EXPECT_EQ(engine.state(cold), AlertState::kOk);
+  db.append(cpu, {1000, 10.0});
+  engine.evaluate(db, 1000);
+  EXPECT_EQ(engine.state(hot), AlertState::kOk);
+  EXPECT_EQ(engine.state(cold), AlertState::kFiring);
+}
+
+TEST(AlertState, ToStringCoversAll) {
+  EXPECT_STREQ(to_string(AlertState::kOk), "ok");
+  EXPECT_STREQ(to_string(AlertState::kPending), "pending");
+  EXPECT_STREQ(to_string(AlertState::kFiring), "firing");
+}
+
+}  // namespace
+}  // namespace dust::telemetry

@@ -1,0 +1,117 @@
+#include "telemetry/federation.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dust::telemetry {
+namespace {
+
+MetricDescriptor gauge(const std::string& name) {
+  return MetricDescriptor{name, "%", MetricKind::kGauge};
+}
+
+TEST(Federation, MembersManaged) {
+  Federation fed;
+  Tsdb a, b;
+  fed.add_member("switch1", &a);
+  fed.add_member("switch2", &b);
+  EXPECT_EQ(fed.member_count(), 2u);
+  EXPECT_EQ(fed.member_names(), (std::vector<std::string>{"switch1", "switch2"}));
+  fed.remove_member("switch1");
+  EXPECT_EQ(fed.member_count(), 1u);
+}
+
+TEST(Federation, NullMemberRejected) {
+  Federation fed;
+  EXPECT_THROW(fed.add_member("x", nullptr), std::invalid_argument);
+}
+
+TEST(Federation, QueryFansOut) {
+  Federation fed;
+  Tsdb a, b;
+  const MetricId ma = a.register_metric(gauge("cpu"));
+  const MetricId mb = b.register_metric(gauge("cpu"));
+  a.append(ma, {100, 10.0});
+  b.append(mb, {100, 30.0});
+  b.append(mb, {200, 50.0});
+  fed.add_member("n1", &a);
+  fed.add_member("n2", &b);
+  const auto result = fed.query("cpu", 0, 1000);
+  ASSERT_EQ(result.size(), 2u);
+  EXPECT_EQ(result[0].node, "n1");
+  EXPECT_EQ(result[0].samples.size(), 1u);
+  EXPECT_EQ(result[1].samples.size(), 2u);
+}
+
+TEST(Federation, MembersWithoutMetricOmitted) {
+  Federation fed;
+  Tsdb a, b;
+  const MetricId ma = a.register_metric(gauge("cpu"));
+  a.append(ma, {100, 10.0});
+  b.register_metric(gauge("memory"));
+  fed.add_member("n1", &a);
+  fed.add_member("n2", &b);
+  EXPECT_EQ(fed.query("cpu", 0, 1000).size(), 1u);
+}
+
+TEST(Federation, AggregatePerNode) {
+  Federation fed;
+  Tsdb a, b;
+  const MetricId ma = a.register_metric(gauge("cpu"));
+  const MetricId mb = b.register_metric(gauge("cpu"));
+  a.append(ma, {100, 10.0});
+  a.append(ma, {200, 20.0});
+  b.append(mb, {100, 40.0});
+  fed.add_member("n1", &a);
+  fed.add_member("n2", &b);
+  const auto per_node = fed.aggregate_per_node("cpu", 0, 1000, Aggregation::kMean);
+  ASSERT_EQ(per_node.size(), 2u);
+  EXPECT_DOUBLE_EQ(per_node.at("n1"), 15.0);
+  EXPECT_DOUBLE_EQ(per_node.at("n2"), 40.0);
+}
+
+TEST(Federation, GlobalAggregateWeightsSamples) {
+  Federation fed;
+  Tsdb a, b;
+  const MetricId ma = a.register_metric(gauge("cpu"));
+  const MetricId mb = b.register_metric(gauge("cpu"));
+  a.append(ma, {100, 10.0});
+  a.append(ma, {200, 10.0});
+  a.append(ma, {300, 10.0});
+  b.append(mb, {150, 50.0});
+  fed.add_member("n1", &a);
+  fed.add_member("n2", &b);
+  // Mean over 4 samples = (30 + 50) / 4 = 20, not mean-of-means 30.
+  EXPECT_DOUBLE_EQ(*fed.aggregate("cpu", 0, 1000, Aggregation::kMean), 20.0);
+  EXPECT_DOUBLE_EQ(*fed.aggregate("cpu", 0, 1000, Aggregation::kMax), 50.0);
+}
+
+TEST(Federation, AggregateMissingMetricNullopt) {
+  Federation fed;
+  Tsdb a;
+  fed.add_member("n1", &a);
+  EXPECT_FALSE(fed.aggregate("nope", 0, 1000, Aggregation::kMean).has_value());
+}
+
+TEST(Federation, TotalStorageSumsMembers) {
+  Federation fed;
+  Tsdb a, b;
+  const MetricId ma = a.register_metric(gauge("x"));
+  for (int i = 0; i < 100; ++i) a.append(ma, {10LL * i, double(i)});
+  fed.add_member("n1", &a);
+  fed.add_member("n2", &b);
+  EXPECT_EQ(fed.total_storage_bytes(), a.storage_bytes() + b.storage_bytes());
+}
+
+TEST(Federation, ReRegisterReplacesPointer) {
+  Federation fed;
+  Tsdb a, b;
+  const MetricId mb = b.register_metric(gauge("cpu"));
+  b.append(mb, {1, 99.0});
+  fed.add_member("n", &a);
+  fed.add_member("n", &b);
+  EXPECT_EQ(fed.member_count(), 1u);
+  EXPECT_EQ(fed.query("cpu", 0, 10).size(), 1u);
+}
+
+}  // namespace
+}  // namespace dust::telemetry

@@ -1,0 +1,164 @@
+#include "telemetry/gorilla.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace dust::telemetry {
+namespace {
+
+TEST(BitWriter, SingleBits) {
+  BitWriter w;
+  w.write_bit(true);
+  w.write_bit(false);
+  w.write_bit(true);
+  EXPECT_EQ(w.bit_count(), 3u);
+  BitReader r(w.bytes(), w.bit_count());
+  EXPECT_TRUE(r.read_bit());
+  EXPECT_FALSE(r.read_bit());
+  EXPECT_TRUE(r.read_bit());
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(BitWriter, MultiBitValuesRoundTrip) {
+  BitWriter w;
+  w.write_bits(0b10110, 5);
+  w.write_bits(0xdeadbeefcafebabeULL, 64);
+  w.write_bits(0, 1);
+  BitReader r(w.bytes(), w.bit_count());
+  EXPECT_EQ(r.read_bits(5), 0b10110u);
+  EXPECT_EQ(r.read_bits(64), 0xdeadbeefcafebabeULL);
+  EXPECT_EQ(r.read_bits(1), 0u);
+}
+
+TEST(BitWriter, RejectsOver64) {
+  BitWriter w;
+  EXPECT_THROW(w.write_bits(0, 65), std::invalid_argument);
+}
+
+TEST(BitReader, ReadPastEndThrows) {
+  BitWriter w;
+  w.write_bit(true);
+  BitReader r(w.bytes(), w.bit_count());
+  r.read_bit();
+  EXPECT_THROW(r.read_bit(), std::out_of_range);
+}
+
+std::vector<Sample> roundtrip(const std::vector<Sample>& in) {
+  CompressedBlock block;
+  for (const Sample& s : in) block.append(s);
+  return block.decode();
+}
+
+TEST(CompressedBlock, EmptyDecodesEmpty) {
+  CompressedBlock block;
+  EXPECT_TRUE(block.decode().empty());
+  EXPECT_EQ(block.sample_count(), 0u);
+}
+
+TEST(CompressedBlock, SingleSample) {
+  const std::vector<Sample> in{{1234567890123LL, 3.14159}};
+  EXPECT_EQ(roundtrip(in), in);
+}
+
+TEST(CompressedBlock, RegularIntervalConstantValue) {
+  std::vector<Sample> in;
+  for (int i = 0; i < 100; ++i) in.push_back({1000LL * i, 42.0});
+  EXPECT_EQ(roundtrip(in), in);
+}
+
+TEST(CompressedBlock, RegularSeriesCompressesWell) {
+  CompressedBlock block;
+  for (int i = 0; i < 1000; ++i)
+    block.append({1000LL * i, 42.0});
+  // Constant value + constant delta: ~1 bit/timestamp + 1 bit/value.
+  EXPECT_GT(block.compression_ratio(), 20.0);
+}
+
+TEST(CompressedBlock, IrregularTimestamps) {
+  std::vector<Sample> in{{0, 1.0},   {7, 2.0},     {8, 3.0},
+                         {500, 4.0}, {40000, 5.0}, {40001, 6.0}};
+  EXPECT_EQ(roundtrip(in), in);
+}
+
+TEST(CompressedBlock, LargeTimestampJumps) {
+  std::vector<Sample> in{{0, 1.0},
+                         {1LL << 40, 2.0},
+                         {(1LL << 40) + 5, 3.0},
+                         {(1LL << 41), 4.0}};
+  EXPECT_EQ(roundtrip(in), in);
+}
+
+TEST(CompressedBlock, NegativeAndExtremeValues) {
+  std::vector<Sample> in{{0, -1.5},
+                         {1, 0.0},
+                         {2, -0.0},
+                         {3, 1e300},
+                         {4, -1e-300},
+                         {5, std::numeric_limits<double>::max()}};
+  const auto out = roundtrip(in);
+  ASSERT_EQ(out.size(), in.size());
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    EXPECT_EQ(out[i].timestamp_ms, in[i].timestamp_ms);
+    EXPECT_EQ(std::signbit(out[i].value), std::signbit(in[i].value));
+    EXPECT_EQ(out[i].value, in[i].value);
+  }
+}
+
+TEST(CompressedBlock, EqualTimestampsAllowed) {
+  std::vector<Sample> in{{5, 1.0}, {5, 2.0}, {5, 3.0}};
+  EXPECT_EQ(roundtrip(in), in);
+}
+
+TEST(CompressedBlock, RejectsDecreasingTimestamps) {
+  CompressedBlock block;
+  block.append({10, 1.0});
+  EXPECT_THROW(block.append({9, 2.0}), std::invalid_argument);
+}
+
+TEST(CompressedBlock, TracksTimestampRange) {
+  CompressedBlock block;
+  block.append({100, 1.0});
+  block.append({200, 2.0});
+  block.append({350, 3.0});
+  EXPECT_EQ(block.first_timestamp_ms(), 100);
+  EXPECT_EQ(block.last_timestamp_ms(), 350);
+  EXPECT_EQ(block.sample_count(), 3u);
+}
+
+class GorillaRandomSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+// Property: lossless roundtrip for arbitrary monotone series.
+TEST_P(GorillaRandomSweep, RandomWalkRoundTrip) {
+  util::Rng rng(GetParam());
+  std::vector<Sample> in;
+  std::int64_t t = static_cast<std::int64_t>(rng.below(1000000));
+  double v = rng.uniform(-100, 100);
+  for (int i = 0; i < 500; ++i) {
+    in.push_back({t, v});
+    t += rng.below(5000);
+    v += rng.normal(0.0, 3.0);
+    if (rng.bernoulli(0.05)) v = rng.uniform(-1e6, 1e6);  // occasional jump
+  }
+  EXPECT_EQ(roundtrip(in), in);
+}
+
+// Property: smooth gauge-like series (the TSDB's actual workload) compress.
+TEST_P(GorillaRandomSweep, SmoothSeriesCompress) {
+  util::Rng rng(GetParam() ^ 0x51deca11);
+  CompressedBlock block;
+  double v = 50.0;
+  for (int i = 0; i < 2000; ++i) {
+    block.append({1000LL * i, v});
+    if (rng.bernoulli(0.1)) v += rng.uniform(-1.0, 1.0);
+  }
+  EXPECT_GT(block.compression_ratio(), 2.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GorillaRandomSweep,
+                         ::testing::Values(1u, 22u, 333u, 4444u, 55555u));
+
+}  // namespace
+}  // namespace dust::telemetry

@@ -1,0 +1,153 @@
+#include "telemetry/packet.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace dust::telemetry {
+namespace {
+
+TEST(PacketBuild, VxlanRoundTrip) {
+  const auto bytes = build_vxlan_packet(0x1234, 0x0a000001, 0x0a000002, 100);
+  ParseError error{};
+  const auto packet = parse_packet(bytes, &error);
+  ASSERT_TRUE(packet.has_value());
+  EXPECT_EQ(packet->ethernet.ethertype, EthernetHeader::kEthertypeIpv4);
+  EXPECT_EQ(packet->ip.source, 0x0a000001u);
+  EXPECT_EQ(packet->ip.destination, 0x0a000002u);
+  EXPECT_EQ(packet->ip.protocol, Ipv4Header::kProtocolUdp);
+  ASSERT_TRUE(packet->udp.has_value());
+  EXPECT_EQ(packet->udp->destination_port, UdpHeader::kVxlanPort);
+  ASSERT_TRUE(packet->vxlan.has_value());
+  EXPECT_EQ(packet->vxlan->vni, 0x1234u);
+  ASSERT_TRUE(packet->inner.has_value());
+  EXPECT_EQ(packet->total_bytes, bytes.size());
+  // Payload begins right after the inner Ethernet header.
+  EXPECT_EQ(bytes.size() - packet->payload_offset, 100u);
+}
+
+TEST(PacketBuild, PlainUdpRoundTrip) {
+  const auto bytes = build_udp_packet(0xc0a80001, 0xc0a80002, 1111, 53, 32);
+  const auto packet = parse_packet(bytes);
+  ASSERT_TRUE(packet.has_value());
+  ASSERT_TRUE(packet->udp.has_value());
+  EXPECT_EQ(packet->udp->source_port, 1111);
+  EXPECT_EQ(packet->udp->destination_port, 53);
+  EXPECT_FALSE(packet->vxlan.has_value());
+  EXPECT_FALSE(packet->inner.has_value());
+}
+
+TEST(PacketParse, VniIs24Bits) {
+  const auto bytes = build_vxlan_packet(0xffffff, 1, 2, 0);
+  const auto packet = parse_packet(bytes);
+  ASSERT_TRUE(packet.has_value());
+  EXPECT_EQ(packet->vxlan->vni, 0xffffffu);
+}
+
+TEST(PacketParse, TruncatedEthernet) {
+  std::vector<std::uint8_t> bytes(10, 0);
+  ParseError error{};
+  EXPECT_FALSE(parse_packet(bytes, &error).has_value());
+  EXPECT_EQ(error, ParseError::kTruncated);
+}
+
+TEST(PacketParse, TruncatedIp) {
+  auto bytes = build_udp_packet(1, 2, 3, 4, 0);
+  bytes.resize(EthernetHeader::kSize + 10);
+  ParseError error{};
+  EXPECT_FALSE(parse_packet(bytes, &error).has_value());
+  EXPECT_EQ(error, ParseError::kTruncated);
+}
+
+TEST(PacketParse, NonIpv4Ethertype) {
+  auto bytes = build_udp_packet(1, 2, 3, 4, 0);
+  bytes[12] = 0x86;  // 0x86dd = IPv6
+  bytes[13] = 0xdd;
+  ParseError error{};
+  EXPECT_FALSE(parse_packet(bytes, &error).has_value());
+  EXPECT_EQ(error, ParseError::kNotIpv4);
+}
+
+TEST(PacketParse, CorruptedChecksumRejected) {
+  auto bytes = build_udp_packet(1, 2, 3, 4, 0);
+  bytes[EthernetHeader::kSize + 8] ^= 0xff;  // flip the TTL
+  ParseError error{};
+  EXPECT_FALSE(parse_packet(bytes, &error).has_value());
+  EXPECT_EQ(error, ParseError::kBadChecksum);
+}
+
+TEST(PacketParse, BadVersionRejected) {
+  auto bytes = build_udp_packet(1, 2, 3, 4, 0);
+  bytes[EthernetHeader::kSize] = 0x65;  // version 6
+  ParseError error{};
+  EXPECT_FALSE(parse_packet(bytes, &error).has_value());
+  EXPECT_EQ(error, ParseError::kBadIpHeader);
+}
+
+TEST(PacketParse, NonUdpParsesShallow) {
+  auto bytes = build_udp_packet(1, 2, 3, 4, 0);
+  const std::size_t ip_start = EthernetHeader::kSize;
+  bytes[ip_start + 9] = 6;  // TCP
+  // Re-checksum after the protocol change.
+  bytes[ip_start + 10] = 0;
+  bytes[ip_start + 11] = 0;
+  const std::uint16_t checksum = ipv4_checksum(
+      std::span<const std::uint8_t>(bytes).subspan(ip_start, 20));
+  bytes[ip_start + 10] = static_cast<std::uint8_t>(checksum >> 8);
+  bytes[ip_start + 11] = static_cast<std::uint8_t>(checksum & 0xff);
+  const auto packet = parse_packet(bytes);
+  ASSERT_TRUE(packet.has_value());
+  EXPECT_EQ(packet->ip.protocol, 6);
+  EXPECT_FALSE(packet->udp.has_value());
+}
+
+TEST(Checksum, KnownVector) {
+  // Classic RFC 1071 example header.
+  const std::uint8_t header[20] = {0x45, 0x00, 0x00, 0x73, 0x00, 0x00, 0x40,
+                                   0x00, 0x40, 0x11, 0x00, 0x00, 0xc0, 0xa8,
+                                   0x00, 0x01, 0xc0, 0xa8, 0x00, 0xc7};
+  EXPECT_EQ(ipv4_checksum(header), 0xb861);
+}
+
+TEST(FlowCounter, AggregatesPerVni) {
+  FlowCounter counter;
+  for (int i = 0; i < 3; ++i) {
+    const auto bytes = build_vxlan_packet(100, 1, 2, 50);
+    counter.add(*parse_packet(bytes));
+  }
+  const auto other = build_vxlan_packet(200, 1, 2, 10);
+  counter.add(*parse_packet(other));
+  const auto plain = build_udp_packet(1, 2, 3, 4, 10);
+  counter.add(*parse_packet(plain));
+
+  EXPECT_EQ(counter.total_packets(), 5u);
+  ASSERT_EQ(counter.per_vni().size(), 3u);
+  EXPECT_EQ(counter.per_vni().at(100).packets, 3u);
+  EXPECT_EQ(counter.per_vni().at(200).packets, 1u);
+  EXPECT_EQ(counter.per_vni().at(FlowCounter::kNonVxlan).packets, 1u);
+  EXPECT_GT(counter.per_vni().at(100).bytes,
+            counter.per_vni().at(200).bytes);
+}
+
+class PacketFuzzSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+// Property: the parser never crashes or reads out of bounds on random bytes
+// and random truncations of valid packets.
+TEST_P(PacketFuzzSweep, NeverCrashes) {
+  util::Rng rng(GetParam());
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<std::uint8_t> junk(rng.below(128));
+    for (auto& b : junk) b = static_cast<std::uint8_t>(rng.below(256));
+    (void)parse_packet(junk);
+    auto valid = build_vxlan_packet(static_cast<std::uint32_t>(rng.below(1 << 24)),
+                                    1, 2, rng.below(64));
+    valid.resize(rng.below(valid.size() + 1));
+    (void)parse_packet(valid);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PacketFuzzSweep,
+                         ::testing::Values(1u, 2u, 3u, 4u));
+
+}  // namespace
+}  // namespace dust::telemetry

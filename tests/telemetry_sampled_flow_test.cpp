@@ -1,0 +1,97 @@
+#include "telemetry/sampled_flow.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dust::telemetry {
+namespace {
+
+ParsedPacket make_packet(std::uint32_t vni) {
+  const auto bytes = build_vxlan_packet(vni, 1, 2, 64);
+  return *parse_packet(bytes);
+}
+
+TEST(SampledFlow, RateOneIsExact) {
+  SampledFlowCollector collector(1, util::Rng(1));
+  FlowCounter truth;
+  for (int i = 0; i < 500; ++i) {
+    const ParsedPacket packet = make_packet(i % 3);
+    collector.offer(packet);
+    truth.add(packet);
+  }
+  EXPECT_EQ(collector.sampled(), 500u);
+  EXPECT_DOUBLE_EQ(estimation_error(truth, collector.estimate()), 0.0);
+}
+
+TEST(SampledFlow, ZeroRateRejected) {
+  EXPECT_THROW(SampledFlowCollector(0, util::Rng(1)), std::invalid_argument);
+}
+
+TEST(SampledFlow, SamplesRoughlyOneInN) {
+  SampledFlowCollector collector(10, util::Rng(2));
+  for (int i = 0; i < 20000; ++i) collector.offer(make_packet(1));
+  EXPECT_EQ(collector.offered(), 20000u);
+  EXPECT_NEAR(static_cast<double>(collector.sampled()), 2000.0, 200.0);
+}
+
+TEST(SampledFlow, EstimateScalesUp) {
+  SampledFlowCollector collector(10, util::Rng(3));
+  for (int i = 0; i < 10000; ++i) collector.offer(make_packet(7));
+  const auto estimate = collector.estimate();
+  ASSERT_TRUE(estimate.count(7));
+  EXPECT_NEAR(static_cast<double>(estimate.at(7).packets), 10000.0, 1000.0);
+  EXPECT_NEAR(static_cast<double>(collector.estimated_total_packets()),
+              10000.0, 1000.0);
+}
+
+TEST(SampledFlow, SmallFlowsVanishUnderAggressiveSampling) {
+  // The paper's argument against sampling: a mouse flow next to an elephant
+  // flow is likely missed entirely at high sampling rates.
+  SampledFlowCollector collector(1000, util::Rng(4));
+  FlowCounter truth;
+  for (int i = 0; i < 50000; ++i) {  // elephant on VNI 1
+    const ParsedPacket packet = make_packet(1);
+    collector.offer(packet);
+    truth.add(packet);
+  }
+  for (int i = 0; i < 20; ++i) {  // mouse on VNI 2
+    const ParsedPacket packet = make_packet(2);
+    collector.offer(packet);
+    truth.add(packet);
+  }
+  const auto estimate = collector.estimate();
+  // The mouse flow is almost certainly invisible (P(miss) ~ 0.98).
+  const bool mouse_seen = estimate.count(2) > 0;
+  const double error = estimation_error(truth, estimate);
+  if (!mouse_seen) {
+    EXPECT_GE(error, 0.5);  // one of two VNIs 100% wrong
+  }
+}
+
+class SamplingErrorSweep : public ::testing::TestWithParam<std::uint32_t> {};
+
+// Property: estimation error grows with the sampling rate, and full
+// counting (FlowCounter, what DUST's in-device agents do) has zero error.
+TEST_P(SamplingErrorSweep, ErrorGrowsWithRate) {
+  util::Rng traffic_rng(5);
+  FlowCounter truth;
+  SampledFlowCollector collector(GetParam(), util::Rng(6));
+  for (int i = 0; i < 30000; ++i) {
+    const auto vni = static_cast<std::uint32_t>(traffic_rng.below(5));
+    const ParsedPacket packet = make_packet(vni);
+    truth.add(packet);
+    collector.offer(packet);
+  }
+  const double error = estimation_error(truth, collector.estimate());
+  if (GetParam() == 1) {
+    EXPECT_DOUBLE_EQ(error, 0.0);
+  } else {
+    EXPECT_GT(error, 0.0);
+    EXPECT_LT(error, 1.0);  // still a bounded estimate at these rates
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Rates, SamplingErrorSweep,
+                         ::testing::Values(1u, 16u, 64u, 256u));
+
+}  // namespace
+}  // namespace dust::telemetry

@@ -1,0 +1,208 @@
+#include "telemetry/tsdb.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dust::telemetry {
+namespace {
+
+MetricDescriptor gauge(const std::string& name) {
+  return MetricDescriptor{name, "%", MetricKind::kGauge};
+}
+
+TEST(TimeSeries, AppendAndQueryRange) {
+  TimeSeries series(gauge("cpu"));
+  for (int i = 0; i < 10; ++i)
+    series.append({100LL * i, static_cast<double>(i)});
+  const auto samples = series.query(250, 650);
+  ASSERT_EQ(samples.size(), 4u);  // t=300..600
+  EXPECT_EQ(samples.front().timestamp_ms, 300);
+  EXPECT_EQ(samples.back().timestamp_ms, 600);
+}
+
+TEST(TimeSeries, QueryBoundariesInclusive) {
+  TimeSeries series(gauge("m"));
+  series.append({100, 1.0});
+  series.append({200, 2.0});
+  EXPECT_EQ(series.query(100, 200).size(), 2u);
+  EXPECT_EQ(series.query(101, 199).size(), 0u);
+}
+
+TEST(TimeSeries, QuerySpansSealedBlocks) {
+  TimeSeries series(gauge("m"), /*samples_per_block=*/4);
+  for (int i = 0; i < 10; ++i) series.append({10LL * i, double(i)});
+  const auto all = series.query(0, 1000);
+  ASSERT_EQ(all.size(), 10u);
+  for (int i = 0; i < 10; ++i) EXPECT_DOUBLE_EQ(all[i].value, i);
+}
+
+TEST(TimeSeries, OutOfOrderRejected) {
+  TimeSeries series(gauge("m"));
+  series.append({100, 1.0});
+  EXPECT_THROW(series.append({50, 2.0}), std::invalid_argument);
+}
+
+TEST(TimeSeries, LastSample) {
+  TimeSeries series(gauge("m"));
+  EXPECT_FALSE(series.last().has_value());
+  series.append({5, 1.5});
+  ASSERT_TRUE(series.last().has_value());
+  EXPECT_DOUBLE_EQ(series.last()->value, 1.5);
+}
+
+TEST(TimeSeries, Aggregations) {
+  TimeSeries series(gauge("m"));
+  for (int i = 1; i <= 5; ++i) series.append({1000LL * i, double(i)});
+  EXPECT_DOUBLE_EQ(*series.aggregate(0, 10000, Aggregation::kMean), 3.0);
+  EXPECT_DOUBLE_EQ(*series.aggregate(0, 10000, Aggregation::kMin), 1.0);
+  EXPECT_DOUBLE_EQ(*series.aggregate(0, 10000, Aggregation::kMax), 5.0);
+  EXPECT_DOUBLE_EQ(*series.aggregate(0, 10000, Aggregation::kSum), 15.0);
+  EXPECT_DOUBLE_EQ(*series.aggregate(0, 10000, Aggregation::kLast), 5.0);
+  EXPECT_DOUBLE_EQ(*series.aggregate(0, 10000, Aggregation::kCount), 5.0);
+  // Rate: (5-1)/(5000ms-1000ms) = 1 per second.
+  EXPECT_DOUBLE_EQ(*series.aggregate(0, 10000, Aggregation::kRate), 1.0);
+}
+
+TEST(TimeSeries, AggregateEmptyRangeIsNullopt) {
+  TimeSeries series(gauge("m"));
+  series.append({1000, 1.0});
+  EXPECT_FALSE(series.aggregate(2000, 3000, Aggregation::kMean).has_value());
+}
+
+TEST(TimeSeries, RateNeedsTwoSamples) {
+  TimeSeries series(gauge("m"));
+  series.append({1000, 1.0});
+  EXPECT_FALSE(series.aggregate(0, 2000, Aggregation::kRate).has_value());
+}
+
+TEST(TimeSeries, RetentionDropsOldSealedBlocks) {
+  TimeSeries series(gauge("m"), 4);
+  for (int i = 0; i < 12; ++i) series.append({100LL * i, double(i)});
+  // Blocks: [0..300], [400..700], [800..1100(active)].
+  const std::size_t dropped = series.drop_before(400);
+  EXPECT_EQ(dropped, 4u);
+  EXPECT_EQ(series.sample_count(), 8u);
+  EXPECT_TRUE(series.query(0, 300).empty());
+  EXPECT_EQ(series.query(400, 2000).size(), 8u);
+}
+
+TEST(TimeSeries, RetentionKeepsActiveBlock) {
+  TimeSeries series(gauge("m"), 100);
+  for (int i = 0; i < 5; ++i) series.append({10LL * i, double(i)});
+  EXPECT_EQ(series.drop_before(1000), 0u);  // all in active block
+  EXPECT_EQ(series.sample_count(), 5u);
+}
+
+TEST(TimeSeries, CompressedBytesGrow) {
+  TimeSeries series(gauge("m"));
+  const std::size_t empty = series.compressed_bytes();
+  for (int i = 0; i < 100; ++i) series.append({1000LL * i, double(i % 7)});
+  EXPECT_GT(series.compressed_bytes(), empty);
+}
+
+TEST(TimeSeries, ZeroBlockSizeRejected) {
+  EXPECT_THROW(TimeSeries(gauge("m"), 0), std::invalid_argument);
+}
+
+TEST(Tsdb, RegisterIsIdempotent) {
+  Tsdb db;
+  const MetricId a = db.register_metric(gauge("cpu"));
+  const MetricId b = db.register_metric(gauge("cpu"));
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(db.metric_count(), 1u);
+}
+
+TEST(Tsdb, FindByName) {
+  Tsdb db;
+  const MetricId id = db.register_metric(gauge("mem"));
+  EXPECT_EQ(db.find("mem"), id);
+  EXPECT_FALSE(db.find("nope").has_value());
+}
+
+TEST(Tsdb, AppendAndQueryThroughDb) {
+  Tsdb db;
+  const MetricId id = db.register_metric(gauge("cpu"));
+  db.append(id, {100, 55.5});
+  db.append(id, {200, 66.6});
+  EXPECT_EQ(db.query(id, 0, 1000).size(), 2u);
+  EXPECT_DOUBLE_EQ(*db.aggregate(id, 0, 1000, Aggregation::kMax), 66.6);
+}
+
+TEST(Tsdb, UnknownMetricThrows) {
+  Tsdb db;
+  EXPECT_THROW(db.append(7, {0, 1.0}), std::out_of_range);
+  EXPECT_THROW(db.query(7, 0, 1), std::out_of_range);
+}
+
+TEST(Tsdb, StorageBytesSumsSeries) {
+  Tsdb db;
+  const MetricId a = db.register_metric(gauge("a"));
+  const MetricId b = db.register_metric(gauge("b"));
+  for (int i = 0; i < 50; ++i) {
+    db.append(a, {100LL * i, double(i)});
+    db.append(b, {100LL * i, double(-i)});
+  }
+  EXPECT_GE(db.storage_bytes(),
+            db.series(a).compressed_bytes() + db.series(b).compressed_bytes());
+}
+
+TEST(Tsdb, DropBeforeAcrossSeries) {
+  Tsdb db;
+  const MetricId a = db.register_metric(gauge("a"));
+  TimeSeries& sa = db.series(a);
+  (void)sa;
+  for (int i = 0; i < 20; ++i) db.append(a, {100LL * i, double(i)});
+  // Force sealing by registering with small blocks isn't exposed via Tsdb;
+  // retention with default block size keeps the active block: 0 dropped.
+  EXPECT_EQ(db.drop_before(500), 0u);
+}
+
+TEST(TimeSeriesRollup, WindowedMeans) {
+  TimeSeries series(gauge("m"));
+  // Two samples in each 1000 ms window.
+  for (int i = 0; i < 8; ++i)
+    series.append({500LL * i, static_cast<double>(i)});
+  const auto rolled = series.rollup(0, 10000, 1000, Aggregation::kMean);
+  ASSERT_EQ(rolled.size(), 4u);
+  EXPECT_EQ(rolled[0].timestamp_ms, 0);
+  EXPECT_DOUBLE_EQ(rolled[0].value, 0.5);  // samples 0, 1
+  EXPECT_EQ(rolled[1].timestamp_ms, 1000);
+  EXPECT_DOUBLE_EQ(rolled[1].value, 2.5);  // samples 2, 3
+  EXPECT_DOUBLE_EQ(rolled[3].value, 6.5);
+}
+
+TEST(TimeSeriesRollup, EmptyWindowsOmitted) {
+  TimeSeries series(gauge("m"));
+  series.append({0, 1.0});
+  series.append({5000, 2.0});
+  const auto rolled = series.rollup(0, 10000, 1000, Aggregation::kMax);
+  ASSERT_EQ(rolled.size(), 2u);
+  EXPECT_EQ(rolled[0].timestamp_ms, 0);
+  EXPECT_EQ(rolled[1].timestamp_ms, 5000);
+}
+
+TEST(TimeSeriesRollup, MaxAndCountOperators) {
+  TimeSeries series(gauge("m"));
+  for (int i = 0; i < 10; ++i) series.append({100LL * i, double(i % 3)});
+  const auto maxes = series.rollup(0, 1000, 500, Aggregation::kMax);
+  ASSERT_EQ(maxes.size(), 2u);
+  EXPECT_DOUBLE_EQ(maxes[0].value, 2.0);
+  const auto counts = series.rollup(0, 1000, 500, Aggregation::kCount);
+  EXPECT_DOUBLE_EQ(counts[0].value, 5.0);
+}
+
+TEST(TimeSeriesRollup, WindowAlignedToRangeStart) {
+  TimeSeries series(gauge("m"));
+  series.append({1700, 7.0});
+  const auto rolled = series.rollup(1000, 3000, 1000, Aggregation::kLast);
+  ASSERT_EQ(rolled.size(), 1u);
+  EXPECT_EQ(rolled[0].timestamp_ms, 1000);  // window [1000, 2000)
+}
+
+TEST(TimeSeriesRollup, InvalidWindowThrows) {
+  TimeSeries series(gauge("m"));
+  EXPECT_THROW(series.rollup(0, 100, 0, Aggregation::kMean),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dust::telemetry

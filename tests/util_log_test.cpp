@@ -1,0 +1,54 @@
+#include "util/log.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dust::util {
+namespace {
+
+class LogLevelGuard {
+ public:
+  LogLevelGuard() : saved_(log_level()) {}
+  ~LogLevelGuard() { set_log_level(saved_); }
+
+ private:
+  LogLevel saved_;
+};
+
+TEST(Log, ParseKnownLevels) {
+  EXPECT_EQ(parse_log_level("trace"), LogLevel::kTrace);
+  EXPECT_EQ(parse_log_level("DEBUG"), LogLevel::kDebug);
+  EXPECT_EQ(parse_log_level("Info"), LogLevel::kInfo);
+  EXPECT_EQ(parse_log_level("warn"), LogLevel::kWarn);
+  EXPECT_EQ(parse_log_level("ERROR"), LogLevel::kError);
+  EXPECT_EQ(parse_log_level("off"), LogLevel::kOff);
+}
+
+TEST(Log, ParseUnknownDefaultsToInfo) {
+  EXPECT_EQ(parse_log_level("bogus"), LogLevel::kInfo);
+  EXPECT_EQ(parse_log_level(""), LogLevel::kInfo);
+}
+
+TEST(Log, SetAndGetLevel) {
+  LogLevelGuard guard;
+  set_log_level(LogLevel::kError);
+  EXPECT_EQ(log_level(), LogLevel::kError);
+  set_log_level(LogLevel::kTrace);
+  EXPECT_EQ(log_level(), LogLevel::kTrace);
+}
+
+TEST(Log, SuppressedLevelsDoNotCrash) {
+  LogLevelGuard guard;
+  set_log_level(LogLevel::kOff);
+  DUST_LOG_ERROR << "suppressed " << 42;
+  DUST_LOG_INFO << "also suppressed";
+}
+
+TEST(Log, EmittingLevelsDoNotCrash) {
+  LogLevelGuard guard;
+  set_log_level(LogLevel::kTrace);
+  DUST_LOG_TRACE << "trace message " << 1.5;
+  DUST_LOG_WARN << "warn message";
+}
+
+}  // namespace
+}  // namespace dust::util

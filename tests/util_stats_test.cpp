@@ -1,0 +1,179 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace dust::util {
+namespace {
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStats, SingleValue) {
+  RunningStats s;
+  s.add(3.5);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.5);
+  EXPECT_DOUBLE_EQ(s.min(), 3.5);
+  EXPECT_DOUBLE_EQ(s.max(), 3.5);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStats, KnownSample) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStats, MergeMatchesSequential) {
+  Rng rng(1);
+  RunningStats whole, left, right;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.normal(5.0, 3.0);
+    whole.add(x);
+    (i < 400 ? left : right).add(x);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), whole.count());
+  EXPECT_NEAR(left.mean(), whole.mean(), 1e-9);
+  EXPECT_NEAR(left.variance(), whole.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(left.min(), whole.min());
+  EXPECT_DOUBLE_EQ(left.max(), whole.max());
+}
+
+TEST(RunningStats, MergeWithEmpty) {
+  RunningStats a, b;
+  a.add(1.0);
+  a.add(2.0);
+  const double mean = a.mean();
+  a.merge(b);
+  EXPECT_DOUBLE_EQ(a.mean(), mean);
+  b.merge(a);
+  EXPECT_DOUBLE_EQ(b.mean(), mean);
+}
+
+TEST(Percentile, Median) {
+  const std::vector<double> v{1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(percentile(v, 50), 3.0);
+}
+
+TEST(Percentile, Interpolates) {
+  const std::vector<double> v{10, 20};
+  EXPECT_DOUBLE_EQ(percentile(v, 25), 12.5);
+}
+
+TEST(Percentile, Extremes) {
+  const std::vector<double> v{5, 1, 9, 3};
+  EXPECT_DOUBLE_EQ(percentile(v, 0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 100), 9.0);
+}
+
+TEST(Percentile, UnsortedInput) {
+  const std::vector<double> v{9, 1, 5, 3, 7};
+  EXPECT_DOUBLE_EQ(percentile(v, 50), 5.0);
+}
+
+TEST(Percentile, EmptyThrows) {
+  EXPECT_THROW(percentile(std::vector<double>{}, 50), std::invalid_argument);
+}
+
+TEST(Percentile, OutOfRangeThrows) {
+  const std::vector<double> v{1.0};
+  EXPECT_THROW(percentile(v, -1), std::invalid_argument);
+  EXPECT_THROW(percentile(v, 101), std::invalid_argument);
+}
+
+TEST(MeanStddev, Basic) {
+  const std::vector<double> v{2, 4, 6};
+  EXPECT_DOUBLE_EQ(mean(v), 4.0);
+  EXPECT_DOUBLE_EQ(stddev(v), 2.0);
+}
+
+TEST(LinearFit, ExactLine) {
+  const std::vector<double> x{0, 1, 2, 3};
+  const std::vector<double> y{1, 3, 5, 7};
+  const LinearFit fit = linear_fit(x, y);
+  EXPECT_NEAR(fit.intercept, 1.0, 1e-12);
+  EXPECT_NEAR(fit.slope, 2.0, 1e-12);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-12);
+}
+
+TEST(LinearFit, NoisyLineRecovers) {
+  Rng rng(3);
+  std::vector<double> x, y;
+  for (int i = 0; i < 500; ++i) {
+    x.push_back(i);
+    y.push_back(2.0 + 0.5 * i + rng.normal(0.0, 0.1));
+  }
+  const LinearFit fit = linear_fit(x, y);
+  EXPECT_NEAR(fit.slope, 0.5, 0.01);
+  EXPECT_NEAR(fit.intercept, 2.0, 0.1);
+  EXPECT_GT(fit.r_squared, 0.99);
+}
+
+TEST(LinearFit, DegenerateThrows) {
+  const std::vector<double> x{1, 1};
+  const std::vector<double> y{2, 3};
+  EXPECT_THROW(linear_fit(x, y), std::invalid_argument);
+}
+
+TEST(LinearFit, TooFewThrows) {
+  const std::vector<double> x{1};
+  const std::vector<double> y{2};
+  EXPECT_THROW(linear_fit(x, y), std::invalid_argument);
+}
+
+TEST(PowerFit, ExactPowerLaw) {
+  // y = 3 x^{-0.5} — the shape the paper fits to HFR vs scale (Fig. 11a).
+  std::vector<double> x, y;
+  for (double v : {4.0, 8.0, 16.0, 64.0}) {
+    x.push_back(v);
+    y.push_back(3.0 * std::pow(v, -0.5));
+  }
+  const PowerFit fit = power_fit(x, y);
+  EXPECT_NEAR(fit.coefficient, 3.0, 1e-9);
+  EXPECT_NEAR(fit.exponent, -0.5, 1e-9);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-9);
+}
+
+TEST(PowerFit, RejectsNonPositive) {
+  const std::vector<double> x{1, 2};
+  const std::vector<double> y{1, 0};
+  EXPECT_THROW(power_fit(x, y), std::invalid_argument);
+}
+
+TEST(Histogram, BucketsAndClamping) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(0.5);   // bucket 0
+  h.add(9.5);   // bucket 4
+  h.add(-3.0);  // clamps to 0
+  h.add(42.0);  // clamps to 4
+  h.add(5.0);   // bucket 2
+  EXPECT_EQ(h.total(), 5u);
+  EXPECT_EQ(h.count(0), 2u);
+  EXPECT_EQ(h.count(2), 1u);
+  EXPECT_EQ(h.count(4), 2u);
+  EXPECT_DOUBLE_EQ(h.bucket_low(2), 4.0);
+  EXPECT_DOUBLE_EQ(h.bucket_high(2), 6.0);
+}
+
+TEST(Histogram, InvalidConstruction) {
+  EXPECT_THROW(Histogram(0.0, 10.0, 0), std::invalid_argument);
+  EXPECT_THROW(Histogram(5.0, 5.0, 3), std::invalid_argument);
+  EXPECT_THROW(Histogram(7.0, 5.0, 3), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dust::util

@@ -1,0 +1,92 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace dust::util {
+namespace {
+
+TEST(Table, PrintsTitleHeaderAndRows) {
+  Table table("demo");
+  table.header({"name", "value"});
+  table.row({std::string("alpha"), std::int64_t{7}});
+  table.row({std::string("beta"), 2.5});
+  std::ostringstream os;
+  table.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("== demo =="), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("7"), std::string::npos);
+  EXPECT_NE(out.find("2.5000"), std::string::npos);
+}
+
+TEST(Table, PrecisionControlsDoubles) {
+  Table table("p");
+  table.set_precision(2).header({"x"});
+  table.row({3.14159});
+  std::ostringstream os;
+  table.print(os);
+  EXPECT_NE(os.str().find("3.14"), std::string::npos);
+  EXPECT_EQ(os.str().find("3.1416"), std::string::npos);
+}
+
+TEST(Table, RowWidthMismatchThrows) {
+  Table table("t");
+  table.header({"a", "b"});
+  EXPECT_THROW(table.row({std::int64_t{1}}), std::invalid_argument);
+}
+
+TEST(Table, RowCount) {
+  Table table("t");
+  table.header({"a"});
+  EXPECT_EQ(table.row_count(), 0u);
+  table.row({std::int64_t{1}});
+  table.row({std::int64_t{2}});
+  EXPECT_EQ(table.row_count(), 2u);
+}
+
+TEST(Table, CsvBasic) {
+  Table table("csv");
+  table.header({"a", "b"});
+  table.row({std::string("x"), std::int64_t{1}});
+  std::ostringstream os;
+  table.print_csv(os);
+  EXPECT_EQ(os.str(), "a,b\nx,1\n");
+}
+
+TEST(Table, CsvQuotesSpecialCharacters) {
+  Table table("csv");
+  table.header({"a"});
+  table.row({std::string("hello, \"world\"")});
+  std::ostringstream os;
+  table.print_csv(os);
+  EXPECT_EQ(os.str(), "a\n\"hello, \"\"world\"\"\"\n");
+}
+
+TEST(Table, NoHeaderStillPrintsRows) {
+  Table table("bare");
+  table.row({std::string("only")});
+  std::ostringstream os;
+  table.print(os);
+  EXPECT_NE(os.str().find("only"), std::string::npos);
+}
+
+TEST(Table, ColumnsAlign) {
+  Table table("align");
+  table.header({"col", "v"});
+  table.row({std::string("wide-entry"), std::int64_t{1}});
+  table.row({std::string("x"), std::int64_t{2}});
+  std::ostringstream os;
+  table.print(os);
+  // Both data lines should have equal length (right-aligned columns).
+  std::istringstream is(os.str());
+  std::string line;
+  std::vector<std::string> lines;
+  while (std::getline(is, line)) lines.push_back(line);
+  ASSERT_GE(lines.size(), 4u);
+  EXPECT_EQ(lines[lines.size() - 1].size(), lines[lines.size() - 2].size());
+}
+
+}  // namespace
+}  // namespace dust::util

@@ -1,0 +1,101 @@
+#include "util/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace dust::util {
+namespace {
+
+TEST(ThreadPool, SubmitReturnsResult) {
+  ThreadPool pool(2);
+  auto future = pool.submit([] { return 41 + 1; });
+  EXPECT_EQ(future.get(), 42);
+}
+
+TEST(ThreadPool, SubmitPropagatesException) {
+  ThreadPool pool(2);
+  auto future = pool.submit([]() -> int { throw std::runtime_error("boom"); });
+  EXPECT_THROW(future.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, SizeMatchesRequest) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.size(), 3u);
+}
+
+TEST(ThreadPool, DefaultSizeIsPositive) {
+  ThreadPool pool;
+  EXPECT_GE(pool.size(), 1u);
+}
+
+TEST(ThreadPool, ParallelForRunsEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(100);
+  pool.parallel_for(100, [&hits](std::size_t i) { ++hits[i]; });
+  for (const auto& hit : hits) EXPECT_EQ(hit.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForZeroItems) {
+  ThreadPool pool(2);
+  pool.parallel_for(0, [](std::size_t) { FAIL() << "should not run"; });
+}
+
+TEST(ThreadPool, ParallelForAccumulates) {
+  ThreadPool pool(4);
+  std::atomic<long> sum{0};
+  pool.parallel_for(1000, [&sum](std::size_t i) {
+    sum += static_cast<long>(i);
+  });
+  EXPECT_EQ(sum.load(), 999L * 1000 / 2);
+}
+
+TEST(ThreadPool, ParallelForRethrowsWorkerException) {
+  ThreadPool pool(2);
+  EXPECT_THROW(pool.parallel_for(10,
+                                 [](std::size_t i) {
+                                   if (i == 5) throw std::runtime_error("bad");
+                                 }),
+               std::runtime_error);
+}
+
+TEST(ThreadPool, ParallelForContinuesAfterException) {
+  // All items complete even when one throws (futures are all awaited).
+  ThreadPool pool(2);
+  std::vector<std::atomic<int>> hits(20);
+  try {
+    pool.parallel_for(20, [&hits](std::size_t i) {
+      ++hits[i];
+      if (i == 0) throw std::runtime_error("first");
+    });
+  } catch (const std::runtime_error&) {
+  }
+  for (const auto& hit : hits) EXPECT_EQ(hit.load(), 1);
+}
+
+TEST(ThreadPool, ManySmallTasks) {
+  ThreadPool pool(8);
+  std::vector<std::future<int>> futures;
+  futures.reserve(500);
+  for (int i = 0; i < 500; ++i)
+    futures.push_back(pool.submit([i] { return i * 2; }));
+  for (int i = 0; i < 500; ++i) EXPECT_EQ(futures[i].get(), i * 2);
+}
+
+TEST(ThreadPool, GlobalPoolIsSingleton) {
+  EXPECT_EQ(&global_pool(), &global_pool());
+  EXPECT_GE(global_pool().size(), 1u);
+}
+
+TEST(ThreadPool, SingleThreadPoolStillWorks) {
+  ThreadPool pool(1);
+  std::atomic<int> counter{0};
+  pool.parallel_for(50, [&counter](std::size_t) { ++counter; });
+  EXPECT_EQ(counter.load(), 50);
+}
+
+}  // namespace
+}  // namespace dust::util
