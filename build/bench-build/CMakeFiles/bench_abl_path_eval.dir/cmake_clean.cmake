@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_abl_path_eval"
+  "../bench/bench_abl_path_eval.pdb"
+  "CMakeFiles/bench_abl_path_eval.dir/bench_abl_path_eval.cpp.o"
+  "CMakeFiles/bench_abl_path_eval.dir/bench_abl_path_eval.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_path_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_abl_sampling_accuracy.cpp" "bench-build/CMakeFiles/bench_abl_sampling_accuracy.dir/bench_abl_sampling_accuracy.cpp.o" "gcc" "bench-build/CMakeFiles/bench_abl_sampling_accuracy.dir/bench_abl_sampling_accuracy.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/dust_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dust_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/telemetry/CMakeFiles/dust_telemetry.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/dust_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/solver/CMakeFiles/dust_solver.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/dust_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dust_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_abl_sampling_accuracy"
+  "../bench/bench_abl_sampling_accuracy.pdb"
+  "CMakeFiles/bench_abl_sampling_accuracy.dir/bench_abl_sampling_accuracy.cpp.o"
+  "CMakeFiles/bench_abl_sampling_accuracy.dir/bench_abl_sampling_accuracy.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_sampling_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

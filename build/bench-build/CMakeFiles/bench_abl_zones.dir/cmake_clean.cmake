@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_abl_zones"
+  "../bench/bench_abl_zones.pdb"
+  "CMakeFiles/bench_abl_zones.dir/bench_abl_zones.cpp.o"
+  "CMakeFiles/bench_abl_zones.dir/bench_abl_zones.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_zones.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig06_offload_savings"
+  "../bench/bench_fig06_offload_savings.pdb"
+  "CMakeFiles/bench_fig06_offload_savings.dir/bench_fig06_offload_savings.cpp.o"
+  "CMakeFiles/bench_fig06_offload_savings.dir/bench_fig06_offload_savings.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig06_offload_savings.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_sys_longrun"
+  "../bench/bench_sys_longrun.pdb"
+  "CMakeFiles/bench_sys_longrun.dir/bench_sys_longrun.cpp.o"
+  "CMakeFiles/bench_sys_longrun.dir/bench_sys_longrun.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sys_longrun.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/datacenter_offload.dir/datacenter_offload.cpp.o"
+  "CMakeFiles/datacenter_offload.dir/datacenter_offload.cpp.o.d"
+  "datacenter_offload"
+  "datacenter_offload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/datacenter_offload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/heuristic_vs_ilp.dir/heuristic_vs_ilp.cpp.o"
+  "CMakeFiles/heuristic_vs_ilp.dir/heuristic_vs_ilp.cpp.o.d"
+  "heuristic_vs_ilp"
+  "heuristic_vs_ilp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/heuristic_vs_ilp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zone_partitioning.dir/zone_partitioning.cpp.o"
+  "CMakeFiles/zone_partitioning.dir/zone_partitioning.cpp.o.d"
+  "zone_partitioning"
+  "zone_partitioning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zone_partitioning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

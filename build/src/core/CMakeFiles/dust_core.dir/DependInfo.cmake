@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/baselines.cpp" "src/core/CMakeFiles/dust_core.dir/baselines.cpp.o" "gcc" "src/core/CMakeFiles/dust_core.dir/baselines.cpp.o.d"
+  "/root/repo/src/core/client.cpp" "src/core/CMakeFiles/dust_core.dir/client.cpp.o" "gcc" "src/core/CMakeFiles/dust_core.dir/client.cpp.o.d"
+  "/root/repo/src/core/heuristic.cpp" "src/core/CMakeFiles/dust_core.dir/heuristic.cpp.o" "gcc" "src/core/CMakeFiles/dust_core.dir/heuristic.cpp.o.d"
+  "/root/repo/src/core/manager.cpp" "src/core/CMakeFiles/dust_core.dir/manager.cpp.o" "gcc" "src/core/CMakeFiles/dust_core.dir/manager.cpp.o.d"
+  "/root/repo/src/core/multi_resource.cpp" "src/core/CMakeFiles/dust_core.dir/multi_resource.cpp.o" "gcc" "src/core/CMakeFiles/dust_core.dir/multi_resource.cpp.o.d"
+  "/root/repo/src/core/nmdb.cpp" "src/core/CMakeFiles/dust_core.dir/nmdb.cpp.o" "gcc" "src/core/CMakeFiles/dust_core.dir/nmdb.cpp.o.d"
+  "/root/repo/src/core/nms.cpp" "src/core/CMakeFiles/dust_core.dir/nms.cpp.o" "gcc" "src/core/CMakeFiles/dust_core.dir/nms.cpp.o.d"
+  "/root/repo/src/core/optimizer.cpp" "src/core/CMakeFiles/dust_core.dir/optimizer.cpp.o" "gcc" "src/core/CMakeFiles/dust_core.dir/optimizer.cpp.o.d"
+  "/root/repo/src/core/placement.cpp" "src/core/CMakeFiles/dust_core.dir/placement.cpp.o" "gcc" "src/core/CMakeFiles/dust_core.dir/placement.cpp.o.d"
+  "/root/repo/src/core/replay.cpp" "src/core/CMakeFiles/dust_core.dir/replay.cpp.o" "gcc" "src/core/CMakeFiles/dust_core.dir/replay.cpp.o.d"
+  "/root/repo/src/core/routes.cpp" "src/core/CMakeFiles/dust_core.dir/routes.cpp.o" "gcc" "src/core/CMakeFiles/dust_core.dir/routes.cpp.o.d"
+  "/root/repo/src/core/scenario.cpp" "src/core/CMakeFiles/dust_core.dir/scenario.cpp.o" "gcc" "src/core/CMakeFiles/dust_core.dir/scenario.cpp.o.d"
+  "/root/repo/src/core/types.cpp" "src/core/CMakeFiles/dust_core.dir/types.cpp.o" "gcc" "src/core/CMakeFiles/dust_core.dir/types.cpp.o.d"
+  "/root/repo/src/core/zones.cpp" "src/core/CMakeFiles/dust_core.dir/zones.cpp.o" "gcc" "src/core/CMakeFiles/dust_core.dir/zones.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/dust_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/solver/CMakeFiles/dust_solver.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dust_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/telemetry/CMakeFiles/dust_telemetry.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/dust_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dust_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,37 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dust_core.dir/baselines.cpp.o"
+  "CMakeFiles/dust_core.dir/baselines.cpp.o.d"
+  "CMakeFiles/dust_core.dir/client.cpp.o"
+  "CMakeFiles/dust_core.dir/client.cpp.o.d"
+  "CMakeFiles/dust_core.dir/heuristic.cpp.o"
+  "CMakeFiles/dust_core.dir/heuristic.cpp.o.d"
+  "CMakeFiles/dust_core.dir/manager.cpp.o"
+  "CMakeFiles/dust_core.dir/manager.cpp.o.d"
+  "CMakeFiles/dust_core.dir/multi_resource.cpp.o"
+  "CMakeFiles/dust_core.dir/multi_resource.cpp.o.d"
+  "CMakeFiles/dust_core.dir/nmdb.cpp.o"
+  "CMakeFiles/dust_core.dir/nmdb.cpp.o.d"
+  "CMakeFiles/dust_core.dir/nms.cpp.o"
+  "CMakeFiles/dust_core.dir/nms.cpp.o.d"
+  "CMakeFiles/dust_core.dir/optimizer.cpp.o"
+  "CMakeFiles/dust_core.dir/optimizer.cpp.o.d"
+  "CMakeFiles/dust_core.dir/placement.cpp.o"
+  "CMakeFiles/dust_core.dir/placement.cpp.o.d"
+  "CMakeFiles/dust_core.dir/replay.cpp.o"
+  "CMakeFiles/dust_core.dir/replay.cpp.o.d"
+  "CMakeFiles/dust_core.dir/routes.cpp.o"
+  "CMakeFiles/dust_core.dir/routes.cpp.o.d"
+  "CMakeFiles/dust_core.dir/scenario.cpp.o"
+  "CMakeFiles/dust_core.dir/scenario.cpp.o.d"
+  "CMakeFiles/dust_core.dir/types.cpp.o"
+  "CMakeFiles/dust_core.dir/types.cpp.o.d"
+  "CMakeFiles/dust_core.dir/zones.cpp.o"
+  "CMakeFiles/dust_core.dir/zones.cpp.o.d"
+  "libdust_core.a"
+  "libdust_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dust_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dust_graph.dir/dot.cpp.o"
+  "CMakeFiles/dust_graph.dir/dot.cpp.o.d"
+  "CMakeFiles/dust_graph.dir/graph.cpp.o"
+  "CMakeFiles/dust_graph.dir/graph.cpp.o.d"
+  "CMakeFiles/dust_graph.dir/paths.cpp.o"
+  "CMakeFiles/dust_graph.dir/paths.cpp.o.d"
+  "CMakeFiles/dust_graph.dir/topology.cpp.o"
+  "CMakeFiles/dust_graph.dir/topology.cpp.o.d"
+  "libdust_graph.a"
+  "libdust_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dust_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

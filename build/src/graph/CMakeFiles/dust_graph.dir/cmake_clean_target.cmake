@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdust_graph.a"
+)

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/diagnosis.cpp" "src/net/CMakeFiles/dust_net.dir/diagnosis.cpp.o" "gcc" "src/net/CMakeFiles/dust_net.dir/diagnosis.cpp.o.d"
+  "/root/repo/src/net/network_state.cpp" "src/net/CMakeFiles/dust_net.dir/network_state.cpp.o" "gcc" "src/net/CMakeFiles/dust_net.dir/network_state.cpp.o.d"
+  "/root/repo/src/net/response_time.cpp" "src/net/CMakeFiles/dust_net.dir/response_time.cpp.o" "gcc" "src/net/CMakeFiles/dust_net.dir/response_time.cpp.o.d"
+  "/root/repo/src/net/traffic.cpp" "src/net/CMakeFiles/dust_net.dir/traffic.cpp.o" "gcc" "src/net/CMakeFiles/dust_net.dir/traffic.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/dust_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dust_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/solver/CMakeFiles/dust_solver.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dust_net.dir/diagnosis.cpp.o"
+  "CMakeFiles/dust_net.dir/diagnosis.cpp.o.d"
+  "CMakeFiles/dust_net.dir/network_state.cpp.o"
+  "CMakeFiles/dust_net.dir/network_state.cpp.o.d"
+  "CMakeFiles/dust_net.dir/response_time.cpp.o"
+  "CMakeFiles/dust_net.dir/response_time.cpp.o.d"
+  "CMakeFiles/dust_net.dir/traffic.cpp.o"
+  "CMakeFiles/dust_net.dir/traffic.cpp.o.d"
+  "libdust_net.a"
+  "libdust_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dust_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

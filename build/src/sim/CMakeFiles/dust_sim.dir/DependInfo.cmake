@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/event_queue.cpp" "src/sim/CMakeFiles/dust_sim.dir/event_queue.cpp.o" "gcc" "src/sim/CMakeFiles/dust_sim.dir/event_queue.cpp.o.d"
+  "/root/repo/src/sim/node.cpp" "src/sim/CMakeFiles/dust_sim.dir/node.cpp.o" "gcc" "src/sim/CMakeFiles/dust_sim.dir/node.cpp.o.d"
+  "/root/repo/src/sim/overlay_traffic.cpp" "src/sim/CMakeFiles/dust_sim.dir/overlay_traffic.cpp.o" "gcc" "src/sim/CMakeFiles/dust_sim.dir/overlay_traffic.cpp.o.d"
+  "/root/repo/src/sim/transport.cpp" "src/sim/CMakeFiles/dust_sim.dir/transport.cpp.o" "gcc" "src/sim/CMakeFiles/dust_sim.dir/transport.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/telemetry/CMakeFiles/dust_telemetry.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dust_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

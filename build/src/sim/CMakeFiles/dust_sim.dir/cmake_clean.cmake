@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dust_sim.dir/event_queue.cpp.o"
+  "CMakeFiles/dust_sim.dir/event_queue.cpp.o.d"
+  "CMakeFiles/dust_sim.dir/node.cpp.o"
+  "CMakeFiles/dust_sim.dir/node.cpp.o.d"
+  "CMakeFiles/dust_sim.dir/overlay_traffic.cpp.o"
+  "CMakeFiles/dust_sim.dir/overlay_traffic.cpp.o.d"
+  "CMakeFiles/dust_sim.dir/transport.cpp.o"
+  "CMakeFiles/dust_sim.dir/transport.cpp.o.d"
+  "libdust_sim.a"
+  "libdust_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dust_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

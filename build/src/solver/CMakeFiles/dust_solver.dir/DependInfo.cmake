@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/solver/branch_and_bound.cpp" "src/solver/CMakeFiles/dust_solver.dir/branch_and_bound.cpp.o" "gcc" "src/solver/CMakeFiles/dust_solver.dir/branch_and_bound.cpp.o.d"
+  "/root/repo/src/solver/lp.cpp" "src/solver/CMakeFiles/dust_solver.dir/lp.cpp.o" "gcc" "src/solver/CMakeFiles/dust_solver.dir/lp.cpp.o.d"
+  "/root/repo/src/solver/lp_format.cpp" "src/solver/CMakeFiles/dust_solver.dir/lp_format.cpp.o" "gcc" "src/solver/CMakeFiles/dust_solver.dir/lp_format.cpp.o.d"
+  "/root/repo/src/solver/min_cost_flow.cpp" "src/solver/CMakeFiles/dust_solver.dir/min_cost_flow.cpp.o" "gcc" "src/solver/CMakeFiles/dust_solver.dir/min_cost_flow.cpp.o.d"
+  "/root/repo/src/solver/simplex.cpp" "src/solver/CMakeFiles/dust_solver.dir/simplex.cpp.o" "gcc" "src/solver/CMakeFiles/dust_solver.dir/simplex.cpp.o.d"
+  "/root/repo/src/solver/transportation.cpp" "src/solver/CMakeFiles/dust_solver.dir/transportation.cpp.o" "gcc" "src/solver/CMakeFiles/dust_solver.dir/transportation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/dust_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

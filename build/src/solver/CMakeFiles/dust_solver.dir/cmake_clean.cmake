@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dust_solver.dir/branch_and_bound.cpp.o"
+  "CMakeFiles/dust_solver.dir/branch_and_bound.cpp.o.d"
+  "CMakeFiles/dust_solver.dir/lp.cpp.o"
+  "CMakeFiles/dust_solver.dir/lp.cpp.o.d"
+  "CMakeFiles/dust_solver.dir/lp_format.cpp.o"
+  "CMakeFiles/dust_solver.dir/lp_format.cpp.o.d"
+  "CMakeFiles/dust_solver.dir/min_cost_flow.cpp.o"
+  "CMakeFiles/dust_solver.dir/min_cost_flow.cpp.o.d"
+  "CMakeFiles/dust_solver.dir/simplex.cpp.o"
+  "CMakeFiles/dust_solver.dir/simplex.cpp.o.d"
+  "CMakeFiles/dust_solver.dir/transportation.cpp.o"
+  "CMakeFiles/dust_solver.dir/transportation.cpp.o.d"
+  "libdust_solver.a"
+  "libdust_solver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dust_solver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/telemetry/agent.cpp" "src/telemetry/CMakeFiles/dust_telemetry.dir/agent.cpp.o" "gcc" "src/telemetry/CMakeFiles/dust_telemetry.dir/agent.cpp.o.d"
+  "/root/repo/src/telemetry/alerts.cpp" "src/telemetry/CMakeFiles/dust_telemetry.dir/alerts.cpp.o" "gcc" "src/telemetry/CMakeFiles/dust_telemetry.dir/alerts.cpp.o.d"
+  "/root/repo/src/telemetry/federation.cpp" "src/telemetry/CMakeFiles/dust_telemetry.dir/federation.cpp.o" "gcc" "src/telemetry/CMakeFiles/dust_telemetry.dir/federation.cpp.o.d"
+  "/root/repo/src/telemetry/gorilla.cpp" "src/telemetry/CMakeFiles/dust_telemetry.dir/gorilla.cpp.o" "gcc" "src/telemetry/CMakeFiles/dust_telemetry.dir/gorilla.cpp.o.d"
+  "/root/repo/src/telemetry/packet.cpp" "src/telemetry/CMakeFiles/dust_telemetry.dir/packet.cpp.o" "gcc" "src/telemetry/CMakeFiles/dust_telemetry.dir/packet.cpp.o.d"
+  "/root/repo/src/telemetry/sampled_flow.cpp" "src/telemetry/CMakeFiles/dust_telemetry.dir/sampled_flow.cpp.o" "gcc" "src/telemetry/CMakeFiles/dust_telemetry.dir/sampled_flow.cpp.o.d"
+  "/root/repo/src/telemetry/tsdb.cpp" "src/telemetry/CMakeFiles/dust_telemetry.dir/tsdb.cpp.o" "gcc" "src/telemetry/CMakeFiles/dust_telemetry.dir/tsdb.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/dust_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

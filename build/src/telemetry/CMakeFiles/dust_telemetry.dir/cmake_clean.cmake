@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dust_telemetry.dir/agent.cpp.o"
+  "CMakeFiles/dust_telemetry.dir/agent.cpp.o.d"
+  "CMakeFiles/dust_telemetry.dir/alerts.cpp.o"
+  "CMakeFiles/dust_telemetry.dir/alerts.cpp.o.d"
+  "CMakeFiles/dust_telemetry.dir/federation.cpp.o"
+  "CMakeFiles/dust_telemetry.dir/federation.cpp.o.d"
+  "CMakeFiles/dust_telemetry.dir/gorilla.cpp.o"
+  "CMakeFiles/dust_telemetry.dir/gorilla.cpp.o.d"
+  "CMakeFiles/dust_telemetry.dir/packet.cpp.o"
+  "CMakeFiles/dust_telemetry.dir/packet.cpp.o.d"
+  "CMakeFiles/dust_telemetry.dir/sampled_flow.cpp.o"
+  "CMakeFiles/dust_telemetry.dir/sampled_flow.cpp.o.d"
+  "CMakeFiles/dust_telemetry.dir/tsdb.cpp.o"
+  "CMakeFiles/dust_telemetry.dir/tsdb.cpp.o.d"
+  "libdust_telemetry.a"
+  "libdust_telemetry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dust_telemetry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dust_util.dir/log.cpp.o"
+  "CMakeFiles/dust_util.dir/log.cpp.o.d"
+  "CMakeFiles/dust_util.dir/rng.cpp.o"
+  "CMakeFiles/dust_util.dir/rng.cpp.o.d"
+  "CMakeFiles/dust_util.dir/stats.cpp.o"
+  "CMakeFiles/dust_util.dir/stats.cpp.o.d"
+  "CMakeFiles/dust_util.dir/table.cpp.o"
+  "CMakeFiles/dust_util.dir/table.cpp.o.d"
+  "CMakeFiles/dust_util.dir/thread_pool.cpp.o"
+  "CMakeFiles/dust_util.dir/thread_pool.cpp.o.d"
+  "libdust_util.a"
+  "libdust_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dust_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,40 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core_baselines_test.cpp" "tests/CMakeFiles/core_tests.dir/core_baselines_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core_baselines_test.cpp.o.d"
+  "/root/repo/tests/core_heterogeneity_test.cpp" "tests/CMakeFiles/core_tests.dir/core_heterogeneity_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core_heterogeneity_test.cpp.o.d"
+  "/root/repo/tests/core_heuristic_test.cpp" "tests/CMakeFiles/core_tests.dir/core_heuristic_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core_heuristic_test.cpp.o.d"
+  "/root/repo/tests/core_multi_resource_test.cpp" "tests/CMakeFiles/core_tests.dir/core_multi_resource_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core_multi_resource_test.cpp.o.d"
+  "/root/repo/tests/core_nmdb_test.cpp" "tests/CMakeFiles/core_tests.dir/core_nmdb_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core_nmdb_test.cpp.o.d"
+  "/root/repo/tests/core_nms_test.cpp" "tests/CMakeFiles/core_tests.dir/core_nms_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core_nms_test.cpp.o.d"
+  "/root/repo/tests/core_optimizer_test.cpp" "tests/CMakeFiles/core_tests.dir/core_optimizer_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core_optimizer_test.cpp.o.d"
+  "/root/repo/tests/core_placement_test.cpp" "tests/CMakeFiles/core_tests.dir/core_placement_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core_placement_test.cpp.o.d"
+  "/root/repo/tests/core_replay_test.cpp" "tests/CMakeFiles/core_tests.dir/core_replay_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core_replay_test.cpp.o.d"
+  "/root/repo/tests/core_routes_test.cpp" "tests/CMakeFiles/core_tests.dir/core_routes_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core_routes_test.cpp.o.d"
+  "/root/repo/tests/core_scenario_test.cpp" "tests/CMakeFiles/core_tests.dir/core_scenario_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core_scenario_test.cpp.o.d"
+  "/root/repo/tests/core_types_test.cpp" "tests/CMakeFiles/core_tests.dir/core_types_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core_types_test.cpp.o.d"
+  "/root/repo/tests/core_whatif_test.cpp" "tests/CMakeFiles/core_tests.dir/core_whatif_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core_whatif_test.cpp.o.d"
+  "/root/repo/tests/core_zones_partition_test.cpp" "tests/CMakeFiles/core_tests.dir/core_zones_partition_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core_zones_partition_test.cpp.o.d"
+  "/root/repo/tests/core_zones_test.cpp" "tests/CMakeFiles/core_tests.dir/core_zones_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core_zones_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/dust_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dust_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/telemetry/CMakeFiles/dust_telemetry.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/dust_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/solver/CMakeFiles/dust_solver.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/dust_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dust_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/net_tests.dir/net_diagnosis_test.cpp.o"
+  "CMakeFiles/net_tests.dir/net_diagnosis_test.cpp.o.d"
+  "CMakeFiles/net_tests.dir/net_response_time_test.cpp.o"
+  "CMakeFiles/net_tests.dir/net_response_time_test.cpp.o.d"
+  "CMakeFiles/net_tests.dir/net_state_test.cpp.o"
+  "CMakeFiles/net_tests.dir/net_state_test.cpp.o.d"
+  "CMakeFiles/net_tests.dir/net_traffic_test.cpp.o"
+  "CMakeFiles/net_tests.dir/net_traffic_test.cpp.o.d"
+  "net_tests"
+  "net_tests.pdb"
+  "net_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/net_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/solver_tests.dir/solver_bnb_test.cpp.o"
+  "CMakeFiles/solver_tests.dir/solver_bnb_test.cpp.o.d"
+  "CMakeFiles/solver_tests.dir/solver_lp_format_test.cpp.o"
+  "CMakeFiles/solver_tests.dir/solver_lp_format_test.cpp.o.d"
+  "CMakeFiles/solver_tests.dir/solver_mcf_test.cpp.o"
+  "CMakeFiles/solver_tests.dir/solver_mcf_test.cpp.o.d"
+  "CMakeFiles/solver_tests.dir/solver_simplex_test.cpp.o"
+  "CMakeFiles/solver_tests.dir/solver_simplex_test.cpp.o.d"
+  "CMakeFiles/solver_tests.dir/solver_stress_test.cpp.o"
+  "CMakeFiles/solver_tests.dir/solver_stress_test.cpp.o.d"
+  "CMakeFiles/solver_tests.dir/solver_transportation_test.cpp.o"
+  "CMakeFiles/solver_tests.dir/solver_transportation_test.cpp.o.d"
+  "solver_tests"
+  "solver_tests.pdb"
+  "solver_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/solver_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/telemetry_tests.dir/telemetry_agent_test.cpp.o"
+  "CMakeFiles/telemetry_tests.dir/telemetry_agent_test.cpp.o.d"
+  "CMakeFiles/telemetry_tests.dir/telemetry_alerts_test.cpp.o"
+  "CMakeFiles/telemetry_tests.dir/telemetry_alerts_test.cpp.o.d"
+  "CMakeFiles/telemetry_tests.dir/telemetry_federation_test.cpp.o"
+  "CMakeFiles/telemetry_tests.dir/telemetry_federation_test.cpp.o.d"
+  "CMakeFiles/telemetry_tests.dir/telemetry_gorilla_test.cpp.o"
+  "CMakeFiles/telemetry_tests.dir/telemetry_gorilla_test.cpp.o.d"
+  "CMakeFiles/telemetry_tests.dir/telemetry_packet_test.cpp.o"
+  "CMakeFiles/telemetry_tests.dir/telemetry_packet_test.cpp.o.d"
+  "CMakeFiles/telemetry_tests.dir/telemetry_persistence_test.cpp.o"
+  "CMakeFiles/telemetry_tests.dir/telemetry_persistence_test.cpp.o.d"
+  "CMakeFiles/telemetry_tests.dir/telemetry_sampled_flow_test.cpp.o"
+  "CMakeFiles/telemetry_tests.dir/telemetry_sampled_flow_test.cpp.o.d"
+  "CMakeFiles/telemetry_tests.dir/telemetry_tsdb_test.cpp.o"
+  "CMakeFiles/telemetry_tests.dir/telemetry_tsdb_test.cpp.o.d"
+  "telemetry_tests"
+  "telemetry_tests.pdb"
+  "telemetry_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/telemetry_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/umbrella_tests.dir/umbrella_test.cpp.o"
+  "CMakeFiles/umbrella_tests.dir/umbrella_test.cpp.o.d"
+  "umbrella_tests"
+  "umbrella_tests.pdb"
+  "umbrella_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/umbrella_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+add_test([=[Umbrella.EveryLayerReachable]=]  /root/repo/build/tests/umbrella_tests [==[--gtest_filter=Umbrella.EveryLayerReachable]==] --gtest_also_run_disabled_tests)
+set_tests_properties([=[Umbrella.EveryLayerReachable]=]  PROPERTIES WORKING_DIRECTORY /root/repo/build/tests SKIP_REGULAR_EXPRESSION [==[\[  SKIPPED \]]==])
+set(  umbrella_tests_TESTS Umbrella.EveryLayerReachable)
