@@ -1,0 +1,121 @@
+// System bench: cost of the dust::obs instrumentation on the control-plane
+// workload of bench_sys_control_plane (4-k fat-tree, 20 clients, 10 sim
+// minutes of protocol traffic plus 50 forced placement cycles). Runs the
+// identical workload with instrumentation enabled and with it disabled
+// (obs::set_enabled(false), the cheap relaxed-load early-return that
+// -DDUST_OBS_COMPILED_OUT reduces to), takes the best of several reps of
+// each, and checks the enabled run stays within the 5% overhead budget.
+// Also reports the per-update micro cost of a counter and a histogram.
+#include <iostream>
+#include <memory>
+
+#include "bench_common.hpp"
+#include "core/client.hpp"
+#include "core/manager.hpp"
+#include "obs/metrics.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using namespace dust;
+
+/// One full control-plane workload run; returns wall milliseconds.
+double run_workload() {
+  const graph::FatTree topo(4);
+  const std::size_t n = topo.graph().node_count();
+  sim::Simulator sim;
+  sim::Transport transport(sim, util::Rng(bench::base_seed()));
+
+  net::NetworkState state(topo.graph());
+  for (graph::NodeId v = 0; v < n; ++v) {
+    state.set_node_utilization(v, 50.0);
+    state.set_monitoring_data_mb(v, 10.0);
+  }
+  core::ManagerConfig config;
+  config.update_interval_ms = 10000;
+  config.placement_period_ms = 60000;
+  config.keepalive_timeout_ms = 30000;
+  config.keepalive_check_period_ms = 10000;
+
+  util::Timer timer;
+  core::DustManager manager(sim, transport,
+                            core::Nmdb(std::move(state), core::Thresholds{}),
+                            config);
+  std::vector<std::unique_ptr<core::DustClient>> clients;
+  for (graph::NodeId v = 0; v < n; ++v) {
+    clients.push_back(std::make_unique<core::DustClient>(
+        sim, transport, v, core::ClientConfig{.keepalive_interval_ms = 10000},
+        util::Rng(bench::base_seed() + v)));
+    clients.back()->set_reported_state(50.0, 10.0, 10);
+    clients.back()->start();
+  }
+  manager.start();
+  sim.run_until(10 * 60000);
+  clients[0]->set_reported_state(92.0, 10.0, 10);
+  sim.run_until(sim.now() + 2 * 60000);
+  for (int i = 0; i < 50; ++i) manager.run_placement_cycle();
+  return timer.millis();
+}
+
+/// Best-of-reps wall time with the instrumentation switch set as given.
+double best_of(int reps, bool instrumented) {
+  double best = -1.0;
+  for (int r = 0; r < reps; ++r) {
+    obs::set_enabled(instrumented);
+    obs::MetricRegistry::global().reset();
+    const double ms = run_workload();
+    if (best < 0.0 || ms < best) best = ms;
+  }
+  obs::set_enabled(true);
+  return best;
+}
+
+/// Nanoseconds per update for one metric primitive under a tight loop.
+template <typename Fn>
+double ns_per_op(Fn&& fn) {
+  constexpr int kOps = 2'000'000;
+  util::Timer timer;
+  for (int i = 0; i < kOps; ++i) fn(i);
+  return timer.millis() * 1e6 / kOps;
+}
+
+}  // namespace
+
+int main() {
+  using namespace dust;
+  bench::print_header(
+      "System — observability overhead on the control-plane workload",
+      "(acceptance: instrumented run within 5% of uninstrumented)");
+
+  constexpr int kReps = 5;
+  // Warm-up rep (first run pays registry creation and allocator warm-up).
+  (void)run_workload();
+  const double off_ms = best_of(kReps, /*instrumented=*/false);
+  const double on_ms = best_of(kReps, /*instrumented=*/true);
+  const double overhead_pct = (on_ms - off_ms) / off_ms * 100.0;
+
+  obs::MetricRegistry bench_registry;
+  obs::Counter& counter = bench_registry.counter("bench_counter");
+  obs::Histogram& hist = bench_registry.histogram("bench_hist");
+  const double counter_ns = ns_per_op([&](int) { counter.inc(); });
+  const double hist_ns =
+      ns_per_op([&](int i) { hist.observe(static_cast<double>(i % 97)); });
+  obs::set_enabled(false);
+  const double disabled_ns = ns_per_op([&](int) { counter.inc(); });
+  obs::set_enabled(true);
+
+  util::Table table("observability overhead");
+  table.set_precision(3).header({"metric", "value"});
+  table.row({std::string("workload, obs disabled (ms, best of 5)"), off_ms});
+  table.row({std::string("workload, obs enabled (ms, best of 5)"), on_ms});
+  table.row({std::string("overhead (%)"), overhead_pct});
+  table.row({std::string("counter inc (ns/op)"), counter_ns});
+  table.row({std::string("histogram observe (ns/op)"), hist_ns});
+  table.row({std::string("disabled counter inc (ns/op)"), disabled_ns});
+  bench::emit(table);
+
+  const bool pass = overhead_pct < 5.0;
+  std::cout << "\nobservability overhead " << (pass ? "PASS" : "FAIL") << ": "
+            << overhead_pct << "% (budget 5%)\n";
+  return pass ? 0 : 1;
+}

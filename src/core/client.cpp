@@ -15,6 +15,17 @@ DustClient::DustClient(sim::Simulator& sim, sim::Transport& transport,
       config_(config),
       rng_(rng),
       device_(device) {
+  obs::MetricRegistry& registry = obs::MetricRegistry::global();
+  metrics_.tx_offload_capable =
+      &registry.counter("dust_core_tx_offload_capable_total");
+  metrics_.tx_stat = &registry.counter("dust_core_tx_stat_total");
+  metrics_.tx_keepalive = &registry.counter("dust_core_tx_keepalive_total");
+  metrics_.tx_offload_ack =
+      &registry.counter("dust_core_tx_offload_ack_total");
+  metrics_.tx_agent_transfer =
+      &registry.counter("dust_core_tx_agent_transfer_total");
+  metrics_.tx_telemetry_data =
+      &registry.counter("dust_core_tx_telemetry_data_total");
   endpoint_token_ = transport_->register_endpoint(
       client_endpoint(node_),
       [this](const sim::Envelope& envelope) { handle(envelope); });
@@ -27,6 +38,7 @@ DustClient::~DustClient() {
 }
 
 void DustClient::start() {
+  metrics_.tx_offload_capable->inc();
   transport_->send(client_endpoint(node_), manager_endpoint(),
                    Message{OffloadCapableMsg{node_, config_.offload_capable,
                                              config_.platform_factor}});
@@ -54,12 +66,14 @@ void DustClient::send_stat() {
     stat.monitoring_data_mb = reported_data_mb_;
     stat.agent_count = reported_agents_;
   }
+  metrics_.tx_stat->inc();
   transport_->send(client_endpoint(node_), manager_endpoint(), Message{stat});
 }
 
 void DustClient::publish_snapshot(const telemetry::DeviceSnapshot& snapshot) {
   if (failed_) return;
   for (const OutboundOffload& outbound : outbound_) {
+    metrics_.tx_telemetry_data->inc();
     transport_->send(client_endpoint(node_),
                      client_endpoint(outbound.destination),
                      Message{TelemetryDataMsg{node_, snapshot}},
@@ -135,6 +149,7 @@ void DustClient::on_ack(const AckMsg& msg) {
 
 void DustClient::on_offload_request(const OffloadRequestMsg& msg) {
   if (msg.busy != node_) return;  // destination copy handled on transfer
+  metrics_.tx_offload_ack->inc();
   transport_->send(client_endpoint(node_), manager_endpoint(),
                    Message{OffloadAckMsg{msg.request_id, node_, true}});
   // Move agents off the device (or synthesize blueprints when device-less).
@@ -162,6 +177,7 @@ void DustClient::on_offload_request(const OffloadRequestMsg& msg) {
   outbound.destination = msg.destination;
   outbound.blueprints = transfer.agents;  // copies for REP re-instantiation
   outbound_.push_back(std::move(outbound));
+  metrics_.tx_agent_transfer->inc();
   transport_->send(client_endpoint(node_), client_endpoint(msg.destination),
                    Message{std::move(transfer)});
 }
@@ -193,6 +209,8 @@ void DustClient::on_rep(const RepMsg& msg) {
   transfer.owner = node_;
   transfer.agents = it->blueprints;
   it->destination = msg.replacement;
+  metrics_.tx_offload_ack->inc();
+  metrics_.tx_agent_transfer->inc();
   transport_->send(client_endpoint(node_), manager_endpoint(),
                    Message{OffloadAckMsg{msg.request_id, node_, true}});
   transport_->send(client_endpoint(node_), client_endpoint(msg.replacement),
@@ -232,6 +250,7 @@ void DustClient::ensure_keepalive_task() {
       [this](sim::TimeMs) {
         if (failed_ || hosted_.empty()) return;
         ++keepalives_sent_;
+        metrics_.tx_keepalive->inc();
         transport_->send(client_endpoint(node_), manager_endpoint(),
                          Message{KeepaliveMsg{node_, keepalive_seq_++}});
       });

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "core/messages.hpp"
+#include "obs/metrics.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/node.hpp"
 #include "sim/transport.hpp"
@@ -81,12 +82,24 @@ class DustClient {
   void ensure_keepalive_task();
   void maybe_stop_keepalive_task();
 
+  /// Global-registry handles (dust_core_tx_*), shared across all clients so
+  /// the scrape shows fleet-wide per-message-type counts.
+  struct Metrics {
+    obs::Counter* tx_offload_capable = nullptr;
+    obs::Counter* tx_stat = nullptr;
+    obs::Counter* tx_keepalive = nullptr;
+    obs::Counter* tx_offload_ack = nullptr;
+    obs::Counter* tx_agent_transfer = nullptr;
+    obs::Counter* tx_telemetry_data = nullptr;
+  };
+
   sim::Simulator* sim_;
   sim::Transport* transport_;
   graph::NodeId node_;
   ClientConfig config_;
   util::Rng rng_;
   sim::MonitoredNode* device_;
+  Metrics metrics_;
 
   bool acknowledged_ = false;
   bool failed_ = false;

@@ -5,6 +5,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/span.hpp"
 #include "util/log.hpp"
 
 namespace dust::core {
@@ -20,6 +21,32 @@ DustManager::DustManager(sim::Simulator& sim, sim::Transport& transport,
       transport_(&transport),
       nmdb_(std::move(nmdb)),
       config_(config) {
+  obs::MetricRegistry& registry = obs::MetricRegistry::global();
+  metrics_.rx_offload_capable =
+      &registry.counter("dust_core_rx_offload_capable_total");
+  metrics_.rx_stat = &registry.counter("dust_core_rx_stat_total");
+  metrics_.rx_offload_ack = &registry.counter("dust_core_rx_offload_ack_total");
+  metrics_.rx_keepalive = &registry.counter("dust_core_rx_keepalive_total");
+  metrics_.rx_unexpected = &registry.counter("dust_core_rx_unexpected_total");
+  metrics_.tx_ack = &registry.counter("dust_core_tx_ack_total");
+  metrics_.tx_offload_request =
+      &registry.counter("dust_core_tx_offload_request_total");
+  metrics_.tx_release = &registry.counter("dust_core_tx_release_total");
+  metrics_.tx_rep = &registry.counter("dust_core_tx_rep_total");
+  metrics_.placement_cycles =
+      &registry.counter("dust_core_placement_cycles_total");
+  metrics_.offloads_created =
+      &registry.counter("dust_core_offloads_created_total");
+  metrics_.keepalive_failures =
+      &registry.counter("dust_core_keepalive_failures_total");
+  metrics_.releases = &registry.counter("dust_core_releases_total");
+  metrics_.redirects = &registry.counter("dust_core_redirects_total");
+  metrics_.placement_solve_ms =
+      &registry.histogram("dust_core_placement_solve_ms");
+  metrics_.placement_build_ms =
+      &registry.histogram("dust_core_placement_build_ms");
+  metrics_.nmdb_staleness_ms =
+      &registry.histogram("dust_core_nmdb_staleness_ms");
   transport_->register_endpoint(
       manager_endpoint(),
       [this](const sim::Envelope& envelope) { handle(envelope); });
@@ -51,14 +78,19 @@ void DustManager::handle(const sim::Envelope& envelope) {
       [this](const auto& msg) {
         using T = std::decay_t<decltype(msg)>;
         if constexpr (std::is_same_v<T, OffloadCapableMsg>) {
+          metrics_.rx_offload_capable->inc();
           on_offload_capable(msg);
         } else if constexpr (std::is_same_v<T, StatMsg>) {
+          metrics_.rx_stat->inc();
           on_stat(msg);
         } else if constexpr (std::is_same_v<T, OffloadAckMsg>) {
+          metrics_.rx_offload_ack->inc();
           on_offload_ack(msg);
         } else if constexpr (std::is_same_v<T, KeepaliveMsg>) {
+          metrics_.rx_keepalive->inc();
           on_keepalive(msg);
         } else {
+          metrics_.rx_unexpected->inc();
           DUST_LOG_WARN << "manager: unexpected message type";
         }
       },
@@ -70,6 +102,7 @@ void DustManager::on_offload_capable(const OffloadCapableMsg& msg) {
   if (msg.platform_factor > 0)
     nmdb_.set_platform_factor(msg.node, msg.platform_factor);
   if (msg.capable) {
+    metrics_.tx_ack->inc();
     transport_->send(manager_endpoint(), client_endpoint(msg.node),
                      Message{AckMsg{msg.node, config_.update_interval_ms}});
   }
@@ -77,6 +110,7 @@ void DustManager::on_offload_capable(const OffloadCapableMsg& msg) {
 
 void DustManager::on_stat(const StatMsg& msg) {
   ++stats_received_;
+  last_stat_at_[msg.node] = sim_->now();
   nmdb_.record_stat(msg.node, msg.utilization_percent, msg.monitoring_data_mb,
                     msg.agent_count);
   // Reclaim: a previously busy node whose load (which already excludes the
@@ -96,6 +130,7 @@ void DustManager::on_stat(const StatMsg& msg) {
   if (destination_hosting(msg.node) &&
       msg.utilization_percent >= nmdb_.thresholds(msg.node).c_max) {
     ++redirects_;
+    metrics_.redirects->inc();
     replace_destination(msg.node, /*quarantine=*/false);
   }
 }
@@ -122,6 +157,14 @@ void DustManager::on_keepalive(const KeepaliveMsg& msg) {
 
 std::size_t DustManager::run_placement_cycle() {
   ++placement_cycles_;
+  metrics_.placement_cycles->inc();
+  obs::Span cycle_span(obs::MetricRegistry::global(),
+                       "dust_core_placement_cycle",
+                       [this] { return sim_->now(); });
+  // How stale is the state this cycle plans on? One observation per node
+  // that has ever STATed: sim-time age of its latest report.
+  for (const auto& [node, at] : last_stat_at_)
+    metrics_.nmdb_staleness_ms->observe(static_cast<double>(sim_->now() - at));
   // Plan against a reservation-adjusted view: capacity already booked on a
   // destination is added to its utilization, so lagging STATs (which may
   // not yet reflect freshly transferred agents) cannot lead to over-booking
@@ -141,6 +184,8 @@ std::size_t DustManager::run_placement_cycle() {
   }
   const OptimizationEngine engine(config_.optimizer);
   const PlacementResult result = engine.run(adjusted);
+  metrics_.placement_solve_ms->observe(result.solve_seconds * 1e3);
+  metrics_.placement_build_ms->observe(result.build_seconds * 1e3);
   if (!result.optimal() && result.assignments.empty()) {
     DUST_LOG_INFO << "manager: placement " << to_string(result.status)
                   << ", nothing offloaded";
@@ -188,12 +233,14 @@ std::size_t DustManager::run_placement_cycle() {
                               assignment.to,      assignment.amount,
                               agents_to_move,     {}};
     request.route = routes[index].primary.nodes;
+    metrics_.tx_offload_request->inc(2);
     transport_->send(manager_endpoint(), client_endpoint(assignment.from),
                      Message{request});
     transport_->send(manager_endpoint(), client_endpoint(assignment.to),
                      Message{request});
     ++created;
   }
+  metrics_.offloads_created->inc(created);
   DUST_LOG_INFO << "manager: placement cycle created " << created
                 << " offload(s), objective " << result.objective;
   return created;
@@ -209,6 +256,7 @@ void DustManager::release_offloads_of(graph::NodeId busy) {
   std::vector<std::uint64_t> to_erase;
   for (const auto& [id, offload] : offloads_) {
     if (offload.busy != busy) continue;
+    metrics_.tx_release->inc(2);
     transport_->send(manager_endpoint(), client_endpoint(busy),
                      Message{ReleaseMsg{busy, offload.destination}});
     transport_->send(manager_endpoint(), client_endpoint(offload.destination),
@@ -220,6 +268,7 @@ void DustManager::release_offloads_of(graph::NodeId busy) {
     offloads_.erase(id);
     nmdb_.set_hosting(dest, destination_hosting(dest));
     ++releases_;
+    metrics_.releases->inc();
   }
 }
 
@@ -238,6 +287,7 @@ void DustManager::check_keepalives() {
   }
   for (graph::NodeId node : failed) {
     ++keepalive_failures_;
+    metrics_.keepalive_failures->inc();
     replace_destination(node, /*quarantine=*/true);
   }
 }
@@ -256,6 +306,7 @@ void DustManager::replace_destination(graph::NodeId failed, bool quarantine) {
     to_erase.push_back(id);
     // Tell the (possibly still alive) old destination to drop the hosted
     // agents; harmless no-op when it is actually dead.
+    metrics_.tx_release->inc();
     transport_->send(manager_endpoint(), client_endpoint(failed),
                      Message{ReleaseMsg{offload.busy, failed}});
   }
@@ -306,6 +357,7 @@ void DustManager::replace_destination(graph::NodeId failed, bool quarantine) {
             .nodes;
     offloads_[replacement.request_id] = replacement;
     nmdb_.set_hosting(best, true);
+    metrics_.tx_rep->inc();
     transport_->send(
         manager_endpoint(), client_endpoint(old.busy),
         Message{RepMsg{failed, best, old.busy, replacement.request_id,

@@ -14,6 +14,7 @@
 #include "core/messages.hpp"
 #include "core/nmdb.hpp"
 #include "core/optimizer.hpp"
+#include "obs/metrics.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/transport.hpp"
 
@@ -92,10 +93,36 @@ class DustManager {
   void replace_destination(graph::NodeId node, bool quarantine);
   [[nodiscard]] bool destination_hosting(graph::NodeId node) const;
 
+  /// Global-registry handles (dust_core_*), resolved once at construction.
+  /// rx_* / tx_* count protocol messages by type; staleness is the age of
+  /// each node's last STAT at planning time (how outdated the NMDB view the
+  /// optimizer ran on actually was).
+  struct Metrics {
+    obs::Counter* rx_offload_capable = nullptr;
+    obs::Counter* rx_stat = nullptr;
+    obs::Counter* rx_offload_ack = nullptr;
+    obs::Counter* rx_keepalive = nullptr;
+    obs::Counter* rx_unexpected = nullptr;
+    obs::Counter* tx_ack = nullptr;
+    obs::Counter* tx_offload_request = nullptr;
+    obs::Counter* tx_release = nullptr;
+    obs::Counter* tx_rep = nullptr;
+    obs::Counter* placement_cycles = nullptr;
+    obs::Counter* offloads_created = nullptr;
+    obs::Counter* keepalive_failures = nullptr;
+    obs::Counter* releases = nullptr;
+    obs::Counter* redirects = nullptr;
+    obs::Histogram* placement_solve_ms = nullptr;  ///< wall, solver only
+    obs::Histogram* placement_build_ms = nullptr;  ///< wall, model build
+    obs::Histogram* nmdb_staleness_ms = nullptr;   ///< sim-time STAT age
+  };
+
   sim::Simulator* sim_;
   sim::Transport* transport_;
   Nmdb nmdb_;
   ManagerConfig config_;
+  Metrics metrics_;
+  std::map<graph::NodeId, sim::TimeMs> last_stat_at_;
   std::uint64_t next_request_id_ = 1;
   std::map<std::uint64_t, ActiveOffload> offloads_;
   std::map<graph::NodeId, sim::TimeMs> last_keepalive_;

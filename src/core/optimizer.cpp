@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "obs/metrics.hpp"
 #include "solver/branch_and_bound.hpp"
 #include "solver/min_cost_flow.hpp"
 #include "solver/simplex.hpp"
@@ -137,6 +138,33 @@ const char* to_string(SolverBackend backend) noexcept {
   return "?";
 }
 
+namespace {
+
+// Engine-level solve metrics; per-backend detail (simplex iterations, B&B
+// node counts) is recorded inside dust::solver itself. Handles are magic
+// statics so parallel iteration sweeps only pay relaxed atomics per solve.
+struct EngineMetrics {
+  obs::Counter& solves;
+  obs::Counter& infeasible;
+  obs::Counter& partial;
+  obs::Histogram& solve_ms;
+  obs::Histogram& build_ms;
+  obs::Histogram& iterations;
+  static EngineMetrics& get() {
+    obs::MetricRegistry& registry = obs::MetricRegistry::global();
+    static EngineMetrics metrics{
+        registry.counter("dust_solver_solves_total"),
+        registry.counter("dust_solver_infeasible_total"),
+        registry.counter("dust_solver_partial_total"),
+        registry.histogram("dust_solver_solve_ms"),
+        registry.histogram("dust_solver_build_ms"),
+        registry.histogram("dust_solver_iterations")};
+    return metrics;
+  }
+};
+
+}  // namespace
+
 PlacementResult OptimizationEngine::run(const Nmdb& nmdb) const {
   util::Timer build_timer;
   const PlacementProblem problem =
@@ -144,17 +172,26 @@ PlacementResult OptimizationEngine::run(const Nmdb& nmdb) const {
   const double build_seconds = build_timer.seconds();
   PlacementResult result = solve(problem);
   result.build_seconds = build_seconds;
+  EngineMetrics::get().build_ms.observe(build_seconds * 1e3);
   return result;
 }
 
 PlacementResult OptimizationEngine::solve(const PlacementProblem& problem) const {
+  EngineMetrics& metrics = EngineMetrics::get();
+  metrics.solves.inc();
   PlacementResult result = solve_exact(problem);
   if (result.status == solver::Status::kInfeasible && options_.allow_partial) {
+    metrics.partial.inc();
     PlacementResult partial = solve_partial(problem);
     partial.paths_explored = problem.paths_explored;
+    metrics.solve_ms.observe(partial.solve_seconds * 1e3);
+    metrics.iterations.observe(static_cast<double>(partial.solver_iterations));
     return partial;
   }
+  if (result.status == solver::Status::kInfeasible) metrics.infeasible.inc();
   result.paths_explored = problem.paths_explored;
+  metrics.solve_ms.observe(result.solve_seconds * 1e3);
+  metrics.iterations.observe(static_cast<double>(result.solver_iterations));
   return result;
 }
 

@@ -1,0 +1,119 @@
+#include "obs/export.hpp"
+
+#include <cmath>
+#include <sstream>
+
+namespace dust::obs {
+
+namespace {
+
+// Format doubles compactly and JSON-safely (no inf/nan literals).
+std::string number(double v) {
+  if (std::isnan(v)) return "0";
+  if (std::isinf(v)) return v > 0 ? "1e308" : "-1e308";
+  std::ostringstream out;
+  out.precision(9);
+  out << v;
+  return out.str();
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char ch : s) {
+    if (ch == '"' || ch == '\\') {
+      out.push_back('\\');
+      out.push_back(ch);
+    } else if (static_cast<unsigned char>(ch) < 0x20) {
+      out += ' ';
+    } else {
+      out.push_back(ch);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+util::Table to_table(const RegistrySnapshot& snapshot) {
+  util::Table table("metric registry");
+  table.set_precision(3).header(
+      {"metric", "type", "value/count", "mean", "p50", "p90", "p99", "max"});
+  for (const CounterSnapshot& c : snapshot.counters)
+    table.row({c.name, std::string("counter"),
+               static_cast<std::int64_t>(c.value), std::string(""),
+               std::string(""), std::string(""), std::string(""),
+               std::string("")});
+  for (const GaugeSnapshot& g : snapshot.gauges)
+    table.row({g.name, std::string("gauge"), g.value, std::string(""),
+               std::string(""), std::string(""), std::string(""),
+               std::string("")});
+  for (const NamedHistogramSnapshot& h : snapshot.histograms)
+    table.row({h.name, std::string("histogram"),
+               static_cast<std::int64_t>(h.count), h.mean(), h.quantile(0.5),
+               h.quantile(0.9), h.quantile(0.99), h.max});
+  return table;
+}
+
+util::Table spans_to_table(const RegistrySnapshot& snapshot) {
+  util::Table table("recent spans");
+  table.set_precision(3).header(
+      {"span", "wall_ms", "sim_start_ms", "sim_duration_ms"});
+  for (const SpanRecord& span : snapshot.spans)
+    table.row({span.name, span.wall_ms, span.sim_start_ms,
+               span.sim_duration_ms});
+  return table;
+}
+
+void write_jsonl(const RegistrySnapshot& snapshot, std::ostream& os) {
+  for (const CounterSnapshot& c : snapshot.counters)
+    os << "{\"name\":\"" << json_escape(c.name)
+       << "\",\"type\":\"counter\",\"value\":" << c.value << "}\n";
+  for (const GaugeSnapshot& g : snapshot.gauges)
+    os << "{\"name\":\"" << json_escape(g.name)
+       << "\",\"type\":\"gauge\",\"value\":" << number(g.value) << "}\n";
+  for (const NamedHistogramSnapshot& h : snapshot.histograms) {
+    os << "{\"name\":\"" << json_escape(h.name)
+       << "\",\"type\":\"histogram\",\"count\":" << h.count
+       << ",\"sum\":" << number(h.sum) << ",\"min\":" << number(h.min)
+       << ",\"max\":" << number(h.max) << ",\"p50\":" << number(h.quantile(0.5))
+       << ",\"p90\":" << number(h.quantile(0.9))
+       << ",\"p99\":" << number(h.quantile(0.99)) << ",\"buckets\":[";
+    for (std::size_t i = 0; i < h.buckets.size(); ++i) {
+      if (i > 0) os << ',';
+      os << "[" << number(h.buckets[i].upper) << "," << h.buckets[i].count
+         << "]";
+    }
+    os << "]}\n";
+  }
+  for (const SpanRecord& span : snapshot.spans)
+    os << "{\"name\":\"" << json_escape(span.name)
+       << "\",\"type\":\"span\",\"wall_ms\":" << number(span.wall_ms)
+       << ",\"sim_start_ms\":" << span.sim_start_ms
+       << ",\"sim_duration_ms\":" << span.sim_duration_ms << "}\n";
+}
+
+void write_prometheus(const RegistrySnapshot& snapshot, std::ostream& os) {
+  for (const CounterSnapshot& c : snapshot.counters) {
+    os << "# TYPE " << c.name << " counter\n";
+    os << c.name << " " << c.value << "\n";
+  }
+  for (const GaugeSnapshot& g : snapshot.gauges) {
+    os << "# TYPE " << g.name << " gauge\n";
+    os << g.name << " " << number(g.value) << "\n";
+  }
+  for (const NamedHistogramSnapshot& h : snapshot.histograms) {
+    os << "# TYPE " << h.name << " histogram\n";
+    std::uint64_t cumulative = 0;
+    for (const BucketSnapshot& bucket : h.buckets) {
+      cumulative += bucket.count;
+      os << h.name << "_bucket{le=\"" << number(bucket.upper) << "\"} "
+         << cumulative << "\n";
+    }
+    os << h.name << "_bucket{le=\"+Inf\"} " << h.count << "\n";
+    os << h.name << "_sum " << number(h.sum) << "\n";
+    os << h.name << "_count " << h.count << "\n";
+  }
+}
+
+}  // namespace dust::obs

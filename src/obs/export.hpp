@@ -1,0 +1,29 @@
+// Exporters for registry scrapes: human-readable table (util::Table),
+// JSON lines (one object per metric), and Prometheus text exposition
+// format. All operate on an immutable RegistrySnapshot so a scrape can be
+// taken once and exported in several formats.
+#pragma once
+
+#include <ostream>
+
+#include "obs/metrics.hpp"
+#include "util/table.hpp"
+
+namespace dust::obs {
+
+/// One row per metric: counters/gauges show their value, histograms show
+/// count / mean / p50 / p90 / p99 / max.
+[[nodiscard]] util::Table to_table(const RegistrySnapshot& snapshot);
+
+/// Recent completed spans (name, wall ms, sim ms); empty table if none.
+[[nodiscard]] util::Table spans_to_table(const RegistrySnapshot& snapshot);
+
+/// JSON lines: {"name":...,"type":"counter","value":N} per line; histograms
+/// carry count/sum/min/max/quantiles plus the raw buckets.
+void write_jsonl(const RegistrySnapshot& snapshot, std::ostream& os);
+
+/// Prometheus text format (version 0.0.4): # TYPE headers, cumulative
+/// `_bucket{le=...}` series with +Inf, `_sum` and `_count` per histogram.
+void write_prometheus(const RegistrySnapshot& snapshot, std::ostream& os);
+
+}  // namespace dust::obs

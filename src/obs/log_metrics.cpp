@@ -1,0 +1,26 @@
+#include "obs/log_metrics.hpp"
+
+#include <array>
+
+#include "util/log.hpp"
+
+namespace dust::obs {
+
+void attach_log_metrics(MetricRegistry& registry) {
+  // Handles resolved once here; the observer itself is lock-free.
+  const std::array<Counter*, 5> by_level = {
+      &registry.counter("dust_util_log_trace_total"),
+      &registry.counter("dust_util_log_debug_total"),
+      &registry.counter("dust_util_log_info_total"),
+      &registry.counter("dust_util_log_warn_total"),
+      &registry.counter("dust_util_log_error_total"),
+  };
+  util::set_emit_observer([by_level](util::LogLevel level) {
+    const auto index = static_cast<std::size_t>(level);
+    if (index < by_level.size()) by_level[index]->inc();
+  });
+}
+
+void detach_log_metrics() { util::set_emit_observer(nullptr); }
+
+}  // namespace dust::obs

@@ -1,0 +1,24 @@
+// Bridge from util::log into the metric registry.
+//
+// util lives below obs in the layering, so the logger cannot link against
+// the registry directly; instead it exposes an emit-observer hook and this
+// bridge installs a callback that counts emitted lines per level:
+//
+//   dust_util_log_trace_total ... dust_util_log_error_total
+//
+// making LOG_AT volume itself observable (a chatty placement loop shows up
+// in the same scrape as its latency histogram).
+#pragma once
+
+#include "obs/metrics.hpp"
+
+namespace dust::obs {
+
+/// Install the emit observer counting log lines per level into `registry`.
+/// Replaces any previously attached observer.
+void attach_log_metrics(MetricRegistry& registry);
+
+/// Remove the observer (safe if none attached).
+void detach_log_metrics();
+
+}  // namespace dust::obs

@@ -1,0 +1,184 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dust::obs {
+
+double HistogramSnapshot::quantile(double q) const noexcept {
+  if (count == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(count);
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    const std::uint64_t in_bucket = buckets[i].count;
+    if (in_bucket == 0) continue;
+    if (static_cast<double>(cumulative + in_bucket) >= target) {
+      const double lower = i == 0 ? 0.0 : buckets[i - 1].upper;
+      const double upper = buckets[i].upper;
+      const double fraction =
+          (target - static_cast<double>(cumulative)) /
+          static_cast<double>(in_bucket);
+      // Clamp into the observed range so tiny samples don't report a
+      // quantile beyond the true extremes.
+      return std::clamp(lower + fraction * (upper - lower), min, max);
+    }
+    cumulative += in_bucket;
+  }
+  return max;
+}
+
+int Histogram::bucket_index(double v) noexcept {
+  if (!(v > 0.0)) return 0;  // also catches NaN
+  int exp = 0;
+  std::frexp(v, &exp);  // v = m * 2^exp, m in [0.5, 1) => v <= 2^exp
+  return std::clamp(exp - kMinExp, 0, kBuckets - 1);
+}
+
+double Histogram::bucket_upper(int index) noexcept {
+  return std::ldexp(1.0, index + kMinExp);
+}
+
+HistogramSnapshot Histogram::snapshot() const {
+  HistogramSnapshot snap;
+  snap.count = count_.load(std::memory_order_relaxed);
+  snap.sum = sum_.load(std::memory_order_relaxed);
+  if (snap.count == 0) {
+    snap.min = snap.max = 0.0;
+  } else {
+    snap.min = min_.load(std::memory_order_relaxed);
+    snap.max = max_.load(std::memory_order_relaxed);
+  }
+  // Trim trailing empty buckets; keep leading ones so cumulative counts in
+  // the Prometheus exporter stay simple.
+  int last_nonzero = -1;
+  std::uint64_t counts[kBuckets];
+  for (int i = 0; i < kBuckets; ++i) {
+    counts[i] = buckets_[i].load(std::memory_order_relaxed);
+    if (counts[i] > 0) last_nonzero = i;
+  }
+  snap.buckets.reserve(static_cast<std::size_t>(last_nonzero + 1));
+  for (int i = 0; i <= last_nonzero; ++i)
+    snap.buckets.push_back(BucketSnapshot{bucket_upper(i), counts[i]});
+  return snap;
+}
+
+void Histogram::reset() noexcept {
+  for (auto& bucket : buckets_) bucket.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+  min_.store(std::numeric_limits<double>::infinity(),
+             std::memory_order_relaxed);
+  max_.store(-std::numeric_limits<double>::infinity(),
+             std::memory_order_relaxed);
+}
+
+const CounterSnapshot* RegistrySnapshot::find_counter(
+    const std::string& name) const {
+  for (const CounterSnapshot& c : counters)
+    if (c.name == name) return &c;
+  return nullptr;
+}
+
+const GaugeSnapshot* RegistrySnapshot::find_gauge(
+    const std::string& name) const {
+  for (const GaugeSnapshot& g : gauges)
+    if (g.name == name) return &g;
+  return nullptr;
+}
+
+const NamedHistogramSnapshot* RegistrySnapshot::find_histogram(
+    const std::string& name) const {
+  for (const NamedHistogramSnapshot& h : histograms)
+    if (h.name == name) return &h;
+  return nullptr;
+}
+
+template <typename T>
+T& MetricRegistry::find_or_create(std::vector<Entry<T>>& entries,
+                                  const std::string& name) {
+  for (Entry<T>& entry : entries)
+    if (entry.name == name) return *entry.metric;
+  entries.push_back(Entry<T>{name, std::make_unique<T>()});
+  return *entries.back().metric;
+}
+
+Counter& MetricRegistry::counter(const std::string& name) {
+  std::lock_guard lock(mutex_);
+  return find_or_create(counters_, name);
+}
+
+Gauge& MetricRegistry::gauge(const std::string& name) {
+  std::lock_guard lock(mutex_);
+  return find_or_create(gauges_, name);
+}
+
+Histogram& MetricRegistry::histogram(const std::string& name) {
+  std::lock_guard lock(mutex_);
+  return find_or_create(histograms_, name);
+}
+
+RegistrySnapshot MetricRegistry::snapshot() const {
+  RegistrySnapshot snap;
+  std::lock_guard lock(mutex_);
+  snap.counters.reserve(counters_.size());
+  for (const Entry<Counter>& entry : counters_)
+    snap.counters.push_back(CounterSnapshot{entry.name, entry.metric->value()});
+  snap.gauges.reserve(gauges_.size());
+  for (const Entry<Gauge>& entry : gauges_)
+    snap.gauges.push_back(GaugeSnapshot{entry.name, entry.metric->value()});
+  snap.histograms.reserve(histograms_.size());
+  for (const Entry<Histogram>& entry : histograms_) {
+    NamedHistogramSnapshot h;
+    static_cast<HistogramSnapshot&>(h) = entry.metric->snapshot();
+    h.name = entry.name;
+    snap.histograms.push_back(std::move(h));
+  }
+  const auto by_name = [](const auto& a, const auto& b) {
+    return a.name < b.name;
+  };
+  std::sort(snap.counters.begin(), snap.counters.end(), by_name);
+  std::sort(snap.gauges.begin(), snap.gauges.end(), by_name);
+  std::sort(snap.histograms.begin(), snap.histograms.end(), by_name);
+  // Ring buffer -> chronological order.
+  snap.spans.reserve(spans_.size());
+  for (std::size_t i = 0; i < spans_.size(); ++i)
+    snap.spans.push_back(spans_[(span_head_ + i) % spans_.size()]);
+  return snap;
+}
+
+void MetricRegistry::reset() {
+  std::lock_guard lock(mutex_);
+  for (Entry<Counter>& entry : counters_) entry.metric->reset();
+  for (Entry<Gauge>& entry : gauges_) entry.metric->reset();
+  for (Entry<Histogram>& entry : histograms_) entry.metric->reset();
+  spans_.clear();
+  span_head_ = 0;
+}
+
+void MetricRegistry::record_span(SpanRecord record) {
+  std::lock_guard lock(mutex_);
+  if (spans_.size() < kMaxSpans) {
+    spans_.push_back(std::move(record));
+  } else {
+    spans_[span_head_] = std::move(record);
+    span_head_ = (span_head_ + 1) % kMaxSpans;
+  }
+}
+
+std::size_t MetricRegistry::counter_count() const {
+  std::lock_guard lock(mutex_);
+  return counters_.size();
+}
+
+std::size_t MetricRegistry::histogram_count() const {
+  std::lock_guard lock(mutex_);
+  return histograms_.size();
+}
+
+MetricRegistry& MetricRegistry::global() {
+  static MetricRegistry registry;
+  return registry;
+}
+
+}  // namespace dust::obs

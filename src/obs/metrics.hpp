@@ -1,0 +1,258 @@
+// dust::obs — self-observability for the DUST reproduction.
+//
+// DUST's thesis is that telemetry has a measurable resource cost; this
+// subsystem lets the system measure *its own* cost. A MetricRegistry holds
+// named Counter / Gauge / Histogram primitives with lock-free hot paths
+// (relaxed atomics); registration and scraping take a mutex, so callers on
+// hot paths fetch a handle once and keep it. Exporters (table / JSON lines /
+// Prometheus text) live in obs/export.hpp, span tracing in obs/span.hpp.
+//
+// Naming scheme (see DESIGN.md §Observability): `dust_<layer>_<name>`, with
+// `_total` for counters and a unit suffix (`_ms`, `_bytes`, ...) otherwise.
+//
+// Instrumentation can be disabled two ways:
+//  - at runtime: obs::set_enabled(false) turns every update into a cheap
+//    relaxed-load-and-return (what bench_sys_obs_overhead compares against);
+//  - at compile time: -DDUST_OBS_COMPILED_OUT makes updates empty inline
+//    functions, for measuring the cost of the runtime check itself.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace dust::obs {
+
+namespace detail {
+inline std::atomic<bool> g_enabled{true};
+}
+
+/// Global instrumentation switch (cheap relaxed load on every update).
+inline bool enabled() noexcept {
+  return detail::g_enabled.load(std::memory_order_relaxed);
+}
+inline void set_enabled(bool on) noexcept {
+  detail::g_enabled.store(on, std::memory_order_relaxed);
+}
+
+/// Monotonic event count. Thread-safe; updates are relaxed atomics.
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) noexcept {
+#ifndef DUST_OBS_COMPILED_OUT
+    if (enabled()) value_.fetch_add(n, std::memory_order_relaxed);
+#else
+    (void)n;
+#endif
+  }
+  [[nodiscard]] std::uint64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-written point-in-time value. Thread-safe.
+class Gauge {
+ public:
+  void set(double v) noexcept {
+#ifndef DUST_OBS_COMPILED_OUT
+    if (enabled()) value_.store(v, std::memory_order_relaxed);
+#else
+    (void)v;
+#endif
+  }
+  void add(double delta) noexcept {
+#ifndef DUST_OBS_COMPILED_OUT
+    if (!enabled()) return;
+    double cur = value_.load(std::memory_order_relaxed);
+    while (!value_.compare_exchange_weak(cur, cur + delta,
+                                         std::memory_order_relaxed)) {
+    }
+#else
+    (void)delta;
+#endif
+  }
+  [[nodiscard]] double value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { value_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// One histogram bucket in a snapshot: count of observations <= upper.
+struct BucketSnapshot {
+  double upper = 0.0;
+  std::uint64_t count = 0;  ///< non-cumulative (this bucket only)
+};
+
+struct HistogramSnapshot {
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  std::vector<BucketSnapshot> buckets;  ///< ascending upper bounds
+
+  [[nodiscard]] double mean() const noexcept {
+    return count ? sum / static_cast<double>(count) : 0.0;
+  }
+  /// Approximate quantile (q in [0,1]) by linear interpolation inside the
+  /// power-of-two bucket containing the target rank. Accurate to the bucket
+  /// resolution (a factor of 2 worst case), which is what log-bucketed
+  /// latency tracking trades for O(1) lock-free updates.
+  [[nodiscard]] double quantile(double q) const noexcept;
+};
+
+/// Log-bucketed (power-of-two bounds) histogram for latency-style values.
+/// observe() is a handful of relaxed atomic operations; no locks, no
+/// allocation. Negative/zero values land in the lowest bucket; values above
+/// the highest bound clamp into the top bucket (min/max stay exact).
+class Histogram {
+ public:
+  /// Bucket i covers (2^(i-1+kMinExp), 2^(i+kMinExp)]; with kMinExp = -12
+  /// the range spans ~0.24 µs to ~25 days when observing milliseconds.
+  static constexpr int kMinExp = -12;
+  static constexpr int kBuckets = 44;
+
+  void observe(double v) noexcept {
+#ifndef DUST_OBS_COMPILED_OUT
+    if (!enabled()) return;
+    buckets_[bucket_index(v)].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    atomic_add(sum_, v);
+    atomic_min(min_, v);
+    atomic_max(max_, v);
+#else
+    (void)v;
+#endif
+  }
+
+  [[nodiscard]] std::uint64_t count() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] HistogramSnapshot snapshot() const;
+  void reset() noexcept;
+
+  [[nodiscard]] static int bucket_index(double v) noexcept;
+  /// Upper bound of bucket `index` (2^(index + kMinExp)).
+  [[nodiscard]] static double bucket_upper(int index) noexcept;
+
+ private:
+  static void atomic_add(std::atomic<double>& target, double v) noexcept {
+    double cur = target.load(std::memory_order_relaxed);
+    while (!target.compare_exchange_weak(cur, cur + v,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+  static void atomic_min(std::atomic<double>& target, double v) noexcept {
+    double cur = target.load(std::memory_order_relaxed);
+    while (v < cur &&
+           !target.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
+  static void atomic_max(std::atomic<double>& target, double v) noexcept {
+    double cur = target.load(std::memory_order_relaxed);
+    while (v > cur &&
+           !target.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
+
+  std::atomic<std::uint64_t> buckets_[kBuckets]{};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  std::atomic<double> min_{std::numeric_limits<double>::infinity()};
+  std::atomic<double> max_{-std::numeric_limits<double>::infinity()};
+};
+
+struct CounterSnapshot {
+  std::string name;
+  std::uint64_t value = 0;
+};
+struct GaugeSnapshot {
+  std::string name;
+  double value = 0.0;
+};
+struct NamedHistogramSnapshot : HistogramSnapshot {
+  std::string name;
+};
+
+/// One completed trace span (see obs/span.hpp).
+struct SpanRecord {
+  std::string name;
+  double wall_ms = 0.0;
+  std::int64_t sim_start_ms = -1;  ///< -1 when no virtual clock was attached
+  std::int64_t sim_duration_ms = -1;
+};
+
+struct RegistrySnapshot {
+  std::vector<CounterSnapshot> counters;
+  std::vector<GaugeSnapshot> gauges;
+  std::vector<NamedHistogramSnapshot> histograms;
+  std::vector<SpanRecord> spans;  ///< most recent completed spans, oldest first
+
+  [[nodiscard]] const CounterSnapshot* find_counter(const std::string& name) const;
+  [[nodiscard]] const GaugeSnapshot* find_gauge(const std::string& name) const;
+  [[nodiscard]] const NamedHistogramSnapshot* find_histogram(
+      const std::string& name) const;
+};
+
+/// Named-metric registry. Metrics are created on first access and never
+/// destroyed (reset() zeroes values but keeps registrations), so handles
+/// returned by counter()/gauge()/histogram() stay valid for the registry's
+/// lifetime — fetch them once, outside hot loops.
+class MetricRegistry {
+ public:
+  MetricRegistry() = default;
+  MetricRegistry(const MetricRegistry&) = delete;
+  MetricRegistry& operator=(const MetricRegistry&) = delete;
+
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  Histogram& histogram(const std::string& name);
+
+  /// Consistent-enough scrape: each metric is read atomically, the set as a
+  /// whole is not a point-in-time cut (standard for live registries).
+  [[nodiscard]] RegistrySnapshot snapshot() const;
+
+  /// Zero every metric and clear the span buffer; registrations (and thus
+  /// previously handed-out handles) survive.
+  void reset();
+
+  /// Append a completed span to the bounded trace buffer (oldest evicted).
+  void record_span(SpanRecord record);
+
+  [[nodiscard]] std::size_t counter_count() const;
+  [[nodiscard]] std::size_t histogram_count() const;
+
+  /// Process-wide registry the built-in instrumentation writes to.
+  static MetricRegistry& global();
+
+  static constexpr std::size_t kMaxSpans = 512;
+
+ private:
+  template <typename T>
+  struct Entry {
+    std::string name;
+    std::unique_ptr<T> metric;
+  };
+  template <typename T>
+  static T& find_or_create(std::vector<Entry<T>>& entries,
+                           const std::string& name);
+
+  mutable std::mutex mutex_;
+  std::vector<Entry<Counter>> counters_;
+  std::vector<Entry<Gauge>> gauges_;
+  std::vector<Entry<Histogram>> histograms_;
+  std::vector<SpanRecord> spans_;
+  std::size_t span_head_ = 0;  ///< ring cursor once spans_ is full
+};
+
+}  // namespace dust::obs

@@ -1,0 +1,27 @@
+#include "obs/span.hpp"
+
+namespace dust::obs {
+
+Span::Span(MetricRegistry& registry, std::string name, VirtualClock clock)
+    : registry_(enabled() ? &registry : nullptr),
+      name_(std::move(name)),
+      clock_(std::move(clock)) {
+  if (registry_ != nullptr && clock_) sim_start_ms_ = clock_();
+}
+
+Span::~Span() {
+  if (registry_ == nullptr) return;
+  SpanRecord record;
+  record.name = name_;
+  record.wall_ms = timer_.millis();
+  registry_->histogram(name_ + "_wall_ms").observe(record.wall_ms);
+  if (clock_) {
+    record.sim_start_ms = sim_start_ms_;
+    record.sim_duration_ms = clock_() - sim_start_ms_;
+    registry_->histogram(name_ + "_sim_ms")
+        .observe(static_cast<double>(record.sim_duration_ms));
+  }
+  registry_->record_span(std::move(record));
+}
+
+}  // namespace dust::obs

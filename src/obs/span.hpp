@@ -1,0 +1,65 @@
+// Lightweight tracing on top of the metric registry.
+//
+// ScopedTimer is the zero-ceremony primitive: it observes its wall-clock
+// lifetime (milliseconds) into a Histogram the caller already holds.
+//
+// Span is the named, registry-recorded form. On destruction it observes
+// `<name>_wall_ms` (and, when a virtual clock is attached, `<name>_sim_ms`)
+// histograms in the registry and appends a SpanRecord to the registry's
+// bounded trace buffer. The virtual clock is any callable returning the
+// current virtual time in ms — pass `[&]{ return sim.now(); }` to trace
+// sim::Simulator time without obs depending on dust_sim. Wall time and
+// virtual time deliberately coexist: in the discrete-event testbed a
+// placement cycle costs real CPU (wall) while the protocol around it runs
+// on virtual time; both are needed to reason about overhead (DESIGN.md).
+#pragma once
+
+#include <functional>
+#include <string>
+#include <utility>
+
+#include "obs/metrics.hpp"
+#include "util/timer.hpp"
+
+namespace dust::obs {
+
+/// Observes the timer's wall-clock lifetime into `hist` (milliseconds).
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram& hist) noexcept : hist_(&hist) {}
+  ~ScopedTimer() { hist_->observe(timer_.millis()); }
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  /// Elapsed wall milliseconds so far (the destructor observes the final value).
+  [[nodiscard]] double elapsed_ms() const noexcept { return timer_.millis(); }
+
+ private:
+  Histogram* hist_;
+  util::Timer timer_;
+};
+
+/// Returns the current virtual time in milliseconds (e.g. Simulator::now).
+using VirtualClock = std::function<std::int64_t()>;
+
+class Span {
+ public:
+  Span(MetricRegistry& registry, std::string name)
+      : Span(registry, std::move(name), VirtualClock{}) {}
+
+  Span(MetricRegistry& registry, std::string name, VirtualClock clock);
+  ~Span();
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  MetricRegistry* registry_;  ///< null when obs was disabled at construction
+  std::string name_;
+  VirtualClock clock_;
+  std::int64_t sim_start_ms_ = -1;
+  util::Timer timer_;
+};
+
+}  // namespace dust::obs

@@ -6,6 +6,24 @@
 
 namespace dust::sim {
 
+Transport::Transport(Simulator& sim, util::Rng rng) : sim_(&sim), rng_(rng) {
+  obs::MetricRegistry& registry = obs::MetricRegistry::global();
+  metrics_.sent = &registry.counter("dust_sim_transport_sent_total");
+  metrics_.sent_low = &registry.counter("dust_sim_transport_sent_low_total");
+  metrics_.delivered = &registry.counter("dust_sim_transport_delivered_total");
+  metrics_.dropped = &registry.counter("dust_sim_transport_dropped_total");
+  metrics_.dropped_congestion =
+      &registry.counter("dust_sim_transport_dropped_congestion_total");
+  metrics_.dropped_loss =
+      &registry.counter("dust_sim_transport_dropped_loss_total");
+  metrics_.dropped_partition =
+      &registry.counter("dust_sim_transport_dropped_partition_total");
+  metrics_.dropped_no_endpoint =
+      &registry.counter("dust_sim_transport_dropped_no_endpoint_total");
+  metrics_.delivery_latency_ms =
+      &registry.histogram("dust_sim_transport_delivery_latency_ms");
+}
+
 void Transport::set_loss_probability(double p) {
   if (p < 0.0 || p > 1.0)
     throw std::invalid_argument("Transport: loss probability out of [0,1]");
@@ -42,28 +60,42 @@ bool Transport::has_endpoint(const std::string& name) const {
 void Transport::send(const std::string& from, const std::string& to,
                      std::any payload, Priority priority) {
   ++sent_;
+  metrics_.sent->inc();
+  if (priority == Priority::kLow) metrics_.sent_low->inc();
   if (congested_ && priority == Priority::kLow) {
     ++dropped_;  // QoS: monitoring data is discardable under congestion
+    metrics_.dropped->inc();
+    metrics_.dropped_congestion->inc();
     return;
   }
   if (loss_probability_ > 0 && rng_.bernoulli(loss_probability_)) {
     ++dropped_;
+    metrics_.dropped->inc();
+    metrics_.dropped_loss->inc();
     return;
   }
   if (auto it = partitioned_.find(to); it != partitioned_.end() && it->second) {
     ++dropped_;
+    metrics_.dropped->inc();
+    metrics_.dropped_partition->inc();
     return;
   }
   auto envelope = std::make_shared<Envelope>(
       Envelope{from, to, std::move(payload), priority});
-  sim_->schedule(default_latency_ms_, [this, envelope] {
+  const TimeMs sent_at = sim_->now();
+  sim_->schedule(default_latency_ms_, [this, envelope, sent_at] {
     // Endpoint may have unregistered while in flight (e.g. failed node).
     auto it = endpoints_.find(envelope->to);
     if (it == endpoints_.end()) {
       ++dropped_;
+      metrics_.dropped->inc();
+      metrics_.dropped_no_endpoint->inc();
       return;
     }
     ++delivered_;
+    metrics_.delivered->inc();
+    metrics_.delivery_latency_ms->observe(
+        static_cast<double>(sim_->now() - sent_at));
     it->second.handler(*envelope);
   });
 }

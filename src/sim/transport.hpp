@@ -13,6 +13,7 @@
 #include <string>
 #include <unordered_map>
 
+#include "obs/metrics.hpp"
 #include "sim/event_queue.hpp"
 #include "util/rng.hpp"
 
@@ -34,7 +35,7 @@ class Transport {
  public:
   using Handler = std::function<void(const Envelope&)>;
 
-  Transport(Simulator& sim, util::Rng rng) : sim_(&sim), rng_(rng) {}
+  Transport(Simulator& sim, util::Rng rng);
 
   void set_default_latency_ms(TimeMs latency) { default_latency_ms_ = latency; }
   /// Message loss probability in [0, 1] applied to every send.
@@ -66,8 +67,24 @@ class Transport {
   [[nodiscard]] std::uint64_t dropped() const noexcept { return dropped_; }
 
  private:
+  /// Global-registry handles (dust_sim_transport_*), resolved once at
+  /// construction so the send path stays lock-free. Drops are counted both
+  /// in total and by cause so QoS behaviour under congestion is scrapable.
+  struct Metrics {
+    obs::Counter* sent = nullptr;
+    obs::Counter* sent_low = nullptr;
+    obs::Counter* delivered = nullptr;
+    obs::Counter* dropped = nullptr;
+    obs::Counter* dropped_congestion = nullptr;
+    obs::Counter* dropped_loss = nullptr;
+    obs::Counter* dropped_partition = nullptr;
+    obs::Counter* dropped_no_endpoint = nullptr;
+    obs::Histogram* delivery_latency_ms = nullptr;  ///< sim-time latency
+  };
+
   Simulator* sim_;
   util::Rng rng_;
+  Metrics metrics_;
   TimeMs default_latency_ms_ = 1;
   double loss_probability_ = 0.0;
   bool congested_ = false;

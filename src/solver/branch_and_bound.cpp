@@ -5,6 +5,8 @@
 #include <queue>
 #include <vector>
 
+#include "obs/metrics.hpp"
+
 namespace dust::solver {
 
 namespace {
@@ -63,6 +65,12 @@ Solution solve_branch_and_bound(const LinearProgram& lp,
                                 const BranchAndBoundOptions& options) {
   if (!lp.has_integer_variables()) return solve_simplex(lp, options.simplex);
 
+  // `iterations` counts explored B&B nodes in this path (see header).
+  static obs::Counter& solves_metric = obs::MetricRegistry::global().counter(
+      "dust_solver_bnb_solves_total");
+  static obs::Histogram& nodes_metric =
+      obs::MetricRegistry::global().histogram("dust_solver_bnb_nodes");
+
   Solution best;
   best.status = Status::kInfeasible;
   best.objective = kInfinity;
@@ -96,6 +104,8 @@ Solution solve_branch_and_bound(const LinearProgram& lp,
       Solution out;
       out.status = Status::kUnbounded;
       out.iterations = explored;
+      solves_metric.inc();
+      nodes_metric.observe(static_cast<double>(explored));
       return out;
     }
     if (relaxed.status != Status::kOptimal) continue;  // pruned (infeasible)
@@ -132,6 +142,8 @@ Solution solve_branch_and_bound(const LinearProgram& lp,
   best.iterations = explored;
   if (best.status != Status::kOptimal && hit_node_limit)
     best.status = Status::kIterationLimit;
+  solves_metric.inc();
+  nodes_metric.observe(static_cast<double>(explored));
   return best;
 }
 

@@ -5,6 +5,8 @@
 #include <stdexcept>
 #include <vector>
 
+#include "obs/metrics.hpp"
+
 namespace dust::solver {
 
 namespace {
@@ -324,7 +326,25 @@ class Tableau {
 
 }  // namespace
 
-Solution solve_simplex(const LinearProgram& lp, const SimplexOptions& options) {
+namespace {
+
+// Handles resolved once (thread-safe magic static); the per-solve cost is a
+// few relaxed atomics, so the microbenches over solve_simplex stay honest.
+struct SimplexMetrics {
+  obs::Counter& solves;
+  obs::Histogram& iterations;
+  static SimplexMetrics& get() {
+    static SimplexMetrics metrics{
+        obs::MetricRegistry::global().counter(
+            "dust_solver_simplex_solves_total"),
+        obs::MetricRegistry::global().histogram(
+            "dust_solver_simplex_iterations")};
+    return metrics;
+  }
+};
+
+Solution solve_simplex_impl(const LinearProgram& lp,
+                            const SimplexOptions& options) {
   Solution solution;
   const StandardForm sf = build_standard_form(lp);
 
@@ -389,6 +409,16 @@ Solution solve_simplex(const LinearProgram& lp, const SimplexOptions& options) {
   }
   solution.objective = lp.objective_value(solution.values);
   solution.status = Status::kOptimal;
+  return solution;
+}
+
+}  // namespace
+
+Solution solve_simplex(const LinearProgram& lp, const SimplexOptions& options) {
+  Solution solution = solve_simplex_impl(lp, options);
+  SimplexMetrics& metrics = SimplexMetrics::get();
+  metrics.solves.inc();
+  metrics.iterations.observe(static_cast<double>(solution.iterations));
   return solution;
 }
 

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+
 namespace dust::telemetry {
 
 MonitorAgent::MonitorAgent(std::string name, AgentCostModel cost_model,
@@ -36,6 +38,9 @@ double MonitorAgent::sample(const DeviceSnapshot& snapshot, Tsdb& db,
   if (!bound_) throw std::logic_error("MonitorAgent::sample before bind");
   last_sample_ms_ = snapshot.timestamp_ms;
   ++samples_;
+  static obs::Counter& samples_metric = obs::MetricRegistry::global().counter(
+      "dust_telemetry_agent_samples_total");
+  samples_metric.inc();
 
   // Each agent family tracks a primary and an auxiliary signal; the exact
   // field chosen only matters for realism of the stored series.

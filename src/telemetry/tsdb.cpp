@@ -5,6 +5,8 @@
 #include <ostream>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+
 namespace dust::telemetry {
 
 namespace {
@@ -52,6 +54,12 @@ TimeSeries::TimeSeries(MetricDescriptor descriptor, std::size_t samples_per_bloc
 }
 
 void TimeSeries::seal_active() {
+  if (active_.sample_count() > 0) {
+    static obs::Histogram& ratio_metric =
+        obs::MetricRegistry::global().histogram(
+            "dust_telemetry_block_compression_ratio");
+    ratio_metric.observe(active_.compression_ratio());
+  }
   sealed_.push_back(std::move(active_));
   active_ = CompressedBlock{};
 }
@@ -219,6 +227,9 @@ std::optional<MetricId> Tsdb::find(const std::string& name) const {
 }
 
 void Tsdb::append(MetricId id, const Sample& sample) {
+  static obs::Counter& appends_metric = obs::MetricRegistry::global().counter(
+      "dust_telemetry_tsdb_appends_total");
+  appends_metric.inc();
   series_.at(id).append(sample);
 }
 

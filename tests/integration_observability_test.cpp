@@ -1,0 +1,194 @@
+// End-to-end observability: run the Fig. 4 scenario over the simulated
+// transport, sample telemetry into a Tsdb, then scrape the global metric
+// registry and check that every instrumented layer reported activity —
+// placement solve latency, per-message-type protocol counters, transport
+// drops, and agent ingestion.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+#include <vector>
+
+#include "core/client.hpp"
+#include "core/manager.hpp"
+#include "graph/topology.hpp"
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "telemetry/agent.hpp"
+#include "telemetry/tsdb.hpp"
+
+namespace dust {
+namespace {
+
+/// The paper's illustrative 7-node network (Fig. 4): busy switch S1 (node 0),
+/// offload candidates S2 (1) and S6 (5), relays in between.
+net::NetworkState make_fig4_state() {
+  graph::Graph g(7);
+  g.add_edge(0, 3);
+  g.add_edge(3, 1);
+  g.add_edge(3, 4);
+  g.add_edge(4, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 6);
+  g.add_edge(3, 5);
+  net::NetworkState state(std::move(g));
+  for (graph::EdgeId e = 0; e < state.edge_count(); ++e)
+    state.set_link(e, net::LinkState{.bandwidth_mbps = 10000.0,
+                                     .utilization = 0.5});
+  state.set_node_utilization(0, 93.0);
+  state.set_node_utilization(1, 42.0);
+  state.set_node_utilization(5, 52.0);
+  for (graph::NodeId v : {2u, 3u, 4u, 6u}) state.set_node_utilization(v, 70.0);
+  state.set_monitoring_data_mb(0, 80.0);
+  return state;
+}
+
+struct Fig4Observability : ::testing::Test {
+  sim::Simulator sim;
+  sim::Transport transport{sim, util::Rng(7)};
+  std::unique_ptr<core::DustManager> manager;
+  std::vector<std::unique_ptr<core::DustClient>> clients;
+
+  void SetUp() override {
+    obs::set_enabled(true);
+    obs::MetricRegistry::global().reset();
+
+    core::ManagerConfig config;
+    config.update_interval_ms = 1000;
+    config.placement_period_ms = 5000;
+    config.keepalive_timeout_ms = 4000;
+    config.keepalive_check_period_ms = 1000;
+    manager = std::make_unique<core::DustManager>(
+        sim, transport, core::Nmdb(make_fig4_state(), core::Thresholds{}),
+        config);
+    for (graph::NodeId v = 0; v < 7; ++v) {
+      clients.push_back(std::make_unique<core::DustClient>(
+          sim, transport, v, core::ClientConfig{.keepalive_interval_ms = 1000},
+          util::Rng(100 + v)));
+    }
+    clients[0]->set_reported_state(93.0, 80.0, 10);
+    clients[1]->set_reported_state(42.0, 5.0, 10);
+    clients[5]->set_reported_state(52.0, 5.0, 10);
+    for (graph::NodeId v : {2u, 3u, 4u, 6u})
+      clients[v]->set_reported_state(70.0, 5.0, 10);
+    for (auto& client : clients) client->start();
+    manager->start();
+  }
+};
+
+TEST_F(Fig4Observability, ScrapeReportsActivityFromEveryLayer) {
+  // Run long enough for handshakes, STATs, and two placement cycles.
+  sim.run_until(12000);
+  ASSERT_GE(manager->active_offload_count(), 1u);
+  ASSERT_GT(clients[0]->offloaded_agent_count(), 0u);
+
+  // QoS under congestion: the busy node streams telemetry (kLow) to its
+  // offload destinations while the network is congested — it must be shed.
+  transport.set_congested(true);
+  telemetry::DeviceSnapshot snapshot;
+  snapshot.timestamp_ms = sim.now();
+  snapshot.device_cpu_percent = 93.0;
+  snapshot.rx_mbps = 9000.0;
+  clients[0]->publish_snapshot(snapshot);
+  sim.run_until(sim.now() + 1000);
+  transport.set_congested(false);
+
+  // Telemetry layer: a monitoring agent ingesting into a Tsdb.
+  telemetry::Tsdb db;
+  telemetry::MonitorAgent agent("system.cpu.memory",
+                                telemetry::AgentCostModel{}, 1000);
+  agent.bind(db);
+  util::Rng rng(3);
+  for (int tick = 0; tick < 5; ++tick) {
+    snapshot.timestamp_ms += 1000;
+    agent.sample(snapshot, db, rng);
+  }
+
+  const obs::RegistrySnapshot scrape = obs::MetricRegistry::global().snapshot();
+
+  // Placement solve latency histogram recorded at least one cycle.
+  const obs::NamedHistogramSnapshot* solve_ms =
+      scrape.find_histogram("dust_core_placement_solve_ms");
+  ASSERT_NE(solve_ms, nullptr);
+  EXPECT_GT(solve_ms->count, 0u);
+
+  // Per-message-type protocol counters.
+  const obs::CounterSnapshot* rx_stat =
+      scrape.find_counter("dust_core_rx_stat_total");
+  ASSERT_NE(rx_stat, nullptr);
+  EXPECT_GT(rx_stat->value, 0u);
+  EXPECT_EQ(rx_stat->value, manager->stats_received());
+  const obs::CounterSnapshot* offload_req =
+      scrape.find_counter("dust_core_tx_offload_request_total");
+  ASSERT_NE(offload_req, nullptr);
+  EXPECT_GT(offload_req->value, 0u);
+  const obs::CounterSnapshot* rx_capable =
+      scrape.find_counter("dust_core_rx_offload_capable_total");
+  ASSERT_NE(rx_capable, nullptr);
+  EXPECT_EQ(rx_capable->value, 7u);  // one handshake per client
+
+  // Transport drops: the congested kLow telemetry stream was shed.
+  const obs::CounterSnapshot* dropped =
+      scrape.find_counter("dust_sim_transport_dropped_total");
+  ASSERT_NE(dropped, nullptr);
+  EXPECT_GT(dropped->value, 0u);
+  const obs::CounterSnapshot* dropped_congestion =
+      scrape.find_counter("dust_sim_transport_dropped_congestion_total");
+  ASSERT_NE(dropped_congestion, nullptr);
+  EXPECT_GT(dropped_congestion->value, 0u);
+
+  // Telemetry ingestion.
+  const obs::CounterSnapshot* samples =
+      scrape.find_counter("dust_telemetry_agent_samples_total");
+  ASSERT_NE(samples, nullptr);
+  EXPECT_EQ(samples->value, 5u);
+  const obs::CounterSnapshot* appends =
+      scrape.find_counter("dust_telemetry_tsdb_appends_total");
+  ASSERT_NE(appends, nullptr);
+  EXPECT_EQ(appends->value, 15u);  // 3 series per agent sample
+
+  // Solver layer fed the placement cycles.
+  const obs::CounterSnapshot* solves =
+      scrape.find_counter("dust_solver_solves_total");
+  ASSERT_NE(solves, nullptr);
+  EXPECT_GT(solves->value, 0u);
+
+  // Spans: each placement cycle left a trace record with virtual timing.
+  ASSERT_FALSE(scrape.spans.empty());
+  EXPECT_EQ(scrape.spans.back().name, "dust_core_placement_cycle");
+  EXPECT_GE(scrape.spans.back().sim_start_ms, 0);
+
+  // NMDB staleness was observed against sim time.
+  const obs::NamedHistogramSnapshot* staleness =
+      scrape.find_histogram("dust_core_nmdb_staleness_ms");
+  ASSERT_NE(staleness, nullptr);
+  EXPECT_GT(staleness->count, 0u);
+
+  // The scrape exports cleanly in all three formats.
+  std::ostringstream prom;
+  obs::write_prometheus(scrape, prom);
+  EXPECT_NE(prom.str().find("dust_core_placement_solve_ms_bucket"),
+            std::string::npos);
+  std::ostringstream jsonl;
+  obs::write_jsonl(scrape, jsonl);
+  EXPECT_NE(jsonl.str().find("dust_sim_transport_dropped_total"),
+            std::string::npos);
+}
+
+TEST_F(Fig4Observability, DisabledInstrumentationRecordsNothing) {
+  obs::set_enabled(false);
+  sim.run_until(12000);
+  obs::set_enabled(true);
+  const obs::RegistrySnapshot scrape = obs::MetricRegistry::global().snapshot();
+  const obs::CounterSnapshot* rx_stat =
+      scrape.find_counter("dust_core_rx_stat_total");
+  ASSERT_NE(rx_stat, nullptr);  // registered at construction...
+  EXPECT_EQ(rx_stat->value, 0u);  // ...but never incremented while disabled
+  const obs::NamedHistogramSnapshot* solve_ms =
+      scrape.find_histogram("dust_core_placement_solve_ms");
+  ASSERT_NE(solve_ms, nullptr);
+  EXPECT_EQ(solve_ms->count, 0u);
+}
+
+}  // namespace
+}  // namespace dust

@@ -98,6 +98,30 @@ TEST_F(Fixture, CongestionDropsOnlyLowPriority) {
   EXPECT_EQ(received.size(), 2u);
 }
 
+TEST_F(Fixture, LossAndPriorityInteract) {
+  // Under congestion with lossy links, kLow traffic is shed entirely while
+  // kNormal only pays the link loss rate — QoS shedding and stochastic loss
+  // are independent drop causes.
+  listen("b");
+  transport.set_congested(true);
+  transport.set_loss_probability(0.2);
+  constexpr int kPerClass = 1000;
+  for (int i = 0; i < kPerClass; ++i) {
+    transport.send("a", "b", i, Priority::kLow);
+    transport.send("a", "b", i, Priority::kNormal);
+  }
+  sim.run();
+  std::size_t low_received = 0;
+  for (const Envelope& e : received)
+    if (e.priority == Priority::kLow) ++low_received;
+  EXPECT_EQ(low_received, 0u);  // congestion sheds every kLow message
+  const double normal_rate =
+      static_cast<double>(received.size()) / kPerClass;
+  EXPECT_NEAR(normal_rate, 0.8, 0.05);  // kNormal survives minus link loss
+  EXPECT_EQ(transport.dropped() + received.size(),
+            static_cast<std::size_t>(2 * kPerClass));
+}
+
 TEST_F(Fixture, CountersConsistent) {
   listen("b");
   transport.send("a", "b", 1);
