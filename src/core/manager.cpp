@@ -21,6 +21,11 @@ DustManager::DustManager(sim::Simulator& sim, sim::Transport& transport,
       transport_(&transport),
       nmdb_(std::move(nmdb)),
       config_(config) {
+  if (config_.incremental_placement) {
+    config_.optimizer.placement.response_cache = &trmin_cache_;
+    config_.optimizer.warm_start = true;
+  }
+  engine_ = OptimizationEngine(config_.optimizer);
   obs::MetricRegistry& registry = obs::MetricRegistry::global();
   metrics_.rx_offload_capable =
       &registry.counter("dust_core_rx_offload_capable_total");
@@ -172,6 +177,11 @@ std::size_t DustManager::run_placement_cycle() {
   // once the destination's STAT does include the hosted load, the
   // reservation double-counts it and the optimizer simply under-uses that
   // node slightly.
+  // Sync the Trmin cache against the authoritative link state *before* the
+  // planning copy below: the copy shares the links bit-for-bit (only node
+  // utilizations are adjusted, and Trmin depends on links alone), so rows
+  // cached against nmdb_ serve the adjusted view exactly.
+  if (config_.incremental_placement) trmin_cache_.begin_cycle(nmdb_.network());
   Nmdb adjusted = nmdb_;
   for (const auto& [id, offload] : offloads_) {
     const double arriving = offload.amount *
@@ -182,8 +192,7 @@ std::size_t DustManager::run_placement_cycle() {
     adjusted.network().set_node_utilization(
         offload.destination, std::min(100.0, utilization));
   }
-  const OptimizationEngine engine(config_.optimizer);
-  const PlacementResult result = engine.run(adjusted);
+  const PlacementResult result = engine_.run(adjusted);
   metrics_.placement_solve_ms->observe(result.solve_seconds * 1e3);
   metrics_.placement_build_ms->observe(result.build_seconds * 1e3);
   if (!result.optimal() && result.assignments.empty()) {

@@ -32,6 +32,13 @@ struct ManagerConfig {
   /// Assignments smaller than this (capacity-percent) are not worth a
   /// relationship: skip them rather than move zero agents.
   double min_offload_amount_percent = 1.0;
+  /// Incremental placement pipeline (DESIGN.md §8): reuse Trmin rows across
+  /// cycles via a dirty-aware cache and warm-start the solver from the
+  /// previous cycle's flow. With the default link epsilon of 0 the plans are
+  /// identical to full recomputation (warm starts change the pivot path, not
+  /// the optimum); steady-state cycles get dramatically cheaper. Off by
+  /// default so explicitly configured optimizer options are untouched.
+  bool incremental_placement = false;
   OptimizerOptions optimizer;
 };
 
@@ -78,6 +85,15 @@ class DustManager {
   [[nodiscard]] std::size_t stats_received() const noexcept {
     return stats_received_;
   }
+  /// Trmin cache behaviour (hits/misses/invalidations) — only moves when
+  /// incremental_placement is on.
+  [[nodiscard]] net::ResponseTimeCacheStats trmin_cache_stats() const {
+    return trmin_cache_.stats();
+  }
+  /// The persistent engine (exposes warm/cold solve counts).
+  [[nodiscard]] const OptimizationEngine& engine() const noexcept {
+    return engine_;
+  }
 
  private:
   void handle(const sim::Envelope& envelope);
@@ -121,6 +137,11 @@ class DustManager {
   sim::Transport* transport_;
   Nmdb nmdb_;
   ManagerConfig config_;
+  /// Declared before engine_: the engine's options point at this cache when
+  /// incremental_placement is on. Both persist across cycles by design —
+  /// that persistence is what makes the pipeline incremental.
+  net::ResponseTimeCache trmin_cache_;
+  OptimizationEngine engine_;
   Metrics metrics_;
   std::map<graph::NodeId, sim::TimeMs> last_stat_at_;
   std::uint64_t next_request_id_ = 1;

@@ -70,21 +70,31 @@ void Nmdb::set_hosting(graph::NodeId node, bool hosting) {
   hosting_.at(node) = hosting ? 1 : 0;
 }
 
-std::vector<graph::NodeId> Nmdb::busy_nodes() const {
-  std::vector<graph::NodeId> out;
+void Nmdb::busy_nodes_into(std::vector<graph::NodeId>& out) const {
+  out.clear();
   for (graph::NodeId v = 0; v < state_.node_count(); ++v)
     if (offload_capable(v) &&
         thresholds(v).classify(state_.node_utilization(v)) == NodeRole::kBusy)
       out.push_back(v);
+}
+
+std::vector<graph::NodeId> Nmdb::busy_nodes() const {
+  std::vector<graph::NodeId> out;
+  busy_nodes_into(out);
   return out;
 }
 
-std::vector<graph::NodeId> Nmdb::candidate_nodes() const {
-  std::vector<graph::NodeId> out;
+void Nmdb::candidate_nodes_into(std::vector<graph::NodeId>& out) const {
+  out.clear();
   for (graph::NodeId v = 0; v < state_.node_count(); ++v)
     if (offload_capable(v) && thresholds(v).classify(state_.node_utilization(v)) ==
                                   NodeRole::kOffloadCandidate)
       out.push_back(v);
+}
+
+std::vector<graph::NodeId> Nmdb::candidate_nodes() const {
+  std::vector<graph::NodeId> out;
+  candidate_nodes_into(out);
   return out;
 }
 

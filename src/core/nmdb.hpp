@@ -57,6 +57,9 @@ class Nmdb {
   [[nodiscard]] std::vector<graph::NodeId> busy_nodes() const;
   /// V_o: offload-capable nodes with C_j <= COmax. Busy nodes never qualify.
   [[nodiscard]] std::vector<graph::NodeId> candidate_nodes() const;
+  /// Allocation-reusing variants: clear `out` and fill it in node order.
+  void busy_nodes_into(std::vector<graph::NodeId>& out) const;
+  void candidate_nodes_into(std::vector<graph::NodeId>& out) const;
 
   /// Total load to shed / capacity available (the paper's Cs and Cd).
   [[nodiscard]] double total_excess() const;

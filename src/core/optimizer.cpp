@@ -1,6 +1,8 @@
 #include "core/optimizer.hpp"
 
+#include <algorithm>
 #include <cmath>
+#include <utility>
 
 #include "obs/metrics.hpp"
 #include "solver/branch_and_bound.hpp"
@@ -150,6 +152,12 @@ struct EngineMetrics {
   obs::Histogram& solve_ms;
   obs::Histogram& build_ms;
   obs::Histogram& iterations;
+  obs::Counter& warm_solves;
+  obs::Counter& cold_solves;
+  obs::Counter& warm_shape_fallback;
+  obs::Counter& warm_verify_mismatch;
+  obs::Histogram& warm_solve_ms;
+  obs::Histogram& cold_solve_ms;
   static EngineMetrics& get() {
     obs::MetricRegistry& registry = obs::MetricRegistry::global();
     static EngineMetrics metrics{
@@ -158,7 +166,13 @@ struct EngineMetrics {
         registry.counter("dust_solver_partial_total"),
         registry.histogram("dust_solver_solve_ms"),
         registry.histogram("dust_solver_build_ms"),
-        registry.histogram("dust_solver_iterations")};
+        registry.histogram("dust_solver_iterations"),
+        registry.counter("dust_solver_warm_solves_total"),
+        registry.counter("dust_solver_cold_solves_total"),
+        registry.counter("dust_solver_warm_shape_fallback_total"),
+        registry.counter("dust_solver_warm_verify_mismatch_total"),
+        registry.histogram("dust_solver_warm_solve_ms"),
+        registry.histogram("dust_solver_cold_solve_ms")};
     return metrics;
   }
 };
@@ -201,17 +215,8 @@ PlacementResult OptimizationEngine::solve_exact(
   PlacementResult result;
   util::Timer timer;
   switch (options_.backend) {
-    case SolverBackend::kTransportation: {
-      const solver::TransportationResult t =
-          solver::solve_transportation(to_transportation(problem));
-      result.status = t.status;
-      result.solver_iterations = t.iterations;
-      if (t.optimal()) {
-        result.objective = t.objective;
-        extract_assignments(problem, t.flow, result);
-      }
-      break;
-    }
+    case SolverBackend::kTransportation:
+      return solve_transportation_backend(problem);
     case SolverBackend::kSimplex: {
       const solver::LinearProgram lp =
           solver::to_linear_program(to_transportation(problem));
@@ -270,6 +275,74 @@ PlacementResult OptimizationEngine::solve_exact(
     }
   }
   result.solve_seconds = timer.seconds();
+  return result;
+}
+
+PlacementResult OptimizationEngine::solve_transportation_backend(
+    const PlacementProblem& problem) const {
+  EngineMetrics& metrics = EngineMetrics::get();
+  const std::size_t cells = problem.busy.size() * problem.candidates.size();
+  const bool shape_matches = warm_.valid && warm_.flow.size() == cells &&
+                             warm_.busy == problem.busy &&
+                             warm_.candidates == problem.candidates;
+  const bool warm = options_.warm_start && shape_matches;
+  if (options_.warm_start && warm_.valid && !shape_matches)
+    metrics.warm_shape_fallback.inc();
+
+  PlacementResult result;
+  util::Timer timer;
+  const solver::TransportationProblem t = to_transportation(problem);
+  solver::TransportationResult solved =
+      solver::solve_transportation(t, warm ? &warm_.flow : nullptr);
+  result.status = solved.status;
+  result.solver_iterations = solved.iterations;
+  if (solved.optimal()) {
+    result.objective = solved.objective;
+    extract_assignments(problem, solved.flow, result);
+  }
+  result.solve_seconds = timer.seconds();
+  if (warm) {
+    ++warm_.warm_solves;
+    metrics.warm_solves.inc();
+    metrics.warm_solve_ms.observe(result.solve_seconds * 1e3);
+  } else {
+    ++warm_.cold_solves;
+    metrics.cold_solves.inc();
+    metrics.cold_solve_ms.observe(result.solve_seconds * 1e3);
+  }
+
+  if (warm && options_.verify_warm_start) {
+    // Debug cross-check: a warm start may only change the pivot path, never
+    // the optimum. Disagreement means a solver bug — count it and trust the
+    // cold answer.
+    solver::TransportationResult cold = solver::solve_transportation(t);
+    const bool agree =
+        cold.status == solved.status &&
+        (!cold.optimal() ||
+         std::abs(cold.objective - solved.objective) <=
+             1e-6 * std::max(1.0, std::abs(cold.objective)));
+    if (!agree) {
+      metrics.warm_verify_mismatch.inc();
+      result = PlacementResult{};
+      result.status = cold.status;
+      result.solver_iterations = cold.iterations;
+      if (cold.optimal()) {
+        result.objective = cold.objective;
+        extract_assignments(problem, cold.flow, result);
+      }
+      result.solve_seconds = timer.seconds();
+      solved = std::move(cold);
+    }
+  }
+
+  if (options_.warm_start && solved.optimal()) {
+    warm_.busy = problem.busy;
+    warm_.candidates = problem.candidates;
+    warm_.flow = std::move(solved.flow);
+    warm_.valid = true;
+  } else {
+    warm_.valid = false;
+  }
   return result;
 }
 

@@ -23,6 +23,17 @@ struct OptimizerOptions {
   /// If the exact model is infeasible (ΣCs > reachable ΣCd), fall back to a
   /// min-cost max-offload solve and report the remainder in `unplaced`.
   bool allow_partial = false;
+  /// Incremental pipeline (DESIGN.md §8): retain the previous cycle's
+  /// optimal flow and use it to seed the next solve's starting basis when
+  /// the problem shape (busy/candidate sets) is unchanged; cold solve
+  /// otherwise. kTransportation only; other backends always solve cold.
+  /// Makes the engine stateful across solve() calls — keep one engine per
+  /// control loop (or per thread) rather than sharing an instance.
+  bool warm_start = false;
+  /// Debug cross-check: after every warm-started solve, also solve cold and
+  /// compare objectives; on disagreement log an error and return the cold
+  /// result. Costs a full extra solve per cycle — tests/debugging only.
+  bool verify_warm_start = false;
 };
 
 class OptimizationEngine {
@@ -40,11 +51,37 @@ class OptimizationEngine {
   /// Solve an already-built model (timing excludes the build phase).
   [[nodiscard]] PlacementResult solve(const PlacementProblem& problem) const;
 
+  /// Warm solves since construction (shape matched and the previous flow
+  /// seeded the basis) — observable for tests and benches.
+  [[nodiscard]] std::size_t warm_solves() const noexcept {
+    return warm_.warm_solves;
+  }
+  [[nodiscard]] std::size_t cold_solves() const noexcept {
+    return warm_.cold_solves;
+  }
+  /// Drop the retained flow (next solve is cold).
+  void reset_warm_state() const noexcept { warm_.valid = false; }
+
  private:
   [[nodiscard]] PlacementResult solve_exact(const PlacementProblem& problem) const;
   [[nodiscard]] PlacementResult solve_partial(const PlacementProblem& problem) const;
+  [[nodiscard]] PlacementResult solve_transportation_backend(
+      const PlacementProblem& problem) const;
+
+  /// Previous cycle's optimal flow + the shape it was solved under.
+  /// `mutable` so the const solve path can maintain it; guarded by the
+  /// warm_start contract above (one engine per control loop).
+  struct WarmState {
+    bool valid = false;
+    std::vector<graph::NodeId> busy;
+    std::vector<graph::NodeId> candidates;
+    std::vector<double> flow;  ///< row-major busy x candidates
+    std::size_t warm_solves = 0;
+    std::size_t cold_solves = 0;
+  };
 
   OptimizerOptions options_;
+  mutable WarmState warm_;
 };
 
 }  // namespace dust::core

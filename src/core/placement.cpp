@@ -30,8 +30,8 @@ double PlacementProblem::total_spare() const {
 PlacementProblem build_placement_problem(const Nmdb& nmdb,
                                          const PlacementOptions& options) {
   PlacementProblem problem;
-  problem.busy = nmdb.busy_nodes();
-  problem.candidates = nmdb.candidate_nodes();
+  nmdb.busy_nodes_into(problem.busy);
+  nmdb.candidate_nodes_into(problem.candidates);
   const net::NetworkState& net = nmdb.network();
 
   problem.cs.reserve(problem.busy.size());
@@ -60,10 +60,23 @@ PlacementProblem build_placement_problem(const Nmdb& nmdb,
 
   std::atomic<std::size_t> total_work{0};
   std::atomic<bool> truncated{false};
+  // Shared read-only 1/Lu row for the fresh-evaluation path; the cache path
+  // keeps its own pinned snapshot.
+  std::vector<double> inverse_costs;
+  if (options.response_cache == nullptr)
+    net.inverse_bandwidth_costs_into(inverse_costs);
   auto fill_row = [&](std::size_t bi) {
     const graph::NodeId source = problem.busy[bi];
-    const net::ResponseTimeResult result = net::min_response_times(
-        net, source, net.monitoring_data_mb(source), rt);
+    // Reused per-thread row buffer — the build allocates nothing per row
+    // once each worker's buffers are grown.
+    static thread_local net::ResponseTimeResult result;
+    if (options.response_cache != nullptr) {
+      options.response_cache->row_into(
+          net, source, net.monitoring_data_mb(source), rt, result);
+    } else {
+      net::min_response_times_into(net, source, net.monitoring_data_mb(source),
+                                   rt, inverse_costs, result);
+    }
     for (std::size_t cj = 0; cj < problem.candidates.size(); ++cj) {
       const double t = result.trmin_seconds[problem.candidates[cj]];
       problem.trmin[bi * problem.candidates.size() + cj] =
@@ -118,32 +131,44 @@ void apply_assignments(Nmdb& nmdb, std::span<const Assignment> plan) {
 double placement_violation(const PlacementProblem& problem,
                            const PlacementResult& result) {
   double worst = 0.0;
+  // Flat node -> model-index maps; one pass over the assignments replaces
+  // the old O(|assignments| * |V_b|) nested scan.
+  constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+  graph::NodeId max_node = 0;
+  for (graph::NodeId b : problem.busy) max_node = std::max(max_node, b);
+  for (graph::NodeId o : problem.candidates) max_node = std::max(max_node, o);
+  std::vector<std::size_t> busy_row(static_cast<std::size_t>(max_node) + 1,
+                                    kNone);
+  std::vector<std::size_t> candidate_col(
+      static_cast<std::size_t>(max_node) + 1, kNone);
+  for (std::size_t bi = 0; bi < problem.busy.size(); ++bi)
+    busy_row[problem.busy[bi]] = bi;
+  for (std::size_t cj = 0; cj < problem.candidates.size(); ++cj)
+    candidate_col[problem.candidates[cj]] = cj;
+
+  std::vector<double> shipped(problem.busy.size(), 0.0);
+  std::vector<double> absorbed(problem.candidates.size(), 0.0);
+  for (const Assignment& a : result.assignments) {
+    const std::size_t bi = a.from <= max_node ? busy_row[a.from] : kNone;
+    const std::size_t cj = a.to <= max_node ? candidate_col[a.to] : kNone;
+    if (bi != kNone) shipped[bi] += a.amount;
+    // 3a weighting needs the origin row's platform factor; assignments whose
+    // origin is not a model row contribute nothing (same as before).
+    if (cj != kNone && bi != kNone)
+      absorbed[cj] += a.amount * problem.capacity_coefficient(bi, cj);
+  }
   // 3b: every busy node sheds exactly Cs_i (>= for partial solves is checked
   // against unplaced separately — here we compare to Cs_i - unplaced share).
-  for (std::size_t bi = 0; bi < problem.busy.size(); ++bi) {
-    const double shipped = result.offloaded_from(problem.busy[bi]);
-    if (shipped > problem.cs[bi])
-      worst = std::max(worst, shipped - problem.cs[bi]);
-  }
+  for (std::size_t bi = 0; bi < problem.busy.size(); ++bi)
+    if (shipped[bi] > problem.cs[bi])
+      worst = std::max(worst, shipped[bi] - problem.cs[bi]);
   const double total_shortfall =
       problem.total_excess() - result.offloaded_total();
   worst = std::max(worst, std::abs(total_shortfall - result.unplaced));
   // 3a: destinations never exceed Cd_j (factor-weighted when heterogeneous).
-  for (std::size_t cj = 0; cj < problem.candidates.size(); ++cj) {
-    double absorbed = 0.0;
-    for (const Assignment& a : result.assignments) {
-      if (a.to != problem.candidates[cj]) continue;
-      // Find the busy row to apply its factor.
-      for (std::size_t bi = 0; bi < problem.busy.size(); ++bi) {
-        if (problem.busy[bi] == a.from) {
-          absorbed += a.amount * problem.capacity_coefficient(bi, cj);
-          break;
-        }
-      }
-    }
-    if (absorbed > problem.cd[cj])
-      worst = std::max(worst, absorbed - problem.cd[cj]);
-  }
+  for (std::size_t cj = 0; cj < problem.candidates.size(); ++cj)
+    if (absorbed[cj] > problem.cd[cj])
+      worst = std::max(worst, absorbed[cj] - problem.cd[cj]);
   // No flow on forbidden (unreachable) pairs.
   for (const Assignment& a : result.assignments) {
     if (a.amount < 0) worst = std::max(worst, -a.amount);

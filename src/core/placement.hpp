@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "core/nmdb.hpp"
+#include "net/response_cache.hpp"
 #include "net/response_time.hpp"
 #include "solver/lp.hpp"
 
@@ -23,6 +24,11 @@ struct PlacementOptions {
   std::size_t max_paths_per_source = 0;
   /// Compute Trmin rows on the global thread pool (one task per busy node).
   bool parallel_trmin = false;
+  /// Incremental pipeline (DESIGN.md §8): when set, Trmin rows are served
+  /// from / recorded into this dirty-aware cache instead of evaluated from
+  /// scratch. The caller owns the cache and must call begin_cycle() on it
+  /// before each build. Null = always evaluate fresh (the default).
+  net::ResponseTimeCache* response_cache = nullptr;
 };
 
 /// The built model, ready for any backend in optimizer.hpp.

@@ -1,7 +1,6 @@
 #include "graph/paths.hpp"
 
 #include <algorithm>
-#include <map>
 #include <queue>
 #include <set>
 #include <stdexcept>
@@ -83,16 +82,30 @@ ShortestPathTree dijkstra(const Graph& graph, NodeId src,
 std::vector<double> hop_bounded_min_cost(const Graph& graph, NodeId src,
                                          std::span<const double> edge_cost,
                                          std::uint32_t max_hops) {
+  std::vector<double> best;
+  hop_bounded_min_cost_into(graph, src, edge_cost, max_hops, best);
+  return best;
+}
+
+void hop_bounded_min_cost_into(const Graph& graph, NodeId src,
+                               std::span<const double> edge_cost,
+                               std::uint32_t max_hops,
+                               std::vector<double>& out) {
   if (edge_cost.size() != graph.edge_count())
     throw std::invalid_argument("hop_bounded_min_cost: edge_cost size mismatch");
   if (src >= graph.node_count())
     throw std::out_of_range("hop_bounded_min_cost: src");
   const std::uint32_t bound =
       max_hops == 0 ? static_cast<std::uint32_t>(graph.node_count()) - 1 : max_hops;
-  std::vector<double> best(graph.node_count(), kInfiniteCost);
-  std::vector<double> frontier(graph.node_count(), kInfiniteCost);
+  std::vector<double>& best = out;
+  best.assign(graph.node_count(), kInfiniteCost);
+  // Relaxation frontiers persist per thread; every row recompute in a
+  // placement cycle reuses the same capacity instead of allocating O(n).
+  static thread_local std::vector<double> frontier;
+  static thread_local std::vector<double> next;
+  frontier.assign(graph.node_count(), kInfiniteCost);
   best[src] = frontier[src] = 0.0;
-  std::vector<double> next(graph.node_count());
+  next.resize(graph.node_count());
   for (std::uint32_t hop = 0; hop < bound; ++hop) {
     std::fill(next.begin(), next.end(), kInfiniteCost);
     bool improved = false;
@@ -112,7 +125,6 @@ std::vector<double> hop_bounded_min_cost(const Graph& graph, NodeId src,
     frontier.swap(next);
     if (!improved) break;  // converged before the hop bound
   }
-  return best;
 }
 
 Path hop_bounded_path(const Graph& graph, NodeId src, NodeId dst,
@@ -130,28 +142,31 @@ Path hop_bounded_path(const Graph& graph, NodeId src, NodeId dst,
   const std::uint32_t bound =
       max_hops == 0 ? static_cast<std::uint32_t>(graph.node_count()) - 1 : max_hops;
   // Layered DP with per-layer predecessors: layer h holds the best cost of
-  // reaching each node in exactly h hops.
+  // reaching each node in exactly h hops. The (bound+1) x n layer tables are
+  // flattened into per-thread scratch reused across calls.
   const std::size_t n = graph.node_count();
-  std::vector<std::vector<double>> cost(bound + 1,
-                                        std::vector<double>(n, kInfiniteCost));
-  std::vector<std::vector<EdgeId>> via(bound + 1,
-                                       std::vector<EdgeId>(n, kInvalidEdge));
-  cost[0][src] = 0.0;
+  static thread_local std::vector<double> cost;
+  static thread_local std::vector<EdgeId> via;
+  cost.assign((bound + 1) * n, kInfiniteCost);
+  via.assign((bound + 1) * n, kInvalidEdge);
+  cost[src] = 0.0;  // layer 0
   double best = kInfiniteCost;
   std::uint32_t best_layer = 0;
   for (std::uint32_t h = 1; h <= bound; ++h) {
+    const std::size_t prev = (h - 1) * n;
+    const std::size_t cur = h * n;
     for (NodeId node = 0; node < n; ++node) {
-      if (cost[h - 1][node] == kInfiniteCost) continue;
+      if (cost[prev + node] == kInfiniteCost) continue;
       for (const Adjacency& adj : graph.neighbors(node)) {
-        const double candidate = cost[h - 1][node] + edge_cost[adj.edge];
-        if (candidate < cost[h][adj.neighbor]) {
-          cost[h][adj.neighbor] = candidate;
-          via[h][adj.neighbor] = adj.edge;
+        const double candidate = cost[prev + node] + edge_cost[adj.edge];
+        if (candidate < cost[cur + adj.neighbor]) {
+          cost[cur + adj.neighbor] = candidate;
+          via[cur + adj.neighbor] = adj.edge;
         }
       }
     }
-    if (cost[h][dst] < best) {
-      best = cost[h][dst];
+    if (cost[cur + dst] < best) {
+      best = cost[cur + dst];
       best_layer = h;
     }
   }
@@ -159,7 +174,7 @@ Path hop_bounded_path(const Graph& graph, NodeId src, NodeId dst,
   // Walk predecessors back from (best_layer, dst).
   NodeId node = dst;
   for (std::uint32_t h = best_layer; h > 0; --h) {
-    const EdgeId edge = via[h][node];
+    const EdgeId edge = via[h * n + node];
     path.edges.push_back(edge);
     path.nodes.push_back(node);
     node = graph.edge(edge).other(node);
@@ -181,27 +196,31 @@ std::vector<Path> edge_disjoint_paths(const Graph& graph, NodeId src,
   // Unit-capacity min-cost flow; an undirected edge becomes one arc per
   // direction. With non-negative costs an optimal integral flow never uses
   // both directions of the same edge, so arc-disjointness in the flow is
-  // edge-disjointness in the graph.
+  // edge-disjointness in the graph. Arc ids are dense and sequential: arc
+  // 2e is edge e in a->b orientation, arc 2e+1 the reverse — no associative
+  // bookkeeping needed in the path-peeling loop below.
   solver::MinCostFlow mcf(graph.node_count());
-  std::map<std::size_t, std::pair<EdgeId, bool>> arc_info;  // arc -> (edge, a->b)
   for (EdgeId e = 0; e < graph.edge_count(); ++e) {
     const Edge& edge = graph.edge(e);
     if (edge_cost[e] < 0)
       throw std::invalid_argument("edge_disjoint_paths: negative cost");
-    arc_info[mcf.add_arc(edge.a, edge.b, 1.0, edge_cost[e])] = {e, true};
-    arc_info[mcf.add_arc(edge.b, edge.a, 1.0, edge_cost[e])] = {e, false};
+    mcf.add_arc(edge.a, edge.b, 1.0, edge_cost[e]);
+    mcf.add_arc(edge.b, edge.a, 1.0, edge_cost[e]);
   }
   const auto result = mcf.solve(src, dst, static_cast<double>(k));
   const auto flows = static_cast<std::size_t>(result.max_flow + 0.5);
   if (flows == 0) return paths;
   // Collect used directed arcs (net usage) and peel off paths.
-  std::map<NodeId, std::vector<std::pair<NodeId, EdgeId>>> outgoing;
-  for (const auto& [arc, info] : arc_info) {
+  std::vector<std::vector<std::pair<NodeId, EdgeId>>> outgoing(
+      graph.node_count());
+  for (std::size_t arc = 0; arc < 2 * graph.edge_count(); ++arc) {
     if (mcf.arc_flow(arc) < 0.5) continue;
-    const Edge& edge = graph.edge(info.first);
-    const NodeId from = info.second ? edge.a : edge.b;
-    const NodeId to = info.second ? edge.b : edge.a;
-    outgoing[from].emplace_back(to, info.first);
+    const EdgeId e = static_cast<EdgeId>(arc / 2);
+    const bool forward = (arc % 2) == 0;
+    const Edge& edge = graph.edge(e);
+    const NodeId from = forward ? edge.a : edge.b;
+    const NodeId to = forward ? edge.b : edge.a;
+    outgoing[from].emplace_back(to, e);
   }
   for (std::size_t i = 0; i < flows; ++i) {
     Path path;
@@ -317,12 +336,12 @@ std::vector<Path> k_shortest_paths(const Graph& graph, NodeId src, NodeId dst,
     if (first.nodes.empty()) return accepted;
     accepted.push_back(std::move(first));
   }
-  // Candidate pool ordered by cost; set-based dedup on the node sequence.
-  auto path_cost = [&cost](const Path& path) { return path.cost(cost); };
-  auto cheaper = [&](const Path& a, const Path& b) {
-    return path_cost(a) < path_cost(b);
-  };
+  // Candidate pool with each path's cost computed once at insertion (the
+  // min_element comparator below then compares cached doubles instead of
+  // re-walking both paths' edges per comparison); set-based dedup on the
+  // node sequence.
   std::vector<Path> candidates;
+  std::vector<double> candidate_cost;
   std::set<std::vector<NodeId>> seen;
   seen.insert(accepted[0].nodes);
 
@@ -361,12 +380,19 @@ std::vector<Path> k_shortest_paths(const Graph& graph, NodeId src, NodeId dst,
       total.nodes.insert(total.nodes.end(), spur.nodes.begin() + 1,
                          spur.nodes.end());
       total.edges.insert(total.edges.end(), spur.edges.begin(), spur.edges.end());
-      if (seen.insert(total.nodes).second) candidates.push_back(std::move(total));
+      if (seen.insert(total.nodes).second) {
+        candidate_cost.push_back(total.cost(cost));
+        candidates.push_back(std::move(total));
+      }
     }
     if (candidates.empty()) break;
-    auto best = std::min_element(candidates.begin(), candidates.end(), cheaper);
-    accepted.push_back(std::move(*best));
-    candidates.erase(best);
+    const auto best_cost =
+        std::min_element(candidate_cost.begin(), candidate_cost.end());
+    const auto index =
+        static_cast<std::size_t>(best_cost - candidate_cost.begin());
+    accepted.push_back(std::move(candidates[index]));
+    candidates.erase(candidates.begin() + static_cast<std::ptrdiff_t>(index));
+    candidate_cost.erase(best_cost);
   }
   return accepted;
 }

@@ -59,6 +59,14 @@ std::vector<double> hop_bounded_min_cost(const Graph& graph, NodeId src,
                                          std::span<const double> edge_cost,
                                          std::uint32_t max_hops);
 
+/// As hop_bounded_min_cost, writing into `out` (resized to node_count) and
+/// reusing per-thread relaxation scratch — allocation-free in steady state.
+/// Safe to call concurrently from multiple threads.
+void hop_bounded_min_cost_into(const Graph& graph, NodeId src,
+                               std::span<const double> edge_cost,
+                               std::uint32_t max_hops,
+                               std::vector<double>& out);
+
 /// Reconstruct a concrete minimum-cost path src -> dst over paths of at most
 /// `max_hops` edges (0 = unbounded). Empty path if unreachable within the
 /// bound. The returned path achieves hop_bounded_min_cost(...)[dst].

@@ -10,10 +10,15 @@ std::vector<double> NetworkState::utilized_bandwidths() const {
 }
 
 std::vector<double> NetworkState::inverse_bandwidth_costs() const {
-  std::vector<double> cost(links_.size());
-  for (std::size_t e = 0; e < links_.size(); ++e)
-    cost[e] = 1.0 / links_[e].utilized_bandwidth();
+  std::vector<double> cost;
+  inverse_bandwidth_costs_into(cost);
   return cost;
+}
+
+void NetworkState::inverse_bandwidth_costs_into(std::vector<double>& out) const {
+  out.resize(links_.size());
+  for (std::size_t e = 0; e < links_.size(); ++e)
+    out[e] = 1.0 / links_[e].utilized_bandwidth();
 }
 
 }  // namespace dust::net

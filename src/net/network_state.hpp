@@ -4,6 +4,8 @@
 // consumes.
 #pragma once
 
+#include <cmath>
+#include <cstdint>
 #include <span>
 #include <stdexcept>
 #include <vector>
@@ -32,7 +34,9 @@ class NetworkState {
       : graph_(std::move(graph)),
         links_(graph_.edge_count()),
         node_utilization_(graph_.node_count(), 0.0),
-        monitoring_data_mb_(graph_.node_count(), 0.0) {}
+        monitoring_data_mb_(graph_.node_count(), 0.0),
+        baseline_lu_(graph_.edge_count(), LinkState{}.utilized_bandwidth()),
+        link_dirty_(graph_.edge_count(), 0) {}
 
   [[nodiscard]] const graph::Graph& graph() const noexcept { return graph_; }
   [[nodiscard]] std::size_t node_count() const noexcept { return graph_.node_count(); }
@@ -46,6 +50,56 @@ class NetworkState {
         state.utilization > 1.0)
       throw std::invalid_argument("NetworkState::set_link: invalid link state");
     links_.at(edge) = state;
+    if (!link_dirty_[edge]) {
+      const double baseline = baseline_lu_[edge];
+      if (std::abs(state.utilized_bandwidth() - baseline) >
+          link_epsilon_ * baseline) {
+        link_dirty_[edge] = 1;
+        dirty_links_.push_back(edge);
+        ++link_version_;
+      }
+    }
+  }
+
+  // --- Dirty-link tracking (incremental consumers, DESIGN.md §8) ---
+  //
+  // set_link marks an edge dirty when its Lu moves by more than
+  // `link_epsilon` (relative) from the baseline captured at the last
+  // snapshot_links(). Once dirty, an edge stays dirty until the next
+  // snapshot, so intermediate reverts cannot hide a change a consumer has
+  // not yet seen. snapshot_links() re-baselines only the dirty edges:
+  // sub-epsilon drift on clean edges keeps accumulating against the old
+  // baseline and eventually trips, bounding a consumer's total staleness
+  // per edge to the epsilon band.
+
+  /// Relative Lu change that marks a link dirty (0 = any change).
+  void set_link_epsilon(double epsilon) {
+    if (epsilon < 0.0)
+      throw std::invalid_argument("NetworkState: negative link epsilon");
+    link_epsilon_ = epsilon;
+  }
+  [[nodiscard]] double link_epsilon() const noexcept { return link_epsilon_; }
+
+  /// Edges whose Lu moved beyond epsilon since the last snapshot_links().
+  [[nodiscard]] const std::vector<graph::EdgeId>& dirty_links() const noexcept {
+    return dirty_links_;
+  }
+  [[nodiscard]] bool link_dirty(graph::EdgeId edge) const {
+    return link_dirty_.at(edge) != 0;
+  }
+  /// Monotonic counter bumped each time a link turns dirty; an unchanged
+  /// value guarantees no link crossed the epsilon band since it was read.
+  [[nodiscard]] std::uint64_t link_version() const noexcept {
+    return link_version_;
+  }
+  /// Accept the current state of all dirty links as the new baseline and
+  /// clear the dirty set. Does not advance link_version().
+  void snapshot_links() {
+    for (graph::EdgeId e : dirty_links_) {
+      baseline_lu_[e] = links_[e].utilized_bandwidth();
+      link_dirty_[e] = 0;
+    }
+    dirty_links_.clear();
   }
 
   /// C_j, percent in [0, 100].
@@ -75,11 +129,19 @@ class NetworkState {
   /// factor (multiply by D_i to get seconds).
   [[nodiscard]] std::vector<double> inverse_bandwidth_costs() const;
 
+  /// As inverse_bandwidth_costs(), overwriting `out` (capacity reused).
+  void inverse_bandwidth_costs_into(std::vector<double>& out) const;
+
  private:
   graph::Graph graph_;
   std::vector<LinkState> links_;
   std::vector<double> node_utilization_;
   std::vector<double> monitoring_data_mb_;
+  std::vector<double> baseline_lu_;
+  std::vector<char> link_dirty_;
+  std::vector<graph::EdgeId> dirty_links_;
+  double link_epsilon_ = 0.0;
+  std::uint64_t link_version_ = 0;
 };
 
 }  // namespace dust::net

@@ -1,0 +1,169 @@
+#include "net/response_cache.hpp"
+
+#include <queue>
+
+#include "graph/paths.hpp"
+#include "obs/metrics.hpp"
+
+namespace dust::net {
+
+ResponseTimeCache::ResponseTimeCache() {
+  obs::MetricRegistry& registry = obs::MetricRegistry::global();
+  hit_counter_ = &registry.counter("dust_net_trmin_cache_hits_total");
+  miss_counter_ = &registry.counter("dust_net_trmin_cache_misses_total");
+  invalidation_counter_ =
+      &registry.counter("dust_net_trmin_cache_invalidated_rows_total");
+  bypass_counter_ = &registry.counter("dust_net_trmin_cache_bypasses_total");
+}
+
+bool ResponseTimeCache::synced_with(const NetworkState& net) const noexcept {
+  return synced_once_ && entries_.size() == net.node_count() &&
+         inverse_costs_.size() == net.edge_count() &&
+         synced_version_ == net.link_version() && net.dirty_links().empty();
+}
+
+void ResponseTimeCache::begin_cycle(NetworkState& net) {
+  const std::size_t n = net.node_count();
+  if (!synced_once_ || entries_.size() != n ||
+      inverse_costs_.size() != net.edge_count()) {
+    // First use or topology change: rebuild wholesale.
+    entries_.assign(n, Entry{});
+    net.inverse_bandwidth_costs_into(inverse_costs_);
+    net.snapshot_links();
+    synced_version_ = net.link_version();
+    synced_once_ = true;
+    return;
+  }
+  if (net.dirty_links().empty()) {
+    synced_version_ = net.link_version();
+    return;
+  }
+
+  // Refresh the cost snapshot for the links that moved. Clean links keep
+  // their pinned value — NetworkState's baseline rule guarantees the live
+  // Lu stays within the epsilon band of it.
+  for (graph::EdgeId e : net.dirty_links())
+    inverse_costs_[e] = 1.0 / net.link(e).utilized_bandwidth();
+
+  // One multi-source BFS from every dirty link's endpoints gives, for each
+  // node s, the hop distance to the nearest dirty link; a cached row is
+  // invalid iff that link is usable within the row's hop bound:
+  // dist(s) + 1 <= max_hops (max_hops == 0 means unbounded, so any
+  // reachable dirty link invalidates).
+  static thread_local std::vector<std::uint32_t> dist;
+  dist.assign(n, graph::kUnreachable);
+  std::queue<graph::NodeId> frontier;
+  const graph::Graph& g = net.graph();
+  for (graph::EdgeId e : net.dirty_links()) {
+    const graph::Edge& edge = g.edge(e);
+    for (graph::NodeId endpoint : {edge.a, edge.b}) {
+      if (dist[endpoint] != 0) {
+        dist[endpoint] = 0;
+        frontier.push(endpoint);
+      }
+    }
+  }
+  while (!frontier.empty()) {
+    const graph::NodeId node = frontier.front();
+    frontier.pop();
+    for (const graph::Adjacency& adj : g.neighbors(node)) {
+      if (dist[adj.neighbor] == graph::kUnreachable) {
+        dist[adj.neighbor] = dist[node] + 1;
+        frontier.push(adj.neighbor);
+      }
+    }
+  }
+
+  std::uint64_t dropped = 0;
+  for (graph::NodeId s = 0; s < n; ++s) {
+    Entry& entry = entries_[s];
+    if (!entry.valid || dist[s] == graph::kUnreachable) continue;
+    if (entry.max_hops == 0 || dist[s] + 1 <= entry.max_hops) {
+      entry.valid = false;
+      ++dropped;
+    }
+  }
+  invalidations_.fetch_add(dropped, std::memory_order_relaxed);
+  invalidation_counter_->inc(dropped);
+
+  net.snapshot_links();
+  synced_version_ = net.link_version();
+}
+
+void ResponseTimeCache::serve(const Entry& entry, double data_mb,
+                              ResponseTimeResult& out) const {
+  const std::vector<double>& unit = entry.unit.trmin_seconds;
+  out.trmin_seconds.resize(unit.size());
+  for (std::size_t v = 0; v < unit.size(); ++v)
+    out.trmin_seconds[v] =
+        unit[v] == graph::kInfiniteCost ? graph::kInfiniteCost
+                                        : unit[v] * data_mb;
+  out.truncated = entry.unit.truncated;
+}
+
+void ResponseTimeCache::row_into(const NetworkState& net, graph::NodeId source,
+                                 double data_mb,
+                                 const ResponseTimeOptions& options,
+                                 ResponseTimeResult& out) {
+  if (!synced_with(net)) {
+    // Out of sync (begin_cycle not run since the links moved): evaluate
+    // directly without touching the cache — correct, just not incremental.
+    bypasses_.fetch_add(1, std::memory_order_relaxed);
+    bypass_counter_->inc();
+    static thread_local std::vector<double> inv;
+    net.inverse_bandwidth_costs_into(inv);
+    min_response_times_into(net, source, data_mb, options, inv, out);
+    return;
+  }
+  Entry& entry = entries_.at(source);
+  const bool hit = entry.valid && entry.max_hops == options.max_hops &&
+                   entry.mode == options.mode &&
+                   entry.max_paths == options.max_paths_per_source;
+  if (hit) {
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    hit_counter_->inc();
+    out.work = 0;  // nothing evaluated; the row came from cache
+  } else {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    miss_counter_->inc();
+    min_response_times_into(net, source, 1.0, options, inverse_costs_,
+                            entry.unit);
+    entry.max_hops = options.max_hops;
+    entry.mode = options.mode;
+    entry.max_paths = options.max_paths_per_source;
+    entry.valid = true;
+    out.work = entry.unit.work;
+  }
+  serve(entry, data_mb, out);
+}
+
+ResponseTimeResult ResponseTimeCache::row(const NetworkState& net,
+                                          graph::NodeId source, double data_mb,
+                                          const ResponseTimeOptions& options) {
+  ResponseTimeResult out;
+  row_into(net, source, data_mb, options, out);
+  return out;
+}
+
+void ResponseTimeCache::clear() {
+  for (Entry& entry : entries_) entry.valid = false;
+  synced_once_ = false;
+}
+
+ResponseTimeCacheStats ResponseTimeCache::stats() const {
+  ResponseTimeCacheStats s;
+  s.hits = hits_.load(std::memory_order_relaxed);
+  s.misses = misses_.load(std::memory_order_relaxed);
+  s.invalidations = invalidations_.load(std::memory_order_relaxed);
+  s.bypasses = bypasses_.load(std::memory_order_relaxed);
+  return s;
+}
+
+std::size_t ResponseTimeCache::cached_rows() const {
+  std::size_t count = 0;
+  for (const Entry& entry : entries_)
+    if (entry.valid) ++count;
+  return count;
+}
+
+}  // namespace dust::net

@@ -1,0 +1,111 @@
+// Dirty-aware Trmin row cache — the first stage of the incremental placement
+// pipeline (DESIGN.md §8).
+//
+// The control loop recomputes the Trmin matrix (Eq. 1-2) every placement
+// period even though, in steady state, only a handful of links move between
+// cycles. This cache keeps one Trmin row per source node (stored per unit of
+// monitoring data, so D_i changes rescale instead of recompute) and
+// invalidates a row only when a dirty link falls inside the row's hop-bounded
+// reachability ball:
+//
+//   invalidate(s)  iff  min(dist(s, u), dist(s, v)) + 1 <= max_hops
+//                       for some dirty link (u, v)
+//
+// computed with one multi-source BFS from all dirty-link endpoints per
+// begin_cycle, O(V + E) regardless of how many links moved. Dirty links come
+// from NetworkState's epsilon-filtered tracking: with epsilon = 0 cached rows
+// are bit-identical to from-scratch evaluation (tested); with epsilon > 0
+// they are stale by at most the configured Lu band (the same trade a
+// telemetry system makes when it reports utilization with hysteresis).
+//
+// Thread-safety: begin_cycle is exclusive; row()/row_into() may then be
+// called concurrently for distinct sources (per-source slots, atomic stats),
+// which is exactly how build_placement_problem fans rows out over
+// util::global_pool().
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "net/response_time.hpp"
+
+namespace dust::obs {
+class Counter;
+}
+
+namespace dust::net {
+
+struct ResponseTimeCacheStats {
+  std::uint64_t hits = 0;          ///< rows served from cache
+  std::uint64_t misses = 0;        ///< rows (re)computed
+  std::uint64_t invalidations = 0; ///< cached rows dropped by dirty links
+  std::uint64_t bypasses = 0;      ///< queries while out of sync (no caching)
+
+  [[nodiscard]] double hit_rate() const noexcept {
+    const std::uint64_t total = hits + misses;
+    return total ? static_cast<double>(hits) / static_cast<double>(total) : 0.0;
+  }
+};
+
+class ResponseTimeCache {
+ public:
+  ResponseTimeCache();
+
+  /// Sync with the network's links: consume net.dirty_links() (the network is
+  /// re-snapshotted), refresh the cached 1/Lu costs for those links, and
+  /// invalidate every cached row whose hop ball touches one. Call once per
+  /// placement cycle, before any row() query. A topology change (different
+  /// node/edge counts) resets the cache wholesale.
+  void begin_cycle(NetworkState& net);
+
+  /// Trmin row from `source` for volume data_mb: served from cache when the
+  /// row is clean and the evaluator options match, recomputed into the cache
+  /// otherwise. Queries made while the cache is out of sync with `net`
+  /// (links changed since begin_cycle) fall back to direct evaluation and do
+  /// not pollute the cache. Cache hits report work == 0.
+  void row_into(const NetworkState& net, graph::NodeId source, double data_mb,
+                const ResponseTimeOptions& options, ResponseTimeResult& out);
+  [[nodiscard]] ResponseTimeResult row(const NetworkState& net,
+                                       graph::NodeId source, double data_mb,
+                                       const ResponseTimeOptions& options);
+
+  /// Drop every cached row (stats survive; handles stay valid).
+  void clear();
+
+  [[nodiscard]] ResponseTimeCacheStats stats() const;
+  [[nodiscard]] std::size_t cached_rows() const;
+
+ private:
+  struct Entry {
+    bool valid = false;
+    std::uint32_t max_hops = 0;
+    EvaluatorMode mode = EvaluatorMode::kEnumerate;
+    std::size_t max_paths = 0;
+    /// Trmin for data_mb == 1 (seconds per Mb); multiplied by the query's
+    /// D_i on serve, which is bit-exact because evaluation accumulates the
+    /// unscaled 1/Lu costs and multiplies once at the end.
+    ResponseTimeResult unit;
+  };
+
+  [[nodiscard]] bool synced_with(const NetworkState& net) const noexcept;
+  void serve(const Entry& entry, double data_mb, ResponseTimeResult& out) const;
+
+  std::vector<Entry> entries_;
+  std::vector<double> inverse_costs_;  ///< 1/Lu snapshot rows were built on
+  std::uint64_t synced_version_ = 0;
+  bool synced_once_ = false;
+
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
+  std::atomic<std::uint64_t> invalidations_{0};
+  std::atomic<std::uint64_t> bypasses_{0};
+
+  /// Global-registry handles (dust_net_trmin_cache_*), resolved once.
+  obs::Counter* hit_counter_ = nullptr;
+  obs::Counter* miss_counter_ = nullptr;
+  obs::Counter* invalidation_counter_ = nullptr;
+  obs::Counter* bypass_counter_ = nullptr;
+};
+
+}  // namespace dust::net

@@ -16,21 +16,32 @@ ResponseTimeResult min_response_times(const NetworkState& net,
                                       graph::NodeId source, double data_mb,
                                       const ResponseTimeOptions& options) {
   ResponseTimeResult result;
-  const std::vector<double> inv = net.inverse_bandwidth_costs();
+  static thread_local std::vector<double> inv;
+  net.inverse_bandwidth_costs_into(inv);
+  min_response_times_into(net, source, data_mb, options, inv, result);
+  return result;
+}
+
+void min_response_times_into(const NetworkState& net, graph::NodeId source,
+                             double data_mb, const ResponseTimeOptions& options,
+                             std::span<const double> inverse_costs,
+                             ResponseTimeResult& out) {
+  out.work = 0;
+  out.truncated = false;
 
   if (options.mode == EvaluatorMode::kHopBoundedDp) {
-    result.trmin_seconds =
-        graph::hop_bounded_min_cost(net.graph(), source, inv, options.max_hops);
-    for (double& t : result.trmin_seconds)
+    graph::hop_bounded_min_cost_into(net.graph(), source, inverse_costs,
+                                     options.max_hops, out.trmin_seconds);
+    for (double& t : out.trmin_seconds)
       if (t != graph::kInfiniteCost) t *= data_mb;
-    result.work = options.max_hops ? options.max_hops : net.node_count() - 1;
-    return result;
+    out.work = options.max_hops ? options.max_hops : net.node_count() - 1;
+    return;
   }
 
   // Paper-faithful exhaustive enumeration: every node is a target, so a
   // single DFS from `source` covers all pairs (i, j).
-  result.trmin_seconds.assign(net.node_count(), graph::kInfiniteCost);
-  result.trmin_seconds[source] = 0.0;
+  out.trmin_seconds.assign(net.node_count(), graph::kInfiniteCost);
+  out.trmin_seconds[source] = 0.0;
   std::size_t visited = 0;
   graph::for_each_simple_path(
       net.graph(), source, [](graph::NodeId) { return true; },
@@ -38,21 +49,20 @@ ResponseTimeResult min_response_times(const NetworkState& net,
       [&](const graph::Path& path) {
         ++visited;
         double cost = 0.0;
-        for (graph::EdgeId e : path.edges) cost += inv[e];
+        for (graph::EdgeId e : path.edges) cost += inverse_costs[e];
         const graph::NodeId dst = path.destination();
-        if (cost < result.trmin_seconds[dst]) result.trmin_seconds[dst] = cost;
+        if (cost < out.trmin_seconds[dst]) out.trmin_seconds[dst] = cost;
         if (options.max_paths_per_source &&
             visited >= options.max_paths_per_source) {
-          result.truncated = true;
+          out.truncated = true;
           return false;
         }
         return true;
       });
-  result.work = visited;
+  out.work = visited;
   for (graph::NodeId v = 0; v < net.node_count(); ++v)
-    if (v != source && result.trmin_seconds[v] != graph::kInfiniteCost)
-      result.trmin_seconds[v] *= data_mb;
-  return result;
+    if (v != source && out.trmin_seconds[v] != graph::kInfiniteCost)
+      out.trmin_seconds[v] *= data_mb;
 }
 
 }  // namespace dust::net

@@ -13,6 +13,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "graph/paths.hpp"
@@ -43,6 +44,16 @@ struct ResponseTimeResult {
 ResponseTimeResult min_response_times(const NetworkState& net,
                                       graph::NodeId source, double data_mb,
                                       const ResponseTimeOptions& options);
+
+/// As min_response_times, with the per-edge 1/Lu costs precomputed by the
+/// caller (must match net's current links for exact results) and the result
+/// written into `out` — its vector capacity is reused, so a caller that
+/// keeps the ResponseTimeResult across cycles evaluates rows without
+/// allocating. Hot path of the incremental placement pipeline (DESIGN.md §8).
+void min_response_times_into(const NetworkState& net, graph::NodeId source,
+                             double data_mb, const ResponseTimeOptions& options,
+                             std::span<const double> inverse_costs,
+                             ResponseTimeResult& out);
 
 /// Response time of one concrete path for volume data_mb (Eq. 1).
 double path_response_time(const NetworkState& net, const graph::Path& path,

@@ -34,8 +34,12 @@ struct Balanced {
 /// MODI / u-v transportation simplex over a balanced instance.
 class TransportSimplex {
  public:
-  explicit TransportSimplex(const Balanced& bal)
+  /// `warm_cells`, when non-null, flags cells to allocate first in the
+  /// initial solution (see solve_transportation's warm_flow doc).
+  explicit TransportSimplex(const Balanced& bal,
+                            const std::vector<char>* warm_cells = nullptr)
       : bal_(bal),
+        warm_cells_(warm_cells),
         flow_(bal.m * bal.n, 0.0),
         basic_(bal.m * bal.n, 0) {}
 
@@ -59,14 +63,20 @@ class TransportSimplex {
   [[nodiscard]] std::size_t iterations() const noexcept { return iterations_; }
 
  private:
-  // Least-cost method: repeatedly allocate to the cheapest open cell.
+  // Least-cost method: repeatedly allocate to the cheapest open cell. With a
+  // warm hint, previously-used cells are allocated first (cheapest first
+  // among them) so the start reproduces the prior basis structure wherever
+  // supplies/demands still admit it.
   void least_cost_start() {
     std::vector<double> remaining_supply = bal_.supply;
     std::vector<double> remaining_demand = bal_.demand;
-    // Cells sorted by cost once; skip exhausted rows/cols while scanning.
+    // Cells sorted by (warm priority, cost) once; skip exhausted rows/cols
+    // while scanning.
     std::vector<std::size_t> order(bal_.m * bal_.n);
     std::iota(order.begin(), order.end(), 0);
     std::sort(order.begin(), order.end(), [this](std::size_t a, std::size_t b) {
+      if (warm_cells_ != nullptr && (*warm_cells_)[a] != (*warm_cells_)[b])
+        return (*warm_cells_)[a] > (*warm_cells_)[b];
       return bal_.cost[a] < bal_.cost[b];
     });
     for (std::size_t cell : order) {
@@ -254,6 +264,7 @@ class TransportSimplex {
   }
 
   const Balanced& bal_;
+  const std::vector<char>* warm_cells_ = nullptr;
   std::vector<double> flow_;
   std::vector<char> basic_;
   std::vector<double> u_, v_;
@@ -263,7 +274,8 @@ class TransportSimplex {
 
 }  // namespace
 
-TransportationResult solve_transportation(const TransportationProblem& problem) {
+TransportationResult solve_transportation(const TransportationProblem& problem,
+                                          const std::vector<double>* warm_flow) {
   const std::size_t m = problem.sources();
   const std::size_t n = problem.destinations();
   if (problem.cost.size() != m * n)
@@ -308,7 +320,16 @@ TransportationResult solve_transportation(const TransportationProblem& problem) 
           problem.cost[i * n + j] == kInfinity ? bal.big_m : problem.cost[i * n + j];
   // Dummy row cost stays 0.
 
-  TransportSimplex simplex(bal);
+  // Translate the warm flow grid (real rows only) into balanced-instance
+  // cell priorities; the dummy row, when present, stays unprioritized.
+  std::vector<char> warm_cells;
+  if (warm_flow != nullptr && warm_flow->size() == m * n) {
+    warm_cells.assign(bal.m * bal.n, 0);
+    for (std::size_t cell = 0; cell < m * n; ++cell)
+      if ((*warm_flow)[cell] > kEps && problem.cost[cell] != kInfinity)
+        warm_cells[cell] = 1;  // never prioritize a now-forbidden route
+  }
+  TransportSimplex simplex(bal, warm_cells.empty() ? nullptr : &warm_cells);
   const std::size_t max_iterations = 100 * (bal.m + bal.n) * (bal.m + bal.n) + 1000;
   const Status status = simplex.solve(max_iterations);
   result.iterations = simplex.iterations();

@@ -45,7 +45,16 @@ struct TransportationResult {
   }
 };
 
-TransportationResult solve_transportation(const TransportationProblem& problem);
+/// `warm_flow`, when given, is a previous solve's row-major m*n flow grid on
+/// the same source/destination index sets (typically the previous placement
+/// cycle's optimum). Cells that carried flow are preferred when building the
+/// initial basic solution, which leaves MODI with near-zero pivots under
+/// small cost/quantity perturbations. The hint only biases the starting
+/// basis — any hint (even a wrong one) still converges to the exact optimum.
+/// Mismatched sizes are ignored.
+TransportationResult solve_transportation(
+    const TransportationProblem& problem,
+    const std::vector<double>* warm_flow = nullptr);
 
 /// Express the same problem as a LinearProgram (variables row-major x_ij)
 /// for cross-checking against the general solvers.

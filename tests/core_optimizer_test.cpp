@@ -159,6 +159,66 @@ TEST(Optimizer, FlexibleOffloadingSplitsAcrossDestinations) {
   EXPECT_NEAR(r.offloaded_total(), 18.0, 1e-9);
 }
 
+// Warm starts may change the solver's pivot path but never the optimum: a
+// stateful warm engine tracking a slowly drifting problem must stay
+// objective-identical to a fresh cold engine on every cycle.
+TEST(Optimizer, WarmStartMatchesColdAcrossPerturbedCycles) {
+  util::Rng rng(2024);
+  Nmdb nmdb = random_fat_tree_nmdb(4, 77);
+  PlacementOptions placement;
+  placement.max_hops = 6;
+  PlacementProblem problem = build_placement_problem(nmdb, placement);
+  if (problem.total_excess() > problem.total_spare()) GTEST_SKIP();
+
+  OptimizerOptions warm_options;
+  warm_options.warm_start = true;
+  warm_options.verify_warm_start = true;  // internal cross-check every cycle
+  const OptimizationEngine warm_engine(warm_options);
+  const OptimizationEngine cold_engine;
+
+  for (int cycle = 0; cycle < 12; ++cycle) {
+    const PlacementResult w = warm_engine.solve(problem);
+    const PlacementResult c = cold_engine.solve(problem);
+    ASSERT_EQ(w.status, c.status) << "cycle " << cycle;
+    if (c.optimal()) {
+      EXPECT_NEAR(w.objective, c.objective, 1e-6 * (1.0 + c.objective))
+          << "cycle " << cycle;
+      EXPECT_LT(placement_violation(problem, w), 1e-6);
+    }
+    // Drift the costs slightly (same busy/candidate shape) — the realistic
+    // steady state the warm path is built for.
+    for (double& cost : problem.trmin)
+      if (cost != solver::kInfinity) cost *= rng.uniform(0.95, 1.05);
+  }
+  EXPECT_GT(warm_engine.warm_solves(), 0u);
+  EXPECT_EQ(warm_engine.cold_solves(), 1u);  // only the very first cycle
+}
+
+TEST(Optimizer, WarmStateDroppedOnShapeChange) {
+  PlacementProblem p;
+  p.busy = {0, 1};
+  p.candidates = {2, 3};
+  p.cs = {5.0, 5.0};
+  p.cd = {6.0, 6.0};
+  p.trmin = {1.0, 2.0, 2.0, 1.0};
+
+  OptimizerOptions options;
+  options.warm_start = true;
+  const OptimizationEngine engine(options);
+  const double reference = engine.solve(p).objective;  // cold (no state yet)
+  EXPECT_DOUBLE_EQ(engine.solve(p).objective, reference);  // warm
+  PlacementProblem shrunk = p;
+  shrunk.busy = {0};
+  shrunk.cs = {5.0};
+  shrunk.trmin = {1.0, 2.0};
+  EXPECT_TRUE(engine.solve(shrunk).optimal());  // cold: shape changed
+  EXPECT_EQ(engine.cold_solves(), 2u);
+  EXPECT_EQ(engine.warm_solves(), 1u);
+  engine.reset_warm_state();
+  EXPECT_TRUE(engine.solve(shrunk).optimal());
+  EXPECT_EQ(engine.cold_solves(), 3u);  // reset forces another cold solve
+}
+
 TEST(Optimizer, MultipleBusyShareOneDestination) {
   net::NetworkState state(graph::make_star(2));
   state.set_node_utilization(1, 90.0);  // Cs = 10

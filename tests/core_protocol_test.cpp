@@ -356,5 +356,37 @@ TEST(Protocol, SurvivesDestinationChurn) {
   EXPECT_EQ(killed.count(h.manager->active_offloads()[0].destination), 0u);
 }
 
+// The incremental pipeline (Trmin cache + warm starts) drops in behind the
+// same protocol flow: offloads are still created from cached rows across
+// repeated cycles, the cache actually serves hits, the solver warm-starts,
+// and the internal warm-vs-cold cross-check never fires.
+TEST(Protocol, IncrementalPlacementMatchesProtocolFlow) {
+  ManagerConfig config = Harness::fast_config();
+  config.incremental_placement = true;
+  config.optimizer.verify_warm_start = true;  // cross-check every warm solve
+  Harness h(4, config);
+  h.start_all();
+  h.clients[0]->set_reported_state(90.0, 10.0, 10);  // busy: Cs = 10
+  h.clients[1]->set_reported_state(40.0, 5.0, 10);   // candidate: Cd = 20
+  h.sim.run_until(10000);
+  EXPECT_GE(h.manager->active_offload_count(), 1u);
+  const auto offloads = h.manager->active_offloads();
+  ASSERT_FALSE(offloads.empty());
+  EXPECT_EQ(offloads[0].busy, 0u);
+  EXPECT_EQ(offloads[0].destination, 1u);
+
+  // Steady-state cycles (links untouched): every row comes from cache.
+  for (int i = 0; i < 5; ++i) h.manager->run_placement_cycle();
+  const net::ResponseTimeCacheStats stats = h.manager->trmin_cache_stats();
+  EXPECT_GT(stats.hits, 0u);
+  EXPECT_EQ(stats.bypasses, 0u);
+  EXPECT_GT(h.manager->engine().warm_solves(), 0u);
+  const obs::RegistrySnapshot scrape = obs::MetricRegistry::global().snapshot();
+  const auto* mismatches =
+      scrape.find_counter("dust_solver_warm_verify_mismatch_total");
+  ASSERT_NE(mismatches, nullptr);
+  EXPECT_EQ(mismatches->value, 0u);
+}
+
 }  // namespace
 }  // namespace dust::core
