@@ -1,0 +1,105 @@
+// System bench: throughput of the dust::check property harness. Each
+// iteration generates a seeded random scenario and drives it through the
+// full Manager/Client protocol loop with invariant checks on every placement
+// cycle and the differential oracles on size-gated cycles — the per-scenario
+// cost is what bounds how many seeds the smoke gate can afford. Also
+// reports the shrink cost of the injected-capacity-bug demo.
+#include <chrono>
+
+#include "bench_common.hpp"
+#include "check/invariants.hpp"
+#include "check/runner.hpp"
+#include "check/shrink.hpp"
+#include "core/optimizer.hpp"
+#include "util/table.hpp"
+
+namespace dust {
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+bool capacity_bug_caught(const check::ScenarioSpec& spec) {
+  const core::Nmdb nmdb = check::build_nmdb(spec);
+  core::PlacementOptions placement;
+  placement.max_hops = spec.max_hops;
+  placement.evaluator = net::EvaluatorMode::kHopBoundedDp;
+  const core::PlacementProblem problem =
+      core::build_placement_problem(nmdb, placement);
+  if (problem.busy.empty() || problem.candidates.empty()) return false;
+  core::PlacementProblem buggy = problem;
+  std::size_t target = 0;
+  for (std::size_t j = 1; j < buggy.cd.size(); ++j)
+    if (buggy.cd[j] < buggy.cd[target]) target = j;
+  buggy.cd[target] = 1e6;
+  core::OptimizerOptions options;
+  options.allow_partial = true;
+  const core::PlacementResult result =
+      core::OptimizationEngine(options).solve(buggy);
+  for (const check::Violation& v : check::check_placement(problem, result))
+    if (v.invariant == "I1-capacity") return true;
+  return false;
+}
+
+}  // namespace
+}  // namespace dust
+
+int main() {
+  using namespace dust;
+  const std::size_t seeds = bench::iterations(500, 50);
+  const std::uint64_t base = bench::base_seed();
+  bench::print_header("bench_sys_check_harness",
+                      "property harness cost per random scenario (gates the "
+                      "smoke budget: 50 seeds must stay well under a minute)");
+
+  util::Table table("dust::check harness throughput");
+  table.set_precision(2);
+  table.header({"phase", "runs", "total_ms", "per_run_ms", "notes"});
+
+  {
+    const auto start = std::chrono::steady_clock::now();
+    std::size_t cycles = 0, offloads = 0, violations = 0;
+    for (std::uint64_t s = 0; s < seeds; ++s) {
+      const check::ScenarioSpec spec = check::generate_scenario(base + s);
+      const check::RunReport report = check::run_scenario(spec);
+      cycles += report.cycles_observed;
+      offloads += report.offloads_created;
+      violations += report.violations.size();
+    }
+    const double total = seconds_since(start) * 1e3;
+    table.row({std::string("scenario-fuzz"),
+               static_cast<std::int64_t>(seeds), total,
+               total / static_cast<double>(seeds),
+               std::to_string(cycles) + " cycles, " +
+                   std::to_string(offloads) + " offloads, " +
+                   std::to_string(violations) + " violations"});
+  }
+
+  {
+    const auto start = std::chrono::steady_clock::now();
+    std::size_t caught = 0, shrunk_small = 0, attempts = 0;
+    for (std::uint64_t s = 0; s < seeds; ++s) {
+      const check::ScenarioSpec spec = check::generate_scenario(base + s);
+      if (!capacity_bug_caught(spec)) continue;
+      ++caught;
+      check::ShrinkStats stats;
+      const check::ScenarioSpec shrunk =
+          check::shrink_scenario(spec, capacity_bug_caught, 400, &stats);
+      attempts += stats.attempts;
+      if (shrunk.node_count <= 8) ++shrunk_small;
+    }
+    const double total = seconds_since(start) * 1e3;
+    table.row({std::string("bug-inject+shrink"),
+               static_cast<std::int64_t>(seeds), total,
+               total / static_cast<double>(seeds),
+               std::to_string(caught) + " caught, " +
+                   std::to_string(shrunk_small) + " shrunk to <=8 nodes, " +
+                   std::to_string(attempts) + " shrink attempts"});
+  }
+
+  bench::emit(table);
+  return 0;
+}

@@ -1,0 +1,52 @@
+// dust::check invariant catalog (DESIGN.md §9): the machine-checkable
+// properties every placement cycle must satisfy, checked against the exact
+// model the engine solved (via DustManager::set_cycle_observer) rather than
+// a reconstruction of it.
+//
+//   I1 capacity    Σ_i coeff(i,j)·x_ij ≤ Cd_j            (Eq. 3 row b)
+//   I2 drain       Σ_j x_ij = Cs_i, or explicit infeasibility / partial
+//                  remainder reported in `unplaced`        (Eq. 3 row a)
+//   I3 hop bound   every assignment rides a finite Trmin (kInfinity means
+//                  no route within max-hops — forbidden)
+//   I4 membership  every assignment maps busy→candidate; no offload lands
+//                  on a None-offloading node
+//   I5 sign        flows are nonnegative, objective = Σ x_ij·Trmin(i,j)
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/manager.hpp"
+#include "core/placement.hpp"
+
+namespace dust::check {
+
+struct Violation {
+  std::string invariant;  ///< "I1-capacity", "O2-warm-vs-cold", ...
+  std::string detail;
+};
+
+struct InvariantOptions {
+  double tolerance = 1e-6;
+};
+
+/// Check a solved placement against the exact problem it was solved for.
+[[nodiscard]] std::vector<Violation> check_placement(
+    const core::PlacementProblem& problem, const core::PlacementResult& result,
+    const InvariantOptions& options = {});
+
+/// Cross-layer checks needing the NMDB: assignments must target
+/// offload-capable nodes (I4 at the role level, catching candidate-set
+/// construction bugs that a problem-local check cannot).
+[[nodiscard]] std::vector<Violation> check_roles(
+    const core::Nmdb& nmdb, const core::PlacementResult& result);
+
+/// Everything checkable from one manager cycle observation.
+[[nodiscard]] std::vector<Violation> check_cycle(
+    const core::CycleObservation& observation,
+    const InvariantOptions& options = {});
+
+/// Render violations for a test failure message.
+[[nodiscard]] std::string describe(const std::vector<Violation>& violations);
+
+}  // namespace dust::check

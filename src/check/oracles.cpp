@@ -1,0 +1,209 @@
+#include "check/oracles.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <string>
+
+#include "net/response_cache.hpp"
+#include "solver/exhaustive.hpp"
+#include "solver/transportation.hpp"
+
+namespace dust::check {
+
+namespace {
+
+std::string fmt(double v) {
+  std::ostringstream os;
+  os << v;
+  return os.str();
+}
+
+bool objectives_agree(double a, double b, double tolerance) {
+  if (a == b) return true;  // covers the inf == inf (forbidden cell) case
+  return std::abs(a - b) <= tolerance * std::max({1.0, std::abs(a),
+                                                  std::abs(b)});
+}
+
+solver::TransportationProblem to_transportation(
+    const core::PlacementProblem& p) {
+  solver::TransportationProblem t;
+  t.supply = p.cs;
+  t.capacity = p.cd;
+  t.cost = p.trmin;
+  return t;
+}
+
+}  // namespace
+
+std::vector<Violation> cross_check_solvers(const core::PlacementProblem& problem,
+                                           const OracleOptions& options) {
+  std::vector<Violation> out;
+  const std::size_t cells = problem.busy.size() * problem.candidates.size();
+  if (!options.check_solvers || problem.heterogeneous() ||
+      problem.busy.empty() || problem.candidates.empty() ||
+      cells > options.max_cells)
+    return out;
+
+  struct Run {
+    core::SolverBackend backend;
+    core::PlacementResult result;
+  };
+  std::vector<Run> runs;
+  for (core::SolverBackend backend :
+       {core::SolverBackend::kTransportation, core::SolverBackend::kSimplex,
+        core::SolverBackend::kMinCostFlow,
+        core::SolverBackend::kBranchAndBound}) {
+    core::OptimizerOptions opt;
+    opt.backend = backend;
+    const core::OptimizationEngine engine(opt);
+    runs.push_back({backend, engine.solve(problem)});
+  }
+  const Run& reference = runs.front();
+  for (std::size_t r = 1; r < runs.size(); ++r) {
+    const Run& other = runs[r];
+    if (other.result.status != reference.result.status) {
+      out.push_back({"O1-solver-agreement",
+                     std::string(core::to_string(other.backend)) +
+                         " status differs from " +
+                         core::to_string(reference.backend)});
+      continue;
+    }
+    if (reference.result.optimal() &&
+        !objectives_agree(other.result.objective, reference.result.objective,
+                          options.tolerance))
+      out.push_back({"O1-solver-agreement",
+                     std::string(core::to_string(other.backend)) +
+                         " objective " + fmt(other.result.objective) +
+                         " != " + core::to_string(reference.backend) + " " +
+                         fmt(reference.result.objective)});
+  }
+
+  const solver::TransportationProblem t = to_transportation(problem);
+  if (solver::exhaustive_base_count(t) <= options.max_exhaustive_bases) {
+    const solver::TransportationResult truth =
+        solver::solve_transportation_exhaustive(
+            t, options.max_exhaustive_bases + 1);
+    if (truth.status != reference.result.status)
+      out.push_back({"O2-exhaustive", "brute-force verdict differs from " +
+                                          std::string(core::to_string(
+                                              reference.backend))});
+    else if (truth.optimal() &&
+             !objectives_agree(truth.objective, reference.result.objective,
+                               options.tolerance))
+      out.push_back({"O2-exhaustive",
+                     "brute-force optimum " + fmt(truth.objective) + " != " +
+                         fmt(reference.result.objective)});
+  }
+  return out;
+}
+
+std::vector<Violation> cross_check_nmdb(const core::Nmdb& nmdb,
+                                        const core::PlacementOptions& placement,
+                                        const OracleOptions& options) {
+  std::vector<Violation> out;
+
+  core::PlacementOptions fresh_options = placement;
+  fresh_options.response_cache = nullptr;
+  const core::PlacementProblem fresh =
+      core::build_placement_problem(nmdb, fresh_options);
+
+  // O4: the cache must serve the exact rows a fresh build computes, both on
+  // the miss path (first build) and the hit path (second build, no link
+  // moved in between).
+  if (options.check_cache) {
+    core::Nmdb copy = nmdb;  // begin_cycle snapshots links (mutating)
+    net::ResponseTimeCache cache;
+    core::PlacementOptions cached_options = placement;
+    cached_options.response_cache = &cache;
+    for (int pass = 0; pass < 2; ++pass) {
+      cache.begin_cycle(copy.network());
+      const core::PlacementProblem cached =
+          core::build_placement_problem(copy, cached_options);
+      if (cached.busy != fresh.busy || cached.candidates != fresh.candidates) {
+        out.push_back({"O4-trmin-cache",
+                       "cached build produced different busy/candidate sets"});
+        break;
+      }
+      bool mismatch = false;
+      for (std::size_t cell = 0; cell < fresh.trmin.size(); ++cell) {
+        if (!objectives_agree(cached.trmin[cell], fresh.trmin[cell],
+                              options.tolerance)) {
+          mismatch = true;
+          out.push_back({"O4-trmin-cache",
+                         std::string(pass == 0 ? "miss" : "hit") +
+                             "-path Trmin cell " + std::to_string(cell) +
+                             ": cached " + fmt(cached.trmin[cell]) +
+                             " vs fresh " + fmt(fresh.trmin[cell])});
+          break;
+        }
+      }
+      if (mismatch) break;
+    }
+  }
+
+  // O3: warm-started re-solve of the identical problem must land on the
+  // cold objective (warm hints change the pivot path, never the optimum).
+  if (options.check_warm_start && !fresh.busy.empty() &&
+      !fresh.heterogeneous()) {
+    core::OptimizerOptions cold_opt;
+    const core::OptimizationEngine cold_engine(cold_opt);
+    const core::PlacementResult cold = cold_engine.solve(fresh);
+
+    core::OptimizerOptions warm_opt;
+    warm_opt.warm_start = true;
+    const core::OptimizationEngine warm_engine(warm_opt);
+    (void)warm_engine.solve(fresh);  // prime the warm state
+    const core::PlacementResult warm = warm_engine.solve(fresh);
+    // Only an optimal prime retains warm state; infeasible solves cold twice.
+    if (cold.optimal() && warm_engine.warm_solves() == 0)
+      out.push_back({"O3-warm-vs-cold",
+                     "identical re-solve did not take the warm path"});
+    if (warm.status != cold.status)
+      out.push_back({"O3-warm-vs-cold", "warm re-solve verdict differs"});
+    else if (cold.optimal() &&
+             !objectives_agree(warm.objective, cold.objective,
+                               options.tolerance))
+      out.push_back({"O3-warm-vs-cold",
+                     "warm objective " + fmt(warm.objective) + " != cold " +
+                         fmt(cold.objective)});
+  }
+
+  // O5: heuristic soundness. HFR is a rate: Cse and Cs must be nonnegative
+  // and Cse ≤ Cs. When the greedy completes, its placement is a feasible
+  // point of the exact model (radius 1 ≤ max_hops; same capacities), so the
+  // exact model must be feasible with objective ≤ the heuristic's. The
+  // converse — exact-feasible implies HFR = 0 — is NOT sound (the greedy can
+  // strand shared neighbour capacity) and is deliberately not checked.
+  if (options.check_heuristic && nmdb.homogeneous()) {
+    const core::HeuristicEngine heuristic;
+    const core::HeuristicResult h = heuristic.run(nmdb);
+    if (h.total_cse < -options.tolerance || h.total_cs < -options.tolerance ||
+        h.total_cse > h.total_cs + options.tolerance)
+      out.push_back({"O5-heuristic", "HFR components out of range: Cse " +
+                                         fmt(h.total_cse) + ", Cs " +
+                                         fmt(h.total_cs)});
+    if (h.hfr_percent() < 0.0 || h.hfr_percent() > 100.0 + options.tolerance)
+      out.push_back(
+          {"O5-heuristic", "HFR " + fmt(h.hfr_percent()) + " out of [0,100]"});
+    if (h.complete() && h.total_cs > options.tolerance &&
+        !fresh.busy.empty()) {
+      core::OptimizerOptions exact_opt;
+      const core::OptimizationEngine exact_engine(exact_opt);
+      const core::PlacementResult exact = exact_engine.solve(fresh);
+      if (!exact.optimal())
+        out.push_back({"O5-heuristic",
+                       "heuristic placed everything but the exact model is " +
+                           std::string(solver::to_string(exact.status))});
+      else if (exact.objective > h.objective + options.tolerance *
+                                                   std::max(1.0, h.objective))
+        out.push_back({"O5-heuristic",
+                       "exact optimum " + fmt(exact.objective) +
+                           " exceeds complete-heuristic objective " +
+                           fmt(h.objective)});
+    }
+  }
+  return out;
+}
+
+}  // namespace dust::check

@@ -1,0 +1,53 @@
+// dust::check differential oracles (DESIGN.md §9): independent ways of
+// computing the same answer, cross-checked on randomly generated instances.
+//
+//   O1 solver agreement   transportation simplex vs general simplex vs
+//                         min-cost-flow vs branch-and-bound: same
+//                         feasibility verdict, same optimal objective
+//   O2 exact ground truth brute-force vertex enumeration (solver/exhaustive)
+//                         on small instances
+//   O3 warm vs cold       a warm-started re-solve must reproduce the cold
+//                         objective bit-for-near (warm starts change the
+//                         pivot path, never the optimum)
+//   O4 Trmin cache        ResponseTimeCache-served rows == fresh evaluation
+//   O5 heuristic          HFR ≥ 0; a complete heuristic placement implies
+//                         the exact model is feasible with objective ≤ the
+//                         heuristic's (the heuristic solution is a feasible
+//                         point of the exact model when max_hops ≥ radius)
+#pragma once
+
+#include <cstddef>
+
+#include "check/invariants.hpp"
+#include "core/heuristic.hpp"
+#include "core/nmdb.hpp"
+#include "core/optimizer.hpp"
+
+namespace dust::check {
+
+struct OracleOptions {
+  /// O1/O2 run only when busy*candidates ≤ this many cells (the general
+  /// simplex and enumeration get expensive fast).
+  std::size_t max_cells = 64;
+  /// O2 runs only when the enumeration would visit at most this many
+  /// subsets (see solver::exhaustive_base_count).
+  std::size_t max_exhaustive_bases = 200000;
+  double tolerance = 1e-6;
+  bool check_solvers = true;     ///< O1 + O2
+  bool check_warm_start = true;  ///< O3
+  bool check_cache = true;       ///< O4
+  bool check_heuristic = true;   ///< O5
+};
+
+/// O1 + O2 on an already-built (homogeneous) problem. Heterogeneous
+/// problems are skipped — only the general simplex models platform factors.
+[[nodiscard]] std::vector<Violation> cross_check_solvers(
+    const core::PlacementProblem& problem, const OracleOptions& options = {});
+
+/// All applicable oracles from an NMDB snapshot (builds its own problems:
+/// fresh vs cached Trmin, warm vs cold solves, heuristic vs exact).
+[[nodiscard]] std::vector<Violation> cross_check_nmdb(
+    const core::Nmdb& nmdb, const core::PlacementOptions& placement,
+    const OracleOptions& options = {});
+
+}  // namespace dust::check

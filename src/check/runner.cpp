@@ -1,0 +1,139 @@
+#include "check/runner.hpp"
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/client.hpp"
+#include "sim/transport.hpp"
+#include "util/rng.hpp"
+
+namespace dust::check {
+
+RunReport run_scenario(const ScenarioSpec& spec, const RunOptions& options) {
+  RunReport report;
+  sim::Simulator sim;
+  sim::Transport transport(sim, util::Rng(spec.seed).fork(1));
+
+  core::ManagerConfig config;
+  config.update_interval_ms = options.update_interval_ms;
+  config.placement_period_ms = options.placement_period_ms;
+  config.keepalive_timeout_ms = options.keepalive_timeout_ms;
+  config.keepalive_check_period_ms = options.keepalive_check_period_ms;
+  config.incremental_placement = options.incremental_placement;
+  config.optimizer.allow_partial = true;  // scenarios routinely exceed Cd
+  config.optimizer.verify_warm_start = options.incremental_placement;
+  config.optimizer.placement.max_hops = spec.max_hops;
+  // Bounded DP keeps Trmin cheap on fat-tree k=8; the enumerate-vs-DP
+  // equivalence is covered by the solver-layer tests, not re-checked here.
+  config.optimizer.placement.evaluator = net::EvaluatorMode::kHopBoundedDp;
+
+  core::DustManager manager(sim, transport, build_nmdb(spec), config);
+
+  std::vector<std::unique_ptr<core::DustClient>> clients;
+  clients.reserve(spec.node_count);
+  for (graph::NodeId v = 0; v < spec.node_count; ++v) {
+    core::ClientConfig client_config;
+    client_config.offload_capable = spec.capable[v] != 0;
+    client_config.keepalive_interval_ms = options.keepalive_interval_ms;
+    client_config.platform_factor = spec.platform_factor[v];
+    clients.push_back(std::make_unique<core::DustClient>(
+        sim, transport, v, client_config, util::Rng(spec.seed).fork(100 + v)));
+    clients.back()->set_reported_state(spec.load[v], spec.data_mb[v],
+                                       spec.agents[v]);
+  }
+
+  manager.set_cycle_observer([&](const core::CycleObservation& observation) {
+    ++report.cycles_observed;
+    std::vector<Violation> found =
+        check_cycle(observation, options.invariant);
+    if (options.check_oracles && observation.problem != nullptr &&
+        report.oracle_cycles < options.max_oracle_cycles &&
+        !observation.problem->busy.empty()) {
+      const std::size_t cells = observation.problem->busy.size() *
+                                observation.problem->candidates.size();
+      if (cells > 0 && cells <= options.oracle.max_cells) {
+        ++report.oracle_cycles;
+        std::vector<Violation> oracle =
+            cross_check_solvers(*observation.problem, options.oracle);
+        found.insert(found.end(), oracle.begin(), oracle.end());
+      }
+    }
+    for (Violation& v : found) {
+      v.detail += " (cycle " + std::to_string(report.cycles_observed) +
+                  ", t=" + std::to_string(observation.now) + "ms)";
+      report.violations.push_back(std::move(v));
+    }
+  });
+
+  for (auto& client : clients) client->start();
+  manager.start();
+
+  for (const ChurnEvent& event : spec.churn) {
+    core::DustClient* client = clients[event.node].get();
+    const double data = spec.data_mb[event.node];
+    const std::uint32_t agents = spec.agents[event.node];
+    const double utilization = event.utilization_percent;
+    sim.schedule_at(event.at_ms, [client, utilization, data, agents] {
+      client->set_reported_state(utilization, data, agents);
+    });
+  }
+  for (const NodeDeathEvent& event : spec.deaths) {
+    core::DustClient* client = clients[event.node].get();
+    sim.schedule_at(event.at_ms, [client] { client->set_failed(true); });
+  }
+  schedule_fault_script(sim, transport, spec.faults);
+
+  // Replica-substitution audit (§III-C): once the manager holds an
+  // acknowledged offload whose destination is dead, the relationship must be
+  // re-pointed (REP) or torn down within 2x the keepalive timeout. The
+  // window covers worst-case detection (stale keepalive crosses the timeout
+  // just after a check) plus the check period itself.
+  struct DeadEntry {
+    sim::TimeMs first_seen = 0;
+    bool reported = false;
+  };
+  std::map<graph::NodeId, DeadEntry> dead_seen;
+  const sim::TimeMs deadline = 2 * options.keepalive_timeout_ms;
+  sim::PeriodicTask audit(
+      sim, options.keepalive_check_period_ms, options.keepalive_check_period_ms,
+      [&](sim::TimeMs now) {
+        std::map<graph::NodeId, DeadEntry> still_dead;
+        for (const core::ActiveOffload& offload : manager.active_offloads()) {
+          if (!offload.acknowledged) continue;  // never keepalive-supervised
+          if (!clients[offload.destination]->failed()) continue;
+          const auto it = dead_seen.find(offload.destination);
+          DeadEntry entry =
+              it == dead_seen.end() ? DeadEntry{now, false} : it->second;
+          if (!entry.reported && now - entry.first_seen > deadline) {
+            entry.reported = true;
+            report.violations.push_back(
+                {"I6-replica-deadline",
+                 "offload " + std::to_string(offload.busy) + "→" +
+                     std::to_string(offload.destination) +
+                     " still points at a dead destination " +
+                     std::to_string(now - entry.first_seen) +
+                     "ms after first seen (limit " + std::to_string(deadline) +
+                     "ms)"});
+          }
+          still_dead[offload.destination] = entry;
+        }
+        dead_seen = std::move(still_dead);
+      });
+
+  sim.run_until(spec.duration_ms);
+  audit.cancel();
+  manager.stop();
+  manager.set_cycle_observer({});
+
+  report.keepalive_failures = manager.keepalive_failures();
+  report.releases = manager.releases();
+  report.offloads_created = manager.active_offload_count();
+  report.messages_dropped = transport.dropped();
+  for (const auto& client : clients)
+    report.reps_received += client->reps_received();
+  return report;
+}
+
+}  // namespace dust::check

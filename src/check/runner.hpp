@@ -1,0 +1,52 @@
+// dust::check scenario runner: drives the full Manager/Client protocol loop
+// over a generated scenario (churn, faults, deaths) on the simulated
+// transport, checking the invariant catalog after every placement cycle and
+// the differential oracles on size-gated cycles, plus a time-based audit
+// that every offload to a dead destination is replaced (REP) or torn down
+// within 2x the keepalive timeout.
+#pragma once
+
+#include "check/invariants.hpp"
+#include "check/oracles.hpp"
+#include "check/scenario.hpp"
+
+namespace dust::check {
+
+struct RunOptions {
+  // Fast protocol clocks (sim-time ms) so a 60 s scenario covers ~12
+  // placement cycles and several keepalive windows.
+  std::int64_t update_interval_ms = 1000;
+  std::int64_t placement_period_ms = 5000;
+  std::int64_t keepalive_timeout_ms = 4000;
+  std::int64_t keepalive_check_period_ms = 1000;
+  std::int64_t keepalive_interval_ms = 1000;
+  /// Exercise the incremental pipeline (Trmin cache + warm starts) with the
+  /// engine's own warm-vs-cold verification enabled — every steady-state
+  /// cycle then runs the O3 oracle for free.
+  bool incremental_placement = true;
+  bool check_oracles = true;
+  /// Solver differential oracles run on at most this many (size-gated)
+  /// cycles per scenario — they cost three extra solves plus enumeration.
+  std::size_t max_oracle_cycles = 4;
+  OracleOptions oracle;
+  InvariantOptions invariant;
+};
+
+struct RunReport {
+  std::vector<Violation> violations;
+  std::size_t cycles_observed = 0;
+  std::size_t oracle_cycles = 0;
+  std::size_t offloads_created = 0;
+  std::size_t keepalive_failures = 0;
+  std::size_t releases = 0;
+  std::uint64_t reps_received = 0;
+  std::uint64_t messages_dropped = 0;
+
+  [[nodiscard]] bool passed() const noexcept { return violations.empty(); }
+};
+
+/// Deterministic given spec (all randomness derives from spec.seed).
+[[nodiscard]] RunReport run_scenario(const ScenarioSpec& spec,
+                                     const RunOptions& options = {});
+
+}  // namespace dust::check

@@ -1,0 +1,269 @@
+#include "check/scenario.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#include "core/manager.hpp"  // client_endpoint
+#include "core/scenario.hpp"
+#include "graph/topology.hpp"
+#include "util/rng.hpp"
+
+namespace dust::check {
+
+namespace {
+
+/// Random near-regular graph: start from the circulant C_n(1, 2) (4-regular,
+/// connected) and randomize with degree-preserving double-edge swaps. Swaps
+/// that would create a parallel edge or self-loop are skipped, so the result
+/// stays a simple connected-ish graph; connectivity is restored by
+/// construction because the ring chords i->i+1 are never all removed (we
+/// keep the base ring fixed and only swap the distance-2 chords).
+graph::Graph make_random_regular(std::uint32_t n, std::uint32_t swaps,
+                                 util::Rng& rng) {
+  if (n < 5) {
+    // Too small for distinct distance-2 chords; fall back to a clique-ish
+    // random connected graph.
+    return graph::make_random_connected(n, n, rng);
+  }
+  std::vector<std::pair<graph::NodeId, graph::NodeId>> ring;
+  std::vector<std::pair<graph::NodeId, graph::NodeId>> chords;
+  for (graph::NodeId v = 0; v < n; ++v) {
+    ring.emplace_back(v, (v + 1) % n);
+    chords.emplace_back(v, (v + 2) % n);
+  }
+  const auto has_edge = [&](graph::NodeId a, graph::NodeId b) {
+    for (const auto& [x, y] : ring)
+      if ((x == a && y == b) || (x == b && y == a)) return true;
+    for (const auto& [x, y] : chords)
+      if ((x == a && y == b) || (x == b && y == a)) return true;
+    return false;
+  };
+  for (std::uint32_t attempt = 0; attempt < swaps; ++attempt) {
+    const std::size_t i = static_cast<std::size_t>(rng.below(chords.size()));
+    const std::size_t j = static_cast<std::size_t>(rng.below(chords.size()));
+    if (i == j) continue;
+    auto [a, b] = chords[i];
+    auto [c, d] = chords[j];
+    // Rewire (a,b),(c,d) -> (a,d),(c,b).
+    if (a == d || c == b) continue;
+    if (has_edge(a, d) || has_edge(c, b)) continue;
+    chords[i] = {a, d};
+    chords[j] = {c, b};
+  }
+  graph::Graph g(n);
+  for (const auto& [a, b] : ring) g.add_edge(a, b);
+  for (const auto& [a, b] : chords)
+    if (!g.find_edge(a, b)) g.add_edge(a, b);
+  return g;
+}
+
+void resolve_node_count(ScenarioSpec& spec, const GeneratorOptions& options,
+                        util::Rng& rng) {
+  switch (spec.topology) {
+    case TopologyKind::kFatTree: {
+      // k ∈ {4, 6, 8}, demoted until 5k^2/4 fits the cap.
+      static constexpr std::uint32_t kChoices[] = {4, 6, 8};
+      spec.fat_tree_k = kChoices[rng.below(3)];
+      while (spec.fat_tree_k > 4 &&
+             5 * spec.fat_tree_k * spec.fat_tree_k / 4 > options.max_nodes)
+        spec.fat_tree_k -= 2;
+      spec.node_count = 5 * spec.fat_tree_k * spec.fat_tree_k / 4;
+      break;
+    }
+    case TopologyKind::kRandomRegular:
+      spec.node_count = static_cast<std::uint32_t>(
+          rng.range(8, std::min<std::int64_t>(options.max_nodes, 40)));
+      spec.extra_edges = spec.node_count * 2;
+      break;
+    case TopologyKind::kHeterogeneousDpu:
+      spec.node_count = static_cast<std::uint32_t>(
+          rng.range(8, std::min<std::int64_t>(options.max_nodes, 32)));
+      break;
+  }
+}
+
+}  // namespace
+
+const char* to_string(TopologyKind kind) noexcept {
+  switch (kind) {
+    case TopologyKind::kFatTree: return "fat-tree";
+    case TopologyKind::kRandomRegular: return "random-regular";
+    case TopologyKind::kHeterogeneousDpu: return "heterogeneous-dpu";
+  }
+  return "?";
+}
+
+ScenarioSpec generate_scenario(std::uint64_t seed,
+                               const GeneratorOptions& options) {
+  util::Rng rng(seed);
+  ScenarioSpec spec;
+  spec.seed = seed;
+  spec.topology = static_cast<TopologyKind>(rng.below(3));
+  resolve_node_count(spec, options, rng);
+  const std::uint32_t n = spec.node_count;
+
+  spec.load.resize(n);
+  spec.data_mb.resize(n);
+  spec.agents.resize(n);
+  spec.capable.assign(n, 1);
+  spec.platform_factor.assign(n, 1.0);
+  for (std::uint32_t v = 0; v < n; ++v) {
+    const bool busy = rng.bernoulli(options.busy_fraction);
+    // Busy nodes start above Cmax=80; the rest spread across idle/candidate
+    // and the 60..80 "neither" band so role churn is exercised.
+    spec.load[v] = busy ? rng.uniform(81.0, 99.0) : rng.uniform(5.0, 75.0);
+    spec.data_mb[v] = rng.uniform(1.0, 200.0);
+    spec.agents[v] = static_cast<std::uint32_t>(rng.range(1, 12));
+    if (rng.bernoulli(options.opt_out_fraction)) spec.capable[v] = 0;
+    if (spec.topology == TopologyKind::kHeterogeneousDpu)
+      spec.platform_factor[v] = rng.bernoulli(0.3)
+                                    ? rng.uniform(1.5, 4.0)  // DPU class
+                                    : rng.uniform(0.5, 1.5);
+  }
+
+  spec.duration_ms = 60000;
+  spec.max_hops = static_cast<std::uint32_t>(rng.range(2, 5));
+
+  for (std::size_t e = 0; e < options.churn_events; ++e) {
+    ChurnEvent event;
+    event.at_ms = rng.range(1000, spec.duration_ms - 5000);
+    event.node = static_cast<graph::NodeId>(rng.below(n));
+    event.utilization_percent = rng.uniform(5.0, 99.0);
+    spec.churn.push_back(event);
+  }
+  std::sort(spec.churn.begin(), spec.churn.end(),
+            [](const ChurnEvent& a, const ChurnEvent& b) {
+              return a.at_ms < b.at_ms;
+            });
+
+  if (options.allow_deaths) {
+    for (std::size_t e = 0; e < options.death_events; ++e) {
+      NodeDeathEvent death;
+      death.at_ms = rng.range(spec.duration_ms / 3, spec.duration_ms / 2);
+      death.node = static_cast<graph::NodeId>(rng.below(n));
+      spec.deaths.push_back(death);
+    }
+  }
+
+  if (options.allow_faults) {
+    for (std::size_t e = 0; e < options.fault_events; ++e) {
+      sim::FaultEvent fault;
+      fault.at_ms = rng.range(1000, spec.duration_ms - 2000);
+      switch (rng.below(4)) {
+        case 0:
+          fault.kind = sim::FaultEvent::Kind::kLossProbability;
+          fault.value = rng.uniform(0.0, 0.3);
+          break;
+        case 1: {
+          // Partition one client endpoint, heal it a few seconds later.
+          fault.kind = sim::FaultEvent::Kind::kPartition;
+          fault.endpoint = core::client_endpoint(
+              static_cast<graph::NodeId>(rng.below(n)));
+          sim::FaultEvent heal;
+          heal.at_ms = fault.at_ms + rng.range(2000, 8000);
+          heal.kind = sim::FaultEvent::Kind::kHeal;
+          heal.endpoint = fault.endpoint;
+          spec.faults.push_back(heal);
+          break;
+        }
+        case 2:
+          fault.kind = sim::FaultEvent::Kind::kCongestionOn;
+          break;
+        default:
+          fault.kind = sim::FaultEvent::Kind::kCongestionOff;
+          break;
+      }
+      spec.faults.push_back(fault);
+    }
+    // Always end with a loss reset so late cycles can converge.
+    sim::FaultEvent reset;
+    reset.at_ms = spec.duration_ms - 1000;
+    reset.kind = sim::FaultEvent::Kind::kLossProbability;
+    reset.value = 0.0;
+    spec.faults.push_back(reset);
+    std::sort(spec.faults.begin(), spec.faults.end(),
+              [](const sim::FaultEvent& a, const sim::FaultEvent& b) {
+                return a.at_ms < b.at_ms;
+              });
+  }
+  return spec;
+}
+
+graph::Graph build_topology(const ScenarioSpec& spec) {
+  switch (spec.topology) {
+    case TopologyKind::kFatTree:
+      return graph::FatTree(spec.fat_tree_k).graph();
+    case TopologyKind::kRandomRegular: {
+      util::Rng rng(spec.seed ^ 0x70706f6cULL);  // independent of generate()
+      return make_random_regular(spec.node_count, spec.extra_edges, rng);
+    }
+    case TopologyKind::kHeterogeneousDpu: {
+      const std::uint32_t spines = std::max<std::uint32_t>(2, spec.node_count / 4);
+      return graph::make_leaf_spine(spines, spec.node_count - spines);
+    }
+  }
+  throw std::invalid_argument("build_topology: unknown topology kind");
+}
+
+core::Nmdb build_nmdb(const ScenarioSpec& spec) {
+  if (spec.load.size() != spec.node_count ||
+      spec.capable.size() != spec.node_count)
+    throw std::invalid_argument("build_nmdb: spec vectors out of sync");
+  net::NetworkState state(build_topology(spec));
+  if (state.node_count() != spec.node_count)
+    throw std::invalid_argument("build_nmdb: topology/node_count mismatch");
+  core::Nmdb nmdb(std::move(state), core::Thresholds{});
+  for (graph::NodeId v = 0; v < spec.node_count; ++v) {
+    nmdb.network().set_node_utilization(v, spec.load[v]);
+    nmdb.network().set_monitoring_data_mb(v, spec.data_mb[v]);
+    nmdb.record_stat(v, spec.load[v], spec.data_mb[v], spec.agents[v]);
+    nmdb.set_offload_capable(v, spec.capable[v] != 0);
+    nmdb.set_platform_factor(v, spec.platform_factor[v]);
+  }
+  return nmdb;
+}
+
+void dump_scenario(std::ostream& os, const ScenarioSpec& spec) {
+  os << "# dust::check scenario  seed=" << spec.seed << "  topology="
+     << to_string(spec.topology);
+  if (spec.topology == TopologyKind::kFatTree) os << " k=" << spec.fat_tree_k;
+  os << "  nodes=" << spec.node_count << "  max_hops=" << spec.max_hops
+     << "  duration_ms=" << spec.duration_ms << "\n";
+  core::save_scenario(os, build_nmdb(spec));
+  for (const ChurnEvent& e : spec.churn)
+    os << "# churn " << e.at_ms << " " << e.node << " "
+       << e.utilization_percent << "\n";
+  for (const NodeDeathEvent& e : spec.deaths)
+    os << "# death " << e.at_ms << " " << e.node << "\n";
+  for (const sim::FaultEvent& e : spec.faults) {
+    os << "# fault " << e.at_ms << " ";
+    switch (e.kind) {
+      case sim::FaultEvent::Kind::kLossProbability:
+        os << "loss " << e.value;
+        break;
+      case sim::FaultEvent::Kind::kPartition:
+        os << "partition " << e.endpoint;
+        break;
+      case sim::FaultEvent::Kind::kHeal:
+        os << "heal " << e.endpoint;
+        break;
+      case sim::FaultEvent::Kind::kCongestionOn:
+        os << "congestion on";
+        break;
+      case sim::FaultEvent::Kind::kCongestionOff:
+        os << "congestion off";
+        break;
+    }
+    os << "\n";
+  }
+}
+
+std::string dump_scenario(const ScenarioSpec& spec) {
+  std::ostringstream os;
+  dump_scenario(os, spec);
+  return os.str();
+}
+
+}  // namespace dust::check

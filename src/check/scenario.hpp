@@ -1,0 +1,95 @@
+// dust::check scenario model: a fully self-describing random test case.
+//
+// A ScenarioSpec captures everything a harness run needs — topology, load
+// vector, churn trace, node deaths, and the transport fault schedule — as
+// plain data, so a failing case can be (a) replayed bit-identically from its
+// seed, (b) shrunk by editing the spec (see shrink.hpp), and (c) dumped as
+// an annotated .scn file a human can read and scenario_cli can load.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/nmdb.hpp"
+#include "sim/transport.hpp"
+
+namespace dust::check {
+
+enum class TopologyKind : std::uint8_t {
+  kFatTree,           ///< paper §V-B switch-level fat-tree, k ∈ {4, 6, 8}
+  kRandomRegular,     ///< random 4-regular-ish graph (circulant + swaps)
+  kHeterogeneousDpu,  ///< leaf-spine with DPU-class platform factors
+};
+
+[[nodiscard]] const char* to_string(TopologyKind kind) noexcept;
+
+/// One load change applied mid-run (drives STAT updates and churn).
+struct ChurnEvent {
+  sim::TimeMs at_ms = 0;
+  graph::NodeId node = graph::kInvalidNode;
+  double utilization_percent = 0.0;
+};
+
+/// Permanent node crash at `at_ms` (stops STATs/Keepalives, drops messages).
+struct NodeDeathEvent {
+  sim::TimeMs at_ms = 0;
+  graph::NodeId node = graph::kInvalidNode;
+};
+
+struct ScenarioSpec {
+  std::uint64_t seed = 0;
+  TopologyKind topology = TopologyKind::kFatTree;
+  std::uint32_t fat_tree_k = 4;   ///< kFatTree only
+  std::uint32_t node_count = 0;   ///< resolved for every kind
+  std::uint32_t extra_edges = 0;  ///< kRandomRegular edge-swap budget
+
+  // Per-node initial state, all sized node_count.
+  std::vector<double> load;             ///< utilization %
+  std::vector<double> data_mb;          ///< monitoring data D_i
+  std::vector<std::uint32_t> agents;    ///< monitoring agent count
+  std::vector<char> capable;            ///< 0 = None-offloading opt-out
+  std::vector<double> platform_factor;  ///< 1.0 unless kHeterogeneousDpu
+
+  std::vector<ChurnEvent> churn;
+  std::vector<NodeDeathEvent> deaths;
+  std::vector<sim::FaultEvent> faults;
+
+  sim::TimeMs duration_ms = 60000;
+  std::uint32_t max_hops = 4;
+};
+
+struct GeneratorOptions {
+  /// Hard cap on generated topology size (smoke budget); fat-tree k is
+  /// demoted until 5k^2/4 fits.
+  std::uint32_t max_nodes = 80;
+  double busy_fraction = 0.25;     ///< nodes seeded above Cmax
+  double opt_out_fraction = 0.1;   ///< None-offloading nodes
+  std::size_t churn_events = 12;
+  std::size_t death_events = 1;
+  std::size_t fault_events = 6;
+  bool allow_faults = true;
+  bool allow_deaths = true;
+};
+
+/// Deterministic: the same (seed, options) always yields the same spec.
+[[nodiscard]] ScenarioSpec generate_scenario(std::uint64_t seed,
+                                             const GeneratorOptions& options = {});
+
+/// Topology for the spec (seeded internally from spec.seed for
+/// kRandomRegular, so rebuilding is deterministic).
+[[nodiscard]] graph::Graph build_topology(const ScenarioSpec& spec);
+
+/// NMDB preloaded with the spec's initial state (loads, capability flags,
+/// platform factors, agent counts). This is the t=0 view; churn/faults are
+/// applied by the runner over sim-time.
+[[nodiscard]] core::Nmdb build_nmdb(const ScenarioSpec& spec);
+
+/// Annotated .scn dump: the initial state in core::load_scenario syntax plus
+/// '#'-comment lines recording seed, churn, deaths, and the fault schedule
+/// (ignored by the parser, so the dump stays loadable by scenario_cli).
+void dump_scenario(std::ostream& os, const ScenarioSpec& spec);
+[[nodiscard]] std::string dump_scenario(const ScenarioSpec& spec);
+
+}  // namespace dust::check

@@ -1,0 +1,152 @@
+#include "check/shrink.hpp"
+
+#include <algorithm>
+#include <optional>
+#include <utility>
+
+#include "core/manager.hpp"  // client_endpoint
+
+namespace dust::check {
+
+namespace {
+
+bool endpoint_survives(const std::string& endpoint, std::uint32_t n) {
+  if (endpoint.empty()) return true;
+  for (graph::NodeId v = 0; v < n; ++v)
+    if (endpoint == core::client_endpoint(v)) return true;
+  return false;
+}
+
+/// Re-target `spec` at a smaller topology, truncating per-node vectors and
+/// dropping events that reference removed nodes.
+ScenarioSpec retarget(const ScenarioSpec& spec, TopologyKind kind,
+                      std::uint32_t fat_tree_k, std::uint32_t n) {
+  ScenarioSpec out = spec;
+  out.topology = kind;
+  out.fat_tree_k = fat_tree_k;
+  out.node_count = n;
+  out.extra_edges = n * 2;
+  out.load.resize(n);
+  out.data_mb.resize(n);
+  out.agents.resize(n);
+  out.capable.resize(n, 1);
+  out.platform_factor.resize(n, 1.0);
+  std::erase_if(out.churn,
+                [n](const ChurnEvent& e) { return e.node >= n; });
+  std::erase_if(out.deaths,
+                [n](const NodeDeathEvent& e) { return e.node >= n; });
+  std::erase_if(out.faults, [n](const sim::FaultEvent& e) {
+    return !endpoint_survives(e.endpoint, n);
+  });
+  return out;
+}
+
+/// One step down the topology ladder; nullopt at the bottom (4-node random).
+std::optional<ScenarioSpec> demote_once(const ScenarioSpec& spec) {
+  switch (spec.topology) {
+    case TopologyKind::kFatTree:
+      if (spec.fat_tree_k > 4) {
+        const std::uint32_t k = spec.fat_tree_k - 2;
+        return retarget(spec, TopologyKind::kFatTree, k, 5 * k * k / 4);
+      }
+      return retarget(spec, TopologyKind::kRandomRegular, 4,
+                      std::min<std::uint32_t>(8, spec.node_count));
+    case TopologyKind::kHeterogeneousDpu:
+      return retarget(spec, TopologyKind::kRandomRegular, 4,
+                      std::min<std::uint32_t>(8, spec.node_count));
+    case TopologyKind::kRandomRegular:
+      if (spec.node_count > 4)
+        return retarget(spec, TopologyKind::kRandomRegular, 4,
+                        std::max<std::uint32_t>(4, spec.node_count / 2));
+      return std::nullopt;
+  }
+  return std::nullopt;
+}
+
+template <typename T>
+bool reduce_list(ScenarioSpec& spec, std::vector<T> ScenarioSpec::*member,
+                 const FailurePredicate& fails, ShrinkStats& stats,
+                 std::size_t max_attempts) {
+  bool reduced_any = false;
+  if ((spec.*member).empty()) return false;
+  // ddmin-lite: chunk removals from halves down to single entries.
+  for (std::size_t chunk = ((spec.*member).size() + 1) / 2; chunk >= 1;
+       chunk /= 2) {
+    for (std::size_t start = 0; start < (spec.*member).size();) {
+      if (stats.attempts >= max_attempts) return reduced_any;
+      ScenarioSpec candidate = spec;
+      std::vector<T>& list = candidate.*member;
+      const auto first =
+          list.begin() + static_cast<std::ptrdiff_t>(start);
+      const auto last =
+          list.begin() +
+          static_cast<std::ptrdiff_t>(std::min(list.size(), start + chunk));
+      list.erase(first, last);
+      ++stats.attempts;
+      if (fails(candidate)) {
+        spec = std::move(candidate);
+        ++stats.accepted;
+        reduced_any = true;
+        // Keep `start`: the next chunk slid into this position.
+      } else {
+        start += chunk;
+      }
+    }
+    if (chunk == 1) break;
+  }
+  return reduced_any;
+}
+
+}  // namespace
+
+ScenarioSpec shrink_scenario(ScenarioSpec spec, const FailurePredicate& fails,
+                             std::size_t max_attempts, ShrinkStats* stats_out) {
+  ShrinkStats stats;
+  bool progress = true;
+  while (progress && stats.attempts < max_attempts) {
+    progress = false;
+
+    // 1. Walk the topology ladder as far down as the failure survives.
+    while (stats.attempts < max_attempts) {
+      std::optional<ScenarioSpec> candidate = demote_once(spec);
+      if (!candidate) break;
+      ++stats.attempts;
+      if (!fails(*candidate)) break;
+      spec = std::move(*candidate);
+      ++stats.accepted;
+      progress = true;
+    }
+
+    // 2. Thin the event lists.
+    progress |= reduce_list(spec, &ScenarioSpec::faults, fails, stats,
+                            max_attempts);
+    progress |= reduce_list(spec, &ScenarioSpec::churn, fails, stats,
+                            max_attempts);
+    progress |= reduce_list(spec, &ScenarioSpec::deaths, fails, stats,
+                            max_attempts);
+
+    // 3. Cut the tail: nothing happens after the last event.
+    sim::TimeMs last_event = 0;
+    for (const ChurnEvent& e : spec.churn)
+      last_event = std::max(last_event, e.at_ms);
+    for (const NodeDeathEvent& e : spec.deaths)
+      last_event = std::max(last_event, e.at_ms);
+    for (const sim::FaultEvent& e : spec.faults)
+      last_event = std::max(last_event, e.at_ms);
+    const sim::TimeMs shorter = last_event + 10000;
+    if (shorter < spec.duration_ms && stats.attempts < max_attempts) {
+      ScenarioSpec candidate = spec;
+      candidate.duration_ms = shorter;
+      ++stats.attempts;
+      if (fails(candidate)) {
+        spec = std::move(candidate);
+        ++stats.accepted;
+        progress = true;
+      }
+    }
+  }
+  if (stats_out != nullptr) *stats_out = stats;
+  return spec;
+}
+
+}  // namespace dust::check

@@ -1,0 +1,36 @@
+// dust::check scenario shrinker: delta-debug a failing ScenarioSpec down to
+// a minimal reproducer. Reductions (applied greedily to fixpoint, re-running
+// the failure predicate after each):
+//   - demote the topology (fat-tree k 8→6→4, then a small random graph,
+//     then halve the random graph's node count down to 4)
+//   - drop halves, then individual entries, of the churn / death / fault
+//     event lists
+//   - truncate the duration to just past the last surviving event
+// The result still fails (the predicate accepted every kept reduction), so
+// the shrunk spec plus its seed is a replayable minimal repro.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+#include "check/scenario.hpp"
+
+namespace dust::check {
+
+/// Returns true when the (possibly reduced) scenario still exhibits the
+/// failure under investigation. Must be deterministic.
+using FailurePredicate = std::function<bool(const ScenarioSpec&)>;
+
+struct ShrinkStats {
+  std::size_t attempts = 0;    ///< predicate evaluations
+  std::size_t accepted = 0;    ///< reductions that kept the failure
+};
+
+/// Shrink `spec` (which must currently satisfy `fails`). Stops after
+/// `max_attempts` predicate evaluations or at fixpoint, whichever first.
+[[nodiscard]] ScenarioSpec shrink_scenario(ScenarioSpec spec,
+                                           const FailurePredicate& fails,
+                                           std::size_t max_attempts = 400,
+                                           ShrinkStats* stats = nullptr);
+
+}  // namespace dust::check

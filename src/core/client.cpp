@@ -198,6 +198,7 @@ void DustClient::on_telemetry(const TelemetryDataMsg& msg) {
 
 void DustClient::on_rep(const RepMsg& msg) {
   if (msg.busy != node_) return;
+  ++reps_received_;
   // Drop the failed relationship and re-home the same agents to the replica.
   auto it = std::find_if(outbound_.begin(), outbound_.end(),
                          [&msg](const OutboundOffload& o) {
@@ -218,6 +219,7 @@ void DustClient::on_rep(const RepMsg& msg) {
 }
 
 void DustClient::on_release(const ReleaseMsg& msg) {
+  ++releases_received_;
   if (msg.busy == node_) {
     // Reclaim: reinstall our agents locally.
     auto it = std::find_if(outbound_.begin(), outbound_.end(),

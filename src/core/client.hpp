@@ -70,6 +70,14 @@ class DustClient {
   [[nodiscard]] std::uint64_t keepalives_sent() const noexcept {
     return keepalives_sent_;
   }
+  /// Protocol observability for the dust::check harness: how many REP
+  /// re-homing orders and Release teardowns this client processed.
+  [[nodiscard]] std::uint64_t reps_received() const noexcept {
+    return reps_received_;
+  }
+  [[nodiscard]] std::uint64_t releases_received() const noexcept {
+    return releases_received_;
+  }
 
  private:
   void handle(const sim::Envelope& envelope);
@@ -122,6 +130,8 @@ class DustClient {
   std::unique_ptr<sim::PeriodicTask> keepalive_task_;
   std::uint64_t keepalive_seq_ = 0;
   std::uint64_t keepalives_sent_ = 0;
+  std::uint64_t reps_received_ = 0;
+  std::uint64_t releases_received_ = 0;
   std::uint64_t endpoint_token_ = 0;
 };
 

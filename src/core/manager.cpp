@@ -192,9 +192,20 @@ std::size_t DustManager::run_placement_cycle() {
     adjusted.network().set_node_utilization(
         offload.destination, std::min(100.0, utilization));
   }
-  const PlacementResult result = engine_.run(adjusted);
+  PlacementProblem problem;
+  const PlacementResult result =
+      engine_.run(adjusted, cycle_observer_ ? &problem : nullptr);
   metrics_.placement_solve_ms->observe(result.solve_seconds * 1e3);
   metrics_.placement_build_ms->observe(result.build_seconds * 1e3);
+  if (cycle_observer_) {
+    CycleObservation observation;
+    observation.nmdb = &nmdb_;
+    observation.planning_view = &adjusted;
+    observation.problem = &problem;
+    observation.result = &result;
+    observation.now = sim_->now();
+    cycle_observer_(observation);
+  }
   if (!result.optimal() && result.assignments.empty()) {
     DUST_LOG_INFO << "manager: placement " << to_string(result.status)
                   << ", nothing offloaded";

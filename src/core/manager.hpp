@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <optional>
@@ -41,6 +42,20 @@ struct ManagerConfig {
   bool incremental_placement = false;
   OptimizerOptions optimizer;
 };
+
+/// Snapshot handed to a cycle observer after every placement cycle —
+/// everything the dust::check invariants need: the authoritative NMDB, the
+/// reservation-adjusted view the engine actually planned on, the built
+/// model, and the solve result. Pointers are valid only for the duration of
+/// the callback.
+struct CycleObservation {
+  const Nmdb* nmdb = nullptr;
+  const Nmdb* planning_view = nullptr;
+  const PlacementProblem* problem = nullptr;
+  const PlacementResult* result = nullptr;
+  sim::TimeMs now = 0;
+};
+using CycleObserver = std::function<void(const CycleObservation&)>;
 
 /// One live offload relationship.
 struct ActiveOffload {
@@ -93,6 +108,12 @@ class DustManager {
   /// The persistent engine (exposes warm/cold solve counts).
   [[nodiscard]] const OptimizationEngine& engine() const noexcept {
     return engine_;
+  }
+  /// Invariant observation hook: called after every placement cycle (even
+  /// when nothing was offloaded) with the model and result of that cycle.
+  /// Used by the dust::check harness; pass {} to clear.
+  void set_cycle_observer(CycleObserver observer) {
+    cycle_observer_ = std::move(observer);
   }
 
  private:
@@ -154,6 +175,7 @@ class DustManager {
   std::size_t releases_ = 0;
   std::size_t redirects_ = 0;
   std::size_t stats_received_ = 0;
+  CycleObserver cycle_observer_;
 };
 
 }  // namespace dust::core

@@ -180,19 +180,35 @@ struct EngineMetrics {
 }  // namespace
 
 PlacementResult OptimizationEngine::run(const Nmdb& nmdb) const {
+  return run(nmdb, nullptr);
+}
+
+PlacementResult OptimizationEngine::run(const Nmdb& nmdb,
+                                        PlacementProblem* problem_out) const {
   util::Timer build_timer;
-  const PlacementProblem problem =
-      build_placement_problem(nmdb, options_.placement);
+  PlacementProblem problem = build_placement_problem(nmdb, options_.placement);
   const double build_seconds = build_timer.seconds();
   PlacementResult result = solve(problem);
   result.build_seconds = build_seconds;
   EngineMetrics::get().build_ms.observe(build_seconds * 1e3);
+  if (problem_out != nullptr) *problem_out = std::move(problem);
   return result;
 }
 
 PlacementResult OptimizationEngine::solve(const PlacementProblem& problem) const {
   EngineMetrics& metrics = EngineMetrics::get();
   metrics.solves.inc();
+  if (problem.busy.empty()) {
+    // Nothing to place. Return a fresh zero-flow optimum and drop any
+    // retained warm state: when churn empties the busy set mid-run the next
+    // non-empty cycle must solve cold rather than seed from a basis whose
+    // shape no longer reflects reality.
+    warm_.valid = false;
+    PlacementResult result;
+    result.status = solver::Status::kOptimal;
+    result.paths_explored = problem.paths_explored;
+    return result;
+  }
   PlacementResult result = solve_exact(problem);
   if (result.status == solver::Status::kInfeasible && options_.allow_partial) {
     metrics.partial.inc();

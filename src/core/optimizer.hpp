@@ -48,6 +48,12 @@ class OptimizationEngine {
   /// Build the model from the NMDB snapshot and solve it.
   [[nodiscard]] PlacementResult run(const Nmdb& nmdb) const;
 
+  /// Same, but also hands the built model back to the caller (the
+  /// dust::check harness re-checks the result against the exact problem the
+  /// engine solved). `problem_out` may be null.
+  [[nodiscard]] PlacementResult run(const Nmdb& nmdb,
+                                    PlacementProblem* problem_out) const;
+
   /// Solve an already-built model (timing excludes the build phase).
   [[nodiscard]] PlacementResult solve(const PlacementProblem& problem) const;
 

@@ -63,7 +63,10 @@ ReplayReport replay_trace(Nmdb& nmdb, const std::vector<LoadUpdate>& trace,
 
   auto run_cycle = [&]() {
     ++report.placement_cycles;
-    const PlacementResult result = engine.run(nmdb);
+    PlacementProblem problem;
+    const PlacementResult result =
+        engine.run(nmdb, options.cycle_observer ? &problem : nullptr);
+    if (options.cycle_observer) options.cycle_observer(problem, result);
     if (!result.assignments.empty()) {
       ++report.cycles_with_offloads;
       report.total_offloaded += result.offloaded_total();

@@ -11,6 +11,7 @@
 // by scenario_cli --trace.
 #pragma once
 
+#include <functional>
 #include <istream>
 #include <vector>
 
@@ -35,6 +36,10 @@ struct ReplayOptions {
   /// Apply each cycle's plan to the NMDB (the what-if operator), modelling
   /// completed offloads. Off = measure-only.
   bool apply_plans = true;
+  /// Invariant observation hook (dust::check): called after every cycle
+  /// with the model the engine solved and its result.
+  std::function<void(const PlacementProblem&, const PlacementResult&)>
+      cycle_observer;
 };
 
 struct ReplayReport {

@@ -62,12 +62,11 @@ void Transport::send(const std::string& from, const std::string& to,
   ++sent_;
   metrics_.sent->inc();
   if (priority == Priority::kLow) metrics_.sent_low->inc();
-  if (congested_ && priority == Priority::kLow) {
-    ++dropped_;  // QoS: monitoring data is discardable under congestion
-    metrics_.dropped->inc();
-    metrics_.dropped_congestion->inc();
-    return;
-  }
+  // Precedence: loss -> partition -> congestion. The loss draw must come
+  // first so partition/congestion toggles never change how many RNG draws a
+  // message sequence consumes; otherwise a fault schedule flipping
+  // congestion would shift every subsequent loss decision and runs would
+  // not replay under a fixed seed (see header comment on send()).
   if (loss_probability_ > 0 && rng_.bernoulli(loss_probability_)) {
     ++dropped_;
     metrics_.dropped->inc();
@@ -78,6 +77,12 @@ void Transport::send(const std::string& from, const std::string& to,
     ++dropped_;
     metrics_.dropped->inc();
     metrics_.dropped_partition->inc();
+    return;
+  }
+  if (congested_ && priority == Priority::kLow) {
+    ++dropped_;  // QoS: monitoring data is discardable under congestion
+    metrics_.dropped->inc();
+    metrics_.dropped_congestion->inc();
     return;
   }
   auto envelope = std::make_shared<Envelope>(
@@ -98,6 +103,33 @@ void Transport::send(const std::string& from, const std::string& to,
         static_cast<double>(sim_->now() - sent_at));
     it->second.handler(*envelope);
   });
+}
+
+void schedule_fault_script(Simulator& sim, Transport& transport,
+                           const std::vector<FaultEvent>& script) {
+  const TimeMs now = sim.now();
+  for (const FaultEvent& event : script) {
+    const TimeMs delay = event.at_ms > now ? event.at_ms - now : 0;
+    sim.schedule(delay, [&transport, event] {
+      switch (event.kind) {
+        case FaultEvent::Kind::kLossProbability:
+          transport.set_loss_probability(event.value);
+          break;
+        case FaultEvent::Kind::kPartition:
+          transport.set_partitioned(event.endpoint, true);
+          break;
+        case FaultEvent::Kind::kHeal:
+          transport.set_partitioned(event.endpoint, false);
+          break;
+        case FaultEvent::Kind::kCongestionOn:
+          transport.set_congested(true);
+          break;
+        case FaultEvent::Kind::kCongestionOff:
+          transport.set_congested(false);
+          break;
+      }
+    });
+  }
 }
 
 }  // namespace dust::sim

@@ -12,6 +12,7 @@
 #include <functional>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "obs/metrics.hpp"
 #include "sim/event_queue.hpp"
@@ -59,6 +60,13 @@ class Transport {
   /// Messages to unknown endpoints, lost messages, low-priority messages
   /// under congestion, and messages to partitioned endpoints are counted in
   /// dropped().
+  ///
+  /// Drop precedence is fixed at loss -> partition -> congestion: the random
+  /// loss draw happens first on every send regardless of partition or
+  /// congestion state, so the RNG stream consumed by a run is a function of
+  /// the message sequence alone. Toggling partitions or congestion mid-run
+  /// (e.g. via a fault schedule) therefore never shifts later loss draws,
+  /// and a fault schedule replays bit-identically under a fixed seed.
   void send(const std::string& from, const std::string& to, std::any payload,
             Priority priority = Priority::kNormal);
 
@@ -99,5 +107,27 @@ class Transport {
   std::uint64_t delivered_ = 0;
   std::uint64_t dropped_ = 0;
 };
+
+/// One entry of a scripted fault schedule. Applied to a Transport at
+/// `at_ms` sim-time by schedule_fault_script(); the dust::check scenario
+/// generator emits these so a scenario's fault injection is replayable.
+struct FaultEvent {
+  enum class Kind : std::uint8_t {
+    kLossProbability,  ///< set_loss_probability(value)
+    kPartition,        ///< set_partitioned(endpoint, true)
+    kHeal,             ///< set_partitioned(endpoint, false)
+    kCongestionOn,     ///< set_congested(true)
+    kCongestionOff,    ///< set_congested(false)
+  };
+  TimeMs at_ms = 0;
+  Kind kind = Kind::kLossProbability;
+  double value = 0.0;     ///< kLossProbability only
+  std::string endpoint;   ///< kPartition / kHeal only
+};
+
+/// Schedule every event of `script` against `transport` at its `at_ms`.
+/// Events may be in any order; the transport must outlive the simulator run.
+void schedule_fault_script(Simulator& sim, Transport& transport,
+                           const std::vector<FaultEvent>& script);
 
 }  // namespace dust::sim

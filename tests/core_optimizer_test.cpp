@@ -219,6 +219,47 @@ TEST(Optimizer, WarmStateDroppedOnShapeChange) {
   EXPECT_EQ(engine.cold_solves(), 3u);  // reset forces another cold solve
 }
 
+// Mid-churn the busy set can empty entirely (every node released below
+// Cmax). A warm engine must treat that as a trivially optimal no-op cycle,
+// invalidate its warm state (the saved basis describes a shape that no
+// longer exists), and then solve the next non-empty cycle correctly cold.
+TEST(Optimizer, WarmStateSurvivesBusySetEmptyingMidChurn) {
+  PlacementProblem p;
+  p.busy = {0, 1};
+  p.candidates = {2, 3};
+  p.cs = {5.0, 5.0};
+  p.cd = {6.0, 6.0};
+  p.trmin = {1.0, 2.0, 2.0, 1.0};
+
+  OptimizerOptions options;
+  options.warm_start = true;
+  options.verify_warm_start = true;
+  const OptimizationEngine engine(options);
+  const PlacementResult first = engine.solve(p);
+  ASSERT_TRUE(first.optimal());
+
+  PlacementProblem idle;  // churn released both busy nodes
+  idle.candidates = {2, 3};
+  idle.cd = {6.0, 6.0};
+  const PlacementResult empty_cycle = engine.solve(idle);
+  EXPECT_EQ(empty_cycle.status, solver::Status::kOptimal);
+  EXPECT_TRUE(empty_cycle.assignments.empty());
+  EXPECT_DOUBLE_EQ(empty_cycle.objective, 0.0);
+  EXPECT_DOUBLE_EQ(empty_cycle.unplaced, 0.0);
+
+  // Back to the original problem: the stale basis must not be reused.
+  const PlacementResult again = engine.solve(p);
+  ASSERT_TRUE(again.optimal());
+  EXPECT_DOUBLE_EQ(again.objective, first.objective);
+  EXPECT_EQ(engine.warm_solves(), 0u);  // both real solves were cold
+  EXPECT_EQ(engine.cold_solves(), 2u);  // and the empty cycle was neither
+
+  // Steady state resumes: an identical re-solve takes the warm path again.
+  const PlacementResult warm = engine.solve(p);
+  EXPECT_DOUBLE_EQ(warm.objective, first.objective);
+  EXPECT_EQ(engine.warm_solves(), 1u);
+}
+
 TEST(Optimizer, MultipleBusyShareOneDestination) {
   net::NetworkState state(graph::make_star(2));
   state.set_node_utilization(1, 90.0);  // Cs = 10

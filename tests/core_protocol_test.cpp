@@ -130,6 +130,52 @@ TEST(Protocol, FailedDestinationReplacedByReplica) {
   EXPECT_GT(h.clients[destinations[0]]->hosted_agent_count(), 0u);
 }
 
+// Satellite of the dust::check harness: a burst of Keepalive loss longer
+// than the keepalive timeout must be treated as a destination failure, and
+// the replica substitution (REP to the busy client, agents re-homed) must
+// complete within 2x the keepalive timeout of the burst starting — even
+// though STATs and OffloadAcks to the manager are lost during the burst.
+TEST(Protocol, ReplicaSubstitutionUnderBurstyKeepaliveLoss) {
+  Harness h(5);
+  h.start_all();
+  h.clients[0]->set_reported_state(90.0, 10.0, 10);  // busy
+  h.clients[1]->set_reported_state(40.0, 5.0, 10);   // candidate (nearest)
+  h.clients[2]->set_reported_state(40.0, 5.0, 10);   // replica candidate
+  h.sim.run_until(10000);
+  ASSERT_GE(h.manager->active_offload_count(), 1u);
+  const graph::NodeId first_dest = h.manager->active_offloads()[0].destination;
+  ASSERT_EQ(h.clients[0]->reps_received(), 0u);
+
+  // Burst: everything inbound to the manager — keepalives included — is
+  // lost for longer than keepalive_timeout_ms (4000), then heals.
+  constexpr sim::TimeMs kBurstStart = 12000;
+  constexpr sim::TimeMs kBurstEnd = 17000;
+  h.sim.schedule_at(kBurstStart, [&h] {
+    h.transport.set_partitioned("dust-manager", true);
+  });
+  h.sim.schedule_at(kBurstEnd, [&h] {
+    h.transport.set_partitioned("dust-manager", false);
+  });
+
+  // The deadline the harness audits (invariant I6): burst start + 2x timeout.
+  h.sim.run_until(kBurstStart + 2 * 4000);
+  EXPECT_GE(h.manager->keepalive_failures(), 1u);
+  EXPECT_GE(h.clients[0]->reps_received(), 1u);  // REP reached the busy node
+  const auto offloads = h.manager->active_offloads();
+  ASSERT_GE(offloads.size(), 1u);
+  EXPECT_NE(offloads[0].destination, first_dest);
+  const auto destinations = h.clients[0]->hosting_destinations();
+  ASSERT_EQ(destinations.size(), 1u);
+  EXPECT_NE(destinations[0], first_dest);
+  EXPECT_GT(h.clients[destinations[0]]->hosted_agent_count(), 0u);
+
+  // After the burst heals, the substituted offload stays stable: no
+  // flip-flop back to the quarantined original.
+  h.sim.run_until(30000);
+  ASSERT_GE(h.manager->active_offload_count(), 1u);
+  EXPECT_NE(h.manager->active_offloads()[0].destination, first_dest);
+}
+
 TEST(Protocol, LoadDropTriggersRelease) {
   Harness h(4);
   h.start_all();

@@ -1,0 +1,81 @@
+// Golden-file regression on the paper's Fig. 4 worked example: load
+// scenarios/fig4.scn, run the exact placement and the Algorithm-1 heuristic,
+// and diff a pinned rendering against tests/golden/fig4.expected. Any change
+// to the model build, Trmin evaluation, solver, or heuristic that moves the
+// Fig. 4 answer shows up as a one-line diff here. Regenerate deliberately
+// with:  DUST_REGEN_GOLDEN=1 ./harness_tests --gtest_filter='GoldenFig4.*'
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+
+#include "core/heuristic.hpp"
+#include "core/optimizer.hpp"
+#include "core/scenario.hpp"
+
+namespace dust::core {
+namespace {
+
+std::string render(const Nmdb& nmdb) {
+  PlacementOptions placement;
+  placement.max_hops = 4;
+  placement.evaluator = net::EvaluatorMode::kEnumerate;  // paper-faithful
+  const PlacementProblem problem = build_placement_problem(nmdb, placement);
+  const PlacementResult exact = OptimizationEngine().solve(problem);
+  const HeuristicResult heuristic = HeuristicEngine().run(nmdb);
+
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(6);
+  os << "busy:";
+  for (graph::NodeId v : problem.busy) os << " " << v;
+  os << "\ncandidates:";
+  for (graph::NodeId v : problem.candidates) os << " " << v;
+  os << "\n";
+  for (std::size_t bi = 0; bi < problem.busy.size(); ++bi)
+    for (std::size_t cj = 0; cj < problem.candidates.size(); ++cj)
+      os << "trmin " << problem.busy[bi] << "->" << problem.candidates[cj]
+         << " " << problem.trmin_at(bi, cj) << "\n";
+  os << "exact status " << solver::to_string(exact.status) << "\n";
+  for (const Assignment& a : exact.assignments)
+    os << "offload " << a.from << "->" << a.to << " amount " << a.amount
+       << " trmin " << a.trmin_seconds << "\n";
+  os << "exact objective " << exact.objective << "\n";
+  for (const Assignment& a : heuristic.assignments)
+    os << "heuristic " << a.from << "->" << a.to << " amount " << a.amount
+       << "\n";
+  os << "heuristic objective " << heuristic.objective << "\n";
+  os << "heuristic hfr_percent " << heuristic.hfr_percent() << "\n";
+  return os.str();
+}
+
+TEST(GoldenFig4, PlacementAndHeuristicMatchPinnedExpectation) {
+  const std::string scn_path =
+      std::string(DUST_SOURCE_DIR) + "/scenarios/fig4.scn";
+  std::ifstream scn(scn_path);
+  ASSERT_TRUE(scn) << "cannot open " << scn_path;
+  const Nmdb nmdb = load_scenario(scn);
+  const std::string actual = render(nmdb);
+
+  const std::string golden_path =
+      std::string(DUST_SOURCE_DIR) + "/tests/golden/fig4.expected";
+  if (std::getenv("DUST_REGEN_GOLDEN") != nullptr) {
+    std::ofstream out(golden_path);
+    ASSERT_TRUE(out) << "cannot write " << golden_path;
+    out << actual;
+    GTEST_SKIP() << "regenerated " << golden_path;
+  }
+
+  std::ifstream golden(golden_path);
+  ASSERT_TRUE(golden) << "missing " << golden_path
+                      << " — run once with DUST_REGEN_GOLDEN=1 to create it";
+  std::ostringstream expected;
+  expected << golden.rdbuf();
+  EXPECT_EQ(actual, expected.str())
+      << "Fig. 4 output drifted. If the change is intentional, regenerate "
+         "with DUST_REGEN_GOLDEN=1 and review the diff.";
+}
+
+}  // namespace
+}  // namespace dust::core

@@ -1,0 +1,131 @@
+// dust::check generator tests: scenario generation must be deterministic
+// (same seed → bit-identical spec, topology, and NMDB), structurally valid
+// (connected topology, per-node vectors sized to node_count, busy nodes
+// present), and dumpable to a .scn the core parser can load back.
+#include "check/scenario.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/scenario.hpp"
+
+namespace dust::check {
+namespace {
+
+TEST(Generator, SameSeedSameSpec) {
+  for (std::uint64_t seed : {1ULL, 7ULL, 42ULL, 1234567ULL}) {
+    const ScenarioSpec a = generate_scenario(seed);
+    const ScenarioSpec b = generate_scenario(seed);
+    EXPECT_EQ(a.seed, b.seed);
+    EXPECT_EQ(a.topology, b.topology);
+    EXPECT_EQ(a.node_count, b.node_count);
+    EXPECT_EQ(a.load, b.load);
+    EXPECT_EQ(a.data_mb, b.data_mb);
+    EXPECT_EQ(a.agents, b.agents);
+    EXPECT_EQ(a.capable, b.capable);
+    EXPECT_EQ(a.platform_factor, b.platform_factor);
+    EXPECT_EQ(a.churn.size(), b.churn.size());
+    EXPECT_EQ(a.deaths.size(), b.deaths.size());
+    EXPECT_EQ(a.faults.size(), b.faults.size());
+    // The annotated dump covers every field the struct comparison above
+    // does not (event payloads, fault endpoints, duration).
+    EXPECT_EQ(dump_scenario(a), dump_scenario(b)) << "seed " << seed;
+  }
+}
+
+TEST(Generator, DifferentSeedsProduceDifferentScenarios) {
+  EXPECT_NE(dump_scenario(generate_scenario(1)),
+            dump_scenario(generate_scenario(2)));
+}
+
+TEST(Generator, VectorsSizedToNodeCountAndBusyNodesExist) {
+  // Busy seeding is per-node Bernoulli, so an individual small scenario may
+  // start with no busy node (churn creates some later); the population as a
+  // whole must be dominated by scenarios that open with work to place.
+  std::size_t with_busy = 0;
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    const ScenarioSpec spec = generate_scenario(seed);
+    ASSERT_GT(spec.node_count, 0u) << "seed " << seed;
+    EXPECT_EQ(spec.load.size(), spec.node_count);
+    EXPECT_EQ(spec.data_mb.size(), spec.node_count);
+    EXPECT_EQ(spec.agents.size(), spec.node_count);
+    EXPECT_EQ(spec.capable.size(), spec.node_count);
+    EXPECT_EQ(spec.platform_factor.size(), spec.node_count);
+    if (!build_nmdb(spec).busy_nodes().empty()) ++with_busy;
+  }
+  EXPECT_GE(with_busy, 15u);
+}
+
+TEST(Generator, TopologyDeterministicAndConnected) {
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    const ScenarioSpec spec = generate_scenario(seed);
+    const graph::Graph g1 = build_topology(spec);
+    const graph::Graph g2 = build_topology(spec);
+    EXPECT_EQ(g1.node_count(), spec.node_count) << "seed " << seed;
+    EXPECT_EQ(g1.node_count(), g2.node_count());
+    EXPECT_EQ(g1.edge_count(), g2.edge_count()) << "seed " << seed;
+    EXPECT_TRUE(g1.connected())
+        << "seed " << seed << " (" << to_string(spec.topology) << ", n="
+        << spec.node_count << ") is disconnected";
+  }
+}
+
+TEST(Generator, AllTopologyKindsAppearAcrossSeeds) {
+  bool fat_tree = false, random_regular = false, heterogeneous = false;
+  for (std::uint64_t seed = 1; seed <= 40; ++seed) {
+    switch (generate_scenario(seed).topology) {
+      case TopologyKind::kFatTree: fat_tree = true; break;
+      case TopologyKind::kRandomRegular: random_regular = true; break;
+      case TopologyKind::kHeterogeneousDpu: heterogeneous = true; break;
+    }
+  }
+  EXPECT_TRUE(fat_tree);
+  EXPECT_TRUE(random_regular);
+  EXPECT_TRUE(heterogeneous);
+}
+
+TEST(Generator, RespectsMaxNodes) {
+  GeneratorOptions options;
+  options.max_nodes = 24;
+  for (std::uint64_t seed = 1; seed <= 20; ++seed)
+    EXPECT_LE(generate_scenario(seed, options).node_count, 24u)
+        << "seed " << seed;
+}
+
+TEST(Generator, NmdbMatchesSpecInitialState) {
+  const ScenarioSpec spec = generate_scenario(5);
+  const core::Nmdb nmdb = build_nmdb(spec);
+  ASSERT_EQ(nmdb.node_count(), spec.node_count);
+  for (graph::NodeId v = 0; v < spec.node_count; ++v) {
+    EXPECT_DOUBLE_EQ(nmdb.network().node_utilization(v), spec.load[v]);
+    EXPECT_DOUBLE_EQ(nmdb.network().monitoring_data_mb(v), spec.data_mb[v]);
+    EXPECT_EQ(nmdb.agent_count(v), spec.agents[v]);
+    EXPECT_EQ(nmdb.offload_capable(v), spec.capable[v] != 0);
+    EXPECT_DOUBLE_EQ(nmdb.platform_factor(v), spec.platform_factor[v]);
+  }
+}
+
+TEST(Generator, DumpRecordsSeedAndRoundTripsThroughParser) {
+  const ScenarioSpec spec = generate_scenario(9);
+  const std::string dump = dump_scenario(spec);
+  EXPECT_NE(dump.find("seed"), std::string::npos);
+  EXPECT_NE(dump.find(std::to_string(spec.seed)), std::string::npos);
+
+  // The '#' annotations must not break the core parser: the dump is a
+  // loadable .scn describing the t=0 state.
+  std::istringstream in(dump);
+  const core::Nmdb reloaded = core::load_scenario(in);
+  const core::Nmdb direct = build_nmdb(spec);
+  ASSERT_EQ(reloaded.node_count(), direct.node_count());
+  EXPECT_EQ(reloaded.network().edge_count(), direct.network().edge_count());
+  for (graph::NodeId v = 0; v < spec.node_count; ++v) {
+    EXPECT_DOUBLE_EQ(reloaded.network().node_utilization(v),
+                     direct.network().node_utilization(v));
+    EXPECT_EQ(reloaded.offload_capable(v), direct.offload_capable(v));
+  }
+  EXPECT_EQ(reloaded.busy_nodes(), direct.busy_nodes());
+}
+
+}  // namespace
+}  // namespace dust::check

@@ -151,5 +151,110 @@ TEST_F(Fixture, MessagesPreserveFifoPerLatencyClass) {
     EXPECT_EQ(std::any_cast<int>(received[i].payload), i);
 }
 
+// Drop precedence is loss → partition → congestion: the loss draw is taken
+// on *every* send, even ones a partition or congestion will discard anyway,
+// so the RNG stream consumed by a run depends only on the message sequence.
+// These tests pin that property — it is what makes dust::check fault
+// schedules replay bit-identically under a fixed seed.
+namespace {
+std::vector<int> kept_deliveries(
+    const std::function<void(Transport&, int)>& before_send) {
+  Simulator sim;
+  Transport transport{sim, util::Rng(42)};
+  std::vector<int> delivered;
+  transport.register_endpoint("keep", [&](const Envelope& e) {
+    delivered.push_back(std::any_cast<int>(e.payload));
+  });
+  transport.register_endpoint("telemetry", [](const Envelope&) {});
+  transport.set_loss_probability(0.4);
+  for (int i = 0; i < 200; ++i) {
+    before_send(transport, i);
+    transport.send("a", "telemetry", i, Priority::kLow);
+    transport.send("a", "keep", i, Priority::kNormal);
+  }
+  sim.run();
+  return delivered;
+}
+}  // namespace
+
+TEST(TransportPrecedence, CongestionTogglesNeverShiftLossDraws) {
+  const std::vector<int> baseline =
+      kept_deliveries([](Transport&, int) {});
+  // Mid-run congestion sheds the interleaved kLow traffic; the kNormal
+  // survivor set must be bit-identical because every kLow send still
+  // consumed its loss draw before the congestion check.
+  const std::vector<int> congested =
+      kept_deliveries([](Transport& t, int i) {
+        t.set_congested(i >= 50 && i < 150);
+      });
+  EXPECT_EQ(congested, baseline);
+}
+
+TEST(TransportPrecedence, PartitionTogglesNeverShiftLossDraws) {
+  const std::vector<int> baseline =
+      kept_deliveries([](Transport&, int) {});
+  const std::vector<int> partitioned =
+      kept_deliveries([](Transport& t, int i) {
+        if (i == 50) t.set_partitioned("telemetry", true);
+        if (i == 150) t.set_partitioned("telemetry", false);
+      });
+  EXPECT_EQ(partitioned, baseline);
+}
+
+TEST(TransportPrecedence, LossOutranksPartitionAndCongestionInAccounting) {
+  // With loss = 1 everything is a loss-drop; healing the partition and
+  // clearing congestion afterwards must not resurrect anything.
+  Simulator sim;
+  Transport transport{sim, util::Rng(7)};
+  std::size_t received = 0;
+  transport.register_endpoint("b",
+                              [&](const Envelope&) { ++received; });
+  transport.set_loss_probability(1.0);
+  transport.set_partitioned("b", true);
+  transport.set_congested(true);
+  for (int i = 0; i < 20; ++i) transport.send("a", "b", i, Priority::kLow);
+  transport.set_loss_probability(0.0);
+  transport.set_partitioned("b", false);
+  transport.set_congested(false);
+  transport.send("a", "b", 99, Priority::kLow);
+  sim.run();
+  EXPECT_EQ(transport.dropped(), 20u);
+  EXPECT_EQ(received, 1u);
+}
+
+TEST(TransportFaultScript, AppliesEventsAtScheduledTimes) {
+  Simulator sim;
+  Transport transport{sim, util::Rng(5)};
+  std::vector<int> delivered;
+  transport.register_endpoint("b", [&](const Envelope& e) {
+    delivered.push_back(std::any_cast<int>(e.payload));
+  });
+
+  using Kind = FaultEvent::Kind;
+  schedule_fault_script(sim, transport,
+                        {{1000, Kind::kLossProbability, 1.0, ""},
+                         {2000, Kind::kLossProbability, 0.0, ""},
+                         {3000, Kind::kPartition, 0.0, "b"},
+                         {4000, Kind::kHeal, 0.0, "b"},
+                         {5000, Kind::kCongestionOn, 0.0, ""},
+                         {6000, Kind::kCongestionOff, 0.0, ""}});
+
+  const auto probe = [&](TimeMs at, int tag, Priority priority) {
+    sim.schedule_at(at, [&transport, tag, priority] {
+      transport.send("a", "b", tag, priority);
+    });
+  };
+  probe(500, 1, Priority::kNormal);   // before any fault: delivered
+  probe(1500, 2, Priority::kNormal);  // full loss window: dropped
+  probe(2500, 3, Priority::kNormal);  // loss healed: delivered
+  probe(3500, 4, Priority::kNormal);  // partition window: dropped
+  probe(4500, 5, Priority::kNormal);  // partition healed: delivered
+  probe(5500, 6, Priority::kLow);     // congestion window: kLow dropped
+  probe(5500, 7, Priority::kNormal);  // ...but kNormal passes (§III-C QoS)
+  probe(6500, 8, Priority::kLow);     // congestion cleared: kLow delivered
+  sim.run();
+  EXPECT_EQ(delivered, (std::vector<int>{1, 3, 5, 7, 8}));
+}
+
 }  // namespace
 }  // namespace dust::sim
