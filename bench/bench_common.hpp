@@ -7,8 +7,11 @@
 #pragma once
 
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
+#include <vector>
 
 #include "core/nmdb.hpp"
 #include "graph/topology.hpp"
@@ -60,5 +63,78 @@ inline void print_header(const std::string& name, const std::string& claim) {
             << "# scale: " << (full_scale() ? "full (paper)" : "ci (default)")
             << " — set DUST_BENCH_SCALE=full for paper-scale iterations\n\n";
 }
+
+/// Machine-readable bench output: a BENCH_<name>.json file holding a flat
+/// list of {name, metric, value, units, config} records — one record per
+/// measured quantity, `config` identifying the variant/scenario it belongs
+/// to ("pattern=steady-jitter", "obs=on", ...). Written to the working
+/// directory unless DUST_BENCH_JSON_DIR points elsewhere. The uniform
+/// schema lets CI diff any bench against a baseline with one parser.
+class JsonReport {
+ public:
+  explicit JsonReport(std::string bench_name)
+      : bench_name_(std::move(bench_name)) {}
+
+  void add(const std::string& metric, double value, const std::string& units,
+           const std::string& config = {}) {
+    records_.push_back({metric, value, units, config});
+  }
+
+  /// Path the report will be written to.
+  [[nodiscard]] std::string path() const {
+    std::string dir;
+    if (const char* env = std::getenv("DUST_BENCH_JSON_DIR")) {
+      dir = env;
+      if (!dir.empty() && dir.back() != '/') dir += '/';
+    }
+    return dir + "BENCH_" + bench_name_ + ".json";
+  }
+
+  /// Write all records; returns the file path (empty on I/O failure).
+  std::string write() const {
+    const std::string file = path();
+    std::ofstream os(file);
+    if (!os) return {};
+    os << "{\n  \"bench\": \"" << escape(bench_name_) << "\",\n"
+       << "  \"schema\": \"dust-bench-v1\",\n  \"records\": [\n";
+    for (std::size_t i = 0; i < records_.size(); ++i) {
+      const Record& r = records_[i];
+      os << "    {\"name\": \"" << escape(bench_name_) << "\", \"metric\": \""
+         << escape(r.metric) << "\", \"value\": " << format(r.value)
+         << ", \"units\": \"" << escape(r.units) << "\", \"config\": \""
+         << escape(r.config) << "\"}" << (i + 1 < records_.size() ? "," : "")
+         << "\n";
+    }
+    os << "  ]\n}\n";
+    return file;
+  }
+
+ private:
+  struct Record {
+    std::string metric;
+    double value = 0.0;
+    std::string units;
+    std::string config;
+  };
+
+  static std::string escape(const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (char ch : s) {
+      if (ch == '"' || ch == '\\') out.push_back('\\');
+      out.push_back(static_cast<unsigned char>(ch) < 0x20 ? ' ' : ch);
+    }
+    return out;
+  }
+  static std::string format(double v) {
+    std::ostringstream out;
+    out.precision(9);
+    out << v;
+    return out.str();
+  }
+
+  std::string bench_name_;
+  std::vector<Record> records_;
+};
 
 }  // namespace dust::bench

@@ -131,25 +131,36 @@ struct ScenarioRow {
 };
 
 void write_json(const std::vector<ScenarioRow>& rows, std::size_t cycles) {
-  std::ofstream os("BENCH_incremental_cycle.json");
-  os << "{\n  \"bench\": \"incremental_cycle\",\n"
-     << "  \"topology\": \"fat-tree k=8\",\n"
-     << "  \"cycles\": " << cycles << ",\n  \"scenarios\": [\n";
-  for (std::size_t i = 0; i < rows.size(); ++i) {
-    const ScenarioRow& row = rows[i];
-    os << "    {\"pattern\": \"" << to_string(row.pattern) << "\", "
-       << "\"cold_ms_per_cycle\": " << row.cold.ms_per_cycle << ", "
-       << "\"incremental_ms_per_cycle\": " << row.incremental.ms_per_cycle
-       << ", \"speedup\": " << row.speedup() << ", "
-       << "\"cache_hits\": " << row.incremental.cache.hits << ", "
-       << "\"cache_misses\": " << row.incremental.cache.misses << ", "
-       << "\"cache_hit_rate\": " << row.incremental.cache.hit_rate() << ", "
-       << "\"invalidations\": " << row.incremental.cache.invalidations << ", "
-       << "\"warm_solves\": " << row.incremental.warm_solves << ", "
-       << "\"cold_solves\": " << row.incremental.cold_solves << "}"
-       << (i + 1 < rows.size() ? "," : "") << "\n";
+  // Shared dust-bench-v1 schema (see bench_common.hpp): flat records keyed
+  // by metric + config so CI can diff against a baseline with one parser.
+  bench::JsonReport json("incremental_cycle");
+  const std::string common =
+      "topology=fat-tree-k8,cycles=" + std::to_string(cycles);
+  for (const ScenarioRow& row : rows) {
+    const std::string config =
+        "pattern=" + std::string(to_string(row.pattern)) + "," + common;
+    json.add("cold_ms_per_cycle", row.cold.ms_per_cycle, "ms", config);
+    json.add("incremental_ms_per_cycle", row.incremental.ms_per_cycle, "ms",
+             config);
+    json.add("speedup", row.speedup(), "x", config);
+    json.add("cache_hits", static_cast<double>(row.incremental.cache.hits),
+             "count", config);
+    json.add("cache_misses",
+             static_cast<double>(row.incremental.cache.misses), "count",
+             config);
+    json.add("cache_hit_rate", row.incremental.cache.hit_rate(), "ratio",
+             config);
+    json.add("invalidations",
+             static_cast<double>(row.incremental.cache.invalidations),
+             "count", config);
+    json.add("warm_solves",
+             static_cast<double>(row.incremental.warm_solves), "count",
+             config);
+    json.add("cold_solves",
+             static_cast<double>(row.incremental.cold_solves), "count",
+             config);
   }
-  os << "  ]\n}\n";
+  json.write();
 }
 
 }  // namespace

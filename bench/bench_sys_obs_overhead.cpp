@@ -3,11 +3,14 @@
 // minutes of protocol traffic plus 50 forced placement cycles). Runs the
 // identical workload with instrumentation enabled and with it disabled
 // (obs::set_enabled(false), the cheap relaxed-load early-return that
-// -DDUST_OBS_COMPILED_OUT reduces to), takes the best of several reps of
-// each, and checks the enabled run stays within the 5% overhead budget.
-// Also reports the per-update micro cost of a counter and a histogram.
+// -DDUST_OBS_COMPILED_OUT reduces to) as back-to-back off/on pairs, takes
+// the median of the per-pair overheads (robust to load spikes on a shared
+// machine), and checks it stays within the 5% overhead budget. Also
+// reports the per-update micro cost of a counter and a histogram.
+#include <algorithm>
 #include <iostream>
 #include <memory>
+#include <vector>
 
 #include "bench_common.hpp"
 #include "core/client.hpp"
@@ -57,17 +60,37 @@ double run_workload() {
   return timer.millis();
 }
 
-/// Best-of-reps wall time with the instrumentation switch set as given.
-double best_of(int reps, bool instrumented) {
-  double best = -1.0;
-  for (int r = 0; r < reps; ++r) {
+/// One back-to-back off/on measurement pair. Pairing the runs keeps each
+/// comparison inside the same few milliseconds of machine state, so
+/// frequency scaling, thermal drift, and background load hit both sides of
+/// a pair roughly equally instead of biasing one block of reps.
+struct Sample {
+  double off_ms = 0.0;
+  double on_ms = 0.0;
+};
+Sample measure_pair() {
+  Sample sample;
+  for (const bool instrumented : {false, true}) {
     obs::set_enabled(instrumented);
     obs::MetricRegistry::global().reset();
-    const double ms = run_workload();
-    if (best < 0.0 || ms < best) best = ms;
+    (instrumented ? sample.on_ms : sample.off_ms) = run_workload();
   }
   obs::set_enabled(true);
-  return best;
+  return sample;
+}
+
+/// Median of the per-pair relative overheads. A single noisy rep (a load
+/// spike landing on one run of one pair) produces one outlier pair, which
+/// the median discards — min-over-reps would instead compare two minima
+/// drawn from different noise windows.
+double median_overhead_pct(const std::vector<Sample>& samples) {
+  std::vector<double> pct;
+  pct.reserve(samples.size());
+  for (const Sample& s : samples)
+    pct.push_back((s.on_ms - s.off_ms) / s.off_ms * 100.0);
+  std::sort(pct.begin(), pct.end());
+  const std::size_t n = pct.size();
+  return n % 2 == 1 ? pct[n / 2] : (pct[n / 2 - 1] + pct[n / 2]) / 2.0;
 }
 
 /// Nanoseconds per update for one metric primitive under a tight loop.
@@ -87,12 +110,19 @@ int main() {
       "System — observability overhead on the control-plane workload",
       "(acceptance: instrumented run within 5% of uninstrumented)");
 
-  constexpr int kReps = 5;
+  constexpr int kReps = 21;
   // Warm-up rep (first run pays registry creation and allocator warm-up).
   (void)run_workload();
-  const double off_ms = best_of(kReps, /*instrumented=*/false);
-  const double on_ms = best_of(kReps, /*instrumented=*/true);
-  const double overhead_pct = (on_ms - off_ms) / off_ms * 100.0;
+  std::vector<Sample> samples;
+  samples.reserve(kReps);
+  for (int r = 0; r < kReps; ++r) samples.push_back(measure_pair());
+  double off_ms = samples.front().off_ms;
+  double on_ms = samples.front().on_ms;
+  for (const Sample& s : samples) {
+    off_ms = std::min(off_ms, s.off_ms);
+    on_ms = std::min(on_ms, s.on_ms);
+  }
+  const double overhead_pct = median_overhead_pct(samples);
 
   obs::MetricRegistry bench_registry;
   obs::Counter& counter = bench_registry.counter("bench_counter");
@@ -106,13 +136,22 @@ int main() {
 
   util::Table table("observability overhead");
   table.set_precision(3).header({"metric", "value"});
-  table.row({std::string("workload, obs disabled (ms, best of 5)"), off_ms});
-  table.row({std::string("workload, obs enabled (ms, best of 5)"), on_ms});
+  table.row({std::string("workload, obs disabled (ms, best of 21)"), off_ms});
+  table.row({std::string("workload, obs enabled (ms, best of 21)"), on_ms});
   table.row({std::string("overhead (%)"), overhead_pct});
   table.row({std::string("counter inc (ns/op)"), counter_ns});
   table.row({std::string("histogram observe (ns/op)"), hist_ns});
   table.row({std::string("disabled counter inc (ns/op)"), disabled_ns});
   bench::emit(table);
+
+  bench::JsonReport json("obs_overhead");
+  json.add("workload_ms", off_ms, "ms", "obs=off,best_of=21");
+  json.add("workload_ms", on_ms, "ms", "obs=on,best_of=21");
+  json.add("overhead", overhead_pct, "percent", "budget=5,estimator=median_of_pairs");
+  json.add("counter_inc", counter_ns, "ns/op", "obs=on");
+  json.add("histogram_observe", hist_ns, "ns/op", "obs=on");
+  json.add("counter_inc", disabled_ns, "ns/op", "obs=off");
+  json.write();
 
   const bool pass = overhead_pct < 5.0;
   std::cout << "\nobservability overhead " << (pass ? "PASS" : "FAIL") << ": "

@@ -1,7 +1,8 @@
 // Observability: run the Fig. 4 scenario end-to-end (manager, clients,
 // simulated transport, a telemetry agent), then scrape the global metric
-// registry and print the same snapshot three ways — human table, recent
-// trace spans, and a Prometheus text exposition.
+// registry and print the whole observability surface — metric table, recent
+// spans, reconstructed causal offload chains, watchdog alerts, the
+// flight-recorder timeline tail, and a Prometheus text exposition.
 //
 //   cmake --build build && ./build/examples/observability_dump
 #include <iostream>
@@ -11,12 +12,19 @@
 #include "core/manager.hpp"
 #include "graph/topology.hpp"
 #include "obs/export.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "obs/watchdog.hpp"
 #include "telemetry/agent.hpp"
 #include "telemetry/tsdb.hpp"
 
 int main() {
   using namespace dust;
+  obs::set_enabled(true);
+  obs::MetricRegistry::global().reset();
+  obs::FlightRecorder::global().clear();
+  obs::reset_trace_ids();
 
   // 1. The paper's illustrative 7-node network (Fig. 4): busy switch S1
   //    (node 0), offload candidates S2 (1) and S6 (5).
@@ -63,6 +71,14 @@ int main() {
   for (auto& client : clients) client->start();
   manager.start();
 
+  // A health watchdog with a demo-tight NMDB staleness limit (the production
+  // default is 180 s): with 1 s STATs and 5 s placement cycles the planning
+  // view is several hundred ms old, so the rule fires visibly below.
+  obs::WatchdogConfig watchdog_config;
+  watchdog_config.staleness_limit_ms = 100.0;
+  obs::Watchdog watchdog(obs::MetricRegistry::global(), watchdog_config);
+  (void)watchdog.evaluate(sim.now());  // first call only primes the windows
+
   // 3. Run the scenario: handshakes, STATs, placement cycles, offloads;
   //    then a congestion episode shedding the busy node's kLow telemetry.
   sim.run_until(12000);
@@ -87,11 +103,30 @@ int main() {
     agent.sample(snapshot, db, rng);
   }
 
-  // 5. Scrape once, export three ways.
+  // 5. Evaluate the watchdog over the run's window, then scrape once and
+  //    export everything: metrics, spans, causal chains, alerts, the
+  //    flight-recorder tail, and the Prometheus exposition.
+  const std::vector<obs::Alert> alerts = watchdog.evaluate(sim.now());
   const obs::RegistrySnapshot scrape = obs::MetricRegistry::global().snapshot();
   obs::to_table(scrape).print(std::cout);
   std::cout << '\n';
   obs::spans_to_table(scrape).print(std::cout);
+
+  std::cout << "\n--- causal offload chains ---\n";
+  for (const obs::TraceTree& trace : obs::assemble_traces(scrape))
+    if (trace.find("offload_request") != nullptr)
+      std::cout << "trace " << trace.trace_id << " (" << trace.spans.size()
+                << " spans): " << trace.chain() << '\n';
+
+  std::cout << "\n--- watchdog alerts ---\n";
+  for (const obs::Alert& alert : alerts)
+    std::cout << alert.rule << " @ " << alert.sim_ms << " ms: "
+              << alert.message << '\n';
+  if (alerts.empty()) std::cout << "(none)\n";
+
+  std::cout << "\n--- flight recorder (last 20 events) ---\n";
+  obs::write_flight_text(obs::FlightRecorder::global().tail(20), std::cout);
+
   std::cout << "\n--- prometheus exposition ---\n";
   obs::write_prometheus(scrape, std::cout);
   return 0;

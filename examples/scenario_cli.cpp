@@ -3,20 +3,33 @@
 //
 //   ./build/examples/scenario_cli <scenario-file> [max_hops] [--dot]
 //   ./build/examples/scenario_cli <scenario-file> --trace <trace-file>
+//   ./build/examples/scenario_cli <scenario-file> --trace-out <out.json>
 //   ./build/examples/scenario_cli --demo            # built-in Fig. 4 demo
 //
 // Scenario format: see src/core/scenario.hpp. Trace format (CSV
 // "<time_ms>,<node>,<utilization>[,<data_mb>]"): see src/core/replay.hpp.
+// --trace-out runs the scenario live over the simulated transport (manager,
+// one DUST-Client per node) and writes the reconstructed causal span trees
+// as Perfetto/Chrome trace-event JSON (open in ui.perfetto.dev).
+#include <algorithm>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <string>
+#include <vector>
 
+#include "core/client.hpp"
 #include "core/heuristic.hpp"
+#include "core/manager.hpp"
 #include "core/optimizer.hpp"
 #include "core/replay.hpp"
 #include "core/scenario.hpp"
 #include "graph/dot.hpp"
+#include "obs/export.hpp"
+#include "obs/flight_recorder.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/table.hpp"
 
 namespace {
@@ -55,18 +68,23 @@ void print_plan(const std::string& title,
 int main(int argc, char** argv) {
   using namespace dust;
   if (argc < 2) {
-    std::cerr << "usage: " << argv[0] << " <scenario-file>|--demo [max_hops] [--dot]\n";
+    std::cerr << "usage: " << argv[0]
+              << " <scenario-file>|--demo [max_hops] [--dot]"
+                 " [--trace <csv>] [--trace-out <json>]\n";
     return 2;
   }
   std::uint32_t max_hops = 0;
   bool dot = false;
   std::string trace_file;
+  std::string trace_out_file;
   for (int i = 2; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--dot") {
       dot = true;
     } else if (arg == "--trace" && i + 1 < argc) {
       trace_file = argv[++i];
+    } else if (arg == "--trace-out" && i + 1 < argc) {
+      trace_out_file = argv[++i];
     } else {
       max_hops = static_cast<std::uint32_t>(std::stoul(arg));
     }
@@ -91,6 +109,62 @@ int main(int argc, char** argv) {
             << nmdb.busy_nodes().size() << " busy, "
             << nmdb.candidate_nodes().size() << " candidates, ΣCs="
             << nmdb.total_excess() << " ΣCd=" << nmdb.total_spare() << "\n\n";
+
+  if (!trace_out_file.empty()) {
+    // Live protocol run: the scenario's nodes become DUST-Clients reporting
+    // their configured load to a manager over the simulated transport; the
+    // causal span trees the run produces are exported as Perfetto JSON.
+    obs::set_enabled(true);
+    obs::MetricRegistry::global().reset();
+    obs::FlightRecorder::global().clear();
+    obs::reset_trace_ids();
+
+    sim::Simulator sim;
+    sim::Transport transport(sim, util::Rng(7));
+    core::ManagerConfig config;
+    config.update_interval_ms = 1000;
+    config.placement_period_ms = 5000;
+    config.keepalive_timeout_ms = 4000;
+    config.keepalive_check_period_ms = 1000;
+    core::DustManager manager(sim, transport, nmdb, config);
+    std::vector<std::unique_ptr<core::DustClient>> clients;
+    for (graph::NodeId v = 0; v < nmdb.node_count(); ++v) {
+      core::ClientConfig client_config;
+      client_config.offload_capable = nmdb.offload_capable(v);
+      client_config.keepalive_interval_ms = 1000;
+      client_config.platform_factor = nmdb.platform_factor(v);
+      clients.push_back(std::make_unique<core::DustClient>(
+          sim, transport, v, client_config, util::Rng(100 + v)));
+      clients.back()->set_reported_state(
+          nmdb.network().node_utilization(v),
+          nmdb.network().monitoring_data_mb(v),
+          std::max<std::uint32_t>(1, nmdb.agent_count(v)));
+    }
+    for (auto& client : clients) client->start();
+    manager.start();
+    sim.run_until(30000);  // handshakes + several placement cycles
+
+    std::ofstream out(trace_out_file);
+    if (!out) {
+      std::cerr << "cannot write " << trace_out_file << "\n";
+      return 2;
+    }
+    const obs::RegistrySnapshot scrape =
+        obs::MetricRegistry::global().snapshot();
+    obs::write_perfetto(scrape, out);
+
+    const std::vector<obs::TraceTree> traces = obs::assemble_traces(scrape);
+    std::cout << "wrote " << trace_out_file << ": " << scrape.spans.size()
+              << " spans in " << traces.size()
+              << " traces (open in ui.perfetto.dev)\n";
+    for (const obs::TraceTree& trace : traces)
+      if (trace.find("offload_request") != nullptr)
+        std::cout << "  trace " << trace.trace_id << ": " << trace.chain()
+                  << "\n";
+    std::cout << "active offloads after " << sim.now() / 1000
+              << " s: " << manager.active_offload_count() << "\n";
+    return 0;
+  }
 
   if (!trace_file.empty()) {
     std::ifstream trace_in(trace_file);

@@ -141,6 +141,9 @@ std::vector<Violation> check_cycle(const core::CycleObservation& observation,
         check_roles(*observation.nmdb, *observation.result);
     out.insert(out.end(), roles.begin(), roles.end());
   }
+  if (options.force_failure)
+    out.push_back(Violation{
+        "I0-forced", "synthetic violation requested by InvariantOptions"});
   return out;
 }
 

@@ -28,6 +28,10 @@ struct Violation {
 
 struct InvariantOptions {
   double tolerance = 1e-6;
+  /// Testing hook: make check_cycle report a synthetic "I0-forced" violation
+  /// on every cycle, so the failure path (flight-recorder capture, repro
+  /// dumps, shrinking) can be exercised on a perfectly healthy scenario.
+  bool force_failure = false;
 };
 
 /// Check a solved placement against the exact problem it was solved for.

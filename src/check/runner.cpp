@@ -2,17 +2,37 @@
 
 #include <map>
 #include <memory>
+#include <ostream>
 #include <string>
 #include <vector>
 
 #include "core/client.hpp"
+#include "obs/flight_recorder.hpp"
 #include "sim/transport.hpp"
 #include "util/rng.hpp"
 
 namespace dust::check {
 
+namespace {
+constexpr std::size_t kFlightTailEvents = 64;
+}
+
 RunReport run_scenario(const ScenarioSpec& spec, const RunOptions& options) {
   RunReport report;
+  // Scope the flight recorder to this scenario: the tail captured on a
+  // violation must not show a previous run's events.
+  obs::FlightRecorder::global().clear();
+  // Captures the recorder tail the first time anything reports a violation
+  // (cycle invariants, oracles, or the replica-deadline audit below).
+  auto capture_flight = [&report](const std::string& invariant,
+                                  sim::TimeMs now) {
+    obs::FlightRecorder::global().record(
+        obs::FlightEventKind::kInvariantViolation, now, 0,
+        obs::FlightEvent::kNoNode, obs::FlightEvent::kNoNode, 0.0, invariant);
+    if (report.flight_tail.empty())
+      report.flight_tail = obs::flight_text(
+          obs::FlightRecorder::global().tail(kFlightTailEvents));
+  };
   sim::Simulator sim;
   sim::Transport transport(sim, util::Rng(spec.seed).fork(1));
 
@@ -63,6 +83,7 @@ RunReport run_scenario(const ScenarioSpec& spec, const RunOptions& options) {
     for (Violation& v : found) {
       v.detail += " (cycle " + std::to_string(report.cycles_observed) +
                   ", t=" + std::to_string(observation.now) + "ms)";
+      capture_flight(v.invariant, observation.now);
       report.violations.push_back(std::move(v));
     }
   });
@@ -108,6 +129,7 @@ RunReport run_scenario(const ScenarioSpec& spec, const RunOptions& options) {
               it == dead_seen.end() ? DeadEntry{now, false} : it->second;
           if (!entry.reported && now - entry.first_seen > deadline) {
             entry.reported = true;
+            capture_flight("I6-replica-deadline", now);
             report.violations.push_back(
                 {"I6-replica-deadline",
                  "offload " + std::to_string(offload.busy) + "→" +
@@ -134,6 +156,28 @@ RunReport run_scenario(const ScenarioSpec& spec, const RunOptions& options) {
   for (const auto& client : clients)
     report.reps_received += client->reps_received();
   return report;
+}
+
+void dump_repro(std::ostream& os, const ScenarioSpec& spec,
+                const RunReport& report) {
+  os << "# dust::check repro bundle\n";
+  os << "# violations: " << report.violations.size() << ", cycles observed: "
+     << report.cycles_observed << "\n";
+  for (const Violation& v : report.violations)
+    os << "# [" << v.invariant << "] " << v.detail << "\n";
+  os << "#\n# --- scenario (loadable by scenario_cli / load_scenario) ---\n";
+  dump_scenario(os, spec);
+  if (!report.flight_tail.empty()) {
+    os << "#\n# --- flight recorder tail at first violation ---\n";
+    // Comment-prefix each line so the whole bundle stays .scn-parseable.
+    std::size_t start = 0;
+    while (start < report.flight_tail.size()) {
+      std::size_t end = report.flight_tail.find('\n', start);
+      if (end == std::string::npos) end = report.flight_tail.size();
+      os << "# " << report.flight_tail.substr(start, end - start) << "\n";
+      start = end + 1;
+    }
+  }
 }
 
 }  // namespace dust::check

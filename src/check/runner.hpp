@@ -6,6 +6,8 @@
 // within 2x the keepalive timeout.
 #pragma once
 
+#include <iosfwd>
+
 #include "check/invariants.hpp"
 #include "check/oracles.hpp"
 #include "check/scenario.hpp"
@@ -41,12 +43,25 @@ struct RunReport {
   std::size_t releases = 0;
   std::uint64_t reps_received = 0;
   std::uint64_t messages_dropped = 0;
+  /// Flight-recorder timeline (obs::write_flight_text of the last 64
+  /// events) captured at the moment the FIRST violation was recorded —
+  /// what the control plane was doing right before things went wrong.
+  /// Empty when the run passed.
+  std::string flight_tail;
 
   [[nodiscard]] bool passed() const noexcept { return violations.empty(); }
 };
 
 /// Deterministic given spec (all randomness derives from spec.seed).
+/// Clears the global flight recorder at run start so the captured tail
+/// belongs to this scenario alone.
 [[nodiscard]] RunReport run_scenario(const ScenarioSpec& spec,
                                      const RunOptions& options = {});
+
+/// Write a self-contained repro bundle for a failed run: the annotated .scn
+/// scenario (replayable via scenario_cli / load_scenario), every violation,
+/// and the flight-recorder tail captured at first failure.
+void dump_repro(std::ostream& os, const ScenarioSpec& spec,
+                const RunReport& report);
 
 }  // namespace dust::check

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/span.hpp"
 #include "util/log.hpp"
 
 namespace dust::core {
@@ -14,7 +15,8 @@ DustClient::DustClient(sim::Simulator& sim, sim::Transport& transport,
       node_(node),
       config_(config),
       rng_(rng),
-      device_(device) {
+      device_(device),
+      track_("client-" + std::to_string(node)) {
   obs::MetricRegistry& registry = obs::MetricRegistry::global();
   metrics_.tx_offload_capable =
       &registry.counter("dust_core_tx_offload_capable_total");
@@ -41,7 +43,8 @@ void DustClient::start() {
   metrics_.tx_offload_capable->inc();
   transport_->send(client_endpoint(node_), manager_endpoint(),
                    Message{OffloadCapableMsg{node_, config_.offload_capable,
-                                             config_.platform_factor}});
+                                             config_.platform_factor}},
+                   sim::Priority::kNormal, "offload_capable");
 }
 
 void DustClient::set_reported_state(double utilization_percent,
@@ -66,8 +69,15 @@ void DustClient::send_stat() {
     stat.monitoring_data_mb = reported_data_mb_;
     stat.agent_count = reported_agents_;
   }
+  // Every STAT roots a new causal trace: whatever the solver does with this
+  // report — and the whole offload chain that follows — hangs off it. Only
+  // the ids are allocated here; the root span itself is materialized by the
+  // manager for the rare STAT that actually parents a solve (most STATs
+  // cause nothing, and this path runs once per node per update interval).
+  stat.trace = obs::enabled() ? obs::new_trace() : obs::TraceContext{};
   metrics_.tx_stat->inc();
-  transport_->send(client_endpoint(node_), manager_endpoint(), Message{stat});
+  transport_->send(client_endpoint(node_), manager_endpoint(), Message{stat},
+                   sim::Priority::kNormal, "stat", stat.trace.trace_id);
 }
 
 void DustClient::publish_snapshot(const telemetry::DeviceSnapshot& snapshot) {
@@ -77,7 +87,7 @@ void DustClient::publish_snapshot(const telemetry::DeviceSnapshot& snapshot) {
     transport_->send(client_endpoint(node_),
                      client_endpoint(outbound.destination),
                      Message{TelemetryDataMsg{node_, snapshot}},
-                     sim::Priority::kLow);
+                     sim::Priority::kLow, "telemetry_data");
   }
 }
 
@@ -149,9 +159,23 @@ void DustClient::on_ack(const AckMsg& msg) {
 
 void DustClient::on_offload_request(const OffloadRequestMsg& msg) {
   if (msg.busy != node_) return;  // destination copy handled on transfer
+  obs::MetricRegistry& registry = obs::MetricRegistry::global();
+  // Retransmission makes duplicate requests possible (same request_id, the
+  // original ACK or request raced a drop). Re-ACK so the manager converges,
+  // but don't shed the same agents twice. The re-ACK's span joins the same
+  // trace as the retry, so the recovered chain stays causally connected.
+  const bool duplicate =
+      std::any_of(outbound_.begin(), outbound_.end(),
+                  [&msg](const OutboundOffload& o) {
+                    return o.destination == msg.destination;
+                  });
+  const obs::TraceContext ack_ctx = obs::record_instant(
+      registry, "offload_ack", track_, msg.trace, sim_->now());
   metrics_.tx_offload_ack->inc();
   transport_->send(client_endpoint(node_), manager_endpoint(),
-                   Message{OffloadAckMsg{msg.request_id, node_, true}});
+                   Message{OffloadAckMsg{msg.request_id, node_, true, ack_ctx}},
+                   sim::Priority::kNormal, "offload_ack", ack_ctx.trace_id);
+  if (duplicate) return;
   // Move agents off the device (or synthesize blueprints when device-less).
   AgentTransferMsg transfer;
   transfer.request_id = msg.request_id;
@@ -177,9 +201,13 @@ void DustClient::on_offload_request(const OffloadRequestMsg& msg) {
   outbound.destination = msg.destination;
   outbound.blueprints = transfer.agents;  // copies for REP re-instantiation
   outbound_.push_back(std::move(outbound));
+  transfer.trace = obs::record_instant(registry, "agent_transfer", track_,
+                                       msg.trace, sim_->now());
   metrics_.tx_agent_transfer->inc();
+  const std::uint64_t transfer_trace = transfer.trace.trace_id;
   transport_->send(client_endpoint(node_), client_endpoint(msg.destination),
-                   Message{std::move(transfer)});
+                   Message{std::move(transfer)}, sim::Priority::kNormal,
+                   "agent_transfer", transfer_trace);
 }
 
 void DustClient::on_agent_transfer(const AgentTransferMsg& msg) {
@@ -187,6 +215,8 @@ void DustClient::on_agent_transfer(const AgentTransferMsg& msg) {
     for (const telemetry::MonitorAgent& agent : msg.agents)
       device_->add_remote_agent(client_endpoint(msg.owner), agent);
   }
+  obs::record_instant(obs::MetricRegistry::global(), "host_agents", track_,
+                      msg.trace, sim_->now());
   hosted_.emplace_back(msg.owner, static_cast<std::uint32_t>(msg.agents.size()));
   ensure_keepalive_task();
 }
@@ -205,17 +235,25 @@ void DustClient::on_rep(const RepMsg& msg) {
                            return o.destination == msg.failed;
                          });
   if (it == outbound_.end()) return;
+  obs::MetricRegistry& registry = obs::MetricRegistry::global();
+  const obs::TraceContext ack_ctx = obs::record_instant(
+      registry, "offload_ack", track_, msg.trace, sim_->now());
   AgentTransferMsg transfer;
   transfer.request_id = msg.request_id;
   transfer.owner = node_;
   transfer.agents = it->blueprints;
+  transfer.trace = obs::record_instant(registry, "agent_transfer", track_,
+                                       msg.trace, sim_->now());
   it->destination = msg.replacement;
   metrics_.tx_offload_ack->inc();
   metrics_.tx_agent_transfer->inc();
   transport_->send(client_endpoint(node_), manager_endpoint(),
-                   Message{OffloadAckMsg{msg.request_id, node_, true}});
+                   Message{OffloadAckMsg{msg.request_id, node_, true, ack_ctx}},
+                   sim::Priority::kNormal, "offload_ack", ack_ctx.trace_id);
+  const std::uint64_t transfer_trace = transfer.trace.trace_id;
   transport_->send(client_endpoint(node_), client_endpoint(msg.replacement),
-                   Message{std::move(transfer)});
+                   Message{std::move(transfer)}, sim::Priority::kNormal,
+                   "agent_transfer", transfer_trace);
 }
 
 void DustClient::on_release(const ReleaseMsg& msg) {
@@ -254,7 +292,8 @@ void DustClient::ensure_keepalive_task() {
         ++keepalives_sent_;
         metrics_.tx_keepalive->inc();
         transport_->send(client_endpoint(node_), manager_endpoint(),
-                         Message{KeepaliveMsg{node_, keepalive_seq_++}});
+                         Message{KeepaliveMsg{node_, keepalive_seq_++}},
+                         sim::Priority::kNormal, "keepalive");
       });
 }
 

@@ -108,6 +108,7 @@ class DustClient {
   util::Rng rng_;
   sim::MonitoredNode* device_;
   Metrics metrics_;
+  std::string track_;  ///< span track label ("client-<node>"), precomputed
 
   bool acknowledged_ = false;
   bool failed_ = false;

@@ -4,6 +4,7 @@
 #include <numeric>
 
 #include "graph/paths.hpp"
+#include "obs/metrics.hpp"
 #include "util/timer.hpp"
 
 namespace dust::core {
@@ -106,6 +107,11 @@ HeuristicResult HeuristicEngine::run(const Nmdb& nmdb) const {
     }
   }
   result.solve_seconds = timer.seconds();
+  // Expose the latest HFR (Eq. 4) as a gauge so the watchdog's hfr-spike
+  // rule sees it without re-running the heuristic.
+  obs::MetricRegistry::global()
+      .gauge("dust_core_hfr_percent")
+      .set(result.hfr_percent());
   return result;
 }
 

@@ -5,10 +5,19 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/flight_recorder.hpp"
 #include "obs/span.hpp"
 #include "util/log.hpp"
 
 namespace dust::core {
+
+namespace {
+
+constexpr const char* kManagerTrack = "manager";
+
+obs::FlightRecorder& flight() { return obs::FlightRecorder::global(); }
+
+}  // namespace
 
 std::string manager_endpoint() { return "dust-manager"; }
 std::string client_endpoint(graph::NodeId node) {
@@ -26,6 +35,10 @@ DustManager::DustManager(sim::Simulator& sim, sim::Transport& transport,
     config_.optimizer.warm_start = true;
   }
   engine_ = OptimizationEngine(config_.optimizer);
+  const std::size_t n = nmdb_.network().graph().node_count();
+  last_stat_at_.assign(n, kNeverStat);
+  last_stat_trace_.assign(n, obs::TraceContext{});
+  stat_spans_recorded_.assign(n, 0);
   obs::MetricRegistry& registry = obs::MetricRegistry::global();
   metrics_.rx_offload_capable =
       &registry.counter("dust_core_rx_offload_capable_total");
@@ -109,13 +122,20 @@ void DustManager::on_offload_capable(const OffloadCapableMsg& msg) {
   if (msg.capable) {
     metrics_.tx_ack->inc();
     transport_->send(manager_endpoint(), client_endpoint(msg.node),
-                     Message{AckMsg{msg.node, config_.update_interval_ms}});
+                     Message{AckMsg{msg.node, config_.update_interval_ms}},
+                     sim::Priority::kNormal, "ack");
   }
 }
 
 void DustManager::on_stat(const StatMsg& msg) {
   ++stats_received_;
+  if (msg.node >= last_stat_at_.size()) {
+    last_stat_at_.resize(msg.node + 1, kNeverStat);
+    last_stat_trace_.resize(msg.node + 1);
+    stat_spans_recorded_.resize(msg.node + 1, 0);
+  }
   last_stat_at_[msg.node] = sim_->now();
+  last_stat_trace_[msg.node] = msg.trace;
   nmdb_.record_stat(msg.node, msg.utilization_percent, msg.monitoring_data_mb,
                     msg.agent_count);
   // Reclaim: a previously busy node whose load (which already excludes the
@@ -136,6 +156,9 @@ void DustManager::on_stat(const StatMsg& msg) {
       msg.utilization_percent >= nmdb_.thresholds(msg.node).c_max) {
     ++redirects_;
     metrics_.redirects->inc();
+    flight().record(obs::FlightEventKind::kRoleChange, sim_->now(),
+                    msg.trace.trace_id, msg.node, obs::FlightEvent::kNoNode,
+                    msg.utilization_percent, "host>busy");
     replace_destination(msg.node, /*quarantine=*/false);
   }
 }
@@ -150,6 +173,13 @@ void DustManager::on_offload_ack(const OffloadAckMsg& msg) {
     return;
   }
   it->second.acknowledged = true;
+  // The chain's tip moves to the client's offload_ack span, so any later
+  // REP for this relationship extends the trace linearly.
+  if (msg.trace.valid()) it->second.trace = msg.trace;
+  flight().record(obs::FlightEventKind::kOffloadAcked, sim_->now(),
+                  it->second.trace.trace_id, it->second.busy,
+                  it->second.destination, it->second.amount,
+                  "req " + std::to_string(msg.request_id));
   // Grace-stamp the keepalive clock so a just-acked destination is not
   // declared dead before its first Keepalive crosses the transport.
   sim::TimeMs& last = last_keepalive_[it->second.destination];
@@ -163,13 +193,19 @@ void DustManager::on_keepalive(const KeepaliveMsg& msg) {
 std::size_t DustManager::run_placement_cycle() {
   ++placement_cycles_;
   metrics_.placement_cycles->inc();
+  flight().record(obs::FlightEventKind::kCycleStart, sim_->now(), 0,
+                  obs::FlightEvent::kNoNode, obs::FlightEvent::kNoNode,
+                  static_cast<double>(placement_cycles_), "");
   obs::Span cycle_span(obs::MetricRegistry::global(),
                        "dust_core_placement_cycle",
-                       [this] { return sim_->now(); });
+                       [this] { return sim_->now(); },
+                       obs::SpanOptions{{}, kManagerTrack});
   // How stale is the state this cycle plans on? One observation per node
   // that has ever STATed: sim-time age of its latest report.
-  for (const auto& [node, at] : last_stat_at_)
-    metrics_.nmdb_staleness_ms->observe(static_cast<double>(sim_->now() - at));
+  for (const sim::TimeMs at : last_stat_at_)
+    if (at != kNeverStat)
+      metrics_.nmdb_staleness_ms->observe(
+          static_cast<double>(sim_->now() - at));
   // Plan against a reservation-adjusted view: capacity already booked on a
   // destination is added to its utilization, so lagging STATs (which may
   // not yet reflect freshly transferred agents) cannot lead to over-booking
@@ -197,6 +233,20 @@ std::size_t DustManager::run_placement_cycle() {
       engine_.run(adjusted, cycle_observer_ ? &problem : nullptr);
   metrics_.placement_solve_ms->observe(result.solve_seconds * 1e3);
   metrics_.placement_build_ms->observe(result.build_seconds * 1e3);
+  flight().record(obs::FlightEventKind::kSolverOutcome, sim_->now(), 0,
+                  obs::FlightEvent::kNoNode, obs::FlightEvent::kNoNode,
+                  result.objective, to_string(result.status));
+  if (config_.incremental_placement) {
+    const net::ResponseTimeCacheStats cache = trmin_cache_.stats();
+    flight().record(obs::FlightEventKind::kCacheStats, sim_->now(), 0,
+                    obs::FlightEvent::kNoNode,
+                    static_cast<std::int32_t>(cache.misses -
+                                              cache_misses_seen_),
+                    static_cast<double>(cache.hits - cache_hits_seen_),
+                    "trmin hits/misses");
+    cache_hits_seen_ = cache.hits;
+    cache_misses_seen_ = cache.misses;
+  }
   if (cycle_observer_) {
     CycleObservation observation;
     observation.nmdb = &nmdb_;
@@ -218,6 +268,11 @@ std::size_t DustManager::run_placement_cycle() {
       resolve_routes(nmdb_.network(), result.assignments, route_options);
 
   std::size_t created = 0;
+  // One "solve" span per busy node per cycle, parented to that node's last
+  // STAT — the causal story is "this STAT made the solver act". Memoized so
+  // multiple assignments from one busy node share the solve span.
+  std::map<graph::NodeId, obs::TraceContext> solve_ctx;
+  obs::MetricRegistry& registry = obs::MetricRegistry::global();
   for (std::size_t index = 0; index < result.assignments.size(); ++index) {
     const Assignment& assignment = result.assignments[index];
     if (assignment.amount < config_.min_offload_amount_percent) continue;
@@ -239,6 +294,39 @@ std::size_t DustManager::run_placement_cycle() {
     const auto agents_to_move = static_cast<std::uint32_t>(std::min<double>(
         total_agents,
         std::round(total_agents * (cs > 0 ? assignment.amount / cs : 0.0))));
+    auto solve_it = solve_ctx.find(assignment.from);
+    if (solve_it == solve_ctx.end()) {
+      // The client allocated this STAT's trace ids but deferred the span
+      // record (send_stat is the hottest protocol path and most STATs cause
+      // nothing). This STAT did cause something — materialize its root span
+      // now, on the owner's track, stamped with the STAT's arrival time.
+      const obs::TraceContext stat_ctx = last_stat_trace_[assignment.from];
+      if (stat_ctx.valid() &&
+          stat_spans_recorded_[assignment.from] != stat_ctx.span_id) {
+        stat_spans_recorded_[assignment.from] = stat_ctx.span_id;
+        obs::SpanRecord stat_span;
+        stat_span.name = "stat";
+        stat_span.track = "client-" + std::to_string(assignment.from);
+        stat_span.wall_ms = 0.0;
+        stat_span.wall_start_ms = obs::wall_now_ms();
+        stat_span.sim_start_ms = last_stat_at_[assignment.from];
+        stat_span.sim_duration_ms = 0;
+        stat_span.trace_id = stat_ctx.trace_id;
+        stat_span.span_id = stat_ctx.span_id;
+        stat_span.parent_span_id = 0;
+        registry.record_span(std::move(stat_span));
+      }
+      solve_it = solve_ctx
+                     .emplace(assignment.from,
+                              obs::record_instant(registry, "solve",
+                                                  kManagerTrack, stat_ctx,
+                                                  sim_->now()))
+                     .first;
+    }
+    const obs::TraceContext request_ctx = obs::record_instant(
+        registry, "offload_request", kManagerTrack, solve_it->second,
+        sim_->now());
+
     ActiveOffload offload;
     offload.request_id = next_request_id_++;
     offload.busy = assignment.from;
@@ -246,21 +334,37 @@ std::size_t DustManager::run_placement_cycle() {
     offload.amount = assignment.amount;
     offload.agents = agents_to_move;
     offload.route = routes[index].primary.nodes;
+    offload.trace = request_ctx;
+    offload.requested_at = sim_->now();
+    if (!destination_hosting(assignment.to))
+      flight().record(obs::FlightEventKind::kRoleChange, sim_->now(),
+                      request_ctx.trace_id, assignment.to,
+                      obs::FlightEvent::kNoNode, 0.0, "normal>host");
     offloads_[offload.request_id] = offload;
     nmdb_.set_hosting(assignment.to, true);
+    flight().record(obs::FlightEventKind::kOffloadCreated, sim_->now(),
+                    request_ctx.trace_id, assignment.from, assignment.to,
+                    assignment.amount,
+                    "req " + std::to_string(offload.request_id));
 
     OffloadRequestMsg request{offload.request_id, assignment.from,
                               assignment.to,      assignment.amount,
-                              agents_to_move,     {}};
+                              agents_to_move,     {},
+                              request_ctx};
     request.route = routes[index].primary.nodes;
     metrics_.tx_offload_request->inc(2);
     transport_->send(manager_endpoint(), client_endpoint(assignment.from),
-                     Message{request});
+                     Message{request}, sim::Priority::kNormal,
+                     "offload_request", request_ctx.trace_id);
     transport_->send(manager_endpoint(), client_endpoint(assignment.to),
-                     Message{request});
+                     Message{request}, sim::Priority::kNormal,
+                     "offload_request", request_ctx.trace_id);
     ++created;
   }
   metrics_.offloads_created->inc(created);
+  flight().record(obs::FlightEventKind::kCycleEnd, sim_->now(), 0,
+                  obs::FlightEvent::kNoNode, obs::FlightEvent::kNoNode,
+                  static_cast<double>(created), "");
   DUST_LOG_INFO << "manager: placement cycle created " << created
                 << " offload(s), objective " << result.objective;
   return created;
@@ -277,10 +381,20 @@ void DustManager::release_offloads_of(graph::NodeId busy) {
   for (const auto& [id, offload] : offloads_) {
     if (offload.busy != busy) continue;
     metrics_.tx_release->inc(2);
+    const obs::TraceContext release_ctx = obs::record_instant(
+        obs::MetricRegistry::global(), "release", kManagerTrack,
+        offload.trace, sim_->now());
+    flight().record(obs::FlightEventKind::kRelease, sim_->now(),
+                    release_ctx.trace_id, busy, offload.destination,
+                    offload.amount, "req " + std::to_string(id));
     transport_->send(manager_endpoint(), client_endpoint(busy),
-                     Message{ReleaseMsg{busy, offload.destination}});
+                     Message{ReleaseMsg{busy, offload.destination}},
+                     sim::Priority::kNormal, "release",
+                     release_ctx.trace_id);
     transport_->send(manager_endpoint(), client_endpoint(offload.destination),
-                     Message{ReleaseMsg{busy, offload.destination}});
+                     Message{ReleaseMsg{busy, offload.destination}},
+                     sim::Priority::kNormal, "release",
+                     release_ctx.trace_id);
     to_erase.push_back(id);
   }
   for (std::uint64_t id : to_erase) {
@@ -295,8 +409,42 @@ void DustManager::release_offloads_of(graph::NodeId busy) {
 void DustManager::check_keepalives() {
   // Destinations with live offloads must keepalive within the timeout.
   std::vector<graph::NodeId> failed;
-  for (const auto& [id, offload] : offloads_) {
-    if (!offload.acknowledged) continue;  // transfer still in flight
+  for (auto& [id, offload] : offloads_) {
+    if (!offload.acknowledged) {
+      // A request nobody acknowledged is invisible to keepalive supervision;
+      // without retransmission a dropped Offload-Request dangles forever.
+      // Re-send with the same request_id and the same trace, so the retry
+      // visibly joins the truncated causal chain (DESIGN.md §10). REP-made
+      // relationships are excluded — re-sending an OffloadRequestMsg would
+      // not re-create them; the next sweep re-homes them instead.
+      if (config_.offload_request_retry_ms > 0 && !offload.via_rep &&
+          sim_->now() - offload.requested_at >=
+              config_.offload_request_retry_ms) {
+        offload.requested_at = sim_->now();
+        ++offload.retransmits;
+        flight().record(obs::FlightEventKind::kRetransmit, sim_->now(),
+                        offload.trace.trace_id, offload.busy,
+                        offload.destination,
+                        static_cast<double>(offload.retransmits),
+                        "req " + std::to_string(id));
+        OffloadRequestMsg request{id,
+                                  offload.busy,
+                                  offload.destination,
+                                  offload.amount,
+                                  offload.agents,
+                                  offload.route,
+                                  offload.trace};
+        metrics_.tx_offload_request->inc(2);
+        transport_->send(manager_endpoint(), client_endpoint(offload.busy),
+                         Message{request}, sim::Priority::kNormal,
+                         "offload_request", offload.trace.trace_id);
+        transport_->send(manager_endpoint(),
+                         client_endpoint(offload.destination),
+                         Message{request}, sim::Priority::kNormal,
+                         "offload_request", offload.trace.trace_id);
+      }
+      continue;  // transfer still in flight
+    }
     const auto it = last_keepalive_.find(offload.destination);
     const sim::TimeMs last = it == last_keepalive_.end() ? 0 : it->second;
     if (sim_->now() - last > config_.keepalive_timeout_ms) {
@@ -308,6 +456,8 @@ void DustManager::check_keepalives() {
   for (graph::NodeId node : failed) {
     ++keepalive_failures_;
     metrics_.keepalive_failures->inc();
+    flight().record(obs::FlightEventKind::kKeepaliveFailure, sim_->now(), 0,
+                    node, obs::FlightEvent::kNoNode, 0.0, "timeout");
     replace_destination(node, /*quarantine=*/true);
   }
 }
@@ -315,7 +465,11 @@ void DustManager::check_keepalives() {
 void DustManager::replace_destination(graph::NodeId failed, bool quarantine) {
   DUST_LOG_INFO << "manager: moving offloads off destination " << failed
                 << (quarantine ? " (keepalive failure)" : " (became busy)");
-  if (quarantine) nmdb_.set_offload_capable(failed, false);
+  if (quarantine) {
+    nmdb_.set_offload_capable(failed, false);
+    flight().record(obs::FlightEventKind::kRoleChange, sim_->now(), 0, failed,
+                    obs::FlightEvent::kNoNode, 0.0, "host>dead");
+  }
   nmdb_.set_hosting(failed, false);
   // Collect the relationships to move.
   std::vector<ActiveOffload> moved;
@@ -364,10 +518,19 @@ void DustManager::replace_destination(graph::NodeId failed, bool quarantine) {
     }
     booked[best] += old.amount * nmdb_.platform_factor(old.busy) /
                     nmdb_.platform_factor(best);
+    // The REP span extends the original offload's causal chain (whose tip
+    // is the client's offload_ack span once acknowledged).
+    const obs::TraceContext rep_ctx = obs::record_instant(
+        obs::MetricRegistry::global(), "rep", kManagerTrack, old.trace,
+        sim_->now());
     ActiveOffload replacement = old;
     replacement.request_id = next_request_id_++;
     replacement.destination = best;
     replacement.acknowledged = false;
+    replacement.trace = rep_ctx;
+    replacement.requested_at = sim_->now();
+    replacement.retransmits = 0;
+    replacement.via_rep = true;
     // The old controllable route pointed at the dead destination; install
     // the best hop-bounded route to the replica instead.
     replacement.route =
@@ -378,10 +541,14 @@ void DustManager::replace_destination(graph::NodeId failed, bool quarantine) {
     offloads_[replacement.request_id] = replacement;
     nmdb_.set_hosting(best, true);
     metrics_.tx_rep->inc();
+    flight().record(obs::FlightEventKind::kReplicaSubstitution, sim_->now(),
+                    rep_ctx.trace_id, failed, best, old.amount,
+                    "req " + std::to_string(replacement.request_id));
     transport_->send(
         manager_endpoint(), client_endpoint(old.busy),
         Message{RepMsg{failed, best, old.busy, replacement.request_id,
-                       old.amount}});
+                       old.amount, rep_ctx}},
+        sim::Priority::kNormal, "rep", rep_ctx.trace_id);
   }
 }
 

@@ -11,6 +11,7 @@
 #include <map>
 #include <memory>
 #include <optional>
+#include <vector>
 
 #include "core/messages.hpp"
 #include "core/nmdb.hpp"
@@ -33,6 +34,14 @@ struct ManagerConfig {
   /// Assignments smaller than this (capacity-percent) are not worth a
   /// relationship: skip them rather than move zero agents.
   double min_offload_amount_percent = 1.0;
+  /// Re-send an Offload-Request (same request_id, same trace) when it has
+  /// not been acknowledged within this long — a dropped request otherwise
+  /// dangles forever, since keepalive supervision only covers acknowledged
+  /// relationships. 0 disables retransmission (the historical behaviour,
+  /// and the default: existing seeded runs consume exactly the same
+  /// transport RNG stream). Placement-created offloads only; REP-created
+  /// ones are re-homed by the next keepalive sweep instead.
+  std::int64_t offload_request_retry_ms = 0;
   /// Incremental placement pipeline (DESIGN.md §8): reuse Trmin rows across
   /// cycles via a dirty-aware cache and warm-start the solver from the
   /// previous cycle's flow. With the default link epsilon of 0 the plans are
@@ -67,6 +76,13 @@ struct ActiveOffload {
   bool acknowledged = false;
   /// Controllable route installed for this relationship (busy ... dest).
   std::vector<graph::NodeId> route;
+  /// Causal context of the latest span in this relationship's trace: the
+  /// offload_request span until the ACK arrives, then the client's
+  /// offload_ack span (so a later REP extends the chain linearly).
+  obs::TraceContext trace{};
+  sim::TimeMs requested_at = 0;   ///< when the request was (re)sent
+  std::uint32_t retransmits = 0;  ///< unacked re-sends so far
+  bool via_rep = false;           ///< created by replica substitution
 };
 
 class DustManager {
@@ -164,7 +180,22 @@ class DustManager {
   net::ResponseTimeCache trmin_cache_;
   OptimizationEngine engine_;
   Metrics metrics_;
-  std::map<graph::NodeId, sim::TimeMs> last_stat_at_;
+  /// Per-node STAT bookkeeping, indexed by NodeId (sized to the topology at
+  /// construction, grown on demand for out-of-range ids). Vectors, not maps:
+  /// these are written on every STAT, the hottest message path.
+  /// kNeverStat marks nodes that have never reported.
+  static constexpr sim::TimeMs kNeverStat = -1;
+  std::vector<sim::TimeMs> last_stat_at_;
+  /// Trace context of each node's most recent STAT — the root every
+  /// solve/offload chain for that node hangs off (DESIGN.md §10).
+  std::vector<obs::TraceContext> last_stat_trace_;
+  /// span_id of the last STAT root span materialized per node (clients
+  /// defer the record; the manager writes it when a solve first uses it).
+  std::vector<std::uint64_t> stat_spans_recorded_;
+  /// Trmin cache totals at the previous cycle end, for per-cycle deltas in
+  /// the flight recorder's cache_stats events.
+  std::uint64_t cache_hits_seen_ = 0;
+  std::uint64_t cache_misses_seen_ = 0;
   std::uint64_t next_request_id_ = 1;
   std::map<std::uint64_t, ActiveOffload> offloads_;
   std::map<graph::NodeId, sim::TimeMs> last_keepalive_;

@@ -20,9 +20,16 @@
 #include <vector>
 
 #include "graph/graph.hpp"
+#include "obs/trace.hpp"
 #include "telemetry/agent.hpp"
 
 namespace dust::core {
+
+// Causal tracing (DESIGN.md §10): protocol messages that participate in an
+// offload chain carry the TraceContext of the span that caused them, always
+// as the *last* member (existing aggregate initializers keep working; the
+// context default-initializes to invalid). STAT roots a trace; the solve /
+// Offload-Request / Offload-ACK / REP spans extend it across processes.
 
 struct OffloadCapableMsg {
   graph::NodeId node = graph::kInvalidNode;
@@ -43,6 +50,7 @@ struct StatMsg {
   double utilization_percent = 0.0;
   double monitoring_data_mb = 0.0;
   std::uint32_t agent_count = 0;
+  obs::TraceContext trace{};  ///< root of the offload causal chain
 };
 
 struct OffloadRequestMsg {
@@ -56,12 +64,14 @@ struct OffloadRequestMsg {
   /// The controllable route the manager selected (node sequence from busy to
   /// destination, achieving Trmin within the configured max-hop bound).
   std::vector<graph::NodeId> route;
+  obs::TraceContext trace{};  ///< offload_request span (child of solve)
 };
 
 struct OffloadAckMsg {
   std::uint64_t request_id = 0;
   graph::NodeId node = graph::kInvalidNode;
   bool accepted = true;
+  obs::TraceContext trace{};  ///< offload_ack span (child of the request)
 };
 
 /// The moved workload: agents (by value) re-hosted at the destination.
@@ -69,6 +79,7 @@ struct AgentTransferMsg {
   std::uint64_t request_id = 0;
   graph::NodeId owner = graph::kInvalidNode;
   std::vector<telemetry::MonitorAgent> agents;
+  obs::TraceContext trace{};  ///< agent_transfer span (child of the request)
 };
 
 /// Remote monitoring data: the busy node streams snapshots of itself to the
@@ -90,6 +101,7 @@ struct RepMsg {
   graph::NodeId busy = graph::kInvalidNode;
   std::uint64_t request_id = 0;  ///< new request covering the moved share
   double amount = 0.0;
+  obs::TraceContext trace{};  ///< rep span (extends the original chain)
 };
 
 /// Busy node's load dropped below Cmax again: reclaim local monitoring.

@@ -1,7 +1,10 @@
 #include "obs/export.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <sstream>
+#include <unordered_map>
+#include <unordered_set>
 
 namespace dust::obs {
 
@@ -114,6 +117,184 @@ void write_prometheus(const RegistrySnapshot& snapshot, std::ostream& os) {
     os << h.name << "_sum " << number(h.sum) << "\n";
     os << h.name << "_count " << h.count << "\n";
   }
+}
+
+namespace {
+
+// One Chrome trace event. ts/dur are microseconds (the format's unit).
+void write_trace_event(std::ostream& os, bool& first, const char* ph,
+                       const std::string& name, int pid, int tid, double ts_us,
+                       double dur_us, const std::string& extra) {
+  if (!first) os << ",\n";
+  first = false;
+  os << "{\"ph\":\"" << ph << "\",\"name\":\"" << json_escape(name)
+     << "\",\"pid\":" << pid << ",\"tid\":" << tid
+     << ",\"ts\":" << number(ts_us);
+  if (dur_us >= 0.0) os << ",\"dur\":" << number(std::max(dur_us, 1.0));
+  if (!extra.empty()) os << ',' << extra;
+  os << '}';
+}
+
+std::string span_args(const SpanRecord& span) {
+  std::ostringstream out;
+  out << "\"args\":{\"trace_id\":" << span.trace_id
+      << ",\"span_id\":" << span.span_id
+      << ",\"parent_span_id\":" << span.parent_span_id
+      << ",\"wall_ms\":" << number(span.wall_ms) << '}';
+  return out.str();
+}
+
+}  // namespace
+
+void write_perfetto(const RegistrySnapshot& snapshot, std::ostream& os) {
+  constexpr int kSimTid = 1;
+  constexpr int kWallTid = 2;
+
+  // Assign a stable pid per track, in first-seen order.
+  std::vector<std::string> tracks;
+  std::unordered_map<std::string, int> pid_of;
+  for (const SpanRecord& span : snapshot.spans) {
+    const std::string& track = span.track.empty() ? "untracked" : span.track;
+    if (pid_of.emplace(track, static_cast<int>(tracks.size()) + 1).second)
+      tracks.push_back(track);
+  }
+
+  // Sim-time start of every traced span, for flow-event endpoints.
+  std::unordered_map<std::uint64_t, const SpanRecord*> by_span_id;
+  for (const SpanRecord& span : snapshot.spans)
+    if (span.span_id != 0) by_span_id.emplace(span.span_id, &span);
+
+  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+  bool first = true;
+
+  for (std::size_t i = 0; i < tracks.size(); ++i) {
+    const int pid = static_cast<int>(i) + 1;
+    write_trace_event(os, first, "M", "process_name", pid, 0, 0.0, -1.0,
+                      "\"args\":{\"name\":\"" + json_escape(tracks[i]) +
+                          "\"}");
+    write_trace_event(os, first, "M", "thread_name", pid, kSimTid, 0.0, -1.0,
+                      "\"args\":{\"name\":\"sim-time\"}");
+    write_trace_event(os, first, "M", "thread_name", pid, kWallTid, 0.0, -1.0,
+                      "\"args\":{\"name\":\"wall-time\"}");
+  }
+
+  for (const SpanRecord& span : snapshot.spans) {
+    const std::string& track = span.track.empty() ? "untracked" : span.track;
+    const int pid = pid_of[track];
+    const std::string args = span_args(span);
+
+    if (span.sim_start_ms >= 0) {
+      const double ts = static_cast<double>(span.sim_start_ms) * 1000.0;
+      const double dur =
+          static_cast<double>(std::max<std::int64_t>(span.sim_duration_ms, 0)) *
+          1000.0;
+      write_trace_event(os, first, "X", span.name, pid, kSimTid, ts, dur, args);
+
+      // Flow arrow from parent to child on the sim-time axis, when both
+      // ends survived the span ring. Flow id = child span_id (unique).
+      if (span.parent_span_id != 0) {
+        auto parent = by_span_id.find(span.parent_span_id);
+        if (parent != by_span_id.end() && parent->second->sim_start_ms >= 0) {
+          const int parent_pid =
+              pid_of[parent->second->track.empty() ? "untracked"
+                                                   : parent->second->track];
+          std::ostringstream id;
+          id << "\"id\":" << span.span_id << ",\"cat\":\"causal\"";
+          write_trace_event(
+              os, first, "s", "causal", parent_pid, kSimTid,
+              static_cast<double>(parent->second->sim_start_ms) * 1000.0, -1.0,
+              id.str());
+          write_trace_event(os, first, "f", "causal", pid, kSimTid, ts, -1.0,
+                            id.str() + ",\"bp\":\"e\"");
+        }
+      }
+    }
+
+    if (span.wall_start_ms >= 0.0) {
+      write_trace_event(os, first, "X", span.name, pid, kWallTid,
+                        span.wall_start_ms * 1000.0, span.wall_ms * 1000.0,
+                        args);
+    }
+  }
+
+  os << "\n]}\n";
+}
+
+const SpanRecord* TraceTree::find(const std::string& name) const {
+  for (const SpanRecord& span : spans)
+    if (span.name == name) return &span;
+  return nullptr;
+}
+
+std::string TraceTree::chain() const {
+  if (spans.empty()) return {};
+  // Root = first span whose parent is not in this trace.
+  std::unordered_set<std::uint64_t> ids;
+  for (const SpanRecord& span : spans) ids.insert(span.span_id);
+  const SpanRecord* current = nullptr;
+  for (const SpanRecord& span : spans) {
+    if (span.parent_span_id == 0 || ids.count(span.parent_span_id) == 0) {
+      current = &span;
+      break;
+    }
+  }
+  if (current == nullptr) current = &spans.front();
+  std::string out = current->name;
+  // Follow first children; bounded by span count (no cycles possible, but
+  // stay defensive against malformed records).
+  for (std::size_t hops = 0; hops < spans.size(); ++hops) {
+    const SpanRecord* child = nullptr;
+    for (const SpanRecord& span : spans) {
+      if (span.parent_span_id == current->span_id && &span != current) {
+        child = &span;
+        break;
+      }
+    }
+    if (child == nullptr) break;
+    out += '>';
+    out += child->name;
+    current = child;
+  }
+  return out;
+}
+
+std::vector<TraceTree> assemble_traces(const RegistrySnapshot& snapshot) {
+  std::vector<TraceTree> traces;
+  std::unordered_map<std::uint64_t, std::size_t> index_of;
+  for (const SpanRecord& span : snapshot.spans) {
+    if (span.trace_id == 0) continue;
+    auto [it, inserted] = index_of.emplace(span.trace_id, traces.size());
+    if (inserted) traces.push_back(TraceTree{span.trace_id, {}});
+    traces[it->second].spans.push_back(span);
+  }
+  // Order each trace parent-before-child (stable for siblings). Spans whose
+  // parent was evicted from the ring count as roots.
+  for (TraceTree& trace : traces) {
+    std::vector<SpanRecord> pending = std::move(trace.spans);
+    trace.spans.clear();
+    std::unordered_set<std::uint64_t> placed;
+    std::unordered_set<std::uint64_t> present;
+    for (const SpanRecord& span : pending) present.insert(span.span_id);
+    bool progressed = true;
+    while (!pending.empty() && progressed) {
+      progressed = false;
+      for (auto it = pending.begin(); it != pending.end();) {
+        const bool ready = it->parent_span_id == 0 ||
+                           present.count(it->parent_span_id) == 0 ||
+                           placed.count(it->parent_span_id) != 0;
+        if (ready) {
+          placed.insert(it->span_id);
+          trace.spans.push_back(std::move(*it));
+          it = pending.erase(it);
+          progressed = true;
+        } else {
+          ++it;
+        }
+      }
+    }
+    for (SpanRecord& span : pending) trace.spans.push_back(std::move(span));
+  }
+  return traces;
 }
 
 }  // namespace dust::obs

@@ -1,10 +1,13 @@
 // Exporters for registry scrapes: human-readable table (util::Table),
-// JSON lines (one object per metric), and Prometheus text exposition
-// format. All operate on an immutable RegistrySnapshot so a scrape can be
-// taken once and exported in several formats.
+// JSON lines (one object per metric), Prometheus text exposition format,
+// and Perfetto/Chrome trace-event JSON for span trees. All operate on an
+// immutable RegistrySnapshot so a scrape can be taken once and exported in
+// several formats.
 #pragma once
 
+#include <cstdint>
 #include <ostream>
+#include <vector>
 
 #include "obs/metrics.hpp"
 #include "util/table.hpp"
@@ -25,5 +28,32 @@ void write_jsonl(const RegistrySnapshot& snapshot, std::ostream& os);
 /// Prometheus text format (version 0.0.4): # TYPE headers, cumulative
 /// `_bucket{le=...}` series with +Inf, `_sum` and `_count` per histogram.
 void write_prometheus(const RegistrySnapshot& snapshot, std::ostream& os);
+
+/// Perfetto / Chrome trace-event JSON (open in ui.perfetto.dev or
+/// chrome://tracing). Each distinct span track ("manager", "client-3", ...)
+/// becomes a process; within it, tid 1 carries the sim-time axis and tid 2
+/// the wall-time axis, so protocol causality and CPU cost are visible side
+/// by side. Every span is emitted as an "X" complete event with trace_id /
+/// span_id / parent_span_id in args; causal links additionally get flow
+/// events ("s"/"f") so Perfetto draws arrows between parent and child.
+void write_perfetto(const RegistrySnapshot& snapshot, std::ostream& os);
+
+/// One causal trace reassembled from SpanRecords: the spans sharing a
+/// trace_id, ordered parent-before-child (then by sim start). Spans with
+/// trace_id == 0 are untraced and never appear here.
+struct TraceTree {
+  std::uint64_t trace_id = 0;
+  std::vector<SpanRecord> spans;
+
+  [[nodiscard]] const SpanRecord* find(const std::string& name) const;
+  /// Root-to-leaf names joined by '>', following each span's first child
+  /// ("stat>solve>offload_request>offload_ack>rep" for a clean offload).
+  [[nodiscard]] std::string chain() const;
+};
+
+/// Group the snapshot's traced spans by trace_id, topologically ordered
+/// within each trace. Traces are returned oldest-root first.
+[[nodiscard]] std::vector<TraceTree> assemble_traces(
+    const RegistrySnapshot& snapshot);
 
 }  // namespace dust::obs

@@ -1,0 +1,140 @@
+#include "obs/flight_recorder.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <ostream>
+#include <sstream>
+
+namespace dust::obs {
+
+const char* to_string(FlightEventKind kind) noexcept {
+  switch (kind) {
+    case FlightEventKind::kCycleStart: return "cycle_start";
+    case FlightEventKind::kCycleEnd: return "cycle_end";
+    case FlightEventKind::kSolverOutcome: return "solver_outcome";
+    case FlightEventKind::kMessageTx: return "msg_tx";
+    case FlightEventKind::kMessageRx: return "msg_rx";
+    case FlightEventKind::kMessageDrop: return "msg_drop";
+    case FlightEventKind::kRoleChange: return "role_change";
+    case FlightEventKind::kOffloadCreated: return "offload_created";
+    case FlightEventKind::kOffloadAcked: return "offload_acked";
+    case FlightEventKind::kRetransmit: return "retransmit";
+    case FlightEventKind::kKeepaliveFailure: return "keepalive_failure";
+    case FlightEventKind::kReplicaSubstitution: return "replica_substitution";
+    case FlightEventKind::kRelease: return "release";
+    case FlightEventKind::kCacheStats: return "cache_stats";
+    case FlightEventKind::kAlert: return "alert";
+    case FlightEventKind::kInvariantViolation: return "invariant_violation";
+    case FlightEventKind::kCustom: return "custom";
+  }
+  return "?";
+}
+
+FlightRecorder::FlightRecorder(std::size_t capacity)
+    : capacity_(std::max<std::size_t>(capacity, 1)),
+      slots_(std::make_unique<Slot[]>(capacity_)) {}
+
+void FlightRecorder::record(FlightEventKind kind, std::int64_t sim_ms,
+                            std::uint64_t trace_id, std::int32_t node,
+                            std::int32_t peer, double value,
+                            std::string_view detail) noexcept {
+#ifndef DUST_OBS_COMPILED_OUT
+  if (!enabled()) return;
+  const std::uint64_t seq =
+      cursor_.fetch_add(1, std::memory_order_relaxed);
+
+  FlightEvent event;
+  event.seq = seq;
+  event.kind = kind;
+  event.sim_ms = sim_ms;
+  event.trace_id = trace_id;
+  event.node = node;
+  event.peer = peer;
+  event.value = value;
+  const std::size_t n =
+      std::min(detail.size(), FlightEvent::kDetailCapacity - 1);
+  std::memcpy(event.detail, detail.data(), n);
+  event.detail[n] = '\0';
+
+  std::uint64_t words[kWords] = {};
+  std::memcpy(words, &event, sizeof(event));
+
+  Slot& slot = slots_[seq % capacity_];
+  for (std::size_t w = 0; w < kWords; ++w)
+    slot.words[w].store(words[w], std::memory_order_relaxed);
+  slot.stamp.store(seq + 1, std::memory_order_release);
+#else
+  (void)kind; (void)sim_ms; (void)trace_id; (void)node; (void)peer;
+  (void)value; (void)detail;
+#endif
+}
+
+std::vector<FlightEvent> FlightRecorder::snapshot() const {
+  std::vector<FlightEvent> out;
+  out.reserve(capacity_);
+  for (std::size_t i = 0; i < capacity_; ++i) {
+    const Slot& slot = slots_[i];
+    const std::uint64_t before = slot.stamp.load(std::memory_order_acquire);
+    if (before == 0) continue;  // never written
+    std::uint64_t words[kWords];
+    for (std::size_t w = 0; w < kWords; ++w)
+      words[w] = slot.words[w].load(std::memory_order_relaxed);
+    const std::uint64_t after = slot.stamp.load(std::memory_order_acquire);
+    if (after != before) continue;  // writer raced past mid-copy
+    FlightEvent event;
+    std::memcpy(&event, words, sizeof(event));
+    if (event.seq + 1 != before) continue;  // stamp/payload mismatch
+    event.detail[FlightEvent::kDetailCapacity - 1] = '\0';
+    out.push_back(event);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const FlightEvent& a, const FlightEvent& b) {
+              return a.seq < b.seq;
+            });
+  return out;
+}
+
+std::vector<FlightEvent> FlightRecorder::tail(std::size_t n) const {
+  std::vector<FlightEvent> all = snapshot();
+  if (all.size() > n) all.erase(all.begin(), all.end() - static_cast<std::ptrdiff_t>(n));
+  return all;
+}
+
+void FlightRecorder::clear() noexcept {
+  for (std::size_t i = 0; i < capacity_; ++i)
+    slots_[i].stamp.store(0, std::memory_order_relaxed);
+  cursor_.store(0, std::memory_order_relaxed);
+}
+
+FlightRecorder& FlightRecorder::global() {
+  static FlightRecorder recorder;
+  return recorder;
+}
+
+void write_flight_text(const std::vector<FlightEvent>& events,
+                       std::ostream& os) {
+  for (const FlightEvent& event : events) {
+    os << '#' << event.seq << " t=";
+    if (event.sim_ms >= 0)
+      os << event.sim_ms << "ms";
+    else
+      os << '?';
+    os << ' ' << to_string(event.kind);
+    if (event.detail[0] != '\0') os << " [" << event.detail << ']';
+    if (event.node != FlightEvent::kNoNode) {
+      os << " node=" << event.node;
+      if (event.peer != FlightEvent::kNoNode) os << " peer=" << event.peer;
+    }
+    if (event.value != 0.0) os << " value=" << event.value;
+    if (event.trace_id != 0) os << " trace=" << event.trace_id;
+    os << '\n';
+  }
+}
+
+std::string flight_text(const std::vector<FlightEvent>& events) {
+  std::ostringstream os;
+  write_flight_text(events, os);
+  return os.str();
+}
+
+}  // namespace dust::obs

@@ -184,12 +184,21 @@ struct NamedHistogramSnapshot : HistogramSnapshot {
   std::string name;
 };
 
-/// One completed trace span (see obs/span.hpp).
+/// One completed trace span (see obs/span.hpp). The first four fields are
+/// the PR-1 layout (kept in order — SpanRecord is aggregate-initialized);
+/// the causal-tracing fields (DESIGN.md §10) are appended after them. A
+/// span with trace_id == 0 is untraced: it still shows up on its track in
+/// the Perfetto export but belongs to no causal tree.
 struct SpanRecord {
   std::string name;
   double wall_ms = 0.0;
   std::int64_t sim_start_ms = -1;  ///< -1 when no virtual clock was attached
   std::int64_t sim_duration_ms = -1;
+  std::string track;               ///< timeline row ("manager", "client-3", ...)
+  double wall_start_ms = -1.0;     ///< ms since process epoch (wall_now_ms)
+  std::uint64_t trace_id = 0;
+  std::uint64_t span_id = 0;
+  std::uint64_t parent_span_id = 0;  ///< 0 = root of its trace
 };
 
 struct RegistrySnapshot {

@@ -1,19 +1,41 @@
 #include "obs/span.hpp"
 
+#include <chrono>
+
 namespace dust::obs {
 
-Span::Span(MetricRegistry& registry, std::string name, VirtualClock clock)
+double wall_now_ms() noexcept {
+  using clock = std::chrono::steady_clock;
+  static const clock::time_point epoch = clock::now();
+  return std::chrono::duration<double, std::milli>(clock::now() - epoch)
+      .count();
+}
+
+Span::Span(MetricRegistry& registry, std::string name, VirtualClock clock,
+           SpanOptions options, bool traced)
     : registry_(enabled() ? &registry : nullptr),
       name_(std::move(name)),
-      clock_(std::move(clock)) {
-  if (registry_ != nullptr && clock_) sim_start_ms_ = clock_();
+      clock_(std::move(clock)),
+      options_(std::move(options)) {
+  if (registry_ == nullptr) return;
+  if (clock_) sim_start_ms_ = clock_();
+  wall_start_ms_ = wall_now_ms();
+  if (traced) {
+    parent_id_ = options_.parent.span_id;
+    context_ = child_of(options_.parent);
+  }
 }
 
 Span::~Span() {
   if (registry_ == nullptr) return;
   SpanRecord record;
   record.name = name_;
+  record.track = options_.track;
   record.wall_ms = timer_.millis();
+  record.wall_start_ms = wall_start_ms_;
+  record.trace_id = context_.trace_id;
+  record.span_id = context_.span_id;
+  record.parent_span_id = parent_id_;
   registry_->histogram(name_ + "_wall_ms").observe(record.wall_ms);
   if (clock_) {
     record.sim_start_ms = sim_start_ms_;
@@ -22,6 +44,25 @@ Span::~Span() {
         .observe(static_cast<double>(record.sim_duration_ms));
   }
   registry_->record_span(std::move(record));
+}
+
+TraceContext record_instant(MetricRegistry& registry, std::string name,
+                            std::string track, const TraceContext& parent,
+                            std::int64_t sim_now_ms) {
+  if (!enabled()) return TraceContext{};
+  const TraceContext context = child_of(parent);
+  SpanRecord record;
+  record.name = std::move(name);
+  record.track = std::move(track);
+  record.wall_ms = 0.0;
+  record.wall_start_ms = wall_now_ms();
+  record.sim_start_ms = sim_now_ms;
+  record.sim_duration_ms = sim_now_ms >= 0 ? 0 : -1;
+  record.trace_id = context.trace_id;
+  record.span_id = context.span_id;
+  record.parent_span_id = parent.span_id;
+  registry.record_span(std::move(record));
+  return context;
 }
 
 }  // namespace dust::obs

@@ -19,9 +19,14 @@
 #include <utility>
 
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/timer.hpp"
 
 namespace dust::obs {
+
+/// Wall-clock milliseconds since the process trace epoch (first call). Used
+/// as the Perfetto wall-time axis so spans from different layers line up.
+[[nodiscard]] double wall_now_ms() noexcept;
 
 /// Observes the timer's wall-clock lifetime into `hist` (milliseconds).
 class ScopedTimer {
@@ -43,23 +48,61 @@ class ScopedTimer {
 /// Returns the current virtual time in milliseconds (e.g. Simulator::now).
 using VirtualClock = std::function<std::int64_t()>;
 
+/// Causal/track options for a Span. Passing SpanOptions makes the span
+/// traced: it allocates trace/span IDs (inheriting `parent`'s trace, or
+/// rooting a new one when parent is invalid) and records them in the
+/// SpanRecord so assemble_traces() can rebuild the tree.
+struct SpanOptions {
+  TraceContext parent{};  ///< invalid → this span roots a new trace
+  std::string track;      ///< timeline row; "" = unlabelled
+};
+
 class Span {
  public:
   Span(MetricRegistry& registry, std::string name)
       : Span(registry, std::move(name), VirtualClock{}) {}
 
-  Span(MetricRegistry& registry, std::string name, VirtualClock clock);
+  Span(MetricRegistry& registry, std::string name, VirtualClock clock)
+      : Span(registry, std::move(name), std::move(clock), SpanOptions{},
+             /*traced=*/false) {}
+
+  Span(MetricRegistry& registry, std::string name, VirtualClock clock,
+       SpanOptions options)
+      : Span(registry, std::move(name), std::move(clock), std::move(options),
+             /*traced=*/true) {}
+
   ~Span();
 
   Span(const Span&) = delete;
   Span& operator=(const Span&) = delete;
 
+  /// This span's identity, for propagating causality (e.g. into a protocol
+  /// message). Invalid ({0,0}) when the span is untraced or obs is disabled.
+  [[nodiscard]] TraceContext context() const noexcept { return context_; }
+
  private:
+  Span(MetricRegistry& registry, std::string name, VirtualClock clock,
+       SpanOptions options, bool traced);
+
   MetricRegistry* registry_;  ///< null when obs was disabled at construction
   std::string name_;
   VirtualClock clock_;
+  SpanOptions options_;
+  TraceContext context_{};       ///< {0,0} when untraced
+  std::uint64_t parent_id_ = 0;
   std::int64_t sim_start_ms_ = -1;
+  double wall_start_ms_ = -1.0;
   util::Timer timer_;
 };
+
+/// Record an instantaneous traced event span (duration 0) and return its
+/// context for downstream propagation. This is the primitive protocol hops
+/// use ("stat" sent, "offload_ack" sent, ...): the event is a point on the
+/// sim timeline, not a scope. No histograms are observed (a zero duration
+/// carries no latency information). Returns an invalid context when obs is
+/// disabled — propagating it is harmless, downstream records nothing either.
+TraceContext record_instant(MetricRegistry& registry, std::string name,
+                            std::string track, const TraceContext& parent,
+                            std::int64_t sim_now_ms = -1);
 
 }  // namespace dust::obs

@@ -1,0 +1,29 @@
+#include "obs/trace.hpp"
+
+#include <atomic>
+
+namespace dust::obs {
+
+namespace {
+std::atomic<std::uint64_t> g_next_span_id{1};
+}  // namespace
+
+std::uint64_t next_span_id() noexcept {
+  return g_next_span_id.fetch_add(1, std::memory_order_relaxed);
+}
+
+TraceContext new_trace() noexcept {
+  const std::uint64_t id = next_span_id();
+  return TraceContext{id, id};
+}
+
+TraceContext child_of(const TraceContext& parent) noexcept {
+  if (!parent.valid()) return new_trace();
+  return TraceContext{parent.trace_id, next_span_id()};
+}
+
+void reset_trace_ids() noexcept {
+  g_next_span_id.store(1, std::memory_order_relaxed);
+}
+
+}  // namespace dust::obs

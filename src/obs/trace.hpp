@@ -1,0 +1,47 @@
+// Causal trace identity for dust::obs v2 (DESIGN.md §10).
+//
+// A TraceContext names one causal chain (trace_id) and the position inside
+// it (span_id). Protocol messages in core::messages carry a TraceContext so
+// the receiver can parent its own spans under the sender's — that is what
+// lets one offload (STAT → solve → Offload-Request → Offload-ACK → REP) be
+// reconstructed as a single span tree across manager, clients, and the
+// simulated transport.
+//
+// This header is deliberately tiny (no registry, no strings) so that
+// core/messages.hpp can embed a TraceContext without pulling in the metric
+// machinery. IDs come from one process-wide atomic counter: a root span's
+// span_id doubles as its trace_id, so a valid context always has
+// trace_id != 0. Within the single-threaded simulator, allocation order —
+// and therefore every ID — is deterministic for a fixed scenario.
+#pragma once
+
+#include <cstdint>
+
+namespace dust::obs {
+
+struct TraceContext {
+  std::uint64_t trace_id = 0;  ///< 0 = untraced
+  std::uint64_t span_id = 0;   ///< the span that caused what carries this
+
+  [[nodiscard]] bool valid() const noexcept { return trace_id != 0; }
+
+  friend bool operator==(const TraceContext& a, const TraceContext& b) {
+    return a.trace_id == b.trace_id && a.span_id == b.span_id;
+  }
+};
+
+/// Allocate a fresh span id (never 0).
+[[nodiscard]] std::uint64_t next_span_id() noexcept;
+
+/// Start a new trace: a context whose trace_id == span_id (a root).
+[[nodiscard]] TraceContext new_trace() noexcept;
+
+/// Child context of `parent`: same trace, fresh span id. A context that is
+/// not valid() roots a new trace instead, so propagation code never has to
+/// branch on whether the upstream hop was traced.
+[[nodiscard]] TraceContext child_of(const TraceContext& parent) noexcept;
+
+/// Reset the ID counter (tests only — makes allocation order assertable).
+void reset_trace_ids() noexcept;
+
+}  // namespace dust::obs

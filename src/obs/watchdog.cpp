@@ -1,0 +1,135 @@
+#include "obs/watchdog.hpp"
+
+#include <sstream>
+#include <utility>
+
+#include "obs/flight_recorder.hpp"
+
+namespace dust::obs {
+
+Watchdog::Watchdog(MetricRegistry& registry, WatchdogConfig config)
+    : registry_(&registry),
+      config_(config),
+      alerts_total_(&registry.counter("dust_obs_alerts_total")) {}
+
+bool Watchdog::window_mean(const RegistrySnapshot& snapshot,
+                           const std::string& name, HistCursor& cursor,
+                           std::uint64_t min_count, double* mean_out,
+                           std::uint64_t* count_out) {
+  const NamedHistogramSnapshot* hist = snapshot.find_histogram(name);
+  if (hist == nullptr) return false;
+  // A registry reset mid-flight rewinds the totals; resync and skip the
+  // window rather than reporting a negative delta.
+  if (hist->count < cursor.count) {
+    cursor = {hist->count, hist->sum};
+    return false;
+  }
+  const std::uint64_t count = hist->count - cursor.count;
+  const double sum = hist->sum - cursor.sum;
+  cursor = {hist->count, hist->sum};
+  if (count_out != nullptr) *count_out = count;
+  if (count < min_count || count == 0) return false;
+  if (mean_out != nullptr) *mean_out = sum / static_cast<double>(count);
+  return true;
+}
+
+void Watchdog::raise(std::vector<Alert>& out, std::string rule,
+                     std::string message, double value, std::int64_t sim_ms) {
+  alerts_total_->inc();
+  registry_->counter("dust_obs_alert_" + rule + "_total").inc();
+  FlightRecorder::global().record(FlightEventKind::kAlert, sim_ms, 0,
+                                  FlightEvent::kNoNode, FlightEvent::kNoNode,
+                                  value, rule);
+  ++alerts_raised_;
+  out.push_back(Alert{std::move(rule), std::move(message), value, sim_ms});
+}
+
+std::vector<Alert> Watchdog::evaluate(std::int64_t sim_now_ms) {
+  std::vector<Alert> alerts;
+  if (!enabled()) return alerts;
+  const RegistrySnapshot snapshot = registry_->snapshot();
+
+  // --- placement-latency-regression -------------------------------------
+  double solve_mean = 0.0;
+  std::uint64_t solve_count = 0;
+  const bool have_solve =
+      window_mean(snapshot, "dust_core_placement_solve_ms", solve_cursor_,
+                  config_.min_latency_samples, &solve_mean, &solve_count);
+  if (have_solve && primed_) {
+    if (latency_baseline_ms_ >= 0.0 &&
+        solve_mean >
+            latency_baseline_ms_ * config_.latency_regression_factor) {
+      std::ostringstream msg;
+      msg << "placement solve latency " << solve_mean
+          << " ms exceeds rolling baseline " << latency_baseline_ms_
+          << " ms x " << config_.latency_regression_factor << " ("
+          << solve_count << " samples)";
+      raise(alerts, "placement-latency-regression", msg.str(), solve_mean,
+            sim_now_ms);
+    } else {
+      // Only healthy windows move the baseline — a regressed window must
+      // not teach the watchdog that slow is normal.
+      latency_baseline_ms_ =
+          latency_baseline_ms_ < 0.0
+              ? solve_mean
+              : latency_baseline_ms_ +
+                    config_.latency_baseline_alpha *
+                        (solve_mean - latency_baseline_ms_);
+    }
+  } else if (have_solve) {
+    latency_baseline_ms_ = solve_mean;  // first window seeds the baseline
+  }
+
+  // --- hfr-spike --------------------------------------------------------
+  if (const GaugeSnapshot* hfr = snapshot.find_gauge("dust_core_hfr_percent");
+      hfr != nullptr && primed_ && hfr->value > config_.hfr_spike_percent) {
+    std::ostringstream msg;
+    msg << "heuristic failure rate " << hfr->value << "% above "
+        << config_.hfr_spike_percent << "% threshold";
+    raise(alerts, "hfr-spike", msg.str(), hfr->value, sim_now_ms);
+  }
+
+  // --- nmdb-staleness ---------------------------------------------------
+  double stale_mean = 0.0;
+  if (window_mean(snapshot, "dust_core_nmdb_staleness_ms", staleness_cursor_,
+                  1, &stale_mean, nullptr) &&
+      primed_ && stale_mean > config_.staleness_limit_ms) {
+    std::ostringstream msg;
+    msg << "NMDB staleness " << stale_mean << " ms exceeds "
+        << config_.staleness_limit_ms
+        << " ms — placement is planning on an outdated network view";
+    raise(alerts, "nmdb-staleness", msg.str(), stale_mean, sim_now_ms);
+  }
+
+  // --- replica-substitution --------------------------------------------
+  if (config_.check_replica_substitution) {
+    const CounterSnapshot* failures =
+        snapshot.find_counter("dust_core_keepalive_failures_total");
+    const CounterSnapshot* reps =
+        snapshot.find_counter("dust_core_tx_rep_total");
+    const std::uint64_t failures_now = failures != nullptr ? failures->value : 0;
+    const std::uint64_t reps_now = reps != nullptr ? reps->value : 0;
+    if (failures_now < keepalive_failures_seen_ || reps_now < reps_seen_) {
+      keepalive_failures_seen_ = failures_now;  // registry was reset
+      reps_seen_ = reps_now;
+    } else {
+      const std::uint64_t new_failures =
+          failures_now - keepalive_failures_seen_;
+      const std::uint64_t new_reps = reps_now - reps_seen_;
+      keepalive_failures_seen_ = failures_now;
+      reps_seen_ = reps_now;
+      if (primed_ && new_failures > new_reps) {
+        std::ostringstream msg;
+        msg << new_failures << " keepalive failure(s) but only " << new_reps
+            << " REP(s) in this window — dead destinations not re-homed";
+        raise(alerts, "replica-substitution", msg.str(),
+              static_cast<double>(new_failures - new_reps), sim_now_ms);
+      }
+    }
+  }
+
+  primed_ = true;
+  return alerts;
+}
+
+}  // namespace dust::obs

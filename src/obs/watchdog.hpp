@@ -1,0 +1,100 @@
+// Health watchdogs: a small rule engine over MetricRegistry snapshots
+// (DESIGN.md §10). The caller pumps evaluate() on whatever cadence it likes
+// (a sim::PeriodicTask, a scrape loop, once at end of run); each evaluation
+// scrapes the registry, diffs it against the previous evaluation (so rules
+// see *windows*, not lifetime aggregates), applies the rules, and raises
+// structured alerts — into the returned vector, into the flight recorder
+// (kAlert), and onto `dust_obs_alerts_total` / `dust_obs_alert_<rule>_total`
+// counters in the same registry.
+//
+// Rules (all windows are deltas between consecutive evaluate() calls):
+//   placement-latency-regression  window mean of dust_core_placement_solve_ms
+//                                 exceeds `latency_regression_factor` × a
+//                                 rolling EWMA baseline of earlier windows
+//   hfr-spike                     dust_core_hfr_percent gauge above
+//                                 `hfr_spike_percent` (heuristic failure rate)
+//   nmdb-staleness                window mean of dust_core_nmdb_staleness_ms
+//                                 above `staleness_limit_ms` — the optimizer
+//                                 is planning on an outdated network view
+//   replica-substitution          keepalive failures in the window without a
+//                                 matching REP: a dead destination's workload
+//                                 was not re-homed
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace dust::obs {
+
+struct WatchdogConfig {
+  /// Alert when a window's mean solve latency exceeds baseline × factor.
+  double latency_regression_factor = 3.0;
+  /// Windows with fewer solve samples than this neither alert nor move the
+  /// baseline (a single slow cycle is noise, not a regression).
+  std::uint64_t min_latency_samples = 3;
+  /// EWMA weight of the newest window when updating the latency baseline.
+  double latency_baseline_alpha = 0.3;
+  /// Heuristic failure rate (percent) above which hfr-spike fires.
+  double hfr_spike_percent = 50.0;
+  /// Window-mean NMDB staleness (ms) above which nmdb-staleness fires.
+  double staleness_limit_ms = 180000.0;
+  /// Enable the replica-substitution shortfall rule.
+  bool check_replica_substitution = true;
+};
+
+struct Alert {
+  std::string rule;     ///< "placement-latency-regression", ...
+  std::string message;  ///< human-readable cause
+  double value = 0.0;   ///< the observation that tripped the rule
+  std::int64_t sim_ms = -1;
+};
+
+class Watchdog {
+ public:
+  explicit Watchdog(MetricRegistry& registry = MetricRegistry::global(),
+                    WatchdogConfig config = {});
+
+  /// Scrape, diff against the previous evaluation, run every rule. The
+  /// first call only primes the windows (no alerts). `sim_now_ms` stamps the
+  /// raised alerts and flight-recorder events (-1 = unknown).
+  std::vector<Alert> evaluate(std::int64_t sim_now_ms = -1);
+
+  [[nodiscard]] std::uint64_t alerts_raised() const noexcept {
+    return alerts_raised_;
+  }
+  /// Rolling solve-latency baseline (ms); < 0 until enough windows passed.
+  [[nodiscard]] double latency_baseline_ms() const noexcept {
+    return latency_baseline_ms_;
+  }
+
+ private:
+  struct HistCursor {
+    std::uint64_t count = 0;
+    double sum = 0.0;
+  };
+  /// Window (delta) mean of a histogram since the previous evaluation;
+  /// false when the window holds fewer than `min_count` samples.
+  static bool window_mean(const RegistrySnapshot& snapshot,
+                          const std::string& name, HistCursor& cursor,
+                          std::uint64_t min_count, double* mean_out,
+                          std::uint64_t* count_out);
+
+  void raise(std::vector<Alert>& out, std::string rule, std::string message,
+             double value, std::int64_t sim_ms);
+
+  MetricRegistry* registry_;
+  WatchdogConfig config_;
+  bool primed_ = false;
+  HistCursor solve_cursor_;
+  HistCursor staleness_cursor_;
+  std::uint64_t keepalive_failures_seen_ = 0;
+  std::uint64_t reps_seen_ = 0;
+  double latency_baseline_ms_ = -1.0;
+  std::uint64_t alerts_raised_ = 0;
+  Counter* alerts_total_ = nullptr;
+};
+
+}  // namespace dust::obs

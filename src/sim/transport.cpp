@@ -1,10 +1,86 @@
 #include "sim/transport.hpp"
 
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
 #include <stdexcept>
 #include <memory>
+#include <string_view>
 #include <utility>
 
+#include "obs/flight_recorder.hpp"
+
 namespace dust::sim {
+
+namespace {
+
+// Parse the node id out of "dust-client-<n>" endpoint names; the manager
+// ("dust-manager") and anything unrecognised map to kNoNode.
+std::int32_t endpoint_node(const std::string& endpoint) {
+  constexpr std::string_view kPrefix = "dust-client-";
+  if (endpoint.compare(0, kPrefix.size(), kPrefix) != 0)
+    return obs::FlightEvent::kNoNode;
+  std::int32_t node = 0;
+  bool any = false;
+  for (std::size_t i = kPrefix.size(); i < endpoint.size(); ++i) {
+    const char ch = endpoint[i];
+    if (ch < '0' || ch > '9') return obs::FlightEvent::kNoNode;
+    node = node * 10 + (ch - '0');
+    any = true;
+  }
+  return any ? node : obs::FlightEvent::kNoNode;
+}
+
+// Compact flight-recorder detail for a hop, built allocation-free into a
+// stack buffer: "[<cause>: ]<kind> c3>M". This runs on every tx/rx/drop,
+// so it must stay off the heap; truncation to the event's 31 detail chars
+// is fine (the recorder truncates anyway).
+struct DetailBuf {
+  char data[obs::FlightEvent::kDetailCapacity];
+  std::size_t len = 0;
+
+  void append(std::string_view text) {
+    const std::size_t room = sizeof(data) - 1 - len;
+    const std::size_t n = text.size() < room ? text.size() : room;
+    std::memcpy(data + len, text.data(), n);
+    len += n;
+  }
+  void append_endpoint(const std::string& endpoint, std::int32_t node) {
+    if (endpoint == "dust-manager") {
+      append("M");
+    } else if (node != obs::FlightEvent::kNoNode) {
+      char digits[12];
+      const int n = std::snprintf(digits, sizeof(digits), "c%d", node);
+      if (n > 0) append(std::string_view(digits, static_cast<std::size_t>(n)));
+    } else {
+      append(endpoint);
+    }
+  }
+  [[nodiscard]] std::string_view view() const { return {data, len}; }
+};
+
+void record_hop(obs::FlightEventKind event_kind, Simulator& sim,
+                const std::string& kind, const std::string& from,
+                const std::string& to, std::uint64_t trace_id,
+                const char* cause = nullptr) {
+  if (!obs::enabled()) return;  // skip the detail work entirely
+  const std::int32_t from_node = endpoint_node(from);
+  const std::int32_t to_node = endpoint_node(to);
+  DetailBuf detail;
+  if (cause != nullptr) {
+    detail.append(cause);
+    detail.append(": ");
+  }
+  detail.append(kind.empty() ? std::string_view("?") : std::string_view(kind));
+  detail.append(" ");
+  detail.append_endpoint(from, from_node);
+  detail.append(">");
+  detail.append_endpoint(to, to_node);
+  obs::FlightRecorder::global().record(event_kind, sim.now(), trace_id,
+                                       from_node, to_node, 0.0, detail.view());
+}
+
+}  // namespace
 
 Transport::Transport(Simulator& sim, util::Rng rng) : sim_(&sim), rng_(rng) {
   obs::MetricRegistry& registry = obs::MetricRegistry::global();
@@ -58,10 +134,13 @@ bool Transport::has_endpoint(const std::string& name) const {
 }
 
 void Transport::send(const std::string& from, const std::string& to,
-                     std::any payload, Priority priority) {
+                     std::any payload, Priority priority, std::string kind,
+                     std::uint64_t trace_id) {
   ++sent_;
   metrics_.sent->inc();
   if (priority == Priority::kLow) metrics_.sent_low->inc();
+  record_hop(obs::FlightEventKind::kMessageTx, *sim_, kind, from, to,
+             trace_id);
   // Precedence: loss -> partition -> congestion. The loss draw must come
   // first so partition/congestion toggles never change how many RNG draws a
   // message sequence consumes; otherwise a fault schedule flipping
@@ -71,22 +150,28 @@ void Transport::send(const std::string& from, const std::string& to,
     ++dropped_;
     metrics_.dropped->inc();
     metrics_.dropped_loss->inc();
+    record_hop(obs::FlightEventKind::kMessageDrop, *sim_, kind, from, to,
+               trace_id, "loss");
     return;
   }
   if (auto it = partitioned_.find(to); it != partitioned_.end() && it->second) {
     ++dropped_;
     metrics_.dropped->inc();
     metrics_.dropped_partition->inc();
+    record_hop(obs::FlightEventKind::kMessageDrop, *sim_, kind, from, to,
+               trace_id, "partition");
     return;
   }
   if (congested_ && priority == Priority::kLow) {
     ++dropped_;  // QoS: monitoring data is discardable under congestion
     metrics_.dropped->inc();
     metrics_.dropped_congestion->inc();
+    record_hop(obs::FlightEventKind::kMessageDrop, *sim_, kind, from, to,
+               trace_id, "congestion");
     return;
   }
-  auto envelope = std::make_shared<Envelope>(
-      Envelope{from, to, std::move(payload), priority});
+  auto envelope = std::make_shared<Envelope>(Envelope{
+      from, to, std::move(payload), priority, std::move(kind), trace_id});
   const TimeMs sent_at = sim_->now();
   sim_->schedule(default_latency_ms_, [this, envelope, sent_at] {
     // Endpoint may have unregistered while in flight (e.g. failed node).
@@ -95,12 +180,19 @@ void Transport::send(const std::string& from, const std::string& to,
       ++dropped_;
       metrics_.dropped->inc();
       metrics_.dropped_no_endpoint->inc();
+      record_hop(obs::FlightEventKind::kMessageDrop, *sim_, envelope->kind,
+                 envelope->from, envelope->to, envelope->trace_id,
+                 "no_endpoint");
       return;
     }
     ++delivered_;
     metrics_.delivered->inc();
     metrics_.delivery_latency_ms->observe(
         static_cast<double>(sim_->now() - sent_at));
+    // No flight event for an ordinary delivery: every send is already
+    // recorded as msg_tx and every failure as msg_drop, so delivery is the
+    // implied default — recording it too would double the hot-path flight
+    // volume for no extra diagnostic power.
     it->second.handler(*envelope);
   });
 }

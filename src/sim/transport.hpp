@@ -30,6 +30,12 @@ struct Envelope {
   std::string to;
   std::any payload;
   Priority priority = Priority::kNormal;
+  // Observability passengers (appended — aggregate initializers above keep
+  // working). `kind` is a short message label ("stat", "offload_request");
+  // `trace_id` ties the hop to a causal trace (obs/trace.hpp). Both feed the
+  // flight recorder's msg_tx/msg_rx/msg_drop events.
+  std::string kind;
+  std::uint64_t trace_id = 0;
 };
 
 class Transport {
@@ -67,8 +73,12 @@ class Transport {
   /// the message sequence alone. Toggling partitions or congestion mid-run
   /// (e.g. via a fault schedule) therefore never shifts later loss draws,
   /// and a fault schedule replays bit-identically under a fixed seed.
+  /// `kind` and `trace_id` are observability-only passengers: they label the
+  /// flight-recorder events for this hop and ride in the Envelope, but never
+  /// influence delivery.
   void send(const std::string& from, const std::string& to, std::any payload,
-            Priority priority = Priority::kNormal);
+            Priority priority = Priority::kNormal, std::string kind = {},
+            std::uint64_t trace_id = 0);
 
   [[nodiscard]] std::uint64_t sent() const noexcept { return sent_; }
   [[nodiscard]] std::uint64_t delivered() const noexcept { return delivered_; }

@@ -1,0 +1,74 @@
+// Repro bundles: when a dust::check run fails, the RunReport must carry the
+// flight-recorder tail captured at the first violation, and dump_repro must
+// produce a self-contained bundle (violations + .scn scenario + timeline)
+// that stays loadable by the scenario parser. Exercised via the synthetic
+// InvariantOptions::force_failure hook so the failure is deterministic.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "check/runner.hpp"
+#include "core/scenario.hpp"
+
+namespace dust::check {
+namespace {
+
+RunOptions forced_failure_options() {
+  RunOptions options;
+  options.check_oracles = false;  // keep the run cheap; one violation suffices
+  options.invariant.force_failure = true;
+  return options;
+}
+
+TEST(HarnessRepro, ForcedViolationCapturesTheFlightTail) {
+  const ScenarioSpec spec = generate_scenario(3);
+  const RunReport report = run_scenario(spec, forced_failure_options());
+
+  ASSERT_FALSE(report.passed());
+  bool forced = false;
+  for (const Violation& v : report.violations)
+    if (v.invariant == "I0-forced") forced = true;
+  EXPECT_TRUE(forced);
+
+  // The tail was captured at the first violation and shows both the
+  // violation marker and ordinary control-plane traffic around it.
+  ASSERT_FALSE(report.flight_tail.empty());
+  EXPECT_NE(report.flight_tail.find("invariant_violation"),
+            std::string::npos);
+  EXPECT_NE(report.flight_tail.find("I0-forced"), std::string::npos);
+  EXPECT_NE(report.flight_tail.find("msg_"), std::string::npos);
+}
+
+TEST(HarnessRepro, CleanRunLeavesNoFlightTail) {
+  const ScenarioSpec spec = generate_scenario(3);
+  RunOptions options;
+  options.check_oracles = false;
+  const RunReport report = run_scenario(spec, options);
+  ASSERT_TRUE(report.passed());
+  EXPECT_TRUE(report.flight_tail.empty());
+}
+
+TEST(HarnessRepro, DumpReproBundlesScenarioViolationsAndTimeline) {
+  const ScenarioSpec spec = generate_scenario(3);
+  const RunReport report = run_scenario(spec, forced_failure_options());
+  ASSERT_FALSE(report.passed());
+
+  std::ostringstream os;
+  dump_repro(os, spec, report);
+  const std::string bundle = os.str();
+
+  EXPECT_NE(bundle.find("# dust::check repro bundle"), std::string::npos);
+  EXPECT_NE(bundle.find("I0-forced"), std::string::npos);
+  EXPECT_NE(bundle.find("flight recorder tail"), std::string::npos);
+  EXPECT_NE(bundle.find("invariant_violation"), std::string::npos);
+
+  // The whole bundle must stay parseable as a scenario: every non-scenario
+  // line is comment-prefixed, so the embedded .scn loads unchanged.
+  std::istringstream is(bundle);
+  const core::Nmdb loaded = core::load_scenario(is);
+  EXPECT_EQ(loaded.network().graph().node_count(), spec.node_count);
+}
+
+}  // namespace
+}  // namespace dust::check

@@ -154,9 +154,14 @@ TEST_F(Fig4Observability, ScrapeReportsActivityFromEveryLayer) {
   EXPECT_GT(solves->value, 0u);
 
   // Spans: each placement cycle left a trace record with virtual timing.
+  // (Protocol hops now record instant spans too, so the cycle span is no
+  // longer necessarily last — find it.)
   ASSERT_FALSE(scrape.spans.empty());
-  EXPECT_EQ(scrape.spans.back().name, "dust_core_placement_cycle");
-  EXPECT_GE(scrape.spans.back().sim_start_ms, 0);
+  const obs::SpanRecord* cycle_span = nullptr;
+  for (const obs::SpanRecord& span : scrape.spans)
+    if (span.name == "dust_core_placement_cycle") cycle_span = &span;
+  ASSERT_NE(cycle_span, nullptr);
+  EXPECT_GE(cycle_span->sim_start_ms, 0);
 
   // NMDB staleness was observed against sim time.
   const obs::NamedHistogramSnapshot* staleness =

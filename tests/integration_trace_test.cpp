@@ -1,0 +1,301 @@
+// End-to-end causal tracing (DESIGN.md §10): run the Fig. 4 scenario over
+// the simulated transport and check that one offload reconstructs as one
+// causally linked span tree — STAT roots the trace, the solver and
+// Offload-Request hang under it, the busy node's ACK joins it, and a REP
+// after destination death extends the same chain. Also the failure side:
+// a partition-dropped Offload-Request leaves the trace visibly truncated
+// at the msg_drop flight event, and a retransmitted request (same
+// request_id, same trace) repairs the chain without starting a new trace.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/client.hpp"
+#include "core/manager.hpp"
+#include "graph/topology.hpp"
+#include "obs/export.hpp"
+#include "obs/flight_recorder.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace dust {
+namespace {
+
+/// The paper's illustrative 7-node network (Fig. 4): busy switch S1 (node 0),
+/// offload candidates S2 (1) and S6 (5), relays in between.
+net::NetworkState make_fig4_state() {
+  graph::Graph g(7);
+  g.add_edge(0, 3);
+  g.add_edge(3, 1);
+  g.add_edge(3, 4);
+  g.add_edge(4, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 6);
+  g.add_edge(3, 5);
+  net::NetworkState state(std::move(g));
+  for (graph::EdgeId e = 0; e < state.edge_count(); ++e)
+    state.set_link(e, net::LinkState{.bandwidth_mbps = 10000.0,
+                                     .utilization = 0.5});
+  state.set_node_utilization(0, 93.0);
+  state.set_node_utilization(1, 42.0);
+  state.set_node_utilization(5, 52.0);
+  for (graph::NodeId v : {2u, 3u, 4u, 6u}) state.set_node_utilization(v, 70.0);
+  state.set_monitoring_data_mb(0, 80.0);
+  return state;
+}
+
+struct Fig4Trace : ::testing::Test {
+  sim::Simulator sim;
+  sim::Transport transport{sim, util::Rng(7)};
+  std::unique_ptr<core::DustManager> manager;
+  std::vector<std::unique_ptr<core::DustClient>> clients;
+
+  void SetUp() override {
+    obs::set_enabled(true);
+    obs::MetricRegistry::global().reset();
+    obs::FlightRecorder::global().clear();
+    obs::reset_trace_ids();
+  }
+
+  void boot(core::ManagerConfig config) {
+    manager = std::make_unique<core::DustManager>(
+        sim, transport, core::Nmdb(make_fig4_state(), core::Thresholds{}),
+        config);
+    for (graph::NodeId v = 0; v < 7; ++v) {
+      clients.push_back(std::make_unique<core::DustClient>(
+          sim, transport, v, core::ClientConfig{.keepalive_interval_ms = 1000},
+          util::Rng(100 + v)));
+    }
+    clients[0]->set_reported_state(93.0, 80.0, 10);
+    clients[1]->set_reported_state(42.0, 5.0, 10);
+    clients[5]->set_reported_state(52.0, 5.0, 10);
+    for (graph::NodeId v : {2u, 3u, 4u, 6u})
+      clients[v]->set_reported_state(70.0, 5.0, 10);
+    for (auto& client : clients) client->start();
+    manager->start();
+  }
+
+  static core::ManagerConfig fast_config() {
+    core::ManagerConfig config;
+    config.update_interval_ms = 1000;
+    config.placement_period_ms = 5000;
+    config.keepalive_timeout_ms = 4000;
+    config.keepalive_check_period_ms = 1000;
+    return config;
+  }
+
+  /// The first assembled trace containing an offload_request span — the
+  /// first placement cycle's chain (traces come back oldest-root first).
+  static const obs::TraceTree* offload_trace(
+      const std::vector<obs::TraceTree>& traces) {
+    for (const obs::TraceTree& trace : traces)
+      if (trace.find("offload_request") != nullptr) return &trace;
+    return nullptr;
+  }
+};
+
+TEST_F(Fig4Trace, SingleOffloadReconstructsAsOneCausalChain) {
+  boot(fast_config());
+  sim.run_until(12000);
+  ASSERT_GE(manager->active_offload_count(), 1u);
+
+  const obs::RegistrySnapshot scrape =
+      obs::MetricRegistry::global().snapshot();
+  const std::vector<obs::TraceTree> traces = obs::assemble_traces(scrape);
+  const obs::TraceTree* trace = offload_trace(traces);
+  ASSERT_NE(trace, nullptr);
+
+  // The full protocol chain, causally linked root to tip.
+  EXPECT_EQ(trace->chain().substr(0, 38),
+            "stat>solve>offload_request>offload_ack");
+
+  const obs::SpanRecord* stat = trace->find("stat");
+  const obs::SpanRecord* solve = trace->find("solve");
+  const obs::SpanRecord* request = trace->find("offload_request");
+  const obs::SpanRecord* ack = trace->find("offload_ack");
+  const obs::SpanRecord* transfer = trace->find("agent_transfer");
+  ASSERT_NE(stat, nullptr);
+  ASSERT_NE(solve, nullptr);
+  ASSERT_NE(request, nullptr);
+  ASSERT_NE(ack, nullptr);
+  ASSERT_NE(transfer, nullptr);
+
+  // Parent links cross the layers exactly once each.
+  EXPECT_EQ(stat->parent_span_id, 0u);
+  EXPECT_EQ(stat->trace_id, stat->span_id);  // the STAT rooted the trace
+  EXPECT_EQ(solve->parent_span_id, stat->span_id);
+  EXPECT_EQ(request->parent_span_id, solve->span_id);
+  EXPECT_EQ(ack->parent_span_id, request->span_id);
+  EXPECT_EQ(transfer->parent_span_id, request->span_id);
+
+  // Tracks place each hop on the right timeline row.
+  EXPECT_EQ(stat->track, "client-0");
+  EXPECT_EQ(ack->track, "client-0");
+  EXPECT_EQ(solve->track, "manager");
+  EXPECT_EQ(request->track, "manager");
+
+  // Sim-time ordering along the chain is monotone.
+  EXPECT_LE(stat->sim_start_ms, solve->sim_start_ms);
+  EXPECT_LE(request->sim_start_ms, ack->sim_start_ms);
+
+  // The Perfetto export carries the same story: per-track processes, the
+  // chain's complete events, and flow arrows between parent and child.
+  std::ostringstream os;
+  obs::write_perfetto(scrape, os);
+  const std::string json = os.str();
+  EXPECT_NE(json.find("\"name\":\"manager\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"client-0\""), std::string::npos);
+  for (const char* name : {"stat", "solve", "offload_request", "offload_ack"})
+    EXPECT_NE(json.find("\"ph\":\"X\",\"name\":\"" + std::string(name) + "\""),
+              std::string::npos)
+        << name;
+  EXPECT_NE(json.find("\"ph\":\"s\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"f\""), std::string::npos);
+}
+
+TEST_F(Fig4Trace, RepAfterDestinationDeathExtendsTheSameChain) {
+  boot(fast_config());
+  // Give the standby candidate real headroom below COmax (60): whichever of
+  // the two candidates hosts first, the survivor can absorb the ~13% excess
+  // when the host dies (52% would leave only 8% spare — no replica).
+  clients[5]->set_reported_state(30.0, 5.0, 10);
+  sim.run_until(12000);
+  ASSERT_GE(manager->active_offload_count(), 1u);
+  const std::vector<graph::NodeId> hosts = clients[0]->hosting_destinations();
+  ASSERT_FALSE(hosts.empty());
+  clients[hosts.front()]->set_failed(true);
+  sim.run_until(24000);  // keepalive timeout + REP + replacement ACK
+  ASSERT_GE(clients[0]->reps_received(), 1u);
+
+  const obs::RegistrySnapshot scrape =
+      obs::MetricRegistry::global().snapshot();
+  const std::vector<obs::TraceTree> traces = obs::assemble_traces(scrape);
+  const obs::TraceTree* with_rep = nullptr;
+  for (const obs::TraceTree& trace : traces)
+    if (trace.find("rep") != nullptr) with_rep = &trace;
+  ASSERT_NE(with_rep, nullptr);
+
+  // The REP extends the original offload chain: it is parented under the
+  // busy node's offload_ack (the chain tip when the ACK arrived), and the
+  // client's replacement offload_ack joins below it — one trace end to end.
+  const obs::SpanRecord* rep = with_rep->find("rep");
+  ASSERT_NE(rep, nullptr);
+  EXPECT_NE(with_rep->find("offload_request"), nullptr);
+  EXPECT_NE(with_rep->find("stat"), nullptr);
+  const obs::SpanRecord* rep_parent = nullptr;
+  const obs::SpanRecord* rep_child_ack = nullptr;
+  for (const obs::SpanRecord& span : with_rep->spans) {
+    if (span.span_id == rep->parent_span_id) rep_parent = &span;
+    if (span.parent_span_id == rep->span_id && span.name == "offload_ack")
+      rep_child_ack = &span;
+  }
+  ASSERT_NE(rep_parent, nullptr);
+  EXPECT_EQ(rep_parent->name, "offload_ack");
+  ASSERT_NE(rep_child_ack, nullptr);
+  EXPECT_EQ(rep_child_ack->track, "client-0");
+
+  // The flight recorder saw the same story as discrete events.
+  bool saw_failure = false;
+  bool saw_substitution = false;
+  for (const obs::FlightEvent& event :
+       obs::FlightRecorder::global().snapshot()) {
+    if (event.kind == obs::FlightEventKind::kKeepaliveFailure)
+      saw_failure = true;
+    if (event.kind == obs::FlightEventKind::kReplicaSubstitution)
+      saw_substitution = true;
+  }
+  EXPECT_TRUE(saw_failure);
+  EXPECT_TRUE(saw_substitution);
+}
+
+TEST_F(Fig4Trace, DroppedOffloadRequestTruncatesTheTraceAtTheDropEvent) {
+  boot(fast_config());  // offload_request_retry_ms = 0: no recovery
+  // Partition the busy node before the first placement cycle (t=5000): the
+  // Offload-Request to it is dropped, so no ACK ever joins the trace.
+  sim.schedule_at(2000, [this] {
+    transport.set_partitioned(core::client_endpoint(0), true);
+  });
+  sim.schedule_at(7000, [this] {
+    transport.set_partitioned(core::client_endpoint(0), false);
+  });
+  sim.run_until(9000);
+
+  const obs::RegistrySnapshot scrape =
+      obs::MetricRegistry::global().snapshot();
+  const std::vector<obs::TraceTree> traces = obs::assemble_traces(scrape);
+  const obs::TraceTree* trace = offload_trace(traces);
+  ASSERT_NE(trace, nullptr);
+
+  // Visibly truncated: request recorded, nothing below it.
+  EXPECT_NE(trace->find("offload_request"), nullptr);
+  EXPECT_EQ(trace->find("offload_ack"), nullptr);
+  EXPECT_EQ(trace->find("agent_transfer"), nullptr);
+  EXPECT_EQ(trace->chain(), "stat>solve>offload_request");
+
+  // The drop itself is on the flight-recorder timeline, tagged with the
+  // same trace id and the partition cause.
+  bool saw_drop = false;
+  for (const obs::FlightEvent& event :
+       obs::FlightRecorder::global().snapshot())
+    if (event.kind == obs::FlightEventKind::kMessageDrop &&
+        event.trace_id == trace->trace_id &&
+        std::string(event.detail).find("partition: offload_request") == 0)
+      saw_drop = true;
+  EXPECT_TRUE(saw_drop);
+}
+
+TEST_F(Fig4Trace, RetransmittedRequestJoinsTheSameTrace) {
+  core::ManagerConfig config = fast_config();
+  config.offload_request_retry_ms = 1500;
+  boot(config);
+  sim.schedule_at(2000, [this] {
+    transport.set_partitioned(core::client_endpoint(0), true);
+  });
+  sim.schedule_at(7000, [this] {
+    transport.set_partitioned(core::client_endpoint(0), false);
+  });
+  sim.run_until(12000);
+
+  const obs::RegistrySnapshot scrape =
+      obs::MetricRegistry::global().snapshot();
+  const std::vector<obs::TraceTree> traces = obs::assemble_traces(scrape);
+  const obs::TraceTree* trace = offload_trace(traces);
+  ASSERT_NE(trace, nullptr);
+
+  // The retry re-sent the same request_id with the same trace, so the
+  // recovered ACK repaired the original chain — no second trace appeared.
+  const obs::SpanRecord* request = trace->find("offload_request");
+  const obs::SpanRecord* ack = trace->find("offload_ack");
+  ASSERT_NE(request, nullptr);
+  ASSERT_NE(ack, nullptr);
+  EXPECT_EQ(ack->parent_span_id, request->span_id);
+  EXPECT_EQ(trace->chain().substr(0, 38),
+            "stat>solve>offload_request>offload_ack");
+
+  // Flight recorder: the drop, then the retransmit, on the same trace.
+  bool saw_drop = false;
+  bool saw_retransmit = false;
+  for (const obs::FlightEvent& event :
+       obs::FlightRecorder::global().snapshot()) {
+    if (event.kind == obs::FlightEventKind::kMessageDrop &&
+        event.trace_id == trace->trace_id)
+      saw_drop = true;
+    if (event.kind == obs::FlightEventKind::kRetransmit &&
+        event.trace_id == trace->trace_id)
+      saw_retransmit = true;
+  }
+  EXPECT_TRUE(saw_drop);
+  EXPECT_TRUE(saw_retransmit);
+
+  // And the relationship itself converged.
+  bool acknowledged = false;
+  for (const core::ActiveOffload& offload : manager->active_offloads())
+    if (offload.acknowledged) acknowledged = true;
+  EXPECT_TRUE(acknowledged);
+}
+
+}  // namespace
+}  // namespace dust

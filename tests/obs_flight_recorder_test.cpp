@@ -1,0 +1,112 @@
+// Flight recorder ring (obs/flight_recorder.hpp): ordering, wrap-around,
+// detail truncation, disabled gating, and the text timeline rendering.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "obs/flight_recorder.hpp"
+#include "obs/metrics.hpp"
+
+namespace dust::obs {
+namespace {
+
+struct FlightRecorderTest : ::testing::Test {
+  void SetUp() override { set_enabled(true); }
+};
+
+TEST_F(FlightRecorderTest, RecordsEventsInOrderWithPayload) {
+  FlightRecorder recorder(16);
+  recorder.record(FlightEventKind::kCycleStart, 1000, 0, FlightEvent::kNoNode,
+                  FlightEvent::kNoNode, 3.0, "cycle");
+  recorder.record(FlightEventKind::kOffloadCreated, 1001, 77, 0, 5, 12.5,
+                  "0>5");
+  recorder.record(FlightEventKind::kCycleEnd, 1002, 0, FlightEvent::kNoNode,
+                  FlightEvent::kNoNode, 1.0, "");
+
+  const std::vector<FlightEvent> events = recorder.snapshot();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].kind, FlightEventKind::kCycleStart);
+  EXPECT_EQ(events[0].seq, 0u);
+  EXPECT_EQ(events[1].kind, FlightEventKind::kOffloadCreated);
+  EXPECT_EQ(events[1].sim_ms, 1001);
+  EXPECT_EQ(events[1].trace_id, 77u);
+  EXPECT_EQ(events[1].node, 0);
+  EXPECT_EQ(events[1].peer, 5);
+  EXPECT_DOUBLE_EQ(events[1].value, 12.5);
+  EXPECT_STREQ(events[1].detail, "0>5");
+  EXPECT_EQ(events[2].seq, 2u);
+  EXPECT_EQ(recorder.recorded(), 3u);
+}
+
+TEST_F(FlightRecorderTest, RingKeepsOnlyTheNewestCapacityEvents) {
+  FlightRecorder recorder(4);
+  for (int i = 0; i < 10; ++i)
+    recorder.record(FlightEventKind::kCustom, i, std::to_string(i));
+  EXPECT_EQ(recorder.recorded(), 10u);  // total ever, not just retained
+
+  const std::vector<FlightEvent> events = recorder.snapshot();
+  ASSERT_EQ(events.size(), 4u);
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].seq, 6u + i);  // oldest surviving first
+    EXPECT_STREQ(events[i].detail, std::to_string(6 + i).c_str());
+  }
+}
+
+TEST_F(FlightRecorderTest, TailReturnsTheMostRecentN) {
+  FlightRecorder recorder(16);
+  for (int i = 0; i < 8; ++i)
+    recorder.record(FlightEventKind::kCustom, i, "");
+  const std::vector<FlightEvent> last3 = recorder.tail(3);
+  ASSERT_EQ(last3.size(), 3u);
+  EXPECT_EQ(last3.front().seq, 5u);
+  EXPECT_EQ(last3.back().seq, 7u);
+  EXPECT_EQ(recorder.tail(100).size(), 8u);  // n > held: everything
+}
+
+TEST_F(FlightRecorderTest, DetailTruncatesAtCapacityWithNulTerminator) {
+  FlightRecorder recorder(4);
+  const std::string longer(100, 'x');
+  recorder.record(FlightEventKind::kCustom, 0, longer);
+  const std::vector<FlightEvent> events = recorder.snapshot();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(std::string(events[0].detail),
+            std::string(FlightEvent::kDetailCapacity - 1, 'x'));
+}
+
+TEST_F(FlightRecorderTest, ClearEmptiesRingAndRestartsSequence) {
+  FlightRecorder recorder(8);
+  recorder.record(FlightEventKind::kCustom, 0, "a");
+  recorder.clear();
+  EXPECT_TRUE(recorder.snapshot().empty());
+  EXPECT_EQ(recorder.recorded(), 0u);
+  recorder.record(FlightEventKind::kCustom, 1, "b");
+  ASSERT_EQ(recorder.snapshot().size(), 1u);
+  EXPECT_EQ(recorder.snapshot().front().seq, 0u);
+}
+
+TEST_F(FlightRecorderTest, DisabledInstrumentationIsANoOp) {
+  FlightRecorder recorder(8);
+  set_enabled(false);
+  recorder.record(FlightEventKind::kCustom, 0, "dropped");
+  set_enabled(true);
+  EXPECT_TRUE(recorder.snapshot().empty());
+  EXPECT_EQ(recorder.recorded(), 0u);
+}
+
+TEST_F(FlightRecorderTest, TextTimelineRendersOneLinePerEvent) {
+  FlightRecorder recorder(8);
+  recorder.record(FlightEventKind::kMessageDrop, 2500, 9, 3, -1, 0.0,
+                  "loss: stat c3>M");
+  recorder.record(FlightEventKind::kAlert, 3000, 0, FlightEvent::kNoNode,
+                  FlightEvent::kNoNode, 42.0, "hfr-spike");
+  const std::string text = flight_text(recorder.snapshot());
+  EXPECT_NE(text.find("#0 t=2500ms msg_drop [loss: stat c3>M] node=3"),
+            std::string::npos);
+  EXPECT_NE(text.find("trace=9"), std::string::npos);
+  EXPECT_NE(text.find("#1 t=3000ms alert [hfr-spike] value=42"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace dust::obs

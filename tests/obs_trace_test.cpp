@@ -1,0 +1,206 @@
+// Causal tracing primitives (obs/trace.hpp, obs/span.hpp) and the trace
+// reassembly / Perfetto exporters built on them (obs/export.hpp).
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
+#include "obs/trace.hpp"
+
+namespace dust::obs {
+namespace {
+
+struct TraceIds : ::testing::Test {
+  void SetUp() override {
+    set_enabled(true);
+    reset_trace_ids();
+  }
+};
+
+TEST_F(TraceIds, NewTraceIsItsOwnRoot) {
+  const TraceContext root = new_trace();
+  EXPECT_TRUE(root.valid());
+  EXPECT_NE(root.trace_id, 0u);
+  EXPECT_EQ(root.trace_id, root.span_id);  // a root names its own trace
+}
+
+TEST_F(TraceIds, ChildInheritsTraceWithFreshSpan) {
+  const TraceContext root = new_trace();
+  const TraceContext child = child_of(root);
+  EXPECT_EQ(child.trace_id, root.trace_id);
+  EXPECT_NE(child.span_id, root.span_id);
+  const TraceContext grandchild = child_of(child);
+  EXPECT_EQ(grandchild.trace_id, root.trace_id);
+  EXPECT_NE(grandchild.span_id, child.span_id);
+}
+
+TEST_F(TraceIds, ChildOfInvalidRootsANewTrace) {
+  const TraceContext orphan = child_of(TraceContext{});
+  EXPECT_TRUE(orphan.valid());
+  EXPECT_EQ(orphan.trace_id, orphan.span_id);
+}
+
+TEST_F(TraceIds, IdsAreUniqueAndDeterministicAfterReset) {
+  const std::uint64_t a = next_span_id();
+  const std::uint64_t b = next_span_id();
+  EXPECT_NE(a, 0u);
+  EXPECT_NE(a, b);
+  reset_trace_ids();
+  EXPECT_EQ(next_span_id(), a);  // same allocation order after reset
+}
+
+struct TracedSpans : ::testing::Test {
+  MetricRegistry registry;
+  void SetUp() override {
+    set_enabled(true);
+    reset_trace_ids();
+  }
+};
+
+TEST_F(TracedSpans, SpanWithOptionsRecordsIdentityAndTrack) {
+  TraceContext ctx;
+  {
+    Span span(registry, "cycle", [] { return std::int64_t{42}; },
+              SpanOptions{{}, "manager"});
+    ctx = span.context();
+    EXPECT_TRUE(ctx.valid());
+  }
+  const RegistrySnapshot scrape = registry.snapshot();
+  ASSERT_EQ(scrape.spans.size(), 1u);
+  const SpanRecord& record = scrape.spans.front();
+  EXPECT_EQ(record.name, "cycle");
+  EXPECT_EQ(record.track, "manager");
+  EXPECT_EQ(record.trace_id, ctx.trace_id);
+  EXPECT_EQ(record.span_id, ctx.span_id);
+  EXPECT_EQ(record.parent_span_id, 0u);  // rooted a new trace
+  EXPECT_EQ(record.sim_start_ms, 42);
+  EXPECT_GE(record.wall_start_ms, 0.0);
+}
+
+TEST_F(TracedSpans, UntracedSpanCarriesNoIdentity) {
+  {
+    Span span(registry, "legacy");
+    EXPECT_FALSE(span.context().valid());
+  }
+  const RegistrySnapshot scrape = registry.snapshot();
+  ASSERT_EQ(scrape.spans.size(), 1u);
+  EXPECT_EQ(scrape.spans.front().trace_id, 0u);
+  EXPECT_EQ(scrape.spans.front().span_id, 0u);
+}
+
+TEST_F(TracedSpans, RecordInstantChainsParentToChild) {
+  const TraceContext root =
+      record_instant(registry, "stat", "client-0", TraceContext{}, 1000);
+  const TraceContext child =
+      record_instant(registry, "solve", "manager", root, 2000);
+  EXPECT_EQ(child.trace_id, root.trace_id);
+
+  const RegistrySnapshot scrape = registry.snapshot();
+  ASSERT_EQ(scrape.spans.size(), 2u);
+  const SpanRecord& stat = scrape.spans[0];
+  const SpanRecord& solve = scrape.spans[1];
+  EXPECT_EQ(stat.name, "stat");
+  EXPECT_EQ(stat.sim_start_ms, 1000);
+  EXPECT_EQ(stat.sim_duration_ms, 0);  // instants are points, not scopes
+  EXPECT_EQ(stat.parent_span_id, 0u);
+  EXPECT_EQ(solve.parent_span_id, stat.span_id);
+  EXPECT_EQ(solve.trace_id, stat.trace_id);
+  // Instants observe no histograms: zero durations carry no latency info.
+  EXPECT_EQ(scrape.histograms.size(), 0u);
+}
+
+TEST_F(TracedSpans, DisabledInstrumentationRecordsNoSpans) {
+  set_enabled(false);
+  const TraceContext ctx =
+      record_instant(registry, "stat", "client-0", TraceContext{}, 1000);
+  EXPECT_FALSE(ctx.valid());
+  {
+    Span span(registry, "cycle", VirtualClock{}, SpanOptions{{}, "manager"});
+    EXPECT_FALSE(span.context().valid());
+  }
+  set_enabled(true);
+  EXPECT_TRUE(registry.snapshot().spans.empty());
+}
+
+struct TraceAssembly : ::testing::Test {
+  MetricRegistry registry;
+  void SetUp() override {
+    set_enabled(true);
+    reset_trace_ids();
+  }
+  /// Record the canonical offload chain as instants; returns the root.
+  TraceContext record_offload_chain() {
+    TraceContext ctx =
+        record_instant(registry, "stat", "client-0", TraceContext{}, 0);
+    const TraceContext root = ctx;
+    ctx = record_instant(registry, "solve", "manager", ctx, 10);
+    ctx = record_instant(registry, "offload_request", "manager", ctx, 10);
+    ctx = record_instant(registry, "offload_ack", "client-0", ctx, 12);
+    (void)record_instant(registry, "rep", "manager", ctx, 30);
+    return root;
+  }
+};
+
+TEST_F(TraceAssembly, GroupsSpansByTraceAndRendersTheChain) {
+  const TraceContext first = record_offload_chain();
+  const TraceContext second = record_offload_chain();
+  // An untraced span must not join any tree.
+  registry.record_span(SpanRecord{"noise", 1.0, 5, 0, "", -1.0, 0, 0, 0});
+
+  const std::vector<TraceTree> traces =
+      assemble_traces(registry.snapshot());
+  ASSERT_EQ(traces.size(), 2u);
+  EXPECT_EQ(traces[0].trace_id, first.trace_id);
+  EXPECT_EQ(traces[1].trace_id, second.trace_id);
+  for (const TraceTree& trace : traces) {
+    ASSERT_EQ(trace.spans.size(), 5u);
+    EXPECT_EQ(trace.chain(), "stat>solve>offload_request>offload_ack>rep");
+    ASSERT_NE(trace.find("offload_ack"), nullptr);
+    EXPECT_EQ(trace.find("missing"), nullptr);
+  }
+}
+
+TEST_F(TraceAssembly, TopoOrderHoldsEvenWhenChildrenRecordFirst) {
+  // Manually record child before parent (out of order in the ring).
+  const TraceContext root = new_trace();
+  const TraceContext child = child_of(root);
+  registry.record_span(SpanRecord{"child", 0.0, 20, 0, "t", -1.0,
+                                  child.trace_id, child.span_id,
+                                  root.span_id});
+  registry.record_span(SpanRecord{"root", 0.0, 10, 0, "t", -1.0,
+                                  root.trace_id, root.span_id, 0});
+  const std::vector<TraceTree> traces =
+      assemble_traces(registry.snapshot());
+  ASSERT_EQ(traces.size(), 1u);
+  ASSERT_EQ(traces[0].spans.size(), 2u);
+  EXPECT_EQ(traces[0].spans[0].name, "root");
+  EXPECT_EQ(traces[0].spans[1].name, "child");
+  EXPECT_EQ(traces[0].chain(), "root>child");
+}
+
+TEST_F(TraceAssembly, PerfettoExportCarriesTracksEventsAndFlows) {
+  (void)record_offload_chain();
+  std::ostringstream os;
+  write_perfetto(registry.snapshot(), os);
+  const std::string json = os.str();
+
+  // Envelope + per-track process metadata.
+  EXPECT_NE(json.find("\"displayTimeUnit\":\"ms\""), std::string::npos);
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"client-0\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"manager\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"sim-time\""), std::string::npos);
+  // Complete events for the chain hops, with causal args.
+  EXPECT_NE(json.find("\"ph\":\"X\",\"name\":\"offload_request\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"parent_span_id\""), std::string::npos);
+  // Flow arrows: the chain has parented spans, so both ends must appear.
+  EXPECT_NE(json.find("\"ph\":\"s\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"f\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dust::obs

@@ -1,0 +1,173 @@
+// Health watchdog rules (obs/watchdog.hpp) against a local registry with
+// hand-fed metrics: each rule in isolation, baseline behaviour, priming,
+// and the alert side-channels (counters + flight recorder).
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "obs/flight_recorder.hpp"
+#include "obs/metrics.hpp"
+#include "obs/watchdog.hpp"
+
+namespace dust::obs {
+namespace {
+
+struct WatchdogTest : ::testing::Test {
+  MetricRegistry registry;
+  void SetUp() override { set_enabled(true); }
+
+  WatchdogConfig tight() {
+    WatchdogConfig config;
+    config.latency_regression_factor = 2.0;
+    config.min_latency_samples = 3;
+    config.hfr_spike_percent = 50.0;
+    config.staleness_limit_ms = 1000.0;
+    return config;
+  }
+
+  void observe_solves(double ms, int n) {
+    Histogram& hist = registry.histogram("dust_core_placement_solve_ms");
+    for (int i = 0; i < n; ++i) hist.observe(ms);
+  }
+};
+
+TEST_F(WatchdogTest, FirstEvaluationOnlyPrimesTheWindows) {
+  Watchdog dog(registry, tight());
+  observe_solves(1000.0, 5);
+  registry.gauge("dust_core_hfr_percent").set(99.0);
+  EXPECT_TRUE(dog.evaluate().empty());  // priming, never alerts
+  EXPECT_EQ(dog.alerts_raised(), 0u);
+}
+
+TEST_F(WatchdogTest, LatencyRegressionFiresAgainstRollingBaseline) {
+  Watchdog dog(registry, tight());
+  (void)dog.evaluate();  // prime
+
+  // Healthy window seeds the baseline near 10 ms.
+  observe_solves(10.0, 4);
+  EXPECT_TRUE(dog.evaluate().empty());
+  EXPECT_NEAR(dog.latency_baseline_ms(), 10.0, 1e-9);
+
+  // 5x regression: fires, and must NOT drag the baseline up.
+  observe_solves(50.0, 4);
+  std::vector<Alert> alerts = dog.evaluate(7000);
+  ASSERT_EQ(alerts.size(), 1u);
+  EXPECT_EQ(alerts[0].rule, "placement-latency-regression");
+  EXPECT_NEAR(alerts[0].value, 50.0, 1e-9);
+  EXPECT_EQ(alerts[0].sim_ms, 7000);
+  EXPECT_NEAR(dog.latency_baseline_ms(), 10.0, 1e-9);
+
+  // Back to healthy: no alert, baseline moves by the EWMA only.
+  observe_solves(12.0, 4);
+  EXPECT_TRUE(dog.evaluate().empty());
+  EXPECT_GT(dog.latency_baseline_ms(), 10.0);
+  EXPECT_LT(dog.latency_baseline_ms(), 12.0);
+}
+
+TEST_F(WatchdogTest, SparseWindowsNeitherAlertNorMoveTheBaseline) {
+  Watchdog dog(registry, tight());
+  (void)dog.evaluate();  // prime
+  observe_solves(10.0, 4);
+  (void)dog.evaluate();  // baseline = 10
+  observe_solves(500.0, 2);  // below min_latency_samples = 3
+  EXPECT_TRUE(dog.evaluate().empty());
+  EXPECT_NEAR(dog.latency_baseline_ms(), 10.0, 1e-9);
+}
+
+TEST_F(WatchdogTest, HfrSpikeReadsTheHeuristicFailureGauge) {
+  Watchdog dog(registry, tight());
+  registry.gauge("dust_core_hfr_percent").set(30.0);
+  (void)dog.evaluate();  // prime
+  EXPECT_TRUE(dog.evaluate().empty());  // 30% is under the 50% threshold
+
+  registry.gauge("dust_core_hfr_percent").set(75.0);
+  std::vector<Alert> alerts = dog.evaluate();
+  ASSERT_EQ(alerts.size(), 1u);
+  EXPECT_EQ(alerts[0].rule, "hfr-spike");
+  EXPECT_NEAR(alerts[0].value, 75.0, 1e-9);
+}
+
+TEST_F(WatchdogTest, NmdbStalenessFiresOnWindowMeanAboveLimit) {
+  Watchdog dog(registry, tight());
+  (void)dog.evaluate();  // prime
+  registry.histogram("dust_core_nmdb_staleness_ms").observe(500.0);
+  EXPECT_TRUE(dog.evaluate().empty());
+
+  registry.histogram("dust_core_nmdb_staleness_ms").observe(90000.0);
+  std::vector<Alert> alerts = dog.evaluate();
+  ASSERT_EQ(alerts.size(), 1u);
+  EXPECT_EQ(alerts[0].rule, "nmdb-staleness");
+  // Window mean, not lifetime mean: only the new observation counts.
+  EXPECT_NEAR(alerts[0].value, 90000.0, 1e-9);
+}
+
+TEST_F(WatchdogTest, ReplicaSubstitutionShortfallFires) {
+  Watchdog dog(registry, tight());
+  (void)dog.evaluate();  // prime
+
+  // Two dead destinations, both re-homed: balanced, no alert.
+  registry.counter("dust_core_keepalive_failures_total").inc(2);
+  registry.counter("dust_core_tx_rep_total").inc(2);
+  EXPECT_TRUE(dog.evaluate().empty());
+
+  // Three failures, one REP: two dead destinations were never re-homed.
+  registry.counter("dust_core_keepalive_failures_total").inc(3);
+  registry.counter("dust_core_tx_rep_total").inc(1);
+  std::vector<Alert> alerts = dog.evaluate();
+  ASSERT_EQ(alerts.size(), 1u);
+  EXPECT_EQ(alerts[0].rule, "replica-substitution");
+  EXPECT_NEAR(alerts[0].value, 2.0, 1e-9);  // the shortfall
+}
+
+TEST_F(WatchdogTest, AlertsLandOnCountersAndTheFlightRecorder) {
+  FlightRecorder::global().clear();
+  Watchdog dog(registry, tight());
+  (void)dog.evaluate();  // prime
+  registry.gauge("dust_core_hfr_percent").set(75.0);
+  (void)dog.evaluate(12345);
+
+  EXPECT_EQ(dog.alerts_raised(), 1u);
+  const RegistrySnapshot scrape = registry.snapshot();
+  const CounterSnapshot* total = scrape.find_counter("dust_obs_alerts_total");
+  ASSERT_NE(total, nullptr);
+  EXPECT_EQ(total->value, 1u);
+  const CounterSnapshot* by_rule =
+      scrape.find_counter("dust_obs_alert_hfr-spike_total");
+  ASSERT_NE(by_rule, nullptr);
+  EXPECT_EQ(by_rule->value, 1u);
+
+  bool saw_alert_event = false;
+  for (const FlightEvent& event : FlightRecorder::global().snapshot())
+    if (event.kind == FlightEventKind::kAlert &&
+        std::string(event.detail) == "hfr-spike" && event.sim_ms == 12345)
+      saw_alert_event = true;
+  EXPECT_TRUE(saw_alert_event);
+}
+
+TEST_F(WatchdogTest, RegistryResetResyncsInsteadOfMisfiring) {
+  Watchdog dog(registry, tight());
+  (void)dog.evaluate();  // prime
+  observe_solves(10.0, 4);
+  registry.counter("dust_core_keepalive_failures_total").inc(5);
+  registry.counter("dust_core_tx_rep_total").inc(5);
+  (void)dog.evaluate();
+
+  registry.reset();  // counters rewind below the cursors
+  EXPECT_TRUE(dog.evaluate().empty());
+  registry.counter("dust_core_keepalive_failures_total").inc(1);
+  registry.counter("dust_core_tx_rep_total").inc(1);
+  EXPECT_TRUE(dog.evaluate().empty());  // balanced window after resync
+}
+
+TEST_F(WatchdogTest, DisabledObservabilitySkipsEvaluation) {
+  Watchdog dog(registry, tight());
+  (void)dog.evaluate();  // prime
+  registry.gauge("dust_core_hfr_percent").set(99.0);
+  set_enabled(false);
+  EXPECT_TRUE(dog.evaluate().empty());
+  set_enabled(true);
+}
+
+}  // namespace
+}  // namespace dust::obs
