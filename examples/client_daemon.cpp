@@ -1,0 +1,132 @@
+// DUST-Clients as an OS process (DESIGN.md §11).
+//
+// Hosts one DustClient per node listed in --nodes, all sharing a single
+// wire::SocketTransport leaf connected to the manager daemon's hub. Each
+// client reports the load its node has in the scenario file (constant, like
+// the protocol tests' scripted state), so a fleet of daemons reproduces the
+// exact NMDB an in-process run of the same scenario would build.
+//
+//   ./build/examples/client_daemon --port N --nodes 0,1,2
+//       [--scenario FILE] [--run-ms MS] [--die-at-ms MS]
+//
+// --die-at-ms exits the process abruptly (no teardown, sockets reset by the
+// OS) to simulate a node crash: the manager sees keepalive loss and must
+// substitute a replica destination.
+#include <chrono>
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/client.hpp"
+#include "core/scenario.hpp"
+#include "util/log.hpp"
+#include "util/rng.hpp"
+#include "wire/demo_scenario.hpp"
+#include "wire/socket_transport.hpp"
+
+namespace {
+
+std::vector<dust::graph::NodeId> parse_nodes(const std::string& list) {
+  std::vector<dust::graph::NodeId> nodes;
+  std::size_t pos = 0;
+  while (pos < list.size()) {
+    std::size_t end = list.find(',', pos);
+    if (end == std::string::npos) end = list.size();
+    nodes.push_back(static_cast<dust::graph::NodeId>(
+        std::stoul(list.substr(pos, end - pos))));
+    pos = end + 1;
+  }
+  return nodes;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace dust;
+  util::init_log_level_from_env();
+  std::uint16_t port = 0;
+  std::string scenario_file;
+  std::vector<graph::NodeId> nodes;
+  std::int64_t run_ms = 10000;
+  std::int64_t die_at_ms = -1;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--port" && i + 1 < argc) {
+      port = static_cast<std::uint16_t>(std::stoul(argv[++i]));
+    } else if (arg == "--nodes" && i + 1 < argc) {
+      nodes = parse_nodes(argv[++i]);
+    } else if (arg == "--scenario" && i + 1 < argc) {
+      scenario_file = argv[++i];
+    } else if (arg == "--run-ms" && i + 1 < argc) {
+      run_ms = std::stoll(argv[++i]);
+    } else if (arg == "--die-at-ms" && i + 1 < argc) {
+      die_at_ms = std::stoll(argv[++i]);
+    } else {
+      std::cerr << "usage: " << argv[0]
+                << " --port N --nodes 0,1,2 [--scenario FILE]"
+                   " [--run-ms MS] [--die-at-ms MS]\n";
+      return 2;
+    }
+  }
+  if (port == 0 || nodes.empty()) {
+    std::cerr << "client_daemon: --port and --nodes are required\n";
+    return 2;
+  }
+
+  core::Nmdb nmdb = [&] {
+    if (scenario_file.empty()) return wire::demo_nmdb();
+    std::ifstream file(scenario_file);
+    if (!file) {
+      std::cerr << "cannot open " << scenario_file << "\n";
+      std::exit(2);
+    }
+    return core::load_scenario(file);
+  }();
+
+  sim::Simulator sim;
+  wire::SocketTransportConfig wire_config;
+  wire_config.role = wire::SocketTransportConfig::Role::kLeaf;
+  wire_config.port = port;
+  wire_config.now = [&sim] { return sim.now(); };
+  wire::SocketTransport transport(wire_config);
+
+  std::vector<std::unique_ptr<core::DustClient>> clients;
+  for (const graph::NodeId node : nodes) {
+    if (node >= nmdb.node_count()) {
+      std::cerr << "client_daemon: node " << node << " not in scenario\n";
+      return 2;
+    }
+    core::ClientConfig config;
+    config.offload_capable = nmdb.offload_capable(node);
+    config.platform_factor = nmdb.platform_factor(node);
+    config.keepalive_interval_ms = 300;
+    clients.push_back(std::make_unique<core::DustClient>(
+        sim, transport, node, config, util::Rng(100 + node)));
+    clients.back()->set_reported_state(
+        nmdb.network().node_utilization(node),
+        nmdb.network().monitoring_data_mb(node),
+        std::max<std::uint32_t>(1, nmdb.agent_count(node)));
+    clients.back()->start();
+  }
+
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto wall_ms = [&t0] {
+    return std::chrono::duration_cast<std::chrono::milliseconds>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
+  };
+  while (wall_ms() < run_ms) {
+    if (die_at_ms >= 0 && wall_ms() >= die_at_ms) {
+      // Crash, don't shut down: skip every destructor so the kernel resets
+      // the connection mid-protocol, exactly like a dying device.
+      std::_Exit(7);
+    }
+    transport.poll_once(5);
+    sim.run_until(wall_ms());
+  }
+  return 0;
+}

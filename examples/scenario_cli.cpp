@@ -8,9 +8,13 @@
 //
 // Scenario format: see src/core/scenario.hpp. Trace format (CSV
 // "<time_ms>,<node>,<utilization>[,<data_mb>]"): see src/core/replay.hpp.
-// --trace-out runs the scenario live over the simulated transport (manager,
-// one DUST-Client per node) and writes the reconstructed causal span trees
-// as Perfetto/Chrome trace-event JSON (open in ui.perfetto.dev).
+// --trace-out runs the scenario live (manager, one DUST-Client per node) and
+// writes the reconstructed causal span trees as Perfetto/Chrome trace-event
+// JSON (open in ui.perfetto.dev). --transport picks the live run's plumbing:
+// "sim" (default) is the in-memory bus; "socket" pushes every message
+// through the wire codec and real loopback TCP (manager on a
+// wire::SocketTransport hub, all clients on a leaf) — same protocol run,
+// bytes actually framed and reassembled.
 #include <algorithm>
 #include <fstream>
 #include <iostream>
@@ -31,6 +35,7 @@
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "util/table.hpp"
+#include "wire/socket_transport.hpp"
 
 namespace {
 
@@ -70,11 +75,13 @@ int main(int argc, char** argv) {
   if (argc < 2) {
     std::cerr << "usage: " << argv[0]
               << " <scenario-file>|--demo [max_hops] [--dot]"
-                 " [--trace <csv>] [--trace-out <json>]\n";
+                 " [--trace <csv>] [--trace-out <json>]"
+                 " [--transport=sim|socket]\n";
     return 2;
   }
   std::uint32_t max_hops = 0;
   bool dot = false;
+  bool socket_transport = false;
   std::string trace_file;
   std::string trace_out_file;
   for (int i = 2; i < argc; ++i) {
@@ -85,6 +92,14 @@ int main(int argc, char** argv) {
       trace_file = argv[++i];
     } else if (arg == "--trace-out" && i + 1 < argc) {
       trace_out_file = argv[++i];
+    } else if (arg.rfind("--transport=", 0) == 0) {
+      const std::string which = arg.substr(12);
+      if (which == "socket") {
+        socket_transport = true;
+      } else if (which != "sim") {
+        std::cerr << "unknown transport '" << which << "' (sim|socket)\n";
+        return 2;
+      }
     } else {
       max_hops = static_cast<std::uint32_t>(std::stoul(arg));
     }
@@ -120,13 +135,35 @@ int main(int argc, char** argv) {
     obs::reset_trace_ids();
 
     sim::Simulator sim;
-    sim::Transport transport(sim, util::Rng(7));
+    sim::Transport sim_transport(sim, util::Rng(7));
+    // --transport=socket: manager on a loopback hub, every client on one
+    // leaf. Same protocol objects, but each hop is codec-framed and crosses
+    // real TCP.
+    std::unique_ptr<wire::SocketTransport> hub;
+    std::unique_ptr<wire::SocketTransport> leaf;
+    if (socket_transport) {
+      wire::SocketTransportConfig hub_config;
+      hub_config.role = wire::SocketTransportConfig::Role::kHub;
+      hub_config.now = [&sim] { return sim.now(); };
+      hub = std::make_unique<wire::SocketTransport>(hub_config);
+      wire::SocketTransportConfig leaf_config;
+      leaf_config.role = wire::SocketTransportConfig::Role::kLeaf;
+      leaf_config.port = hub->listen_port();
+      leaf_config.now = [&sim] { return sim.now(); };
+      leaf = std::make_unique<wire::SocketTransport>(leaf_config);
+    }
+    sim::TransportBase& manager_transport =
+        socket_transport ? static_cast<sim::TransportBase&>(*hub)
+                         : sim_transport;
+    sim::TransportBase& client_transport =
+        socket_transport ? static_cast<sim::TransportBase&>(*leaf)
+                         : sim_transport;
     core::ManagerConfig config;
     config.update_interval_ms = 1000;
     config.placement_period_ms = 5000;
     config.keepalive_timeout_ms = 4000;
     config.keepalive_check_period_ms = 1000;
-    core::DustManager manager(sim, transport, nmdb, config);
+    core::DustManager manager(sim, manager_transport, nmdb, config);
     std::vector<std::unique_ptr<core::DustClient>> clients;
     for (graph::NodeId v = 0; v < nmdb.node_count(); ++v) {
       core::ClientConfig client_config;
@@ -134,7 +171,7 @@ int main(int argc, char** argv) {
       client_config.keepalive_interval_ms = 1000;
       client_config.platform_factor = nmdb.platform_factor(v);
       clients.push_back(std::make_unique<core::DustClient>(
-          sim, transport, v, client_config, util::Rng(100 + v)));
+          sim, client_transport, v, client_config, util::Rng(100 + v)));
       clients.back()->set_reported_state(
           nmdb.network().node_utilization(v),
           nmdb.network().monitoring_data_mb(v),
@@ -142,7 +179,17 @@ int main(int argc, char** argv) {
     }
     for (auto& client : clients) client->start();
     manager.start();
-    sim.run_until(30000);  // handshakes + several placement cycles
+    if (socket_transport) {
+      // Step virtual time, draining both socket loops to quiescence between
+      // steps — handshakes + several placement cycles, byte-exact framing.
+      for (sim::TimeMs t = 0; t <= 30000; t += 50) {
+        sim.run_until(t);
+        while (hub->poll_once(1) + leaf->poll_once(1) > 0) {
+        }
+      }
+    } else {
+      sim.run_until(30000);  // handshakes + several placement cycles
+    }
 
     std::ofstream out(trace_out_file);
     if (!out) {

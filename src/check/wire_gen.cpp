@@ -1,0 +1,131 @@
+#include "check/wire_gen.hpp"
+
+#include <bit>
+#include <string>
+#include <vector>
+
+namespace dust::check {
+
+namespace {
+
+/// Any bit pattern, NaNs and infinities included: the codec must round-trip
+/// doubles as raw bits, not as values.
+double random_double(util::Rng& rng) {
+  switch (rng.below(4)) {
+    case 0: return std::bit_cast<double>(rng());
+    case 1: return rng.uniform(-1e6, 1e6);
+    case 2: return 0.0;
+    default: return rng.uniform(0.0, 100.0);
+  }
+}
+
+std::string random_string(util::Rng& rng, std::size_t max_len = 24) {
+  const std::size_t len = rng.below(max_len + 1);
+  std::string out;
+  out.reserve(len);
+  for (std::size_t i = 0; i < len; ++i)
+    out.push_back(static_cast<char>(rng.range(0, 255)));
+  return out;
+}
+
+graph::NodeId random_node(util::Rng& rng) {
+  return rng.bernoulli(0.05) ? graph::kInvalidNode
+                             : static_cast<graph::NodeId>(rng.below(1 << 20));
+}
+
+obs::TraceContext random_trace(util::Rng& rng) {
+  return obs::TraceContext{rng(), rng()};
+}
+
+std::vector<graph::NodeId> random_route(util::Rng& rng) {
+  std::vector<graph::NodeId> route(rng.below(9));
+  for (graph::NodeId& hop : route) hop = random_node(rng);
+  return route;
+}
+
+telemetry::MonitorAgent random_agent(util::Rng& rng) {
+  telemetry::AgentCostModel cost;
+  cost.cpu_base_ms = random_double(rng);
+  cost.cpu_per_gbps_ms = random_double(rng);
+  cost.burst_probability = random_double(rng);
+  cost.burst_multiplier = random_double(rng);
+  cost.memory_base_mib = random_double(rng);
+  return telemetry::MonitorAgent(random_string(rng), cost,
+                                 rng.range(1, 1000000));
+}
+
+telemetry::DeviceSnapshot random_snapshot(util::Rng& rng) {
+  telemetry::DeviceSnapshot snapshot;
+  snapshot.timestamp_ms = static_cast<std::int64_t>(rng());
+  snapshot.device_cpu_percent = random_double(rng);
+  snapshot.memory_used_mib = random_double(rng);
+  snapshot.rx_mbps = random_double(rng);
+  snapshot.tx_mbps = random_double(rng);
+  snapshot.temperature_c = random_double(rng);
+  snapshot.links_up = static_cast<std::uint32_t>(rng());
+  snapshot.links_total = static_cast<std::uint32_t>(rng());
+  snapshot.protocol_flaps = static_cast<std::uint32_t>(rng());
+  snapshot.faults = static_cast<std::uint32_t>(rng());
+  return snapshot;
+}
+
+}  // namespace
+
+core::Message random_message(util::Rng& rng, std::size_t type_index) {
+  switch (type_index % 10) {
+    case 0:
+      return core::OffloadCapableMsg{random_node(rng), rng.bernoulli(0.8),
+                                     random_double(rng)};
+    case 1:
+      return core::AckMsg{random_node(rng),
+                          static_cast<std::int64_t>(rng())};
+    case 2:
+      return core::StatMsg{random_node(rng), random_double(rng),
+                           random_double(rng),
+                           static_cast<std::uint32_t>(rng()),
+                           random_trace(rng)};
+    case 3:
+      return core::OffloadRequestMsg{
+          rng(), random_node(rng), random_node(rng), random_double(rng),
+          static_cast<std::uint32_t>(rng()), random_route(rng),
+          random_trace(rng)};
+    case 4:
+      return core::OffloadAckMsg{rng(), random_node(rng), rng.bernoulli(0.9),
+                                 random_trace(rng)};
+    case 5: {
+      std::vector<telemetry::MonitorAgent> agents;
+      const std::size_t count = rng.below(4);
+      agents.reserve(count);
+      for (std::size_t i = 0; i < count; ++i)
+        agents.push_back(random_agent(rng));
+      return core::AgentTransferMsg{rng(), random_node(rng),
+                                    std::move(agents), random_trace(rng)};
+    }
+    case 6:
+      return core::TelemetryDataMsg{random_node(rng), random_snapshot(rng)};
+    case 7:
+      return core::KeepaliveMsg{random_node(rng), rng()};
+    case 8:
+      return core::RepMsg{random_node(rng), random_node(rng),
+                          random_node(rng), rng(),   random_double(rng),
+                          random_trace(rng)};
+    default:
+      return core::ReleaseMsg{random_node(rng), random_node(rng)};
+  }
+}
+
+wire::Frame random_frame(util::Rng& rng) {
+  if (rng.bernoulli(0.1)) {
+    std::vector<std::string> endpoints(rng.below(6));
+    for (std::string& name : endpoints) name = random_string(rng);
+    return wire::announce_frame(std::move(endpoints));
+  }
+  core::Message message = random_message(rng, rng.below(10));
+  const sim::Priority priority =
+      rng.bernoulli(0.5) ? sim::Priority::kLow : sim::Priority::kNormal;
+  return wire::message_frame(random_string(rng), random_string(rng),
+                             std::move(message), priority, random_string(rng),
+                             rng());
+}
+
+}  // namespace dust::check

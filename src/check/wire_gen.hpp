@@ -1,0 +1,23 @@
+// Random protocol frames for the wire-codec property tests: every
+// core::Message alternative (and the transport's kAnnounce control frame) is
+// reachable, all numeric fields take arbitrary bit patterns (including NaN
+// payloads for doubles), and the same Rng stream always yields the same
+// frame — so a failing seed is a complete reproduction.
+#pragma once
+
+#include "core/messages.hpp"
+#include "util/rng.hpp"
+#include "wire/codec.hpp"
+
+namespace dust::check {
+
+/// A random message of the alternative picked by `type_index` (0..9, the
+/// variant order). Field values are drawn from `rng`.
+[[nodiscard]] core::Message random_message(util::Rng& rng,
+                                           std::size_t type_index);
+
+/// A random protocol or announce frame: envelope passengers (priority,
+/// trace_id, from/to/kind) randomized along with the body.
+[[nodiscard]] wire::Frame random_frame(util::Rng& rng);
+
+}  // namespace dust::check

@@ -7,7 +7,7 @@
 
 namespace dust::core {
 
-DustClient::DustClient(sim::Simulator& sim, sim::Transport& transport,
+DustClient::DustClient(sim::Simulator& sim, sim::TransportBase& transport,
                        graph::NodeId node, ClientConfig config, util::Rng rng,
                        sim::MonitoredNode* device)
     : sim_(&sim),
@@ -84,10 +84,11 @@ void DustClient::publish_snapshot(const telemetry::DeviceSnapshot& snapshot) {
   if (failed_) return;
   for (const OutboundOffload& outbound : outbound_) {
     metrics_.tx_telemetry_data->inc();
+    Message message{TelemetryDataMsg{node_, snapshot}};
+    const sim::Priority priority = message_priority(message);
     transport_->send(client_endpoint(node_),
                      client_endpoint(outbound.destination),
-                     Message{TelemetryDataMsg{node_, snapshot}},
-                     sim::Priority::kLow, "telemetry_data");
+                     std::move(message), priority, "telemetry_data");
   }
 }
 

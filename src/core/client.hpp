@@ -34,7 +34,7 @@ struct ClientConfig {
 
 class DustClient {
  public:
-  DustClient(sim::Simulator& sim, sim::Transport& transport,
+  DustClient(sim::Simulator& sim, sim::TransportBase& transport,
              graph::NodeId node, ClientConfig config, util::Rng rng,
              sim::MonitoredNode* device = nullptr);
   ~DustClient();
@@ -102,7 +102,7 @@ class DustClient {
   };
 
   sim::Simulator* sim_;
-  sim::Transport* transport_;
+  sim::TransportBase* transport_;
   graph::NodeId node_;
   ClientConfig config_;
   util::Rng rng_;

@@ -19,12 +19,7 @@ obs::FlightRecorder& flight() { return obs::FlightRecorder::global(); }
 
 }  // namespace
 
-std::string manager_endpoint() { return "dust-manager"; }
-std::string client_endpoint(graph::NodeId node) {
-  return "dust-client-" + std::to_string(node);
-}
-
-DustManager::DustManager(sim::Simulator& sim, sim::Transport& transport,
+DustManager::DustManager(sim::Simulator& sim, sim::TransportBase& transport,
                          Nmdb nmdb, ManagerConfig config)
     : sim_(&sim),
       transport_(&transport),
@@ -479,10 +474,14 @@ void DustManager::replace_destination(graph::NodeId failed, bool quarantine) {
     moved.push_back(offload);
     to_erase.push_back(id);
     // Tell the (possibly still alive) old destination to drop the hosted
-    // agents; harmless no-op when it is actually dead.
+    // agents; harmless no-op when it is actually dead. Carries the same
+    // kind/trace passengers as every other Release so the hop is labelled
+    // in the flight recorder and classified by the wire codec.
     metrics_.tx_release->inc();
     transport_->send(manager_endpoint(), client_endpoint(failed),
-                     Message{ReleaseMsg{offload.busy, failed}});
+                     Message{ReleaseMsg{offload.busy, failed}},
+                     sim::Priority::kNormal, "release",
+                     offload.trace.trace_id);
   }
   for (std::uint64_t id : to_erase) offloads_.erase(id);
 
@@ -550,6 +549,13 @@ void DustManager::replace_destination(graph::NodeId failed, bool quarantine) {
                        old.amount, rep_ctx}},
         sim::Priority::kNormal, "rep", rep_ctx.trace_id);
   }
+}
+
+std::size_t DustManager::nodes_reporting() const noexcept {
+  std::size_t n = 0;
+  for (const sim::TimeMs at : last_stat_at_)
+    if (at != kNeverStat) ++n;
+  return n;
 }
 
 std::vector<ActiveOffload> DustManager::active_offloads() const {

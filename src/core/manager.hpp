@@ -87,7 +87,11 @@ struct ActiveOffload {
 
 class DustManager {
  public:
-  DustManager(sim::Simulator& sim, sim::Transport& transport, Nmdb nmdb,
+  /// Programs against the transport interface: pass a sim::Transport for
+  /// deterministic in-process runs or a wire::SocketTransport for the
+  /// multi-process daemon runtime (DESIGN.md §11) — the protocol state
+  /// machine is identical over both.
+  DustManager(sim::Simulator& sim, sim::TransportBase& transport, Nmdb nmdb,
               ManagerConfig config);
 
   /// Begin periodic placement and keepalive supervision.
@@ -116,6 +120,9 @@ class DustManager {
   [[nodiscard]] std::size_t stats_received() const noexcept {
     return stats_received_;
   }
+  /// Distinct nodes that have reported at least one STAT — the daemon
+  /// runtime gates its first placement cycle on full fleet visibility.
+  [[nodiscard]] std::size_t nodes_reporting() const noexcept;
   /// Trmin cache behaviour (hits/misses/invalidations) — only moves when
   /// incremental_placement is on.
   [[nodiscard]] net::ResponseTimeCacheStats trmin_cache_stats() const {
@@ -171,7 +178,7 @@ class DustManager {
   };
 
   sim::Simulator* sim_;
-  sim::Transport* transport_;
+  sim::TransportBase* transport_;
   Nmdb nmdb_;
   ManagerConfig config_;
   /// Declared before engine_: the engine's options point at this cache when

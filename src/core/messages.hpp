@@ -21,6 +21,7 @@
 
 #include "graph/graph.hpp"
 #include "obs/trace.hpp"
+#include "sim/priority.hpp"
 #include "telemetry/agent.hpp"
 
 namespace dust::core {
@@ -118,5 +119,16 @@ using Message =
 /// Endpoint naming convention on the simulated transport.
 [[nodiscard]] std::string manager_endpoint();
 [[nodiscard]] std::string client_endpoint(graph::NodeId node);
+
+/// Canonical QoS class of a protocol message (§III-C): offloaded monitoring
+/// data (TelemetryDataMsg) rides kLow and is discardable under congestion;
+/// every control-plane message rides kNormal. The single source of truth for
+/// send sites and wire transports, so a payload's priority can never
+/// silently default back to kNormal on one path but not another.
+[[nodiscard]] sim::Priority message_priority(const Message& message);
+
+/// Short flight-recorder / wire label of a message ("stat",
+/// "offload_request", ...). Stable across transports.
+[[nodiscard]] const char* message_kind(const Message& message);
 
 }  // namespace dust::core

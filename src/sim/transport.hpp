@@ -16,14 +16,10 @@
 
 #include "obs/metrics.hpp"
 #include "sim/event_queue.hpp"
+#include "sim/priority.hpp"
 #include "util/rng.hpp"
 
 namespace dust::sim {
-
-/// QoS class. Offloaded monitoring data travels at kLow ("assigned the
-/// lowest priority value", §III-C) and is dropped when the transport is
-/// congested; control-plane messages ride kNormal.
-enum class Priority : std::uint8_t { kLow, kNormal };
 
 struct Envelope {
   std::string from;
@@ -38,9 +34,40 @@ struct Envelope {
   std::uint64_t trace_id = 0;
 };
 
-class Transport {
+/// The transport surface the protocol state machines (core::DustManager,
+/// core::DustClient) program against: named endpoints with token-scoped
+/// registration and fire-and-forget sends. Implementations decide what a
+/// "send" physically is — the in-memory simulator Transport below delivers
+/// through the event queue; wire::SocketTransport frames the payload with
+/// wire::Codec and moves it over TCP. Everything QoS-relevant (priority) and
+/// observability-relevant (kind, trace_id) crosses the interface so no
+/// implementation can lose it.
+class TransportBase {
  public:
   using Handler = std::function<void(const Envelope&)>;
+
+  virtual ~TransportBase() = default;
+
+  /// Register (or replace) the handler for `name`. Returns a registration
+  /// token; unregistering with a stale token is a no-op, so a destroyed
+  /// owner can never tear down a successor that re-registered the name.
+  virtual std::uint64_t register_endpoint(const std::string& name,
+                                          Handler handler) = 0;
+  virtual void unregister_endpoint(const std::string& name,
+                                   std::uint64_t token) = 0;
+  [[nodiscard]] virtual bool has_endpoint(const std::string& name) const = 0;
+
+  /// Queue delivery of `payload` to `to`. `kind` and `trace_id` are
+  /// observability-only passengers; `priority` is the §III-C QoS class and
+  /// MUST survive to the receiver's Envelope verbatim.
+  virtual void send(const std::string& from, const std::string& to,
+                    std::any payload, Priority priority = Priority::kNormal,
+                    std::string kind = {}, std::uint64_t trace_id = 0) = 0;
+};
+
+class Transport : public TransportBase {
+ public:
+  using Handler = TransportBase::Handler;
 
   Transport(Simulator& sim, util::Rng rng);
 
@@ -53,10 +80,12 @@ class Transport {
   /// Register (or replace) the handler for `name`. Returns a registration
   /// token; unregistering with a stale token is a no-op, so a destroyed
   /// owner can never tear down a successor that re-registered the name.
-  std::uint64_t register_endpoint(const std::string& name, Handler handler);
+  std::uint64_t register_endpoint(const std::string& name,
+                                  Handler handler) override;
   void unregister_endpoint(const std::string& name);
-  void unregister_endpoint(const std::string& name, std::uint64_t token);
-  [[nodiscard]] bool has_endpoint(const std::string& name) const;
+  void unregister_endpoint(const std::string& name,
+                           std::uint64_t token) override;
+  [[nodiscard]] bool has_endpoint(const std::string& name) const override;
 
   /// Congestion drops all kLow-priority traffic (QoS guarantee of §III-C).
   void set_congested(bool congested) noexcept { congested_ = congested; }
@@ -78,7 +107,7 @@ class Transport {
   /// influence delivery.
   void send(const std::string& from, const std::string& to, std::any payload,
             Priority priority = Priority::kNormal, std::string kind = {},
-            std::uint64_t trace_id = 0);
+            std::uint64_t trace_id = 0) override;
 
   [[nodiscard]] std::uint64_t sent() const noexcept { return sent_; }
   [[nodiscard]] std::uint64_t delivered() const noexcept { return delivered_; }

@@ -1,0 +1,583 @@
+#include "wire/codec.hpp"
+
+#include <bit>
+#include <cstring>
+#include <stdexcept>
+
+#include "wire/crc32.hpp"
+
+namespace dust::wire {
+
+namespace {
+
+// ---- little-endian primitives ---------------------------------------------
+// Explicit byte-at-a-time shifts: identical bytes on any host endianness,
+// and no alignment requirements on the buffer.
+
+class Writer {
+ public:
+  explicit Writer(std::vector<std::uint8_t>& out) : out_(&out) {}
+
+  void u8(std::uint8_t v) { out_->push_back(v); }
+  void u16(std::uint16_t v) {
+    u8(static_cast<std::uint8_t>(v));
+    u8(static_cast<std::uint8_t>(v >> 8));
+  }
+  void u32(std::uint32_t v) {
+    u16(static_cast<std::uint16_t>(v));
+    u16(static_cast<std::uint16_t>(v >> 16));
+  }
+  void u64(std::uint64_t v) {
+    u32(static_cast<std::uint32_t>(v));
+    u32(static_cast<std::uint32_t>(v >> 32));
+  }
+  void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+  /// Raw IEEE-754 bits: bit-identical round trip, NaNs included.
+  void f64(double v) { u64(std::bit_cast<std::uint64_t>(v)); }
+  void boolean(bool v) { u8(v ? 1 : 0); }
+  void str16(const std::string& s) {
+    if (s.size() > 0xFFFF)
+      throw std::invalid_argument("wire: string exceeds u16 length prefix");
+    u16(static_cast<std::uint16_t>(s.size()));
+    out_->insert(out_->end(), s.begin(), s.end());
+  }
+
+ private:
+  std::vector<std::uint8_t>* out_;
+};
+
+class Reader {
+ public:
+  Reader(const std::uint8_t* data, std::size_t size)
+      : data_(data), size_(size) {}
+
+  [[nodiscard]] bool ok() const noexcept { return ok_; }
+  [[nodiscard]] bool exhausted() const noexcept { return pos_ == size_; }
+
+  std::uint8_t u8() {
+    if (!take(1)) return 0;
+    return data_[pos_ - 1];
+  }
+  std::uint16_t u16() {
+    if (!take(2)) return 0;
+    return static_cast<std::uint16_t>(data_[pos_ - 2] |
+                                      (data_[pos_ - 1] << 8));
+  }
+  std::uint32_t u32() {
+    const std::uint32_t lo = u16();
+    const std::uint32_t hi = u16();
+    return lo | (hi << 16);
+  }
+  std::uint64_t u64() {
+    const std::uint64_t lo = u32();
+    const std::uint64_t hi = u32();
+    return lo | (hi << 32);
+  }
+  std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
+  double f64() { return std::bit_cast<double>(u64()); }
+  bool boolean() { return u8() != 0; }
+  std::string str16() {
+    const std::uint16_t n = u16();
+    if (!take(n)) return {};
+    return std::string(reinterpret_cast<const char*>(data_ + pos_ - n), n);
+  }
+  /// Element-count prefix with a sanity bound: each element is at least
+  /// `min_element_bytes`, so a corrupt count that could not possibly fit in
+  /// the remaining payload fails fast instead of looping.
+  std::uint32_t count32(std::size_t min_element_bytes) {
+    const std::uint32_t n = u32();
+    if (min_element_bytes > 0 &&
+        static_cast<std::uint64_t>(n) * min_element_bytes > size_ - pos_)
+      ok_ = false;
+    return ok_ ? n : 0;
+  }
+
+ private:
+  bool take(std::size_t n) {
+    if (!ok_ || size_ - pos_ < n) {
+      ok_ = false;
+      return false;
+    }
+    pos_ += n;
+    return true;
+  }
+
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+// ---- per-type body schemas -------------------------------------------------
+
+void put_trace(Writer& w, const obs::TraceContext& trace) {
+  w.u64(trace.trace_id);
+  w.u64(trace.span_id);
+}
+obs::TraceContext get_trace(Reader& r) {
+  obs::TraceContext trace;
+  trace.trace_id = r.u64();
+  trace.span_id = r.u64();
+  return trace;
+}
+
+void put_route(Writer& w, const std::vector<graph::NodeId>& route) {
+  w.u32(static_cast<std::uint32_t>(route.size()));
+  for (const graph::NodeId node : route) w.u32(node);
+}
+std::vector<graph::NodeId> get_route(Reader& r) {
+  const std::uint32_t n = r.count32(4);
+  std::vector<graph::NodeId> route;
+  route.reserve(n);
+  for (std::uint32_t i = 0; i < n && r.ok(); ++i) route.push_back(r.u32());
+  return route;
+}
+
+void put_agent(Writer& w, const telemetry::MonitorAgent& agent) {
+  w.str16(agent.name());
+  const telemetry::AgentCostModel& cost = agent.cost_model();
+  w.f64(cost.cpu_base_ms);
+  w.f64(cost.cpu_per_gbps_ms);
+  w.f64(cost.burst_probability);
+  w.f64(cost.burst_multiplier);
+  w.f64(cost.memory_base_mib);
+  w.i64(agent.interval_ms());
+}
+telemetry::MonitorAgent get_agent(Reader& r) {
+  std::string name = r.str16();
+  telemetry::AgentCostModel cost;
+  cost.cpu_base_ms = r.f64();
+  cost.cpu_per_gbps_ms = r.f64();
+  cost.burst_probability = r.f64();
+  cost.burst_multiplier = r.f64();
+  cost.memory_base_mib = r.f64();
+  const std::int64_t interval_ms = r.i64();
+  // Blueprint semantics, same as REP re-homing: runtime state (bound
+  // metrics, sample counts) is rebuilt at the destination.
+  return telemetry::MonitorAgent(std::move(name), cost, interval_ms);
+}
+
+void put_snapshot(Writer& w, const telemetry::DeviceSnapshot& s) {
+  w.i64(s.timestamp_ms);
+  w.f64(s.device_cpu_percent);
+  w.f64(s.memory_used_mib);
+  w.f64(s.rx_mbps);
+  w.f64(s.tx_mbps);
+  w.f64(s.temperature_c);
+  w.u32(s.links_up);
+  w.u32(s.links_total);
+  w.u32(s.protocol_flaps);
+  w.u32(s.faults);
+}
+telemetry::DeviceSnapshot get_snapshot(Reader& r) {
+  telemetry::DeviceSnapshot s;
+  s.timestamp_ms = r.i64();
+  s.device_cpu_percent = r.f64();
+  s.memory_used_mib = r.f64();
+  s.rx_mbps = r.f64();
+  s.tx_mbps = r.f64();
+  s.temperature_c = r.f64();
+  s.links_up = r.u32();
+  s.links_total = r.u32();
+  s.protocol_flaps = r.u32();
+  s.faults = r.u32();
+  return s;
+}
+
+void put_body(Writer& w, const core::Message& message) {
+  std::visit(
+      [&w](const auto& msg) {
+        using T = std::decay_t<decltype(msg)>;
+        if constexpr (std::is_same_v<T, core::OffloadCapableMsg>) {
+          w.u32(msg.node);
+          w.boolean(msg.capable);
+          w.f64(msg.platform_factor);
+        } else if constexpr (std::is_same_v<T, core::AckMsg>) {
+          w.u32(msg.node);
+          w.i64(msg.update_interval_ms);
+        } else if constexpr (std::is_same_v<T, core::StatMsg>) {
+          w.u32(msg.node);
+          w.f64(msg.utilization_percent);
+          w.f64(msg.monitoring_data_mb);
+          w.u32(msg.agent_count);
+          put_trace(w, msg.trace);
+        } else if constexpr (std::is_same_v<T, core::OffloadRequestMsg>) {
+          w.u64(msg.request_id);
+          w.u32(msg.busy);
+          w.u32(msg.destination);
+          w.f64(msg.amount);
+          w.u32(msg.agents_to_move);
+          put_route(w, msg.route);
+          put_trace(w, msg.trace);
+        } else if constexpr (std::is_same_v<T, core::OffloadAckMsg>) {
+          w.u64(msg.request_id);
+          w.u32(msg.node);
+          w.boolean(msg.accepted);
+          put_trace(w, msg.trace);
+        } else if constexpr (std::is_same_v<T, core::AgentTransferMsg>) {
+          w.u64(msg.request_id);
+          w.u32(msg.owner);
+          w.u32(static_cast<std::uint32_t>(msg.agents.size()));
+          for (const telemetry::MonitorAgent& agent : msg.agents)
+            put_agent(w, agent);
+          put_trace(w, msg.trace);
+        } else if constexpr (std::is_same_v<T, core::TelemetryDataMsg>) {
+          w.u32(msg.owner);
+          put_snapshot(w, msg.snapshot);
+        } else if constexpr (std::is_same_v<T, core::KeepaliveMsg>) {
+          w.u32(msg.node);
+          w.u64(msg.seq);
+        } else if constexpr (std::is_same_v<T, core::RepMsg>) {
+          w.u32(msg.failed);
+          w.u32(msg.replacement);
+          w.u32(msg.busy);
+          w.u64(msg.request_id);
+          w.f64(msg.amount);
+          put_trace(w, msg.trace);
+        } else {
+          static_assert(std::is_same_v<T, core::ReleaseMsg>);
+          w.u32(msg.busy);
+          w.u32(msg.destination);
+        }
+      },
+      message);
+}
+
+bool get_body(Reader& r, FrameType type, core::Message& out) {
+  switch (type) {
+    case FrameType::kOffloadCapable: {
+      core::OffloadCapableMsg msg;
+      msg.node = r.u32();
+      msg.capable = r.boolean();
+      msg.platform_factor = r.f64();
+      out = msg;
+      return r.ok();
+    }
+    case FrameType::kAck: {
+      core::AckMsg msg;
+      msg.node = r.u32();
+      msg.update_interval_ms = r.i64();
+      out = msg;
+      return r.ok();
+    }
+    case FrameType::kStat: {
+      core::StatMsg msg;
+      msg.node = r.u32();
+      msg.utilization_percent = r.f64();
+      msg.monitoring_data_mb = r.f64();
+      msg.agent_count = r.u32();
+      msg.trace = get_trace(r);
+      out = msg;
+      return r.ok();
+    }
+    case FrameType::kOffloadRequest: {
+      core::OffloadRequestMsg msg;
+      msg.request_id = r.u64();
+      msg.busy = r.u32();
+      msg.destination = r.u32();
+      msg.amount = r.f64();
+      msg.agents_to_move = r.u32();
+      msg.route = get_route(r);
+      msg.trace = get_trace(r);
+      out = std::move(msg);
+      return r.ok();
+    }
+    case FrameType::kOffloadAck: {
+      core::OffloadAckMsg msg;
+      msg.request_id = r.u64();
+      msg.node = r.u32();
+      msg.accepted = r.boolean();
+      msg.trace = get_trace(r);
+      out = msg;
+      return r.ok();
+    }
+    case FrameType::kAgentTransfer: {
+      core::AgentTransferMsg msg;
+      msg.request_id = r.u64();
+      msg.owner = r.u32();
+      const std::uint32_t n = r.count32(2 + 6 * 8 + 8);
+      msg.agents.reserve(n);
+      for (std::uint32_t i = 0; i < n && r.ok(); ++i)
+        msg.agents.push_back(get_agent(r));
+      msg.trace = get_trace(r);
+      out = std::move(msg);
+      return r.ok();
+    }
+    case FrameType::kTelemetryData: {
+      core::TelemetryDataMsg msg;
+      msg.owner = r.u32();
+      msg.snapshot = get_snapshot(r);
+      out = msg;
+      return r.ok();
+    }
+    case FrameType::kKeepalive: {
+      core::KeepaliveMsg msg;
+      msg.node = r.u32();
+      msg.seq = r.u64();
+      out = msg;
+      return r.ok();
+    }
+    case FrameType::kRep: {
+      core::RepMsg msg;
+      msg.failed = r.u32();
+      msg.replacement = r.u32();
+      msg.busy = r.u32();
+      msg.request_id = r.u64();
+      msg.amount = r.f64();
+      msg.trace = get_trace(r);
+      out = msg;
+      return r.ok();
+    }
+    case FrameType::kRelease: {
+      core::ReleaseMsg msg;
+      msg.busy = r.u32();
+      msg.destination = r.u32();
+      out = msg;
+      return r.ok();
+    }
+    case FrameType::kAnnounce:
+      return false;  // handled separately, never reaches here
+  }
+  return false;
+}
+
+void write_at_u32(std::vector<std::uint8_t>& buf, std::size_t offset,
+                  std::uint32_t v) {
+  buf[offset + 0] = static_cast<std::uint8_t>(v);
+  buf[offset + 1] = static_cast<std::uint8_t>(v >> 8);
+  buf[offset + 2] = static_cast<std::uint8_t>(v >> 16);
+  buf[offset + 3] = static_cast<std::uint8_t>(v >> 24);
+}
+
+std::uint32_t read_u32(const std::uint8_t* p) {
+  return static_cast<std::uint32_t>(p[0]) |
+         (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) |
+         (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+std::uint16_t read_u16(const std::uint8_t* p) {
+  return static_cast<std::uint16_t>(p[0] | (p[1] << 8));
+}
+
+}  // namespace
+
+const char* to_string(FrameType type) noexcept {
+  switch (type) {
+    case FrameType::kOffloadCapable: return "offload_capable";
+    case FrameType::kAck: return "ack";
+    case FrameType::kStat: return "stat";
+    case FrameType::kOffloadRequest: return "offload_request";
+    case FrameType::kOffloadAck: return "offload_ack";
+    case FrameType::kAgentTransfer: return "agent_transfer";
+    case FrameType::kTelemetryData: return "telemetry_data";
+    case FrameType::kKeepalive: return "keepalive";
+    case FrameType::kRep: return "rep";
+    case FrameType::kRelease: return "release";
+    case FrameType::kAnnounce: return "announce";
+  }
+  return "unknown";
+}
+
+FrameType frame_type_of(const core::Message& message) noexcept {
+  // The variant's alternative order matches the tag order 1..10 by
+  // construction; keep the mapping explicit anyway so reordering the
+  // variant cannot silently renumber the wire format.
+  return std::visit(
+      [](const auto& msg) {
+        using T = std::decay_t<decltype(msg)>;
+        if constexpr (std::is_same_v<T, core::OffloadCapableMsg>)
+          return FrameType::kOffloadCapable;
+        else if constexpr (std::is_same_v<T, core::AckMsg>)
+          return FrameType::kAck;
+        else if constexpr (std::is_same_v<T, core::StatMsg>)
+          return FrameType::kStat;
+        else if constexpr (std::is_same_v<T, core::OffloadRequestMsg>)
+          return FrameType::kOffloadRequest;
+        else if constexpr (std::is_same_v<T, core::OffloadAckMsg>)
+          return FrameType::kOffloadAck;
+        else if constexpr (std::is_same_v<T, core::AgentTransferMsg>)
+          return FrameType::kAgentTransfer;
+        else if constexpr (std::is_same_v<T, core::TelemetryDataMsg>)
+          return FrameType::kTelemetryData;
+        else if constexpr (std::is_same_v<T, core::KeepaliveMsg>)
+          return FrameType::kKeepalive;
+        else if constexpr (std::is_same_v<T, core::RepMsg>)
+          return FrameType::kRep;
+        else
+          return FrameType::kRelease;
+      },
+      message);
+}
+
+const char* to_string(DecodeStatus status) noexcept {
+  switch (status) {
+    case DecodeStatus::kOk: return "ok";
+    case DecodeStatus::kNeedMoreData: return "need_more_data";
+    case DecodeStatus::kBadMagic: return "bad_magic";
+    case DecodeStatus::kBadCrc: return "bad_crc";
+    case DecodeStatus::kBadVersion: return "bad_version";
+    case DecodeStatus::kUnknownType: return "unknown_type";
+    case DecodeStatus::kMalformedBody: return "malformed_body";
+    case DecodeStatus::kOversized: return "oversized";
+  }
+  return "unknown";
+}
+
+Frame message_frame(std::string from, std::string to, core::Message message,
+                    sim::Priority priority, std::string kind,
+                    std::uint64_t trace_id) {
+  Frame frame;
+  frame.type = frame_type_of(message);
+  frame.priority = priority;
+  frame.trace_id = trace_id;
+  frame.from = std::move(from);
+  frame.to = std::move(to);
+  frame.kind = std::move(kind);
+  frame.message = std::move(message);
+  return frame;
+}
+
+Frame announce_frame(std::vector<std::string> endpoints) {
+  Frame frame;
+  frame.type = FrameType::kAnnounce;
+  frame.announce_endpoints = std::move(endpoints);
+  return frame;
+}
+
+std::vector<std::uint8_t> encode_frame(const Frame& frame) {
+  std::vector<std::uint8_t> out;
+  out.reserve(64);
+  Writer w(out);
+  w.u32(kWireMagic);
+  w.u32(0);  // CRC placeholder
+  w.u16(kWireVersion);
+  w.u16(static_cast<std::uint16_t>(frame.type));
+  w.u32(0);  // payload_len placeholder
+  w.u8(static_cast<std::uint8_t>(frame.priority));
+  w.u8(0);
+  w.u8(0);
+  w.u8(0);
+  w.u64(frame.trace_id);
+  w.str16(frame.from);
+  w.str16(frame.to);
+  w.str16(frame.kind);
+  if (frame.type == FrameType::kAnnounce) {
+    w.u32(static_cast<std::uint32_t>(frame.announce_endpoints.size()));
+    for (const std::string& endpoint : frame.announce_endpoints)
+      w.str16(endpoint);
+  } else {
+    if (frame_type_of(frame.message) != frame.type)
+      throw std::invalid_argument(
+          "wire: frame type does not match message alternative");
+    put_body(w, frame.message);
+  }
+  const std::size_t payload_len = out.size() - kWireHeaderBytes;
+  if (payload_len > kMaxPayloadBytes)
+    throw std::invalid_argument("wire: frame payload exceeds kMaxPayloadBytes");
+  write_at_u32(out, 12, static_cast<std::uint32_t>(payload_len));
+  write_at_u32(out, 4, crc32(out.data() + 8, out.size() - 8));
+  return out;
+}
+
+DecodeResult decode_frame(const std::uint8_t* data, std::size_t size) {
+  DecodeResult result;
+  if (size < kWireHeaderBytes) return result;  // kNeedMoreData, consumed 0
+  if (read_u32(data) != kWireMagic) {
+    result.status = DecodeStatus::kBadMagic;
+    result.consumed = 1;
+    return result;
+  }
+  const std::uint32_t payload_len = read_u32(data + 12);
+  if (payload_len > kMaxPayloadBytes) {
+    // The length is corrupt (or hostile); nothing downstream of it can be
+    // trusted, so resync byte-by-byte like a magic failure.
+    result.status = DecodeStatus::kOversized;
+    result.consumed = 1;
+    return result;
+  }
+  const std::size_t frame_bytes = kWireHeaderBytes + payload_len;
+  if (size < frame_bytes) return result;  // kNeedMoreData
+  // Integrity first: the CRC spans version/type/length and the payload, so
+  // from here on every field is trustworthy (or we drop the whole frame).
+  if (crc32(data + 8, frame_bytes - 8) != read_u32(data + 4)) {
+    result.status = DecodeStatus::kBadCrc;
+    result.consumed = frame_bytes;
+    return result;
+  }
+  result.consumed = frame_bytes;
+  if (read_u16(data + 8) != kWireVersion) {
+    result.status = DecodeStatus::kBadVersion;
+    return result;
+  }
+  const std::uint16_t raw_type = read_u16(data + 10);
+  Reader r(data + kWireHeaderBytes, payload_len);
+  Frame frame;
+  const std::uint8_t priority = r.u8();
+  r.u8();
+  r.u8();
+  r.u8();
+  if (priority > static_cast<std::uint8_t>(sim::Priority::kNormal)) {
+    result.status = DecodeStatus::kMalformedBody;
+    return result;
+  }
+  frame.priority = static_cast<sim::Priority>(priority);
+  frame.trace_id = r.u64();
+  frame.from = r.str16();
+  frame.to = r.str16();
+  frame.kind = r.str16();
+  if (raw_type == static_cast<std::uint16_t>(FrameType::kAnnounce)) {
+    frame.type = FrameType::kAnnounce;
+    const std::uint32_t n = r.count32(2);
+    frame.announce_endpoints.reserve(n);
+    for (std::uint32_t i = 0; i < n && r.ok(); ++i)
+      frame.announce_endpoints.push_back(r.str16());
+  } else if (raw_type >=
+                 static_cast<std::uint16_t>(FrameType::kOffloadCapable) &&
+             raw_type <= static_cast<std::uint16_t>(FrameType::kRelease)) {
+    frame.type = static_cast<FrameType>(raw_type);
+    if (!get_body(r, frame.type, frame.message)) {
+      result.status = DecodeStatus::kMalformedBody;
+      return result;
+    }
+  } else {
+    result.status = DecodeStatus::kUnknownType;
+    return result;
+  }
+  if (!r.ok() || !r.exhausted()) {
+    // Short body or trailing garbage: the schema and the length prefix
+    // disagree.
+    result.status = DecodeStatus::kMalformedBody;
+    return result;
+  }
+  result.status = DecodeStatus::kOk;
+  result.frame = std::move(frame);
+  result.raw = data;
+  result.raw_size = frame_bytes;
+  return result;
+}
+
+void FrameBuffer::append(const void* data, std::size_t size) {
+  // Compact before growing: keeps the steady-state footprint at one frame.
+  if (offset_ > 0) {
+    buffer_.erase(buffer_.begin(),
+                  buffer_.begin() + static_cast<std::ptrdiff_t>(offset_));
+    offset_ = 0;
+  }
+  const auto* bytes = static_cast<const std::uint8_t*>(data);
+  buffer_.insert(buffer_.end(), bytes, bytes + size);
+}
+
+DecodeResult FrameBuffer::next() {
+  DecodeResult result =
+      decode_frame(buffer_.data() + offset_, buffer_.size() - offset_);
+  offset_ += result.consumed;
+  return result;
+}
+
+void FrameBuffer::clear() noexcept {
+  buffer_.clear();
+  offset_ = 0;
+}
+
+}  // namespace dust::wire

@@ -1,0 +1,160 @@
+// dust::wire binary codec (DESIGN.md §11).
+//
+// Frames every core::Message — envelope passengers included — into an
+// explicit little-endian layout so DUST-Manager and DUST-Clients can live in
+// separate processes ("hardware-agnostic" means nothing until bytes cross a
+// process boundary). Layout:
+//
+//   offset size  field
+//   0      4     magic 0x54535544 ("DUST" read as LE u32)
+//   4      4     CRC-32 (IEEE) over bytes [8, 16 + payload_len)
+//   8      2     version (kWireVersion)
+//   10     2     frame type tag (FrameType)
+//   12     4     payload_len — bytes following the 16-byte header
+//   16     ...   payload:
+//                  u8      priority (sim::Priority)
+//                  u8[3]   reserved (zero)
+//                  u64     trace_id
+//                  str16   from      (u16 length + bytes)
+//                  str16   to
+//                  str16   kind
+//                  ...     body, schema fixed per frame type
+//
+// The CRC covers everything after itself — version, type, and length
+// included — so any single corrupt bit outside the magic/CRC words is
+// guaranteed to surface as kBadCrc, never as a silently mis-parsed frame.
+// Integrity is checked before version, and the CRC span is fixed by this
+// spec for all versions, so a v1 decoder rejects an intact v2 frame with
+// kBadVersion (clean negotiation signal) rather than kBadCrc.
+//
+// Decoding never throws and never reads out of bounds: truncated input is
+// kNeedMoreData (retry with more bytes), everything else is a typed error
+// with a documented resynchronisation distance (DecodeResult::consumed).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/messages.hpp"
+#include "sim/priority.hpp"
+
+namespace dust::wire {
+
+inline constexpr std::uint32_t kWireMagic = 0x54535544u;  // "DUST"
+inline constexpr std::uint16_t kWireVersion = 1;
+inline constexpr std::size_t kWireHeaderBytes = 16;
+/// Hard ceiling on payload_len: anything larger is rejected as kOversized
+/// before allocation, so a corrupt or hostile length field can never balloon
+/// the receive path.
+inline constexpr std::size_t kMaxPayloadBytes = 16u << 20;
+
+/// Frame type tags. 1..10 map 1:1 onto the core::Message alternatives;
+/// 100+ are transport-internal control frames that never reach a protocol
+/// handler.
+enum class FrameType : std::uint16_t {
+  kOffloadCapable = 1,
+  kAck = 2,
+  kStat = 3,
+  kOffloadRequest = 4,
+  kOffloadAck = 5,
+  kAgentTransfer = 6,
+  kTelemetryData = 7,
+  kKeepalive = 8,
+  kRep = 9,
+  kRelease = 10,
+  /// Leaf -> hub: "these endpoint names are served over this connection".
+  /// Body: u32 count + str16 names. Re-sent in full after every reconnect.
+  kAnnounce = 100,
+};
+
+[[nodiscard]] const char* to_string(FrameType type) noexcept;
+[[nodiscard]] FrameType frame_type_of(const core::Message& message) noexcept;
+
+/// Decode error taxonomy (see DESIGN.md §11 for the full table).
+enum class DecodeStatus : std::uint8_t {
+  kOk = 0,
+  kNeedMoreData,   ///< no complete frame yet — benign, wait for bytes
+  kBadMagic,       ///< resync byte-by-byte (consumed = 1)
+  kBadCrc,         ///< integrity failure — connection should be dropped
+  kBadVersion,     ///< intact frame from an unknown protocol version
+  kUnknownType,    ///< intact frame with an unrecognised type tag
+  kMalformedBody,  ///< CRC passed but the body does not parse to schema
+  kOversized,      ///< claimed payload_len above kMaxPayloadBytes
+};
+
+[[nodiscard]] const char* to_string(DecodeStatus status) noexcept;
+
+/// One frame, decoded (or about to be encoded). Exactly the information a
+/// sim::Envelope carries, plus the frame type: nothing QoS- or
+/// trace-relevant is lost crossing the wire.
+struct Frame {
+  FrameType type = FrameType::kAnnounce;
+  sim::Priority priority = sim::Priority::kNormal;
+  std::uint64_t trace_id = 0;
+  std::string from;
+  std::string to;
+  std::string kind;
+  core::Message message;  ///< valid for protocol frames (tags 1..10)
+  std::vector<std::string> announce_endpoints;  ///< valid for kAnnounce
+};
+
+/// Build a protocol frame around `message` (type tag derived from the
+/// active alternative).
+[[nodiscard]] Frame message_frame(std::string from, std::string to,
+                                  core::Message message,
+                                  sim::Priority priority,
+                                  std::string kind = {},
+                                  std::uint64_t trace_id = 0);
+
+[[nodiscard]] Frame announce_frame(std::vector<std::string> endpoints);
+
+/// Serialize. Deterministic: encoding the decode of an encoded frame is
+/// byte-identical (doubles travel as raw IEEE-754 bits). Throws
+/// std::invalid_argument if a string field exceeds the u16 length prefix or
+/// the payload would exceed kMaxPayloadBytes.
+[[nodiscard]] std::vector<std::uint8_t> encode_frame(const Frame& frame);
+
+struct DecodeResult {
+  DecodeStatus status = DecodeStatus::kNeedMoreData;
+  Frame frame;  ///< valid iff status == kOk
+  /// Bytes to discard from the front of the buffer before the next attempt:
+  /// the whole frame on kOk and on frame-local errors (kBadCrc,
+  /// kBadVersion, kUnknownType, kMalformedBody), 1 on kBadMagic/kOversized
+  /// (the length field cannot be trusted, resync byte-by-byte), 0 on
+  /// kNeedMoreData.
+  std::size_t consumed = 0;
+  /// View of the encoded frame inside the caller's buffer (kOk only) —
+  /// lets a router forward verbatim without re-encoding. Valid only while
+  /// the caller's buffer is.
+  const std::uint8_t* raw = nullptr;
+  std::size_t raw_size = 0;
+};
+
+/// Try to decode one frame from the front of `data`. Never throws, never
+/// reads past `size`; guaranteed to make progress (consumed > 0) on any
+/// status except kNeedMoreData.
+[[nodiscard]] DecodeResult decode_frame(const std::uint8_t* data,
+                                        std::size_t size);
+
+/// Stream reassembler: owns the partial-read buffer between poll wakeups.
+/// Feed raw socket bytes with append(); pull complete frames with next()
+/// until it reports kNeedMoreData.
+class FrameBuffer {
+ public:
+  void append(const void* data, std::size_t size);
+  /// Decode and consume the next frame (per decode_frame semantics). The
+  /// DecodeResult's raw view stays valid until the next append()/next().
+  [[nodiscard]] DecodeResult next();
+  [[nodiscard]] std::size_t pending_bytes() const noexcept {
+    return buffer_.size() - offset_;
+  }
+  void clear() noexcept;
+
+ private:
+  std::vector<std::uint8_t> buffer_;
+  std::size_t offset_ = 0;  ///< bytes already consumed at the front
+};
+
+}  // namespace dust::wire

@@ -1,0 +1,32 @@
+#include "wire/crc32.hpp"
+
+#include <array>
+
+namespace dust::wire {
+
+namespace {
+
+constexpr std::array<std::uint32_t, 256> make_table() noexcept {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int bit = 0; bit < 8; ++bit)
+      c = (c & 1u) ? (0xEDB88320u ^ (c >> 1)) : (c >> 1);
+    table[i] = c;
+  }
+  return table;
+}
+
+constexpr std::array<std::uint32_t, 256> kTable = make_table();
+
+}  // namespace
+
+std::uint32_t crc32_update(std::uint32_t state, const void* data,
+                           std::size_t size) noexcept {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < size; ++i)
+    state = kTable[(state ^ bytes[i]) & 0xFFu] ^ (state >> 8);
+  return state;
+}
+
+}  // namespace dust::wire

@@ -1,0 +1,36 @@
+#include "wire/demo_scenario.hpp"
+
+#include <sstream>
+
+#include "core/scenario.hpp"
+
+namespace dust::wire {
+
+const char* demo_scenario_text() {
+  return R"(# wire demo: node 0 busy, nodes 1/2/5 candidates (see demo_scenario.hpp)
+nodes 8
+thresholds 80 60 10
+edge 0 1 1000 1.0
+edge 0 2 1000 1.0
+edge 0 5 1000 1.0
+edge 1 3 1000 1.0
+edge 2 4 1000 1.0
+edge 5 6 1000 1.0
+edge 6 7 1000 1.0
+load 0 93 80
+load 1 40 10
+load 2 35 10
+load 5 45 10
+load 3 70 10
+load 4 70 10
+load 6 70 10
+load 7 70 10
+)";
+}
+
+core::Nmdb demo_nmdb() {
+  std::istringstream in(demo_scenario_text());
+  return core::load_scenario(in);
+}
+
+}  // namespace dust::wire

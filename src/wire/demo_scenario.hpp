@@ -1,0 +1,26 @@
+// The scenario shared by the daemon examples and the multi-process
+// equivalence test: one busy node with three viable offload candidates, so a
+// destination can die mid-offload and the manager still has replicas with
+// spare capacity to substitute (REP path, §III-B).
+//
+// Layout (thresholds Cmax=80 COmax=60 Xmin=10):
+//   node 0: 93% utilized -> busy, excess 13
+//   nodes 1/2/5: 40/35/45% -> candidates with spare 20/25/15
+//   nodes 3/4/6/7: 70% -> neither busy nor candidate (forwarders)
+// All three candidates are direct neighbours of node 0, so the one-hop
+// heuristic (Algorithm 1, radius 1) sees the same candidate set as the ILP.
+#pragma once
+
+#include "core/nmdb.hpp"
+
+namespace dust::wire {
+
+inline constexpr std::size_t kDemoNodeCount = 8;
+
+/// Scenario text in the core::load_scenario format.
+[[nodiscard]] const char* demo_scenario_text();
+
+/// The parsed scenario.
+[[nodiscard]] core::Nmdb demo_nmdb();
+
+}  // namespace dust::wire

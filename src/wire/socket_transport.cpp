@@ -1,0 +1,565 @@
+#include "wire/socket_transport.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+#include "util/log.hpp"
+
+namespace dust::wire {
+
+namespace {
+
+std::int64_t steady_ms() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+std::int64_t steady_us() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags >= 0) ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+void set_nodelay(int fd) {
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+sockaddr_in make_addr(const std::string& host, std::uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1)
+    throw std::runtime_error("wire: invalid IPv4 address '" + host + "'");
+  return addr;
+}
+
+}  // namespace
+
+SocketTransport::SocketTransport(SocketTransportConfig config)
+    : config_(std::move(config)), epoch_ms_(steady_ms()) {
+  obs::MetricRegistry& registry = obs::MetricRegistry::global();
+  metrics_.tx_frames = &registry.counter("dust_wire_tx_frames_total");
+  metrics_.rx_frames = &registry.counter("dust_wire_rx_frames_total");
+  metrics_.tx_bytes = &registry.counter("dust_wire_tx_bytes_total");
+  metrics_.rx_bytes = &registry.counter("dust_wire_rx_bytes_total");
+  metrics_.forwarded = &registry.counter("dust_wire_forwarded_frames_total");
+  metrics_.dropped = &registry.counter("dust_wire_dropped_total");
+  metrics_.dropped_no_endpoint =
+      &registry.counter("dust_wire_dropped_no_endpoint_total");
+  metrics_.dropped_queue_full =
+      &registry.counter("dust_wire_dropped_queue_full_total");
+  metrics_.decode_errors = &registry.counter("dust_wire_decode_errors_total");
+  metrics_.reconnects = &registry.counter("dust_wire_reconnects_total");
+  metrics_.connects = &registry.counter("dust_wire_connects_total");
+  metrics_.encode_us = &registry.histogram("dust_wire_encode_us");
+  metrics_.decode_us = &registry.histogram("dust_wire_decode_us");
+  backoff_ms_ = config_.reconnect_initial_ms;
+  if (config_.role == SocketTransportConfig::Role::kHub) start_listening();
+}
+
+SocketTransport::~SocketTransport() {
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+  for (auto& [fd, peer] : peers_) ::close(fd);
+  if (hub_link_.fd >= 0) ::close(hub_link_.fd);
+}
+
+sim::TimeMs SocketTransport::now() const {
+  if (config_.now) return config_.now();
+  return steady_ms() - epoch_ms_;
+}
+
+bool SocketTransport::connected() const noexcept {
+  return hub_link_.fd >= 0 && !hub_link_.connecting;
+}
+
+std::size_t SocketTransport::peer_count() const noexcept {
+  if (config_.role == SocketTransportConfig::Role::kHub) return peers_.size();
+  return connected() ? 1 : 0;
+}
+
+void SocketTransport::start_listening() {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) throw std::runtime_error("wire: socket() failed");
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr = make_addr(config_.host, config_.port);
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw std::runtime_error("wire: bind " + config_.host + ":" +
+                             std::to_string(config_.port) + " failed: " +
+                             std::strerror(errno));
+  }
+  if (::listen(listen_fd_, 64) < 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw std::runtime_error("wire: listen failed");
+  }
+  socklen_t len = sizeof(addr);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  listen_port_ = ntohs(addr.sin_port);
+  set_nonblocking(listen_fd_);
+  DUST_LOG_INFO << "wire: hub listening on " << config_.host << ":"
+                << listen_port_;
+}
+
+void SocketTransport::start_connect() {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return;
+  set_nonblocking(fd);
+  set_nodelay(fd);
+  sockaddr_in addr = make_addr(config_.host, config_.port);
+  const int rc = ::connect(fd, reinterpret_cast<sockaddr*>(&addr),
+                           sizeof(addr));
+  if (rc == 0) {
+    hub_link_.fd = fd;
+    hub_link_.connecting = false;
+    on_link_established();
+    return;
+  }
+  if (errno == EINPROGRESS) {
+    hub_link_.fd = fd;
+    hub_link_.connecting = true;
+    return;
+  }
+  ::close(fd);
+  on_link_lost();  // schedules the next backoff attempt
+}
+
+bool SocketTransport::finish_connect() {
+  int err = 0;
+  socklen_t len = sizeof(err);
+  if (::getsockopt(hub_link_.fd, SOL_SOCKET, SO_ERROR, &err, &len) < 0 ||
+      err != 0) {
+    ::close(hub_link_.fd);
+    hub_link_.fd = -1;
+    hub_link_.connecting = false;
+    on_link_lost();
+    return false;
+  }
+  hub_link_.connecting = false;
+  on_link_established();
+  return true;
+}
+
+void SocketTransport::on_link_established() {
+  metrics_.connects->inc();
+  backoff_ms_ = config_.reconnect_initial_ms;
+  // A frame interrupted by the outage is retransmitted whole: the hub
+  // discarded its partial-read buffer when the old connection died, so the
+  // stream restarts clean at a frame boundary.
+  if (!hub_link_.inflight.empty())
+    hub_link_.tx_normal.push_front(std::move(hub_link_.inflight));
+  hub_link_.inflight.clear();
+  hub_link_.inflight_offset = 0;
+  hub_link_.rx.clear();
+  // The announce must be the FIRST frame on a fresh link: protocol frames
+  // queued before the connect (the join handshake, anything sent during an
+  // outage) ride behind it, so by the time the hub dispatches them it can
+  // already route the replies. Enqueued at the back instead, the hub may
+  // read the handshake in an earlier batch than the announce and drop the
+  // response as unroutable.
+  std::vector<std::string> names;
+  names.reserve(local_endpoints_.size());
+  for (const auto& [name, entry] : local_endpoints_) names.push_back(name);
+  hub_link_.tx_normal.push_front(
+      encode_frame(announce_frame(std::move(names))));
+  DUST_LOG_INFO << "wire: leaf connected to " << config_.host << ":"
+                << config_.port;
+}
+
+void SocketTransport::on_link_lost() {
+  if (hub_link_.fd >= 0) {
+    ::close(hub_link_.fd);
+    hub_link_.fd = -1;
+  }
+  hub_link_.connecting = false;
+  hub_link_.rx.clear();
+  hub_link_.inflight_offset = 0;
+  ++reconnects_;
+  metrics_.reconnects->inc();
+  next_connect_at_ms_ = steady_ms() + backoff_ms_;
+  backoff_ms_ = std::min<std::int64_t>(backoff_ms_ * 2,
+                                       config_.reconnect_max_ms);
+}
+
+void SocketTransport::announce_local_endpoints() {
+  if (config_.role != SocketTransportConfig::Role::kLeaf || !connected())
+    return;
+  std::vector<std::string> names;
+  names.reserve(local_endpoints_.size());
+  for (const auto& [name, entry] : local_endpoints_) names.push_back(name);
+  enqueue(hub_link_, encode_frame(announce_frame(std::move(names))),
+          sim::Priority::kNormal, "announce", "", "", 0);
+}
+
+std::uint64_t SocketTransport::register_endpoint(const std::string& name,
+                                                 Handler handler) {
+  if (!handler) throw std::invalid_argument("wire: null handler");
+  const std::uint64_t token = next_token_++;
+  local_endpoints_[name] = EndpointEntry{std::move(handler), token};
+  announce_local_endpoints();
+  return token;
+}
+
+void SocketTransport::unregister_endpoint(const std::string& name,
+                                          std::uint64_t token) {
+  auto it = local_endpoints_.find(name);
+  if (it != local_endpoints_.end() && it->second.token == token)
+    local_endpoints_.erase(it);
+}
+
+bool SocketTransport::has_endpoint(const std::string& name) const {
+  return local_endpoints_.count(name) > 0;
+}
+
+void SocketTransport::record_hop(obs::FlightEventKind event,
+                                 const std::string& kind,
+                                 const std::string& from,
+                                 const std::string& to,
+                                 std::uint64_t trace_id, const char* cause) {
+  if (!obs::enabled()) return;
+  std::string detail;
+  if (cause != nullptr) {
+    detail += cause;
+    detail += ": ";
+  }
+  detail += kind.empty() ? "?" : kind;
+  detail += " ";
+  detail += from;
+  detail += ">";
+  detail += to;
+  obs::FlightRecorder::global().record(event, now(), trace_id,
+                                       obs::FlightEvent::kNoNode,
+                                       obs::FlightEvent::kNoNode, 0.0, detail);
+}
+
+void SocketTransport::drop_frame(const Frame& frame, const char* cause,
+                                 obs::Counter* by_cause) {
+  ++dropped_;
+  metrics_.dropped->inc();
+  if (by_cause != nullptr) by_cause->inc();
+  record_hop(obs::FlightEventKind::kMessageDrop, frame.kind, frame.from,
+             frame.to, frame.trace_id, cause);
+}
+
+void SocketTransport::enqueue(Peer& peer, std::vector<std::uint8_t> bytes,
+                              sim::Priority priority, const std::string& kind,
+                              const std::string& from, const std::string& to,
+                              std::uint64_t trace_id) {
+  std::deque<std::vector<std::uint8_t>>& queue =
+      priority == sim::Priority::kLow ? peer.tx_low : peer.tx_normal;
+  if (peer.tx_normal.size() + peer.tx_low.size() >=
+      config_.max_queued_frames) {
+    // QoS shedding at the cap (§III-C): make room for control traffic by
+    // discarding the newest monitoring frames; a kLow arrival at a full
+    // queue is itself the cheapest thing to discard.
+    if (priority == sim::Priority::kLow || peer.tx_low.empty()) {
+      ++dropped_;
+      metrics_.dropped->inc();
+      metrics_.dropped_queue_full->inc();
+      record_hop(obs::FlightEventKind::kMessageDrop, kind, from, to, trace_id,
+                 "queue_full");
+      return;
+    }
+    peer.tx_low.pop_back();
+    ++dropped_;
+    metrics_.dropped->inc();
+    metrics_.dropped_queue_full->inc();
+  }
+  queue.push_back(std::move(bytes));
+}
+
+void SocketTransport::send(const std::string& from, const std::string& to,
+                           std::any payload, sim::Priority priority,
+                           std::string kind, std::uint64_t trace_id) {
+  core::Message* message = std::any_cast<core::Message>(&payload);
+  if (message == nullptr) {
+    DUST_LOG_WARN << "wire: send() payload is not a core::Message, dropping";
+    ++dropped_;
+    metrics_.dropped->inc();
+    return;
+  }
+  ++frames_sent_;
+  metrics_.tx_frames->inc();
+  record_hop(obs::FlightEventKind::kMessageTx, kind, from, to, trace_id);
+  if (local_endpoints_.count(to) > 0) {
+    // Same-process endpoint: no codec round trip, but identical delivery
+    // semantics (queued, dispatched from poll_once like a received frame).
+    local_queue_.push_back(sim::Envelope{from, to, std::move(*message),
+                                         priority, std::move(kind), trace_id});
+    return;
+  }
+  Peer* peer = nullptr;
+  if (config_.role == SocketTransportConfig::Role::kLeaf) {
+    peer = &hub_link_;  // queues persist across reconnects
+  } else {
+    peer = route_of(to);
+    if (peer == nullptr) {
+      Frame context;
+      context.kind = kind;
+      context.from = from;
+      context.to = to;
+      context.trace_id = trace_id;
+      drop_frame(context, "no_endpoint", metrics_.dropped_no_endpoint);
+      return;
+    }
+  }
+  const std::int64_t start_us = steady_us();
+  std::vector<std::uint8_t> bytes = encode_frame(
+      message_frame(from, to, std::move(*message), priority, kind, trace_id));
+  metrics_.encode_us->observe(static_cast<double>(steady_us() - start_us));
+  enqueue(*peer, std::move(bytes), priority, kind, from, to, trace_id);
+}
+
+SocketTransport::Peer* SocketTransport::route_of(const std::string& endpoint) {
+  auto it = remote_endpoints_.find(endpoint);
+  if (it == remote_endpoints_.end()) return nullptr;
+  auto peer = peers_.find(it->second);
+  if (peer == peers_.end()) {
+    remote_endpoints_.erase(it);
+    return nullptr;
+  }
+  return &peer->second;
+}
+
+bool SocketTransport::handle_frame(Peer& peer, DecodeResult decoded) {
+  Frame& frame = decoded.frame;
+  if (frame.type == FrameType::kAnnounce) {
+    for (std::string& name : frame.announce_endpoints) {
+      remote_endpoints_[name] = peer.fd;
+      peer.endpoints.push_back(std::move(name));
+    }
+    return true;
+  }
+  ++frames_received_;
+  metrics_.rx_frames->inc();
+  if (local_endpoints_.count(frame.to) > 0) {
+    record_hop(obs::FlightEventKind::kMessageRx, frame.kind, frame.from,
+               frame.to, frame.trace_id);
+    local_queue_.push_back(sim::Envelope{
+        std::move(frame.from), std::move(frame.to), std::move(frame.message),
+        frame.priority, std::move(frame.kind), frame.trace_id});
+    return true;
+  }
+  if (config_.role == SocketTransportConfig::Role::kHub) {
+    // Route leaf-to-leaf traffic (busy -> destination AgentTransfer /
+    // TelemetryData): forward the encoded frame verbatim.
+    Peer* next_hop = route_of(frame.to);
+    if (next_hop != nullptr && next_hop->fd != peer.fd) {
+      ++frames_forwarded_;
+      metrics_.forwarded->inc();
+      enqueue(*next_hop,
+              std::vector<std::uint8_t>(decoded.raw,
+                                        decoded.raw + decoded.raw_size),
+              frame.priority, frame.kind, frame.from, frame.to,
+              frame.trace_id);
+      return true;
+    }
+  }
+  drop_frame(frame, "no_endpoint", metrics_.dropped_no_endpoint);
+  return true;
+}
+
+bool SocketTransport::read_from(Peer& peer) {
+  char buffer[65536];
+  while (true) {
+    const ssize_t n = ::read(peer.fd, buffer, sizeof(buffer));
+    if (n > 0) {
+      metrics_.rx_bytes->inc(static_cast<std::uint64_t>(n));
+      peer.rx.append(buffer, static_cast<std::size_t>(n));
+      if (static_cast<std::size_t>(n) < sizeof(buffer)) break;
+      continue;
+    }
+    if (n == 0) {
+      DUST_LOG_DEBUG << "wire: peer closed connection (fd " << peer.fd << ")";
+      return false;  // orderly shutdown
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    if (errno == EINTR) continue;
+    DUST_LOG_DEBUG << "wire: read failed (fd " << peer.fd << "): "
+                   << std::strerror(errno);
+    return false;
+  }
+  while (true) {
+    const std::int64_t start_us = steady_us();
+    DecodeResult decoded = peer.rx.next();
+    if (decoded.status == DecodeStatus::kNeedMoreData) break;
+    if (decoded.status != DecodeStatus::kOk) {
+      // A TCP stream never legitimately desynchronises: any decode error
+      // means the peer speaks another version or the stream is corrupt.
+      // Count it, surface the typed cause, and drop the connection.
+      ++decode_errors_;
+      metrics_.decode_errors->inc();
+      DUST_LOG_WARN << "wire: decode error (" << to_string(decoded.status)
+                    << "), dropping connection";
+      return false;
+    }
+    metrics_.decode_us->observe(static_cast<double>(steady_us() - start_us));
+    if (!handle_frame(peer, std::move(decoded))) return false;
+  }
+  return true;
+}
+
+bool SocketTransport::flush(Peer& peer) {
+  while (true) {
+    if (peer.inflight.empty()) {
+      if (!peer.tx_normal.empty()) {
+        // kNormal control traffic always drains before kLow monitoring
+        // data (§III-C).
+        peer.inflight = std::move(peer.tx_normal.front());
+        peer.tx_normal.pop_front();
+      } else if (!peer.tx_low.empty()) {
+        peer.inflight = std::move(peer.tx_low.front());
+        peer.tx_low.pop_front();
+      } else {
+        return true;
+      }
+      peer.inflight_offset = 0;
+    }
+    const ssize_t n =
+        ::write(peer.fd, peer.inflight.data() + peer.inflight_offset,
+                peer.inflight.size() - peer.inflight_offset);
+    if (n > 0) {
+      metrics_.tx_bytes->inc(static_cast<std::uint64_t>(n));
+      peer.inflight_offset += static_cast<std::size_t>(n);
+      if (peer.inflight_offset == peer.inflight.size()) {
+        peer.inflight.clear();
+        peer.inflight_offset = 0;
+      }
+      continue;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return true;  // later
+    if (errno == EINTR) continue;
+    DUST_LOG_DEBUG << "wire: write failed (fd " << peer.fd << "): "
+                   << std::strerror(errno);
+    return false;
+  }
+}
+
+std::size_t SocketTransport::poll_once(int timeout_ms) {
+  const bool leaf = config_.role == SocketTransportConfig::Role::kLeaf;
+  if (leaf && hub_link_.fd < 0 && steady_ms() >= next_connect_at_ms_)
+    start_connect();
+
+  std::vector<pollfd> fds;
+  fds.reserve(peers_.size() + 2);
+  if (listen_fd_ >= 0) fds.push_back({listen_fd_, POLLIN, 0});
+  auto wants = [](const Peer& peer) -> short {
+    short events = POLLIN;
+    if (peer.connecting || !peer.inflight.empty() || !peer.tx_normal.empty() ||
+        !peer.tx_low.empty())
+      events |= POLLOUT;
+    return events;
+  };
+  for (auto& [fd, peer] : peers_) fds.push_back({fd, wants(peer), 0});
+  if (hub_link_.fd >= 0) fds.push_back({hub_link_.fd, wants(hub_link_), 0});
+
+  // Local-only work pending? Don't sleep on the sockets.
+  if (!local_queue_.empty()) timeout_ms = 0;
+  if (!fds.empty()) {
+    ::poll(fds.data(), static_cast<nfds_t>(fds.size()), timeout_ms);
+  }
+
+  std::vector<int> dead;
+  for (const pollfd& entry : fds) {
+    if (entry.fd == listen_fd_) {
+      if ((entry.revents & POLLIN) == 0) continue;
+      while (true) {
+        const int fd = ::accept(listen_fd_, nullptr, nullptr);
+        if (fd < 0) break;
+        set_nonblocking(fd);
+        set_nodelay(fd);
+        Peer peer;
+        peer.fd = fd;
+        peers_.emplace(fd, std::move(peer));
+        metrics_.connects->inc();
+        DUST_LOG_DEBUG << "wire: hub accepted connection (fd " << fd << ")";
+      }
+      continue;
+    }
+    Peer* peer = nullptr;
+    if (leaf && entry.fd == hub_link_.fd) {
+      peer = &hub_link_;
+    } else {
+      auto it = peers_.find(entry.fd);
+      if (it == peers_.end()) continue;
+      peer = &it->second;
+    }
+    if (peer->connecting) {
+      if ((entry.revents & (POLLOUT | POLLERR | POLLHUP)) != 0)
+        finish_connect();
+      continue;
+    }
+    bool alive = true;
+    if ((entry.revents & (POLLERR | POLLHUP)) != 0 &&
+        (entry.revents & POLLIN) == 0) {
+      DUST_LOG_DEBUG << "wire: poll error on fd " << entry.fd << " (revents "
+                     << entry.revents << ")";
+      alive = false;
+    }
+    if (alive && (entry.revents & POLLIN) != 0) alive = read_from(*peer);
+    if (alive) alive = flush(*peer);
+    if (!alive) dead.push_back(entry.fd);
+  }
+
+  for (const int fd : dead) {
+    if (leaf && fd == hub_link_.fd) {
+      DUST_LOG_INFO << "wire: hub link lost, reconnecting with backoff";
+      on_link_lost();
+      continue;
+    }
+    auto it = peers_.find(fd);
+    if (it == peers_.end()) continue;
+    for (const std::string& name : it->second.endpoints) {
+      auto route = remote_endpoints_.find(name);
+      if (route != remote_endpoints_.end() && route->second == fd)
+        remote_endpoints_.erase(route);
+    }
+    ::close(fd);
+    peers_.erase(it);
+  }
+
+  // Dispatch local deliveries last, outside all socket iteration, so
+  // handlers can freely send() (and even trigger new local deliveries,
+  // which run in this same drain).
+  std::size_t delivered = 0;
+  while (!local_queue_.empty()) {
+    sim::Envelope envelope = std::move(local_queue_.front());
+    local_queue_.pop_front();
+    auto it = local_endpoints_.find(envelope.to);
+    if (it == local_endpoints_.end()) {
+      Frame context;
+      context.kind = envelope.kind;
+      context.from = envelope.from;
+      context.to = envelope.to;
+      context.trace_id = envelope.trace_id;
+      drop_frame(context, "no_endpoint", metrics_.dropped_no_endpoint);
+      continue;
+    }
+    ++delivered;
+    it->second.handler(envelope);
+  }
+  return delivered;
+}
+
+}  // namespace dust::wire

@@ -1,0 +1,205 @@
+// wire::SocketTransport — the DUST control plane over real sockets
+// (DESIGN.md §11).
+//
+// A sim::TransportBase implementation that frames every message with
+// wire::Codec and moves it over non-blocking TCP, driven by a poll(2) event
+// loop the owner pumps (`poll_once`). Two roles:
+//
+//   kHub  — listens; accepts any number of leaf connections; routes frames
+//           between leaves by endpoint name (a leaf only ever knows the
+//           hub's address — matching the paper's star control plane where
+//           clients know only the DUST-Manager).
+//   kLeaf — connects to the hub, announces its local endpoint names, and
+//           reconnects with capped exponential backoff when the hub drops.
+//
+// QoS (§III-C): each connection keeps two outbound queues; kNormal control
+// traffic always drains before kLow monitoring data, and when the queue cap
+// is hit, kLow is shed first. Partial reads reassemble through
+// wire::FrameBuffer; partial writes resume mid-frame on the next poll.
+//
+// Single-threaded by design, like the rest of the runtime: all calls —
+// send(), register_endpoint(), poll_once() — must come from the owning
+// thread. Handlers run inside poll_once and may send() reentrantly.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "obs/flight_recorder.hpp"
+#include "obs/metrics.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/transport.hpp"
+#include "wire/codec.hpp"
+
+namespace dust::wire {
+
+struct SocketTransportConfig {
+  enum class Role : std::uint8_t { kHub, kLeaf };
+  Role role = Role::kHub;
+  /// kHub: bind address (port 0 = ephemeral, read back via listen_port()).
+  /// kLeaf: hub address to connect to.
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+  /// Leaf reconnect backoff: first retry after `reconnect_initial_ms`,
+  /// doubling per failure up to `reconnect_max_ms`.
+  std::int64_t reconnect_initial_ms = 50;
+  std::int64_t reconnect_max_ms = 2000;
+  /// Per-connection outbound cap, in frames. At the cap, kLow frames are
+  /// shed (newest first) to make room for kNormal; kNormal overflow drops
+  /// the new frame. Keeps a dead peer from ballooning memory.
+  std::size_t max_queued_frames = 4096;
+  /// Clock stamped onto flight-recorder events for wire hops. Defaults to
+  /// wall milliseconds since transport construction; daemons that advance a
+  /// Simulator against wall time pass `[&sim] { return sim.now(); }` so wire
+  /// events interleave correctly with protocol events.
+  std::function<sim::TimeMs()> now;
+};
+
+class SocketTransport final : public sim::TransportBase {
+ public:
+  /// Hub: binds and listens immediately (throws std::runtime_error on
+  /// failure). Leaf: the first connect attempt happens on the next
+  /// poll_once().
+  explicit SocketTransport(SocketTransportConfig config);
+  ~SocketTransport() override;
+
+  SocketTransport(const SocketTransport&) = delete;
+  SocketTransport& operator=(const SocketTransport&) = delete;
+
+  // --- sim::TransportBase ---------------------------------------------------
+  std::uint64_t register_endpoint(const std::string& name,
+                                  Handler handler) override;
+  void unregister_endpoint(const std::string& name,
+                           std::uint64_t token) override;
+  [[nodiscard]] bool has_endpoint(const std::string& name) const override;
+  /// Local destinations dispatch on the next poll_once; remote destinations
+  /// are framed and queued on the owning connection (leaf: the hub link,
+  /// queued across reconnects). Payload must hold a core::Message.
+  void send(const std::string& from, const std::string& to, std::any payload,
+            sim::Priority priority = sim::Priority::kNormal,
+            std::string kind = {}, std::uint64_t trace_id = 0) override;
+
+  // --- event loop -----------------------------------------------------------
+  /// Pump the loop once: poll sockets up to `timeout_ms` (0 = non-blocking),
+  /// accept/connect, read + decode + dispatch, flush queues, run reconnect
+  /// backoff. Returns the number of envelopes delivered to local handlers.
+  std::size_t poll_once(int timeout_ms);
+
+  [[nodiscard]] std::uint16_t listen_port() const noexcept {
+    return listen_port_;
+  }
+  [[nodiscard]] bool connected() const noexcept;  ///< leaf: link established
+  [[nodiscard]] std::size_t peer_count() const noexcept;
+
+  [[nodiscard]] std::uint64_t frames_sent() const noexcept {
+    return frames_sent_;
+  }
+  [[nodiscard]] std::uint64_t frames_received() const noexcept {
+    return frames_received_;
+  }
+  [[nodiscard]] std::uint64_t frames_forwarded() const noexcept {
+    return frames_forwarded_;
+  }
+  [[nodiscard]] std::uint64_t dropped() const noexcept { return dropped_; }
+  [[nodiscard]] std::uint64_t reconnects() const noexcept {
+    return reconnects_;
+  }
+  [[nodiscard]] std::uint64_t decode_errors() const noexcept {
+    return decode_errors_;
+  }
+
+ private:
+  struct Peer {
+    int fd = -1;
+    bool connecting = false;  ///< leaf: non-blocking connect in flight
+    FrameBuffer rx;
+    /// Encoded frames awaiting the socket, split by QoS class.
+    std::deque<std::vector<std::uint8_t>> tx_normal;
+    std::deque<std::vector<std::uint8_t>> tx_low;
+    /// Frame currently being written (may be partially sent).
+    std::vector<std::uint8_t> inflight;
+    std::size_t inflight_offset = 0;
+    /// Endpoint names announced over this connection (hub side).
+    std::vector<std::string> endpoints;
+  };
+
+  /// Global-registry handles (dust_wire_*), resolved once at construction.
+  struct Metrics {
+    obs::Counter* tx_frames = nullptr;
+    obs::Counter* rx_frames = nullptr;
+    obs::Counter* tx_bytes = nullptr;
+    obs::Counter* rx_bytes = nullptr;
+    obs::Counter* forwarded = nullptr;
+    obs::Counter* dropped = nullptr;
+    obs::Counter* dropped_no_endpoint = nullptr;
+    obs::Counter* dropped_queue_full = nullptr;
+    obs::Counter* decode_errors = nullptr;
+    obs::Counter* reconnects = nullptr;
+    obs::Counter* connects = nullptr;
+    obs::Histogram* encode_us = nullptr;  ///< wall-clock codec latency
+    obs::Histogram* decode_us = nullptr;
+  };
+
+  [[nodiscard]] sim::TimeMs now() const;
+  void start_listening();
+  void start_connect();
+  bool finish_connect();  ///< leaf: resolve a pending non-blocking connect
+  void on_link_established();
+  void on_link_lost();
+  void enqueue(Peer& peer, std::vector<std::uint8_t> bytes,
+               sim::Priority priority, const std::string& kind,
+               const std::string& from, const std::string& to,
+               std::uint64_t trace_id);
+  bool flush(Peer& peer);  ///< false when the connection broke
+  bool read_from(Peer& peer);  ///< false when the connection broke
+  bool handle_frame(Peer& peer, DecodeResult decoded);
+  void record_hop(obs::FlightEventKind event, const std::string& kind,
+                  const std::string& from, const std::string& to,
+                  std::uint64_t trace_id, const char* cause = nullptr);
+  void drop_frame(const Frame& frame, const char* cause,
+                  obs::Counter* by_cause);
+  /// Leaf: (re)send the kAnnounce frame naming every local endpoint.
+  void announce_local_endpoints();
+  [[nodiscard]] Peer* route_of(const std::string& endpoint);
+
+  SocketTransportConfig config_;
+  Metrics metrics_;
+  int listen_fd_ = -1;
+  std::uint16_t listen_port_ = 0;
+  /// Hub: all accepted leaf connections, keyed by fd.
+  std::map<int, Peer> peers_;
+  /// Leaf: the (single) hub link. Persists across reconnects — fd flips to
+  /// -1 while disconnected but the outbound queues keep accumulating, so
+  /// control traffic sent during an outage is delivered after the backoff
+  /// loop re-establishes the link.
+  Peer hub_link_;
+  std::int64_t backoff_ms_ = 0;
+  std::int64_t next_connect_at_ms_ = 0;  ///< steady wall clock (ms)
+
+  struct EndpointEntry {
+    Handler handler;
+    std::uint64_t token = 0;
+  };
+  std::unordered_map<std::string, EndpointEntry> local_endpoints_;
+  std::unordered_map<std::string, int> remote_endpoints_;  ///< name -> peer fd
+  std::uint64_t next_token_ = 1;
+
+  /// Envelopes addressed to a same-process endpoint, dispatched in
+  /// poll_once so handler reentrancy is never an issue.
+  std::deque<sim::Envelope> local_queue_;
+
+  std::uint64_t frames_sent_ = 0;
+  std::uint64_t frames_received_ = 0;
+  std::uint64_t frames_forwarded_ = 0;
+  std::uint64_t dropped_ = 0;
+  std::uint64_t reconnects_ = 0;
+  std::uint64_t decode_errors_ = 0;
+  std::int64_t epoch_ms_ = 0;  ///< steady-clock origin for the default now()
+};
+
+}  // namespace dust::wire

@@ -1,0 +1,177 @@
+// wire::Codec properties: encode -> decode -> encode is byte-identical for
+// every message type and random field content, the header layout matches the
+// DESIGN.md §11 spec byte for byte, and every envelope passenger survives
+// the round trip.
+#include "wire/codec.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "check/wire_gen.hpp"
+#include "core/messages.hpp"
+#include "util/rng.hpp"
+
+namespace dust {
+namespace {
+
+using wire::decode_frame;
+using wire::DecodeResult;
+using wire::DecodeStatus;
+using wire::encode_frame;
+using wire::Frame;
+using wire::FrameType;
+
+TEST(WireCodec, RoundTripIsByteIdenticalForEveryMessageType) {
+  for (std::uint64_t seed = 0; seed < 50; ++seed) {
+    for (std::size_t type_index = 0; type_index < 10; ++type_index) {
+      util::Rng rng(seed * 977 + type_index);
+      Frame frame = wire::message_frame(
+          "dust-client-1", "dust-manager",
+          check::random_message(rng, type_index),
+          rng.bernoulli(0.5) ? sim::Priority::kLow : sim::Priority::kNormal,
+          "kind-" + std::to_string(type_index), rng());
+
+      const std::vector<std::uint8_t> bytes = encode_frame(frame);
+      const DecodeResult decoded = decode_frame(bytes.data(), bytes.size());
+      ASSERT_EQ(decoded.status, DecodeStatus::kOk)
+          << "seed " << seed << " type " << type_index;
+      EXPECT_EQ(decoded.consumed, bytes.size());
+      EXPECT_EQ(decoded.frame.type, frame.type);
+      EXPECT_EQ(decoded.frame.priority, frame.priority);
+      EXPECT_EQ(decoded.frame.trace_id, frame.trace_id);
+      EXPECT_EQ(decoded.frame.from, frame.from);
+      EXPECT_EQ(decoded.frame.to, frame.to);
+      EXPECT_EQ(decoded.frame.kind, frame.kind);
+      EXPECT_EQ(decoded.frame.message.index(), frame.message.index());
+
+      // The strongest equality there is: identical bytes.
+      const std::vector<std::uint8_t> reencoded = encode_frame(decoded.frame);
+      EXPECT_EQ(reencoded, bytes) << "seed " << seed << " type " << type_index;
+    }
+  }
+}
+
+TEST(WireCodec, RandomFramesRoundTrip) {
+  util::Rng rng(0xC0DEC);
+  for (int i = 0; i < 500; ++i) {
+    const Frame frame = check::random_frame(rng);
+    const std::vector<std::uint8_t> bytes = encode_frame(frame);
+    const DecodeResult decoded = decode_frame(bytes.data(), bytes.size());
+    ASSERT_EQ(decoded.status, DecodeStatus::kOk) << "iteration " << i;
+    EXPECT_EQ(encode_frame(decoded.frame), bytes) << "iteration " << i;
+    ASSERT_EQ(decoded.raw_size, bytes.size());
+    EXPECT_EQ(std::memcmp(decoded.raw, bytes.data(), bytes.size()), 0);
+  }
+}
+
+TEST(WireCodec, HeaderLayoutMatchesSpec) {
+  Frame frame = wire::message_frame("a", "b", core::Message{core::AckMsg{}},
+                                    sim::Priority::kNormal, "ack", 7);
+  const std::vector<std::uint8_t> bytes = encode_frame(frame);
+  ASSERT_GE(bytes.size(), wire::kWireHeaderBytes);
+  // Magic: "DUST" read as a little-endian u32, i.e. the literal characters
+  // 'D' 'U' 'S' 'T' in byte order.
+  EXPECT_EQ(bytes[0], 'D');
+  EXPECT_EQ(bytes[1], 'U');
+  EXPECT_EQ(bytes[2], 'S');
+  EXPECT_EQ(bytes[3], 'T');
+  // Version at offset 8, type tag at 10, payload length at 12 (all LE).
+  EXPECT_EQ(bytes[8] | (bytes[9] << 8), wire::kWireVersion);
+  EXPECT_EQ(bytes[10] | (bytes[11] << 8),
+            static_cast<int>(FrameType::kAck));
+  const std::size_t payload_len = bytes[12] | (bytes[13] << 8) |
+                                  (bytes[14] << 16) |
+                                  (static_cast<std::size_t>(bytes[15]) << 24);
+  EXPECT_EQ(payload_len, bytes.size() - wire::kWireHeaderBytes);
+  // Priority is the first payload byte.
+  EXPECT_EQ(bytes[16], static_cast<std::uint8_t>(sim::Priority::kNormal));
+}
+
+TEST(WireCodec, AnnounceRoundTrip) {
+  Frame frame = wire::announce_frame({"dust-client-3", "dust-client-9", ""});
+  const std::vector<std::uint8_t> bytes = encode_frame(frame);
+  const DecodeResult decoded = decode_frame(bytes.data(), bytes.size());
+  ASSERT_EQ(decoded.status, DecodeStatus::kOk);
+  EXPECT_EQ(decoded.frame.type, FrameType::kAnnounce);
+  EXPECT_EQ(decoded.frame.announce_endpoints, frame.announce_endpoints);
+  EXPECT_EQ(encode_frame(decoded.frame), bytes);
+}
+
+TEST(WireCodec, EncodeRejectsOverlongStrings) {
+  Frame frame = wire::message_frame(std::string(70000, 'x'), "b",
+                                    core::Message{core::AckMsg{}},
+                                    sim::Priority::kNormal);
+  EXPECT_THROW((void)encode_frame(frame), std::invalid_argument);
+}
+
+TEST(WireCodec, EveryMessageTypeHasAStableTag) {
+  // The tag values are the wire contract — changing one breaks every
+  // deployed peer, so pin them.
+  util::Rng rng(1);
+  const std::pair<std::size_t, FrameType> expected[] = {
+      {0, FrameType::kOffloadCapable}, {1, FrameType::kAck},
+      {2, FrameType::kStat},           {3, FrameType::kOffloadRequest},
+      {4, FrameType::kOffloadAck},     {5, FrameType::kAgentTransfer},
+      {6, FrameType::kTelemetryData},  {7, FrameType::kKeepalive},
+      {8, FrameType::kRep},            {9, FrameType::kRelease},
+  };
+  for (const auto& [index, tag] : expected)
+    EXPECT_EQ(wire::frame_type_of(check::random_message(rng, index)), tag);
+  EXPECT_EQ(static_cast<std::uint16_t>(FrameType::kOffloadCapable), 1);
+  EXPECT_EQ(static_cast<std::uint16_t>(FrameType::kRelease), 10);
+  EXPECT_EQ(static_cast<std::uint16_t>(FrameType::kAnnounce), 100);
+}
+
+TEST(WireCodec, FrameBufferReassemblesArbitraryChunks) {
+  util::Rng rng(0xBEEF);
+  for (int round = 0; round < 20; ++round) {
+    std::vector<Frame> frames;
+    std::vector<std::uint8_t> stream;
+    const std::size_t count = 1 + rng.below(6);
+    for (std::size_t i = 0; i < count; ++i) {
+      frames.push_back(check::random_frame(rng));
+      const std::vector<std::uint8_t> bytes = encode_frame(frames.back());
+      stream.insert(stream.end(), bytes.begin(), bytes.end());
+    }
+
+    wire::FrameBuffer buffer;
+    std::size_t decoded_count = 0;
+    std::size_t cursor = 0;
+    while (cursor < stream.size() || true) {
+      // Feed a random-sized chunk, then drain.
+      if (cursor < stream.size()) {
+        const std::size_t chunk =
+            std::min<std::size_t>(1 + rng.below(40), stream.size() - cursor);
+        buffer.append(stream.data() + cursor, chunk);
+        cursor += chunk;
+      }
+      while (true) {
+        const DecodeResult decoded = buffer.next();
+        if (decoded.status != DecodeStatus::kOk) {
+          ASSERT_EQ(decoded.status, DecodeStatus::kNeedMoreData);
+          break;
+        }
+        ASSERT_LT(decoded_count, frames.size());
+        EXPECT_EQ(encode_frame(decoded.frame),
+                  encode_frame(frames[decoded_count]));
+        ++decoded_count;
+      }
+      if (cursor >= stream.size()) break;
+    }
+    EXPECT_EQ(decoded_count, frames.size());
+    EXPECT_EQ(buffer.pending_bytes(), 0u);
+  }
+}
+
+TEST(WireCodec, StatusAndTypeNamesAreStable) {
+  EXPECT_STREQ(wire::to_string(DecodeStatus::kOk), "ok");
+  EXPECT_STREQ(wire::to_string(DecodeStatus::kBadCrc), "bad_crc");
+  EXPECT_STREQ(wire::to_string(FrameType::kStat), "stat");
+  EXPECT_STREQ(wire::to_string(FrameType::kAnnounce), "announce");
+}
+
+}  // namespace
+}  // namespace dust

@@ -1,0 +1,321 @@
+// Multi-process integration: the daemon binaries (examples/manager_daemon,
+// examples/client_daemon) speaking the wire protocol over loopback TCP must
+// reach the exact placement an in-process simulator run computes — same
+// destinations, bit-identical amounts, same HFR — and must survive a client
+// process dying mid-run by substituting a replica destination (§III-B Rep).
+//
+// The daemons print doubles as IEEE-754 bit patterns, so equality here is
+// bit-exact string/integer comparison, never epsilon.
+#include <fcntl.h>
+#include <poll.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <bit>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <set>
+#include <sstream>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/client.hpp"
+#include "core/heuristic.hpp"
+#include "core/manager.hpp"
+#include "sim/transport.hpp"
+#include "util/rng.hpp"
+#include "wire/demo_scenario.hpp"
+
+#ifndef DUST_MANAGER_DAEMON_BIN
+#error "DUST_MANAGER_DAEMON_BIN must point at the manager_daemon binary"
+#endif
+#ifndef DUST_CLIENT_DAEMON_BIN
+#error "DUST_CLIENT_DAEMON_BIN must point at the client_daemon binary"
+#endif
+
+namespace dust {
+namespace {
+
+std::int64_t wall_ms() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// A forked daemon. Captured stdout is read incrementally (the manager's PORT
+// line must be consumed while the process is still settling). The destructor
+// SIGKILLs stragglers so a failed assertion never leaks orphan daemons.
+class Daemon {
+ public:
+  Daemon(const char* binary, const std::vector<std::string>& args,
+         bool capture_stdout) {
+    int fds[2] = {-1, -1};
+    if (capture_stdout) {
+      if (pipe(fds) != 0) return;
+    }
+    pid_ = fork();
+    if (pid_ == 0) {
+      if (capture_stdout) {
+        dup2(fds[1], STDOUT_FILENO);
+        close(fds[0]);
+        close(fds[1]);
+      }
+      std::vector<char*> argv;
+      argv.push_back(const_cast<char*>(binary));
+      for (const std::string& arg : args)
+        argv.push_back(const_cast<char*>(arg.c_str()));
+      argv.push_back(nullptr);
+      execv(binary, argv.data());
+      _exit(127);
+    }
+    if (capture_stdout) {
+      close(fds[1]);
+      out_ = fds[0];
+    }
+  }
+
+  ~Daemon() {
+    if (out_ >= 0) close(out_);
+    if (pid_ > 0 && !reaped_) {
+      kill(pid_, SIGKILL);
+      waitpid(pid_, nullptr, 0);
+    }
+  }
+
+  Daemon(const Daemon&) = delete;
+  Daemon& operator=(const Daemon&) = delete;
+
+  [[nodiscard]] bool running() const { return pid_ > 0; }
+
+  /// Next stdout line (without the newline), or false on EOF / deadline.
+  bool read_line(std::string& line, std::int64_t deadline_ms) {
+    while (true) {
+      const std::size_t nl = buffer_.find('\n');
+      if (nl != std::string::npos) {
+        line = buffer_.substr(0, nl);
+        buffer_.erase(0, nl + 1);
+        return true;
+      }
+      if (eof_) return false;
+      const std::int64_t remaining = deadline_ms - wall_ms();
+      if (remaining <= 0) return false;
+      pollfd pfd{out_, POLLIN, 0};
+      const int ready = poll(&pfd, 1, static_cast<int>(remaining));
+      if (ready <= 0) return false;
+      char chunk[4096];
+      const ssize_t n = read(out_, chunk, sizeof chunk);
+      if (n <= 0) {
+        eof_ = true;
+        continue;
+      }
+      buffer_.append(chunk, static_cast<std::size_t>(n));
+    }
+  }
+
+  /// Blocks until the process exits; returns its exit code (or 128+signal).
+  int wait_exit() {
+    if (pid_ <= 0) return -1;
+    int status = 0;
+    waitpid(pid_, &status, 0);
+    reaped_ = true;
+    if (WIFEXITED(status)) return WEXITSTATUS(status);
+    if (WIFSIGNALED(status)) return 128 + WTERMSIG(status);
+    return -1;
+  }
+
+ private:
+  pid_t pid_ = -1;
+  int out_ = -1;
+  bool reaped_ = false;
+  bool eof_ = false;
+  std::string buffer_;
+};
+
+using Assign = std::tuple<unsigned, unsigned, std::uint64_t>;
+
+struct ManagerReport {
+  std::uint16_t port = 0;
+  std::uint64_t hfr_bits = ~0ULL;
+  std::set<Assign> assigns;
+  std::set<Assign> final_assigns;
+  long final_offloads = -1;
+  long keepalive_failures = -1;
+  long redirects = -1;
+};
+
+void parse_line(const std::string& line, ManagerReport& report) {
+  std::istringstream in(line);
+  std::string tag;
+  in >> tag;
+  if (tag == "PORT") {
+    in >> report.port;
+  } else if (tag == "HFR") {
+    std::string hex;
+    in >> hex;
+    report.hfr_bits = std::stoull(hex, nullptr, 16);
+  } else if (tag == "ASSIGN" || tag == "FINAL_ASSIGN") {
+    unsigned busy = 0;
+    unsigned destination = 0;
+    std::string hex;
+    in >> busy >> destination >> hex;
+    (tag == "ASSIGN" ? report.assigns : report.final_assigns)
+        .emplace(busy, destination, std::stoull(hex, nullptr, 16));
+  } else if (tag == "FINAL") {
+    std::string field;
+    while (in >> field) {
+      const std::size_t eq = field.find('=');
+      if (eq == std::string::npos) continue;
+      const std::string key = field.substr(0, eq);
+      const long value = std::stol(field.substr(eq + 1));
+      if (key == "offloads") report.final_offloads = value;
+      if (key == "keepalive_failures") report.keepalive_failures = value;
+      if (key == "redirects") report.redirects = value;
+    }
+  }
+}
+
+struct Reference {
+  std::uint64_t hfr_bits = 0;
+  std::set<Assign> assigns;
+};
+
+// The in-process ground truth: same demo scenario, same scripted constant
+// states, simulated transport. What the daemons must reproduce bit-for-bit.
+Reference in_process_reference() {
+  sim::Simulator sim;
+  sim::Transport transport(sim, util::Rng(7));
+  core::ManagerConfig config;
+  config.update_interval_ms = 200;
+  config.placement_period_ms = 1LL << 40;
+  core::DustManager manager(sim, transport, wire::demo_nmdb(), config);
+  core::Nmdb scenario = wire::demo_nmdb();
+  std::vector<std::unique_ptr<core::DustClient>> clients;
+  for (graph::NodeId v = 0; v < scenario.node_count(); ++v) {
+    core::ClientConfig client_config;
+    client_config.offload_capable = scenario.offload_capable(v);
+    client_config.platform_factor = scenario.platform_factor(v);
+    clients.push_back(std::make_unique<core::DustClient>(
+        sim, transport, v, client_config, util::Rng(100 + v)));
+    clients.back()->set_reported_state(
+        scenario.network().node_utilization(v),
+        scenario.network().monitoring_data_mb(v), 1);
+    clients.back()->start();
+  }
+  manager.start();
+  sim.run_until(2000);
+  EXPECT_EQ(manager.nodes_reporting(), scenario.node_count());
+
+  Reference reference;
+  reference.hfr_bits = std::bit_cast<std::uint64_t>(
+      core::HeuristicEngine().run(manager.nmdb()).hfr_percent());
+  manager.run_placement_cycle();
+  for (const core::ActiveOffload& offload : manager.active_offloads())
+    reference.assigns.emplace(offload.busy, offload.destination,
+                              std::bit_cast<std::uint64_t>(offload.amount));
+  EXPECT_FALSE(reference.assigns.empty());
+  return reference;
+}
+
+// Read manager stdout until the PORT line shows up, then hand each client
+// fleet slice its own OS process.
+std::uint16_t await_port(Daemon& manager, ManagerReport& report) {
+  const std::int64_t deadline = wall_ms() + 10000;
+  std::string line;
+  while (report.port == 0 && manager.read_line(line, deadline))
+    parse_line(line, report);
+  return report.port;
+}
+
+void drain(Daemon& manager, ManagerReport& report, std::int64_t deadline_ms) {
+  std::string line;
+  while (manager.read_line(line, deadline_ms)) parse_line(line, report);
+}
+
+TEST(WireDaemon, FourClientProcessesMatchInProcessPlacement) {
+  const Reference reference = in_process_reference();
+
+  Daemon manager(DUST_MANAGER_DAEMON_BIN,
+                 {"--run-ms", "4000", "--settle-ms", "15000"},
+                 /*capture_stdout=*/true);
+  ASSERT_TRUE(manager.running());
+  ManagerReport report;
+  const std::uint16_t port = await_port(manager, report);
+  ASSERT_NE(port, 0) << "manager_daemon never printed PORT";
+
+  const std::string port_arg = std::to_string(port);
+  std::vector<std::unique_ptr<Daemon>> clients;
+  for (const char* slice : {"0,1", "2,3", "4,5", "6,7"})
+    clients.push_back(std::make_unique<Daemon>(
+        DUST_CLIENT_DAEMON_BIN,
+        std::vector<std::string>{"--port", port_arg, "--nodes", slice,
+                                 "--run-ms", "4000"},
+        /*capture_stdout=*/false));
+
+  drain(manager, report, wall_ms() + 30000);
+  EXPECT_EQ(manager.wait_exit(), 0);
+  for (auto& client : clients) EXPECT_EQ(client->wait_exit(), 0);
+
+  // Same heuristic fallback ratio, same placement, bit-identical amounts.
+  EXPECT_EQ(report.hfr_bits, reference.hfr_bits);
+  EXPECT_EQ(report.assigns, reference.assigns);
+  EXPECT_EQ(report.final_assigns, reference.assigns)
+      << "no relationship should churn when every process stays alive";
+  EXPECT_EQ(report.keepalive_failures, 0);
+}
+
+TEST(WireDaemon, ClientProcessDeathSubstitutesReplicaOverTheWire) {
+  // The reference run tells us which node hosts the offloaded workload; that
+  // node gets a process of its own, scheduled to crash mid-run.
+  const Reference reference = in_process_reference();
+  ASSERT_EQ(reference.assigns.size(), 1u);
+  const unsigned victim = std::get<1>(*reference.assigns.begin());
+
+  std::string survivors;
+  for (unsigned v = 0; v < wire::kDemoNodeCount; ++v) {
+    if (v == victim) continue;
+    if (!survivors.empty()) survivors += ',';
+    survivors += std::to_string(v);
+  }
+
+  Daemon manager(DUST_MANAGER_DAEMON_BIN,
+                 {"--run-ms", "8000", "--settle-ms", "15000"},
+                 /*capture_stdout=*/true);
+  ASSERT_TRUE(manager.running());
+  ManagerReport report;
+  const std::uint16_t port = await_port(manager, report);
+  ASSERT_NE(port, 0) << "manager_daemon never printed PORT";
+
+  const std::string port_arg = std::to_string(port);
+  Daemon healthy(DUST_CLIENT_DAEMON_BIN,
+                 {"--port", port_arg, "--nodes", survivors, "--run-ms", "8000"},
+                 /*capture_stdout=*/false);
+  Daemon doomed(DUST_CLIENT_DAEMON_BIN,
+                {"--port", port_arg, "--nodes", std::to_string(victim),
+                 "--run-ms", "8000", "--die-at-ms", "2500"},
+                /*capture_stdout=*/false);
+  ASSERT_TRUE(healthy.running());
+  ASSERT_TRUE(doomed.running());
+
+  drain(manager, report, wall_ms() + 40000);
+  EXPECT_EQ(manager.wait_exit(), 0);
+  EXPECT_EQ(healthy.wait_exit(), 0);
+  EXPECT_EQ(doomed.wait_exit(), 7);  // std::_Exit(7) — crashed, not finished
+
+  // The first cycle placed onto the soon-to-die node, exactly as in-process.
+  EXPECT_EQ(report.assigns, reference.assigns);
+  // The crash was noticed via keepalive loss, and every surviving
+  // relationship now points at a replica — never the dead node.
+  EXPECT_GE(report.keepalive_failures, 1);
+  EXPECT_FALSE(report.final_assigns.empty());
+  for (const Assign& assign : report.final_assigns)
+    EXPECT_NE(std::get<1>(assign), victim)
+        << "a relationship still targets the dead node";
+}
+
+}  // namespace
+}  // namespace dust

@@ -1,0 +1,168 @@
+// Adversarial input for the wire decoder. Run under the asan/ubsan presets
+// (`sanitize` label): the properties here are exactly the ones a sanitizer
+// can falsify — no out-of-bounds reads, no crashes, no silent acceptance of
+// corrupt frames.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "check/wire_gen.hpp"
+#include "util/rng.hpp"
+#include "wire/codec.hpp"
+#include "wire/crc32.hpp"
+
+namespace dust {
+namespace {
+
+using wire::decode_frame;
+using wire::DecodeResult;
+using wire::DecodeStatus;
+using wire::encode_frame;
+
+TEST(WireFuzz, EverySingleBitFlipIsRejected) {
+  util::Rng rng(0xF1);
+  for (int round = 0; round < 8; ++round) {
+    const std::vector<std::uint8_t> bytes =
+        encode_frame(check::random_frame(rng));
+    for (std::size_t bit = 0; bit < bytes.size() * 8; ++bit) {
+      std::vector<std::uint8_t> corrupt = bytes;
+      corrupt[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+      const DecodeResult decoded = decode_frame(corrupt.data(),
+                                                corrupt.size());
+      // The CRC covers version/type/length/payload and the magic guards
+      // itself, so no single-bit corruption may ever decode as a valid
+      // frame. (A flip in the length field may leave the decoder waiting
+      // for bytes that never come — that is kNeedMoreData, not acceptance.)
+      EXPECT_NE(decoded.status, DecodeStatus::kOk)
+          << "round " << round << " bit " << bit;
+    }
+  }
+}
+
+TEST(WireFuzz, EveryTruncationAsksForMoreData) {
+  util::Rng rng(0xF2);
+  for (int round = 0; round < 20; ++round) {
+    const std::vector<std::uint8_t> bytes =
+        encode_frame(check::random_frame(rng));
+    for (std::size_t len = 0; len < bytes.size(); ++len) {
+      const DecodeResult decoded = decode_frame(bytes.data(), len);
+      EXPECT_EQ(decoded.status, DecodeStatus::kNeedMoreData)
+          << "round " << round << " len " << len;
+      EXPECT_EQ(decoded.consumed, 0u);
+    }
+  }
+}
+
+TEST(WireFuzz, RandomGarbageNeverCrashesAndAlwaysMakesProgress) {
+  util::Rng rng(0xF3);
+  for (int round = 0; round < 200; ++round) {
+    std::vector<std::uint8_t> garbage(rng.below(4096));
+    for (std::uint8_t& byte : garbage)
+      byte = static_cast<std::uint8_t>(rng());
+    std::size_t offset = 0;
+    while (offset < garbage.size()) {
+      const DecodeResult decoded =
+          decode_frame(garbage.data() + offset, garbage.size() - offset);
+      if (decoded.status == DecodeStatus::kNeedMoreData) break;
+      ASSERT_GT(decoded.consumed, 0u) << "decoder must make progress";
+      offset += decoded.consumed;
+    }
+  }
+}
+
+TEST(WireFuzz, GarbageThroughFrameBufferInChunks) {
+  util::Rng rng(0xF4);
+  for (int round = 0; round < 50; ++round) {
+    wire::FrameBuffer buffer;
+    // Interleave garbage with the occasional valid frame; the valid frames
+    // behind a bad-magic run must still surface once the buffer resyncs.
+    for (int step = 0; step < 20; ++step) {
+      if (rng.bernoulli(0.3)) {
+        const std::vector<std::uint8_t> bytes =
+            encode_frame(check::random_frame(rng));
+        buffer.append(bytes.data(), bytes.size());
+      } else {
+        std::vector<std::uint8_t> garbage(rng.below(64));
+        for (std::uint8_t& byte : garbage)
+          byte = static_cast<std::uint8_t>(rng());
+        buffer.append(garbage.data(), garbage.size());
+      }
+      for (int drain = 0; drain < 10000; ++drain) {
+        const DecodeResult decoded = buffer.next();
+        if (decoded.status == DecodeStatus::kNeedMoreData) break;
+      }
+    }
+  }
+}
+
+TEST(WireFuzz, CorruptPayloadIsBadCrcAndStreamRecovers) {
+  util::Rng rng(0xF5);
+  for (int round = 0; round < 50; ++round) {
+    const std::vector<std::uint8_t> first =
+        encode_frame(check::random_frame(rng));
+    const std::vector<std::uint8_t> second =
+        encode_frame(check::random_frame(rng));
+    if (first.size() <= wire::kWireHeaderBytes) continue;  // needs a payload
+
+    std::vector<std::uint8_t> stream = first;
+    // Corrupt one payload byte of the first frame: header (and thus framing)
+    // stays intact, so the error is contained to exactly that frame.
+    const std::size_t victim =
+        wire::kWireHeaderBytes +
+        rng.below(first.size() - wire::kWireHeaderBytes);
+    stream[victim] ^= 0xFF;
+    stream.insert(stream.end(), second.begin(), second.end());
+
+    DecodeResult decoded = decode_frame(stream.data(), stream.size());
+    ASSERT_EQ(decoded.status, DecodeStatus::kBadCrc);
+    ASSERT_EQ(decoded.consumed, first.size());
+    decoded = decode_frame(stream.data() + decoded.consumed,
+                           stream.size() - decoded.consumed);
+    EXPECT_EQ(decoded.status, DecodeStatus::kOk);
+    EXPECT_EQ(decoded.consumed, second.size());
+  }
+}
+
+TEST(WireFuzz, UnknownVersionAndTypeAreTypedErrors) {
+  util::Rng rng(0xF6);
+  const std::vector<std::uint8_t> bytes =
+      encode_frame(check::random_frame(rng));
+
+  // Version bump with the CRC recomputed: an intact frame from the future.
+  std::vector<std::uint8_t> future = bytes;
+  future[8] = 2;
+  std::uint32_t crc = wire::crc32(future.data() + 8, future.size() - 8);
+  for (int i = 0; i < 4; ++i)
+    future[4 + i] = static_cast<std::uint8_t>(crc >> (8 * i));
+  DecodeResult decoded = decode_frame(future.data(), future.size());
+  EXPECT_EQ(decoded.status, DecodeStatus::kBadVersion);
+  EXPECT_EQ(decoded.consumed, future.size());
+
+  // Unknown type tag, CRC intact.
+  std::vector<std::uint8_t> alien = bytes;
+  alien[10] = 0xEE;
+  alien[11] = 0x7F;
+  crc = wire::crc32(alien.data() + 8, alien.size() - 8);
+  for (int i = 0; i < 4; ++i)
+    alien[4 + i] = static_cast<std::uint8_t>(crc >> (8 * i));
+  decoded = decode_frame(alien.data(), alien.size());
+  EXPECT_EQ(decoded.status, DecodeStatus::kUnknownType);
+  EXPECT_EQ(decoded.consumed, alien.size());
+}
+
+TEST(WireFuzz, OversizedLengthIsRejectedWithoutAllocation) {
+  util::Rng rng(0xF7);
+  std::vector<std::uint8_t> bytes = encode_frame(check::random_frame(rng));
+  // Claim a payload just over the ceiling.
+  const std::uint32_t huge =
+      static_cast<std::uint32_t>(wire::kMaxPayloadBytes) + 1;
+  for (int i = 0; i < 4; ++i)
+    bytes[12 + i] = static_cast<std::uint8_t>(huge >> (8 * i));
+  const DecodeResult decoded = decode_frame(bytes.data(), bytes.size());
+  EXPECT_EQ(decoded.status, DecodeStatus::kOversized);
+  EXPECT_EQ(decoded.consumed, 1u);  // length is untrusted: resync bytewise
+}
+
+}  // namespace
+}  // namespace dust
