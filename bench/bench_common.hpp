@@ -80,6 +80,15 @@ class JsonReport {
     records_.push_back({metric, value, units, config});
   }
 
+  /// Record the size of the topology the bench ran on; written as a
+  /// top-level "topology" object so baseline diffs can refuse to compare
+  /// runs taken at different scales.
+  void set_topology(std::size_t nodes, std::size_t edges) {
+    topology_nodes_ = nodes;
+    topology_edges_ = edges;
+    has_topology_ = true;
+  }
+
   /// Path the report will be written to.
   [[nodiscard]] std::string path() const {
     std::string dir;
@@ -96,7 +105,11 @@ class JsonReport {
     std::ofstream os(file);
     if (!os) return {};
     os << "{\n  \"bench\": \"" << escape(bench_name_) << "\",\n"
-       << "  \"schema\": \"dust-bench-v1\",\n  \"records\": [\n";
+       << "  \"schema\": \"dust-bench-v1\",\n";
+    if (has_topology_)
+      os << "  \"topology\": {\"nodes\": " << topology_nodes_
+         << ", \"edges\": " << topology_edges_ << "},\n";
+    os << "  \"records\": [\n";
     for (std::size_t i = 0; i < records_.size(); ++i) {
       const Record& r = records_[i];
       os << "    {\"name\": \"" << escape(bench_name_) << "\", \"metric\": \""
@@ -135,6 +148,9 @@ class JsonReport {
 
   std::string bench_name_;
   std::vector<Record> records_;
+  std::size_t topology_nodes_ = 0;
+  std::size_t topology_edges_ = 0;
+  bool has_topology_ = false;
 };
 
 }  // namespace dust::bench

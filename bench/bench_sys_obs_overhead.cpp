@@ -145,6 +145,10 @@ int main() {
   bench::emit(table);
 
   bench::JsonReport json("obs_overhead");
+  {
+    const graph::FatTree topo(4);
+    json.set_topology(topo.graph().node_count(), topo.graph().edge_count());
+  }
   json.add("workload_ms", off_ms, "ms", "obs=off,best_of=21");
   json.add("workload_ms", on_ms, "ms", "obs=on,best_of=21");
   json.add("overhead", overhead_pct, "percent", "budget=5,estimator=median_of_pairs");

@@ -8,10 +8,18 @@
 //
 //   ./build/examples/client_daemon --port N --nodes 0,1,2
 //       [--scenario FILE] [--run-ms MS] [--die-at-ms MS]
+//       [--stream] [--stream-samples N] [--stream-delay-ms MS]
 //
 // --die-at-ms exits the process abruptly (no teardown, sockets reset by the
 // OS) to simulate a node crash: the manager sees keepalive loss and must
 // substitute a replica destination.
+//
+// --stream turns the first listed node into a telemetry origin: a local
+// TSDB is pre-filled with --stream-samples deterministic samples on each of
+// two series, then drained through a dataplane::BlockStreamer toward the
+// "dust-collector" endpoint (a collector_daemon leaf on the same hub). The
+// flush waits --stream-delay-ms so the collector's announce has reached the
+// hub before the first kDataBlocks frame needs a route.
 #include <chrono>
 #include <cstdint>
 #include <cstdlib>
@@ -23,6 +31,8 @@
 
 #include "core/client.hpp"
 #include "core/scenario.hpp"
+#include "dataplane/block_streamer.hpp"
+#include "telemetry/tsdb.hpp"
 #include "util/log.hpp"
 #include "util/rng.hpp"
 #include "wire/demo_scenario.hpp"
@@ -53,6 +63,9 @@ int main(int argc, char** argv) {
   std::vector<graph::NodeId> nodes;
   std::int64_t run_ms = 10000;
   std::int64_t die_at_ms = -1;
+  bool stream = false;
+  std::size_t stream_samples = 2000;
+  std::int64_t stream_delay_ms = 1000;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--port" && i + 1 < argc) {
@@ -65,10 +78,17 @@ int main(int argc, char** argv) {
       run_ms = std::stoll(argv[++i]);
     } else if (arg == "--die-at-ms" && i + 1 < argc) {
       die_at_ms = std::stoll(argv[++i]);
+    } else if (arg == "--stream") {
+      stream = true;
+    } else if (arg == "--stream-samples" && i + 1 < argc) {
+      stream_samples = std::stoul(argv[++i]);
+    } else if (arg == "--stream-delay-ms" && i + 1 < argc) {
+      stream_delay_ms = std::stoll(argv[++i]);
     } else {
       std::cerr << "usage: " << argv[0]
                 << " --port N --nodes 0,1,2 [--scenario FILE]"
-                   " [--run-ms MS] [--die-at-ms MS]\n";
+                   " [--run-ms MS] [--die-at-ms MS] [--stream]"
+                   " [--stream-samples N] [--stream-delay-ms MS]\n";
       return 2;
     }
   }
@@ -113,17 +133,56 @@ int main(int argc, char** argv) {
     clients.back()->start();
   }
 
+  // --stream: the first node doubles as a telemetry origin. Content is
+  // deterministic (seeded by node id) so the harness knows the exact sample
+  // count the collector must account for.
+  telemetry::Tsdb tsdb;
+  std::unique_ptr<dataplane::BlockStreamer> streamer;
+  if (stream) {
+    const graph::NodeId origin = nodes.front();
+    util::Rng content_rng(500 + origin);
+    std::vector<telemetry::MetricId> metrics;
+    for (const char* name : {"device.cpu.percent", "device.rx.mbps"})
+      metrics.push_back(tsdb.register_metric(telemetry::MetricDescriptor{
+          name, "units", telemetry::MetricKind::kGauge}));
+    double level = 50.0;
+    for (std::size_t i = 0; i < stream_samples; ++i) {
+      level += content_rng.uniform(-0.5, 0.5);
+      for (std::size_t m = 0; m < metrics.size(); ++m)
+        tsdb.append(metrics[m],
+                    telemetry::Sample{static_cast<std::int64_t>(i) * 100,
+                                      level + static_cast<double>(m)});
+    }
+    const std::string endpoint =
+        "dust-streamer-" + std::to_string(origin);
+    transport.register_endpoint(endpoint, [](const sim::Envelope&) {});
+    dataplane::BlockStreamerConfig streamer_config;
+    streamer_config.owner = origin;
+    streamer_config.local_endpoint = endpoint;
+    streamer = std::make_unique<dataplane::BlockStreamer>(transport, tsdb,
+                                                          streamer_config);
+  }
+
   const auto t0 = std::chrono::steady_clock::now();
   const auto wall_ms = [&t0] {
     return std::chrono::duration_cast<std::chrono::milliseconds>(
                std::chrono::steady_clock::now() - t0)
         .count();
   };
+  bool flushed = false;
   while (wall_ms() < run_ms) {
     if (die_at_ms >= 0 && wall_ms() >= die_at_ms) {
       // Crash, don't shut down: skip every destructor so the kernel resets
       // the connection mid-protocol, exactly like a dying device.
       std::_Exit(7);
+    }
+    if (streamer != nullptr && wall_ms() >= stream_delay_ms) {
+      if (!flushed) {
+        streamer->flush();
+        flushed = true;
+      } else {
+        streamer->pump();
+      }
     }
     transport.poll_once(5);
     sim.run_until(wall_ms());

@@ -29,6 +29,8 @@
 #include "core/optimizer.hpp"
 #include "core/replay.hpp"
 #include "core/scenario.hpp"
+#include "dataplane/block_streamer.hpp"
+#include "dataplane/collector.hpp"
 #include "graph/dot.hpp"
 #include "obs/export.hpp"
 #include "obs/flight_recorder.hpp"
@@ -141,6 +143,10 @@ int main(int argc, char** argv) {
     // real TCP.
     std::unique_ptr<wire::SocketTransport> hub;
     std::unique_ptr<wire::SocketTransport> leaf;
+    std::unique_ptr<dataplane::Collector> collector;
+    std::unique_ptr<dataplane::BlockStreamer> streamer;
+    telemetry::Tsdb node_telemetry;
+    std::vector<telemetry::MetricId> node_metrics;
     if (socket_transport) {
       wire::SocketTransportConfig hub_config;
       hub_config.role = wire::SocketTransportConfig::Role::kHub;
@@ -151,6 +157,24 @@ int main(int argc, char** argv) {
       leaf_config.port = hub->listen_port();
       leaf_config.now = [&sim] { return sim.now(); };
       leaf = std::make_unique<wire::SocketTransport>(leaf_config);
+      // The data plane rides the same sockets as the protocol (DESIGN.md
+      // §12): each node's utilization telemetry is appended to a leaf-side
+      // TSDB and streamed as sealed Gorilla blocks to a collector endpoint
+      // on the hub — the manager's control decisions and the monitoring
+      // data itself cross the same wire, at different QoS.
+      collector = std::make_unique<dataplane::Collector>(*hub,
+                                                         "dust-collector");
+      for (graph::NodeId v = 0; v < nmdb.node_count(); ++v)
+        node_metrics.push_back(
+            node_telemetry.register_metric(telemetry::MetricDescriptor{
+                "node" + std::to_string(v) + ".utilization.percent", "%",
+                telemetry::MetricKind::kGauge}));
+      leaf->register_endpoint("dust-streamer-0", [](const sim::Envelope&) {});
+      dataplane::BlockStreamerConfig streamer_config;
+      streamer_config.owner = 0;
+      streamer_config.local_endpoint = "dust-streamer-0";
+      streamer = std::make_unique<dataplane::BlockStreamer>(
+          *leaf, node_telemetry, streamer_config);
     }
     sim::TransportBase& manager_transport =
         socket_transport ? static_cast<sim::TransportBase&>(*hub)
@@ -182,10 +206,23 @@ int main(int argc, char** argv) {
     if (socket_transport) {
       // Step virtual time, draining both socket loops to quiescence between
       // steps — handshakes + several placement cycles, byte-exact framing.
+      // Every second of virtual time each node's reported utilization is
+      // sampled into the TSDB and the streamer ships whatever sealed.
       for (sim::TimeMs t = 0; t <= 30000; t += 50) {
         sim.run_until(t);
+        if (t % 1000 == 0) {
+          for (graph::NodeId v = 0; v < nmdb.node_count(); ++v)
+            node_telemetry.append(
+                node_metrics[v],
+                telemetry::Sample{static_cast<std::int64_t>(t),
+                                  nmdb.network().node_utilization(v)});
+          streamer->pump();
+        }
         while (hub->poll_once(1) + leaf->poll_once(1) > 0) {
         }
+      }
+      streamer->flush();
+      while (hub->poll_once(1) + leaf->poll_once(1) > 0) {
       }
     } else {
       sim.run_until(30000);  // handshakes + several placement cycles
@@ -210,6 +247,15 @@ int main(int argc, char** argv) {
                   << "\n";
     std::cout << "active offloads after " << sim.now() / 1000
               << " s: " << manager.active_offload_count() << "\n";
+    if (socket_transport) {
+      const dataplane::CollectorStats& dp = collector->stats();
+      std::cout << "data plane: " << dp.samples << " samples in "
+                << dp.batches << " batches -> dust-collector ("
+                << (collector->loss_fully_declared()
+                        ? "all loss declared"
+                        : "UNDECLARED LOSS")
+                << ")\n";
+    }
     return 0;
   }
 

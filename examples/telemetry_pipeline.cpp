@@ -1,14 +1,19 @@
 // Telemetry pipeline tour: monitoring agents sampling a simulated switch
-// into a Gorilla-compressed TSDB, alert rules firing on CPU overload, and
-// the Time-Series Federation aggregating across nodes — the in-device side
-// of DUST, independent of the placement machinery.
+// into a Gorilla-compressed TSDB, alert rules firing on CPU overload, the
+// Time-Series Federation aggregating across nodes — and finally the data
+// plane (DESIGN.md §12): both devices' TSDBs drained as sealed Gorilla
+// blocks over real loopback TCP into a dataplane::Collector that verifies
+// every block and attests that no loss went undeclared.
 #include <iostream>
 
+#include "dataplane/block_streamer.hpp"
+#include "dataplane/collector.hpp"
 #include "sim/node.hpp"
 #include "sim/overlay_traffic.hpp"
 #include "telemetry/alerts.hpp"
 #include "telemetry/federation.hpp"
 #include "util/table.hpp"
+#include "wire/socket_transport.hpp"
 
 int main() {
   using namespace dust;
@@ -70,5 +75,45 @@ int main() {
             << " raw (" << static_cast<double>(raw_bytes) /
                               federation.total_storage_bytes()
             << "x compression)\n";
-  return 0;
+
+  // The data plane: what the sections above built stays on the device only
+  // until a placement decision moves its monitoring load — then the blocks
+  // themselves must travel. Drain both TSDBs through BlockStreamers over a
+  // real loopback socket into a Collector and let it audit the transfer.
+  wire::SocketTransportConfig hub_config;
+  hub_config.role = wire::SocketTransportConfig::Role::kHub;
+  wire::SocketTransport hub(hub_config);
+  wire::SocketTransportConfig leaf_config;
+  leaf_config.role = wire::SocketTransportConfig::Role::kLeaf;
+  leaf_config.port = hub.listen_port();
+  wire::SocketTransport leaf(leaf_config);
+  dataplane::Collector collector(hub, "dust-collector");
+
+  std::uint64_t shipped = 0;
+  for (auto* node : {&busy, &calm}) {
+    const dust::graph::NodeId owner = node == &busy ? 1 : 2;
+    const std::string endpoint = "dust-streamer-" + std::to_string(owner);
+    leaf.register_endpoint(endpoint, [](const sim::Envelope&) {});
+    dataplane::BlockStreamerConfig config;
+    config.owner = owner;
+    config.local_endpoint = endpoint;
+    dataplane::BlockStreamer streamer(leaf, node->tsdb(), config);
+    streamer.flush();
+    shipped += streamer.stats().samples_sent;
+  }
+  for (int spins = 0; spins < 1000 && collector.stats().samples < shipped;
+       ++spins) {
+    leaf.poll_once(1);
+    hub.poll_once(1);
+  }
+
+  const dataplane::CollectorStats& dp = collector.stats();
+  std::cout << "\ndata plane: " << dp.samples << "/" << shipped
+            << " samples in " << dp.batches << " batches ("
+            << dp.blocks << " blocks) -> dust-collector, "
+            << (collector.loss_fully_declared() && dp.samples == shipped
+                    ? "every block verified, all loss declared"
+                    : "TRANSFER INCOMPLETE")
+            << "\n";
+  return collector.loss_fully_declared() && dp.samples == shipped ? 0 : 1;
 }

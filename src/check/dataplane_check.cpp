@@ -1,0 +1,173 @@
+#include "check/dataplane_check.hpp"
+
+#include <chrono>
+#include <cmath>
+#include <sstream>
+
+#include "util/rng.hpp"
+
+namespace dust::check {
+
+namespace {
+
+std::string fmt(std::uint64_t value) { return std::to_string(value); }
+
+}  // namespace
+
+DataplaneSpec random_dataplane_spec(std::uint64_t seed) {
+  util::Rng rng(seed ^ 0xDA7A91A5Eull);
+  DataplaneSpec spec;
+  spec.seed = seed;
+  spec.owner = static_cast<graph::NodeId>(rng.below(64));
+  spec.series_count = 1 + static_cast<std::uint32_t>(rng.below(6));
+  spec.rounds = 20 + static_cast<std::uint32_t>(rng.below(60));
+  spec.samples_per_round = 8 + static_cast<std::uint32_t>(rng.below(56));
+  spec.seal_every_rounds = 1 + static_cast<std::uint32_t>(rng.below(3));
+  // Polls rarer than seals, so the bounded queue actually chokes.
+  spec.poll_every_rounds =
+      spec.seal_every_rounds + 1 + static_cast<std::uint32_t>(rng.below(5));
+  spec.max_queued_frames = 2 + static_cast<std::uint32_t>(rng.below(7));
+  spec.max_blocks_per_frame = 1 + static_cast<std::uint32_t>(rng.below(12));
+  spec.sample_interval_ms = 10 + static_cast<std::int64_t>(rng.below(191));
+  return spec;
+}
+
+DataplaneRunReport run_dataplane_scenario(const DataplaneSpec& spec) {
+  DataplaneRunReport report;
+  report.spec = spec;
+
+  wire::SocketTransportConfig hub_config;
+  hub_config.role = wire::SocketTransportConfig::Role::kHub;
+  wire::SocketTransport hub(hub_config);
+
+  wire::SocketTransportConfig leaf_config;
+  leaf_config.role = wire::SocketTransportConfig::Role::kLeaf;
+  leaf_config.port = hub.listen_port();
+  leaf_config.max_queued_frames = spec.max_queued_frames;
+  wire::SocketTransport leaf(leaf_config);
+
+  dataplane::Collector collector(hub, "dust-collector");
+
+  const std::string streamer_endpoint =
+      "dust-streamer-" + std::to_string(spec.owner);
+  leaf.register_endpoint(streamer_endpoint, [](const sim::Envelope&) {});
+
+  telemetry::Tsdb tsdb;
+  std::vector<telemetry::MetricId> metrics;
+  metrics.reserve(spec.series_count);
+  for (std::uint32_t s = 0; s < spec.series_count; ++s)
+    metrics.push_back(tsdb.register_metric(telemetry::MetricDescriptor{
+        "series" + std::to_string(s), "units", telemetry::MetricKind::kGauge}));
+
+  dataplane::BlockStreamerConfig streamer_config;
+  streamer_config.owner = spec.owner;
+  streamer_config.local_endpoint = streamer_endpoint;
+  streamer_config.collector = collector.endpoint();
+  streamer_config.max_blocks_per_frame = spec.max_blocks_per_frame;
+  streamer_config.sampling_seed = spec.seed * 2654435761u + 1;
+  dataplane::BlockStreamer streamer(leaf, tsdb, streamer_config);
+
+  util::Rng rng(spec.seed);
+  std::int64_t now_ms = 0;
+  for (std::uint32_t round = 1; round <= spec.rounds; ++round) {
+    for (std::uint32_t i = 0; i < spec.samples_per_round; ++i) {
+      now_ms += spec.sample_interval_ms;
+      for (telemetry::MetricId id : metrics)
+        tsdb.append(id, telemetry::Sample{now_ms, rng.uniform(0.0, 100.0)});
+      report.samples_appended += metrics.size();
+    }
+    if (round % spec.seal_every_rounds == 0)
+      for (telemetry::MetricId id : metrics) tsdb.series(id).seal_now();
+    streamer.pump();
+    // The leaf flushes its bounded queue only when polled; the rounds in
+    // between are the induced congestion.
+    if (round % spec.poll_every_rounds == 0) {
+      leaf.poll_once(0);
+      hub.poll_once(0);
+    }
+  }
+
+  streamer.flush();
+
+  // Drain until the collector caught up with everything the streamer ever
+  // put on (or declared off) the wire, bounded by a wall deadline so a
+  // routing bug fails the audit instead of hanging the harness.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (std::chrono::steady_clock::now() < deadline) {
+    leaf.poll_once(1);
+    hub.poll_once(1);
+    streamer.pump();  // flushes any still-deferred declaration
+    const dataplane::CollectorStats& got = collector.stats();
+    if (!streamer.announcement_pending() &&
+        got.batches == streamer.stats().batches_sent &&
+        got.degrade_announcements == streamer.stats().degrade_announcements) {
+      report.drained = true;
+      break;
+    }
+  }
+
+  report.streamer = streamer.stats();
+  report.collector = collector.stats();
+  report.final_mode = streamer.mode();
+  return report;
+}
+
+std::vector<Violation> check_dataplane(const DataplaneRunReport& report) {
+  std::vector<Violation> violations;
+  const dataplane::StreamerStats& sent = report.streamer;
+  const dataplane::CollectorStats& got = report.collector;
+
+  if (!report.drained) {
+    violations.push_back(
+        {"D0-drain", "collector never caught up: batches " + fmt(got.batches) +
+                         "/" + fmt(sent.batches_sent) + ", announcements " +
+                         fmt(got.degrade_announcements) + "/" +
+                         fmt(sent.degrade_announcements)});
+    return violations;  // the counters below would only echo the stall
+  }
+  if (got.undeclared_gap_batches != 0)
+    violations.push_back({"D1-declared-loss",
+                          fmt(got.undeclared_gap_batches) +
+                              " missing batches nobody declared"});
+  if (got.verify_failures != 0)
+    violations.push_back(
+        {"D2-verify",
+         fmt(got.verify_failures) + " blocks contradicted their descriptors"});
+  if (got.out_of_order != 0)
+    violations.push_back(
+        {"D3-order", fmt(got.out_of_order) + " out-of-order arrivals"});
+
+  const std::uint64_t accounted =
+      sent.samples_sent + sent.samples_thinned + sent.samples_dropped;
+  if (accounted != report.samples_appended) {
+    std::ostringstream os;
+    os << "appended " << report.samples_appended << " != sent "
+       << sent.samples_sent << " + thinned " << sent.samples_thinned
+       << " + dropped " << sent.samples_dropped;
+    violations.push_back({"D4-conservation", os.str()});
+  }
+  if (got.samples != sent.samples_sent)
+    violations.push_back({"D4-conservation",
+                          "collector stored " + fmt(got.samples) +
+                              " samples, streamer sent " +
+                              fmt(sent.samples_sent)});
+  if (got.samples_declared_dropped != sent.samples_dropped)
+    violations.push_back({"D4-conservation",
+                          "declared-drop mismatch: collector " +
+                              fmt(got.samples_declared_dropped) +
+                              ", streamer " + fmt(sent.samples_dropped)});
+  if (got.degrade_announcements != sent.degrade_announcements)
+    violations.push_back({"D5-announcements",
+                          "collector heard " + fmt(got.degrade_announcements) +
+                              " of " + fmt(sent.degrade_announcements) +
+                              " announcements"});
+  // Loss of any kind requires a declaration on record.
+  if ((sent.samples_dropped > 0 || sent.samples_thinned > 0) &&
+      got.degrade_announcements == 0)
+    violations.push_back(
+        {"D5-announcements", "loss occurred but no announcement ever landed"});
+  return violations;
+}
+
+}  // namespace dust::check

@@ -1,0 +1,65 @@
+// dust::check data-plane scenario axis (DESIGN.md §12): a seeded
+// streamer → socket → collector run with induced congestion, audited against
+// the no-silent-loss contract.
+//
+// The congestion knob is deterministic: the leaf transport only flushes its
+// queue on poll_once, so pumping the streamer for several rounds between
+// polls fills the bounded per-peer queue exactly as configured — no timing
+// dependence. Under that pressure the streamer must walk the degradation
+// ladder and declare every dropped batch; the audit fails if the collector
+// observed any gap nobody declared, any block contradicting its descriptor,
+// or any sequencing violation.
+//
+//   D1-declared-loss   collector.undeclared_gap_batches == 0
+//   D2-verify          collector.verify_failures == 0
+//   D3-order           collector.out_of_order == 0
+//   D4-conservation    appended == sent + thinned + dropped, and the
+//                      collector received exactly what was sent / declared
+//   D5-announcements   every degrade announcement reached the collector
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "check/invariants.hpp"
+#include "dataplane/block_streamer.hpp"
+#include "dataplane/collector.hpp"
+
+namespace dust::check {
+
+struct DataplaneSpec {
+  std::uint64_t seed = 0;
+  graph::NodeId owner = 7;
+  std::uint32_t series_count = 4;
+  std::uint32_t rounds = 40;             ///< append/pump rounds
+  std::uint32_t samples_per_round = 32;  ///< per series, per round
+  std::uint32_t seal_every_rounds = 1;   ///< seal cadence (1 = every round)
+  std::uint32_t poll_every_rounds = 3;   ///< transports drain every N rounds
+  std::uint32_t max_queued_frames = 4;   ///< leaf per-peer cap (tiny = choke)
+  std::uint32_t max_blocks_per_frame = 8;
+  std::int64_t sample_interval_ms = 50;
+};
+
+/// Deterministic: the same seed always yields the same spec. Queue caps and
+/// poll cadences are drawn tight enough that most specs actually choke.
+[[nodiscard]] DataplaneSpec random_dataplane_spec(std::uint64_t seed);
+
+struct DataplaneRunReport {
+  DataplaneSpec spec;
+  std::uint64_t samples_appended = 0;
+  dataplane::StreamerStats streamer;
+  dataplane::CollectorStats collector;
+  telemetry::DegradeMode final_mode = telemetry::DegradeMode::kFull;
+  bool drained = false;  ///< collector caught up before the wall deadline
+};
+
+/// Run the spec over real loopback sockets (hub collector, leaf streamer).
+[[nodiscard]] DataplaneRunReport run_dataplane_scenario(
+    const DataplaneSpec& spec);
+
+/// Audit a finished run against D1..D5. Empty = the contract held.
+[[nodiscard]] std::vector<Violation> check_dataplane(
+    const DataplaneRunReport& report);
+
+}  // namespace dust::check

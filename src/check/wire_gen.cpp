@@ -69,7 +69,51 @@ telemetry::DeviceSnapshot random_snapshot(util::Rng& rng) {
   return snapshot;
 }
 
+telemetry::DegradeMode random_mode(util::Rng& rng) {
+  return static_cast<telemetry::DegradeMode>(rng.below(3));
+}
+
 }  // namespace
+
+wire::DataBlocksBody random_data_blocks_body(util::Rng& rng) {
+  wire::DataBlocksBody body;
+  body.owner = random_node(rng);
+  body.batch_seq = rng();
+  body.mode = random_mode(rng);
+  body.keep_probability = random_double(rng);
+  const std::size_t count = rng.below(5);
+  body.blocks.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    wire::DataBlock block;
+    block.descriptor.series = random_string(rng);
+    block.descriptor.block_seq = rng();
+    block.descriptor.sample_count = static_cast<std::uint32_t>(rng());
+    // Schema constraint: payload carries exactly ceil(bit_count / 8) bytes.
+    block.descriptor.bit_count = rng.below(1 << 12);
+    block.descriptor.first_timestamp_ms = static_cast<std::int64_t>(rng());
+    block.descriptor.last_timestamp_ms = static_cast<std::int64_t>(rng());
+    block.descriptor.last_value = random_double(rng);
+    block.payload.resize((block.descriptor.bit_count + 7) / 8);
+    for (std::uint8_t& byte : block.payload)
+      byte = static_cast<std::uint8_t>(rng.range(0, 255));
+    body.blocks.push_back(std::move(block));
+  }
+  return body;
+}
+
+wire::DegradeBody random_degrade_body(util::Rng& rng) {
+  wire::DegradeBody body;
+  body.owner = random_node(rng);
+  body.mode = random_mode(rng);
+  body.keep_probability = random_double(rng);
+  if (rng.bernoulli(0.5)) {
+    // Declared gap: an inclusive, possibly single-batch range.
+    body.gap_from_batch = rng.below(1 << 16);
+    body.gap_to_batch = body.gap_from_batch + rng.below(16);
+  }  // else keep the default from > to "mode change only" encoding
+  body.samples_dropped = static_cast<std::uint32_t>(rng());
+  return body;
+}
 
 core::Message random_message(util::Rng& rng, std::size_t type_index) {
   switch (type_index % 10) {
@@ -83,7 +127,7 @@ core::Message random_message(util::Rng& rng, std::size_t type_index) {
       return core::StatMsg{random_node(rng), random_double(rng),
                            random_double(rng),
                            static_cast<std::uint32_t>(rng()),
-                           random_trace(rng)};
+                           random_double(rng), random_trace(rng)};
     case 3:
       return core::OffloadRequestMsg{
           rng(), random_node(rng), random_node(rng), random_double(rng),
@@ -120,6 +164,13 @@ wire::Frame random_frame(util::Rng& rng) {
     for (std::string& name : endpoints) name = random_string(rng);
     return wire::announce_frame(std::move(endpoints));
   }
+  // Data-plane frames get the same fuzz exposure as protocol frames.
+  if (rng.bernoulli(0.1))
+    return wire::data_blocks_frame(random_string(rng), random_string(rng),
+                                   random_data_blocks_body(rng), rng());
+  if (rng.bernoulli(0.1))
+    return wire::degrade_frame(random_string(rng), random_string(rng),
+                               random_degrade_body(rng), rng());
   core::Message message = random_message(rng, rng.below(10));
   const sim::Priority priority =
       rng.bernoulli(0.5) ? sim::Priority::kLow : sim::Priority::kNormal;

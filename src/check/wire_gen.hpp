@@ -16,8 +16,14 @@ namespace dust::check {
 [[nodiscard]] core::Message random_message(util::Rng& rng,
                                            std::size_t type_index);
 
-/// A random protocol or announce frame: envelope passengers (priority,
-/// trace_id, from/to/kind) randomized along with the body.
+/// Schema-valid random data-plane bodies (payload sizes always match the
+/// descriptor bit counts, modes stay in range) — byte-level corruption is
+/// the fuzzer's job, applied to the encoding afterwards.
+[[nodiscard]] wire::DataBlocksBody random_data_blocks_body(util::Rng& rng);
+[[nodiscard]] wire::DegradeBody random_degrade_body(util::Rng& rng);
+
+/// A random protocol, announce, or data-plane frame: envelope passengers
+/// (priority, trace_id, from/to/kind) randomized along with the body.
 [[nodiscard]] wire::Frame random_frame(util::Rng& rng);
 
 }  // namespace dust::check

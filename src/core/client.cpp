@@ -55,6 +55,10 @@ void DustClient::set_reported_state(double utilization_percent,
   reported_agents_ = agent_count;
 }
 
+void DustClient::set_telemetry_degradation(double keep_fraction) {
+  telemetry_keep_fraction_ = std::clamp(keep_fraction, 0.0, 1.0);
+}
+
 void DustClient::send_stat() {
   if (failed_) return;
   StatMsg stat;
@@ -69,6 +73,11 @@ void DustClient::send_stat() {
     stat.monitoring_data_mb = reported_data_mb_;
     stat.agent_count = reported_agents_;
   }
+  // Under data-plane degradation the monitoring volume the network actually
+  // carries is already thinned; scale the advertised Cs contribution and
+  // carry the raw fraction so the manager can tell the two apart.
+  stat.monitoring_data_mb *= telemetry_keep_fraction_;
+  stat.telemetry_keep_fraction = telemetry_keep_fraction_;
   // Every STAT roots a new causal trace: whatever the solver does with this
   // report — and the whole offload chain that follows — hangs off it. Only
   // the ids are allocated here; the root span itself is materialized by the

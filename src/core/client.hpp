@@ -52,6 +52,16 @@ class DustClient {
   /// Push one STAT immediately (also happens on the ACKed interval).
   void send_stat();
 
+  /// Data-plane degradation feedback (the BlockStreamer's ModeListener hook):
+  /// records the surviving telemetry fraction so the next STAT advertises a
+  /// shrunken Cs — monitoring_data_mb is scaled by it and the raw fraction
+  /// rides StatMsg::telemetry_keep_fraction so the manager can re-place load
+  /// off the congested destination instead of reading "load shrank".
+  void set_telemetry_degradation(double keep_fraction);
+  [[nodiscard]] double telemetry_keep_fraction() const noexcept {
+    return telemetry_keep_fraction_;
+  }
+
   /// Stream a snapshot of this node to every destination hosting its agents
   /// (QoS kLow). The testbed harness calls this after each device tick.
   void publish_snapshot(const telemetry::DeviceSnapshot& snapshot);
@@ -115,6 +125,7 @@ class DustClient {
   double reported_utilization_ = 0.0;
   double reported_data_mb_ = 0.0;
   std::uint32_t reported_agents_ = 0;
+  double telemetry_keep_fraction_ = 1.0;
 
   /// Where this node's own agents went: destination -> blueprint copies
   /// (used to re-instantiate on REP / Release).

@@ -132,7 +132,7 @@ void DustManager::on_stat(const StatMsg& msg) {
   last_stat_at_[msg.node] = sim_->now();
   last_stat_trace_[msg.node] = msg.trace;
   nmdb_.record_stat(msg.node, msg.utilization_percent, msg.monitoring_data_mb,
-                    msg.agent_count);
+                    msg.agent_count, msg.telemetry_keep_fraction);
   // Reclaim: a previously busy node whose load (which already excludes the
   // offloaded agents) dropped back under Cmax with margin keeps its offloads;
   // release only when it could re-absorb them: load + offloaded < Cmax.

@@ -51,6 +51,11 @@ struct StatMsg {
   double utilization_percent = 0.0;
   double monitoring_data_mb = 0.0;
   std::uint32_t agent_count = 0;
+  /// Surviving fraction of raw telemetry under data-plane degradation
+  /// (1.0 = full fidelity). monitoring_data_mb is already scaled by this;
+  /// the manager reads it so re-placement can tell "load shrank" apart from
+  /// "load is being sampled away under backpressure".
+  double telemetry_keep_fraction = 1.0;
   obs::TraceContext trace{};  ///< root of the offload causal chain
 };
 

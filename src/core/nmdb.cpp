@@ -9,7 +9,8 @@ Nmdb::Nmdb(net::NetworkState state, Thresholds defaults)
       capable_(state_.node_count(), 1),
       hosting_(state_.node_count(), 0),
       agents_(state_.node_count(), 0),
-      platform_factor_(state_.node_count(), 1.0) {
+      platform_factor_(state_.node_count(), 1.0),
+      keep_fraction_(state_.node_count(), 1.0) {
   defaults_.validate();
 }
 
@@ -48,14 +49,26 @@ bool Nmdb::offload_capable(graph::NodeId node) const {
 }
 
 void Nmdb::record_stat(graph::NodeId node, double utilization_percent,
-                       double monitoring_data_mb, std::uint32_t agent_count) {
+                       double monitoring_data_mb, std::uint32_t agent_count,
+                       double telemetry_keep_fraction) {
   state_.set_node_utilization(node, utilization_percent);
   state_.set_monitoring_data_mb(node, monitoring_data_mb);
   agents_.at(node) = agent_count;
+  keep_fraction_.at(node) = telemetry_keep_fraction;
 }
 
 std::uint32_t Nmdb::agent_count(graph::NodeId node) const {
   return agents_.at(node);
+}
+
+double Nmdb::telemetry_keep_fraction(graph::NodeId node) const {
+  return keep_fraction_.at(node);
+}
+
+bool Nmdb::any_degraded() const noexcept {
+  for (double keep : keep_fraction_)
+    if (keep < 1.0) return true;
+  return false;
 }
 
 NodeRole Nmdb::role(graph::NodeId node) const {

@@ -44,9 +44,16 @@ class Nmdb {
   [[nodiscard]] bool homogeneous() const noexcept;
 
   /// STAT update: current utilized capacity and monitoring state.
+  /// `telemetry_keep_fraction` < 1 records that the node is streaming under
+  /// data-plane degradation — its monitoring volume is already thinned.
   void record_stat(graph::NodeId node, double utilization_percent,
-                   double monitoring_data_mb, std::uint32_t agent_count);
+                   double monitoring_data_mb, std::uint32_t agent_count,
+                   double telemetry_keep_fraction = 1.0);
   [[nodiscard]] std::uint32_t agent_count(graph::NodeId node) const;
+  [[nodiscard]] double telemetry_keep_fraction(graph::NodeId node) const;
+  /// Any node currently reporting keep fraction < 1 — the signal the next
+  /// placement cycle uses to shift load off congested destinations.
+  [[nodiscard]] bool any_degraded() const noexcept;
 
   /// Role of a node under current utilization (opt-outs are kNoneOffloading;
   /// nodes currently hosting offloaded work report kOffloadDestination).
@@ -73,6 +80,7 @@ class Nmdb {
   std::vector<char> hosting_;
   std::vector<std::uint32_t> agents_;
   std::vector<double> platform_factor_;
+  std::vector<double> keep_fraction_;
 };
 
 }  // namespace dust::core

@@ -1,0 +1,139 @@
+// dust::dataplane — the telemetry half of DUST's offloading story
+// (DESIGN.md §12). The control plane decides *where* monitoring load runs;
+// the BlockStreamer moves the monitoring data itself: sealed Gorilla blocks
+// drain out of an offload destination's TSDB into batched kDataBlocks
+// frames, scatter-gathered onto the socket so block payloads are never
+// copied through the codec.
+//
+// Backpressure is explicit, never silent (contrast §III-C shedding): data
+// frames ride kLow QoS, and when the transport's per-peer queue fills past a
+// threshold the streamer walks down a PINT-style degradation ladder
+// (arXiv:2007.03731) — full → probabilistic sampling → windowed aggregation
+// — announcing every mode change and every dropped batch on kNormal QoS so
+// the collector can attest that all loss was declared.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+
+#include "graph/graph.hpp"
+#include "telemetry/sampling.hpp"
+#include "telemetry/tsdb.hpp"
+#include "wire/socket_transport.hpp"
+
+namespace dust::dataplane {
+
+struct BlockStreamerConfig {
+  graph::NodeId owner = 0;  ///< node whose telemetry this streamer ships
+  std::string local_endpoint;  ///< frame `from` (a registered local name)
+  std::string collector = "dust-collector";
+  /// Coalescing caps per kDataBlocks frame: a poll tick packs sealed blocks
+  /// into as few frames as these allow.
+  std::size_t max_blocks_per_frame = 32;
+  std::size_t max_bytes_per_frame = 128 * 1024;
+  /// Degradation ladder hysteresis, as fractions of the transport's
+  /// per-peer frame cap: escalate at/above `backpressure_enter`, relax
+  /// at/below `backpressure_exit`.
+  double backpressure_enter = 0.50;
+  double backpressure_exit = 0.20;
+  /// Above this fill the streamer stops handing frames to the transport at
+  /// all and declares the batch dropped — declared loss beats the
+  /// transport's silent kLow shedding, which would leave an unexplained gap.
+  double shed_guard = 0.90;
+  double sampled_keep_probability = 0.25;
+  std::int64_t aggregate_window_ms = 1000;
+  /// Raw samples expected per aggregation window — sizes the advertised
+  /// keep fraction under kAggregated before data confirms it.
+  double expected_samples_per_window = 10.0;
+  std::uint64_t sampling_seed = 0x9E3779B97F4A7C15ull;
+};
+
+struct StreamerStats {
+  std::uint64_t batches_sent = 0;
+  std::uint64_t blocks_sent = 0;
+  std::uint64_t samples_sent = 0;
+  std::uint64_t payload_bytes_sent = 0;
+  /// Samples removed by degraded-mode thinning (declared via mode).
+  std::uint64_t samples_thinned = 0;
+  /// Whole batches dropped under the shed guard (declared via gap).
+  std::uint64_t batches_dropped = 0;
+  std::uint64_t samples_dropped = 0;
+  std::uint64_t degrade_announcements = 0;
+  std::uint64_t mode_changes = 0;
+};
+
+class BlockStreamer {
+ public:
+  /// Called on every mode change with the new mode and the expected keep
+  /// fraction — the hook that shrinks Cs: a DustClient scales its advertised
+  /// monitoring volume by this and the manager re-places load off the
+  /// congested destination on the next STAT.
+  using ModeListener =
+      std::function<void(telemetry::DegradeMode, double keep_fraction)>;
+
+  BlockStreamer(wire::SocketTransport& transport, telemetry::Tsdb& tsdb,
+                BlockStreamerConfig config);
+
+  void set_mode_listener(ModeListener listener) {
+    mode_listener_ = std::move(listener);
+  }
+
+  /// One streaming tick: probe backpressure (walking the degradation ladder
+  /// if needed), drain every series' sealed blocks, thin them per the
+  /// current mode, coalesce into frames, and hand them to the transport.
+  /// Returns the number of kDataBlocks frames emitted.
+  std::size_t pump();
+
+  /// Seal all active blocks, then pump — call at shutdown so the tail of
+  /// every series reaches the collector.
+  std::size_t flush();
+
+  [[nodiscard]] const StreamerStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] telemetry::DegradeMode mode() const noexcept {
+    return policy_.mode;
+  }
+  /// Expected surviving fraction of the raw stream under the current mode.
+  [[nodiscard]] double keep_fraction() const noexcept;
+  /// A loss declaration is merged but not yet on the wire (peer queue was
+  /// completely full) — pump() retries it before any new data ships.
+  [[nodiscard]] bool announcement_pending() const noexcept {
+    return announce_pending_;
+  }
+
+ private:
+  struct PendingBlock {
+    telemetry::CompressedBlock block;
+    std::string series;
+  };
+
+  void update_mode();
+  void announce(std::uint64_t gap_from, std::uint64_t gap_to,
+                std::uint32_t samples_dropped);
+  void flush_announcement();
+
+  std::size_t ship(std::vector<PendingBlock> batch);
+
+  wire::SocketTransport* transport_;
+  telemetry::Tsdb* tsdb_;
+  BlockStreamerConfig config_;
+  telemetry::SamplingPolicy policy_;
+  ModeListener mode_listener_;
+  StreamerStats stats_;
+  std::unordered_map<std::string, std::uint64_t> next_block_seq_;
+  std::uint64_t next_batch_seq_ = 0;
+
+  /// Deferred-announcement accumulator: when the peer queue is completely
+  /// full a kNormal announcement would displace a queued kLow data frame —
+  /// silent loss of a batch already counted as sent. Instead the declaration
+  /// merges here and flushes at the next tick with queue room; it still
+  /// precedes any later data batch (none ship while the queue is over the
+  /// shed guard, and kNormal drains before kLow once enqueued).
+  bool announce_pending_ = false;
+  std::uint64_t pending_gap_from_ = 1;   ///< from > to = no gap accumulated
+  std::uint64_t pending_gap_to_ = 0;
+  std::uint32_t pending_samples_dropped_ = 0;
+};
+
+}  // namespace dust::dataplane

@@ -1,6 +1,9 @@
 #include "net/response_cache.hpp"
 
+#include <algorithm>
+#include <cmath>
 #include <queue>
+#include <stdexcept>
 
 #include "graph/paths.hpp"
 #include "obs/metrics.hpp"
@@ -16,6 +19,25 @@ ResponseTimeCache::ResponseTimeCache() {
   bypass_counter_ = &registry.counter("dust_net_trmin_cache_bypasses_total");
 }
 
+void ResponseTimeCache::set_lu_quantum(double step) {
+  if (step < 0.0 || !std::isfinite(step))
+    throw std::invalid_argument("ResponseTimeCache: Lu quantum must be >= 0");
+  if (step == lu_quantum_) return;
+  lu_quantum_ = step;
+  // Cached rows and the cost snapshot were built against the old
+  // representatives; force a wholesale rebuild on the next begin_cycle.
+  clear();
+}
+
+double ResponseTimeCache::quantize(double inverse_cost) const noexcept {
+  if (lu_quantum_ <= 0.0 || !(inverse_cost > 0.0) ||
+      !std::isfinite(inverse_cost))
+    return inverse_cost;  // exact mode; keep 0 / inf / NaN sentinels as-is
+  const double log_step = std::log1p(lu_quantum_);
+  const double bucket = std::floor(std::log(inverse_cost) / log_step);
+  return std::exp((bucket + 0.5) * log_step);
+}
+
 bool ResponseTimeCache::synced_with(const NetworkState& net) const noexcept {
   return synced_once_ && entries_.size() == net.node_count() &&
          inverse_costs_.size() == net.edge_count() &&
@@ -29,6 +51,7 @@ void ResponseTimeCache::begin_cycle(NetworkState& net) {
     // First use or topology change: rebuild wholesale.
     entries_.assign(n, Entry{});
     net.inverse_bandwidth_costs_into(inverse_costs_);
+    for (double& cost : inverse_costs_) cost = quantize(cost);
     net.snapshot_links();
     synced_version_ = net.link_version();
     synced_once_ = true;
@@ -41,44 +64,169 @@ void ResponseTimeCache::begin_cycle(NetworkState& net) {
 
   // Refresh the cost snapshot for the links that moved. Clean links keep
   // their pinned value — NetworkState's baseline rule guarantees the live
-  // Lu stays within the epsilon band of it.
-  for (graph::EdgeId e : net.dirty_links())
-    inverse_costs_[e] = 1.0 / net.link(e).utilized_bandwidth();
-
-  // One multi-source BFS from every dirty link's endpoints gives, for each
-  // node s, the hop distance to the nearest dirty link; a cached row is
-  // invalid iff that link is usable within the row's hop bound:
-  // dist(s) + 1 <= max_hops (max_hops == 0 means unbounded, so any
-  // reachable dirty link invalidates).
-  static thread_local std::vector<std::uint32_t> dist;
-  dist.assign(n, graph::kUnreachable);
-  std::queue<graph::NodeId> frontier;
-  const graph::Graph& g = net.graph();
+  // Lu stays within the epsilon band of it. Under quantization a dirty link
+  // whose bucket representative is unchanged only jittered inside its band:
+  // it re-baselines (snapshot below) without invalidating anything. Moves
+  // are kept with their direction, because the invalidation tests below
+  // treat cost increases and decreases differently.
+  struct MovedLink {
+    graph::EdgeId e;
+    double new_cost;
+    bool worsened;  ///< cost increased (link got more utilized)
+  };
+  static thread_local std::vector<MovedLink> moved;
+  moved.clear();
   for (graph::EdgeId e : net.dirty_links()) {
-    const graph::Edge& edge = g.edge(e);
-    for (graph::NodeId endpoint : {edge.a, edge.b}) {
-      if (dist[endpoint] != 0) {
-        dist[endpoint] = 0;
-        frontier.push(endpoint);
+    const double fresh = quantize(1.0 / net.link(e).utilized_bandwidth());
+    if (fresh == inverse_costs_[e]) continue;
+    moved.push_back({e, fresh, fresh > inverse_costs_[e]});
+    inverse_costs_[e] = fresh;
+  }
+  if (moved.empty()) {
+    net.snapshot_links();
+    synced_version_ = net.link_version();
+    return;
+  }
+
+  const graph::Graph& g = net.graph();
+
+  // Per-direction row tests (the reason a hot core link no longer nukes
+  // every row on the topology):
+  //
+  //   worsened link  — paths through it only got more expensive, so a row
+  //                    whose winning paths (used_edges) avoid it keeps its
+  //                    exact values. O(1) bitmap probe per link.
+  //   improved link  — it may have created a better path the row never
+  //                    evaluated. A row survives a destination v when no
+  //                    route through the link can fit the hop budget
+  //                    (hops(s,a) + 1 + hops(b,v) > max_hops, by BFS) or
+  //                    when the cost lower bound through it — hop-bounded
+  //                    segment minima d(s,a) + cost + d(b,v) on the
+  //                    refreshed costs — cannot beat the cached unit Trmin.
+  //
+  // Rows without used_edges (kHopBoundedDp) fall back to the conservative
+  // hop-ball test: one multi-source BFS from all moved endpoints, row
+  // invalid iff dist(s) + 1 <= max_hops (0 = unbounded).
+  std::uint32_t max_hops_cap = 0;  // loosest hop bound any valid row uses
+  bool unbounded_rows = false;
+  for (const Entry& entry : entries_) {
+    if (!entry.valid || entry.unit.used_edges.empty()) continue;
+    if (entry.max_hops == 0)
+      unbounded_rows = true;
+    else
+      max_hops_cap = std::max(max_hops_cap, entry.max_hops);
+  }
+  struct ImprovedLink {
+    double cost;
+    std::vector<double> from_a;  ///< segment cost minima from endpoint a
+    std::vector<double> from_b;
+    std::vector<std::uint32_t> hops_a;  ///< BFS hop counts from endpoint a
+    std::vector<std::uint32_t> hops_b;
+  };
+  static thread_local std::vector<ImprovedLink> improved;
+  improved.clear();
+  bool any_worsened_ball = false;
+  for (const MovedLink& m : moved) {
+    if (m.worsened) {
+      any_worsened_ball = true;
+      continue;
+    }
+    const graph::Edge& edge = g.edge(m.e);
+    ImprovedLink link;
+    link.cost = m.new_cost;
+    // Each side of a via-link path has at most max_hops - 1 edges, so the
+    // hop-bounded segment minimum is a valid (and much tighter than
+    // unbounded Dijkstra) lower bound. Rows with no hop bound need the
+    // unbounded minimum.
+    if (unbounded_rows || max_hops_cap == 0) {
+      link.from_a = graph::dijkstra(g, edge.a, inverse_costs_).distance;
+      link.from_b = graph::dijkstra(g, edge.b, inverse_costs_).distance;
+    } else {
+      link.from_a = graph::hop_bounded_min_cost(g, edge.a, inverse_costs_,
+                                                max_hops_cap - 1);
+      link.from_b = graph::hop_bounded_min_cost(g, edge.b, inverse_costs_,
+                                                max_hops_cap - 1);
+    }
+    link.hops_a = graph::bfs_hops(g, edge.a);
+    link.hops_b = graph::bfs_hops(g, edge.b);
+    improved.push_back(std::move(link));
+  }
+
+  // Hop ball for the fallback rows, lazily: dist to the nearest moved link.
+  static thread_local std::vector<std::uint32_t> dist;
+  bool ball_built = false;
+  const auto build_ball = [&] {
+    dist.assign(n, graph::kUnreachable);
+    std::queue<graph::NodeId> frontier;
+    for (const MovedLink& m : moved) {
+      const graph::Edge& edge = g.edge(m.e);
+      for (graph::NodeId endpoint : {edge.a, edge.b}) {
+        if (dist[endpoint] != 0) {
+          dist[endpoint] = 0;
+          frontier.push(endpoint);
+        }
       }
     }
-  }
-  while (!frontier.empty()) {
-    const graph::NodeId node = frontier.front();
-    frontier.pop();
-    for (const graph::Adjacency& adj : g.neighbors(node)) {
-      if (dist[adj.neighbor] == graph::kUnreachable) {
-        dist[adj.neighbor] = dist[node] + 1;
-        frontier.push(adj.neighbor);
+    while (!frontier.empty()) {
+      const graph::NodeId node = frontier.front();
+      frontier.pop();
+      for (const graph::Adjacency& adj : g.neighbors(node)) {
+        if (dist[adj.neighbor] == graph::kUnreachable) {
+          dist[adj.neighbor] = dist[node] + 1;
+          frontier.push(adj.neighbor);
+        }
       }
     }
-  }
+    ball_built = true;
+  };
+
+  const auto row_survives = [&](graph::NodeId s, const Entry& entry) {
+    if (entry.unit.used_edges.empty()) {
+      // No edge support recorded: conservative hop-ball reachability.
+      if (!ball_built) build_ball();
+      if (dist[s] == graph::kUnreachable) return true;
+      return entry.max_hops != 0 && dist[s] + 1 > entry.max_hops;
+    }
+    if (any_worsened_ball) {
+      for (const MovedLink& m : moved) {
+        if (!m.worsened) continue;
+        if (entry.unit.used_edges[m.e / 64] &
+            (std::uint64_t{1} << (m.e % 64)))
+          return false;
+      }
+    }
+    for (const ImprovedLink& link : improved) {
+      const std::vector<double>& trmin = entry.unit.trmin_seconds;
+      const std::uint32_t h = entry.max_hops;
+      const double to_a = link.from_a[s];
+      const double to_b = link.from_b[s];
+      const std::uint32_t sh_a = link.hops_a[s];
+      const std::uint32_t sh_b = link.hops_b[s];
+      for (graph::NodeId v = 0; v < n; ++v) {
+        // A new path via the link needs hops(s, x) + 1 + hops(y, v) edges
+        // at minimum; beyond the row's hop budget it cannot exist at all.
+        const bool a_side_fits =
+            h == 0 || (sh_a != graph::kUnreachable &&
+                       link.hops_b[v] != graph::kUnreachable &&
+                       sh_a + 1 + link.hops_b[v] <= h);
+        const bool b_side_fits =
+            h == 0 || (sh_b != graph::kUnreachable &&
+                       link.hops_a[v] != graph::kUnreachable &&
+                       sh_b + 1 + link.hops_a[v] <= h);
+        if (a_side_fits && to_a + link.cost + link.from_b[v] < trmin[v])
+          return false;
+        if (b_side_fits && to_b + link.cost + link.from_a[v] < trmin[v])
+          return false;
+      }
+    }
+    return true;
+  };
 
   std::uint64_t dropped = 0;
   for (graph::NodeId s = 0; s < n; ++s) {
     Entry& entry = entries_[s];
-    if (!entry.valid || dist[s] == graph::kUnreachable) continue;
-    if (entry.max_hops == 0 || dist[s] + 1 <= entry.max_hops) {
+    if (!entry.valid) continue;
+    if (!row_survives(s, entry)) {
       entry.valid = false;
       ++dropped;
     }

@@ -4,15 +4,20 @@
 // The control loop recomputes the Trmin matrix (Eq. 1-2) every placement
 // period even though, in steady state, only a handful of links move between
 // cycles. This cache keeps one Trmin row per source node (stored per unit of
-// monitoring data, so D_i changes rescale instead of recompute) and
-// invalidates a row only when a dirty link falls inside the row's hop-bounded
-// reachability ball:
+// monitoring data, so D_i changes rescale instead of recompute) and drops a
+// row only when a moved link can actually change it, direction-aware:
 //
-//   invalidate(s)  iff  min(dist(s, u), dist(s, v)) + 1 <= max_hops
-//                       for some dirty link (u, v)
+//   cost increased — the row survives unless the link is in its used_edges
+//                    support (the winning paths recorded by the evaluator);
+//                    paths the row never used only got worse.
+//   cost decreased — the row survives unless a route through the link could
+//                    beat some cached value: for link (a, b) at cost c,
+//                    invalidate iff d(s,a) + c + d(b,v) < Trmin[s][v] for
+//                    some v (Dijkstra lower bound on the refreshed costs).
 //
-// computed with one multi-source BFS from all dirty-link endpoints per
-// begin_cycle, O(V + E) regardless of how many links moved. Dirty links come
+// Rows without recorded edge support (kHopBoundedDp) fall back to the
+// conservative hop-ball test — one multi-source BFS from all moved
+// endpoints, invalidate iff dist(s) + 1 <= max_hops. Dirty links come
 // from NetworkState's epsilon-filtered tracking: with epsilon = 0 cached rows
 // are bit-identical to from-scratch evaluation (tested); with epsilon > 0
 // they are stale by at most the configured Lu band (the same trade a
@@ -59,6 +64,20 @@ class ResponseTimeCache {
   /// node/edge counts) resets the cache wholesale.
   void begin_cycle(NetworkState& net);
 
+  /// Multiplicative Lu quantization (DESIGN.md §8). With step > 0, link costs
+  /// enter the cache as bucket representatives — bucket edges at (1+step)^k,
+  /// representative at the bucket's geometric midpoint — and a dirty link
+  /// whose representative did not change re-baselines WITHOUT invalidating
+  /// rows. This is what rescues the hit rate under hot-links / scattered-heavy
+  /// churn, where every cycle dirties some link inside almost every row's hop
+  /// ball but utilization only jitters: jitter within a bucket is invisible.
+  /// Cost: each link's 1/Lu is off by at most a factor (1+step)^(1/2), so a
+  /// row's Trmin is within (1+step)^(hops/2) of exact. step = 0 (default)
+  /// restores exact costs and bit-identical rows. Changing the step drops all
+  /// cached rows (they were built against other representatives).
+  void set_lu_quantum(double step);
+  [[nodiscard]] double lu_quantum() const noexcept { return lu_quantum_; }
+
   /// Trmin row from `source` for volume data_mb: served from cache when the
   /// row is clean and the evaluator options match, recomputed into the cache
   /// otherwise. Queries made while the cache is out of sync with `net`
@@ -90,9 +109,11 @@ class ResponseTimeCache {
 
   [[nodiscard]] bool synced_with(const NetworkState& net) const noexcept;
   void serve(const Entry& entry, double data_mb, ResponseTimeResult& out) const;
+  [[nodiscard]] double quantize(double inverse_cost) const noexcept;
 
   std::vector<Entry> entries_;
   std::vector<double> inverse_costs_;  ///< 1/Lu snapshot rows were built on
+  double lu_quantum_ = 0.0;            ///< 0 = exact costs
   std::uint64_t synced_version_ = 0;
   bool synced_once_ = false;
 

@@ -28,6 +28,7 @@ void min_response_times_into(const NetworkState& net, graph::NodeId source,
                              ResponseTimeResult& out) {
   out.work = 0;
   out.truncated = false;
+  out.used_edges.clear();
 
   if (options.mode == EvaluatorMode::kHopBoundedDp) {
     graph::hop_bounded_min_cost_into(net.graph(), source, inverse_costs,
@@ -39,9 +40,13 @@ void min_response_times_into(const NetworkState& net, graph::NodeId source,
   }
 
   // Paper-faithful exhaustive enumeration: every node is a target, so a
-  // single DFS from `source` covers all pairs (i, j).
+  // single DFS from `source` covers all pairs (i, j). Alongside the minima,
+  // record each destination's winning path so used_edges ends up as the
+  // exact edge support of the row.
   out.trmin_seconds.assign(net.node_count(), graph::kInfiniteCost);
   out.trmin_seconds[source] = 0.0;
+  static thread_local std::vector<std::vector<graph::EdgeId>> winning;
+  winning.assign(net.node_count(), {});
   std::size_t visited = 0;
   graph::for_each_simple_path(
       net.graph(), source, [](graph::NodeId) { return true; },
@@ -51,7 +56,10 @@ void min_response_times_into(const NetworkState& net, graph::NodeId source,
         double cost = 0.0;
         for (graph::EdgeId e : path.edges) cost += inverse_costs[e];
         const graph::NodeId dst = path.destination();
-        if (cost < out.trmin_seconds[dst]) out.trmin_seconds[dst] = cost;
+        if (cost < out.trmin_seconds[dst]) {
+          out.trmin_seconds[dst] = cost;
+          winning[dst] = path.edges;
+        }
         if (options.max_paths_per_source &&
             visited >= options.max_paths_per_source) {
           out.truncated = true;
@@ -60,6 +68,10 @@ void min_response_times_into(const NetworkState& net, graph::NodeId source,
         return true;
       });
   out.work = visited;
+  out.used_edges.assign((net.edge_count() + 63) / 64, 0);
+  for (const std::vector<graph::EdgeId>& edges : winning)
+    for (graph::EdgeId e : edges)
+      out.used_edges[e / 64] |= std::uint64_t{1} << (e % 64);
   for (graph::NodeId v = 0; v < net.node_count(); ++v)
     if (v != source && out.trmin_seconds[v] != graph::kInfiniteCost)
       out.trmin_seconds[v] *= data_mb;

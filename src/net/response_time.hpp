@@ -38,6 +38,13 @@ struct ResponseTimeResult {
   /// Paths explored (kEnumerate) or relaxation rounds (kHopBoundedDp).
   std::size_t work = 0;
   bool truncated = false;  ///< kEnumerate hit max_paths_per_source
+  /// kEnumerate only: bitmap over EdgeId (bit e = word e/64, bit e%64) of
+  /// the edges on the winning path to each destination. The row's values
+  /// depend on exactly these edges plus, for *improvements*, any edge whose
+  /// cost drops — which is what lets ResponseTimeCache keep a row alive when
+  /// a link it never used got worse. Empty in kHopBoundedDp mode (callers
+  /// must then treat every edge as potentially used).
+  std::vector<std::uint64_t> used_edges;
 };
 
 /// Trmin from `source` (shipping volume data_mb) to all nodes.

@@ -21,6 +21,16 @@ void BitWriter::write_bits(std::uint64_t value, unsigned bits) {
     write_bit((value >> i) & 1u);
 }
 
+BitWriter BitWriter::from_bytes(std::vector<std::uint8_t> data,
+                                std::size_t bit_count) {
+  if (data.size() != (bit_count + 7) / 8)
+    throw std::invalid_argument("BitWriter::from_bytes: inconsistent sizes");
+  BitWriter writer;
+  writer.data_ = std::move(data);
+  writer.bit_count_ = bit_count;
+  return writer;
+}
+
 bool BitReader::read_bit() {
   if (cursor_ >= bit_count_)
     throw std::out_of_range("BitReader: read past end");
@@ -247,6 +257,19 @@ CompressedBlock CompressedBlock::deserialize(std::istream& is) {
     writer.write_bit((byte >> (7 - bit % 8)) & 1u);
   }
   block.writer_ = std::move(writer);
+  return block;
+}
+
+CompressedBlock CompressedBlock::from_wire(std::vector<std::uint8_t> payload,
+                                           std::size_t bit_count,
+                                           std::size_t sample_count,
+                                           std::int64_t first_timestamp_ms,
+                                           std::int64_t last_timestamp_ms) {
+  CompressedBlock block;
+  block.writer_ = BitWriter::from_bytes(std::move(payload), bit_count);
+  block.count_ = sample_count;
+  block.first_timestamp_ = first_timestamp_ms;
+  block.prev_timestamp_ = last_timestamp_ms;
   return block;
 }
 

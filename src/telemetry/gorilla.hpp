@@ -24,6 +24,13 @@ class BitWriter {
   }
   [[nodiscard]] std::size_t bit_count() const noexcept { return bit_count_; }
 
+  /// Adopt an already-encoded bit stream wholesale (the data-plane receive
+  /// path: the payload crossed the wire verbatim, no reason to replay it bit
+  /// by bit). Throws std::invalid_argument when `bit_count` does not fit
+  /// `data`.
+  static BitWriter from_bytes(std::vector<std::uint8_t> data,
+                              std::size_t bit_count);
+
  private:
   std::vector<std::uint8_t> data_;
   std::size_t bit_count_ = 0;
@@ -72,6 +79,25 @@ class CompressedBlock {
   /// versioned; deserialize throws std::runtime_error on corrupt input.
   void serialize(std::ostream& os) const;
   static CompressedBlock deserialize(std::istream& is);
+
+  /// The raw encoded bit stream — what the data plane puts on the wire
+  /// (scatter-gathered, never copied into the codec buffer).
+  [[nodiscard]] const std::vector<std::uint8_t>& payload() const noexcept {
+    return writer_.bytes();
+  }
+  [[nodiscard]] std::size_t payload_bit_count() const noexcept {
+    return writer_.bit_count();
+  }
+
+  /// Rebuild a block from its wire form (payload + framing metadata). The
+  /// result is read-only in spirit: decode() works, but the XOR append state
+  /// is not recovered, so appending to it would corrupt the stream. Throws
+  /// std::invalid_argument on inconsistent sizes.
+  static CompressedBlock from_wire(std::vector<std::uint8_t> payload,
+                                   std::size_t bit_count,
+                                   std::size_t sample_count,
+                                   std::int64_t first_timestamp_ms,
+                                   std::int64_t last_timestamp_ms);
 
  private:
   BitWriter writer_;

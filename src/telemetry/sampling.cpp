@@ -1,0 +1,117 @@
+#include "telemetry/sampling.hpp"
+
+#include <stdexcept>
+
+namespace dust::telemetry {
+
+const char* to_string(DegradeMode mode) noexcept {
+  switch (mode) {
+    case DegradeMode::kFull: return "full";
+    case DegradeMode::kSampled: return "sampled";
+    case DegradeMode::kAggregated: return "aggregated";
+  }
+  return "unknown";
+}
+
+DegradeMode escalate(DegradeMode mode) noexcept {
+  switch (mode) {
+    case DegradeMode::kFull: return DegradeMode::kSampled;
+    case DegradeMode::kSampled: return DegradeMode::kAggregated;
+    case DegradeMode::kAggregated: return DegradeMode::kAggregated;
+  }
+  return DegradeMode::kAggregated;
+}
+
+DegradeMode relax(DegradeMode mode) noexcept {
+  switch (mode) {
+    case DegradeMode::kFull: return DegradeMode::kFull;
+    case DegradeMode::kSampled: return DegradeMode::kFull;
+    case DegradeMode::kAggregated: return DegradeMode::kSampled;
+  }
+  return DegradeMode::kFull;
+}
+
+namespace {
+
+/// splitmix64 finalizer: full-avalanche 64-bit mix, so consecutive
+/// timestamps land uniformly in [0, 2^64).
+std::uint64_t mix64(std::uint64_t x) noexcept {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+bool SamplingPolicy::admit(std::uint64_t key) const noexcept {
+  if (keep_probability >= 1.0) return true;
+  if (keep_probability <= 0.0) return false;
+  const std::uint64_t hash = mix64(key ^ seed);
+  // Compare in the unit interval; 2^64 as a double is exact.
+  return static_cast<double>(hash) <
+         keep_probability * 18446744073709551616.0;
+}
+
+std::vector<Sample> SamplingPolicy::apply(
+    const std::vector<Sample>& samples) const {
+  switch (mode) {
+    case DegradeMode::kFull:
+      return samples;
+    case DegradeMode::kSampled: {
+      std::vector<Sample> kept;
+      kept.reserve(samples.size());
+      for (const Sample& s : samples)
+        if (admit(static_cast<std::uint64_t>(s.timestamp_ms)))
+          kept.push_back(s);
+      return kept;
+    }
+    case DegradeMode::kAggregated: {
+      if (aggregate_window_ms <= 0)
+        throw std::invalid_argument(
+            "SamplingPolicy: aggregate_window_ms <= 0");
+      std::vector<Sample> out;
+      std::size_t i = 0;
+      while (i < samples.size()) {
+        // Windows aligned to absolute time, so block boundaries do not
+        // shift the aggregation grid.
+        const std::int64_t start =
+            samples[i].timestamp_ms -
+            (((samples[i].timestamp_ms % aggregate_window_ms) +
+              aggregate_window_ms) %
+             aggregate_window_ms);
+        const std::int64_t end = start + aggregate_window_ms - 1;
+        double sum = 0.0;
+        std::size_t j = i;
+        while (j < samples.size() && samples[j].timestamp_ms <= end)
+          sum += samples[j++].value;
+        // Stamp the aggregate with the window's last contributing sample time
+        // (not the window start): a real timestamp from the stream keeps the
+        // series monotone across mode changes, where a window-start stamp
+        // could rewind behind full-rate samples shipped just before.
+        out.push_back(Sample{samples[j - 1].timestamp_ms,
+                             sum / static_cast<double>(j - i)});
+        i = j;
+      }
+      return out;
+    }
+  }
+  return samples;
+}
+
+double SamplingPolicy::effective_keep_fraction(
+    double samples_per_window) const noexcept {
+  switch (mode) {
+    case DegradeMode::kFull:
+      return 1.0;
+    case DegradeMode::kSampled:
+      return keep_probability < 0.0   ? 0.0
+             : keep_probability > 1.0 ? 1.0
+                                      : keep_probability;
+    case DegradeMode::kAggregated:
+      return samples_per_window > 1.0 ? 1.0 / samples_per_window : 1.0;
+  }
+  return 1.0;
+}
+
+}  // namespace dust::telemetry

@@ -1,0 +1,56 @@
+// Degraded-mode telemetry reduction (PINT-style, Ben Basat et al.,
+// arXiv:2007.03731): when the data plane pushes back, the streamer trades
+// fidelity for bandwidth along an explicit ladder instead of silently
+// shedding — probabilistic per-sample sampling first, coarse window
+// aggregation second. Every mode change is declared on the wire, so a
+// collector always knows which fraction of the stream to expect.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "telemetry/metric.hpp"
+
+namespace dust::telemetry {
+
+/// The degradation ladder, least to most lossy. Values are the wire
+/// encoding (kDataBlocks / kDataDegrade frames) — do not renumber.
+enum class DegradeMode : std::uint8_t {
+  kFull = 0,        ///< every sample forwarded
+  kSampled = 1,     ///< keep each sample with probability p (PINT-style)
+  kAggregated = 2,  ///< one mean sample per aggregation window
+};
+
+[[nodiscard]] const char* to_string(DegradeMode mode) noexcept;
+
+/// One step up (more lossy) / down (less lossy) the ladder.
+[[nodiscard]] DegradeMode escalate(DegradeMode mode) noexcept;
+[[nodiscard]] DegradeMode relax(DegradeMode mode) noexcept;
+
+/// Deterministic per-sample reduction policy. The keep decision is a pure
+/// function of (seed, sample key), so replaying the same stream — or
+/// re-evaluating it at the collector — makes identical choices.
+struct SamplingPolicy {
+  DegradeMode mode = DegradeMode::kFull;
+  double keep_probability = 0.25;        ///< used by kSampled
+  std::int64_t aggregate_window_ms = 1000;  ///< used by kAggregated
+  std::uint64_t seed = 0x9E3779B97F4A7C15ull;
+
+  /// kSampled coin for a sample identified by `key` (timestamp works well:
+  /// distinct per sample within a series, stable across replays).
+  [[nodiscard]] bool admit(std::uint64_t key) const noexcept;
+
+  /// Reduce a decoded sample run according to the current mode. kFull
+  /// passes through, kSampled keeps the admitted subset, kAggregated emits
+  /// one mean sample per window (stamped with its last contributing time).
+  [[nodiscard]] std::vector<Sample> apply(
+      const std::vector<Sample>& samples) const;
+
+  /// Expected surviving fraction of the raw stream under this mode —
+  /// what a STAT should scale the advertised monitoring volume by.
+  /// kAggregated assumes `samples_per_window` raw samples per window.
+  [[nodiscard]] double effective_keep_fraction(
+      double samples_per_window) const noexcept;
+};
+
+}  // namespace dust::telemetry

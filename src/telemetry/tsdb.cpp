@@ -157,6 +157,31 @@ std::vector<Sample> TimeSeries::rollup(std::int64_t from_ms, std::int64_t to_ms,
   return out;
 }
 
+void TimeSeries::seal_now() {
+  if (active_.sample_count() > 0) seal_active();
+}
+
+std::size_t TimeSeries::take_sealed(std::vector<CompressedBlock>& out) {
+  std::size_t moved = 0;
+  for (CompressedBlock& block : sealed_) {
+    moved += block.sample_count();
+    out.push_back(std::move(block));
+  }
+  sealed_.clear();
+  count_ -= moved;
+  return moved;
+}
+
+void TimeSeries::adopt_sealed(CompressedBlock block, const Sample& last) {
+  if (block.sample_count() == 0) return;
+  if (last_ && block.first_timestamp_ms() < last_->timestamp_ms)
+    throw std::invalid_argument("TimeSeries: out-of-order adopted block");
+  seal_now();
+  count_ += block.sample_count();
+  sealed_.push_back(std::move(block));
+  last_ = last;
+}
+
 std::size_t TimeSeries::drop_before(std::int64_t cutoff_ms) {
   std::size_t dropped = 0;
   auto keep_from = sealed_.begin();

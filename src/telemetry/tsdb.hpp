@@ -55,6 +55,26 @@ class TimeSeries {
   /// dropped. The active block is never dropped.
   std::size_t drop_before(std::int64_t cutoff_ms);
 
+  // --- data-plane handoff ---------------------------------------------------
+
+  /// Seal the active block (if non-empty) so take_sealed() can ship it. A
+  /// streamer calls this on flush, not per tick — premature sealing hurts
+  /// the compression ratio.
+  void seal_now();
+
+  /// Move all sealed blocks out, oldest first, removing their samples from
+  /// this series (they now live wherever the caller ships them). The active
+  /// block is untouched. Returns the number of samples moved.
+  std::size_t take_sealed(std::vector<CompressedBlock>& out);
+
+  /// Ingest an already-compressed block as-is — the collector path: no
+  /// decode/re-encode round trip. The block must start at or after the last
+  /// adopted timestamp; `last` is the block's final sample (the wire carries
+  /// it, so the collector need not decode just to track ordering). Throws
+  /// std::invalid_argument on out-of-order blocks. Seals any active samples
+  /// first so the chain stays timestamp-ordered.
+  void adopt_sealed(CompressedBlock block, const Sample& last);
+
   [[nodiscard]] std::size_t compressed_bytes() const noexcept;
 
   void serialize(std::ostream& os) const;

@@ -81,6 +81,10 @@ class Reader {
     if (!take(n)) return {};
     return std::string(reinterpret_cast<const char*>(data_ + pos_ - n), n);
   }
+  std::vector<std::uint8_t> bytes(std::size_t n) {
+    if (!take(n)) return {};
+    return std::vector<std::uint8_t>(data_ + pos_ - n, data_ + pos_);
+  }
   /// Element-count prefix with a sanity bound: each element is at least
   /// `min_element_bytes`, so a corrupt count that could not possibly fit in
   /// the remaining payload fails fast instead of looping.
@@ -200,6 +204,7 @@ void put_body(Writer& w, const core::Message& message) {
           w.f64(msg.utilization_percent);
           w.f64(msg.monitoring_data_mb);
           w.u32(msg.agent_count);
+          w.f64(msg.telemetry_keep_fraction);
           put_trace(w, msg.trace);
         } else if constexpr (std::is_same_v<T, core::OffloadRequestMsg>) {
           w.u64(msg.request_id);
@@ -266,6 +271,7 @@ bool get_body(Reader& r, FrameType type, core::Message& out) {
       msg.utilization_percent = r.f64();
       msg.monitoring_data_mb = r.f64();
       msg.agent_count = r.u32();
+      msg.telemetry_keep_fraction = r.f64();
       msg.trace = get_trace(r);
       out = msg;
       return r.ok();
@@ -336,9 +342,86 @@ bool get_body(Reader& r, FrameType type, core::Message& out) {
       return r.ok();
     }
     case FrameType::kAnnounce:
+    case FrameType::kDataBlocks:
+    case FrameType::kDataDegrade:
       return false;  // handled separately, never reaches here
   }
   return false;
+}
+
+// ---- data-plane bodies (DESIGN.md §12) -------------------------------------
+
+constexpr std::uint8_t kMaxDegradeMode =
+    static_cast<std::uint8_t>(telemetry::DegradeMode::kAggregated);
+
+/// Smallest possible encoded BlockDescriptor: empty series name + fixed
+/// fields + the u32 payload_bytes suffix. Bounds count32 on decode.
+constexpr std::size_t kMinDescriptorBytes = 2 + 8 + 4 + 8 + 8 + 8 + 8 + 4;
+
+[[nodiscard]] std::uint64_t payload_bytes_for(std::uint64_t bit_count) {
+  return bit_count / 8 + (bit_count % 8 != 0 ? 1 : 0);
+}
+
+void put_descriptor(Writer& w, const BlockDescriptor& d,
+                    std::uint64_t payload_bytes) {
+  w.str16(d.series);
+  w.u64(d.block_seq);
+  w.u32(d.sample_count);
+  w.u64(d.bit_count);
+  w.i64(d.first_timestamp_ms);
+  w.i64(d.last_timestamp_ms);
+  w.f64(d.last_value);
+  w.u32(static_cast<std::uint32_t>(payload_bytes));
+}
+
+/// Everything in a kDataBlocks payload before the payload run. Descriptor
+/// payload_bytes come back through `payload_sizes` (validated against
+/// bit_count) so the caller can slice the tail.
+bool get_data_blocks_prefix(Reader& r, DataBlocksBody& body,
+                            std::vector<std::uint32_t>& payload_sizes) {
+  body.owner = r.u32();
+  body.batch_seq = r.u64();
+  const std::uint8_t mode = r.u8();
+  if (!r.ok() || mode > kMaxDegradeMode) return false;
+  body.mode = static_cast<telemetry::DegradeMode>(mode);
+  body.keep_probability = r.f64();
+  const std::uint32_t n = r.count32(kMinDescriptorBytes);
+  body.blocks.resize(n);
+  payload_sizes.resize(n);
+  for (std::uint32_t i = 0; i < n && r.ok(); ++i) {
+    BlockDescriptor& d = body.blocks[i].descriptor;
+    d.series = r.str16();
+    d.block_seq = r.u64();
+    d.sample_count = r.u32();
+    d.bit_count = r.u64();
+    d.first_timestamp_ms = r.i64();
+    d.last_timestamp_ms = r.i64();
+    d.last_value = r.f64();
+    payload_sizes[i] = r.u32();
+    if (payload_sizes[i] != payload_bytes_for(d.bit_count)) return false;
+  }
+  return r.ok();
+}
+
+void put_degrade(Writer& w, const DegradeBody& body) {
+  w.u32(body.owner);
+  w.u8(static_cast<std::uint8_t>(body.mode));
+  w.f64(body.keep_probability);
+  w.u64(body.gap_from_batch);
+  w.u64(body.gap_to_batch);
+  w.u32(body.samples_dropped);
+}
+
+bool get_degrade(Reader& r, DegradeBody& body) {
+  body.owner = r.u32();
+  const std::uint8_t mode = r.u8();
+  if (!r.ok() || mode > kMaxDegradeMode) return false;
+  body.mode = static_cast<telemetry::DegradeMode>(mode);
+  body.keep_probability = r.f64();
+  body.gap_from_batch = r.u64();
+  body.gap_to_batch = r.u64();
+  body.samples_dropped = r.u32();
+  return r.ok();
 }
 
 void write_at_u32(std::vector<std::uint8_t>& buf, std::size_t offset,
@@ -375,6 +458,8 @@ const char* to_string(FrameType type) noexcept {
     case FrameType::kRep: return "rep";
     case FrameType::kRelease: return "release";
     case FrameType::kAnnounce: return "announce";
+    case FrameType::kDataBlocks: return "data_blocks";
+    case FrameType::kDataDegrade: return "data_degrade";
   }
   return "unknown";
 }
@@ -445,6 +530,32 @@ Frame announce_frame(std::vector<std::string> endpoints) {
   return frame;
 }
 
+Frame data_blocks_frame(std::string from, std::string to, DataBlocksBody body,
+                        std::uint64_t trace_id) {
+  Frame frame;
+  frame.type = FrameType::kDataBlocks;
+  frame.priority = sim::Priority::kLow;
+  frame.trace_id = trace_id;
+  frame.from = std::move(from);
+  frame.to = std::move(to);
+  frame.kind = "data_blocks";
+  frame.data_blocks = std::move(body);
+  return frame;
+}
+
+Frame degrade_frame(std::string from, std::string to, DegradeBody body,
+                    std::uint64_t trace_id) {
+  Frame frame;
+  frame.type = FrameType::kDataDegrade;
+  frame.priority = sim::Priority::kNormal;
+  frame.trace_id = trace_id;
+  frame.from = std::move(from);
+  frame.to = std::move(to);
+  frame.kind = "data_degrade";
+  frame.degrade = std::move(body);
+  return frame;
+}
+
 std::vector<std::uint8_t> encode_frame(const Frame& frame) {
   std::vector<std::uint8_t> out;
   out.reserve(64);
@@ -466,6 +577,24 @@ std::vector<std::uint8_t> encode_frame(const Frame& frame) {
     w.u32(static_cast<std::uint32_t>(frame.announce_endpoints.size()));
     for (const std::string& endpoint : frame.announce_endpoints)
       w.str16(endpoint);
+  } else if (frame.type == FrameType::kDataBlocks) {
+    const DataBlocksBody& body = frame.data_blocks;
+    w.u32(body.owner);
+    w.u64(body.batch_seq);
+    w.u8(static_cast<std::uint8_t>(body.mode));
+    w.f64(body.keep_probability);
+    w.u32(static_cast<std::uint32_t>(body.blocks.size()));
+    for (const DataBlock& block : body.blocks) {
+      if (block.payload.size() !=
+          payload_bytes_for(block.descriptor.bit_count))
+        throw std::invalid_argument(
+            "wire: block payload size does not match bit_count");
+      put_descriptor(w, block.descriptor, block.payload.size());
+    }
+    for (const DataBlock& block : body.blocks)
+      out.insert(out.end(), block.payload.begin(), block.payload.end());
+  } else if (frame.type == FrameType::kDataDegrade) {
+    put_degrade(w, frame.degrade);
   } else {
     if (frame_type_of(frame.message) != frame.type)
       throw std::invalid_argument(
@@ -532,6 +661,21 @@ DecodeResult decode_frame(const std::uint8_t* data, std::size_t size) {
     frame.announce_endpoints.reserve(n);
     for (std::uint32_t i = 0; i < n && r.ok(); ++i)
       frame.announce_endpoints.push_back(r.str16());
+  } else if (raw_type == static_cast<std::uint16_t>(FrameType::kDataBlocks)) {
+    frame.type = FrameType::kDataBlocks;
+    std::vector<std::uint32_t> payload_sizes;
+    if (!get_data_blocks_prefix(r, frame.data_blocks, payload_sizes)) {
+      result.status = DecodeStatus::kMalformedBody;
+      return result;
+    }
+    for (std::size_t i = 0; i < payload_sizes.size(); ++i)
+      frame.data_blocks.blocks[i].payload = r.bytes(payload_sizes[i]);
+  } else if (raw_type == static_cast<std::uint16_t>(FrameType::kDataDegrade)) {
+    frame.type = FrameType::kDataDegrade;
+    if (!get_degrade(r, frame.degrade)) {
+      result.status = DecodeStatus::kMalformedBody;
+      return result;
+    }
   } else if (raw_type >=
                  static_cast<std::uint16_t>(FrameType::kOffloadCapable) &&
              raw_type <= static_cast<std::uint16_t>(FrameType::kRelease)) {
@@ -555,6 +699,64 @@ DecodeResult decode_frame(const std::uint8_t* data, std::size_t size) {
   result.raw = data;
   result.raw_size = frame_bytes;
   return result;
+}
+
+GatherFrame encode_data_blocks_gather(
+    const Frame& frame, const std::vector<PayloadRef>& payloads) {
+  if (frame.type != FrameType::kDataBlocks)
+    throw std::invalid_argument("wire: gather encode needs a kDataBlocks frame");
+  const DataBlocksBody& body = frame.data_blocks;
+  if (payloads.size() != body.blocks.size())
+    throw std::invalid_argument("wire: one PayloadRef per block required");
+
+  GatherFrame gather;
+  std::vector<std::uint8_t>& out = gather.head;
+  out.reserve(kWireHeaderBytes + 64 + body.blocks.size() * 64);
+  Writer w(out);
+  w.u32(kWireMagic);
+  w.u32(0);  // CRC placeholder
+  w.u16(kWireVersion);
+  w.u16(static_cast<std::uint16_t>(frame.type));
+  w.u32(0);  // payload_len placeholder
+  w.u8(static_cast<std::uint8_t>(frame.priority));
+  w.u8(0);
+  w.u8(0);
+  w.u8(0);
+  w.u64(frame.trace_id);
+  w.str16(frame.from);
+  w.str16(frame.to);
+  w.str16(frame.kind);
+  w.u32(body.owner);
+  w.u64(body.batch_seq);
+  w.u8(static_cast<std::uint8_t>(body.mode));
+  w.f64(body.keep_probability);
+  w.u32(static_cast<std::uint32_t>(body.blocks.size()));
+  std::size_t payload_run = 0;
+  for (std::size_t i = 0; i < body.blocks.size(); ++i) {
+    const DataBlock& block = body.blocks[i];
+    if (!block.payload.empty())
+      throw std::invalid_argument(
+          "wire: gather blocks must carry payloads by reference only");
+    if (payloads[i].size != payload_bytes_for(block.descriptor.bit_count))
+      throw std::invalid_argument(
+          "wire: PayloadRef size does not match bit_count");
+    put_descriptor(w, block.descriptor, payloads[i].size);
+    payload_run += payloads[i].size;
+  }
+  const std::size_t payload_len =
+      out.size() - kWireHeaderBytes + payload_run;
+  if (payload_len > kMaxPayloadBytes)
+    throw std::invalid_argument("wire: frame payload exceeds kMaxPayloadBytes");
+  write_at_u32(out, 12, static_cast<std::uint32_t>(payload_len));
+  // Stream the CRC across head + segments: the receiver sees one contiguous
+  // frame, so the checksum must span the same bytes in the same order.
+  std::uint32_t crc = crc32_init();
+  crc = crc32_update(crc, out.data() + 8, out.size() - 8);
+  for (const PayloadRef& payload : payloads)
+    crc = crc32_update(crc, payload.data, payload.size);
+  write_at_u32(out, 4, crc32_final(crc));
+  gather.segments = payloads;
+  return gather;
 }
 
 void FrameBuffer::append(const void* data, std::size_t size) {

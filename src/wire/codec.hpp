@@ -39,6 +39,7 @@
 
 #include "core/messages.hpp"
 #include "sim/priority.hpp"
+#include "telemetry/sampling.hpp"
 
 namespace dust::wire {
 
@@ -52,7 +53,7 @@ inline constexpr std::size_t kMaxPayloadBytes = 16u << 20;
 
 /// Frame type tags. 1..10 map 1:1 onto the core::Message alternatives;
 /// 100+ are transport-internal control frames that never reach a protocol
-/// handler.
+/// handler; 200+ are data-plane frames (DESIGN.md §12).
 enum class FrameType : std::uint16_t {
   kOffloadCapable = 1,
   kAck = 2,
@@ -67,6 +68,17 @@ enum class FrameType : std::uint16_t {
   /// Leaf -> hub: "these endpoint names are served over this connection".
   /// Body: u32 count + str16 names. Re-sent in full after every reconnect.
   kAnnounce = 100,
+  /// Streamer -> collector: a batch of sealed Gorilla blocks. Always kLow —
+  /// telemetry must never delay control traffic. Body: u32 owner, u64
+  /// batch_seq, u8 mode, f64 keep_probability, u32 block_count, then all
+  /// block descriptors (each ending in u32 payload_bytes), then every
+  /// payload back-to-back at the tail — descriptors first so the payload
+  /// run can be scatter-gathered straight out of the TSDB blocks.
+  kDataBlocks = 200,
+  /// Streamer -> collector: degradation state change and/or declared batch
+  /// gap. Always kNormal, so the declaration outruns any queued kLow data
+  /// frames and a collector learns of a gap before it could observe it.
+  kDataDegrade = 201,
 };
 
 [[nodiscard]] const char* to_string(FrameType type) noexcept;
@@ -86,6 +98,48 @@ enum class DecodeStatus : std::uint8_t {
 
 [[nodiscard]] const char* to_string(DecodeStatus status) noexcept;
 
+/// Framing metadata for one sealed Gorilla block inside a kDataBlocks
+/// batch. Everything a collector needs to rebuild and verify the block
+/// without decoding it first.
+struct BlockDescriptor {
+  std::string series;  ///< metric name on the owning node
+  std::uint64_t block_seq = 0;  ///< per-(owner, series), contiguous from 0
+  std::uint32_t sample_count = 0;
+  std::uint64_t bit_count = 0;  ///< encoded stream length in bits
+  std::int64_t first_timestamp_ms = 0;
+  std::int64_t last_timestamp_ms = 0;
+  double last_value = 0.0;  ///< final sample, for adopt-without-decode
+};
+
+struct DataBlock {
+  BlockDescriptor descriptor;
+  /// Encoded Gorilla stream, exactly ceil(bit_count / 8) bytes. Left empty
+  /// on the gather-encode path, where encode_data_blocks_gather() takes the
+  /// payload bytes by reference instead.
+  std::vector<std::uint8_t> payload;
+};
+
+/// kDataBlocks body.
+struct DataBlocksBody {
+  graph::NodeId owner = 0;  ///< node whose telemetry these blocks carry
+  std::uint64_t batch_seq = 0;  ///< per-(streamer, collector), contiguous
+  telemetry::DegradeMode mode = telemetry::DegradeMode::kFull;
+  double keep_probability = 1.0;
+  std::vector<DataBlock> blocks;
+};
+
+/// kDataDegrade body. gap_from_batch > gap_to_batch (the default) means "no
+/// gap, mode change only"; otherwise the inclusive batch_seq range was
+/// dropped at the streamer under declared degradation.
+struct DegradeBody {
+  graph::NodeId owner = 0;
+  telemetry::DegradeMode mode = telemetry::DegradeMode::kFull;
+  double keep_probability = 1.0;
+  std::uint64_t gap_from_batch = 1;
+  std::uint64_t gap_to_batch = 0;
+  std::uint32_t samples_dropped = 0;
+};
+
 /// One frame, decoded (or about to be encoded). Exactly the information a
 /// sim::Envelope carries, plus the frame type: nothing QoS- or
 /// trace-relevant is lost crossing the wire.
@@ -98,6 +152,8 @@ struct Frame {
   std::string kind;
   core::Message message;  ///< valid for protocol frames (tags 1..10)
   std::vector<std::string> announce_endpoints;  ///< valid for kAnnounce
+  DataBlocksBody data_blocks;  ///< valid for kDataBlocks
+  DegradeBody degrade;         ///< valid for kDataDegrade
 };
 
 /// Build a protocol frame around `message` (type tag derived from the
@@ -109,6 +165,49 @@ struct Frame {
                                   std::uint64_t trace_id = 0);
 
 [[nodiscard]] Frame announce_frame(std::vector<std::string> endpoints);
+
+/// Build a kDataBlocks frame (always sim::Priority::kLow — see the QoS note
+/// on the enum).
+[[nodiscard]] Frame data_blocks_frame(std::string from, std::string to,
+                                      DataBlocksBody body,
+                                      std::uint64_t trace_id = 0);
+
+/// Build a kDataDegrade frame (always sim::Priority::kNormal, so it outruns
+/// the kLow data frames it describes).
+[[nodiscard]] Frame degrade_frame(std::string from, std::string to,
+                                  DegradeBody body,
+                                  std::uint64_t trace_id = 0);
+
+/// Borrowed view of payload bytes owned elsewhere (a sealed TSDB block).
+struct PayloadRef {
+  const std::uint8_t* data = nullptr;
+  std::size_t size = 0;
+};
+
+/// A frame encoded for scatter-gather transmission: `head` holds the wire
+/// header plus everything up to the payload run; `segments` point into the
+/// caller-owned block payloads. Concatenated, head + segments are
+/// byte-identical to encode_frame() of the same frame with payloads inlined
+/// (the CRC in head already covers the segments).
+struct GatherFrame {
+  std::vector<std::uint8_t> head;
+  std::vector<PayloadRef> segments;
+  [[nodiscard]] std::size_t total_bytes() const noexcept {
+    std::size_t total = head.size();
+    for (const PayloadRef& segment : segments) total += segment.size;
+    return total;
+  }
+};
+
+/// Gather-encode a kDataBlocks frame: `payloads[i]` supplies the bytes for
+/// `frame.data_blocks.blocks[i]` (whose own payload vector must be empty and
+/// whose descriptor bit_count must match payloads[i].size). The block bytes
+/// are never copied into the codec buffer — the transport writes them
+/// straight from the TSDB with writev. The returned segments alias
+/// `payloads`' targets; they must outlive the send. Throws
+/// std::invalid_argument on size mismatches.
+[[nodiscard]] GatherFrame encode_data_blocks_gather(
+    const Frame& frame, const std::vector<PayloadRef>& payloads);
 
 /// Serialize. Deterministic: encoding the decode of an encoded frame is
 /// byte-identical (doubles travel as raw IEEE-754 bits). Throws

@@ -6,6 +6,7 @@
 #include <netinet/tcp.h>
 #include <poll.h>
 #include <sys/socket.h>
+#include <sys/uio.h>
 #include <unistd.h>
 
 #include <cerrno>
@@ -66,6 +67,9 @@ SocketTransport::SocketTransport(SocketTransportConfig config)
       &registry.counter("dust_wire_dropped_no_endpoint_total");
   metrics_.dropped_queue_full =
       &registry.counter("dust_wire_dropped_queue_full_total");
+  metrics_.shed_bytes = &registry.counter("dust_wire_shed_bytes_total");
+  metrics_.backpressure_events =
+      &registry.counter("dust_wire_backpressure_events_total");
   metrics_.decode_errors = &registry.counter("dust_wire_decode_errors_total");
   metrics_.reconnects = &registry.counter("dust_wire_reconnects_total");
   metrics_.connects = &registry.counter("dust_wire_connects_total");
@@ -167,9 +171,11 @@ void SocketTransport::on_link_established() {
   // A frame interrupted by the outage is retransmitted whole: the hub
   // discarded its partial-read buffer when the old connection died, so the
   // stream restarts clean at a frame boundary.
-  if (!hub_link_.inflight.empty())
+  if (!hub_link_.inflight.head.empty()) {
+    hub_link_.queued_bytes += hub_link_.inflight.size();
     hub_link_.tx_normal.push_front(std::move(hub_link_.inflight));
-  hub_link_.inflight.clear();
+  }
+  hub_link_.inflight = TxFrame{};
   hub_link_.inflight_offset = 0;
   hub_link_.rx.clear();
   // The announce must be the FIRST frame on a fresh link: protocol frames
@@ -181,8 +187,9 @@ void SocketTransport::on_link_established() {
   std::vector<std::string> names;
   names.reserve(local_endpoints_.size());
   for (const auto& [name, entry] : local_endpoints_) names.push_back(name);
-  hub_link_.tx_normal.push_front(
-      encode_frame(announce_frame(std::move(names))));
+  TxFrame announce{encode_frame(announce_frame(std::move(names))), {}, {}};
+  hub_link_.queued_bytes += announce.size();
+  hub_link_.tx_normal.push_front(std::move(announce));
   DUST_LOG_INFO << "wire: leaf connected to " << config_.host << ":"
                 << config_.port;
 }
@@ -208,7 +215,8 @@ void SocketTransport::announce_local_endpoints() {
   std::vector<std::string> names;
   names.reserve(local_endpoints_.size());
   for (const auto& [name, entry] : local_endpoints_) names.push_back(name);
-  enqueue(hub_link_, encode_frame(announce_frame(std::move(names))),
+  enqueue(hub_link_,
+          TxFrame{encode_frame(announce_frame(std::move(names))), {}, {}},
           sim::Priority::kNormal, "announce", "", "", 0);
 }
 
@@ -262,11 +270,11 @@ void SocketTransport::drop_frame(const Frame& frame, const char* cause,
              frame.to, frame.trace_id, cause);
 }
 
-void SocketTransport::enqueue(Peer& peer, std::vector<std::uint8_t> bytes,
+bool SocketTransport::enqueue(Peer& peer, TxFrame frame,
                               sim::Priority priority, const std::string& kind,
                               const std::string& from, const std::string& to,
                               std::uint64_t trace_id) {
-  std::deque<std::vector<std::uint8_t>>& queue =
+  std::deque<TxFrame>& queue =
       priority == sim::Priority::kLow ? peer.tx_low : peer.tx_normal;
   if (peer.tx_normal.size() + peer.tx_low.size() >=
       config_.max_queued_frames) {
@@ -275,18 +283,28 @@ void SocketTransport::enqueue(Peer& peer, std::vector<std::uint8_t> bytes,
     // queue is itself the cheapest thing to discard.
     if (priority == sim::Priority::kLow || peer.tx_low.empty()) {
       ++dropped_;
+      ++peer.shed_frames;
+      peer.shed_bytes += frame.size();
       metrics_.dropped->inc();
       metrics_.dropped_queue_full->inc();
+      metrics_.shed_bytes->inc(frame.size());
       record_hop(obs::FlightEventKind::kMessageDrop, kind, from, to, trace_id,
                  "queue_full");
-      return;
+      return false;
     }
+    TxFrame& victim = peer.tx_low.back();
+    peer.queued_bytes -= victim.size();
+    ++peer.shed_frames;
+    peer.shed_bytes += victim.size();
+    metrics_.shed_bytes->inc(victim.size());
     peer.tx_low.pop_back();
     ++dropped_;
     metrics_.dropped->inc();
     metrics_.dropped_queue_full->inc();
   }
-  queue.push_back(std::move(bytes));
+  peer.queued_bytes += frame.size();
+  queue.push_back(std::move(frame));
+  return true;
 }
 
 void SocketTransport::send(const std::string& from, const std::string& to,
@@ -328,7 +346,90 @@ void SocketTransport::send(const std::string& from, const std::string& to,
   std::vector<std::uint8_t> bytes = encode_frame(
       message_frame(from, to, std::move(*message), priority, kind, trace_id));
   metrics_.encode_us->observe(static_cast<double>(steady_us() - start_us));
-  enqueue(*peer, std::move(bytes), priority, kind, from, to, trace_id);
+  enqueue(*peer, TxFrame{std::move(bytes), {}, {}}, priority, kind, from, to,
+          trace_id);
+}
+
+bool SocketTransport::send_data_frame(const std::string& from,
+                                      const std::string& to,
+                                      GatherFrame frame,
+                                      sim::Priority priority,
+                                      const std::string& kind,
+                                      std::shared_ptr<const void> owner) {
+  ++frames_sent_;
+  metrics_.tx_frames->inc();
+  record_hop(obs::FlightEventKind::kMessageTx, kind, from, to, 0);
+  if (local_endpoints_.count(to) > 0) {
+    // Same-process destination (tests, single-transport demos): reassemble
+    // the contiguous encoding and run it through the decoder so the data
+    // handler sees exactly what a remote collector would.
+    std::vector<std::uint8_t> contiguous = std::move(frame.head);
+    for (const PayloadRef& segment : frame.segments)
+      contiguous.insert(contiguous.end(), segment.data,
+                        segment.data + segment.size);
+    DecodeResult decoded = decode_frame(contiguous.data(), contiguous.size());
+    if (decoded.status != DecodeStatus::kOk) {
+      ++decode_errors_;
+      metrics_.decode_errors->inc();
+      return false;
+    }
+    data_queue_.push_back(std::move(decoded.frame));
+    return true;
+  }
+  Peer* peer = config_.role == SocketTransportConfig::Role::kLeaf
+                   ? &hub_link_
+                   : route_of(to);
+  if (peer == nullptr) {
+    Frame context;
+    context.kind = kind;
+    context.from = from;
+    context.to = to;
+    drop_frame(context, "no_endpoint", metrics_.dropped_no_endpoint);
+    return false;
+  }
+  return enqueue(
+      *peer,
+      TxFrame{std::move(frame.head), std::move(frame.segments),
+              std::move(owner)},
+      priority, kind, from, to, 0);
+}
+
+const SocketTransport::Peer* SocketTransport::peer_toward(
+    const std::string& endpoint) const {
+  if (config_.role == SocketTransportConfig::Role::kLeaf) return &hub_link_;
+  auto it = remote_endpoints_.find(endpoint);
+  if (it == remote_endpoints_.end()) return nullptr;
+  auto peer = peers_.find(it->second);
+  return peer == peers_.end() ? nullptr : &peer->second;
+}
+
+QueueState SocketTransport::queue_state(const std::string& endpoint) const {
+  QueueState state;
+  state.capacity_frames = config_.max_queued_frames;
+  const Peer* peer = peer_toward(endpoint);
+  if (peer == nullptr) return state;
+  state.queued_frames = peer->tx_normal.size() + peer->tx_low.size();
+  state.queued_bytes = peer->queued_bytes;
+  state.shed_frames = peer->shed_frames;
+  state.shed_bytes = peer->shed_bytes;
+  state.backpressure_events = peer->backpressure_events;
+  return state;
+}
+
+bool SocketTransport::poll_backpressure(const std::string& endpoint,
+                                        double fill_threshold) {
+  const Peer* found = peer_toward(endpoint);
+  if (found == nullptr) return false;
+  Peer& peer = const_cast<Peer&>(*found);
+  const double fill =
+      config_.max_queued_frames == 0
+          ? 0.0
+          : static_cast<double>(peer.tx_normal.size() + peer.tx_low.size()) /
+                static_cast<double>(config_.max_queued_frames);
+  if (fill < fill_threshold) return false;
+  ++peer.backpressure_events;
+  metrics_.backpressure_events->inc();
+  return true;
 }
 
 SocketTransport::Peer* SocketTransport::route_of(const std::string& endpoint) {
@@ -356,6 +457,13 @@ bool SocketTransport::handle_frame(Peer& peer, DecodeResult decoded) {
   if (local_endpoints_.count(frame.to) > 0) {
     record_hop(obs::FlightEventKind::kMessageRx, frame.kind, frame.from,
                frame.to, frame.trace_id);
+    if (frame.type == FrameType::kDataBlocks ||
+        frame.type == FrameType::kDataDegrade) {
+      // Data-plane frames bypass the envelope path: they carry compressed
+      // blocks, not a core::Message, and land on the data handler.
+      data_queue_.push_back(std::move(frame));
+      return true;
+    }
     local_queue_.push_back(sim::Envelope{
         std::move(frame.from), std::move(frame.to), std::move(frame.message),
         frame.priority, std::move(frame.kind), frame.trace_id});
@@ -363,14 +471,17 @@ bool SocketTransport::handle_frame(Peer& peer, DecodeResult decoded) {
   }
   if (config_.role == SocketTransportConfig::Role::kHub) {
     // Route leaf-to-leaf traffic (busy -> destination AgentTransfer /
-    // TelemetryData): forward the encoded frame verbatim.
+    // TelemetryData / data-plane blocks): forward the encoded frame
+    // verbatim.
     Peer* next_hop = route_of(frame.to);
     if (next_hop != nullptr && next_hop->fd != peer.fd) {
       ++frames_forwarded_;
       metrics_.forwarded->inc();
       enqueue(*next_hop,
-              std::vector<std::uint8_t>(decoded.raw,
-                                        decoded.raw + decoded.raw_size),
+              TxFrame{std::vector<std::uint8_t>(
+                          decoded.raw, decoded.raw + decoded.raw_size),
+                      {},
+                      {}},
               frame.priority, frame.kind, frame.from, frame.to,
               frame.trace_id);
       return true;
@@ -422,7 +533,7 @@ bool SocketTransport::read_from(Peer& peer) {
 
 bool SocketTransport::flush(Peer& peer) {
   while (true) {
-    if (peer.inflight.empty()) {
+    if (peer.inflight.head.empty()) {
       if (!peer.tx_normal.empty()) {
         // kNormal control traffic always drains before kLow monitoring
         // data (§III-C).
@@ -434,22 +545,47 @@ bool SocketTransport::flush(Peer& peer) {
       } else {
         return true;
       }
+      peer.queued_bytes -= peer.inflight.size();
       peer.inflight_offset = 0;
     }
+    // Scatter-gather write: head plus the borrowed block payloads go out in
+    // one writev, resuming mid-frame at inflight_offset after a short
+    // write. The payload bytes are still the TSDB's — never copied here.
+    const std::size_t frame_bytes = peer.inflight.size();
+    std::vector<iovec> iov;
+    iov.reserve(1 + peer.inflight.segments.size());
+    std::size_t skip = peer.inflight_offset;
+    auto add = [&](const std::uint8_t* data, std::size_t size) {
+      if (skip >= size) {
+        skip -= size;
+        return;
+      }
+      iov.push_back(iovec{
+          const_cast<std::uint8_t*>(data) + skip, size - skip});
+      skip = 0;
+    };
+    add(peer.inflight.head.data(), peer.inflight.head.size());
+    for (const PayloadRef& segment : peer.inflight.segments)
+      add(segment.data, segment.size);
+    if (iov.empty()) {
+      peer.inflight = TxFrame{};
+      peer.inflight_offset = 0;
+      continue;
+    }
     const ssize_t n =
-        ::write(peer.fd, peer.inflight.data() + peer.inflight_offset,
-                peer.inflight.size() - peer.inflight_offset);
+        ::writev(peer.fd, iov.data(), static_cast<int>(iov.size()));
     if (n > 0) {
       metrics_.tx_bytes->inc(static_cast<std::uint64_t>(n));
       peer.inflight_offset += static_cast<std::size_t>(n);
-      if (peer.inflight_offset == peer.inflight.size()) {
-        peer.inflight.clear();
+      if (peer.inflight_offset == frame_bytes) {
+        peer.inflight = TxFrame{};  // releases the gather keepalive
         peer.inflight_offset = 0;
       }
       continue;
     }
-    if (errno == EAGAIN || errno == EWOULDBLOCK) return true;  // later
-    if (errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK))
+      return true;  // later
+    if (n < 0 && errno == EINTR) continue;
     DUST_LOG_DEBUG << "wire: write failed (fd " << peer.fd << "): "
                    << std::strerror(errno);
     return false;
@@ -466,8 +602,8 @@ std::size_t SocketTransport::poll_once(int timeout_ms) {
   if (listen_fd_ >= 0) fds.push_back({listen_fd_, POLLIN, 0});
   auto wants = [](const Peer& peer) -> short {
     short events = POLLIN;
-    if (peer.connecting || !peer.inflight.empty() || !peer.tx_normal.empty() ||
-        !peer.tx_low.empty())
+    if (peer.connecting || !peer.inflight.head.empty() ||
+        !peer.tx_normal.empty() || !peer.tx_low.empty())
       events |= POLLOUT;
     return events;
   };
@@ -475,7 +611,7 @@ std::size_t SocketTransport::poll_once(int timeout_ms) {
   if (hub_link_.fd >= 0) fds.push_back({hub_link_.fd, wants(hub_link_), 0});
 
   // Local-only work pending? Don't sleep on the sockets.
-  if (!local_queue_.empty()) timeout_ms = 0;
+  if (!local_queue_.empty() || !data_queue_.empty()) timeout_ms = 0;
   if (!fds.empty()) {
     ::poll(fds.data(), static_cast<nfds_t>(fds.size()), timeout_ms);
   }
@@ -558,6 +694,16 @@ std::size_t SocketTransport::poll_once(int timeout_ms) {
     }
     ++delivered;
     it->second.handler(envelope);
+  }
+  while (!data_queue_.empty()) {
+    Frame frame = std::move(data_queue_.front());
+    data_queue_.pop_front();
+    if (!data_handler_) {
+      drop_frame(frame, "no_data_handler", metrics_.dropped_no_endpoint);
+      continue;
+    }
+    ++delivered;
+    data_handler_(std::move(frame));
   }
   return delivered;
 }

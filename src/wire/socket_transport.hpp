@@ -26,6 +26,7 @@
 #include <deque>
 #include <functional>
 #include <map>
+#include <memory>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -58,6 +59,25 @@ struct SocketTransportConfig {
   /// Simulator against wall time pass `[&sim] { return sim.now(); }` so wire
   /// events interleave correctly with protocol events.
   std::function<sim::TimeMs()> now;
+};
+
+/// Outbound-queue telemetry for one peer connection — the data plane's
+/// backpressure signal (DESIGN.md §12). `fill()` is the fraction of the
+/// frame cap currently queued; shed_* count kLow frames discarded at the
+/// cap since the connection was made.
+struct QueueState {
+  std::size_t queued_frames = 0;
+  std::size_t queued_bytes = 0;
+  std::size_t capacity_frames = 0;
+  std::uint64_t shed_frames = 0;
+  std::uint64_t shed_bytes = 0;
+  std::uint64_t backpressure_events = 0;
+  [[nodiscard]] double fill() const noexcept {
+    return capacity_frames == 0
+               ? 0.0
+               : static_cast<double>(queued_frames) /
+                     static_cast<double>(capacity_frames);
+  }
 };
 
 class SocketTransport final : public sim::TransportBase {
@@ -113,19 +133,68 @@ class SocketTransport final : public sim::TransportBase {
     return decode_errors_;
   }
 
+  // --- data plane -----------------------------------------------------------
+  /// Queue a gather-encoded data frame toward `to`. The segments point into
+  /// `owner`-kept storage (sealed TSDB blocks); the transport holds `owner`
+  /// alive until the frame has fully left the socket, and the block bytes
+  /// are never copied into a codec buffer. Returns false when the frame was
+  /// shed (queue at cap) or unroutable. Local destinations are decoded and
+  /// delivered through the data handler on the next poll_once().
+  bool send_data_frame(const std::string& from, const std::string& to,
+                       GatherFrame frame, sim::Priority priority,
+                       const std::string& kind,
+                       std::shared_ptr<const void> owner);
+
+  /// Receive path for data-plane frames (kDataBlocks / kDataDegrade): one
+  /// handler per transport, invoked from poll_once() for every data frame
+  /// addressed to a locally registered endpoint.
+  void set_data_handler(std::function<void(Frame&&)> handler) {
+    data_handler_ = std::move(handler);
+  }
+
+  /// Outbound-queue state of the connection that would carry traffic to
+  /// `endpoint` (leaf: always the hub link). Empty default when unroutable.
+  [[nodiscard]] QueueState queue_state(const std::string& endpoint) const;
+
+  /// The streamer's backpressure probe: true when the queue toward
+  /// `endpoint` is at or past `fill_threshold` of the frame cap. A true
+  /// result is counted (per peer and in dust_wire_backpressure_events_total)
+  /// so operators can see pushback land before shedding would start.
+  bool poll_backpressure(const std::string& endpoint, double fill_threshold);
+
  private:
+  /// One queued wire frame: contiguous head plus optional borrowed payload
+  /// segments (gather frames). `keepalive` pins the segment storage until
+  /// the bytes are on the socket.
+  struct TxFrame {
+    std::vector<std::uint8_t> head;
+    std::vector<PayloadRef> segments;
+    std::shared_ptr<const void> keepalive;
+    [[nodiscard]] std::size_t size() const noexcept {
+      std::size_t total = head.size();
+      for (const PayloadRef& segment : segments) total += segment.size;
+      return total;
+    }
+  };
+
   struct Peer {
     int fd = -1;
     bool connecting = false;  ///< leaf: non-blocking connect in flight
     FrameBuffer rx;
     /// Encoded frames awaiting the socket, split by QoS class.
-    std::deque<std::vector<std::uint8_t>> tx_normal;
-    std::deque<std::vector<std::uint8_t>> tx_low;
-    /// Frame currently being written (may be partially sent).
-    std::vector<std::uint8_t> inflight;
+    std::deque<TxFrame> tx_normal;
+    std::deque<TxFrame> tx_low;
+    std::size_t queued_bytes = 0;  ///< sum of tx_normal + tx_low sizes
+    /// Frame currently being written (may be partially sent). Empty head
+    /// means none.
+    TxFrame inflight;
     std::size_t inflight_offset = 0;
     /// Endpoint names announced over this connection (hub side).
     std::vector<std::string> endpoints;
+    /// Per-peer shedding/backpressure telemetry (ISSUE 6 satellite).
+    std::uint64_t shed_frames = 0;
+    std::uint64_t shed_bytes = 0;
+    std::uint64_t backpressure_events = 0;
   };
 
   /// Global-registry handles (dust_wire_*), resolved once at construction.
@@ -138,6 +207,8 @@ class SocketTransport final : public sim::TransportBase {
     obs::Counter* dropped = nullptr;
     obs::Counter* dropped_no_endpoint = nullptr;
     obs::Counter* dropped_queue_full = nullptr;
+    obs::Counter* shed_bytes = nullptr;
+    obs::Counter* backpressure_events = nullptr;
     obs::Counter* decode_errors = nullptr;
     obs::Counter* reconnects = nullptr;
     obs::Counter* connects = nullptr;
@@ -151,10 +222,9 @@ class SocketTransport final : public sim::TransportBase {
   bool finish_connect();  ///< leaf: resolve a pending non-blocking connect
   void on_link_established();
   void on_link_lost();
-  void enqueue(Peer& peer, std::vector<std::uint8_t> bytes,
-               sim::Priority priority, const std::string& kind,
-               const std::string& from, const std::string& to,
-               std::uint64_t trace_id);
+  bool enqueue(Peer& peer, TxFrame frame, sim::Priority priority,
+               const std::string& kind, const std::string& from,
+               const std::string& to, std::uint64_t trace_id);
   bool flush(Peer& peer);  ///< false when the connection broke
   bool read_from(Peer& peer);  ///< false when the connection broke
   bool handle_frame(Peer& peer, DecodeResult decoded);
@@ -166,6 +236,7 @@ class SocketTransport final : public sim::TransportBase {
   /// Leaf: (re)send the kAnnounce frame naming every local endpoint.
   void announce_local_endpoints();
   [[nodiscard]] Peer* route_of(const std::string& endpoint);
+  [[nodiscard]] const Peer* peer_toward(const std::string& endpoint) const;
 
   SocketTransportConfig config_;
   Metrics metrics_;
@@ -192,6 +263,10 @@ class SocketTransport final : public sim::TransportBase {
   /// Envelopes addressed to a same-process endpoint, dispatched in
   /// poll_once so handler reentrancy is never an issue.
   std::deque<sim::Envelope> local_queue_;
+  /// Data-plane frames (kDataBlocks/kDataDegrade) awaiting the data
+  /// handler; same reentrancy discipline as local_queue_.
+  std::deque<Frame> data_queue_;
+  std::function<void(Frame&&)> data_handler_;
 
   std::uint64_t frames_sent_ = 0;
   std::uint64_t frames_received_ = 0;

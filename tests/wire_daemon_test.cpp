@@ -37,6 +37,9 @@
 #ifndef DUST_CLIENT_DAEMON_BIN
 #error "DUST_CLIENT_DAEMON_BIN must point at the client_daemon binary"
 #endif
+#ifndef DUST_COLLECTOR_DAEMON_BIN
+#error "DUST_COLLECTOR_DAEMON_BIN must point at the collector_daemon binary"
+#endif
 
 namespace dust {
 namespace {
@@ -266,6 +269,112 @@ TEST(WireDaemon, FourClientProcessesMatchInProcessPlacement) {
   EXPECT_EQ(report.final_assigns, reference.assigns)
       << "no relationship should churn when every process stays alive";
   EXPECT_EQ(report.keepalive_failures, 0);
+}
+
+// collector_daemon's FINAL line: "FINAL samples=N batches=N ...".
+struct CollectorReport {
+  long samples = -1;
+  long batches = -1;
+  long blocks = -1;
+  long undeclared = -1;
+  long verify_failures = -1;
+  long out_of_order = -1;
+  bool seen = false;
+};
+
+void parse_collector_line(const std::string& line, CollectorReport& report) {
+  std::istringstream in(line);
+  std::string tag;
+  in >> tag;
+  if (tag != "FINAL") return;
+  report.seen = true;
+  std::string field;
+  while (in >> field) {
+    const std::size_t eq = field.find('=');
+    if (eq == std::string::npos) continue;
+    const std::string key = field.substr(0, eq);
+    const long value = std::stol(field.substr(eq + 1));
+    if (key == "samples") report.samples = value;
+    if (key == "batches") report.batches = value;
+    if (key == "blocks") report.blocks = value;
+    if (key == "undeclared") report.undeclared = value;
+    if (key == "verify_failures") report.verify_failures = value;
+    if (key == "out_of_order") report.out_of_order = value;
+  }
+}
+
+TEST(WireDaemon, DestinationStreamsBlocksToCollectorWhilePlacementMatches) {
+  // The data plane must not perturb the control plane: the node that
+  // receives the offloaded monitoring load also streams its telemetry
+  // blocks through the hub to a collector process, and the placement still
+  // matches the in-process simulation bit for bit.
+  const Reference reference = in_process_reference();
+  ASSERT_EQ(reference.assigns.size(), 1u);
+  const unsigned destination = std::get<1>(*reference.assigns.begin());
+
+  std::string others;
+  for (unsigned v = 0; v < wire::kDemoNodeCount; ++v) {
+    if (v == destination) continue;
+    if (!others.empty()) others += ',';
+    others += std::to_string(v);
+  }
+
+  Daemon manager(DUST_MANAGER_DAEMON_BIN,
+                 {"--run-ms", "5000", "--settle-ms", "15000"},
+                 /*capture_stdout=*/true);
+  ASSERT_TRUE(manager.running());
+  ManagerReport report;
+  const std::uint16_t port = await_port(manager, report);
+  ASSERT_NE(port, 0) << "manager_daemon never printed PORT";
+
+  const std::string port_arg = std::to_string(port);
+  Daemon collector(DUST_COLLECTOR_DAEMON_BIN,
+                   {"--port", port_arg, "--run-ms", "6000"},
+                   /*capture_stdout=*/true);
+  ASSERT_TRUE(collector.running());
+  std::string line;
+  ASSERT_TRUE(collector.read_line(line, wall_ms() + 10000));
+  ASSERT_EQ(line.rfind("READY", 0), 0u)
+      << "collector_daemon spoke before READY: " << line;
+
+  constexpr long kStreamSamples = 1500;  // per series, two series
+  Daemon quiet(DUST_CLIENT_DAEMON_BIN,
+               {"--port", port_arg, "--nodes", others, "--run-ms", "5000"},
+               /*capture_stdout=*/false);
+  Daemon origin(DUST_CLIENT_DAEMON_BIN,
+                {"--port", port_arg, "--nodes", std::to_string(destination),
+                 "--run-ms", "5000", "--stream", "--stream-samples",
+                 std::to_string(kStreamSamples), "--stream-delay-ms", "1500"},
+                /*capture_stdout=*/false);
+  ASSERT_TRUE(quiet.running());
+  ASSERT_TRUE(origin.running());
+
+  drain(manager, report, wall_ms() + 30000);
+  EXPECT_EQ(manager.wait_exit(), 0);
+  EXPECT_EQ(quiet.wait_exit(), 0);
+  EXPECT_EQ(origin.wait_exit(), 0);
+
+  CollectorReport data;
+  const std::int64_t collector_deadline = wall_ms() + 15000;
+  while (!data.seen && collector.read_line(line, collector_deadline))
+    parse_collector_line(line, data);
+  EXPECT_EQ(collector.wait_exit(), 0)
+      << "collector saw undeclared loss or verify failures";
+
+  // Control plane: bit-identical to the in-process run, nobody flapped.
+  EXPECT_EQ(report.hfr_bits, reference.hfr_bits);
+  EXPECT_EQ(report.assigns, reference.assigns);
+  EXPECT_EQ(report.final_assigns, reference.assigns);
+  EXPECT_EQ(report.keepalive_failures, 0);
+
+  // Data plane: every streamed sample arrived across three processes, and
+  // the idle-link transfer involved no loss at all, declared or otherwise.
+  ASSERT_TRUE(data.seen) << "collector_daemon never printed FINAL";
+  EXPECT_EQ(data.samples, 2 * kStreamSamples);
+  EXPECT_GE(data.batches, 1);
+  EXPECT_EQ(data.undeclared, 0);
+  EXPECT_EQ(data.verify_failures, 0);
+  EXPECT_EQ(data.out_of_order, 0);
 }
 
 TEST(WireDaemon, ClientProcessDeathSubstitutesReplicaOverTheWire) {

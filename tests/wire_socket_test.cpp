@@ -61,7 +61,7 @@ TEST(WireSocket, LeafDeliversToHubEndpoint) {
                         });
   leaf.register_endpoint("dust-client-0", [](const sim::Envelope&) {});
 
-  core::Message message{core::StatMsg{0, 55.5, 12.25, 3, {0xAB, 0xCD}}};
+  core::Message message{core::StatMsg{0, 55.5, 12.25, 3, 1.0, {0xAB, 0xCD}}};
   leaf.send("dust-client-0", "dust-manager", message, sim::Priority::kNormal,
             "stat", 0xAB);
 
