@@ -108,13 +108,14 @@ struct RunStats {
 };
 
 RunStats run_cycles(Pattern pattern, bool incremental, std::size_t cycles,
-                    double lu_quantum = 0.0) {
+                    double lu_quantum = 0.0, double reprice_epsilon = 0.0) {
   util::Rng rng(bench::base_seed());
   core::Nmdb nmdb = bench::fat_tree_scenario(8, rng);
   nmdb.network().set_link_epsilon(0.05);
 
   net::ResponseTimeCache cache;
   cache.set_lu_quantum(lu_quantum);
+  cache.set_reprice_epsilon(reprice_epsilon);
   core::OptimizerOptions options;
   options.placement.max_hops = 4;
   options.placement.evaluator = net::EvaluatorMode::kEnumerate;
@@ -165,6 +166,13 @@ struct ScenarioRow {
 /// precision-for-stability trade the epsilon-filtered STAT reporting makes.
 constexpr double kLuQuantum = 0.50;
 
+/// Repricing deadband for the quantized runner (see
+/// ResponseTimeCache::set_reprice_epsilon): hairline link improvements no
+/// longer flush rows whose Trmin they could only shave by < 10%. Together
+/// with the Lu buckets this is what lifts the scattered-heavy hit rate —
+/// the burst links still invalidate correctly, the drift stops repricing.
+constexpr double kRepriceEpsilon = 0.10;
+
 void write_json(const std::vector<ScenarioRow>& rows, std::size_t cycles) {
   // Shared dust-bench-v1 schema (see bench_common.hpp): flat records keyed
   // by metric + config so CI can diff against a baseline with one parser.
@@ -198,8 +206,10 @@ void write_json(const std::vector<ScenarioRow>& rows, std::size_t cycles) {
     json.add("cold_solves",
              static_cast<double>(row.incremental.cold_solves), "count",
              config);
-    const std::string qconfig =
-        config + ",lu_quantum=" + std::to_string(kLuQuantum);
+    const std::string qconfig = config +
+                                ",lu_quantum=" + std::to_string(kLuQuantum) +
+                                ",reprice_epsilon=" +
+                                std::to_string(kRepriceEpsilon);
     json.add("quantized_ms_per_cycle", row.quantized.ms_per_cycle, "ms",
              qconfig);
     json.add("quantized_cache_hit_rate", row.quantized.cache.hit_rate(),
@@ -228,8 +238,8 @@ int main() {
     row.pattern = pattern;
     row.cold = run_cycles(pattern, /*incremental=*/false, cycles);
     row.incremental = run_cycles(pattern, /*incremental=*/true, cycles);
-    row.quantized =
-        run_cycles(pattern, /*incremental=*/true, cycles, kLuQuantum);
+    row.quantized = run_cycles(pattern, /*incremental=*/true, cycles,
+                               kLuQuantum, kRepriceEpsilon);
     rows.push_back(row);
   }
 
@@ -263,21 +273,23 @@ int main() {
             << ": steady-state speedup " << steady_speedup
             << "x (budget >= 2x)\n";
 
-  // Regression floors for the Lu-quantization fix: exact-cost caching decays
-  // to ~0% hits under hot-links / scattered-heavy (every cycle some dirty
-  // link lands in almost every row's support); bucket representatives plus
-  // direction-aware invalidation must keep a meaningful fraction of rows
-  // alive. Calibrated values at kLuQuantum = 0.5 are ~0.51 (hot-links) and
-  // ~0.14 (scattered-heavy); floors sit at roughly half so only a real
-  // regression trips them.
+  // Regression floors for the Lu-quantization + reprice-deadband fixes:
+  // exact-cost caching decays to ~0% hits under hot-links / scattered-heavy
+  // (every cycle some dirty link lands in almost every row's support);
+  // bucket representatives, direction-aware invalidation, and the repricing
+  // deadband together must keep a meaningful fraction of rows alive.
+  // Calibrated values at kLuQuantum = 0.5, kRepriceEpsilon = 0.1 are ~0.61
+  // (hot-links) and ~0.20 (scattered-heavy, up from 0.14 before the
+  // deadband); floors sit at roughly half so only a real regression trips
+  // them.
   const double hot_rate = rows[1].quantized.cache.hit_rate();
   const double scattered_rate = rows[2].quantized.cache.hit_rate();
-  const bool hot_ok = hot_rate >= 0.20;
-  const bool scattered_ok = scattered_rate >= 0.05;
+  const bool hot_ok = hot_rate >= 0.30;
+  const bool scattered_ok = scattered_rate >= 0.10;
   std::cout << "quantized hit rate " << (hot_ok && scattered_ok ? "PASS"
                                                                 : "FAIL")
-            << ": hot-links " << hot_rate << " (floor 0.20), scattered-heavy "
-            << scattered_rate << " (floor 0.05)\n";
+            << ": hot-links " << hot_rate << " (floor 0.30), scattered-heavy "
+            << scattered_rate << " (floor 0.10)\n";
   pass = pass && hot_ok && scattered_ok;
   return pass ? 0 : 1;
 }

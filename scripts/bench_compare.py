@@ -1,0 +1,146 @@
+#!/usr/bin/env python3
+"""Diff two dust-bench-v1 JSON reports and fail on timing regressions.
+
+Usage:
+    bench_compare.py <baseline.json> <candidate.json> [--threshold 0.10]
+    bench_compare.py --self-test
+
+Every record whose metric name contains "ms_per_cycle" is treated as a
+lower-is-better timing; a candidate more than --threshold (default 10%)
+slower than the baseline on the same (metric, config) key fails the compare
+(exit 1). Other metrics are reported informationally.
+
+Scale safety: reports carry a top-level "topology" object and per-record
+nodes=/edges= config fields. A compare across different topology sizes is
+refused outright (exit 2) — a k=16 baseline says nothing about a k=32 run.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    with open(path) as f:
+        report = json.load(f)
+    if report.get("schema") != "dust-bench-v1":
+        raise SystemExit(f"{path}: not a dust-bench-v1 report")
+    return report
+
+
+def record_key(record):
+    return (record.get("metric", ""), record.get("config", ""))
+
+
+def compare(baseline, candidate, threshold):
+    """Return (failures, lines): regressions and a human-readable log."""
+    base_topo = baseline.get("topology")
+    cand_topo = candidate.get("topology")
+    if base_topo != cand_topo:
+        raise SystemExit(
+            f"refusing cross-scale compare: baseline topology {base_topo} "
+            f"!= candidate {cand_topo} (exit 2)"
+        )
+
+    base = {record_key(r): r for r in baseline.get("records", [])}
+    failures = []
+    lines = []
+    for record in candidate.get("records", []):
+        key = record_key(record)
+        if key not in base:
+            lines.append(f"  new      {key[0]} [{key[1]}]")
+            continue
+        old = base[key]["value"]
+        new = record["value"]
+        if "ms_per_cycle" not in key[0]:
+            lines.append(f"  info     {key[0]} [{key[1]}]: {old:g} -> {new:g}")
+            continue
+        if old <= 0:
+            lines.append(f"  skip     {key[0]} [{key[1]}]: baseline {old:g}")
+            continue
+        ratio = new / old
+        verdict = "ok"
+        if ratio > 1.0 + threshold:
+            verdict = "REGRESSED"
+            failures.append(
+                f"{key[0]} [{key[1]}]: {old:g} ms -> {new:g} ms "
+                f"(+{(ratio - 1.0) * 100:.1f}% > {threshold * 100:.0f}%)"
+            )
+        lines.append(
+            f"  {verdict:8s} {key[0]} [{key[1]}]: "
+            f"{old:g} -> {new:g} ms ({(ratio - 1.0) * 100:+.1f}%)"
+        )
+    return failures, lines
+
+
+def self_test():
+    topo = {"nodes": 320, "edges": 2048}
+    base = {
+        "schema": "dust-bench-v1",
+        "topology": topo,
+        "records": [
+            {"metric": "steady_ms_per_cycle", "config": "a", "value": 10.0},
+            {"metric": "cache_hit_rate", "config": "a", "value": 0.5},
+        ],
+    }
+    ok = dict(base)
+    ok["records"] = [
+        {"metric": "steady_ms_per_cycle", "config": "a", "value": 10.5},
+        {"metric": "cache_hit_rate", "config": "a", "value": 0.4},
+    ]
+    failures, _ = compare(base, ok, 0.10)
+    assert not failures, f"5% slowdown must pass a 10% threshold: {failures}"
+
+    bad = dict(base)
+    bad["records"] = [
+        {"metric": "steady_ms_per_cycle", "config": "a", "value": 11.5}
+    ]
+    failures, _ = compare(base, bad, 0.10)
+    assert failures, "15% slowdown must fail a 10% threshold"
+
+    cross = dict(base)
+    cross["topology"] = {"nodes": 1280, "edges": 16384}
+    try:
+        compare(base, cross, 0.10)
+    except SystemExit:
+        pass
+    else:
+        raise AssertionError("cross-scale compare must be refused")
+    print("bench_compare self-test: PASS")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline", nargs="?")
+    parser.add_argument("candidate", nargs="?")
+    parser.add_argument("--threshold", type=float, default=0.10,
+                        help="max allowed relative slowdown (default 0.10)")
+    parser.add_argument("--self-test", action="store_true",
+                        help="run the built-in assertions and exit")
+    args = parser.parse_args()
+
+    if args.self_test:
+        self_test()
+        return 0
+    if not args.baseline or not args.candidate:
+        parser.error("baseline and candidate files are required")
+
+    baseline = load(args.baseline)
+    candidate = load(args.candidate)
+    failures, lines = compare(baseline, candidate, args.threshold)
+
+    print(f"bench_compare: {args.baseline} vs {args.candidate} "
+          f"(threshold {args.threshold * 100:.0f}%)")
+    for line in lines:
+        print(line)
+    if failures:
+        print(f"\nFAIL: {len(failures)} timing regression(s)")
+        for failure in failures:
+            print(f"  {failure}")
+        return 1
+    print("\nPASS: no ms_per_cycle regression beyond threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

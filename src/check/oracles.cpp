@@ -8,6 +8,7 @@
 #include "net/response_cache.hpp"
 #include "solver/exhaustive.hpp"
 #include "solver/transportation.hpp"
+#include "util/rng.hpp"
 
 namespace dust::check {
 
@@ -167,6 +168,75 @@ std::vector<Violation> cross_check_nmdb(const core::Nmdb& nmdb,
       out.push_back({"O3-warm-vs-cold",
                      "warm objective " + fmt(warm.objective) + " != cold " +
                          fmt(cold.objective)});
+  }
+
+  // O6: dirty-basis re-solve. Replay a fuzzed schedule of cost-cell
+  // perturbations against one persistent basis: every re-solve from the
+  // retained basis must reproduce the cold solve's verdict and objective
+  // (and the exhaustive ground truth when the instance is small enough to
+  // enumerate). Supplies/capacities never move here, so after the priming
+  // solve every step is eligible for the fast path — a step that silently
+  // fell back would hide the very code under test, so that is flagged too.
+  if (options.check_dirty_basis && !fresh.busy.empty() &&
+      !fresh.candidates.empty() && !fresh.heterogeneous()) {
+    solver::TransportationProblem t = to_transportation(fresh);
+    solver::TransportationBasis basis;
+    const solver::TransportationResult primed =
+        solver::solve_transportation_dirty(t, basis);
+    util::Rng rng(options.dirty_basis_seed);
+    const std::size_t cells = t.cost.size();
+    for (std::size_t step = 0;
+         primed.optimal() && step < options.dirty_basis_steps; ++step) {
+      // Mostly small drift, one in five a large burst — and leave forbidden
+      // cells forbidden (their big-M handling is part of what's checked).
+      const std::size_t touches =
+          1 + rng.below(std::max<std::size_t>(1, cells / 4));
+      for (std::size_t k = 0; k < touches; ++k) {
+        const std::size_t cell = rng.below(cells);
+        if (t.cost[cell] == solver::kInfinity) continue;
+        const double factor = rng.below(5) == 0 ? rng.uniform(0.3, 3.0)
+                                                : rng.uniform(0.9, 1.1);
+        t.cost[cell] = std::max(1e-9, t.cost[cell] * factor);
+      }
+      const solver::TransportationResult dirty =
+          solver::solve_transportation_dirty(t, basis);
+      const solver::TransportationResult cold = solver::solve_transportation(t);
+      if (basis.valid && !dirty.dirty_resolve) {
+        out.push_back({"O6-dirty-basis",
+                       "step " + std::to_string(step) +
+                           ": cost-only change did not take the dirty path"});
+        break;
+      }
+      if (dirty.status != cold.status) {
+        out.push_back({"O6-dirty-basis",
+                       "step " + std::to_string(step) +
+                           ": dirty verdict differs from cold"});
+        break;
+      }
+      if (cold.optimal() && !objectives_agree(dirty.objective, cold.objective,
+                                              options.tolerance)) {
+        out.push_back({"O6-dirty-basis",
+                       "step " + std::to_string(step) + ": dirty objective " +
+                           fmt(dirty.objective) + " != cold " +
+                           fmt(cold.objective)});
+        break;
+      }
+      if (solver::exhaustive_base_count(t) <= options.max_exhaustive_bases) {
+        const solver::TransportationResult truth =
+            solver::solve_transportation_exhaustive(
+                t, options.max_exhaustive_bases + 1);
+        if (truth.status != dirty.status ||
+            (truth.optimal() &&
+             !objectives_agree(truth.objective, dirty.objective,
+                               options.tolerance))) {
+          out.push_back({"O6-dirty-basis",
+                         "step " + std::to_string(step) +
+                             ": dirty result differs from exhaustive optimum " +
+                             fmt(truth.objective)});
+          break;
+        }
+      }
+    }
   }
 
   // O5: heuristic soundness. HFR is a rate: Cse and Cs must be nonnegative

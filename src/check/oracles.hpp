@@ -14,9 +14,14 @@
 //                         the exact model is feasible with objective ≤ the
 //                         heuristic's (the heuristic solution is a feasible
 //                         point of the exact model when max_hops ≥ radius)
+//   O6 dirty basis        re-solving from the retained simplex basis after a
+//                         fuzzed schedule of cost-cell perturbations must
+//                         reproduce the cold verdict and objective at every
+//                         step (and the exhaustive optimum when small)
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 
 #include "check/invariants.hpp"
 #include "core/heuristic.hpp"
@@ -37,6 +42,12 @@ struct OracleOptions {
   bool check_warm_start = true;  ///< O3
   bool check_cache = true;       ///< O4
   bool check_heuristic = true;   ///< O5
+  bool check_dirty_basis = true; ///< O6
+  /// O6 fuzz schedule: this many cost-perturbation rounds, each touching a
+  /// random subset of finite cells (mostly drift, occasional bursts — the
+  /// link-churn shape the engine feeds the solver).
+  std::size_t dirty_basis_steps = 8;
+  std::uint64_t dirty_basis_seed = 0xD0575EEDull;
 };
 
 /// O1 + O2 on an already-built (homogeneous) problem. Heterogeneous

@@ -29,6 +29,10 @@ DustManager::DustManager(sim::Simulator& sim, sim::TransportBase& transport,
     config_.optimizer.placement.response_cache = &trmin_cache_;
     config_.optimizer.warm_start = true;
   }
+  if (config_.solver_threads != 0) {
+    config_.optimizer.placement.parallel_trmin = true;
+    config_.optimizer.placement.solver_threads = config_.solver_threads;
+  }
   engine_ = OptimizationEngine(config_.optimizer);
   const std::size_t n = nmdb_.network().graph().node_count();
   last_stat_at_.assign(n, kNeverStat);

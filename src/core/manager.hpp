@@ -49,6 +49,12 @@ struct ManagerConfig {
   /// the optimum); steady-state cycles get dramatically cheaper. Off by
   /// default so explicitly configured optimizer options are untouched.
   bool incremental_placement = false;
+  /// Parallel Trmin row fill (DESIGN.md §13): nonzero turns on
+  /// placement.parallel_trmin capped at this many pool workers; plans stay
+  /// bit-identical to the serial fill. 0 leaves the configured optimizer
+  /// options untouched. The pool itself is sized via DUST_THREADS (or
+  /// util::global_pool's first-use argument).
+  std::size_t solver_threads = 0;
   OptimizerOptions optimizer;
 };
 

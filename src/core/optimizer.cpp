@@ -154,6 +154,7 @@ struct EngineMetrics {
   obs::Histogram& iterations;
   obs::Counter& warm_solves;
   obs::Counter& cold_solves;
+  obs::Counter& dirty_resolves;
   obs::Counter& warm_shape_fallback;
   obs::Counter& warm_verify_mismatch;
   obs::Histogram& warm_solve_ms;
@@ -169,6 +170,7 @@ struct EngineMetrics {
         registry.histogram("dust_solver_iterations"),
         registry.counter("dust_solver_warm_solves_total"),
         registry.counter("dust_solver_cold_solves_total"),
+        registry.counter("dust_solver_dirty_resolves_total"),
         registry.counter("dust_solver_warm_shape_fallback_total"),
         registry.counter("dust_solver_warm_verify_mismatch_total"),
         registry.histogram("dust_solver_warm_solve_ms"),
@@ -204,6 +206,7 @@ PlacementResult OptimizationEngine::solve(const PlacementProblem& problem) const
     // non-empty cycle must solve cold rather than seed from a basis whose
     // shape no longer reflects reality.
     warm_.valid = false;
+    warm_.basis.valid = false;
     PlacementResult result;
     result.status = solver::Status::kOptimal;
     result.paths_explored = problem.paths_explored;
@@ -308,8 +311,17 @@ PlacementResult OptimizationEngine::solve_transportation_backend(
   PlacementResult result;
   util::Timer timer;
   const solver::TransportationProblem t = to_transportation(problem);
+  // Under warm_start the solver also consults/refreshes the retained basis:
+  // if this instance differs from the previous one in cost cells only, it
+  // re-optimizes from that basis (dirty-basis path) and ignores the flow
+  // hint; otherwise the flow hint seeds a fresh least-cost start as before.
+  // A shape mismatch at the engine level implies mismatched balanced
+  // quantities at the solver level, so the basis never leaks across shapes.
   solver::TransportationResult solved =
-      solver::solve_transportation(t, warm ? &warm_.flow : nullptr);
+      options_.warm_start
+          ? solver::solve_transportation_dirty(t, warm_.basis,
+                                               warm ? &warm_.flow : nullptr)
+          : solver::solve_transportation(t);
   result.status = solved.status;
   result.solver_iterations = solved.iterations;
   if (solved.optimal()) {
@@ -317,7 +329,11 @@ PlacementResult OptimizationEngine::solve_transportation_backend(
     extract_assignments(problem, solved.flow, result);
   }
   result.solve_seconds = timer.seconds();
-  if (warm) {
+  if (solved.dirty_resolve) {
+    ++warm_.dirty_resolves;
+    metrics.dirty_resolves.inc();
+  }
+  if (warm || solved.dirty_resolve) {
     ++warm_.warm_solves;
     metrics.warm_solves.inc();
     metrics.warm_solve_ms.observe(result.solve_seconds * 1e3);
@@ -327,7 +343,7 @@ PlacementResult OptimizationEngine::solve_transportation_backend(
     metrics.cold_solve_ms.observe(result.solve_seconds * 1e3);
   }
 
-  if (warm && options_.verify_warm_start) {
+  if ((warm || solved.dirty_resolve) && options_.verify_warm_start) {
     // Debug cross-check: a warm start may only change the pivot path, never
     // the optimum. Disagreement means a solver bug — count it and trust the
     // cold answer.
@@ -339,6 +355,7 @@ PlacementResult OptimizationEngine::solve_transportation_backend(
              1e-6 * std::max(1.0, std::abs(cold.objective)));
     if (!agree) {
       metrics.warm_verify_mismatch.inc();
+      warm_.basis.valid = false;  // the retained basis produced a wrong optimum
       result = PlacementResult{};
       result.status = cold.status;
       result.solver_iterations = cold.iterations;

@@ -5,6 +5,7 @@
 #pragma once
 
 #include "core/placement.hpp"
+#include "solver/transportation.hpp"
 
 namespace dust::core {
 
@@ -26,7 +27,12 @@ struct OptimizerOptions {
   /// Incremental pipeline (DESIGN.md §8): retain the previous cycle's
   /// optimal flow and use it to seed the next solve's starting basis when
   /// the problem shape (busy/candidate sets) is unchanged; cold solve
-  /// otherwise. kTransportation only; other backends always solve cold.
+  /// otherwise. Additionally retains the simplex basis itself: when only
+  /// cost cells changed since the previous solve (supplies and capacities
+  /// bit-identical — the common steady-state case where links churn but
+  /// node loads hold), MODI resumes from the old basis directly instead of
+  /// rebuilding an initial solution (dirty-basis re-solve, DESIGN.md §13).
+  /// kTransportation only; other backends always solve cold.
   /// Makes the engine stateful across solve() calls — keep one engine per
   /// control loop (or per thread) rather than sharing an instance.
   bool warm_start = false;
@@ -65,8 +71,16 @@ class OptimizationEngine {
   [[nodiscard]] std::size_t cold_solves() const noexcept {
     return warm_.cold_solves;
   }
-  /// Drop the retained flow (next solve is cold).
-  void reset_warm_state() const noexcept { warm_.valid = false; }
+  /// Warm solves that took the dirty-basis fast path (only costs changed;
+  /// MODI resumed from the retained basis with no initial-solution build).
+  [[nodiscard]] std::size_t dirty_resolves() const noexcept {
+    return warm_.dirty_resolves;
+  }
+  /// Drop the retained flow and basis (next solve is cold).
+  void reset_warm_state() const noexcept {
+    warm_.valid = false;
+    warm_.basis.valid = false;
+  }
 
  private:
   [[nodiscard]] PlacementResult solve_exact(const PlacementProblem& problem) const;
@@ -82,8 +96,12 @@ class OptimizationEngine {
     std::vector<graph::NodeId> busy;
     std::vector<graph::NodeId> candidates;
     std::vector<double> flow;  ///< row-major busy x candidates
+    /// Retained simplex basis for cost-only re-solves; validity is managed
+    /// by the solver (refreshed on optimal exits, dropped on mismatch).
+    solver::TransportationBasis basis;
     std::size_t warm_solves = 0;
     std::size_t cold_solves = 0;
+    std::size_t dirty_resolves = 0;
   };
 
   OptimizerOptions options_;

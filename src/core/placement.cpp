@@ -1,7 +1,6 @@
 #include "core/placement.hpp"
 
 #include <algorithm>
-#include <atomic>
 
 #include "util/thread_pool.hpp"
 
@@ -58,14 +57,12 @@ PlacementProblem build_placement_problem(const Nmdb& nmdb,
   rt.mode = options.evaluator;
   rt.max_paths_per_source = options.max_paths_per_source;
 
-  std::atomic<std::size_t> total_work{0};
-  std::atomic<bool> truncated{false};
   // Shared read-only 1/Lu row for the fresh-evaluation path; the cache path
   // keeps its own pinned snapshot.
   std::vector<double> inverse_costs;
   if (options.response_cache == nullptr)
     net.inverse_bandwidth_costs_into(inverse_costs);
-  auto fill_row = [&](std::size_t bi) {
+  auto fill_row = [&](std::size_t bi, std::size_t& work, bool& truncated) {
     const graph::NodeId source = problem.busy[bi];
     // Reused per-thread row buffer — the build allocates nothing per row
     // once each worker's buffers are grown.
@@ -82,16 +79,49 @@ PlacementProblem build_placement_problem(const Nmdb& nmdb,
       problem.trmin[bi * problem.candidates.size() + cj] =
           t == graph::kInfiniteCost ? solver::kInfinity : t;
     }
-    total_work += result.work;
+    work += result.work;
     if (result.truncated) truncated = true;
   };
-  if (options.parallel_trmin && problem.busy.size() > 1) {
-    util::global_pool().parallel_for(problem.busy.size(), fill_row);
+  const std::size_t rows = problem.busy.size();
+  if (options.parallel_trmin && rows > 1) {
+    // Chunked fan-out (DESIGN.md §13): each worker claims row chunks and
+    // fills them with its own thread_local scratch — no allocation per
+    // chunk, NUMA-friendly first-touch. Per-chunk work tallies land in
+    // slots indexed by chunk and are reduced serially below in chunk order,
+    // so the built problem (matrix AND counters) is bit-identical to the
+    // serial fill at every worker count.
+    util::ThreadPool& pool = util::global_pool();
+    std::size_t workers = pool.size();
+    if (options.solver_threads != 0)
+      workers = std::min(workers, options.solver_threads);
+    workers = std::max<std::size_t>(workers, 1);
+    // ~4 chunks per worker: coarse enough that the claim cursor is cold,
+    // fine enough that one expensive row cannot straggle a whole sweep.
+    const std::size_t chunk =
+        std::max<std::size_t>(1, (rows + workers * 4 - 1) / (workers * 4));
+    const std::size_t chunks = (rows + chunk - 1) / chunk;
+    std::vector<std::size_t> chunk_work(chunks, 0);
+    std::vector<char> chunk_truncated(chunks, 0);
+    pool.parallel_for_chunks(
+        rows, chunk, workers, [&](std::size_t begin, std::size_t end) {
+          std::size_t work = 0;
+          bool truncated = false;
+          for (std::size_t bi = begin; bi < end; ++bi)
+            fill_row(bi, work, truncated);
+          chunk_work[begin / chunk] = work;
+          chunk_truncated[begin / chunk] = truncated ? 1 : 0;
+        });
+    for (std::size_t c = 0; c < chunks; ++c) {
+      problem.paths_explored += chunk_work[c];
+      if (chunk_truncated[c]) problem.truncated = true;
+    }
   } else {
-    for (std::size_t bi = 0; bi < problem.busy.size(); ++bi) fill_row(bi);
+    std::size_t work = 0;
+    bool truncated = false;
+    for (std::size_t bi = 0; bi < rows; ++bi) fill_row(bi, work, truncated);
+    problem.paths_explored = work;
+    problem.truncated = truncated;
   }
-  problem.paths_explored = total_work;
-  problem.truncated = truncated;
   return problem;
 }
 

@@ -22,8 +22,16 @@ struct PlacementOptions {
   net::EvaluatorMode evaluator = net::EvaluatorMode::kEnumerate;
   /// Safety cap per source in enumerate mode (0 = none).
   std::size_t max_paths_per_source = 0;
-  /// Compute Trmin rows on the global thread pool (one task per busy node).
+  /// Compute Trmin rows on the global thread pool: busy rows are split into
+  /// chunks claimed by pool workers (util::ThreadPool::parallel_for_chunks),
+  /// each worker reusing its own thread_local evaluation scratch. Placements
+  /// are bit-identical to the serial fill at any worker count (rows are
+  /// disjoint; per-chunk work tallies are reduced serially in chunk order).
   bool parallel_trmin = false;
+  /// Worker cap for the parallel row fill (0 = the whole pool). The pool
+  /// itself is sized once at first use via DUST_THREADS or
+  /// util::global_pool's argument; this knob narrows one build below that.
+  std::size_t solver_threads = 0;
   /// Incremental pipeline (DESIGN.md §8): when set, Trmin rows are served
   /// from / recorded into this dirty-aware cache instead of evaluated from
   /// scratch. The caller owns the cache and must call begin_cycle() on it

@@ -127,6 +127,101 @@ void hop_bounded_min_cost_into(const Graph& graph, NodeId src,
   }
 }
 
+void shared_frontier_labels_into(const Graph& graph, NodeId src,
+                                 std::span<const double> edge_cost,
+                                 std::uint32_t max_hops,
+                                 std::vector<double>& best,
+                                 std::vector<std::uint64_t>& used_edges,
+                                 std::size_t* rounds_out) {
+  if (edge_cost.size() != graph.edge_count())
+    throw std::invalid_argument(
+        "shared_frontier_labels: edge_cost size mismatch");
+  if (src >= graph.node_count())
+    throw std::out_of_range("shared_frontier_labels: src");
+  const std::size_t n = graph.node_count();
+  const std::uint32_t bound =
+      max_hops == 0 ? static_cast<std::uint32_t>(n) - 1 : max_hops;
+  best.assign(n, kInfiniteCost);
+  best[src] = 0.0;
+  used_edges.assign((graph.edge_count() + 63) / 64, 0);
+
+  // Layer h of the flattened tables holds the cost/predecessor of reaching a
+  // node in exactly h hops; layers are grown on demand so the high-water
+  // memory is rounds-actually-run * n, not max_hops * n (the sweep converges
+  // at the weighted diameter, far below n - 1 for unbounded queries). All
+  // scratch is per-thread and reused across calls.
+  static thread_local std::vector<double> layer_cost;
+  static thread_local std::vector<EdgeId> layer_via;
+  static thread_local std::vector<std::uint32_t> best_layer;
+  static thread_local std::vector<NodeId> frontier;
+  static thread_local std::vector<NodeId> fresh;
+  static thread_local std::vector<char> touched;
+  best_layer.assign(n, 0);
+  touched.assign(n, 0);
+  if (layer_cost.size() < n) {
+    layer_cost.resize(n);
+    layer_via.resize(n);
+  }
+  layer_cost[src] = 0.0;  // layer 0
+  frontier.clear();
+  frontier.push_back(src);
+  std::size_t rounds = 0;
+  for (std::uint32_t h = 1; h <= bound && !frontier.empty(); ++h) {
+    ++rounds;
+    const std::size_t prev = (h - 1) * n;
+    const std::size_t cur = h * n;
+    if (layer_cost.size() < cur + n) {
+      layer_cost.resize(cur + n);
+      layer_via.resize(cur + n);
+    }
+    fresh.clear();
+    for (NodeId node : frontier) {
+      const double base = layer_cost[prev + node];
+      for (const Adjacency& adj : graph.neighbors(node)) {
+        const double candidate = base + edge_cost[adj.edge];
+        if (!touched[adj.neighbor]) {
+          touched[adj.neighbor] = 1;
+          fresh.push_back(adj.neighbor);
+          layer_cost[cur + adj.neighbor] = candidate;
+          layer_via[cur + adj.neighbor] = adj.edge;
+        } else if (candidate < layer_cost[cur + adj.neighbor]) {
+          layer_cost[cur + adj.neighbor] = candidate;
+          layer_via[cur + adj.neighbor] = adj.edge;
+        }
+      }
+    }
+    // Only strict improvers are re-expanded: a walk that reaches a node at
+    // cost >= an earlier layer's label is dominated edge-for-edge by
+    // extending that earlier, cheaper-and-shorter label instead. This is
+    // what keeps the frontier sparse (and the labels bit-identical to the
+    // dense hop_bounded_min_cost relaxation, which carries the dominated
+    // entries along without ever letting them win).
+    frontier.clear();
+    for (NodeId node : fresh) {
+      touched[node] = 0;
+      if (layer_cost[cur + node] < best[node]) {
+        best[node] = layer_cost[cur + node];
+        best_layer[node] = h;
+        frontier.push_back(node);
+      }
+    }
+  }
+  // Backwalk: every reached destination's winning label sits at
+  // (best_layer[v], v); its predecessor chain passes only through nodes
+  // that were strict improvers at their layer, so each hop of the walk has
+  // a recorded via edge. OR the path edges into the shared bitmap.
+  for (NodeId v = 0; v < n; ++v) {
+    if (v == src || best[v] == kInfiniteCost) continue;
+    NodeId node = v;
+    for (std::uint32_t h = best_layer[v]; h > 0; --h) {
+      const EdgeId e = layer_via[h * n + node];
+      used_edges[e / 64] |= std::uint64_t{1} << (e % 64);
+      node = graph.edge(e).other(node);
+    }
+  }
+  if (rounds_out != nullptr) *rounds_out = rounds;
+}
+
 Path hop_bounded_path(const Graph& graph, NodeId src, NodeId dst,
                       std::span<const double> edge_cost,
                       std::uint32_t max_hops) {

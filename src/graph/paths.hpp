@@ -67,6 +67,31 @@ void hop_bounded_min_cost_into(const Graph& graph, NodeId src,
                                std::uint32_t max_hops,
                                std::vector<double>& out);
 
+/// Shared-frontier label sweep (DESIGN.md §13): one layered-DP pass from
+/// `src` that produces, for *every* node simultaneously,
+///   * the hop-bounded min cost (== hop_bounded_min_cost for the same
+///     inputs, bit-identical), and
+///   * the edge support of one winning path per destination, OR-ed into a
+///     single bitmap over EdgeId (word e/64, bit e%64) — the same contract
+///     ResponseTimeResult::used_edges documents for the exhaustive
+///     enumerator, at O(rounds * |E|) instead of exponential cost.
+///
+/// The sweep keeps a sparse frontier (only nodes whose label strictly
+/// improved are re-expanded; with strictly positive costs a longer walk to
+/// an equal-or-worse label is dominated) and a per-layer predecessor table
+/// for the backwalk, so the work is bounded by the converged round count,
+/// not by max_hops. Scratch is per-thread and reused across calls —
+/// allocation-free in steady state, safe to call concurrently.
+///
+/// `used_edges` is resized to ceil(edge_count/64); `rounds_out` (optional)
+/// receives the number of relaxation rounds executed.
+void shared_frontier_labels_into(const Graph& graph, NodeId src,
+                                 std::span<const double> edge_cost,
+                                 std::uint32_t max_hops,
+                                 std::vector<double>& best,
+                                 std::vector<std::uint64_t>& used_edges,
+                                 std::size_t* rounds_out = nullptr);
+
 /// Reconstruct a concrete minimum-cost path src -> dst over paths of at most
 /// `max_hops` edges (0 = unbounded). Empty path if unreachable within the
 /// bound. The returned path achieves hop_bounded_min_cost(...)[dst].

@@ -29,6 +29,16 @@ void ResponseTimeCache::set_lu_quantum(double step) {
   clear();
 }
 
+void ResponseTimeCache::set_reprice_epsilon(double epsilon) {
+  if (epsilon < 0.0 || epsilon >= 1.0 || !std::isfinite(epsilon))
+    throw std::invalid_argument(
+        "ResponseTimeCache: reprice epsilon must be in [0, 1)");
+  if (epsilon == reprice_epsilon_) return;
+  // Tightening: surviving rows may be staler than the new band promises.
+  if (epsilon < reprice_epsilon_) clear();
+  reprice_epsilon_ = epsilon;
+}
+
 double ResponseTimeCache::quantize(double inverse_cost) const noexcept {
   if (lu_quantum_ <= 0.0 || !(inverse_cost > 0.0) ||
       !std::isfinite(inverse_cost))
@@ -195,6 +205,9 @@ void ResponseTimeCache::begin_cycle(NetworkState& net) {
           return false;
       }
     }
+    // Deadband: only a beat by more than the relative epsilon forces a
+    // reprice. scale == 1.0 when the band is off, keeping the test exact.
+    const double scale = 1.0 - reprice_epsilon_;
     for (const ImprovedLink& link : improved) {
       const std::vector<double>& trmin = entry.unit.trmin_seconds;
       const std::uint32_t h = entry.max_hops;
@@ -213,9 +226,9 @@ void ResponseTimeCache::begin_cycle(NetworkState& net) {
             h == 0 || (sh_b != graph::kUnreachable &&
                        link.hops_a[v] != graph::kUnreachable &&
                        sh_b + 1 + link.hops_a[v] <= h);
-        if (a_side_fits && to_a + link.cost + link.from_b[v] < trmin[v])
+        if (a_side_fits && to_a + link.cost + link.from_b[v] < trmin[v] * scale)
           return false;
-        if (b_side_fits && to_b + link.cost + link.from_a[v] < trmin[v])
+        if (b_side_fits && to_b + link.cost + link.from_a[v] < trmin[v] * scale)
           return false;
       }
     }

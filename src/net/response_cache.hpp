@@ -78,6 +78,24 @@ class ResponseTimeCache {
   void set_lu_quantum(double step);
   [[nodiscard]] double lu_quantum() const noexcept { return lu_quantum_; }
 
+  /// Per-pair repricing deadband (DESIGN.md §13). An *improved* link drops a
+  /// cached row only when the new route through it could beat some cached
+  /// value by more than this relative margin: invalidate iff
+  /// d(s,a) + c + d(b,v) < Trmin[s][v] * (1 - epsilon) for some v. Worsened
+  /// links are unaffected (their used-edges test is exact either way). This
+  /// is what rescues the hit rate under scattered churn, where links all
+  /// over the topology improve by hairline amounts every cycle and each one
+  /// would otherwise reprice dozens of rows for sub-percent Trmin gains.
+  /// Cost: a served row's values can be above the true optimum by at most
+  /// the epsilon fraction per skipped reprice (bounded by the link epsilon
+  /// band, which re-baselines each cycle). epsilon = 0 (default) keeps rows
+  /// bit-identical to from-scratch evaluation. Tightening the band drops all
+  /// cached rows (they may be staler than the new bound promises).
+  void set_reprice_epsilon(double epsilon);
+  [[nodiscard]] double reprice_epsilon() const noexcept {
+    return reprice_epsilon_;
+  }
+
   /// Trmin row from `source` for volume data_mb: served from cache when the
   /// row is clean and the evaluator options match, recomputed into the cache
   /// otherwise. Queries made while the cache is out of sync with `net`
@@ -114,6 +132,7 @@ class ResponseTimeCache {
   std::vector<Entry> entries_;
   std::vector<double> inverse_costs_;  ///< 1/Lu snapshot rows were built on
   double lu_quantum_ = 0.0;            ///< 0 = exact costs
+  double reprice_epsilon_ = 0.0;       ///< 0 = exact repricing
   std::uint64_t synced_version_ = 0;
   bool synced_once_ = false;
 

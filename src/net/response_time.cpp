@@ -39,6 +39,21 @@ void min_response_times_into(const NetworkState& net, graph::NodeId source,
     return;
   }
 
+  if (options.mode == EvaluatorMode::kSharedFrontier) {
+    // One sparse layered sweep computes the whole row *and* the winning-path
+    // edge support — same labels as kHopBoundedDp, same used_edges contract
+    // as kEnumerate (see graph::shared_frontier_labels_into).
+    std::size_t rounds = 0;
+    graph::shared_frontier_labels_into(net.graph(), source, inverse_costs,
+                                       options.max_hops, out.trmin_seconds,
+                                       out.used_edges, &rounds);
+    for (graph::NodeId v = 0; v < net.node_count(); ++v)
+      if (v != source && out.trmin_seconds[v] != graph::kInfiniteCost)
+        out.trmin_seconds[v] *= data_mb;
+    out.work = rounds;
+    return;
+  }
+
   // Paper-faithful exhaustive enumeration: every node is a target, so a
   // single DFS from `source` covers all pairs (i, j). Alongside the minima,
   // record each destination's winning path so used_edges ends up as the

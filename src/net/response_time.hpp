@@ -10,6 +10,11 @@
 //     produces the runtime shapes of Figs 8/10/11b.
 //   kHopBoundedDp — layered Bellman-Ford, O(max_hops * |E|); provably equal
 //     Trmin for non-negative edge costs (validated in tests + ablation).
+//   kSharedFrontier — one sparse layered-DP sweep per source (DESIGN.md §13)
+//     that yields the same Trmin labels as kHopBoundedDp *and* the used-edge
+//     support bitmap kEnumerate records, so ResponseTimeCache keeps its
+//     direction-aware invalidation at DP cost. The scale mode: this is what
+//     makes fat-tree k=32 and 10^5-node graphs tractable per cycle.
 #pragma once
 
 #include <cstdint>
@@ -21,7 +26,7 @@
 
 namespace dust::net {
 
-enum class EvaluatorMode { kEnumerate, kHopBoundedDp };
+enum class EvaluatorMode { kEnumerate, kHopBoundedDp, kSharedFrontier };
 
 struct ResponseTimeOptions {
   std::uint32_t max_hops = 0;  ///< 0 = unbounded (node_count - 1)
@@ -38,12 +43,13 @@ struct ResponseTimeResult {
   /// Paths explored (kEnumerate) or relaxation rounds (kHopBoundedDp).
   std::size_t work = 0;
   bool truncated = false;  ///< kEnumerate hit max_paths_per_source
-  /// kEnumerate only: bitmap over EdgeId (bit e = word e/64, bit e%64) of
-  /// the edges on the winning path to each destination. The row's values
-  /// depend on exactly these edges plus, for *improvements*, any edge whose
-  /// cost drops — which is what lets ResponseTimeCache keep a row alive when
-  /// a link it never used got worse. Empty in kHopBoundedDp mode (callers
-  /// must then treat every edge as potentially used).
+  /// kEnumerate / kSharedFrontier: bitmap over EdgeId (bit e = word e/64,
+  /// bit e%64) of the edges on the winning path to each destination. The
+  /// row's values depend on exactly these edges plus, for *improvements*,
+  /// any edge whose cost drops — which is what lets ResponseTimeCache keep
+  /// a row alive when a link it never used got worse. Empty in
+  /// kHopBoundedDp mode (callers must then treat every edge as potentially
+  /// used).
   std::vector<std::uint64_t> used_edges;
 };
 

@@ -1,0 +1,20 @@
+#include "obs/pool_metrics.hpp"
+
+#include "util/thread_pool.hpp"
+
+namespace dust::obs {
+
+void attach_pool_metrics(MetricRegistry& registry) {
+  // Handles resolved once here; the observer itself is two relaxed incs.
+  Counter* tasks = &registry.counter("dust_pool_tasks_total");
+  Counter* steals = &registry.counter("dust_pool_steal_total");
+  util::set_pool_observer(
+      [tasks, steals](std::uint64_t chunks, std::uint64_t stolen) {
+        tasks->inc(chunks);
+        steals->inc(stolen);
+      });
+}
+
+void detach_pool_metrics() { util::set_pool_observer(nullptr); }
+
+}  // namespace dust::obs

@@ -1,0 +1,26 @@
+// Bridge from util::ThreadPool into the metric registry.
+//
+// util lives below obs in the layering, so the pool cannot link against the
+// registry directly; instead it exposes a pool-observer hook and this bridge
+// installs a callback that accumulates per-region chunk activity:
+//
+//   dust_pool_tasks_total — chunks executed by parallel_for_chunks regions
+//   dust_pool_steal_total — chunks claimed by a worker other than their
+//                           static block owner (dynamic-schedule steals)
+//
+// making solver-parallelism load balance observable in the same scrape as
+// the placement latency it is supposed to improve.
+#pragma once
+
+#include "obs/metrics.hpp"
+
+namespace dust::obs {
+
+/// Install the pool observer counting chunk executions and steals into
+/// `registry`. Replaces any previously attached observer.
+void attach_pool_metrics(MetricRegistry& registry);
+
+/// Remove the observer (safe if none attached).
+void detach_pool_metrics();
+
+}  // namespace dust::obs

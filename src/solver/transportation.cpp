@@ -43,8 +43,22 @@ class TransportSimplex {
         flow_(bal.m * bal.n, 0.0),
         basic_(bal.m * bal.n, 0) {}
 
+  /// Adopt a previous solve's flows and basis membership instead of building
+  /// an initial solution (dirty-basis path). The caller guarantees the seed
+  /// was optimal for the same balanced supplies/demands; solve() then skips
+  /// least_cost_start and goes straight to potentials + pivots.
+  void seed_basis(const std::vector<double>& flow,
+                  const std::vector<char>& basic) {
+    flow_ = flow;
+    basic_ = basic;
+    seeded_ = true;
+  }
+
   Status solve(std::size_t max_iterations) {
-    least_cost_start();
+    if (!seeded_) least_cost_start();
+    // Always repair: a retained basis can have lost tree-ness to degenerate
+    // pivots, and repair is a cheap union-find sweep that is a no-op on a
+    // healthy spanning tree.
     repair_basis_tree();
     for (std::size_t iter = 0; iter < max_iterations; ++iter) {
       compute_potentials();
@@ -60,6 +74,7 @@ class TransportSimplex {
   }
 
   [[nodiscard]] const std::vector<double>& flow() const noexcept { return flow_; }
+  [[nodiscard]] const std::vector<char>& basic() const noexcept { return basic_; }
   [[nodiscard]] std::size_t iterations() const noexcept { return iterations_; }
 
  private:
@@ -265,6 +280,7 @@ class TransportSimplex {
 
   const Balanced& bal_;
   const std::vector<char>* warm_cells_ = nullptr;
+  bool seeded_ = false;
   std::vector<double> flow_;
   std::vector<char> basic_;
   std::vector<double> u_, v_;
@@ -272,10 +288,12 @@ class TransportSimplex {
   std::size_t iterations_ = 0;
 };
 
-}  // namespace
-
-TransportationResult solve_transportation(const TransportationProblem& problem,
-                                          const std::vector<double>* warm_flow) {
+// One solve body behind both public entry points. `basis`, when non-null, is
+// consulted for the dirty-basis fast path and refreshed (or invalidated) on
+// the way out.
+TransportationResult solve_impl(const TransportationProblem& problem,
+                                const std::vector<double>* warm_flow,
+                                TransportationBasis* basis) {
   const std::size_t m = problem.sources();
   const std::size_t n = problem.destinations();
   if (problem.cost.size() != m * n)
@@ -293,10 +311,12 @@ TransportationResult solve_transportation(const TransportationProblem& problem,
       std::accumulate(problem.capacity.begin(), problem.capacity.end(), 0.0);
   if (m == 0 || total_supply <= kEps) {
     // Nothing to ship: trivially optimal at zero.
+    if (basis != nullptr) basis->valid = false;
     result.status = Status::kOptimal;
     return result;
   }
   if (n == 0 || total_supply > total_capacity + kEps) {
+    if (basis != nullptr) basis->valid = false;
     result.status = Status::kInfeasible;
     return result;
   }
@@ -320,20 +340,34 @@ TransportationResult solve_transportation(const TransportationProblem& problem,
           problem.cost[i * n + j] == kInfinity ? bal.big_m : problem.cost[i * n + j];
   // Dummy row cost stays 0.
 
+  // Dirty-basis eligibility: the retained basis must come from the *same*
+  // balanced instance modulo costs — identical shape and bit-identical
+  // supplies/capacities. Basic flows satisfy the supply/demand constraints
+  // regardless of costs, so the old basis is primal-feasible here and MODI
+  // can resume from it directly.
+  const bool dirty = basis != nullptr && basis->valid && basis->m == bal.m &&
+                     basis->n == bal.n && basis->supply == bal.supply &&
+                     basis->demand == bal.demand;
+
   // Translate the warm flow grid (real rows only) into balanced-instance
   // cell priorities; the dummy row, when present, stays unprioritized.
   std::vector<char> warm_cells;
-  if (warm_flow != nullptr && warm_flow->size() == m * n) {
+  if (!dirty && warm_flow != nullptr && warm_flow->size() == m * n) {
     warm_cells.assign(bal.m * bal.n, 0);
     for (std::size_t cell = 0; cell < m * n; ++cell)
       if ((*warm_flow)[cell] > kEps && problem.cost[cell] != kInfinity)
         warm_cells[cell] = 1;  // never prioritize a now-forbidden route
   }
   TransportSimplex simplex(bal, warm_cells.empty() ? nullptr : &warm_cells);
+  if (dirty) {
+    simplex.seed_basis(basis->flow, basis->basic);
+    result.dirty_resolve = true;
+  }
   const std::size_t max_iterations = 100 * (bal.m + bal.n) * (bal.m + bal.n) + 1000;
   const Status status = simplex.solve(max_iterations);
   result.iterations = simplex.iterations();
   if (status != Status::kOptimal) {
+    if (basis != nullptr) basis->valid = false;
     result.status = status;
     return result;
   }
@@ -343,6 +377,7 @@ TransportationResult solve_transportation(const TransportationProblem& problem,
     for (std::size_t j = 0; j < n; ++j) {
       const double f = simplex.flow()[i * bal.n + j];
       if (f > kEps && problem.cost[i * n + j] == kInfinity) {
+        if (basis != nullptr) basis->valid = false;
         result.status = Status::kInfeasible;  // needed a forbidden route
         return result;
       }
@@ -352,7 +387,29 @@ TransportationResult solve_transportation(const TransportationProblem& problem,
   }
   result.objective = objective;
   result.status = Status::kOptimal;
+  if (basis != nullptr) {
+    basis->valid = true;
+    basis->m = bal.m;
+    basis->n = bal.n;
+    basis->supply = std::move(bal.supply);
+    basis->demand = std::move(bal.demand);
+    basis->flow = simplex.flow();
+    basis->basic = simplex.basic();
+  }
   return result;
+}
+
+}  // namespace
+
+TransportationResult solve_transportation(const TransportationProblem& problem,
+                                          const std::vector<double>* warm_flow) {
+  return solve_impl(problem, warm_flow, nullptr);
+}
+
+TransportationResult solve_transportation_dirty(
+    const TransportationProblem& problem, TransportationBasis& basis,
+    const std::vector<double>* warm_flow) {
+  return solve_impl(problem, warm_flow, &basis);
 }
 
 LinearProgram to_linear_program(const TransportationProblem& problem) {

@@ -37,6 +37,9 @@ struct TransportationResult {
   double objective = 0.0;
   std::vector<double> flow;  ///< row-major m*n
   std::size_t iterations = 0;
+  /// True when the solve re-optimized from a retained basis (dirty-basis
+  /// path) instead of building an initial solution from scratch.
+  bool dirty_resolve = false;
 
   [[nodiscard]] bool optimal() const noexcept { return status == Status::kOptimal; }
   [[nodiscard]] double flow_at(std::size_t i, std::size_t j,
@@ -54,6 +57,34 @@ struct TransportationResult {
 /// Mismatched sizes are ignored.
 TransportationResult solve_transportation(
     const TransportationProblem& problem,
+    const std::vector<double>* warm_flow = nullptr);
+
+/// Retained simplex state for dirty-basis re-solves (DESIGN.md §13): the
+/// balanced instance's basis tree and flows as they stood at the end of an
+/// optimal solve. Treat the contents as opaque; default-construct once and
+/// hand the same object to successive solve_transportation_dirty calls.
+struct TransportationBasis {
+  bool valid = false;
+  std::size_t m = 0;  ///< balanced rows (includes the dummy row if present)
+  std::size_t n = 0;
+  std::vector<double> supply;  ///< balanced quantities the basis solved under
+  std::vector<double> demand;
+  std::vector<double> flow;  ///< balanced m*n basic flows
+  std::vector<char> basic;   ///< balanced m*n basis membership
+};
+
+/// Dirty-basis re-solve: when `basis` holds the previous solve's state and
+/// this problem differs from that one in *cost cells only* (same shape, same
+/// supplies, same destination capacities), MODI resumes directly from the
+/// retained basis — the old basic flows stay primal-feasible under any cost
+/// change, so only the potentials move and re-optimization takes near-zero
+/// pivots when few cells changed. `result.dirty_resolve` reports whether the
+/// fast path was taken. Any mismatch (quantities moved, shape changed, basis
+/// not yet populated) falls back transparently: `warm_flow` is used as a
+/// start hint exactly as in solve_transportation. On every optimal exit the
+/// basis is refreshed for the next call; on failure it is invalidated.
+TransportationResult solve_transportation_dirty(
+    const TransportationProblem& problem, TransportationBasis& basis,
     const std::vector<double>* warm_flow = nullptr);
 
 /// Express the same problem as a LinearProgram (variables row-major x_ij)

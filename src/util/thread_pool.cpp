@@ -1,8 +1,26 @@
 #include "util/thread_pool.hpp"
 
 #include <algorithm>
+#include <cstdlib>
 
 namespace dust::util {
+
+namespace {
+
+std::mutex g_pool_observer_mutex;
+PoolObserver g_pool_observer;
+
+void notify_pool_observer(std::uint64_t chunks, std::uint64_t steals) {
+  std::lock_guard lock(g_pool_observer_mutex);
+  if (g_pool_observer) g_pool_observer(chunks, steals);
+}
+
+}  // namespace
+
+void set_pool_observer(PoolObserver observer) {
+  std::lock_guard lock(g_pool_observer_mutex);
+  g_pool_observer = std::move(observer);
+}
 
 ThreadPool::ThreadPool(std::size_t threads) {
   if (threads == 0) threads = std::max(1u, std::thread::hardware_concurrency());
@@ -51,8 +69,78 @@ void ThreadPool::parallel_for(std::size_t n,
   if (first_error) std::rethrow_exception(first_error);
 }
 
-ThreadPool& global_pool() {
-  static ThreadPool pool;
+void ThreadPool::parallel_for_chunks(
+    std::size_t n, std::size_t chunk, std::size_t max_workers,
+    const std::function<void(std::size_t, std::size_t)>& fn) {
+  if (n == 0) return;
+  if (chunk == 0) chunk = 1;
+  const std::size_t chunks = (n + chunk - 1) / chunk;
+  std::size_t workers = std::min(size(), chunks);
+  if (max_workers != 0) workers = std::min(workers, max_workers);
+  workers = std::max<std::size_t>(workers, 1);
+
+  // Shared claiming cursor: each participating worker loops, grabbing the
+  // next unclaimed chunk. A chunk whose static block owner (an even split
+  // of the chunk range across workers) is a different worker counts as a
+  // steal — the dynamic schedule silently absorbing imbalance is exactly
+  // what dust_pool_steal makes visible.
+  std::atomic<std::size_t> cursor{0};
+  std::uint64_t region_chunks = 0;
+  std::uint64_t region_steals = 0;
+  const auto drain = [&, this](std::size_t worker_index) {
+    for (;;) {
+      const std::size_t c = cursor.fetch_add(1, std::memory_order_relaxed);
+      if (c >= chunks) return;
+      chunk_tasks_.fetch_add(1, std::memory_order_relaxed);
+      const std::size_t owner = c * workers / chunks;
+      if (owner != worker_index)
+        chunk_steals_.fetch_add(1, std::memory_order_relaxed);
+      const std::size_t begin = c * chunk;
+      fn(begin, std::min(begin + chunk, n));
+    }
+  };
+
+  if (workers == 1) {
+    // Inline serial path: ascending chunk order on the calling thread.
+    for (std::size_t c = 0; c < chunks; ++c) {
+      chunk_tasks_.fetch_add(1, std::memory_order_relaxed);
+      const std::size_t begin = c * chunk;
+      fn(begin, std::min(begin + chunk, n));
+    }
+    region_chunks = chunks;
+    notify_pool_observer(region_chunks, region_steals);
+    return;
+  }
+
+  const std::uint64_t tasks_before = chunk_tasks();
+  const std::uint64_t steals_before = chunk_steals();
+  std::vector<std::future<void>> futures;
+  futures.reserve(workers);
+  for (std::size_t w = 0; w < workers; ++w)
+    futures.push_back(submit([&drain, w] { drain(w); }));
+  std::exception_ptr first_error;
+  for (auto& future : futures) {
+    try {
+      future.get();
+    } catch (...) {
+      if (!first_error) first_error = std::current_exception();
+    }
+  }
+  region_chunks = chunk_tasks() - tasks_before;
+  region_steals = chunk_steals() - steals_before;
+  notify_pool_observer(region_chunks, region_steals);
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+ThreadPool& global_pool(std::size_t threads) {
+  static ThreadPool pool([threads] {
+    if (threads != 0) return threads;
+    if (const char* env = std::getenv("DUST_THREADS")) {
+      const unsigned long parsed = std::strtoul(env, nullptr, 10);
+      if (parsed > 0) return static_cast<std::size_t>(parsed);
+    }
+    return std::size_t{0};  // ctor resolves to hardware concurrency
+  }());
   return pool;
 }
 

@@ -9,6 +9,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "check/scenario.hpp"
 #include "core/placement.hpp"
 #include "solver/exhaustive.hpp"
@@ -111,6 +113,93 @@ TEST(Oracles, NmdbCrossCheckCleanOnGeneratedScenarios) {
     placement.max_hops = spec.max_hops;
     placement.evaluator = net::EvaluatorMode::kHopBoundedDp;
     const std::vector<Violation> v = cross_check_nmdb(nmdb, placement, {});
+    EXPECT_TRUE(v.empty()) << "seed " << seed << ":\n" << describe(v);
+  }
+}
+
+// O6 ground truth at the solver level: across fuzzed cost-delta schedules
+// (supplies and capacities frozen, costs perturbed step after step), the
+// dirty-basis re-solve must agree with a cold solve — and with the
+// exhaustive basis enumerator where enumerable — on every step, while
+// actually taking the dirty path (cost-only changes keep the retained basis
+// eligible).
+TEST(Oracles, DirtyBasisMatchesColdOnFuzzedCostDeltas) {
+  util::Rng rng(0xD0575EEDull);
+  std::size_t dirty_steps_checked = 0;
+  for (int trial = 0; trial < 100; ++trial) {
+    solver::TransportationProblem t = random_instance(rng);
+    solver::TransportationBasis basis;
+    const solver::TransportationResult primed =
+        solver::solve_transportation_dirty(t, basis);
+    if (!primed.optimal()) continue;  // nothing retained to re-solve from
+    for (int step = 0; step < 6; ++step) {
+      // Cost-only delta: reprice a handful of finite cells.
+      const std::size_t cells = t.cost.size();
+      const std::size_t count = 1 + rng.below(std::max<std::size_t>(1, cells / 3));
+      for (std::size_t i = 0; i < count; ++i) {
+        const std::size_t cell = rng.below(cells);
+        if (t.cost[cell] == solver::kInfinity) continue;
+        t.cost[cell] = std::max(1e-9, t.cost[cell] * rng.uniform(0.5, 2.0));
+      }
+      const solver::TransportationResult cold = solver::solve_transportation(t);
+      const solver::TransportationResult dirty =
+          solver::solve_transportation_dirty(t, basis);
+      ASSERT_EQ(dirty.status, cold.status) << "trial " << trial << " step "
+                                           << step;
+      EXPECT_TRUE(dirty.dirty_resolve)
+          << "trial " << trial << " step " << step
+          << ": cost-only change did not take the dirty path";
+      if (!cold.optimal()) break;
+      ++dirty_steps_checked;
+      EXPECT_NEAR(dirty.objective, cold.objective,
+                  1e-6 * (1.0 + cold.objective))
+          << "trial " << trial << " step " << step;
+      if (solver::exhaustive_base_count(t) <= 200000u) {
+        const solver::TransportationResult truth =
+            solver::solve_transportation_exhaustive(t);
+        ASSERT_EQ(dirty.status, truth.status) << "trial " << trial;
+        EXPECT_NEAR(dirty.objective, truth.objective,
+                    1e-6 * (1.0 + truth.objective))
+            << "trial " << trial << " step " << step;
+      }
+    }
+  }
+  EXPECT_GT(dirty_steps_checked, 100u);
+}
+
+// A quantity change must evict the retained basis (its flows solved a
+// different supply/demand system), falling back to a cold start — silently
+// reusing it would be wrong, not just slow.
+TEST(Oracles, DirtyBasisEvictedOnQuantityChange) {
+  solver::TransportationProblem t;
+  t.supply = {8.0, 4.0};
+  t.capacity = {8.0, 10.0};
+  t.cost = {1.0, 5.0, 9.0, 2.0};
+  solver::TransportationBasis basis;
+  ASSERT_TRUE(solver::solve_transportation_dirty(t, basis).optimal());
+  ASSERT_TRUE(basis.valid);
+  t.supply[0] = 6.0;  // quantities changed: the basis no longer applies
+  const solver::TransportationResult r =
+      solver::solve_transportation_dirty(t, basis);
+  ASSERT_TRUE(r.optimal());
+  EXPECT_FALSE(r.dirty_resolve);
+  EXPECT_NEAR(r.objective,
+              solver::solve_transportation_exhaustive(t).objective, 1e-9);
+}
+
+// O6 through the harness: a longer fuzz schedule than the default must stay
+// clean on generated scenarios.
+TEST(Oracles, DirtyBasisOracleCleanOnLongSchedules) {
+  OracleOptions options;
+  options.dirty_basis_steps = 24;
+  for (std::uint64_t seed : {2u, 7u, 11u}) {
+    const ScenarioSpec spec = generate_scenario(seed);
+    const core::Nmdb nmdb = build_nmdb(spec);
+    core::PlacementOptions placement;
+    placement.max_hops = spec.max_hops;
+    placement.evaluator = net::EvaluatorMode::kHopBoundedDp;
+    const std::vector<Violation> v =
+        cross_check_nmdb(nmdb, placement, options);
     EXPECT_TRUE(v.empty()) << "seed " << seed << ":\n" << describe(v);
   }
 }

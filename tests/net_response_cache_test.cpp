@@ -141,6 +141,8 @@ TEST(ResponseTimeCache, RandomizedEquivalenceUnderChurn) {
         {3, EvaluatorMode::kHopBoundedDp, 0},
         {0, EvaluatorMode::kHopBoundedDp, 0},
         {3, EvaluatorMode::kEnumerate, 0},
+        {3, EvaluatorMode::kSharedFrontier, 0},
+        {0, EvaluatorMode::kSharedFrontier, 0},
     };
     for (int cycle = 0; cycle < 25; ++cycle) {
       // Churn a random subset of links (sometimes none — pure steady state).
@@ -153,7 +155,7 @@ TEST(ResponseTimeCache, RandomizedEquivalenceUnderChurn) {
       cache.begin_cycle(net);
       for (int q = 0; q < 12; ++q) {
         const auto s = static_cast<graph::NodeId>(rng.below(net.node_count()));
-        const ResponseTimeOptions& opt = modes[rng.below(3)];
+        const ResponseTimeOptions& opt = modes[rng.below(5)];
         const double data_mb = rng.uniform(0.5, 200.0);
         expect_bit_identical(cache.row(net, s, data_mb, opt),
                              fresh_row(net, s, data_mb, opt), s);
@@ -185,6 +187,42 @@ TEST(ResponseTimeCache, InvalidationNeverServesADirtyBall) {
       expect_bit_identical(cache.row(net, s, 7.0, opt),
                            fresh_row(net, s, 7.0, opt), s);
   }
+}
+
+// The reprice deadband: with epsilon > 0, a row survives link improvements
+// that could only beat its cached Trmin by less than epsilon. Worsened-link
+// checks stay exact (used_edges), so correctness-critical invalidation is
+// untouched — the deadband only filters "slightly better elsewhere" churn.
+TEST(ResponseTimeCache, RepriceEpsilonKeepsRowsThroughSmallImprovements) {
+  util::Rng rng(21);
+  NetworkState net = fat_tree_net(4, rng);
+  ResponseTimeOptions opt{3, EvaluatorMode::kSharedFrontier, 0};
+  ResponseTimeCache cache;
+  cache.set_reprice_epsilon(0.10);
+  cache.begin_cycle(net);
+  for (graph::NodeId s = 0; s < net.node_count(); ++s)
+    (void)cache.row(net, s, 1.0, opt);
+  const auto misses_before = cache.stats().misses;
+  // Improve every link ~2% (higher availability => lower cost): any rival
+  // path gets at most ~2% cheaper, well inside the 10% deadband, so every
+  // row survives even though every link is dirty.
+  for (graph::EdgeId e = 0; e < net.edge_count(); ++e) {
+    LinkState state = net.link(e);
+    state.utilization = std::min(1.0, state.utilization * 1.02);
+    net.set_link(e, state);
+  }
+  cache.begin_cycle(net);
+  for (graph::NodeId s = 0; s < net.node_count(); ++s)
+    (void)cache.row(net, s, 1.0, opt);
+  EXPECT_EQ(cache.stats().misses, misses_before);
+  EXPECT_EQ(cache.stats().invalidations, 0u);
+
+  // Tightening the deadband clears the cache: a row kept under the looser
+  // epsilon might not survive the stricter one.
+  cache.set_reprice_epsilon(0.0);
+  cache.begin_cycle(net);
+  (void)cache.row(net, 0, 1.0, opt);
+  EXPECT_EQ(cache.stats().misses, misses_before + 1);
 }
 
 TEST(NetworkStateDirtyTracking, VersionAndSnapshotSemantics) {

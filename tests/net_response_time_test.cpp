@@ -66,6 +66,38 @@ TEST(MinResponseTimes, DpAgreesWithEnumerate) {
   }
 }
 
+// The shared-frontier sweep must produce *bit-identical* labels to the dense
+// hop-bounded DP (same sums in the same order; the sparse frontier only skips
+// dominated expansions), and match the enumerator wherever paths are simple.
+TEST(MinResponseTimes, SharedFrontierBitIdenticalToDp) {
+  NetworkState net = fig4_like();
+  for (std::uint32_t hops : {1u, 2u, 3u, 0u}) {
+    ResponseTimeOptions dp_opt{hops, EvaluatorMode::kHopBoundedDp, 0};
+    ResponseTimeOptions sf_opt{hops, EvaluatorMode::kSharedFrontier, 0};
+    for (graph::NodeId source = 0; source < net.node_count(); ++source) {
+      const auto a = min_response_times(net, source, 50.0, dp_opt);
+      const auto b = min_response_times(net, source, 50.0, sf_opt);
+      for (graph::NodeId v = 0; v < net.node_count(); ++v)
+        EXPECT_EQ(a.trmin_seconds[v], b.trmin_seconds[v])
+            << "source " << source << " node " << v << " hops " << hops;
+    }
+  }
+}
+
+// Shared-frontier rows record the winning paths' edge support, like the
+// enumerator: worsening an unused link must not change the row, worsening a
+// used one must.
+TEST(MinResponseTimes, SharedFrontierRecordsUsedEdges) {
+  NetworkState net = fig4_like();
+  ResponseTimeOptions opt{0, EvaluatorMode::kSharedFrontier, 0};
+  const auto result = min_response_times(net, 0, 100.0, opt);
+  ASSERT_FALSE(result.used_edges.empty());
+  // e1 (S1-S4) carries every route from S1; e4 (S5-S2) is on no winning
+  // route (e1-e2 dominates e1-e3-e4).
+  EXPECT_TRUE(result.used_edges[0] & (std::uint64_t{1} << 0));
+  EXPECT_FALSE(result.used_edges[0] & (std::uint64_t{1} << 3));
+}
+
 TEST(MinResponseTimes, HopBoundExcludesFarNodes) {
   NetworkState net = fig4_like();
   ResponseTimeOptions opt{1, EvaluatorMode::kEnumerate, 0};

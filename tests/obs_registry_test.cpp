@@ -8,6 +8,7 @@
 
 #include "obs/export.hpp"
 #include "obs/log_metrics.hpp"
+#include "obs/pool_metrics.hpp"
 #include "obs/span.hpp"
 #include "util/log.hpp"
 #include "util/thread_pool.hpp"
@@ -253,6 +254,26 @@ TEST_F(RegistryTest, TableExportListsEveryMetric) {
 
 TEST_F(RegistryTest, GlobalRegistryIsSingleton) {
   EXPECT_EQ(&MetricRegistry::global(), &MetricRegistry::global());
+}
+
+TEST_F(RegistryTest, PoolMetricsBridgeCountsChunkRegions) {
+  attach_pool_metrics(registry);
+  const std::uint64_t tasks_before =
+      registry.counter("dust_pool_tasks_total").value();
+  util::ThreadPool pool(2);
+  pool.parallel_for_chunks(32, 4, 0, [](std::size_t, std::size_t) {});
+  detach_pool_metrics();
+  EXPECT_EQ(registry.counter("dust_pool_tasks_total").value() - tasks_before,
+            8u);  // 32 indices / 4-wide chunks
+  // Steals are scheduling-dependent; the bridge must mirror the pool's own
+  // cumulative tally for this fresh pool.
+  EXPECT_EQ(registry.counter("dust_pool_steal_total").value(),
+            pool.chunk_steals());
+
+  // Detached: further regions no longer reach the registry.
+  const std::uint64_t after = registry.counter("dust_pool_tasks_total").value();
+  pool.parallel_for_chunks(8, 4, 0, [](std::size_t, std::size_t) {});
+  EXPECT_EQ(registry.counter("dust_pool_tasks_total").value(), after);
 }
 
 }  // namespace
