@@ -5,6 +5,14 @@
 //   ./build/examples/scenario_cli <scenario-file> --trace <trace-file>
 //   ./build/examples/scenario_cli <scenario-file> --trace-out <out.json>
 //   ./build/examples/scenario_cli --demo            # built-in Fig. 4 demo
+//   ./build/examples/scenario_cli --attack=capacity-lie|blackhole|flap
+//                                 [--topology=fat-tree|random]
+//
+// --attack runs the crafted byzantine scenario of that kind (DESIGN.md §14)
+// twice — trust-blind and trust-weighted — and prints the differential: how
+// many of the expected telemetry samples each mode actually delivered, how
+// often keepalives failed, and how far the attacker's trust fell. Exit 0
+// iff both runs hold every invariant and trust weighting improved delivery.
 //
 // Scenario format: see src/core/scenario.hpp. Trace format (CSV
 // "<time_ms>,<node>,<utilization>[,<data_mb>]"): see src/core/replay.hpp.
@@ -23,6 +31,8 @@
 #include <string>
 #include <vector>
 
+#include "check/attacks.hpp"
+#include "check/runner.hpp"
 #include "core/client.hpp"
 #include "core/heuristic.hpp"
 #include "core/manager.hpp"
@@ -78,8 +88,83 @@ int main(int argc, char** argv) {
     std::cerr << "usage: " << argv[0]
               << " <scenario-file>|--demo [max_hops] [--dot]"
                  " [--trace <csv>] [--trace-out <json>]"
-                 " [--transport=sim|socket]\n";
+                 " [--transport=sim|socket]\n       "
+              << argv[0]
+              << " --attack=capacity-lie|blackhole|flap"
+                 " [--topology=fat-tree|random]\n";
     return 2;
+  }
+
+  if (std::string(argv[1]).rfind("--attack=", 0) == 0) {
+    const std::string which = std::string(argv[1]).substr(9);
+    check::AttackKind kind;
+    if (which == "capacity-lie") {
+      kind = check::AttackKind::kCapacityLie;
+    } else if (which == "blackhole") {
+      kind = check::AttackKind::kBlackhole;
+    } else if (which == "flap") {
+      kind = check::AttackKind::kKeepaliveFlap;
+    } else {
+      std::cerr << "unknown attack '" << which
+                << "' (capacity-lie|blackhole|flap)\n";
+      return 2;
+    }
+    check::TopologyKind topology = check::TopologyKind::kFatTree;
+    for (int i = 2; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg == "--topology=fat-tree") {
+        topology = check::TopologyKind::kFatTree;
+      } else if (arg == "--topology=random") {
+        topology = check::TopologyKind::kRandomRegular;
+      } else {
+        std::cerr << "unknown option '" << arg
+                  << "' (--topology=fat-tree|random)\n";
+        return 2;
+      }
+    }
+
+    const check::ScenarioSpec spec = check::make_attack_spec(kind, topology);
+    std::cout << "byzantine scenario: " << check::to_string(kind) << " on "
+              << check::to_string(spec.topology) << ", " << spec.node_count
+              << " nodes, attacker node " << spec.attacks.front().node
+              << ", " << spec.duration_ms / 1000 << " s\n\n";
+    const check::TrustComparison c = check::compare_trust_placement(spec);
+
+    util::Table table("trust-blind vs trust-weighted");
+    table.set_precision(3).header({"metric", "blind", "trusted"});
+    table.row({std::string("delivered samples (%)"),
+               c.blind.delivered_fraction() * 100.0,
+               c.trusted.delivered_fraction() * 100.0});
+    table.row({std::string("offloads created"),
+               static_cast<std::int64_t>(c.blind.offloads_created),
+               static_cast<std::int64_t>(c.trusted.offloads_created)});
+    table.row({std::string("keepalive failures"),
+               static_cast<std::int64_t>(c.blind.keepalive_failures),
+               static_cast<std::int64_t>(c.trusted.keepalive_failures)});
+    table.row({std::string("trust evictions"),
+               static_cast<std::int64_t>(c.blind.trust_evictions),
+               static_cast<std::int64_t>(c.trusted.trust_evictions)});
+    table.row({std::string("min node trust"), c.blind.min_trust,
+               c.trusted.min_trust});
+    table.row({std::string("invariant violations"),
+               static_cast<std::int64_t>(c.blind.violations.size()),
+               static_cast<std::int64_t>(c.trusted.violations.size())});
+    table.print(std::cout);
+
+    const std::vector<check::Violation> verdict =
+        check::check_trust_improvement(c);
+    for (const check::Violation& v : c.blind.violations)
+      std::cout << "blind:   " << v.invariant << ": " << v.detail << "\n";
+    for (const check::Violation& v : c.trusted.violations)
+      std::cout << "trusted: " << v.invariant << ": " << v.detail << "\n";
+    for (const check::Violation& v : verdict)
+      std::cout << "verdict: " << v.invariant << ": " << v.detail << "\n";
+    const bool ok = c.blind.passed() && c.trusted.passed() && verdict.empty();
+    std::cout << "\nO7 verdict: "
+              << (ok ? "trust weighting improves delivery under this attack"
+                     : "FAILED")
+              << "\n";
+    return ok ? 0 : 1;
   }
   std::uint32_t max_hops = 0;
   bool dot = false;

@@ -1,0 +1,75 @@
+// Crafted byzantine scenarios (DESIGN.md §14) shared by the adversarial
+// tests, the tests/corpus/ regeneration path, and scenario_cli --attack=.
+// Hand-built (no generator RNG) so replay corpora stay stable across
+// generator changes.
+#pragma once
+
+#include "check/scenario.hpp"
+
+namespace dust::check {
+
+/// Two overloaded sources, one byzantine node dressed up as the most
+/// attractive destination, and a pocket of honest spare capacity the
+/// trust-weighted run can fall back to once the attacker is caught.
+inline ScenarioSpec make_attack_spec(AttackKind kind, TopologyKind topology) {
+  ScenarioSpec spec;
+  spec.seed = 0x5eedULL + static_cast<std::uint64_t>(kind);
+  spec.topology = topology;
+  // The attacker must sit closer to the busy sources than the honest pocket,
+  // or distance-aware placement routes around it for free. On the k=4
+  // fat-tree (cores 0-3, pod p: agg 4+4p..5+4p, edge 6+4p..7+4p) the busy
+  // sources are pod-0 edge switches and the attacker is the adjacent pod-0
+  // aggregation switch, one hop from both.
+  std::uint32_t busy_a = 0;
+  std::uint32_t busy_b = 1;
+  std::uint32_t attacker = 2;
+  if (topology == TopologyKind::kFatTree) {
+    spec.fat_tree_k = 4;
+    spec.node_count = 20;
+    busy_a = 6;
+    busy_b = 7;
+    attacker = 5;
+  } else {
+    spec.topology = TopologyKind::kRandomRegular;
+    spec.node_count = 12;
+    spec.extra_edges = 24;
+  }
+  const std::uint32_t n = spec.node_count;
+  spec.load.assign(n, 55.0);  // honest candidates with only modest spare
+  spec.data_mb.assign(n, 40.0);
+  spec.agents.assign(n, 4);
+  spec.capable.assign(n, 1);
+  spec.platform_factor.assign(n, 1.0);
+  spec.load[busy_a] = 95.0;  // busy sources shedding load all run
+  spec.load[busy_b] = 92.0;
+  spec.load[n - 1] = 15.0;  // the honest fallback pocket
+  spec.load[n - 2] = 15.0;
+
+  AttackScript attack;
+  attack.node = attacker;
+  attack.at_ms = 500;
+  attack.kind = kind;
+  switch (kind) {
+    case AttackKind::kCapacityLie:
+      // Really at 55% but reports 5%: promises spare it does not have and
+      // delivers only a quarter of what it hosts.
+      spec.load[attacker] = 55.0;
+      attack.magnitude = -50.0;
+      break;
+    case AttackKind::kBlackhole:
+      // genuinely idle — and silently drops everything
+      spec.load[attacker] = 5.0;
+      break;
+    case AttackKind::kKeepaliveFlap:
+      spec.load[attacker] = 5.0;
+      attack.period_ms = 12000;
+      attack.down_ms = 6000;
+      break;
+  }
+  spec.attacks.push_back(attack);
+  spec.duration_ms = 60000;
+  spec.max_hops = 4;
+  return spec;
+}
+
+}  // namespace dust::check

@@ -35,6 +35,22 @@ solver::TransportationProblem to_transportation(
   return t;
 }
 
+// Compact instance dump appended to O1/O2 violations so a disagreement is
+// reproducible straight from the failure message (the oracle only runs on
+// problems up to max_cells, so this stays small).
+std::string describe_instance(const core::PlacementProblem& p) {
+  std::ostringstream os;
+  os.precision(17);
+  os << " [cs:";
+  for (double v : p.cs) os << ' ' << v;
+  os << " | cd:";
+  for (double v : p.cd) os << ' ' << v;
+  os << " | trmin:";
+  for (double v : p.trmin) os << ' ' << v;
+  os << ']';
+  return os.str();
+}
+
 }  // namespace
 
 std::vector<Violation> cross_check_solvers(const core::PlacementProblem& problem,
@@ -67,7 +83,8 @@ std::vector<Violation> cross_check_solvers(const core::PlacementProblem& problem
       out.push_back({"O1-solver-agreement",
                      std::string(core::to_string(other.backend)) +
                          " status differs from " +
-                         core::to_string(reference.backend)});
+                         core::to_string(reference.backend) +
+                         describe_instance(problem)});
       continue;
     }
     if (reference.result.optimal() &&

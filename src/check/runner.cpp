@@ -1,5 +1,7 @@
 #include "check/runner.hpp"
 
+#include <algorithm>
+#include <bit>
 #include <map>
 #include <memory>
 #include <ostream>
@@ -42,6 +44,8 @@ RunReport run_scenario(const ScenarioSpec& spec, const RunOptions& options) {
   config.keepalive_timeout_ms = options.keepalive_timeout_ms;
   config.keepalive_check_period_ms = options.keepalive_check_period_ms;
   config.incremental_placement = options.incremental_placement;
+  config.trust_weighting = options.trust_weighting;
+  config.keepalive_miss_threshold = options.keepalive_miss_threshold;
   config.optimizer.allow_partial = true;  // scenarios routinely exceed Cd
   config.optimizer.verify_warm_start = options.incremental_placement;
   config.optimizer.placement.max_hops = spec.max_hops;
@@ -64,10 +68,62 @@ RunReport run_scenario(const ScenarioSpec& spec, const RunOptions& options) {
                                        spec.agents[v]);
   }
 
+  // I7 bookkeeping: consecutive placement cycles each node spent below the
+  // trust exclusion threshold going INTO the current cycle.
+  std::vector<std::size_t> distrust_streak(spec.node_count, 0);
+  const double trust_exclude_below = config.trust_exclude_below;
+
   manager.set_cycle_observer([&](const core::CycleObservation& observation) {
     ++report.cycles_observed;
     std::vector<Violation> found =
         check_cycle(observation, options.invariant);
+    // Placement digest (I8): fold every planning input and output so two
+    // runs compare decisions bit-for-bit, not via summary statistics.
+    auto fold = [&report](std::uint64_t value) {
+      std::uint64_t state = report.placement_digest ^ value;
+      report.placement_digest = util::splitmix64(state);
+    };
+    auto fold_double = [&fold](double value) {
+      fold(std::bit_cast<std::uint64_t>(value));
+    };
+    if (observation.problem != nullptr) {
+      for (graph::NodeId b : observation.problem->busy) fold(b);
+      for (graph::NodeId o : observation.problem->candidates) fold(o);
+    }
+    if (observation.result != nullptr) {
+      for (const core::Assignment& a : observation.result->assignments) {
+        fold(a.from);
+        fold(a.to);
+        fold_double(a.amount);
+      }
+      fold_double(observation.result->objective);
+      report.objective_sum += observation.result->objective;
+      report.unplaced_sum += observation.result->unplaced;
+    }
+    // I7: a node proven byzantine (below the exclusion threshold) for
+    // i7_proven_cycles consecutive cycles before this one must not appear
+    // as a destination in this cycle's plan.
+    if (options.trust_weighting && observation.result != nullptr) {
+      for (const core::Assignment& a : observation.result->assignments) {
+        if (a.to < distrust_streak.size() &&
+            distrust_streak[a.to] >= options.i7_proven_cycles) {
+          found.push_back(
+              {"I7-distrusted-destination",
+               "node " + std::to_string(a.to) + " (trust " +
+                   std::to_string(manager.trust(a.to)) + ", below " +
+                   std::to_string(trust_exclude_below) + " for " +
+                   std::to_string(distrust_streak[a.to]) +
+                   " cycles) received a new offload of " +
+                   std::to_string(a.amount)});
+        }
+      }
+      for (graph::NodeId v = 0; v < spec.node_count; ++v) {
+        if (manager.trust(v) < trust_exclude_below)
+          ++distrust_streak[v];
+        else
+          distrust_streak[v] = 0;
+      }
+    }
     if (options.check_oracles && observation.problem != nullptr &&
         report.oracle_cycles < options.max_oracle_cycles &&
         !observation.problem->busy.empty()) {
@@ -104,7 +160,54 @@ RunReport run_scenario(const ScenarioSpec& spec, const RunOptions& options) {
     core::DustClient* client = clients[event.node].get();
     sim.schedule_at(event.at_ms, [client] { client->set_failed(true); });
   }
+  for (const AttackScript& attack : spec.attacks) {
+    core::DustClient* client = clients[attack.node].get();
+    const AttackScript script = attack;
+    sim.schedule_at(attack.at_ms, [client, script] {
+      core::ByzantineBehavior behavior;
+      switch (script.kind) {
+        case AttackKind::kCapacityLie:
+          behavior.stat_utilization_bias = script.magnitude;
+          break;
+        case AttackKind::kBlackhole:
+          behavior.blackhole = true;
+          break;
+        case AttackKind::kKeepaliveFlap:
+          behavior.flap_period_ms = script.period_ms;
+          behavior.flap_down_ms = script.down_ms;
+          break;
+      }
+      client->set_byzantine(behavior);
+    });
+  }
   schedule_fault_script(sim, transport, spec.faults);
+
+  // Deterministic delivery audit: model what each acknowledged destination
+  // actually delivered this window (no RNG — byzantine behavior is scripted)
+  // and feed the manager's trust EWMA. Dead destinations are skipped: death
+  // is the keepalive supervisor's job, and auditing it here would make the
+  // trusted run diverge from the blind one on benign scenarios (I8).
+  sim::PeriodicTask loss_audit(
+      sim, options.loss_audit_period_ms, options.loss_audit_period_ms,
+      [&](sim::TimeMs) {
+        for (const core::ActiveOffload& offload : manager.active_offloads()) {
+          if (!offload.acknowledged) continue;
+          const graph::NodeId dest = offload.destination;
+          if (clients[dest]->failed()) continue;
+          const core::ByzantineBehavior& behavior = clients[dest]->byzantine();
+          const double expected = static_cast<double>(offload.agents);
+          double delivered = expected;
+          if (behavior.blackhole)
+            delivered = 0.0;
+          else if (behavior.stat_utilization_bias != 0.0)
+            delivered = 0.25 * expected;  // liar lacks the promised capacity
+          else if (clients[dest]->flap_suppressed())
+            delivered = 0.0;
+          report.samples_expected += expected;
+          report.samples_delivered += delivered;
+          manager.record_loss_audit(dest, expected, delivered);
+        }
+      });
 
   // Replica-substitution audit (§III-C): once the manager holds an
   // acknowledged offload whose destination is dead, the relationship must be
@@ -146,6 +249,7 @@ RunReport run_scenario(const ScenarioSpec& spec, const RunOptions& options) {
 
   sim.run_until(spec.duration_ms);
   audit.cancel();
+  loss_audit.cancel();
   manager.stop();
   manager.set_cycle_observer({});
 
@@ -155,7 +259,61 @@ RunReport run_scenario(const ScenarioSpec& spec, const RunOptions& options) {
   report.messages_dropped = transport.dropped();
   for (const auto& client : clients)
     report.reps_received += client->reps_received();
+  report.trust_evictions = manager.trust_evictions();
+  for (graph::NodeId v = 0; v < spec.node_count; ++v)
+    report.min_trust = std::min(report.min_trust, manager.trust(v));
   return report;
+}
+
+TrustComparison compare_trust_placement(const ScenarioSpec& spec,
+                                        const RunOptions& base) {
+  TrustComparison comparison;
+  RunOptions blind = base;
+  blind.trust_weighting = false;
+  comparison.blind = run_scenario(spec, blind);
+  RunOptions trusted = base;
+  trusted.trust_weighting = true;
+  comparison.trusted = run_scenario(spec, trusted);
+  return comparison;
+}
+
+std::vector<Violation> check_trust_improvement(
+    const TrustComparison& comparison, double tolerance) {
+  std::vector<Violation> violations;
+  const double blind = comparison.blind.delivered_fraction();
+  const double trusted = comparison.trusted.delivered_fraction();
+  if (trusted + tolerance < blind) {
+    violations.push_back(
+        {"O7-trust-improvement",
+         "trust-weighted placement delivered " + std::to_string(trusted) +
+             " of expected samples vs " + std::to_string(blind) +
+             " trust-blind (tolerance " + std::to_string(tolerance) + ")"});
+  }
+  return violations;
+}
+
+std::vector<Violation> check_trust_neutrality(const ScenarioSpec& spec,
+                                              const RunOptions& base) {
+  std::vector<Violation> violations;
+  if (!spec.attacks.empty()) {
+    violations.push_back({"I8-trust-neutrality",
+                          "neutrality is only defined on attack-free "
+                          "scenarios; this spec has " +
+                              std::to_string(spec.attacks.size()) +
+                              " attack script(s)"});
+    return violations;
+  }
+  const TrustComparison comparison = compare_trust_placement(spec, base);
+  if (comparison.blind.placement_digest !=
+      comparison.trusted.placement_digest) {
+    violations.push_back(
+        {"I8-trust-neutrality",
+         "trust-blind and trust-weighted runs diverged on an attack-free "
+         "scenario (digest " +
+             std::to_string(comparison.blind.placement_digest) + " vs " +
+             std::to_string(comparison.trusted.placement_digest) + ")"});
+  }
+  return violations;
 }
 
 void dump_repro(std::ostream& os, const ScenarioSpec& spec,

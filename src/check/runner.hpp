@@ -32,6 +32,21 @@ struct RunOptions {
   std::size_t max_oracle_cycles = 4;
   OracleOptions oracle;
   InvariantOptions invariant;
+  /// Trust-weighted placement (DESIGN.md §14) pass-throughs into
+  /// core::ManagerConfig. Off by default so every pre-existing scenario runs
+  /// exactly as before.
+  bool trust_weighting = false;
+  int keepalive_miss_threshold = 1;
+  /// Cadence of the runner's deterministic delivery audit: per acknowledged
+  /// offload it models what the destination actually delivered (blackhole →
+  /// 0, capacity liar → 25%, flapper in a down window → 0, honest → all)
+  /// and feeds core::DustManager::record_loss_audit. The audit runs in
+  /// trust-blind runs too (where record_loss_audit is a no-op) so the
+  /// delivered-sample tallies are comparable across the two modes.
+  std::int64_t loss_audit_period_ms = 2000;
+  /// I7: a node whose trust sat below the exclusion threshold for this many
+  /// consecutive placement cycles must receive no new offloads.
+  std::size_t i7_proven_cycles = 2;
 };
 
 struct RunReport {
@@ -48,8 +63,28 @@ struct RunReport {
   /// what the control plane was doing right before things went wrong.
   /// Empty when the run passed.
   std::string flight_tail;
+  /// Delivery-audit tallies (see RunOptions::loss_audit_period_ms): agent
+  /// deliveries expected from acknowledged destinations vs what the
+  /// byzantine model says actually arrived. The O7 oracle compares the
+  /// delivered fraction between a trust-blind and a trust-weighted run.
+  double samples_expected = 0.0;
+  double samples_delivered = 0.0;
+  /// splitmix64 fold of every cycle's planning inputs and outputs (busy set,
+  /// candidate set, assignments, objective bits). Two runs made the same
+  /// placement decisions iff their digests match — the I8 neutrality check.
+  std::uint64_t placement_digest = 0;
+  /// β = Σ x·Trmin summed over cycles and total unplaced load (placement
+  /// quality axes reported by the O7 comparison).
+  double objective_sum = 0.0;
+  double unplaced_sum = 0.0;
+  std::size_t trust_evictions = 0;
+  double min_trust = 1.0;
 
   [[nodiscard]] bool passed() const noexcept { return violations.empty(); }
+  [[nodiscard]] double delivered_fraction() const noexcept {
+    return samples_expected > 0.0 ? samples_delivered / samples_expected
+                                  : 1.0;
+  }
 };
 
 /// Deterministic given spec (all randomness derives from spec.seed).
@@ -63,5 +98,26 @@ struct RunReport {
 /// and the flight-recorder tail captured at first failure.
 void dump_repro(std::ostream& os, const ScenarioSpec& spec,
                 const RunReport& report);
+
+/// O7 (differential, DESIGN.md §14): the same scenario run trust-blind and
+/// trust-weighted, with everything else identical.
+struct TrustComparison {
+  RunReport blind;
+  RunReport trusted;
+};
+[[nodiscard]] TrustComparison compare_trust_placement(
+    const ScenarioSpec& spec, const RunOptions& base = {});
+
+/// O7 verdict: trust weighting must never make delivery meaningfully worse,
+/// and I1-I6 must hold in both runs. `tolerance` absorbs benign plan
+/// differences on attack-free scenarios.
+[[nodiscard]] std::vector<Violation> check_trust_improvement(
+    const TrustComparison& comparison, double tolerance = 0.02);
+
+/// I8: on a scenario with no attack scripts, the trust-blind and
+/// trust-weighted runs must make bit-identical placement decisions (equal
+/// placement digests). Returns violations; empty = neutral.
+[[nodiscard]] std::vector<Violation> check_trust_neutrality(
+    const ScenarioSpec& spec, const RunOptions& base = {});
 
 }  // namespace dust::check

@@ -1,6 +1,7 @@
 #include "check/scenario.hpp"
 
 #include <algorithm>
+#include <iterator>
 #include <sstream>
 #include <stdexcept>
 #include <utility>
@@ -91,6 +92,15 @@ const char* to_string(TopologyKind kind) noexcept {
     case TopologyKind::kFatTree: return "fat-tree";
     case TopologyKind::kRandomRegular: return "random-regular";
     case TopologyKind::kHeterogeneousDpu: return "heterogeneous-dpu";
+  }
+  return "?";
+}
+
+const char* to_string(AttackKind kind) noexcept {
+  switch (kind) {
+    case AttackKind::kCapacityLie: return "capacity-lie";
+    case AttackKind::kBlackhole: return "blackhole";
+    case AttackKind::kKeepaliveFlap: return "keepalive-flap";
   }
   return "?";
 }
@@ -188,6 +198,39 @@ ScenarioSpec generate_scenario(std::uint64_t seed,
                 return a.at_ms < b.at_ms;
               });
   }
+
+  // Byzantine attack axis — drawn LAST and gated on attack_events, so every
+  // pre-existing seed still produces a bit-identical scenario when the axis
+  // is off (attack_events defaults to 0). Pinned by the cross-seed golden
+  // test in adversarial_generator_test.
+  if (options.attack_events > 0) {
+    for (std::size_t e = 0; e < options.attack_events; ++e) {
+      AttackScript attack;
+      attack.at_ms = rng.range(1000, spec.duration_ms / 2);
+      attack.node = static_cast<graph::NodeId>(rng.below(n));
+      switch (rng.below(3)) {
+        case 0:
+          attack.kind = AttackKind::kCapacityLie;
+          // Under-report load: promise spare capacity that does not exist.
+          attack.magnitude = -rng.uniform(30.0, 70.0);
+          break;
+        case 1:
+          attack.kind = AttackKind::kBlackhole;
+          break;
+        default:
+          attack.kind = AttackKind::kKeepaliveFlap;
+          attack.period_ms = rng.range(8000, 16000);
+          attack.down_ms = rng.range(4000, attack.period_ms - 2000);
+          break;
+      }
+      spec.attacks.push_back(attack);
+    }
+    std::sort(spec.attacks.begin(), spec.attacks.end(),
+              [](const AttackScript& a, const AttackScript& b) {
+                return a.at_ms != b.at_ms ? a.at_ms < b.at_ms
+                                          : a.node < b.node;
+              });
+  }
   return spec;
 }
 
@@ -229,9 +272,14 @@ void dump_scenario(std::ostream& os, const ScenarioSpec& spec) {
   os << "# dust::check scenario  seed=" << spec.seed << "  topology="
      << to_string(spec.topology);
   if (spec.topology == TopologyKind::kFatTree) os << " k=" << spec.fat_tree_k;
-  os << "  nodes=" << spec.node_count << "  max_hops=" << spec.max_hops
+  os << "  nodes=" << spec.node_count;
+  if (spec.topology == TopologyKind::kRandomRegular)
+    os << "  extra_edges=" << spec.extra_edges;
+  os << "  max_hops=" << spec.max_hops
      << "  duration_ms=" << spec.duration_ms << "\n";
   core::save_scenario(os, build_nmdb(spec));
+  for (std::uint32_t v = 0; v < spec.node_count; ++v)
+    os << "# agents " << v << " " << spec.agents[v] << "\n";
   for (const ChurnEvent& e : spec.churn)
     os << "# churn " << e.at_ms << " " << e.node << " "
        << e.utilization_percent << "\n";
@@ -258,12 +306,153 @@ void dump_scenario(std::ostream& os, const ScenarioSpec& spec) {
     }
     os << "\n";
   }
+  for (const AttackScript& e : spec.attacks)
+    os << "# attack " << e.at_ms << " " << e.node << " " << to_string(e.kind)
+       << " " << e.magnitude << " " << e.period_ms << " " << e.down_ms
+       << "\n";
 }
 
 std::string dump_scenario(const ScenarioSpec& spec) {
   std::ostringstream os;
   dump_scenario(os, spec);
   return os.str();
+}
+
+namespace {
+
+TopologyKind topology_from_string(const std::string& name) {
+  if (name == "fat-tree") return TopologyKind::kFatTree;
+  if (name == "random-regular") return TopologyKind::kRandomRegular;
+  if (name == "heterogeneous-dpu") return TopologyKind::kHeterogeneousDpu;
+  throw std::invalid_argument("parse_scenario_spec: unknown topology '" +
+                              name + "'");
+}
+
+AttackKind attack_from_string(const std::string& name) {
+  if (name == "capacity-lie") return AttackKind::kCapacityLie;
+  if (name == "blackhole") return AttackKind::kBlackhole;
+  if (name == "keepalive-flap") return AttackKind::kKeepaliveFlap;
+  throw std::invalid_argument("parse_scenario_spec: unknown attack '" + name +
+                              "'");
+}
+
+}  // namespace
+
+ScenarioSpec parse_scenario_spec(std::istream& in) {
+  const std::string text((std::istreambuf_iterator<char>(in)),
+                         std::istreambuf_iterator<char>());
+  ScenarioSpec spec;
+  bool header_seen = false;
+  std::vector<std::pair<graph::NodeId, std::uint32_t>> agent_lines;
+
+  std::istringstream lines(text);
+  std::string line;
+  while (std::getline(lines, line)) {
+    if (line.empty() || line[0] != '#') continue;
+    std::istringstream tokens(line.substr(1));
+    std::string word;
+    if (!(tokens >> word)) continue;
+    if (word == "dust::check") {
+      std::string token;
+      while (tokens >> token) {
+        const std::size_t eq = token.find('=');
+        if (eq == std::string::npos) continue;
+        const std::string key = token.substr(0, eq);
+        const std::string value = token.substr(eq + 1);
+        if (key == "seed")
+          spec.seed = std::stoull(value);
+        else if (key == "topology")
+          spec.topology = topology_from_string(value);
+        else if (key == "k")
+          spec.fat_tree_k = static_cast<std::uint32_t>(std::stoul(value));
+        else if (key == "nodes")
+          spec.node_count = static_cast<std::uint32_t>(std::stoul(value));
+        else if (key == "extra_edges")
+          spec.extra_edges = static_cast<std::uint32_t>(std::stoul(value));
+        else if (key == "max_hops")
+          spec.max_hops = static_cast<std::uint32_t>(std::stoul(value));
+        else if (key == "duration_ms")
+          spec.duration_ms = std::stoll(value);
+      }
+      header_seen = true;
+    } else if (word == "agents") {
+      graph::NodeId node = 0;
+      std::uint32_t count = 0;
+      if (tokens >> node >> count) agent_lines.emplace_back(node, count);
+    } else if (word == "churn") {
+      ChurnEvent event;
+      if (tokens >> event.at_ms >> event.node >> event.utilization_percent)
+        spec.churn.push_back(event);
+    } else if (word == "death") {
+      NodeDeathEvent death;
+      if (tokens >> death.at_ms >> death.node) spec.deaths.push_back(death);
+    } else if (word == "fault") {
+      sim::FaultEvent fault;
+      std::string kind;
+      if (!(tokens >> fault.at_ms >> kind)) continue;
+      if (kind == "loss") {
+        fault.kind = sim::FaultEvent::Kind::kLossProbability;
+        if (!(tokens >> fault.value)) continue;
+      } else if (kind == "partition") {
+        fault.kind = sim::FaultEvent::Kind::kPartition;
+        if (!(tokens >> fault.endpoint)) continue;
+      } else if (kind == "heal") {
+        fault.kind = sim::FaultEvent::Kind::kHeal;
+        if (!(tokens >> fault.endpoint)) continue;
+      } else if (kind == "congestion") {
+        std::string state;
+        if (!(tokens >> state)) continue;
+        fault.kind = state == "on" ? sim::FaultEvent::Kind::kCongestionOn
+                                   : sim::FaultEvent::Kind::kCongestionOff;
+      } else {
+        throw std::invalid_argument("parse_scenario_spec: unknown fault '" +
+                                    kind + "'");
+      }
+      spec.faults.push_back(fault);
+    } else if (word == "attack") {
+      AttackScript attack;
+      std::string kind;
+      if (!(tokens >> attack.at_ms >> attack.node >> kind >>
+            attack.magnitude >> attack.period_ms >> attack.down_ms))
+        throw std::invalid_argument(
+            "parse_scenario_spec: malformed attack line");
+      attack.kind = attack_from_string(kind);
+      spec.attacks.push_back(attack);
+    }
+  }
+  if (!header_seen)
+    throw std::invalid_argument(
+        "parse_scenario_spec: missing '# dust::check scenario' header");
+
+  // Initial per-node state from the embedded core scenario (the parser
+  // ignores every '#' annotation, so the same text feeds both layers).
+  std::istringstream core_stream(text);
+  core::Nmdb nmdb = core::load_scenario(core_stream);
+  if (spec.node_count == 0)
+    spec.node_count = static_cast<std::uint32_t>(nmdb.node_count());
+  if (nmdb.node_count() != spec.node_count)
+    throw std::invalid_argument(
+        "parse_scenario_spec: header nodes= disagrees with the scenario "
+        "body");
+  const std::uint32_t n = spec.node_count;
+  spec.load.resize(n);
+  spec.data_mb.resize(n);
+  spec.agents.assign(n, 0);
+  spec.capable.assign(n, 1);
+  spec.platform_factor.assign(n, 1.0);
+  for (graph::NodeId v = 0; v < n; ++v) {
+    spec.load[v] = nmdb.network().node_utilization(v);
+    spec.data_mb[v] = nmdb.network().monitoring_data_mb(v);
+    spec.capable[v] = nmdb.offload_capable(v) ? 1 : 0;
+    spec.platform_factor[v] = nmdb.platform_factor(v);
+  }
+  for (const auto& [node, count] : agent_lines) {
+    if (node >= n)
+      throw std::invalid_argument(
+          "parse_scenario_spec: agents node out of range");
+    spec.agents[node] = count;
+  }
+  return spec;
 }
 
 }  // namespace dust::check

@@ -38,6 +38,33 @@ struct NodeDeathEvent {
   graph::NodeId node = graph::kInvalidNode;
 };
 
+/// Byzantine attack axis (DESIGN.md §14): one misbehaving node per script.
+enum class AttackKind : std::uint8_t {
+  /// STATs report utilization + magnitude (negative = under-report load,
+  /// i.e. over-promise spare capacity) while the device delivers a fixed
+  /// degraded fraction of what an honest node would.
+  kCapacityLie,
+  /// Accepts offloads and keepalives normally but silently drops the hosted
+  /// agents' telemetry — invisible to the control plane.
+  kBlackhole,
+  /// Goes silent (no keepalives/STATs) for the first down_ms of every
+  /// period_ms window and re-announces Offload-capable at each
+  /// up-transition, un-quarantining itself to a trust-blind manager.
+  kKeepaliveFlap,
+};
+
+[[nodiscard]] const char* to_string(AttackKind kind) noexcept;
+
+/// One node turning byzantine at `at_ms` (behavior persists to end of run).
+struct AttackScript {
+  sim::TimeMs at_ms = 0;
+  graph::NodeId node = graph::kInvalidNode;
+  AttackKind kind = AttackKind::kCapacityLie;
+  double magnitude = 0.0;     ///< kCapacityLie: STAT utilization bias
+  sim::TimeMs period_ms = 0;  ///< kKeepaliveFlap: window length
+  sim::TimeMs down_ms = 0;    ///< kKeepaliveFlap: silent window prefix
+};
+
 struct ScenarioSpec {
   std::uint64_t seed = 0;
   TopologyKind topology = TopologyKind::kFatTree;
@@ -55,6 +82,7 @@ struct ScenarioSpec {
   std::vector<ChurnEvent> churn;
   std::vector<NodeDeathEvent> deaths;
   std::vector<sim::FaultEvent> faults;
+  std::vector<AttackScript> attacks;
 
   sim::TimeMs duration_ms = 60000;
   std::uint32_t max_hops = 4;
@@ -71,6 +99,10 @@ struct GeneratorOptions {
   std::size_t fault_events = 6;
   bool allow_faults = true;
   bool allow_deaths = true;
+  /// Byzantine scripts to generate (0 = none). Attack draws happen after
+  /// every other draw, so raising this never perturbs the rest of the
+  /// scenario a seed produces.
+  std::size_t attack_events = 0;
 };
 
 /// Deterministic: the same (seed, options) always yields the same spec.
@@ -87,9 +119,17 @@ struct GeneratorOptions {
 [[nodiscard]] core::Nmdb build_nmdb(const ScenarioSpec& spec);
 
 /// Annotated .scn dump: the initial state in core::load_scenario syntax plus
-/// '#'-comment lines recording seed, churn, deaths, and the fault schedule
-/// (ignored by the parser, so the dump stays loadable by scenario_cli).
+/// '#'-comment lines recording seed, agent counts, churn, deaths, the fault
+/// schedule, and attack scripts (ignored by core::load_scenario, so the dump
+/// stays loadable by scenario_cli).
 void dump_scenario(std::ostream& os, const ScenarioSpec& spec);
 [[nodiscard]] std::string dump_scenario(const ScenarioSpec& spec);
+
+/// Inverse of dump_scenario: rebuild the full ScenarioSpec (including the
+/// annotation-only fields core::load_scenario ignores — agents, churn,
+/// deaths, faults, attacks) from an annotated .scn stream. This is what the
+/// tests/corpus/ repro replayer uses; round-trip is exact
+/// (dump(parse(dump(s))) == dump(s)).
+[[nodiscard]] ScenarioSpec parse_scenario_spec(std::istream& in);
 
 }  // namespace dust::check

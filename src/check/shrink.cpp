@@ -38,6 +38,8 @@ ScenarioSpec retarget(const ScenarioSpec& spec, TopologyKind kind,
   std::erase_if(out.faults, [n](const sim::FaultEvent& e) {
     return !endpoint_survives(e.endpoint, n);
   });
+  std::erase_if(out.attacks,
+                [n](const AttackScript& e) { return e.node >= n; });
   return out;
 }
 
@@ -124,6 +126,8 @@ ScenarioSpec shrink_scenario(ScenarioSpec spec, const FailurePredicate& fails,
                             max_attempts);
     progress |= reduce_list(spec, &ScenarioSpec::deaths, fails, stats,
                             max_attempts);
+    progress |= reduce_list(spec, &ScenarioSpec::attacks, fails, stats,
+                            max_attempts);
 
     // 3. Cut the tail: nothing happens after the last event.
     sim::TimeMs last_event = 0;
@@ -132,6 +136,8 @@ ScenarioSpec shrink_scenario(ScenarioSpec spec, const FailurePredicate& fails,
     for (const NodeDeathEvent& e : spec.deaths)
       last_event = std::max(last_event, e.at_ms);
     for (const sim::FaultEvent& e : spec.faults)
+      last_event = std::max(last_event, e.at_ms);
+    for (const AttackScript& e : spec.attacks)
       last_event = std::max(last_event, e.at_ms);
     const sim::TimeMs shorter = last_event + 10000;
     if (shorter < spec.duration_ms && stats.attempts < max_attempts) {

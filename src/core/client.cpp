@@ -59,8 +59,37 @@ void DustClient::set_telemetry_degradation(double keep_fraction) {
   telemetry_keep_fraction_ = std::clamp(keep_fraction, 0.0, 1.0);
 }
 
+void DustClient::set_byzantine(const ByzantineBehavior& behavior) {
+  byzantine_ = behavior;
+  flap_task_.reset();
+  if (byzantine_.flap_period_ms <= 0) return;
+  // Fire exactly at each up-transition (offset flap_down_ms into every
+  // window): the flapper re-announces Offload-capable, so a trust-blind
+  // manager un-quarantines it and re-offloads — the thrash I3/Nmdb
+  // staleness tests pin.
+  const sim::TimeMs period = byzantine_.flap_period_ms;
+  sim::TimeMs next_up =
+      (sim_->now() / period) * period + byzantine_.flap_down_ms;
+  if (next_up <= sim_->now()) next_up += period;
+  flap_task_ = std::make_unique<sim::PeriodicTask>(
+      *sim_, next_up, period, [this](sim::TimeMs) {
+        if (failed_ || byzantine_.flap_period_ms <= 0) return;
+        metrics_.tx_offload_capable->inc();
+        transport_->send(
+            client_endpoint(node_), manager_endpoint(),
+            Message{OffloadCapableMsg{node_, config_.offload_capable,
+                                      config_.platform_factor}},
+            sim::Priority::kNormal, "offload_capable");
+      });
+}
+
+bool DustClient::flap_suppressed() const {
+  if (byzantine_.flap_period_ms <= 0) return false;
+  return (sim_->now() % byzantine_.flap_period_ms) < byzantine_.flap_down_ms;
+}
+
 void DustClient::send_stat() {
-  if (failed_) return;
+  if (failed_ || flap_suppressed()) return;
   StatMsg stat;
   stat.node = node_;
   if (device_ != nullptr) {
@@ -78,6 +107,12 @@ void DustClient::send_stat() {
   // carry the raw fraction so the manager can tell the two apart.
   stat.monitoring_data_mb *= telemetry_keep_fraction_;
   stat.telemetry_keep_fraction = telemetry_keep_fraction_;
+  // Capacity lying happens at the reporting edge: the device state is
+  // honest, the wire copy is not.
+  if (byzantine_.stat_utilization_bias != 0.0)
+    stat.utilization_percent = std::clamp(
+        stat.utilization_percent + byzantine_.stat_utilization_bias, 0.0,
+        100.0);
   // Every STAT roots a new causal trace: whatever the solver does with this
   // report — and the whole offload chain that follows — hangs off it. Only
   // the ids are allocated here; the root span itself is materialized by the
@@ -106,6 +141,7 @@ void DustClient::set_failed(bool failed) {
   if (failed_) {
     stat_task_.reset();
     keepalive_task_.reset();
+    flap_task_.reset();
   }
 }
 
@@ -298,7 +334,7 @@ void DustClient::ensure_keepalive_task() {
   keepalive_task_ = std::make_unique<sim::PeriodicTask>(
       *sim_, sim_->now(), config_.keepalive_interval_ms,
       [this](sim::TimeMs) {
-        if (failed_ || hosted_.empty()) return;
+        if (failed_ || hosted_.empty() || flap_suppressed()) return;
         ++keepalives_sent_;
         metrics_.tx_keepalive->inc();
         transport_->send(client_endpoint(node_), manager_endpoint(),

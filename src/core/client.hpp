@@ -32,6 +32,30 @@ struct ClientConfig {
   double platform_factor = 1.0;
 };
 
+/// Scripted byzantine misbehavior (the dust::check attack axis, DESIGN.md
+/// §14). Defaults are fully honest; dust::check installs one of these per
+/// attacked node from the scenario's attack script.
+struct ByzantineBehavior {
+  /// Capacity lying: added to the utilization every STAT reports. Negative
+  /// bias under-reports load (the node promises spare capacity it does not
+  /// have); positive bias over-reports (hoards capacity). 0 = honest.
+  double stat_utilization_bias = 0.0;
+  /// Accept-then-drop: the node ACKs offloads and keepalives normally but
+  /// silently discards the hosted agents' telemetry. Invisible on the
+  /// control plane — only the manager's loss audits can catch it.
+  bool blackhole = false;
+  /// Keepalive flapping: when flap_period_ms > 0 the node goes silent
+  /// (no keepalives, no STATs) for the first flap_down_ms of every
+  /// flap_period_ms window, and re-announces Offload-capable on each
+  /// up-transition — un-quarantining itself to a trust-blind manager.
+  std::int64_t flap_period_ms = 0;
+  std::int64_t flap_down_ms = 0;
+
+  [[nodiscard]] bool any() const noexcept {
+    return stat_utilization_bias != 0.0 || blackhole || flap_period_ms > 0;
+  }
+};
+
 class DustClient {
  public:
   DustClient(sim::Simulator& sim, sim::TransportBase& transport,
@@ -69,6 +93,15 @@ class DustClient {
   /// Simulate a node crash: stops keepalives/STATs and ignores messages.
   void set_failed(bool failed);
   [[nodiscard]] bool failed() const noexcept { return failed_; }
+
+  /// Install a scripted misbehavior (replaces any previous one). Flapping
+  /// schedules the up-transition re-announce task immediately.
+  void set_byzantine(const ByzantineBehavior& behavior);
+  [[nodiscard]] const ByzantineBehavior& byzantine() const noexcept {
+    return byzantine_;
+  }
+  /// True while a flapping node is inside the silent part of its window.
+  [[nodiscard]] bool flap_suppressed() const;
 
   [[nodiscard]] graph::NodeId node() const noexcept { return node_; }
   [[nodiscard]] bool acknowledged() const noexcept { return acknowledged_; }
@@ -138,8 +171,10 @@ class DustClient {
   /// device model).
   std::vector<std::pair<graph::NodeId, std::uint32_t>> hosted_;
 
+  ByzantineBehavior byzantine_;
   std::unique_ptr<sim::PeriodicTask> stat_task_;
   std::unique_ptr<sim::PeriodicTask> keepalive_task_;
+  std::unique_ptr<sim::PeriodicTask> flap_task_;
   std::uint64_t keepalive_seq_ = 0;
   std::uint64_t keepalives_sent_ = 0;
   std::uint64_t reps_received_ = 0;

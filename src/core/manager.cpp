@@ -33,6 +33,12 @@ DustManager::DustManager(sim::Simulator& sim, sim::TransportBase& transport,
     config_.optimizer.placement.parallel_trmin = true;
     config_.optimizer.placement.solver_threads = config_.solver_threads;
   }
+  if (config_.trust_weighting) {
+    config_.optimizer.placement.trust_weighting = true;
+    config_.optimizer.placement.trust_cost_penalty = config_.trust_cost_penalty;
+    config_.optimizer.placement.trust_exclude_below =
+        config_.trust_exclude_below;
+  }
   engine_ = OptimizationEngine(config_.optimizer);
   const std::size_t n = nmdb_.network().graph().node_count();
   last_stat_at_.assign(n, kNeverStat);
@@ -58,6 +64,13 @@ DustManager::DustManager(sim::Simulator& sim, sim::TransportBase& transport,
       &registry.counter("dust_core_keepalive_failures_total");
   metrics_.releases = &registry.counter("dust_core_releases_total");
   metrics_.redirects = &registry.counter("dust_core_redirects_total");
+  metrics_.trust_penalties =
+      &registry.counter("dust_core_trust_penalties_total");
+  metrics_.trust_evictions =
+      &registry.counter("dust_core_trust_evictions_total");
+  metrics_.loss_audits = &registry.counter("dust_core_loss_audits_total");
+  metrics_.trust_min = &registry.gauge("dust_core_trust_min");
+  metrics_.distrusted_nodes = &registry.gauge("dust_core_distrusted_nodes");
   metrics_.placement_solve_ms =
       &registry.histogram("dust_core_placement_solve_ms");
   metrics_.placement_build_ms =
@@ -407,6 +420,8 @@ void DustManager::release_offloads_of(graph::NodeId busy) {
 
 void DustManager::check_keepalives() {
   // Destinations with live offloads must keepalive within the timeout.
+  std::vector<graph::NodeId> supervised;
+  std::vector<graph::NodeId> overdue;
   std::vector<graph::NodeId> failed;
   for (auto& [id, offload] : offloads_) {
     if (!offload.acknowledged) {
@@ -446,18 +461,77 @@ void DustManager::check_keepalives() {
     }
     const auto it = last_keepalive_.find(offload.destination);
     const sim::TimeMs last = it == last_keepalive_.end() ? 0 : it->second;
+    if (std::find(supervised.begin(), supervised.end(),
+                  offload.destination) == supervised.end())
+      supervised.push_back(offload.destination);
     if (sim_->now() - last > config_.keepalive_timeout_ms) {
-      if (std::find(failed.begin(), failed.end(), offload.destination) ==
-          failed.end())
-        failed.push_back(offload.destination);
+      if (std::find(overdue.begin(), overdue.end(), offload.destination) ==
+          overdue.end())
+        overdue.push_back(offload.destination);
     }
+  }
+  // Hysteresis (keepalive_miss_threshold): declare a destination failed only
+  // after that many consecutive overdue checks; one on-time keepalive resets
+  // the streak. Threshold 1 reproduces the historical declare-on-first-miss.
+  std::erase_if(keepalive_overdue_, [&](const auto& entry) {
+    return std::find(supervised.begin(), supervised.end(), entry.first) ==
+           supervised.end();
+  });
+  for (graph::NodeId node : supervised) {
+    if (std::find(overdue.begin(), overdue.end(), node) == overdue.end()) {
+      keepalive_overdue_.erase(node);
+      continue;
+    }
+    if (++keepalive_overdue_[node] < config_.keepalive_miss_threshold)
+      continue;
+    keepalive_overdue_.erase(node);
+    failed.push_back(node);
   }
   for (graph::NodeId node : failed) {
     ++keepalive_failures_;
     metrics_.keepalive_failures->inc();
     flight().record(obs::FlightEventKind::kKeepaliveFailure, sim_->now(), 0,
                     node, obs::FlightEvent::kNoNode, 0.0, "timeout");
+    if (config_.trust_weighting) update_trust(node, 0.0);
     replace_destination(node, /*quarantine=*/true);
+  }
+}
+
+void DustManager::record_loss_audit(graph::NodeId node, double expected,
+                                    double delivered) {
+  if (!config_.trust_weighting) return;
+  metrics_.loss_audits->inc();
+  const double observation =
+      expected > 0.0 ? std::clamp(delivered / expected, 0.0, 1.0) : 1.0;
+  update_trust(node, observation);
+}
+
+void DustManager::update_trust(graph::NodeId node, double observation) {
+  if (node >= nmdb_.node_count()) return;
+  const double before = nmdb_.trust(node);
+  // t += alpha*(obs - t): exact fixpoint at t == obs, so a fleet that always
+  // delivers what it promised stays at exactly 1.0 — and trust-blind vs
+  // trust-weighted plans stay bit-identical when nothing misbehaves.
+  const double after = std::clamp(
+      before + config_.trust_ewma_alpha * (observation - before), 0.0, 1.0);
+  if (after == before) return;
+  nmdb_.set_trust(node, after);
+  if (after < before) metrics_.trust_penalties->inc();
+  metrics_.trust_min->set(nmdb_.min_trust());
+  metrics_.distrusted_nodes->set(
+      static_cast<double>(nmdb_.distrusted_count(config_.trust_exclude_below)));
+  flight().record(obs::FlightEventKind::kRoleChange, sim_->now(), 0, node,
+                  obs::FlightEvent::kNoNode, after, "trust");
+  if (before >= config_.trust_exclude_below &&
+      after < config_.trust_exclude_below) {
+    DUST_LOG_INFO << "manager: node " << node << " trust " << after
+                  << " crossed below " << config_.trust_exclude_below
+                  << " — excluded from placement";
+    if (destination_hosting(node)) {
+      ++trust_evictions_;
+      metrics_.trust_evictions->inc();
+      replace_destination(node, /*quarantine=*/false);
+    }
   }
 }
 
@@ -504,6 +578,11 @@ void DustManager::replace_destination(graph::NodeId failed, bool quarantine) {
     std::uint32_t best_hops = graph::kUnreachable;
     for (graph::NodeId candidate : nmdb_.candidate_nodes()) {
       if (candidate == failed || candidate == old.busy) continue;
+      // Distrusted nodes are no better as replicas than as planned
+      // destinations (DESIGN.md §14).
+      if (config_.trust_weighting &&
+          nmdb_.trust(candidate) < config_.trust_exclude_below)
+        continue;
       const double spare =
           nmdb_.thresholds(candidate)
               .spare_capacity(nmdb_.network().node_utilization(candidate)) -

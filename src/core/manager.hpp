@@ -49,6 +49,26 @@ struct ManagerConfig {
   /// the optimum); steady-state cycles get dramatically cheaper. Off by
   /// default so explicitly configured optimizer options are untouched.
   bool incremental_placement = false;
+  /// Keepalive hysteresis: a supervised destination is declared failed only
+  /// after this many *consecutive* keepalive checks found it overdue. The
+  /// default of 1 is the historical behaviour (declare on the first overdue
+  /// check); 2+ keeps a node oscillating just inside/outside the deadline
+  /// from thrashing replica substitution (DESIGN.md §14).
+  int keepalive_miss_threshold = 1;
+  /// Trust-weighted placement (DESIGN.md §14). Off by default: with it off
+  /// the manager never writes trust state and plans exactly as before. On,
+  /// each node carries an EWMA trust score updated from observed-vs-promised
+  /// behaviour — keepalive failures and loss audits push it down, clean
+  /// audits pull it back up — which (a) multiplies that candidate's Trmin
+  /// column by 1 + trust_cost_penalty*(1-trust), (b) excludes candidates
+  /// below trust_exclude_below from placement and replica selection, and
+  /// (c) evicts live offloads from a node the moment it crosses below the
+  /// exclusion threshold.
+  bool trust_weighting = false;
+  /// EWMA weight of the newest observation: t += alpha * (obs - t).
+  double trust_ewma_alpha = 0.4;
+  double trust_exclude_below = 0.5;
+  double trust_cost_penalty = 4.0;
   /// Parallel Trmin row fill (DESIGN.md §13): nonzero turns on
   /// placement.parallel_trmin capped at this many pool workers; plans stay
   /// bit-identical to the serial fill. 0 leaves the configured optimizer
@@ -123,6 +143,20 @@ class DustManager {
   }
   [[nodiscard]] std::size_t releases() const noexcept { return releases_; }
   [[nodiscard]] std::size_t redirects() const noexcept { return redirects_; }
+  /// Feed one loss-audit observation (collector declared/undeclared gap
+  /// audit, or the dust::check delivery model): of `expected` samples
+  /// promised by destination `node` in the audit window, `delivered`
+  /// actually arrived. No-op unless trust_weighting is on.
+  void record_loss_audit(graph::NodeId node, double expected,
+                         double delivered);
+  [[nodiscard]] double trust(graph::NodeId node) const {
+    return nmdb_.trust(node);
+  }
+  /// Offload relationships evicted because their destination's trust
+  /// crossed below the exclusion threshold.
+  [[nodiscard]] std::size_t trust_evictions() const noexcept {
+    return trust_evictions_;
+  }
   [[nodiscard]] std::size_t stats_received() const noexcept {
     return stats_received_;
   }
@@ -158,6 +192,10 @@ class DustManager {
   /// busy and redirects its hosted workload, §III-B).
   void replace_destination(graph::NodeId node, bool quarantine);
   [[nodiscard]] bool destination_hosting(graph::NodeId node) const;
+  /// EWMA-update `node`'s trust toward `observation` (0 = betrayed promise,
+  /// 1 = behaved). Evicts the node's live offloads when it crosses below
+  /// the exclusion threshold. Only called when trust_weighting is on.
+  void update_trust(graph::NodeId node, double observation);
 
   /// Global-registry handles (dust_core_*), resolved once at construction.
   /// rx_* / tx_* count protocol messages by type; staleness is the age of
@@ -178,6 +216,11 @@ class DustManager {
     obs::Counter* keepalive_failures = nullptr;
     obs::Counter* releases = nullptr;
     obs::Counter* redirects = nullptr;
+    obs::Counter* trust_penalties = nullptr;   ///< EWMA moves below 1.0
+    obs::Counter* trust_evictions = nullptr;   ///< offloads evicted on crossing
+    obs::Counter* loss_audits = nullptr;       ///< record_loss_audit calls
+    obs::Gauge* trust_min = nullptr;           ///< lowest trust in the fleet
+    obs::Gauge* distrusted_nodes = nullptr;    ///< nodes below the threshold
     obs::Histogram* placement_solve_ms = nullptr;  ///< wall, solver only
     obs::Histogram* placement_build_ms = nullptr;  ///< wall, model build
     obs::Histogram* nmdb_staleness_ms = nullptr;   ///< sim-time STAT age
@@ -212,6 +255,9 @@ class DustManager {
   std::uint64_t next_request_id_ = 1;
   std::map<std::uint64_t, ActiveOffload> offloads_;
   std::map<graph::NodeId, sim::TimeMs> last_keepalive_;
+  /// Consecutive overdue keepalive checks per supervised destination
+  /// (keepalive_miss_threshold hysteresis).
+  std::map<graph::NodeId, int> keepalive_overdue_;
   std::unique_ptr<sim::PeriodicTask> placement_task_;
   std::unique_ptr<sim::PeriodicTask> keepalive_task_;
   std::size_t placement_cycles_ = 0;
@@ -219,6 +265,7 @@ class DustManager {
   std::size_t releases_ = 0;
   std::size_t redirects_ = 0;
   std::size_t stats_received_ = 0;
+  std::size_t trust_evictions_ = 0;
   CycleObserver cycle_observer_;
 };
 

@@ -1,5 +1,7 @@
 #include "core/nmdb.hpp"
 
+#include <algorithm>
+
 namespace dust::core {
 
 Nmdb::Nmdb(net::NetworkState state, Thresholds defaults)
@@ -10,7 +12,8 @@ Nmdb::Nmdb(net::NetworkState state, Thresholds defaults)
       hosting_(state_.node_count(), 0),
       agents_(state_.node_count(), 0),
       platform_factor_(state_.node_count(), 1.0),
-      keep_fraction_(state_.node_count(), 1.0) {
+      keep_fraction_(state_.node_count(), 1.0),
+      trust_(state_.node_count(), 1.0) {
   defaults_.validate();
 }
 
@@ -46,6 +49,25 @@ void Nmdb::set_offload_capable(graph::NodeId node, bool capable) {
 
 bool Nmdb::offload_capable(graph::NodeId node) const {
   return capable_.at(node) != 0;
+}
+
+void Nmdb::set_trust(graph::NodeId node, double trust) {
+  trust_.at(node) = std::clamp(trust, 0.0, 1.0);
+}
+
+double Nmdb::trust(graph::NodeId node) const { return trust_.at(node); }
+
+double Nmdb::min_trust() const noexcept {
+  double lowest = 1.0;
+  for (double t : trust_) lowest = std::min(lowest, t);
+  return lowest;
+}
+
+std::size_t Nmdb::distrusted_count(double threshold) const noexcept {
+  std::size_t n = 0;
+  for (double t : trust_)
+    if (t < threshold) ++n;
+  return n;
 }
 
 void Nmdb::record_stat(graph::NodeId node, double utilization_percent,

@@ -43,6 +43,16 @@ class Nmdb {
   [[nodiscard]] double platform_factor(graph::NodeId node) const;
   [[nodiscard]] bool homogeneous() const noexcept;
 
+  /// Per-node trust score in [0, 1] (DESIGN.md §14): an EWMA of
+  /// observed-vs-promised behavior maintained by the manager (keepalive
+  /// failures, collector loss audits). 1.0 — the default — means fully
+  /// trusted; placement weights Trmin by it when trust weighting is on.
+  void set_trust(graph::NodeId node, double trust);
+  [[nodiscard]] double trust(graph::NodeId node) const;
+  /// Lowest trust across all nodes, and the count below `threshold`.
+  [[nodiscard]] double min_trust() const noexcept;
+  [[nodiscard]] std::size_t distrusted_count(double threshold) const noexcept;
+
   /// STAT update: current utilized capacity and monitoring state.
   /// `telemetry_keep_fraction` < 1 records that the node is streaming under
   /// data-plane degradation — its monitoring volume is already thinned.
@@ -81,6 +91,7 @@ class Nmdb {
   std::vector<std::uint32_t> agents_;
   std::vector<double> platform_factor_;
   std::vector<double> keep_fraction_;
+  std::vector<double> trust_;
 };
 
 }  // namespace dust::core

@@ -31,6 +31,10 @@ PlacementProblem build_placement_problem(const Nmdb& nmdb,
   PlacementProblem problem;
   nmdb.busy_nodes_into(problem.busy);
   nmdb.candidate_nodes_into(problem.candidates);
+  if (options.trust_weighting)
+    std::erase_if(problem.candidates, [&](graph::NodeId o) {
+      return nmdb.trust(o) < options.trust_exclude_below;
+    });
   const net::NetworkState& net = nmdb.network();
 
   problem.cs.reserve(problem.busy.size());
@@ -121,6 +125,19 @@ PlacementProblem build_placement_problem(const Nmdb& nmdb,
     for (std::size_t bi = 0; bi < rows; ++bi) fill_row(bi, work, truncated);
     problem.paths_explored = work;
     problem.truncated = truncated;
+  }
+  if (options.trust_weighting) {
+    // Column weights applied after the fill so cached rows stay unweighted.
+    // trust == 1.0 gives w == 1.0 and t * 1.0 == t bit-for-bit.
+    for (std::size_t cj = 0; cj < problem.candidates.size(); ++cj) {
+      const double w = 1.0 + options.trust_cost_penalty *
+                                 (1.0 - nmdb.trust(problem.candidates[cj]));
+      if (w == 1.0) continue;
+      for (std::size_t bi = 0; bi < rows; ++bi) {
+        double& t = problem.trmin[bi * problem.candidates.size() + cj];
+        if (t != solver::kInfinity) t *= w;
+      }
+    }
   }
   return problem;
 }

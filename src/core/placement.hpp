@@ -37,6 +37,16 @@ struct PlacementOptions {
   /// scratch. The caller owns the cache and must call begin_cycle() on it
   /// before each build. Null = always evaluate fresh (the default).
   net::ResponseTimeCache* response_cache = nullptr;
+  /// Trust-weighted placement (DESIGN.md §14): candidates with
+  /// Nmdb::trust below `trust_exclude_below` are dropped from V_o, and the
+  /// Trmin column of every remaining candidate j is multiplied by
+  ///   w_j = 1 + trust_cost_penalty * (1 - trust_j)
+  /// after the row fill (the cache keeps unweighted rows, so toggling trust
+  /// never pollutes it). w_j is exactly 1.0 at trust 1.0, so a fully trusted
+  /// fleet builds a bit-identical problem with weighting on or off.
+  bool trust_weighting = false;
+  double trust_cost_penalty = 4.0;
+  double trust_exclude_below = 0.5;
 };
 
 /// The built model, ready for any backend in optimizer.hpp.

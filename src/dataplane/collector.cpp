@@ -1,5 +1,6 @@
 #include "dataplane/collector.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "obs/metrics.hpp"
@@ -32,6 +33,39 @@ telemetry::DegradeMode Collector::mode_of(graph::NodeId owner) const {
 double Collector::keep_probability_of(graph::NodeId owner) const {
   auto it = owners_.find(owner);
   return it == owners_.end() ? 1.0 : it->second.keep_probability;
+}
+
+std::vector<Collector::LossAuditEntry> Collector::drain_loss_audit() {
+  std::vector<LossAuditEntry> out;
+  for (auto& [id, owner] : owners_) {
+    const std::uint64_t delivered =
+        owner.samples_received - owner.audited_samples;
+    const std::uint64_t undeclared =
+        owner.undeclared_batches - owner.audited_undeclared;
+    owner.audited_samples = owner.samples_received;
+    owner.audited_undeclared = owner.undeclared_batches;
+    if (delivered == 0 && undeclared == 0) continue;
+    // Undeclared gaps carry an unknown number of samples; charge each one an
+    // average received batch (floor 1) so a pure blackhole still audits > 0
+    // expected.
+    const double avg_batch =
+        owner.batches_received > 0
+            ? static_cast<double>(owner.samples_received) /
+                  static_cast<double>(owner.batches_received)
+            : 1.0;
+    LossAuditEntry entry;
+    entry.owner = id;
+    entry.delivered = static_cast<double>(delivered);
+    entry.expected = entry.delivered + static_cast<double>(undeclared) *
+                                           std::max(1.0, avg_batch);
+    out.push_back(entry);
+  }
+  // owners_ is an unordered_map; sort so callers see a deterministic order.
+  std::sort(out.begin(), out.end(),
+            [](const LossAuditEntry& a, const LossAuditEntry& b) {
+              return a.owner < b.owner;
+            });
+  return out;
 }
 
 bool Collector::gap_declared(const OwnerState& owner,
@@ -82,12 +116,14 @@ void Collector::on_blocks(wire::Frame&& frame) {
   for (std::uint64_t seq = owner.next_batch_seq; seq < body.batch_seq; ++seq) {
     if (!gap_declared(owner, seq)) {
       ++stats_.undeclared_gap_batches;
+      ++owner.undeclared_batches;
       undeclared_metric.inc();
     }
   }
   owner.next_batch_seq = body.batch_seq + 1;
 
   ++stats_.batches;
+  ++owner.batches_received;
   for (wire::DataBlock& block : body.blocks) {
     const wire::BlockDescriptor& d = block.descriptor;
     ++stats_.blocks;
@@ -140,6 +176,7 @@ void Collector::on_blocks(wire::Frame&& frame) {
       continue;
     }
     stats_.samples += d.sample_count;
+    owner.samples_received += d.sample_count;
     samples_metric.inc(d.sample_count);
   }
 }

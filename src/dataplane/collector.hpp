@@ -72,6 +72,22 @@ class Collector {
   [[nodiscard]] telemetry::DegradeMode mode_of(graph::NodeId owner) const;
   [[nodiscard]] double keep_probability_of(graph::NodeId owner) const;
 
+  /// One owner's delivery window since the previous drain_loss_audit() call.
+  /// `expected` counts delivered samples plus an estimate for undeclared gap
+  /// batches (average received batch size); declared degradation is honest
+  /// by contract and does NOT inflate `expected`. Feed each entry into
+  /// core::DustManager::record_loss_audit so byzantine (undeclared) loss
+  /// dents the owner-hosting destination's trust while announced thinning
+  /// never does (DESIGN.md §14).
+  struct LossAuditEntry {
+    graph::NodeId owner = 0;
+    double expected = 0.0;
+    double delivered = 0.0;
+  };
+  /// Per-owner delivery deltas since the last drain, sorted by owner.
+  /// Owners with no new traffic are omitted.
+  [[nodiscard]] std::vector<LossAuditEntry> drain_loss_audit();
+
  private:
   struct OwnerState {
     std::uint64_t next_batch_seq = 0;
@@ -82,6 +98,12 @@ class Collector {
     /// Next expected block_seq per series — thinned-to-empty blocks still
     /// ship, so within received batches this is strictly contiguous.
     std::unordered_map<std::string, std::uint64_t> next_block_seq;
+    /// Per-owner delivery tallies + drain cursors for drain_loss_audit().
+    std::uint64_t samples_received = 0;
+    std::uint64_t batches_received = 0;
+    std::uint64_t undeclared_batches = 0;
+    std::uint64_t audited_samples = 0;
+    std::uint64_t audited_undeclared = 0;
   };
 
   void on_data(wire::Frame&& frame);

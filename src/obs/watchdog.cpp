@@ -89,6 +89,21 @@ std::vector<Alert> Watchdog::evaluate(std::int64_t sim_now_ms) {
     raise(alerts, "hfr-spike", msg.str(), hfr->value, sim_now_ms);
   }
 
+  // --- trust-collapse ---------------------------------------------------
+  if (config_.check_trust_collapse) {
+    if (const GaugeSnapshot* distrusted =
+            snapshot.find_gauge("dust_core_distrusted_nodes");
+        distrusted != nullptr && primed_ &&
+        distrusted->value > config_.distrusted_nodes_limit) {
+      std::ostringstream msg;
+      msg << distrusted->value << " node(s) below the trust exclusion "
+          << "threshold (limit " << config_.distrusted_nodes_limit
+          << ") — byzantine behavior detected in the fleet";
+      raise(alerts, "trust-collapse", msg.str(), distrusted->value,
+            sim_now_ms);
+    }
+  }
+
   // --- nmdb-staleness ---------------------------------------------------
   double stale_mean = 0.0;
   if (window_mean(snapshot, "dust_core_nmdb_staleness_ms", staleness_cursor_,

@@ -43,6 +43,11 @@ struct WatchdogConfig {
   double staleness_limit_ms = 180000.0;
   /// Enable the replica-substitution shortfall rule.
   bool check_replica_substitution = true;
+  /// Enable the trust-collapse rule: alert when the
+  /// dust_core_distrusted_nodes gauge (nodes below the manager's trust
+  /// exclusion threshold, DESIGN.md §14) exceeds distrusted_nodes_limit.
+  bool check_trust_collapse = true;
+  double distrusted_nodes_limit = 0.0;
 };
 
 struct Alert {

@@ -60,14 +60,27 @@ class TransportSimplex {
     // pivots, and repair is a cheap union-find sweep that is a no-op on a
     // healthy spanning tree.
     repair_basis_tree();
+    // Dantzig's rule can cycle forever on degenerate instances (exact
+    // supply/capacity ties, zero-capacity columns): every pivot has theta=0
+    // and the same bases repeat. After a streak of m+n degenerate pivots,
+    // switch to Bland's rule permanently — it guarantees termination, so an
+    // infeasible big-M instance reaches the forbidden-flow check instead of
+    // burning the iteration budget.
+    std::size_t degenerate_streak = 0;
     for (std::size_t iter = 0; iter < max_iterations; ++iter) {
       compute_potentials();
-      const auto [enter_i, enter_j, reduced] = most_negative_cell();
+      const auto [enter_i, enter_j, reduced] =
+          bland_ ? first_negative_cell() : most_negative_cell();
       if (reduced >= -kEps) {
         iterations_ = iter;
         return Status::kOptimal;
       }
-      pivot(enter_i, enter_j);
+      const double theta = pivot(enter_i, enter_j);
+      if (theta <= kEps) {
+        if (++degenerate_streak > bal_.m + bal_.n) bland_ = true;
+      } else {
+        degenerate_streak = 0;
+      }
     }
     iterations_ = max_iterations;
     return Status::kIterationLimit;
@@ -183,6 +196,18 @@ class TransportSimplex {
     }
   }
 
+  // Reduced costs are differences of quantities that can carry big-M
+  // magnitudes (~1e7) through the potentials, so the cancellation noise is
+  // ~1e-9 absolute — larger than a fixed kEps. A cell only counts as
+  // improving when its reduced cost clears a tolerance scaled to the
+  // magnitudes that produced it; otherwise the solver chases phantom
+  // improvements in an endless theta=0 loop.
+  [[nodiscard]] double reduced_cost_tolerance(std::size_t i,
+                                              std::size_t j) const {
+    return kEps + 1e-12 * (std::abs(bal_.cost[i * bal_.n + j]) +
+                           std::abs(u_[i]) + std::abs(v_[j]));
+  }
+
   [[nodiscard]] std::tuple<std::size_t, std::size_t, double>
   most_negative_cell() const {
     double best = 0.0;
@@ -191,7 +216,7 @@ class TransportSimplex {
       for (std::size_t j = 0; j < bal_.n; ++j) {
         if (basic_[i * bal_.n + j]) continue;
         const double reduced = bal_.cost[i * bal_.n + j] - u_[i] - v_[j];
-        if (reduced < best) {
+        if (reduced < best && reduced < -reduced_cost_tolerance(i, j)) {
           best = reduced;
           bi = i;
           bj = j;
@@ -201,9 +226,24 @@ class TransportSimplex {
     return {bi, bj, best};
   }
 
+  // Bland's rule: the lowest-index cell with a negative reduced cost. Slower
+  // per pivot than Dantzig but provably cycle-free.
+  [[nodiscard]] std::tuple<std::size_t, std::size_t, double>
+  first_negative_cell() const {
+    for (std::size_t i = 0; i < bal_.m; ++i) {
+      for (std::size_t j = 0; j < bal_.n; ++j) {
+        if (basic_[i * bal_.n + j]) continue;
+        const double reduced = bal_.cost[i * bal_.n + j] - u_[i] - v_[j];
+        if (reduced < -reduced_cost_tolerance(i, j)) return {i, j, reduced};
+      }
+    }
+    return {0, 0, 0.0};
+  }
+
   // Find the unique alternating cycle created by adding (enter_i, enter_j)
   // to the basis tree, shift flow around it, and swap basis membership.
-  void pivot(std::size_t enter_i, std::size_t enter_j) {
+  // Returns theta, the amount of flow shifted (0 on a degenerate pivot).
+  double pivot(std::size_t enter_i, std::size_t enter_j) {
     // DFS in the bipartite basis graph from row enter_i to col enter_j.
     // Nodes: rows [0, m), cols [m, m+n).
     const std::size_t start = enter_i;
@@ -261,12 +301,15 @@ class TransportSimplex {
       (minus ? minus_cells : plus_cells).emplace_back(i, j);
       minus = !minus;
     }
-    // Theta = min flow on minus cells.
+    // Theta = min flow on minus cells. Under Bland's rule ties break toward
+    // the lowest cell index (required for the anti-cycling guarantee).
     double theta = kInfinity;
     std::pair<std::size_t, std::size_t> leaving{0, 0};
     for (const auto& [i, j] : minus_cells) {
       const double f = flow_[i * bal_.n + j];
-      if (f < theta) {
+      const bool tie_wins = bland_ && f == theta &&
+                            i * bal_.n + j < leaving.first * bal_.n + leaving.second;
+      if (f < theta || tie_wins) {
         theta = f;
         leaving = {i, j};
       }
@@ -276,11 +319,13 @@ class TransportSimplex {
     basic_[enter_i * bal_.n + enter_j] = 1;
     basic_[leaving.first * bal_.n + leaving.second] = 0;
     flow_[leaving.first * bal_.n + leaving.second] = 0.0;  // kill -0 noise
+    return theta;
   }
 
   const Balanced& bal_;
   const std::vector<char>* warm_cells_ = nullptr;
   bool seeded_ = false;
+  bool bland_ = false;
   std::vector<double> flow_;
   std::vector<char> basic_;
   std::vector<double> u_, v_;

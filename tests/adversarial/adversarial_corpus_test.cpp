@@ -1,0 +1,102 @@
+// Replayable repro corpus (tests/corpus/*.scn): every corpus file is an
+// annotated dust::check scenario with a byzantine attack script. Each ctest
+// run re-parses and re-runs every file, checking that
+//   - the parse round-trips exactly (dump(parse(text)) == text),
+//   - the run is deterministic (two runs, identical placement digests),
+//   - the trust-weighted run holds every invariant, and
+//   - trust weighting still beats trust-blind on the captured attack.
+// Regenerate with DUST_REGEN_CORPUS=1 (writes into the source tree).
+#include <algorithm>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "check/attacks.hpp"
+#include "check/runner.hpp"
+
+namespace dust::check {
+namespace {
+
+namespace fs = std::filesystem;
+
+fs::path corpus_dir() { return fs::path(DUST_SOURCE_DIR) / "tests" / "corpus"; }
+
+std::vector<fs::path> corpus_files() {
+  std::vector<fs::path> files;
+  if (!fs::exists(corpus_dir())) return files;
+  for (const fs::directory_entry& entry : fs::directory_iterator(corpus_dir()))
+    if (entry.path().extension() == ".scn") files.push_back(entry.path());
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+std::string read_file(const fs::path& path) {
+  std::ifstream in(path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+TEST(Corpus, RegenerateWhenRequested) {
+  if (std::getenv("DUST_REGEN_CORPUS") == nullptr)
+    GTEST_SKIP() << "set DUST_REGEN_CORPUS=1 to rewrite tests/corpus/";
+  fs::create_directories(corpus_dir());
+  const struct {
+    const char* name;
+    AttackKind kind;
+  } repros[] = {
+      {"capacity_lie_fat_tree.scn", AttackKind::kCapacityLie},
+      {"blackhole_fat_tree.scn", AttackKind::kBlackhole},
+      {"keepalive_flap_fat_tree.scn", AttackKind::kKeepaliveFlap},
+  };
+  for (const auto& repro : repros) {
+    const ScenarioSpec spec =
+        make_attack_spec(repro.kind, TopologyKind::kFatTree);
+    std::ofstream out(corpus_dir() / repro.name);
+    out << "# repro: " << to_string(repro.kind)
+        << " attack — trust-blind placement keeps feeding the attacker;\n"
+           "# trust-weighted placement must detect and route around it.\n";
+    dump_scenario(out, spec);
+  }
+}
+
+TEST(Corpus, EveryFileReplaysDeterministically) {
+  const std::vector<fs::path> files = corpus_files();
+  ASSERT_FALSE(files.empty())
+      << "tests/corpus is empty — run with DUST_REGEN_CORPUS=1 first";
+  for (const fs::path& file : files) {
+    SCOPED_TRACE(file.filename().string());
+    const std::string text = read_file(file);
+
+    // Exact parse round-trip: everything after the leading free-comment
+    // block must survive dump(parse(...)) bit-for-bit.
+    std::istringstream in(text);
+    const ScenarioSpec spec = parse_scenario_spec(in);
+    const std::string round_tripped = dump_scenario(spec);
+    EXPECT_NE(text.find(round_tripped), std::string::npos)
+        << "dump(parse(file)) no longer matches the stored corpus file";
+    ASSERT_FALSE(spec.attacks.empty()) << "corpus repro lost its attack";
+
+    RunOptions options;
+    options.trust_weighting = true;
+    const RunReport first = run_scenario(spec, options);
+    const RunReport second = run_scenario(spec, options);
+    EXPECT_TRUE(first.passed()) << first.violations.front().detail;
+    EXPECT_EQ(first.placement_digest, second.placement_digest)
+        << "corpus replay is not deterministic";
+    EXPECT_EQ(first.violations.size(), second.violations.size());
+
+    // The captured attack must still be one trust weighting defeats.
+    const TrustComparison comparison = compare_trust_placement(spec);
+    EXPECT_GT(comparison.trusted.delivered_fraction(),
+              comparison.blind.delivered_fraction());
+  }
+}
+
+}  // namespace
+}  // namespace dust::check

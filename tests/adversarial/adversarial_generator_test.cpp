@@ -1,0 +1,117 @@
+// Generator portability pins for the attack axis:
+//   - attack generation is additive: enabling attack_events must not perturb
+//     any draw the benign generator already makes (loads, agents, churn,
+//     faults, deaths stay bit-identical);
+//   - dump -> parse_scenario_spec round-trips every field including the
+//     attack script;
+//   - a cross-seed golden file (tests/golden/adversarial_generator.golden)
+//     pins the generator's exact output across toolchains and libstdc++
+//     versions — the generator uses only dust::util::Rng primitives, never
+//     std::uniform_*, so the stream is implementation-independent.
+// Regenerate the golden with DUST_REGEN_GOLDEN=1 after intentional changes.
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "check/scenario.hpp"
+
+namespace dust::check {
+namespace {
+
+namespace fs = std::filesystem;
+
+fs::path golden_path() {
+  return fs::path(DUST_SOURCE_DIR) / "tests" / "golden" /
+         "adversarial_generator.golden";
+}
+
+std::string golden_payload() {
+  // Three seeds spanning both topologies, benign and adversarial.
+  std::ostringstream out;
+  for (std::uint64_t seed : {3ULL, 19ULL, 64ULL}) {
+    GeneratorOptions adversarial;
+    adversarial.attack_events = 2;
+    out << dump_scenario(generate_scenario(seed));
+    out << dump_scenario(generate_scenario(seed, adversarial));
+  }
+  return out.str();
+}
+
+TEST(AdversarialGenerator, AttackDrawsDoNotPerturbBenignFields) {
+  for (std::uint64_t seed : {2ULL, 11ULL, 42ULL}) {
+    GeneratorOptions adversarial;
+    adversarial.attack_events = 3;
+    const ScenarioSpec benign = generate_scenario(seed);
+    const ScenarioSpec attacked = generate_scenario(seed, adversarial);
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    ASSERT_TRUE(benign.attacks.empty());
+    EXPECT_FALSE(attacked.attacks.empty());
+    // Every pre-existing draw must be untouched by the trailing attack draws.
+    EXPECT_EQ(benign.topology, attacked.topology);
+    EXPECT_EQ(benign.node_count, attacked.node_count);
+    EXPECT_EQ(benign.load, attacked.load);
+    EXPECT_EQ(benign.data_mb, attacked.data_mb);
+    EXPECT_EQ(benign.agents, attacked.agents);
+    EXPECT_EQ(benign.capable, attacked.capable);
+    EXPECT_EQ(benign.platform_factor, attacked.platform_factor);
+    EXPECT_EQ(benign.churn.size(), attacked.churn.size());
+    EXPECT_EQ(benign.deaths.size(), attacked.deaths.size());
+    EXPECT_EQ(benign.faults.size(), attacked.faults.size());
+    EXPECT_EQ(benign.duration_ms, attacked.duration_ms);
+  }
+}
+
+TEST(AdversarialGenerator, GenerationIsDeterministic) {
+  GeneratorOptions options;
+  options.attack_events = 2;
+  EXPECT_EQ(dump_scenario(generate_scenario(5, options)),
+            dump_scenario(generate_scenario(5, options)));
+}
+
+TEST(AdversarialGenerator, DumpParseRoundTripsAttacks) {
+  GeneratorOptions options;
+  options.attack_events = 2;
+  for (std::uint64_t seed : {4ULL, 13ULL, 77ULL}) {
+    const ScenarioSpec spec = generate_scenario(seed, options);
+    ASSERT_FALSE(spec.attacks.empty());
+    std::istringstream in(dump_scenario(spec));
+    const ScenarioSpec parsed = parse_scenario_spec(in);
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    ASSERT_EQ(parsed.attacks.size(), spec.attacks.size());
+    for (std::size_t i = 0; i < spec.attacks.size(); ++i) {
+      EXPECT_EQ(parsed.attacks[i].at_ms, spec.attacks[i].at_ms);
+      EXPECT_EQ(parsed.attacks[i].node, spec.attacks[i].node);
+      EXPECT_EQ(parsed.attacks[i].kind, spec.attacks[i].kind);
+      EXPECT_DOUBLE_EQ(parsed.attacks[i].magnitude, spec.attacks[i].magnitude);
+      EXPECT_EQ(parsed.attacks[i].period_ms, spec.attacks[i].period_ms);
+      EXPECT_EQ(parsed.attacks[i].down_ms, spec.attacks[i].down_ms);
+    }
+    EXPECT_EQ(dump_scenario(parsed), dump_scenario(spec));
+  }
+}
+
+TEST(AdversarialGenerator, CrossSeedGoldenPin) {
+  const std::string payload = golden_payload();
+  if (std::getenv("DUST_REGEN_GOLDEN") != nullptr) {
+    fs::create_directories(golden_path().parent_path());
+    std::ofstream out(golden_path());
+    out << payload;
+    return;
+  }
+  std::ifstream in(golden_path());
+  ASSERT_TRUE(in.good())
+      << "missing " << golden_path()
+      << " — run once with DUST_REGEN_GOLDEN=1 to create it";
+  std::ostringstream stored;
+  stored << in.rdbuf();
+  EXPECT_EQ(payload, stored.str())
+      << "generator output drifted from the committed golden; if the drift "
+         "is intentional regenerate with DUST_REGEN_GOLDEN=1";
+}
+
+}  // namespace
+}  // namespace dust::check

@@ -1,0 +1,143 @@
+// Tentpole oracles for the byzantine attack axis (DESIGN.md §14):
+//   O7  trust-weighted placement strictly improves delivered samples over
+//       trust-blind under every attack kind, on fat-tree and random
+//       topologies;
+//   I7  a node proven byzantine for k consecutive cycles receives no new
+//       offloads (checked inside run_scenario, asserted here via passed());
+//   I8  trust-blind and trust-weighted runs are bit-identical (equal
+//       placement digests) when no attack fires;
+// plus a 100-seed generated adversarial sweep that must stay violation-free
+// and a wall-clock-budgeted fuzz loop (DUST_FUZZ_MS) for the check-long
+// target.
+#include <chrono>
+#include <cstdlib>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "check/attacks.hpp"
+#include "check/runner.hpp"
+
+namespace dust::check {
+namespace {
+
+struct O7Case {
+  AttackKind kind;
+  TopologyKind topology;
+};
+
+class TrustImprovement : public ::testing::TestWithParam<O7Case> {};
+
+TEST_P(TrustImprovement, TrustWeightingStrictlyImprovesDelivery) {
+  const O7Case param = GetParam();
+  const ScenarioSpec spec = make_attack_spec(param.kind, param.topology);
+  const TrustComparison comparison = compare_trust_placement(spec);
+
+  // Both runs must be internally sound: the attack degrades delivery, it
+  // must never corrupt the protocol or the placement invariants.
+  EXPECT_TRUE(comparison.blind.passed())
+      << comparison.blind.violations.front().detail;
+  EXPECT_TRUE(comparison.trusted.passed())
+      << comparison.trusted.violations.front().detail;
+
+  // The attack must actually bite in the blind run...
+  EXPECT_LT(comparison.blind.delivered_fraction(), 1.0);
+  // ...and trust weighting must strictly recover delivery (O7).
+  EXPECT_GT(comparison.trusted.delivered_fraction(),
+            comparison.blind.delivered_fraction());
+  EXPECT_TRUE(check_trust_improvement(comparison).empty());
+
+  // The trusted run caught the attacker: its trust decayed below 1.
+  EXPECT_LT(comparison.trusted.min_trust, 1.0);
+  // The blind run never touches trust state.
+  EXPECT_EQ(comparison.blind.trust_evictions, 0u);
+  EXPECT_DOUBLE_EQ(comparison.blind.min_trust, 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllAttacks, TrustImprovement,
+    ::testing::Values(
+        O7Case{AttackKind::kCapacityLie, TopologyKind::kFatTree},
+        O7Case{AttackKind::kCapacityLie, TopologyKind::kRandomRegular},
+        O7Case{AttackKind::kBlackhole, TopologyKind::kFatTree},
+        O7Case{AttackKind::kBlackhole, TopologyKind::kRandomRegular},
+        O7Case{AttackKind::kKeepaliveFlap, TopologyKind::kFatTree},
+        O7Case{AttackKind::kKeepaliveFlap, TopologyKind::kRandomRegular}),
+    [](const ::testing::TestParamInfo<O7Case>& info) {
+      std::string name = to_string(info.param.kind);
+      name += "_";
+      name += to_string(info.param.topology);
+      for (char& c : name)
+        if (c == '-') c = '_';
+      return name;
+    });
+
+TEST(TrustNeutrality, AttackFreeRunsAreBitIdentical) {
+  // I8: on benign generated scenarios the trust machinery must be perfectly
+  // invisible — same busy sets, same candidates, same assignments, same
+  // objective bits, every cycle.
+  for (std::uint64_t seed : {1ULL, 7ULL, 23ULL}) {
+    const ScenarioSpec spec = generate_scenario(seed);
+    ASSERT_TRUE(spec.attacks.empty());
+    const std::vector<Violation> violations = check_trust_neutrality(spec);
+    EXPECT_TRUE(violations.empty())
+        << "seed " << seed << ": " << violations.front().detail;
+  }
+}
+
+TEST(TrustNeutrality, RejectsSpecsWithAttacks) {
+  ScenarioSpec spec = generate_scenario(1);
+  AttackScript attack;
+  attack.node = 0;
+  spec.attacks.push_back(attack);
+  EXPECT_FALSE(check_trust_neutrality(spec).empty());
+}
+
+class AdversarialSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(AdversarialSweep, GeneratedAttackScenarioHoldsAllInvariants) {
+  GeneratorOptions generator;
+  generator.attack_events = 2;
+  const ScenarioSpec spec = generate_scenario(GetParam(), generator);
+  ASSERT_FALSE(spec.attacks.empty());
+  RunOptions options;
+  options.trust_weighting = true;
+  const RunReport report = run_scenario(spec, options);
+  EXPECT_TRUE(report.passed())
+      << "seed " << GetParam() << ": " << report.violations.front().invariant
+      << " — " << report.violations.front().detail;
+}
+
+// 100 seeded adversarial scenarios, zero I1-I8 violations (acceptance bar).
+INSTANTIATE_TEST_SUITE_P(Seeds, AdversarialSweep,
+                         ::testing::Range<std::uint64_t>(1, 101));
+
+TEST(AdversarialFuzz, BudgetedExploration) {
+  // Wall-clock-budgeted deep fuzz for the check-long target: keeps drawing
+  // fresh adversarial seeds until DUST_FUZZ_MS (default 2000 ms) runs out.
+  std::int64_t budget_ms = 2000;
+  if (const char* env = std::getenv("DUST_FUZZ_MS"); env != nullptr)
+    budget_ms = std::strtoll(env, nullptr, 10);
+  const auto start = std::chrono::steady_clock::now();
+  std::uint64_t seed = 0x10000;
+  std::size_t runs = 0;
+  while (std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now() - start)
+             .count() < budget_ms) {
+    GeneratorOptions generator;
+    generator.attack_events = 1 + (seed % 3);
+    const ScenarioSpec spec = generate_scenario(seed, generator);
+    RunOptions options;
+    options.trust_weighting = (seed % 2) == 0;
+    const RunReport report = run_scenario(spec, options);
+    ASSERT_TRUE(report.passed())
+        << "seed " << seed << ": " << report.violations.front().invariant
+        << " — " << report.violations.front().detail;
+    ++seed;
+    ++runs;
+  }
+  EXPECT_GE(runs, 1u);
+}
+
+}  // namespace
+}  // namespace dust::check

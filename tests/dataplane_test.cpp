@@ -216,6 +216,103 @@ TEST(Dataplane, SampledModeThinsDeterministically) {
   EXPECT_LT(rate, 0.35);
 }
 
+// The trust-audit feed (DESIGN.md §14): drain_loss_audit() reports each
+// owner's delivery window since the previous drain. Declared degradation must
+// NOT inflate the expected count (the owner honestly told us), undeclared
+// gaps must (that's the silent loss a byzantine destination produces), and
+// the drain cursor must make consecutive drains disjoint.
+TEST(Dataplane, LossAuditDrainsPerOwnerWindows) {
+  wire::SocketTransport hub(hub_config());
+  wire::SocketTransport leaf(leaf_config(hub.listen_port()));
+  dataplane::Collector collector(hub, "dust-collector");
+  leaf.register_endpoint("dust-streamer-3", [](const sim::Envelope&) {});
+
+  telemetry::Tsdb tsdb;
+  const telemetry::MetricId cpu = tsdb.register_metric(
+      {"cpu", "percent", telemetry::MetricKind::kGauge});
+  dataplane::BlockStreamerConfig config;
+  config.owner = 3;
+  config.local_endpoint = "dust-streamer-3";
+  dataplane::BlockStreamer streamer(leaf, tsdb, config);
+
+  util::Rng rng(11);
+  for (int i = 0; i < 300; ++i)
+    tsdb.append(cpu, telemetry::Sample{i * 100, rng.uniform(0.0, 100.0)});
+  streamer.flush();
+  pump(leaf, hub);
+  ASSERT_EQ(collector.stats().samples, 300u);
+
+  // Window 1: a clean full-mode stream audits as expected == delivered.
+  std::vector<dataplane::Collector::LossAuditEntry> audit =
+      collector.drain_loss_audit();
+  ASSERT_EQ(audit.size(), 1u);
+  EXPECT_EQ(audit[0].owner, 3u);
+  EXPECT_DOUBLE_EQ(audit[0].delivered, 300.0);
+  EXPECT_DOUBLE_EQ(audit[0].expected, audit[0].delivered);
+  // The cursor advanced: nothing new, nothing reported.
+  EXPECT_TRUE(collector.drain_loss_audit().empty());
+
+  const std::uint64_t next_seq = streamer.stats().batches_sent;
+
+  // Window 2: a declared gap (degrade announcement covering the skipped
+  // seqs) does not count against the owner — drain stays empty.
+  {
+    wire::DegradeBody degrade;
+    degrade.owner = 3;
+    degrade.mode = telemetry::DegradeMode::kSampled;
+    degrade.keep_probability = 0.5;
+    degrade.gap_from_batch = next_seq;
+    degrade.gap_to_batch = next_seq + 1;
+    degrade.samples_dropped = 40;
+    wire::Frame frame = wire::degrade_frame("dust-streamer-3",
+                                            "dust-collector",
+                                            std::move(degrade));
+    wire::GatherFrame encoded;
+    encoded.head = wire::encode_frame(frame);
+    ASSERT_TRUE(leaf.send_data_frame("dust-streamer-3", "dust-collector",
+                                     std::move(encoded),
+                                     sim::Priority::kNormal, "data_degrade",
+                                     nullptr));
+  }
+  {
+    wire::DataBlocksBody body;
+    body.owner = 3;
+    body.batch_seq = next_seq + 2;  // skips the two declared batches
+    wire::Frame frame = wire::data_blocks_frame("dust-streamer-3",
+                                                "dust-collector",
+                                                std::move(body));
+    ASSERT_TRUE(leaf.send_data_frame("dust-streamer-3", "dust-collector",
+                                     wire::encode_data_blocks_gather(frame, {}),
+                                     sim::Priority::kLow, "data_blocks",
+                                     nullptr));
+  }
+  pump(leaf, hub);
+  EXPECT_EQ(collector.stats().undeclared_gap_batches, 0u);
+  EXPECT_TRUE(collector.drain_loss_audit().empty());
+
+  // Window 3: an undeclared jump — the silent-loss signature — audits as
+  // expected > delivered, charged at the owner's average batch size.
+  {
+    wire::DataBlocksBody body;
+    body.owner = 3;
+    body.batch_seq = next_seq + 6;  // 3 batches vanish without declaration
+    wire::Frame frame = wire::data_blocks_frame("dust-streamer-3",
+                                                "dust-collector",
+                                                std::move(body));
+    ASSERT_TRUE(leaf.send_data_frame("dust-streamer-3", "dust-collector",
+                                     wire::encode_data_blocks_gather(frame, {}),
+                                     sim::Priority::kLow, "data_blocks",
+                                     nullptr));
+  }
+  pump(leaf, hub);
+  EXPECT_EQ(collector.stats().undeclared_gap_batches, 3u);
+  audit = collector.drain_loss_audit();
+  ASSERT_EQ(audit.size(), 1u);
+  EXPECT_DOUBLE_EQ(audit[0].delivered, 0.0);
+  EXPECT_GT(audit[0].expected, 0.0);
+  EXPECT_TRUE(collector.drain_loss_audit().empty());
+}
+
 class DataplaneCheck : public ::testing::TestWithParam<std::uint64_t> {};
 
 TEST_P(DataplaneCheck, SeededScenarioHoldsNoSilentLossContract) {
