@@ -20,10 +20,16 @@
 // "dust-collector" endpoint (a collector_daemon leaf on the same hub). The
 // flush waits --stream-delay-ms so the collector's announce has reached the
 // hub before the first kDataBlocks frame needs a route.
+//
+// The process serves its MetricRegistry at "dust-obs-client-<first node>"
+// (wire::ObsResponder), so a manager_daemon running the fleet observability
+// plane scrapes it like any other node. Span ids are seeded per process so
+// stitched fleet traces never collide.
 #include <chrono>
 #include <cstdint>
 #include <cstdlib>
 #include <fstream>
+#include <functional>
 #include <iostream>
 #include <memory>
 #include <string>
@@ -32,10 +38,12 @@
 #include "core/client.hpp"
 #include "core/scenario.hpp"
 #include "dataplane/block_streamer.hpp"
+#include "obs/trace.hpp"
 #include "telemetry/tsdb.hpp"
 #include "util/log.hpp"
 #include "util/rng.hpp"
 #include "wire/demo_scenario.hpp"
+#include "wire/obs_scrape.hpp"
 #include "wire/socket_transport.hpp"
 
 namespace {
@@ -107,12 +115,18 @@ int main(int argc, char** argv) {
     return core::load_scenario(file);
   }();
 
+  const std::string obs_node = "client-" + std::to_string(nodes.front());
+  // Before any span allocation: this process's span ids must live in their
+  // own block or stitched fleet traces would collide across daemons.
+  obs::seed_span_ids(std::hash<std::string>{}(obs_node));
+
   sim::Simulator sim;
   wire::SocketTransportConfig wire_config;
   wire_config.role = wire::SocketTransportConfig::Role::kLeaf;
   wire_config.port = port;
   wire_config.now = [&sim] { return sim.now(); };
   wire::SocketTransport transport(wire_config);
+  wire::ObsResponder obs_responder(transport, obs_node);
 
   std::vector<std::unique_ptr<core::DustClient>> clients;
   for (const graph::NodeId node : nodes) {
@@ -177,6 +191,9 @@ int main(int argc, char** argv) {
       std::_Exit(7);
     }
     if (streamer != nullptr && wall_ms() >= stream_delay_ms) {
+      // Parent data-block batches under the latest offload chain that
+      // reached this host, so collector ingest joins the same fleet trace.
+      streamer->set_trace(clients.front()->last_host_trace());
       if (!flushed) {
         streamer->flush();
         flushed = true;

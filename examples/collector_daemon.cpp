@@ -15,13 +15,21 @@
 //
 //   ./build/examples/collector_daemon --port N [--run-ms MS]
 //       [--endpoint NAME]
+//
+// The process also serves its MetricRegistry at "dust-obs-collector"
+// (wire::ObsResponder) so the manager's fleet observability plane scrapes
+// collector-side counters (samples adopted, undeclared gaps) and stitches
+// collector ingest spans into fleet traces.
 #include <chrono>
 #include <cstdint>
+#include <functional>
 #include <iostream>
 #include <string>
 
 #include "dataplane/collector.hpp"
+#include "obs/trace.hpp"
 #include "util/log.hpp"
+#include "wire/obs_scrape.hpp"
 #include "wire/socket_transport.hpp"
 
 int main(int argc, char** argv) {
@@ -49,11 +57,16 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  // Own span-id block before any span is recorded: collector ingest spans
+  // must not collide with other daemons' in a stitched fleet trace.
+  obs::seed_span_ids(std::hash<std::string>{}("collector"));
+
   wire::SocketTransportConfig config;
   config.role = wire::SocketTransportConfig::Role::kLeaf;
   config.port = port;
   wire::SocketTransport transport(config);
   dataplane::Collector collector(transport, endpoint);
+  wire::ObsResponder obs_responder(transport, "collector");
 
   // Registered and announced to the hub on the next poll round; READY lets a
   // harness order "collector routable" before it starts any streamer.

@@ -4,6 +4,7 @@
 //   ./build/examples/scenario_cli <scenario-file> [max_hops] [--dot]
 //   ./build/examples/scenario_cli <scenario-file> --trace <trace-file>
 //   ./build/examples/scenario_cli <scenario-file> --trace-out <out.json>
+//   ./build/examples/scenario_cli <scenario-file> --obs-top
 //   ./build/examples/scenario_cli --demo            # built-in Fig. 4 demo
 //   ./build/examples/scenario_cli --attack=capacity-lie|blackhole|flap
 //                                 [--topology=fat-tree|random]
@@ -23,6 +24,13 @@
 // through the wire codec and real loopback TCP (manager on a
 // wire::SocketTransport hub, all clients on a leaf) — same protocol run,
 // bytes actually framed and reassembled.
+//
+// --obs-top runs the same live protocol and renders the fleet-top dashboard
+// (obs::Aggregator::write_top — per-node scrape status, biggest counters,
+// histogram tails) once per virtual second when stdout is a terminal, and a
+// final dashboard either way. Combines with --trace-out and --transport.
+#include <unistd.h>
+
 #include <algorithm>
 #include <fstream>
 #include <iostream>
@@ -42,6 +50,7 @@
 #include "dataplane/block_streamer.hpp"
 #include "dataplane/collector.hpp"
 #include "graph/dot.hpp"
+#include "obs/aggregator.hpp"
 #include "obs/export.hpp"
 #include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
@@ -87,7 +96,7 @@ int main(int argc, char** argv) {
   if (argc < 2) {
     std::cerr << "usage: " << argv[0]
               << " <scenario-file>|--demo [max_hops] [--dot]"
-                 " [--trace <csv>] [--trace-out <json>]"
+                 " [--trace <csv>] [--trace-out <json>] [--obs-top]"
                  " [--transport=sim|socket]\n       "
               << argv[0]
               << " --attack=capacity-lie|blackhole|flap"
@@ -169,12 +178,15 @@ int main(int argc, char** argv) {
   std::uint32_t max_hops = 0;
   bool dot = false;
   bool socket_transport = false;
+  bool obs_top = false;
   std::string trace_file;
   std::string trace_out_file;
   for (int i = 2; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--dot") {
       dot = true;
+    } else if (arg == "--obs-top") {
+      obs_top = true;
     } else if (arg == "--trace" && i + 1 < argc) {
       trace_file = argv[++i];
     } else if (arg == "--trace-out" && i + 1 < argc) {
@@ -212,7 +224,7 @@ int main(int argc, char** argv) {
             << nmdb.candidate_nodes().size() << " candidates, ΣCs="
             << nmdb.total_excess() << " ΣCd=" << nmdb.total_spare() << "\n\n";
 
-  if (!trace_out_file.empty()) {
+  if (!trace_out_file.empty() || obs_top) {
     // Live protocol run: the scenario's nodes become DUST-Clients reporting
     // their configured load to a manager over the simulated transport; the
     // causal span trees the run produces are exported as Perfetto JSON.
@@ -220,6 +232,23 @@ int main(int argc, char** argv) {
     obs::MetricRegistry::global().reset();
     obs::FlightRecorder::global().clear();
     obs::reset_trace_ids();
+
+    // --obs-top: the run's registry is folded through the fleet aggregator
+    // (single node "local" — every in-process component shares one
+    // registry) and rendered as the fleet-top dashboard each virtual
+    // second. Live redraw only on a terminal; CI gets the final frame.
+    obs::Aggregator aggregator;
+    const bool live_redraw = obs_top && isatty(1) != 0;
+    const auto obs_tick = [&](sim::TimeMs t) {
+      if (!obs_top) return;
+      aggregator.ingest_local("local", obs::MetricRegistry::global(),
+                              static_cast<std::int64_t>(t));
+      if (live_redraw) {
+        std::cout << "\033[H\033[2J";
+        aggregator.write_top(std::cout, static_cast<std::int64_t>(t));
+        std::cout << std::flush;
+      }
+    };
 
     sim::Simulator sim;
     sim::Transport sim_transport(sim, util::Rng(7));
@@ -302,6 +331,7 @@ int main(int argc, char** argv) {
                 telemetry::Sample{static_cast<std::int64_t>(t),
                                   nmdb.network().node_utilization(v)});
           streamer->pump();
+          obs_tick(t);
         }
         while (hub->poll_once(1) + leaf->poll_once(1) > 0) {
         }
@@ -309,27 +339,44 @@ int main(int argc, char** argv) {
       streamer->flush();
       while (hub->poll_once(1) + leaf->poll_once(1) > 0) {
       }
+    } else if (obs_top) {
+      for (sim::TimeMs t = 1000; t <= 30000; t += 1000) {
+        sim.run_until(t);
+        obs_tick(t);
+      }
     } else {
       sim.run_until(30000);  // handshakes + several placement cycles
     }
 
-    std::ofstream out(trace_out_file);
-    if (!out) {
-      std::cerr << "cannot write " << trace_out_file << "\n";
-      return 2;
-    }
     const obs::RegistrySnapshot scrape =
         obs::MetricRegistry::global().snapshot();
-    obs::write_perfetto(scrape, out);
+    if (!trace_out_file.empty()) {
+      std::ofstream out(trace_out_file);
+      if (!out) {
+        std::cerr << "cannot write " << trace_out_file << "\n";
+        return 2;
+      }
+      obs::write_perfetto(scrape, out);
 
-    const std::vector<obs::TraceTree> traces = obs::assemble_traces(scrape);
-    std::cout << "wrote " << trace_out_file << ": " << scrape.spans.size()
-              << " spans in " << traces.size()
-              << " traces (open in ui.perfetto.dev)\n";
-    for (const obs::TraceTree& trace : traces)
-      if (trace.find("offload_request") != nullptr)
-        std::cout << "  trace " << trace.trace_id << ": " << trace.chain()
-                  << "\n";
+      const std::vector<obs::TraceTree> traces = obs::assemble_traces(scrape);
+      std::cout << "wrote " << trace_out_file << ": " << scrape.spans.size()
+                << " spans in " << traces.size()
+                << " traces (open in ui.perfetto.dev)\n";
+      for (const obs::TraceTree& trace : traces)
+        if (trace.find("offload_request") != nullptr)
+          std::cout << "  trace " << trace.trace_id << ": " << trace.chain()
+                    << "\n";
+    }
+    if (obs_top) {
+      // Final frame (the only one in a pipe/CI), then a parseable line.
+      aggregator.ingest_local("local", obs::MetricRegistry::global(),
+                              static_cast<std::int64_t>(sim.now()));
+      aggregator.write_top(std::cout, static_cast<std::int64_t>(sim.now()));
+      const obs::FleetNodeStatus* local = aggregator.status("local");
+      std::cout << "OBS_TOP nodes=" << aggregator.nodes().size()
+                << " applied=" << (local != nullptr ? local->snapshots_applied : 0)
+                << " spans=" << aggregator.span_count() << "\n";
+    }
     std::cout << "active offloads after " << sim.now() / 1000
               << " s: " << manager.active_offload_count() << "\n";
     if (socket_transport) {

@@ -8,7 +8,10 @@ Usage:
 Every record whose metric name contains "ms_per_cycle" is treated as a
 lower-is-better timing; a candidate more than --threshold (default 10%)
 slower than the baseline on the same (metric, config) key fails the compare
-(exit 1). Other metrics are reported informationally.
+(exit 1). Records that declare an absolute budget in their config string
+("budget=5" — the obs overhead gate, instrumented and scrape-path) fail the
+compare when the candidate value meets or exceeds the budget, regardless of
+how the baseline did. Other metrics are reported informationally.
 
 Scale safety: reports carry a top-level "topology" object and per-record
 nodes=/edges= config fields. A compare across different topology sizes is
@@ -32,6 +35,23 @@ def record_key(record):
     return (record.get("metric", ""), record.get("config", ""))
 
 
+def declared_budget(record):
+    """The record's self-declared absolute ceiling, or None.
+
+    A config field "budget=5" means "this value must stay under 5 in
+    whatever units the record uses" — the bench binary enforces it at run
+    time, and the compare re-enforces it on committed baselines so a stale
+    JSON can't hide a blown budget.
+    """
+    for field in record.get("config", "").split(","):
+        if field.startswith("budget="):
+            try:
+                return float(field[len("budget="):])
+            except ValueError:
+                return None
+    return None
+
+
 def compare(baseline, candidate, threshold):
     """Return (failures, lines): regressions and a human-readable log."""
     base_topo = baseline.get("topology")
@@ -47,6 +67,17 @@ def compare(baseline, candidate, threshold):
     lines = []
     for record in candidate.get("records", []):
         key = record_key(record)
+        budget = declared_budget(record)
+        if budget is not None and record["value"] >= budget:
+            failures.append(
+                f"{key[0]} [{key[1]}]: {record['value']:g} blows its "
+                f"declared budget of {budget:g}"
+            )
+            lines.append(
+                f"  BUDGET   {key[0]} [{key[1]}]: "
+                f"{record['value']:g} >= {budget:g}"
+            )
+            continue
         if key not in base:
             lines.append(f"  new      {key[0]} [{key[1]}]")
             continue
@@ -106,6 +137,19 @@ def self_test():
         pass
     else:
         raise AssertionError("cross-scale compare must be refused")
+
+    budgeted = dict(base)
+    budgeted["records"] = [
+        {"metric": "overhead", "config": "budget=5,path=scrape", "value": 4.2},
+    ]
+    failures, _ = compare(base, budgeted, 0.10)
+    assert not failures, f"4.2 must pass a declared budget of 5: {failures}"
+    blown = dict(base)
+    blown["records"] = [
+        {"metric": "overhead", "config": "budget=5,path=scrape", "value": 5.4},
+    ]
+    failures, _ = compare(base, blown, 0.10)
+    assert failures, "5.4 must fail a declared budget of 5"
     print("bench_compare self-test: PASS")
 
 

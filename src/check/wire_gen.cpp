@@ -81,6 +81,7 @@ wire::DataBlocksBody random_data_blocks_body(util::Rng& rng) {
   body.batch_seq = rng();
   body.mode = random_mode(rng);
   body.keep_probability = random_double(rng);
+  body.trace = random_trace(rng);
   const std::size_t count = rng.below(5);
   body.blocks.reserve(count);
   for (std::size_t i = 0; i < count; ++i) {
@@ -112,6 +113,25 @@ wire::DegradeBody random_degrade_body(util::Rng& rng) {
     body.gap_to_batch = body.gap_from_batch + rng.below(16);
   }  // else keep the default from > to "mode change only" encoding
   body.samples_dropped = static_cast<std::uint32_t>(rng());
+  return body;
+}
+
+wire::ObsScrapeBody random_obs_scrape_body(util::Rng& rng) {
+  wire::ObsScrapeBody body;
+  body.scrape_seq = rng();
+  body.ack_seq = rng();
+  body.request_full = rng.bernoulli(0.5);
+  return body;
+}
+
+wire::ObsSnapshotBody random_obs_snapshot_body(util::Rng& rng) {
+  wire::ObsSnapshotBody body;
+  body.node = random_string(rng);
+  // The payload is opaque to the wire layer: arbitrary bytes (not
+  // necessarily a decodable obs snapshot) must round-trip verbatim.
+  body.payload.resize(rng.below(256));
+  for (std::uint8_t& byte : body.payload)
+    byte = static_cast<std::uint8_t>(rng.range(0, 255));
   return body;
 }
 
@@ -171,6 +191,13 @@ wire::Frame random_frame(util::Rng& rng) {
   if (rng.bernoulli(0.1))
     return wire::degrade_frame(random_string(rng), random_string(rng),
                                random_degrade_body(rng), rng());
+  // Observability-plane frames ride the same codec; fuzz them too.
+  if (rng.bernoulli(0.05))
+    return wire::obs_scrape_frame(random_string(rng), random_string(rng),
+                                  random_obs_scrape_body(rng));
+  if (rng.bernoulli(0.05))
+    return wire::obs_snapshot_frame(random_string(rng), random_string(rng),
+                                    random_obs_snapshot_body(rng));
   core::Message message = random_message(rng, rng.below(10));
   const sim::Priority priority =
       rng.bernoulli(0.5) ? sim::Priority::kLow : sim::Priority::kNormal;

@@ -22,8 +22,13 @@ namespace dust::check {
 [[nodiscard]] wire::DataBlocksBody random_data_blocks_body(util::Rng& rng);
 [[nodiscard]] wire::DegradeBody random_degrade_body(util::Rng& rng);
 
-/// A random protocol, announce, or data-plane frame: envelope passengers
-/// (priority, trace_id, from/to/kind) randomized along with the body.
+/// Random observability-plane bodies. The snapshot payload is arbitrary
+/// bytes — opaque at the wire layer; obs/snapshot.cpp has its own fuzz.
+[[nodiscard]] wire::ObsScrapeBody random_obs_scrape_body(util::Rng& rng);
+[[nodiscard]] wire::ObsSnapshotBody random_obs_snapshot_body(util::Rng& rng);
+
+/// A random protocol, announce, data-plane, or obs frame: envelope
+/// passengers (priority, trace_id, from/to/kind) randomized with the body.
 [[nodiscard]] wire::Frame random_frame(util::Rng& rng);
 
 }  // namespace dust::check

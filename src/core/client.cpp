@@ -261,8 +261,9 @@ void DustClient::on_agent_transfer(const AgentTransferMsg& msg) {
     for (const telemetry::MonitorAgent& agent : msg.agents)
       device_->add_remote_agent(client_endpoint(msg.owner), agent);
   }
-  obs::record_instant(obs::MetricRegistry::global(), "host_agents", track_,
-                      msg.trace, sim_->now());
+  last_host_trace_ =
+      obs::record_instant(obs::MetricRegistry::global(), "host_agents",
+                          track_, msg.trace, sim_->now());
   hosted_.emplace_back(msg.owner, static_cast<std::uint32_t>(msg.agents.size()));
   ensure_keepalive_task();
 }

@@ -121,6 +121,14 @@ class DustClient {
   [[nodiscard]] std::uint64_t releases_received() const noexcept {
     return releases_received_;
   }
+  /// Context of the most recent "host_agents" span (the destination-side
+  /// end of an offload chain). A BlockStreamer on this node parents its
+  /// data-block spans here, so the fleet trace runs STAT → solve → offload
+  /// → ACK → transfer → data blocks across processes. Invalid until the
+  /// first transfer lands.
+  [[nodiscard]] obs::TraceContext last_host_trace() const noexcept {
+    return last_host_trace_;
+  }
 
  private:
   void handle(const sim::Envelope& envelope);
@@ -152,6 +160,7 @@ class DustClient {
   sim::MonitoredNode* device_;
   Metrics metrics_;
   std::string track_;  ///< span track label ("client-<node>"), precomputed
+  obs::TraceContext last_host_trace_{};  ///< see last_host_trace()
 
   bool acknowledged_ = false;
   bool failed_ = false;

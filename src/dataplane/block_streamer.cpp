@@ -5,13 +5,17 @@
 #include <utility>
 
 #include "obs/metrics.hpp"
+#include "obs/span.hpp"
 
 namespace dust::dataplane {
 
 BlockStreamer::BlockStreamer(wire::SocketTransport& transport,
                              telemetry::Tsdb& tsdb,
                              BlockStreamerConfig config)
-    : transport_(&transport), tsdb_(&tsdb), config_(std::move(config)) {
+    : transport_(&transport),
+      tsdb_(&tsdb),
+      config_(std::move(config)),
+      span_track_("streamer-" + std::to_string(config_.owner)) {
   policy_.mode = telemetry::DegradeMode::kFull;
   policy_.keep_probability = config_.sampled_keep_probability;
   policy_.aggregate_window_ms = config_.aggregate_window_ms;
@@ -120,6 +124,11 @@ std::size_t BlockStreamer::ship(std::vector<PendingBlock> batch) {
   body.batch_seq = batch_seq;
   body.mode = policy_.mode;
   body.keep_probability = policy_.keep_probability;
+  // One instant span per batch, hung under the offload chain that placed
+  // the agents here; its context crosses the wire so the collector's ingest
+  // span joins the same trace.
+  body.trace = obs::record_instant(obs::MetricRegistry::global(),
+                                   "data_blocks", span_track_, trace_);
   std::vector<wire::PayloadRef> payloads;
   body.blocks.reserve(owned->size());
   payloads.reserve(owned->size());
@@ -142,9 +151,10 @@ std::size_t BlockStreamer::ship(std::vector<PendingBlock> batch) {
     payload_bytes += block.payload().size();
   }
   const std::size_t block_count = owned->size();
+  const std::uint64_t batch_trace = body.trace.trace_id;
   wire::Frame frame =
       wire::data_blocks_frame(config_.local_endpoint, config_.collector,
-                              std::move(body));
+                              std::move(body), batch_trace);
   wire::GatherFrame encoded =
       wire::encode_data_blocks_gather(frame, payloads);
   if (!transport_->send_data_frame(config_.local_endpoint, config_.collector,

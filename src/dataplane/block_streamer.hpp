@@ -19,6 +19,7 @@
 #include <unordered_map>
 
 #include "graph/graph.hpp"
+#include "obs/trace.hpp"
 #include "telemetry/sampling.hpp"
 #include "telemetry/tsdb.hpp"
 #include "wire/socket_transport.hpp"
@@ -80,6 +81,15 @@ class BlockStreamer {
     mode_listener_ = std::move(listener);
   }
 
+  /// Causal parent for the data-block spans this streamer records (one
+  /// "data_blocks" instant per shipped batch, track "streamer-<owner>").
+  /// A DustClient passes its last_host_trace() so the batches hang under
+  /// the offload chain that placed the agents here; the context also rides
+  /// DataBlocksBody::trace so the collector parents its ingest span on the
+  /// same chain across processes.
+  void set_trace(const obs::TraceContext& trace) { trace_ = trace; }
+  [[nodiscard]] obs::TraceContext trace() const noexcept { return trace_; }
+
   /// One streaming tick: probe backpressure (walking the degradation ladder
   /// if needed), drain every series' sealed blocks, thin them per the
   /// current mode, coalesce into frames, and hand them to the transport.
@@ -118,6 +128,8 @@ class BlockStreamer {
   wire::SocketTransport* transport_;
   telemetry::Tsdb* tsdb_;
   BlockStreamerConfig config_;
+  obs::TraceContext trace_{};  ///< parent for per-batch spans
+  std::string span_track_;     ///< "streamer-<owner>", precomputed
   telemetry::SamplingPolicy policy_;
   ModeListener mode_listener_;
   StreamerStats stats_;

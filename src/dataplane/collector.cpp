@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "obs/metrics.hpp"
+#include "obs/span.hpp"
 #include "util/log.hpp"
 
 namespace dust::dataplane {
@@ -111,6 +112,13 @@ void Collector::on_blocks(wire::Frame&& frame) {
     ++stats_.out_of_order;  // duplicate or reordered batch
     return;
   }
+  // The streamer's per-batch context crossed the wire in the body: the
+  // ingest event joins the offload chain's trace, so a stitched fleet
+  // Perfetto file runs STAT → solve → offload → transfer → data_blocks →
+  // collect_blocks across processes.
+  if (body.trace.valid())
+    obs::record_instant(obs::MetricRegistry::global(), "collect_blocks",
+                        "collector", body.trace);
   // Any skipped batch must have been declared dropped before its data
   // could have arrived (declarations ride kNormal, data rides kLow).
   for (std::uint64_t seq = owner.next_batch_seq; seq < body.batch_seq; ++seq) {

@@ -144,6 +144,7 @@ RegistrySnapshot MetricRegistry::snapshot() const {
   snap.spans.reserve(spans_.size());
   for (std::size_t i = 0; i < spans_.size(); ++i)
     snap.spans.push_back(spans_[(span_head_ + i) % spans_.size()]);
+  snap.spans_recorded = spans_recorded_.load(std::memory_order_relaxed);
   return snap;
 }
 
@@ -154,6 +155,7 @@ void MetricRegistry::reset() {
   for (Entry<Histogram>& entry : histograms_) entry.metric->reset();
   spans_.clear();
   span_head_ = 0;
+  spans_recorded_.store(0, std::memory_order_relaxed);
 }
 
 void MetricRegistry::record_span(SpanRecord record) {
@@ -164,11 +166,31 @@ void MetricRegistry::record_span(SpanRecord record) {
     spans_[span_head_] = std::move(record);
     span_head_ = (span_head_ + 1) % kMaxSpans;
   }
+  spans_recorded_.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::uint64_t MetricRegistry::copy_spans_since(
+    std::uint64_t after_index, std::vector<SpanRecord>& out) const {
+  std::lock_guard lock(mutex_);
+  const std::uint64_t total = spans_recorded_.load(std::memory_order_relaxed);
+  if (total <= after_index) return total;
+  std::uint64_t available = total - after_index;
+  if (available > spans_.size()) available = spans_.size();  // ring evicted
+  // i-th oldest surviving span sits at (span_head_ + i) % size.
+  const std::size_t skip = spans_.size() - static_cast<std::size_t>(available);
+  for (std::size_t i = skip; i < spans_.size(); ++i)
+    out.push_back(spans_[(span_head_ + i) % spans_.size()]);
+  return total;
 }
 
 std::size_t MetricRegistry::counter_count() const {
   std::lock_guard lock(mutex_);
   return counters_.size();
+}
+
+std::size_t MetricRegistry::gauge_count() const {
+  std::lock_guard lock(mutex_);
+  return gauges_.size();
 }
 
 std::size_t MetricRegistry::histogram_count() const {

@@ -138,6 +138,20 @@ class Histogram {
   [[nodiscard]] std::uint64_t count() const noexcept {
     return count_.load(std::memory_order_relaxed);
   }
+  /// Raw (non-cumulative) count of one bucket — the allocation-free read
+  /// path the snapshot delta encoder diffs against its baseline.
+  [[nodiscard]] std::uint64_t bucket_count(int index) const noexcept {
+    return buckets_[index].load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] double sum() const noexcept {
+    return sum_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] double observed_min() const noexcept {
+    return min_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] double observed_max() const noexcept {
+    return max_.load(std::memory_order_relaxed);
+  }
   [[nodiscard]] HistogramSnapshot snapshot() const;
   void reset() noexcept;
 
@@ -206,6 +220,9 @@ struct RegistrySnapshot {
   std::vector<GaugeSnapshot> gauges;
   std::vector<NamedHistogramSnapshot> histograms;
   std::vector<SpanRecord> spans;  ///< most recent completed spans, oldest first
+  /// Lifetime total of record_span() calls (the ring keeps only the last
+  /// kMaxSpans of them) — the cursor the snapshot span tail keys off.
+  std::uint64_t spans_recorded = 0;
 
   [[nodiscard]] const CounterSnapshot* find_counter(const std::string& name) const;
   [[nodiscard]] const GaugeSnapshot* find_gauge(const std::string& name) const;
@@ -238,7 +255,42 @@ class MetricRegistry {
   /// Append a completed span to the bounded trace buffer (oldest evicted).
   void record_span(SpanRecord record);
 
+  /// Lifetime total of record_span() calls. Lock-free read: the snapshot
+  /// responder's dirty check polls this on every scrape.
+  [[nodiscard]] std::uint64_t spans_recorded() const noexcept {
+    return spans_recorded_.load(std::memory_order_relaxed);
+  }
+
+  /// Append the spans recorded after global index `after_index` to `out`
+  /// (oldest first) and return the new high-water index. The ring bounds
+  /// history: at most the newest kMaxSpans spans are still available, older
+  /// ones were evicted and are silently skipped.
+  std::uint64_t copy_spans_since(std::uint64_t after_index,
+                                 std::vector<SpanRecord>& out) const;
+
+  /// Allocation-free iteration over registered metrics, in registration
+  /// order (append-only, so indices are stable for the registry's
+  /// lifetime). Callbacks run under the registry mutex: read values, don't
+  /// call back into the registry.
+  template <typename F>
+  void for_each_counter(F&& fn) const {
+    std::lock_guard lock(mutex_);
+    for (const Entry<Counter>& entry : counters_) fn(entry.name, *entry.metric);
+  }
+  template <typename F>
+  void for_each_gauge(F&& fn) const {
+    std::lock_guard lock(mutex_);
+    for (const Entry<Gauge>& entry : gauges_) fn(entry.name, *entry.metric);
+  }
+  template <typename F>
+  void for_each_histogram(F&& fn) const {
+    std::lock_guard lock(mutex_);
+    for (const Entry<Histogram>& entry : histograms_)
+      fn(entry.name, *entry.metric);
+  }
+
   [[nodiscard]] std::size_t counter_count() const;
+  [[nodiscard]] std::size_t gauge_count() const;
   [[nodiscard]] std::size_t histogram_count() const;
 
   /// Process-wide registry the built-in instrumentation writes to.
@@ -262,6 +314,7 @@ class MetricRegistry {
   std::vector<Entry<Histogram>> histograms_;
   std::vector<SpanRecord> spans_;
   std::size_t span_head_ = 0;  ///< ring cursor once spans_ is full
+  std::atomic<std::uint64_t> spans_recorded_{0};
 };
 
 }  // namespace dust::obs

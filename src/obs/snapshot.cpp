@@ -1,0 +1,436 @@
+#include "obs/snapshot.hpp"
+
+#include <bit>
+#include <cstring>
+
+namespace dust::obs {
+
+namespace {
+
+// Little-endian primitives, mirroring the wire codec's but local to obs so
+// the snapshot schema carries no dust_wire dependency (dust_wire links
+// dust_obs, not the other way around).
+
+class Writer {
+ public:
+  explicit Writer(std::vector<std::uint8_t>& out) : out_(&out) {}
+
+  void u8(std::uint8_t v) { out_->push_back(v); }
+  void u16(std::uint16_t v) {
+    u8(static_cast<std::uint8_t>(v));
+    u8(static_cast<std::uint8_t>(v >> 8));
+  }
+  void u32(std::uint32_t v) {
+    u16(static_cast<std::uint16_t>(v));
+    u16(static_cast<std::uint16_t>(v >> 16));
+  }
+  void u64(std::uint64_t v) {
+    u32(static_cast<std::uint32_t>(v));
+    u32(static_cast<std::uint32_t>(v >> 32));
+  }
+  void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+  void f64(double v) { u64(std::bit_cast<std::uint64_t>(v)); }
+  void str16(const std::string& s) {
+    const std::size_t n = s.size() > 0xFFFF ? 0xFFFF : s.size();
+    u16(static_cast<std::uint16_t>(n));
+    out_->insert(out_->end(), s.begin(), s.begin() + static_cast<long>(n));
+  }
+
+ private:
+  std::vector<std::uint8_t>* out_;
+};
+
+class Reader {
+ public:
+  Reader(const std::uint8_t* data, std::size_t size)
+      : data_(data), size_(size) {}
+
+  [[nodiscard]] bool ok() const noexcept { return ok_; }
+  [[nodiscard]] bool exhausted() const noexcept { return pos_ == size_; }
+
+  std::uint8_t u8() {
+    if (!take(1)) return 0;
+    return data_[pos_ - 1];
+  }
+  std::uint16_t u16() {
+    if (!take(2)) return 0;
+    return static_cast<std::uint16_t>(data_[pos_ - 2] |
+                                      (data_[pos_ - 1] << 8));
+  }
+  std::uint32_t u32() {
+    const std::uint32_t lo = u16();
+    const std::uint32_t hi = u16();
+    return lo | (hi << 16);
+  }
+  std::uint64_t u64() {
+    const std::uint64_t lo = u32();
+    const std::uint64_t hi = u32();
+    return lo | (hi << 32);
+  }
+  std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
+  double f64() { return std::bit_cast<double>(u64()); }
+  std::string str16() {
+    const std::uint16_t n = u16();
+    if (!take(n)) return {};
+    return std::string(reinterpret_cast<const char*>(data_ + pos_ - n), n);
+  }
+  /// Count prefix with a minimum-bytes-per-element sanity bound, so a
+  /// corrupt count fails fast instead of looping or ballooning a reserve.
+  std::uint32_t count32(std::size_t min_element_bytes) {
+    const std::uint32_t n = u32();
+    if (ok_ && min_element_bytes > 0 &&
+        static_cast<std::uint64_t>(n) * min_element_bytes > size_ - pos_)
+      ok_ = false;
+    return ok_ ? n : 0;
+  }
+
+ private:
+  bool take(std::size_t n) {
+    if (!ok_ || size_ - pos_ < n) {
+      ok_ = false;
+      return false;
+    }
+    pos_ += n;
+    return true;
+  }
+
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+constexpr std::uint8_t kFlagFull = 0x01;
+
+void put_span(Writer& w, const SpanRecord& span) {
+  w.str16(span.name);
+  w.str16(span.track);
+  w.f64(span.wall_ms);
+  w.i64(span.sim_start_ms);
+  w.i64(span.sim_duration_ms);
+  w.f64(span.wall_start_ms);
+  w.u64(span.trace_id);
+  w.u64(span.span_id);
+  w.u64(span.parent_span_id);
+}
+
+SpanRecord get_span(Reader& r) {
+  SpanRecord span;
+  span.name = r.str16();
+  span.track = r.str16();
+  span.wall_ms = r.f64();
+  span.sim_start_ms = r.i64();
+  span.sim_duration_ms = r.i64();
+  span.wall_start_ms = r.f64();
+  span.trace_id = r.u64();
+  span.span_id = r.u64();
+  span.parent_span_id = r.u64();
+  return span;
+}
+
+}  // namespace
+
+SnapshotEncoder::SnapshotEncoder(const MetricRegistry& registry)
+    : registry_(&registry) {
+  span_buffer_.reserve(MetricRegistry::kMaxSpans);
+}
+
+void SnapshotEncoder::discover() {
+  // The registry is append-only, so state index i always matches the i-th
+  // registered metric of that kind; only the tail can be new.
+  if (registry_->counter_count() > counters_.size()) {
+    std::size_t index = 0;
+    registry_->for_each_counter([&](const std::string& name,
+                                    const Counter& metric) {
+      if (index++ < counters_.size()) return;
+      CounterState state;
+      state.metric = &metric;
+      state.name = name;
+      counters_.push_back(std::move(state));
+    });
+  }
+  if (registry_->gauge_count() > gauges_.size()) {
+    std::size_t index = 0;
+    registry_->for_each_gauge([&](const std::string& name,
+                                  const Gauge& metric) {
+      if (index++ < gauges_.size()) return;
+      GaugeState state;
+      state.metric = &metric;
+      state.name = name;
+      gauges_.push_back(std::move(state));
+    });
+  }
+  if (registry_->histogram_count() > histograms_.size()) {
+    std::size_t index = 0;
+    registry_->for_each_histogram([&](const std::string& name,
+                                      const Histogram& metric) {
+      if (index++ < histograms_.size()) return;
+      HistogramState state;
+      state.metric = &metric;
+      state.name = name;
+      histograms_.push_back(std::move(state));
+    });
+  }
+}
+
+bool SnapshotEncoder::dirty() const {
+  for (const CounterState& c : counters_)
+    if (c.metric->value() != c.acked) return true;
+  for (const GaugeState& g : gauges_)
+    if (std::bit_cast<std::uint64_t>(g.metric->value()) != g.acked_bits)
+      return true;
+  // Every observe bumps the histogram count, so count alone decides.
+  for (const HistogramState& h : histograms_)
+    if (h.metric->count() != h.acked_count) return true;
+  return registry_->spans_recorded() != acked_spans_;
+}
+
+bool SnapshotEncoder::encode(std::int64_t source_now_ms,
+                             std::vector<std::uint8_t>& out) {
+  // Discovery first: a brand-new metric is itself a change, but its state
+  // starts at a zero baseline so the dirty check below still sees it (a
+  // registered-but-never-touched metric correctly stays invisible).
+  if (registry_->counter_count() > counters_.size() ||
+      registry_->gauge_count() > gauges_.size() ||
+      registry_->histogram_count() > histograms_.size())
+    discover();
+  if (!dirty()) return false;  // the hot-tick path: no frame, no allocation
+
+  out.clear();
+  Writer w(out);
+  ++seq_;
+  w.u8(kSnapshotVersion);
+  w.u8(acked_seq_ == 0 ? kFlagFull : 0);
+  w.u16(0);
+  w.u64(seq_);
+  w.u64(acked_seq_);
+  w.i64(source_now_ms);
+
+  // Definitions: every metric emitted below whose (kind, id, name) the
+  // scraper has not acked yet. Re-sent until acked — the reply carrying the
+  // first copy may have been shed.
+  std::uint32_t def_count = 0;
+  const std::size_t def_count_at = out.size();
+  w.u32(0);  // patched below
+  const auto put_def = [&](SnapshotKind kind, std::uint32_t id,
+                           const std::string& name) {
+    w.u8(static_cast<std::uint8_t>(kind));
+    w.u32(id);
+    w.str16(name);
+    ++def_count;
+  };
+  for (std::uint32_t i = 0; i < counters_.size(); ++i) {
+    CounterState& c = counters_[i];
+    if (c.metric->value() != c.acked && !c.def_acked) {
+      put_def(SnapshotKind::kCounter, i, c.name);
+      c.def_pending = true;
+    }
+  }
+  for (std::uint32_t i = 0; i < gauges_.size(); ++i) {
+    GaugeState& g = gauges_[i];
+    if (std::bit_cast<std::uint64_t>(g.metric->value()) != g.acked_bits &&
+        !g.def_acked) {
+      put_def(SnapshotKind::kGauge, i, g.name);
+      g.def_pending = true;
+    }
+  }
+  for (std::uint32_t i = 0; i < histograms_.size(); ++i) {
+    HistogramState& h = histograms_[i];
+    if (h.metric->count() != h.acked_count && !h.def_acked) {
+      put_def(SnapshotKind::kHistogram, i, h.name);
+      h.def_pending = true;
+    }
+  }
+  out[def_count_at + 0] = static_cast<std::uint8_t>(def_count);
+  out[def_count_at + 1] = static_cast<std::uint8_t>(def_count >> 8);
+  out[def_count_at + 2] = static_cast<std::uint8_t>(def_count >> 16);
+  out[def_count_at + 3] = static_cast<std::uint8_t>(def_count >> 24);
+
+  // Counter deltas.
+  std::uint32_t emitted = 0;
+  std::size_t count_at = out.size();
+  w.u32(0);
+  for (std::uint32_t i = 0; i < counters_.size(); ++i) {
+    CounterState& c = counters_[i];
+    const std::uint64_t value = c.metric->value();
+    c.pending = value;
+    if (value == c.acked) continue;
+    w.u32(i);
+    w.u64(value - c.acked);  // counters are monotonic; wrap is a reset
+    ++emitted;
+  }
+  const auto patch_u32 = [&](std::size_t at, std::uint32_t v) {
+    out[at + 0] = static_cast<std::uint8_t>(v);
+    out[at + 1] = static_cast<std::uint8_t>(v >> 8);
+    out[at + 2] = static_cast<std::uint8_t>(v >> 16);
+    out[at + 3] = static_cast<std::uint8_t>(v >> 24);
+  };
+  patch_u32(count_at, emitted);
+
+  // Gauge values (absolute — a gauge has no meaningful delta).
+  emitted = 0;
+  count_at = out.size();
+  w.u32(0);
+  for (std::uint32_t i = 0; i < gauges_.size(); ++i) {
+    GaugeState& g = gauges_[i];
+    const std::uint64_t bits = std::bit_cast<std::uint64_t>(g.metric->value());
+    g.pending_bits = bits;
+    if (bits == g.acked_bits) continue;
+    w.u32(i);
+    w.u64(bits);
+    ++emitted;
+  }
+  patch_u32(count_at, emitted);
+
+  // Histogram deltas: count/sum plus only the buckets that moved.
+  emitted = 0;
+  count_at = out.size();
+  w.u32(0);
+  for (std::uint32_t i = 0; i < histograms_.size(); ++i) {
+    HistogramState& h = histograms_[i];
+    const std::uint64_t count = h.metric->count();
+    const double sum = h.metric->sum();
+    h.pending_count = count;
+    h.pending_sum = sum;
+    for (int b = 0; b < Histogram::kBuckets; ++b)
+      h.pending_buckets[b] = h.metric->bucket_count(b);
+    if (count == h.acked_count) continue;
+    w.u32(i);
+    w.u64(count - h.acked_count);
+    w.f64(sum - h.acked_sum);
+    w.f64(count > 0 ? h.metric->observed_min() : 0.0);
+    w.f64(count > 0 ? h.metric->observed_max() : 0.0);
+    std::uint16_t moved = 0;
+    const std::size_t moved_at = out.size();
+    w.u16(0);
+    for (int b = 0; b < Histogram::kBuckets; ++b) {
+      if (h.pending_buckets[b] == h.acked_buckets[b]) continue;
+      w.u8(static_cast<std::uint8_t>(b));
+      w.u64(h.pending_buckets[b] - h.acked_buckets[b]);
+      ++moved;
+    }
+    out[moved_at + 0] = static_cast<std::uint8_t>(moved);
+    out[moved_at + 1] = static_cast<std::uint8_t>(moved >> 8);
+    ++emitted;
+  }
+  patch_u32(count_at, emitted);
+
+  // Span tail: everything recorded since the acked baseline that the ring
+  // still holds.
+  span_buffer_.clear();
+  pending_spans_ = registry_->copy_spans_since(acked_spans_, span_buffer_);
+  w.u32(static_cast<std::uint32_t>(span_buffer_.size()));
+  for (const SpanRecord& span : span_buffer_) put_span(w, span);
+  return true;
+}
+
+void SnapshotEncoder::ack(std::uint64_t seq) {
+  if (seq == 0 || seq != seq_ || seq == acked_seq_) return;
+  for (CounterState& c : counters_) {
+    c.acked = c.pending;
+    c.def_acked = c.def_acked || c.def_pending;
+    c.def_pending = false;
+  }
+  for (GaugeState& g : gauges_) {
+    g.acked_bits = g.pending_bits;
+    g.def_acked = g.def_acked || g.def_pending;
+    g.def_pending = false;
+  }
+  for (HistogramState& h : histograms_) {
+    h.acked_count = h.pending_count;
+    h.acked_sum = h.pending_sum;
+    std::memcpy(h.acked_buckets, h.pending_buckets, sizeof(h.acked_buckets));
+    h.def_acked = h.def_acked || h.def_pending;
+    h.def_pending = false;
+  }
+  acked_spans_ = pending_spans_;
+  acked_seq_ = seq;
+}
+
+void SnapshotEncoder::reset() {
+  counters_.clear();
+  gauges_.clear();
+  histograms_.clear();
+  seq_ = 0;
+  acked_seq_ = 0;
+  acked_spans_ = 0;
+  pending_spans_ = 0;
+}
+
+bool decode_snapshot(const std::uint8_t* data, std::size_t size,
+                     SnapshotDelta& out) {
+  out = SnapshotDelta{};
+  Reader r(data, size);
+  if (r.u8() != kSnapshotVersion) return false;
+  const std::uint8_t flags = r.u8();
+  if ((flags & ~kFlagFull) != 0) return false;
+  out.full = (flags & kFlagFull) != 0;
+  if (r.u16() != 0) return false;  // reserved must be zero
+  out.seq = r.u64();
+  out.base_seq = r.u64();
+  out.source_now_ms = r.i64();
+  if (!r.ok() || out.seq == 0) return false;
+  if (out.full != (out.base_seq == 0)) return false;
+
+  const std::uint32_t def_count = r.count32(1 + 4 + 2);
+  out.defs.reserve(def_count);
+  for (std::uint32_t i = 0; i < def_count && r.ok(); ++i) {
+    SnapshotDelta::Def def;
+    const std::uint8_t kind = r.u8();
+    if (kind > static_cast<std::uint8_t>(SnapshotKind::kHistogram))
+      return false;
+    def.kind = static_cast<SnapshotKind>(kind);
+    def.id = r.u32();
+    def.name = r.str16();
+    out.defs.push_back(std::move(def));
+  }
+
+  const std::uint32_t counter_count = r.count32(4 + 8);
+  out.counters.reserve(counter_count);
+  for (std::uint32_t i = 0; i < counter_count && r.ok(); ++i) {
+    SnapshotDelta::CounterDelta delta;
+    delta.id = r.u32();
+    delta.delta = r.u64();
+    out.counters.push_back(delta);
+  }
+
+  const std::uint32_t gauge_count = r.count32(4 + 8);
+  out.gauges.reserve(gauge_count);
+  for (std::uint32_t i = 0; i < gauge_count && r.ok(); ++i) {
+    SnapshotDelta::GaugeValue value;
+    value.id = r.u32();
+    value.value = r.f64();
+    out.gauges.push_back(value);
+  }
+
+  const std::uint32_t hist_count = r.count32(4 + 8 + 8 + 8 + 8 + 2);
+  out.histograms.reserve(hist_count);
+  for (std::uint32_t i = 0; i < hist_count && r.ok(); ++i) {
+    SnapshotDelta::HistogramDelta delta;
+    delta.id = r.u32();
+    delta.count_delta = r.u64();
+    delta.sum_delta = r.f64();
+    delta.min = r.f64();
+    delta.max = r.f64();
+    const std::uint16_t moved = r.u16();
+    if (moved > Histogram::kBuckets) return false;
+    delta.buckets.reserve(moved);
+    for (std::uint16_t b = 0; b < moved && r.ok(); ++b) {
+      SnapshotDelta::BucketDelta bucket;
+      bucket.index = r.u8();
+      if (bucket.index >= Histogram::kBuckets) return false;
+      bucket.delta = r.u64();
+      delta.buckets.push_back(bucket);
+    }
+    out.histograms.push_back(std::move(delta));
+  }
+
+  const std::uint32_t span_count = r.count32(2 + 2 + 8 * 7);
+  out.spans.reserve(span_count);
+  for (std::uint32_t i = 0; i < span_count && r.ok(); ++i)
+    out.spans.push_back(get_span(r));
+
+  return r.ok() && r.exhausted();
+}
+
+}  // namespace dust::obs

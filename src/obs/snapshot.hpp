@@ -1,0 +1,164 @@
+// Compact binary metric-snapshot codec for the fleet observability plane
+// (DESIGN.md §15). A SnapshotEncoder turns one MetricRegistry into a stream
+// of *deltas* against the last baseline the scraper acknowledged:
+//
+//   - metric names are interned: each metric gets a small integer id on
+//     first emission and a (kind, id, name) definition that is re-sent until
+//     the scraper acks a snapshot containing it — after that only the id
+//     crosses the wire;
+//   - counters ship u64 deltas, gauges ship raw IEEE-754 bits when the bit
+//     pattern changed, histograms ship per-bucket-index count deltas plus
+//     count/sum deltas — a metric that did not move since the acked
+//     baseline costs zero bytes;
+//   - completed spans ride as an optional tail, keyed off the registry's
+//     monotonic spans_recorded index, so cross-process traces can be
+//     stitched by the aggregator.
+//
+// The ack protocol tolerates shed replies: snapshots travel at kLow QoS
+// (DUST dogfoods its own telemetry tier) and may be dropped at a full
+// queue, so the encoder only advances its baseline when the *scraper* echos
+// the last sent seq back in the next scrape. An unacked snapshot is simply
+// re-computed against the old baseline — deltas are cumulative-since-ack,
+// never applied twice, never lost.
+//
+// This header lives in dust::obs (not dust::wire) so the schema has no wire
+// dependency; the kObsSnapshot frame carries the encoded payload as opaque
+// bytes. decode_snapshot() is fully bounds-checked and never throws — it is
+// fuzzed alongside the wire decoder.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace dust::obs {
+
+inline constexpr std::uint8_t kSnapshotVersion = 1;
+
+/// Metric kind tags inside definitions (u8 on the wire).
+enum class SnapshotKind : std::uint8_t {
+  kCounter = 0,
+  kGauge = 1,
+  kHistogram = 2,
+};
+
+/// One decoded snapshot payload, before merging into an Aggregator.
+struct SnapshotDelta {
+  std::uint64_t seq = 0;       ///< this snapshot's sequence number
+  std::uint64_t base_seq = 0;  ///< baseline it was diffed against (0 = full)
+  bool full = false;           ///< receiver must reset its node state first
+  std::int64_t source_now_ms = 0;  ///< responder clock at encode time
+
+  struct Def {
+    SnapshotKind kind = SnapshotKind::kCounter;
+    std::uint32_t id = 0;
+    std::string name;
+  };
+  struct CounterDelta {
+    std::uint32_t id = 0;
+    std::uint64_t delta = 0;
+  };
+  struct GaugeValue {
+    std::uint32_t id = 0;
+    double value = 0.0;
+  };
+  struct BucketDelta {
+    std::uint8_t index = 0;  ///< log-bucket index, < Histogram::kBuckets
+    std::uint64_t delta = 0;
+  };
+  struct HistogramDelta {
+    std::uint32_t id = 0;
+    std::uint64_t count_delta = 0;
+    double sum_delta = 0.0;
+    double min = 0.0;  ///< absolute observed extremes (monotone, not deltas)
+    double max = 0.0;
+    std::vector<BucketDelta> buckets;
+  };
+
+  std::vector<Def> defs;
+  std::vector<CounterDelta> counters;
+  std::vector<GaugeValue> gauges;
+  std::vector<HistogramDelta> histograms;
+  std::vector<SpanRecord> spans;  ///< spans recorded since the acked baseline
+};
+
+/// Decode one snapshot payload. Returns false on any structural violation
+/// (bad version, out-of-range kind or bucket index, truncation, trailing
+/// bytes); never throws, never reads past `size`.
+[[nodiscard]] bool decode_snapshot(const std::uint8_t* data, std::size_t size,
+                                   SnapshotDelta& out);
+
+/// Per-scraper delta state over one registry. Single-threaded, like the
+/// transport that drives it.
+class SnapshotEncoder {
+ public:
+  explicit SnapshotEncoder(const MetricRegistry& registry);
+
+  /// Encode the delta since the acked baseline into `out`. Returns false —
+  /// without touching `out` and without allocating — when nothing changed:
+  /// the responder then sends no frame at all (the hot-tick guarantee the
+  /// obs-overhead bench holds the scrape path to). On true, `out` holds the
+  /// payload and last_seq() names it for the ack round trip.
+  bool encode(std::int64_t source_now_ms, std::vector<std::uint8_t>& out);
+
+  /// The scraper applied snapshot `seq`: promote that encode's captured
+  /// values to the delta baseline. Acks for any other seq are ignored — the
+  /// kLow reply carrying it was shed and the next encode re-diffs from the
+  /// old baseline.
+  void ack(std::uint64_t seq);
+
+  /// Drop all baselines: the next encode is a full snapshot (base_seq 0).
+  void reset();
+
+  [[nodiscard]] std::uint64_t last_seq() const noexcept { return seq_; }
+  [[nodiscard]] std::uint64_t acked_seq() const noexcept { return acked_seq_; }
+
+ private:
+  struct CounterState {
+    const Counter* metric = nullptr;
+    std::string name;
+    std::uint64_t acked = 0;
+    std::uint64_t pending = 0;
+    bool def_acked = false;
+    bool def_pending = false;
+  };
+  struct GaugeState {
+    const Gauge* metric = nullptr;
+    std::string name;
+    std::uint64_t acked_bits = 0;  ///< IEEE-754 bits at the baseline
+    std::uint64_t pending_bits = 0;
+    bool def_acked = false;
+    bool def_pending = false;
+  };
+  struct HistogramState {
+    const Histogram* metric = nullptr;
+    std::string name;
+    std::uint64_t acked_buckets[Histogram::kBuckets] = {};
+    std::uint64_t pending_buckets[Histogram::kBuckets] = {};
+    std::uint64_t acked_count = 0;
+    std::uint64_t pending_count = 0;
+    double acked_sum = 0.0;
+    double pending_sum = 0.0;
+    bool def_acked = false;
+    bool def_pending = false;
+  };
+
+  /// Pick up metrics registered since the last call (appends only — the
+  /// registry never removes entries, so indices stay aligned).
+  void discover();
+  [[nodiscard]] bool dirty() const;
+
+  const MetricRegistry* registry_;
+  std::vector<CounterState> counters_;
+  std::vector<GaugeState> gauges_;
+  std::vector<HistogramState> histograms_;
+  std::uint64_t seq_ = 0;        ///< last encoded snapshot
+  std::uint64_t acked_seq_ = 0;  ///< baseline the next encode diffs against
+  std::uint64_t acked_spans_ = 0;
+  std::uint64_t pending_spans_ = 0;
+  std::vector<SpanRecord> span_buffer_;  ///< reused per encode
+};
+
+}  // namespace dust::obs

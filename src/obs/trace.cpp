@@ -26,4 +26,15 @@ void reset_trace_ids() noexcept {
   g_next_span_id.store(1, std::memory_order_relaxed);
 }
 
+void seed_span_ids(std::uint64_t seed) noexcept {
+  // Spread the seed (splitmix64 finalizer) before taking the block index so
+  // similar node names still land in distant blocks.
+  std::uint64_t mixed = seed + 0x9E3779B97F4A7C15ull;
+  mixed = (mixed ^ (mixed >> 30)) * 0xBF58476D1CE4E5B9ull;
+  mixed = (mixed ^ (mixed >> 27)) * 0x94D049BB133111EBull;
+  mixed ^= mixed >> 31;
+  g_next_span_id.store(((mixed & 0xFFFFFF) << 40) | 1,
+                       std::memory_order_relaxed);
+}
+
 }  // namespace dust::obs

@@ -44,4 +44,12 @@ struct TraceContext {
 /// Reset the ID counter (tests only — makes allocation order assertable).
 void reset_trace_ids() noexcept;
 
+/// Move the ID counter into a per-process range. Every process starts its
+/// counter at 1, so spans recorded by different daemons would collide on
+/// span_id when the fleet aggregator stitches them into one trace; daemons
+/// call this once at startup with a process-distinct seed (a hash of the
+/// node name) to give each process a disjoint 2^40-id block. A no-op when
+/// seed maps to block 0, preserving single-process determinism.
+void seed_span_ids(std::uint64_t seed) noexcept;
+
 }  // namespace dust::obs

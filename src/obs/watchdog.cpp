@@ -21,15 +21,57 @@ bool Watchdog::window_mean(const RegistrySnapshot& snapshot,
   // A registry reset mid-flight rewinds the totals; resync and skip the
   // window rather than reporting a negative delta.
   if (hist->count < cursor.count) {
-    cursor = {hist->count, hist->sum};
+    cursor = HistCursor{};
+    cursor.count = hist->count;
+    cursor.sum = hist->sum;
+    for (std::size_t i = 0; i < hist->buckets.size(); ++i)
+      cursor.buckets[i] = hist->buckets[i].count;
     return false;
   }
   const std::uint64_t count = hist->count - cursor.count;
   const double sum = hist->sum - cursor.sum;
-  cursor = {hist->count, hist->sum};
+  cursor.count = hist->count;
+  cursor.sum = hist->sum;
+  for (std::size_t i = 0; i < hist->buckets.size(); ++i)
+    cursor.buckets[i] = hist->buckets[i].count;
   if (count_out != nullptr) *count_out = count;
   if (count < min_count || count == 0) return false;
   if (mean_out != nullptr) *mean_out = sum / static_cast<double>(count);
+  return true;
+}
+
+bool Watchdog::window_quantile(const RegistrySnapshot& snapshot,
+                               const std::string& name, HistCursor& cursor,
+                               std::uint64_t min_count, double q,
+                               double* value_out, std::uint64_t* count_out) {
+  const NamedHistogramSnapshot* hist = snapshot.find_histogram(name);
+  if (hist == nullptr) return false;
+  if (hist->count < cursor.count) {
+    // Registry reset rewound the totals: resync and skip the window.
+    cursor = HistCursor{};
+    cursor.count = hist->count;
+    cursor.sum = hist->sum;
+    for (std::size_t i = 0; i < hist->buckets.size(); ++i)
+      cursor.buckets[i] = hist->buckets[i].count;
+    return false;
+  }
+  HistogramSnapshot window;
+  window.count = hist->count - cursor.count;
+  window.sum = hist->sum - cursor.sum;
+  // Lifetime extremes are valid (if loose) clamp bounds for any window.
+  window.min = hist->min;
+  window.max = hist->max;
+  window.buckets.reserve(hist->buckets.size());
+  for (std::size_t i = 0; i < hist->buckets.size(); ++i) {
+    window.buckets.push_back(BucketSnapshot{
+        hist->buckets[i].upper, hist->buckets[i].count - cursor.buckets[i]});
+    cursor.buckets[i] = hist->buckets[i].count;
+  }
+  cursor.count = hist->count;
+  cursor.sum = hist->sum;
+  if (count_out != nullptr) *count_out = window.count;
+  if (window.count < min_count || window.count == 0) return false;
+  if (value_out != nullptr) *value_out = window.quantile(q);
   return true;
 }
 
@@ -105,15 +147,19 @@ std::vector<Alert> Watchdog::evaluate(std::int64_t sim_now_ms) {
   }
 
   // --- nmdb-staleness ---------------------------------------------------
-  double stale_mean = 0.0;
-  if (window_mean(snapshot, "dust_core_nmdb_staleness_ms", staleness_cursor_,
-                  1, &stale_mean, nullptr) &&
-      primed_ && stale_mean > config_.staleness_limit_ms) {
+  // Tail threshold, not mean: one placement cycle planned on a badly stale
+  // network view is a problem even when the window average looks healthy.
+  double stale_tail = 0.0;
+  if (window_quantile(snapshot, "dust_core_nmdb_staleness_ms",
+                      staleness_cursor_, 1, config_.staleness_quantile,
+                      &stale_tail, nullptr) &&
+      primed_ && stale_tail > config_.staleness_limit_ms) {
     std::ostringstream msg;
-    msg << "NMDB staleness " << stale_mean << " ms exceeds "
-        << config_.staleness_limit_ms
+    msg << "NMDB staleness p"
+        << static_cast<int>(config_.staleness_quantile * 100.0) << " = "
+        << stale_tail << " ms exceeds " << config_.staleness_limit_ms
         << " ms — placement is planning on an outdated network view";
-    raise(alerts, "nmdb-staleness", msg.str(), stale_mean, sim_now_ms);
+    raise(alerts, "nmdb-staleness", msg.str(), stale_tail, sim_now_ms);
   }
 
   // --- replica-substitution --------------------------------------------

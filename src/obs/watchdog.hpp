@@ -13,9 +13,12 @@
 //                                 rolling EWMA baseline of earlier windows
 //   hfr-spike                     dust_core_hfr_percent gauge above
 //                                 `hfr_spike_percent` (heuristic failure rate)
-//   nmdb-staleness                window mean of dust_core_nmdb_staleness_ms
-//                                 above `staleness_limit_ms` — the optimizer
-//                                 is planning on an outdated network view
+//   nmdb-staleness                window p{staleness_quantile} of
+//                                 dust_core_nmdb_staleness_ms above
+//                                 `staleness_limit_ms` — the optimizer is
+//                                 planning on an outdated network view (a
+//                                 tail threshold: one badly stale view
+//                                 matters even when the mean looks fine)
 //   replica-substitution          keepalive failures in the window without a
 //                                 matching REP: a dead destination's workload
 //                                 was not re-homed
@@ -39,8 +42,13 @@ struct WatchdogConfig {
   double latency_baseline_alpha = 0.3;
   /// Heuristic failure rate (percent) above which hfr-spike fires.
   double hfr_spike_percent = 50.0;
-  /// Window-mean NMDB staleness (ms) above which nmdb-staleness fires.
+  /// Window NMDB staleness (ms) above which nmdb-staleness fires.
   double staleness_limit_ms = 180000.0;
+  /// Which windowed quantile of dust_core_nmdb_staleness_ms the staleness
+  /// rule thresholds. Tail quantiles come interpolated from the log buckets
+  /// (obs::HistogramSnapshot::quantile) so a single very stale planning
+  /// cycle trips the rule even when the window mean is healthy.
+  double staleness_quantile = 0.9;
   /// Enable the replica-substitution shortfall rule.
   bool check_replica_substitution = true;
   /// Enable the trust-collapse rule: alert when the
@@ -79,6 +87,9 @@ class Watchdog {
   struct HistCursor {
     std::uint64_t count = 0;
     double sum = 0.0;
+    /// Per-bucket totals at the previous evaluation, so windows can compute
+    /// quantiles (not just means) from the bucket deltas.
+    std::uint64_t buckets[Histogram::kBuckets] = {};
   };
   /// Window (delta) mean of a histogram since the previous evaluation;
   /// false when the window holds fewer than `min_count` samples.
@@ -86,6 +97,14 @@ class Watchdog {
                           const std::string& name, HistCursor& cursor,
                           std::uint64_t min_count, double* mean_out,
                           std::uint64_t* count_out);
+  /// Windowed quantile: rebuilds a HistogramSnapshot from the bucket deltas
+  /// since the previous evaluation and interpolates `q` inside it. The
+  /// lifetime min/max clamp the interpolation (valid, if loose, bounds for
+  /// any window). Advances the cursor like window_mean.
+  static bool window_quantile(const RegistrySnapshot& snapshot,
+                              const std::string& name, HistCursor& cursor,
+                              std::uint64_t min_count, double q,
+                              double* value_out, std::uint64_t* count_out);
 
   void raise(std::vector<Alert>& out, std::string rule, std::string message,
              double value, std::int64_t sim_ms);

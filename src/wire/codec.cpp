@@ -344,6 +344,8 @@ bool get_body(Reader& r, FrameType type, core::Message& out) {
     case FrameType::kAnnounce:
     case FrameType::kDataBlocks:
     case FrameType::kDataDegrade:
+    case FrameType::kObsScrape:
+    case FrameType::kObsSnapshot:
       return false;  // handled separately, never reaches here
   }
   return false;
@@ -385,6 +387,7 @@ bool get_data_blocks_prefix(Reader& r, DataBlocksBody& body,
   if (!r.ok() || mode > kMaxDegradeMode) return false;
   body.mode = static_cast<telemetry::DegradeMode>(mode);
   body.keep_probability = r.f64();
+  body.trace = get_trace(r);
   const std::uint32_t n = r.count32(kMinDescriptorBytes);
   body.blocks.resize(n);
   payload_sizes.resize(n);
@@ -410,6 +413,38 @@ void put_degrade(Writer& w, const DegradeBody& body) {
   w.u64(body.gap_from_batch);
   w.u64(body.gap_to_batch);
   w.u32(body.samples_dropped);
+}
+
+// ---- observability bodies (DESIGN.md §15) ----------------------------------
+
+void put_obs_scrape(Writer& w, const ObsScrapeBody& body) {
+  w.u64(body.scrape_seq);
+  w.u64(body.ack_seq);
+  w.u8(body.request_full ? 1 : 0);
+}
+
+bool get_obs_scrape(Reader& r, ObsScrapeBody& body) {
+  body.scrape_seq = r.u64();
+  body.ack_seq = r.u64();
+  const std::uint8_t flags = r.u8();
+  if (!r.ok() || (flags & ~std::uint8_t{1}) != 0) return false;
+  body.request_full = (flags & 1) != 0;
+  return true;
+}
+
+/// Writes the node + length prefix only; the caller appends the payload
+/// bytes (opaque to the wire layer — the snapshot schema and its own bounds
+/// checking live in obs/snapshot.hpp).
+void put_obs_snapshot_prefix(Writer& w, const ObsSnapshotBody& body) {
+  w.str16(body.node);
+  w.u32(static_cast<std::uint32_t>(body.payload.size()));
+}
+
+bool get_obs_snapshot(Reader& r, ObsSnapshotBody& body) {
+  body.node = r.str16();
+  const std::uint32_t n = r.count32(1);
+  body.payload = r.bytes(n);
+  return r.ok();
 }
 
 bool get_degrade(Reader& r, DegradeBody& body) {
@@ -460,6 +495,8 @@ const char* to_string(FrameType type) noexcept {
     case FrameType::kAnnounce: return "announce";
     case FrameType::kDataBlocks: return "data_blocks";
     case FrameType::kDataDegrade: return "data_degrade";
+    case FrameType::kObsScrape: return "obs_scrape";
+    case FrameType::kObsSnapshot: return "obs_snapshot";
   }
   return "unknown";
 }
@@ -556,6 +593,29 @@ Frame degrade_frame(std::string from, std::string to, DegradeBody body,
   return frame;
 }
 
+Frame obs_scrape_frame(std::string from, std::string to, ObsScrapeBody body) {
+  Frame frame;
+  frame.type = FrameType::kObsScrape;
+  frame.priority = sim::Priority::kNormal;
+  frame.from = std::move(from);
+  frame.to = std::move(to);
+  frame.kind = "obs_scrape";
+  frame.obs_scrape = body;
+  return frame;
+}
+
+Frame obs_snapshot_frame(std::string from, std::string to,
+                         ObsSnapshotBody body) {
+  Frame frame;
+  frame.type = FrameType::kObsSnapshot;
+  frame.priority = sim::Priority::kLow;
+  frame.from = std::move(from);
+  frame.to = std::move(to);
+  frame.kind = "obs_snapshot";
+  frame.obs_snapshot = std::move(body);
+  return frame;
+}
+
 std::vector<std::uint8_t> encode_frame(const Frame& frame) {
   std::vector<std::uint8_t> out;
   out.reserve(64);
@@ -583,6 +643,7 @@ std::vector<std::uint8_t> encode_frame(const Frame& frame) {
     w.u64(body.batch_seq);
     w.u8(static_cast<std::uint8_t>(body.mode));
     w.f64(body.keep_probability);
+    put_trace(w, body.trace);
     w.u32(static_cast<std::uint32_t>(body.blocks.size()));
     for (const DataBlock& block : body.blocks) {
       if (block.payload.size() !=
@@ -595,6 +656,12 @@ std::vector<std::uint8_t> encode_frame(const Frame& frame) {
       out.insert(out.end(), block.payload.begin(), block.payload.end());
   } else if (frame.type == FrameType::kDataDegrade) {
     put_degrade(w, frame.degrade);
+  } else if (frame.type == FrameType::kObsScrape) {
+    put_obs_scrape(w, frame.obs_scrape);
+  } else if (frame.type == FrameType::kObsSnapshot) {
+    put_obs_snapshot_prefix(w, frame.obs_snapshot);
+    out.insert(out.end(), frame.obs_snapshot.payload.begin(),
+               frame.obs_snapshot.payload.end());
   } else {
     if (frame_type_of(frame.message) != frame.type)
       throw std::invalid_argument(
@@ -676,6 +743,18 @@ DecodeResult decode_frame(const std::uint8_t* data, std::size_t size) {
       result.status = DecodeStatus::kMalformedBody;
       return result;
     }
+  } else if (raw_type == static_cast<std::uint16_t>(FrameType::kObsScrape)) {
+    frame.type = FrameType::kObsScrape;
+    if (!get_obs_scrape(r, frame.obs_scrape)) {
+      result.status = DecodeStatus::kMalformedBody;
+      return result;
+    }
+  } else if (raw_type == static_cast<std::uint16_t>(FrameType::kObsSnapshot)) {
+    frame.type = FrameType::kObsSnapshot;
+    if (!get_obs_snapshot(r, frame.obs_snapshot)) {
+      result.status = DecodeStatus::kMalformedBody;
+      return result;
+    }
   } else if (raw_type >=
                  static_cast<std::uint16_t>(FrameType::kOffloadCapable) &&
              raw_type <= static_cast<std::uint16_t>(FrameType::kRelease)) {
@@ -730,6 +809,7 @@ GatherFrame encode_data_blocks_gather(
   w.u64(body.batch_seq);
   w.u8(static_cast<std::uint8_t>(body.mode));
   w.f64(body.keep_probability);
+  put_trace(w, body.trace);
   w.u32(static_cast<std::uint32_t>(body.blocks.size()));
   std::size_t payload_run = 0;
   for (std::size_t i = 0; i < body.blocks.size(); ++i) {

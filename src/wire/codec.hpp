@@ -79,6 +79,16 @@ enum class FrameType : std::uint16_t {
   /// gap. Always kNormal, so the declaration outruns any queued kLow data
   /// frames and a collector learns of a gap before it could observe it.
   kDataDegrade = 201,
+  /// Aggregator -> node: pull request for a metric snapshot (DESIGN.md §15).
+  /// Rides kNormal so the ack it piggybacks always gets through. Body: u64
+  /// scrape_seq, u64 ack_seq (last snapshot seq the scraper applied; 0 =
+  /// none), u8 flags (bit0 = send a full snapshot, drop delta baselines).
+  kObsScrape = 210,
+  /// Node -> aggregator: one obs::SnapshotEncoder payload. Rides kLow —
+  /// DUST dogfoods its own tier design; self-telemetry must never delay
+  /// control traffic, and a shed reply is recovered by the ack protocol.
+  /// Body: str16 node, u32 payload_bytes, opaque snapshot codec bytes.
+  kObsSnapshot = 211,
 };
 
 [[nodiscard]] const char* to_string(FrameType type) noexcept;
@@ -125,6 +135,10 @@ struct DataBlocksBody {
   std::uint64_t batch_seq = 0;  ///< per-(streamer, collector), contiguous
   telemetry::DegradeMode mode = telemetry::DegradeMode::kFull;
   double keep_probability = 1.0;
+  /// Causal parent of this batch (the streamer's per-batch span), so the
+  /// collector can hang its ingest span under the same cross-process trace
+  /// as the offload chain that placed the streamer.
+  obs::TraceContext trace;
   std::vector<DataBlock> blocks;
 };
 
@@ -138,6 +152,24 @@ struct DegradeBody {
   std::uint64_t gap_from_batch = 1;
   std::uint64_t gap_to_batch = 0;
   std::uint32_t samples_dropped = 0;
+};
+
+/// kObsScrape body: the aggregator's pull request (and delta ack).
+struct ObsScrapeBody {
+  std::uint64_t scrape_seq = 0;  ///< per-(scraper, target), monotonic
+  /// Snapshot seq the scraper has applied; the responder promotes its delta
+  /// baseline when this matches its last sent snapshot (obs/snapshot.hpp).
+  std::uint64_t ack_seq = 0;
+  /// Request a full snapshot (responder drops its baselines first). Set
+  /// after the aggregator rejected a delta it had no baseline for.
+  bool request_full = false;
+};
+
+/// kObsSnapshot body: one encoded obs snapshot, opaque to the wire layer
+/// (the schema lives in obs/snapshot.hpp so dust_obs stays wire-free).
+struct ObsSnapshotBody {
+  std::string node;  ///< fleet label for every metric in the payload
+  std::vector<std::uint8_t> payload;
 };
 
 /// One frame, decoded (or about to be encoded). Exactly the information a
@@ -154,6 +186,8 @@ struct Frame {
   std::vector<std::string> announce_endpoints;  ///< valid for kAnnounce
   DataBlocksBody data_blocks;  ///< valid for kDataBlocks
   DegradeBody degrade;         ///< valid for kDataDegrade
+  ObsScrapeBody obs_scrape;    ///< valid for kObsScrape
+  ObsSnapshotBody obs_snapshot;  ///< valid for kObsSnapshot
 };
 
 /// Build a protocol frame around `message` (type tag derived from the
@@ -177,6 +211,16 @@ struct Frame {
 [[nodiscard]] Frame degrade_frame(std::string from, std::string to,
                                   DegradeBody body,
                                   std::uint64_t trace_id = 0);
+
+/// Build a kObsScrape frame (always sim::Priority::kNormal — the pull and
+/// its piggybacked ack must not be shed with the telemetry they govern).
+[[nodiscard]] Frame obs_scrape_frame(std::string from, std::string to,
+                                     ObsScrapeBody body);
+
+/// Build a kObsSnapshot frame (always sim::Priority::kLow — see the QoS
+/// note on the enum).
+[[nodiscard]] Frame obs_snapshot_frame(std::string from, std::string to,
+                                       ObsSnapshotBody body);
 
 /// Borrowed view of payload bytes owned elsewhere (a sealed TSDB block).
 struct PayloadRef {

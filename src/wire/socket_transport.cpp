@@ -394,6 +394,46 @@ bool SocketTransport::send_data_frame(const std::string& from,
       priority, kind, from, to, 0);
 }
 
+bool SocketTransport::send_frame(Frame frame) {
+  ++frames_sent_;
+  metrics_.tx_frames->inc();
+  record_hop(obs::FlightEventKind::kMessageTx, frame.kind, frame.from,
+             frame.to, frame.trace_id);
+  if (local_endpoints_.count(frame.to) > 0) {
+    // Same-process destination: run the codec round trip anyway so the obs
+    // handlers always see decoder-validated frames, local or remote.
+    std::vector<std::uint8_t> bytes = encode_frame(frame);
+    DecodeResult decoded = decode_frame(bytes.data(), bytes.size());
+    if (decoded.status != DecodeStatus::kOk) {
+      ++decode_errors_;
+      metrics_.decode_errors->inc();
+      return false;
+    }
+    obs_queue_.push_back(std::move(decoded.frame));
+    return true;
+  }
+  Peer* peer = config_.role == SocketTransportConfig::Role::kLeaf
+                   ? &hub_link_
+                   : route_of(frame.to);
+  if (peer == nullptr) {
+    drop_frame(frame, "no_endpoint", metrics_.dropped_no_endpoint);
+    return false;
+  }
+  const std::int64_t start_us = steady_us();
+  std::vector<std::uint8_t> bytes = encode_frame(frame);
+  metrics_.encode_us->observe(static_cast<double>(steady_us() - start_us));
+  return enqueue(*peer, TxFrame{std::move(bytes), {}, {}}, frame.priority,
+                 frame.kind, frame.from, frame.to, frame.trace_id);
+}
+
+std::vector<std::string> SocketTransport::remote_endpoint_names(
+    const std::string& prefix) const {
+  std::vector<std::string> names;
+  for (const auto& [name, fd] : remote_endpoints_)
+    if (name.compare(0, prefix.size(), prefix) == 0) names.push_back(name);
+  return names;
+}
+
 const SocketTransport::Peer* SocketTransport::peer_toward(
     const std::string& endpoint) const {
   if (config_.role == SocketTransportConfig::Role::kLeaf) return &hub_link_;
@@ -462,6 +502,13 @@ bool SocketTransport::handle_frame(Peer& peer, DecodeResult decoded) {
       // Data-plane frames bypass the envelope path: they carry compressed
       // blocks, not a core::Message, and land on the data handler.
       data_queue_.push_back(std::move(frame));
+      return true;
+    }
+    if (frame.type == FrameType::kObsScrape ||
+        frame.type == FrameType::kObsSnapshot) {
+      // Observability frames likewise carry typed bodies, not a
+      // core::Message; they land on the obs handlers.
+      obs_queue_.push_back(std::move(frame));
       return true;
     }
     local_queue_.push_back(sim::Envelope{
@@ -611,7 +658,8 @@ std::size_t SocketTransport::poll_once(int timeout_ms) {
   if (hub_link_.fd >= 0) fds.push_back({hub_link_.fd, wants(hub_link_), 0});
 
   // Local-only work pending? Don't sleep on the sockets.
-  if (!local_queue_.empty() || !data_queue_.empty()) timeout_ms = 0;
+  if (!local_queue_.empty() || !data_queue_.empty() || !obs_queue_.empty())
+    timeout_ms = 0;
   if (!fds.empty()) {
     ::poll(fds.data(), static_cast<nfds_t>(fds.size()), timeout_ms);
   }
@@ -704,6 +752,19 @@ std::size_t SocketTransport::poll_once(int timeout_ms) {
     }
     ++delivered;
     data_handler_(std::move(frame));
+  }
+  while (!obs_queue_.empty()) {
+    Frame frame = std::move(obs_queue_.front());
+    obs_queue_.pop_front();
+    std::function<void(Frame&&)>& handler =
+        frame.type == FrameType::kObsScrape ? obs_scrape_handler_
+                                            : obs_snapshot_handler_;
+    if (!handler) {
+      drop_frame(frame, "no_obs_handler", metrics_.dropped_no_endpoint);
+      continue;
+    }
+    ++delivered;
+    handler(std::move(frame));
   }
   return delivered;
 }

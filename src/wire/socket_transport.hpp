@@ -152,6 +152,34 @@ class SocketTransport final : public sim::TransportBase {
     data_handler_ = std::move(handler);
   }
 
+  // --- observability plane --------------------------------------------------
+  /// Queue an already-built obs frame (kObsScrape / kObsSnapshot) toward
+  /// `frame.to`. Encoded through the codec and routed exactly like send();
+  /// local destinations loop back through the obs queue so a scraper and a
+  /// responder on the same transport still exercise the codec. Returns
+  /// false when shed or unroutable.
+  bool send_frame(Frame frame);
+
+  /// Receive path for kObsScrape frames (pull requests from a scraper).
+  /// Separate from the snapshot handler so one transport can host both a
+  /// responder (manager scraping itself is handled via Aggregator::
+  /// ingest_local instead) and a scraper.
+  void set_obs_scrape_handler(std::function<void(Frame&&)> handler) {
+    obs_scrape_handler_ = std::move(handler);
+  }
+
+  /// Receive path for kObsSnapshot frames (kLow replies carrying encoded
+  /// metric snapshots).
+  void set_obs_snapshot_handler(std::function<void(Frame&&)> handler) {
+    obs_snapshot_handler_ = std::move(handler);
+  }
+
+  /// Names of remote endpoints (hub: announced by any leaf) starting with
+  /// `prefix`. The scraper's discovery primitive: responders register
+  /// "dust-obs-<node>" endpoints and the manager enumerates them here.
+  [[nodiscard]] std::vector<std::string> remote_endpoint_names(
+      const std::string& prefix) const;
+
   /// Outbound-queue state of the connection that would carry traffic to
   /// `endpoint` (leaf: always the hub link). Empty default when unroutable.
   [[nodiscard]] QueueState queue_state(const std::string& endpoint) const;
@@ -267,6 +295,11 @@ class SocketTransport final : public sim::TransportBase {
   /// handler; same reentrancy discipline as local_queue_.
   std::deque<Frame> data_queue_;
   std::function<void(Frame&&)> data_handler_;
+  /// Observability frames (kObsScrape/kObsSnapshot) awaiting their
+  /// handlers; same reentrancy discipline as local_queue_.
+  std::deque<Frame> obs_queue_;
+  std::function<void(Frame&&)> obs_scrape_handler_;
+  std::function<void(Frame&&)> obs_snapshot_handler_;
 
   std::uint64_t frames_sent_ = 0;
   std::uint64_t frames_received_ = 0;

@@ -88,7 +88,7 @@ TEST_F(WatchdogTest, HfrSpikeReadsTheHeuristicFailureGauge) {
   EXPECT_NEAR(alerts[0].value, 75.0, 1e-9);
 }
 
-TEST_F(WatchdogTest, NmdbStalenessFiresOnWindowMeanAboveLimit) {
+TEST_F(WatchdogTest, NmdbStalenessFiresOnWindowQuantileAboveLimit) {
   Watchdog dog(registry, tight());
   (void)dog.evaluate();  // prime
   registry.histogram("dust_core_nmdb_staleness_ms").observe(500.0);
@@ -98,8 +98,26 @@ TEST_F(WatchdogTest, NmdbStalenessFiresOnWindowMeanAboveLimit) {
   std::vector<Alert> alerts = dog.evaluate();
   ASSERT_EQ(alerts.size(), 1u);
   EXPECT_EQ(alerts[0].rule, "nmdb-staleness");
-  // Window mean, not lifetime mean: only the new observation counts.
+  // Windowed p90, not lifetime: only the new observation is in the window,
+  // and the interpolated quantile clamps to the observed maximum.
   EXPECT_NEAR(alerts[0].value, 90000.0, 1e-9);
+}
+
+TEST_F(WatchdogTest, NmdbStalenessQuantileIgnoresAHealthyMean) {
+  // 8 fresh views + 1 badly stale one: the window mean (~19 s) is under the
+  // 60 s limit, but p90 lands on the stale tail and fires.
+  WatchdogConfig config = tight();
+  config.staleness_limit_ms = 60000.0;
+  config.staleness_quantile = 0.9;
+  Watchdog dog(registry, config);
+  (void)dog.evaluate();  // prime
+  Histogram& staleness = registry.histogram("dust_core_nmdb_staleness_ms");
+  for (int i = 0; i < 8; ++i) staleness.observe(100.0);
+  staleness.observe(170000.0);
+  std::vector<Alert> alerts = dog.evaluate();
+  ASSERT_EQ(alerts.size(), 1u);
+  EXPECT_EQ(alerts[0].rule, "nmdb-staleness");
+  EXPECT_GT(alerts[0].value, 60000.0);
 }
 
 TEST_F(WatchdogTest, ReplicaSubstitutionShortfallFires) {

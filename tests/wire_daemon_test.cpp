@@ -15,6 +15,9 @@
 #include <bit>
 #include <chrono>
 #include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <map>
 #include <memory>
 #include <set>
 #include <sstream>
@@ -149,6 +152,12 @@ struct ManagerReport {
   long final_offloads = -1;
   long keepalive_failures = -1;
   long redirects = -1;
+  // Observability plane (OBS* lines, printed after FINAL).
+  long obs_nodes = -1;
+  long obs_applied = -1;
+  long obs_spans = -1;
+  long stitched_processes = -1;
+  std::map<std::string, long> obs_node_seq;
 };
 
 void parse_line(const std::string& line, ManagerReport& report) {
@@ -178,6 +187,28 @@ void parse_line(const std::string& line, ManagerReport& report) {
       if (key == "offloads") report.final_offloads = value;
       if (key == "keepalive_failures") report.keepalive_failures = value;
       if (key == "redirects") report.redirects = value;
+    }
+  } else if (tag == "OBS" || tag == "OBS_STITCHED") {
+    std::string field;
+    while (in >> field) {
+      const std::size_t eq = field.find('=');
+      if (eq == std::string::npos) continue;
+      const std::string key = field.substr(0, eq);
+      const std::string value = field.substr(eq + 1);
+      // Note: trace= carries a full u64 id — left unparsed, stol would throw.
+      if (key == "nodes") report.obs_nodes = std::stol(value);
+      if (key == "applied") report.obs_applied = std::stol(value);
+      if (key == "spans") report.obs_spans = std::stol(value);
+      if (key == "processes") report.stitched_processes = std::stol(value);
+    }
+  } else if (tag == "OBS_NODE") {
+    std::string node;
+    std::string field;
+    in >> node;
+    while (in >> field) {
+      const std::size_t eq = field.find('=');
+      if (eq != std::string::npos && field.substr(0, eq) == "seq")
+        report.obs_node_seq[node] = std::stol(field.substr(eq + 1));
     }
   }
 }
@@ -424,6 +455,100 @@ TEST(WireDaemon, ClientProcessDeathSubstitutesReplicaOverTheWire) {
   for (const Assign& assign : report.final_assigns)
     EXPECT_NE(std::get<1>(assign), victim)
         << "a relationship still targets the dead node";
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+TEST(WireDaemon, FleetObservabilityMergesEveryProcessAndStitchesTraces) {
+  // The manager scrapes every process on the hub (two client daemons, one
+  // collector, itself) into one fleet registry, exports it with node=
+  // labels, and stitches spans recorded in different OS processes into one
+  // Perfetto trace. Snapshot rejections are deliberately NOT asserted zero:
+  // a kLow reply straddling scrape rounds triggers a legitimate
+  // reject → request-full resync, which is the protocol healing itself.
+  const std::string prom_path =
+      ::testing::TempDir() + "fleet_obs_" + std::to_string(getpid()) + ".prom";
+  const std::string trace_path =
+      ::testing::TempDir() + "fleet_obs_" + std::to_string(getpid()) + ".json";
+
+  Daemon manager(DUST_MANAGER_DAEMON_BIN,
+                 {"--run-ms", "5000", "--settle-ms", "15000",
+                  "--obs-scrape-ms", "250", "--obs-export", prom_path,
+                  "--obs-trace-out", trace_path},
+                 /*capture_stdout=*/true);
+  ASSERT_TRUE(manager.running());
+  ManagerReport report;
+  const std::uint16_t port = await_port(manager, report);
+  ASSERT_NE(port, 0) << "manager_daemon never printed PORT";
+
+  const std::string port_arg = std::to_string(port);
+  Daemon collector(DUST_COLLECTOR_DAEMON_BIN,
+                   {"--port", port_arg, "--run-ms", "6000"},
+                   /*capture_stdout=*/true);
+  ASSERT_TRUE(collector.running());
+  std::string line;
+  ASSERT_TRUE(collector.read_line(line, wall_ms() + 10000));
+  ASSERT_EQ(line.rfind("READY", 0), 0u);
+
+  // The streaming client gives the trace chain its cross-process tail
+  // (data_blocks spans on the client, collect_blocks on the collector).
+  Daemon streaming(DUST_CLIENT_DAEMON_BIN,
+                   {"--port", port_arg, "--nodes", "0,1,2,3", "--run-ms",
+                    "5000", "--stream"},
+                   /*capture_stdout=*/false);
+  Daemon quiet(DUST_CLIENT_DAEMON_BIN,
+               {"--port", port_arg, "--nodes", "4,5,6,7", "--run-ms", "5000"},
+               /*capture_stdout=*/false);
+  ASSERT_TRUE(streaming.running());
+  ASSERT_TRUE(quiet.running());
+
+  drain(manager, report, wall_ms() + 30000);
+  EXPECT_EQ(manager.wait_exit(), 0);
+  EXPECT_EQ(streaming.wait_exit(), 0);
+  EXPECT_EQ(quiet.wait_exit(), 0);
+  EXPECT_EQ(collector.wait_exit(), 0);
+
+  // Every process merged: the manager itself, both client daemons (named
+  // after their first node), and the collector, each with at least one
+  // applied snapshot.
+  EXPECT_GE(report.obs_nodes, 4);
+  EXPECT_GE(report.obs_applied, 4);
+  EXPECT_GT(report.obs_spans, 0);
+  for (const char* node : {"manager", "client-0", "client-4", "collector"}) {
+    const auto it = report.obs_node_seq.find(node);
+    ASSERT_NE(it, report.obs_node_seq.end()) << node << " was never scraped";
+    EXPECT_GE(it->second, 1) << node;
+  }
+
+  // One stitched trace crosses at least three OS processes.
+  EXPECT_GE(report.stitched_processes, 3);
+
+  // Fleet Prometheus export: every node appears as a label, and the scrape
+  // bandwidth counter the responders maintain made it across the wire.
+  const std::string prom = slurp(prom_path);
+  ASSERT_FALSE(prom.empty()) << "--obs-export wrote nothing";
+  for (const char* node : {"manager", "client-0", "client-4", "collector"})
+    EXPECT_NE(prom.find("node=\"" + std::string(node) + "\""),
+              std::string::npos)
+        << node << " missing from fleet export";
+  EXPECT_NE(prom.find("dust_obs_scrape_bytes_total"), std::string::npos);
+
+  // Perfetto file: one process lane per track prefix, from ≥3 daemons.
+  const std::string trace_json = slurp(trace_path);
+  ASSERT_FALSE(trace_json.empty()) << "--obs-trace-out wrote nothing";
+  int daemons_in_trace = 0;
+  for (const char* prefix : {"manager/", "client-0/", "client-4/",
+                             "collector/"})
+    daemons_in_trace += trace_json.find(prefix) != std::string::npos ? 1 : 0;
+  EXPECT_GE(daemons_in_trace, 3);
+
+  std::remove(prom_path.c_str());
+  std::remove(trace_path.c_str());
 }
 
 }  // namespace
