@@ -7,8 +7,16 @@
 // exact NMDB an in-process run of the same scenario would build.
 //
 //   ./build/examples/client_daemon --port N --nodes 0,1,2
-//       [--scenario FILE] [--run-ms MS] [--die-at-ms MS]
+//       [--scenario FILE] [--manager ENDPOINT] [--run-ms MS] [--die-at-ms MS]
 //       [--stream] [--stream-samples N] [--stream-delay-ms MS]
+//
+// --manager points every hosted client at a non-default manager endpoint —
+// in a federated fleet each shard's manager answers on
+// "dust-manager-shard<s>" (DESIGN.md §16). When the hub link drops and
+// comes back (e.g. a standby took over the shard's port), the transport's
+// reconnect listener re-homes every client: fresh Offload-capable + STAT
+// outrun any stale backlog, so the new primary rebuilds its domain view
+// immediately.
 //
 // --die-at-ms exits the process abruptly (no teardown, sockets reset by the
 // OS) to simulate a node crash: the manager sees keepalive loss and must
@@ -68,6 +76,7 @@ int main(int argc, char** argv) {
   util::init_log_level_from_env();
   std::uint16_t port = 0;
   std::string scenario_file;
+  std::string manager_endpoint;
   std::vector<graph::NodeId> nodes;
   std::int64_t run_ms = 10000;
   std::int64_t die_at_ms = -1;
@@ -82,6 +91,8 @@ int main(int argc, char** argv) {
       nodes = parse_nodes(argv[++i]);
     } else if (arg == "--scenario" && i + 1 < argc) {
       scenario_file = argv[++i];
+    } else if (arg == "--manager" && i + 1 < argc) {
+      manager_endpoint = argv[++i];
     } else if (arg == "--run-ms" && i + 1 < argc) {
       run_ms = std::stoll(argv[++i]);
     } else if (arg == "--die-at-ms" && i + 1 < argc) {
@@ -95,8 +106,8 @@ int main(int argc, char** argv) {
     } else {
       std::cerr << "usage: " << argv[0]
                 << " --port N --nodes 0,1,2 [--scenario FILE]"
-                   " [--run-ms MS] [--die-at-ms MS] [--stream]"
-                   " [--stream-samples N] [--stream-delay-ms MS]\n";
+                   " [--manager ENDPOINT] [--run-ms MS] [--die-at-ms MS]"
+                   " [--stream] [--stream-samples N] [--stream-delay-ms MS]\n";
       return 2;
     }
   }
@@ -138,6 +149,7 @@ int main(int argc, char** argv) {
     config.offload_capable = nmdb.offload_capable(node);
     config.platform_factor = nmdb.platform_factor(node);
     config.keepalive_interval_ms = 300;
+    if (!manager_endpoint.empty()) config.manager = manager_endpoint;
     clients.push_back(std::make_unique<core::DustClient>(
         sim, transport, node, config, util::Rng(100 + node)));
     clients.back()->set_reported_state(
@@ -146,6 +158,13 @@ int main(int argc, char** argv) {
         std::max<std::uint32_t>(1, nmdb.agent_count(node)));
     clients.back()->start();
   }
+
+  // The hub link came back after dropping (manager restart or a standby
+  // taking over the shard's port): re-home every client so the fresh
+  // Offload-capable + STAT outrun whatever stale backlog flushes next.
+  transport.set_reconnect_listener([&clients] {
+    for (auto& client : clients) client->rehome();
+  });
 
   // --stream: the first node doubles as a telemetry origin. Content is
   // deterministic (seeded by node id) so the harness knows the exact sample

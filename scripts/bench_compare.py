@@ -5,13 +5,18 @@ Usage:
     bench_compare.py <baseline.json> <candidate.json> [--threshold 0.10]
     bench_compare.py --self-test
 
-Every record whose metric name contains "ms_per_cycle" is treated as a
-lower-is-better timing; a candidate more than --threshold (default 10%)
-slower than the baseline on the same (metric, config) key fails the compare
-(exit 1). Records that declare an absolute budget in their config string
+Every record whose metric name contains "ms_per_cycle" or "failover" with
+an "_ms" suffix is treated as a lower-is-better timing; a candidate more
+than --threshold (default 10%) slower than the baseline on the same
+(metric, config) key fails the compare (exit 1). Records that declare an absolute budget in their config string
 ("budget=5" — the obs overhead gate, instrumented and scrape-path) fail the
 compare when the candidate value meets or exceeds the budget, regardless of
 how the baseline did. Other metrics are reported informationally.
+
+Rates that are higher-is-neutral telemetry (delegation_rate,
+delegated_share, cache_hit_rate, ...) are reported informationally and never
+fail the compare — a fleet that delegates more is not slower, just shaped
+differently.
 
 Scale safety: reports carry a top-level "topology" object and per-record
 nodes=/edges= config fields. A compare across different topology sizes is
@@ -33,6 +38,18 @@ def load(path):
 
 def record_key(record):
     return (record.get("metric", ""), record.get("config", ""))
+
+
+def is_timing(metric):
+    """Lower-is-better wall/sim-clock metrics the compare gates on.
+
+    "ms_per_cycle" covers the steady-state benches; "failover...*_ms"
+    covers the federation takeover timings (failover_detect_ms,
+    failover_ms), which must not quietly drift past the silence timeout
+    they are supposed to track.
+    """
+    return "ms_per_cycle" in metric or (
+        "failover" in metric and metric.endswith("_ms"))
 
 
 def declared_budget(record):
@@ -83,7 +100,7 @@ def compare(baseline, candidate, threshold):
             continue
         old = base[key]["value"]
         new = record["value"]
-        if "ms_per_cycle" not in key[0]:
+        if not is_timing(key[0]):
             lines.append(f"  info     {key[0]} [{key[1]}]: {old:g} -> {new:g}")
             continue
         if old <= 0:
@@ -138,6 +155,27 @@ def self_test():
     else:
         raise AssertionError("cross-scale compare must be refused")
 
+    fed_base = dict(base)
+    fed_base["records"] = [
+        {"metric": "failover_ms", "config": "standby=1", "value": 5000.0},
+        {"metric": "delegation_rate", "config": "standby=1", "value": 1.0},
+    ]
+    fed_ok = dict(fed_base)
+    fed_ok["records"] = [
+        {"metric": "failover_ms", "config": "standby=1", "value": 5200.0},
+        {"metric": "delegation_rate", "config": "standby=1", "value": 0.2},
+    ]
+    failures, _ = compare(fed_base, fed_ok, 0.10)
+    assert not failures, (
+        f"4% failover slowdown + any delegation-rate change must pass: "
+        f"{failures}")
+    fed_bad = dict(fed_base)
+    fed_bad["records"] = [
+        {"metric": "failover_ms", "config": "standby=1", "value": 6000.0},
+    ]
+    failures, _ = compare(fed_base, fed_bad, 0.10)
+    assert failures, "20% failover slowdown must fail a 10% threshold"
+
     budgeted = dict(base)
     budgeted["records"] = [
         {"metric": "overhead", "config": "budget=5,path=scrape", "value": 4.2},
@@ -182,7 +220,7 @@ def main():
         for failure in failures:
             print(f"  {failure}")
         return 1
-    print("\nPASS: no ms_per_cycle regression beyond threshold")
+    print("\nPASS: no timing regression beyond threshold")
     return 0
 
 

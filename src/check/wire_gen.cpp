@@ -135,6 +135,58 @@ wire::ObsSnapshotBody random_obs_snapshot_body(util::Rng& rng) {
   return body;
 }
 
+wire::ShardHelloBody random_shard_hello_body(util::Rng& rng) {
+  wire::ShardHelloBody body;
+  body.shard = static_cast<std::uint32_t>(rng());
+  body.epoch = rng();
+  body.standby = rng.bernoulli(0.3);
+  body.endpoint = random_string(rng);
+  return body;
+}
+
+wire::CapacityDigestBody random_capacity_digest_body(util::Rng& rng) {
+  wire::CapacityDigestBody body;
+  body.shard = static_cast<std::uint32_t>(rng());
+  body.epoch = rng();
+  body.seq = rng();
+  body.spare = random_double(rng);
+  body.excess = random_double(rng);
+  body.busy_count = static_cast<std::uint32_t>(rng());
+  body.candidate_count = static_cast<std::uint32_t>(rng());
+  return body;
+}
+
+wire::DelegateRequestBody random_delegate_request_body(util::Rng& rng) {
+  wire::DelegateRequestBody body;
+  body.shard = static_cast<std::uint32_t>(rng());
+  body.epoch = rng();
+  body.delegation_id = rng();
+  body.busy = random_node(rng);
+  body.amount = random_double(rng);
+  body.agents = static_cast<std::uint32_t>(rng());
+  body.platform_factor = random_double(rng);
+  return body;
+}
+
+wire::DelegateReplyBody random_delegate_reply_body(util::Rng& rng) {
+  wire::DelegateReplyBody body;
+  body.shard = static_cast<std::uint32_t>(rng());
+  body.epoch = rng();
+  body.delegation_id = rng();
+  body.granted = rng.bernoulli(0.5);
+  body.destination = random_node(rng);
+  body.amount = random_double(rng);
+  return body;
+}
+
+wire::DomainHandoffBody random_domain_handoff_body(util::Rng& rng) {
+  wire::DomainHandoffBody body;
+  body.domain = static_cast<std::uint32_t>(rng());
+  body.epoch = rng();
+  body.endpoint = random_string(rng);
+  return body;
+}
+
 core::Message random_message(util::Rng& rng, std::size_t type_index) {
   switch (type_index % 10) {
     case 0:
@@ -198,6 +250,23 @@ wire::Frame random_frame(util::Rng& rng) {
   if (rng.bernoulli(0.05))
     return wire::obs_snapshot_frame(random_string(rng), random_string(rng),
                                     random_obs_snapshot_body(rng));
+  // Federation frames (manager-to-manager control plane) fuzz too.
+  if (rng.bernoulli(0.04))
+    return wire::shard_hello_frame(random_string(rng), random_string(rng),
+                                   random_shard_hello_body(rng));
+  if (rng.bernoulli(0.04))
+    return wire::capacity_digest_frame(random_string(rng), random_string(rng),
+                                       random_capacity_digest_body(rng));
+  if (rng.bernoulli(0.04))
+    return wire::delegate_request_frame(random_string(rng), random_string(rng),
+                                        random_delegate_request_body(rng),
+                                        rng());
+  if (rng.bernoulli(0.04))
+    return wire::delegate_reply_frame(random_string(rng), random_string(rng),
+                                      random_delegate_reply_body(rng), rng());
+  if (rng.bernoulli(0.04))
+    return wire::domain_handoff_frame(random_string(rng), random_string(rng),
+                                      random_domain_handoff_body(rng));
   core::Message message = random_message(rng, rng.below(10));
   const sim::Priority priority =
       rng.bernoulli(0.5) ? sim::Priority::kLow : sim::Priority::kNormal;

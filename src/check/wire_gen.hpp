@@ -27,6 +27,18 @@ namespace dust::check {
 [[nodiscard]] wire::ObsScrapeBody random_obs_scrape_body(util::Rng& rng);
 [[nodiscard]] wire::ObsSnapshotBody random_obs_snapshot_body(util::Rng& rng);
 
+/// Random federation bodies (DESIGN.md §16) — epochs, shard ids, and
+/// digest totals take arbitrary bit patterns.
+[[nodiscard]] wire::ShardHelloBody random_shard_hello_body(util::Rng& rng);
+[[nodiscard]] wire::CapacityDigestBody random_capacity_digest_body(
+    util::Rng& rng);
+[[nodiscard]] wire::DelegateRequestBody random_delegate_request_body(
+    util::Rng& rng);
+[[nodiscard]] wire::DelegateReplyBody random_delegate_reply_body(
+    util::Rng& rng);
+[[nodiscard]] wire::DomainHandoffBody random_domain_handoff_body(
+    util::Rng& rng);
+
 /// A random protocol, announce, data-plane, or obs frame: envelope
 /// passengers (priority, trace_id, from/to/kind) randomized with the body.
 [[nodiscard]] wire::Frame random_frame(util::Rng& rng);

@@ -41,10 +41,20 @@ DustClient::~DustClient() {
 
 void DustClient::start() {
   metrics_.tx_offload_capable->inc();
-  transport_->send(client_endpoint(node_), manager_endpoint(),
+  transport_->send(client_endpoint(node_), config_.manager,
                    Message{OffloadCapableMsg{node_, config_.offload_capable,
                                              config_.platform_factor}},
                    sim::Priority::kNormal, "offload_capable");
+}
+
+void DustClient::rehome() {
+  if (failed_) return;
+  metrics_.tx_offload_capable->inc();
+  transport_->send(client_endpoint(node_), config_.manager,
+                   Message{OffloadCapableMsg{node_, config_.offload_capable,
+                                             config_.platform_factor}},
+                   sim::Priority::kNormal, "offload_capable");
+  if (acknowledged_) send_stat();
 }
 
 void DustClient::set_reported_state(double utilization_percent,
@@ -76,7 +86,7 @@ void DustClient::set_byzantine(const ByzantineBehavior& behavior) {
         if (failed_ || byzantine_.flap_period_ms <= 0) return;
         metrics_.tx_offload_capable->inc();
         transport_->send(
-            client_endpoint(node_), manager_endpoint(),
+            client_endpoint(node_), config_.manager,
             Message{OffloadCapableMsg{node_, config_.offload_capable,
                                       config_.platform_factor}},
             sim::Priority::kNormal, "offload_capable");
@@ -120,7 +130,7 @@ void DustClient::send_stat() {
   // cause nothing, and this path runs once per node per update interval).
   stat.trace = obs::enabled() ? obs::new_trace() : obs::TraceContext{};
   metrics_.tx_stat->inc();
-  transport_->send(client_endpoint(node_), manager_endpoint(), Message{stat},
+  transport_->send(client_endpoint(node_), config_.manager, Message{stat},
                    sim::Priority::kNormal, "stat", stat.trace.trace_id);
 }
 
@@ -218,7 +228,7 @@ void DustClient::on_offload_request(const OffloadRequestMsg& msg) {
   const obs::TraceContext ack_ctx = obs::record_instant(
       registry, "offload_ack", track_, msg.trace, sim_->now());
   metrics_.tx_offload_ack->inc();
-  transport_->send(client_endpoint(node_), manager_endpoint(),
+  transport_->send(client_endpoint(node_), config_.manager,
                    Message{OffloadAckMsg{msg.request_id, node_, true, ack_ctx}},
                    sim::Priority::kNormal, "offload_ack", ack_ctx.trace_id);
   if (duplicate) return;
@@ -294,7 +304,7 @@ void DustClient::on_rep(const RepMsg& msg) {
   it->destination = msg.replacement;
   metrics_.tx_offload_ack->inc();
   metrics_.tx_agent_transfer->inc();
-  transport_->send(client_endpoint(node_), manager_endpoint(),
+  transport_->send(client_endpoint(node_), config_.manager,
                    Message{OffloadAckMsg{msg.request_id, node_, true, ack_ctx}},
                    sim::Priority::kNormal, "offload_ack", ack_ctx.trace_id);
   const std::uint64_t transfer_trace = transfer.trace.trace_id;
@@ -338,7 +348,7 @@ void DustClient::ensure_keepalive_task() {
         if (failed_ || hosted_.empty() || flap_suppressed()) return;
         ++keepalives_sent_;
         metrics_.tx_keepalive->inc();
-        transport_->send(client_endpoint(node_), manager_endpoint(),
+        transport_->send(client_endpoint(node_), config_.manager,
                          Message{KeepaliveMsg{node_, keepalive_seq_++}},
                          sim::Priority::kNormal, "keepalive");
       });

@@ -30,6 +30,10 @@ struct ClientConfig {
   /// Device persona sent in the Offload-capable handshake (see
   /// OffloadCapableMsg::platform_factor).
   double platform_factor = 1.0;
+  /// Endpoint of the manager this client reports to. The default is the
+  /// classic single-manager name; federated deployments point each client
+  /// at its home shard's manager endpoint (DESIGN.md §16).
+  std::string manager = manager_endpoint();
 };
 
 /// Scripted byzantine misbehavior (the dust::check attack axis, DESIGN.md
@@ -68,6 +72,15 @@ class DustClient {
 
   /// Send the Offload-capable handshake. STATs begin after the manager ACKs.
   void start();
+
+  /// Re-home after a transport reconnect (the wire layer's reconnect
+  /// listener): re-send the Offload-capable handshake so a restarted or
+  /// failed-over manager learns this node exists, and — once this client is
+  /// already acknowledged — push a fresh STAT immediately so the new
+  /// manager plans from current load instead of waiting a full update
+  /// interval. Idempotent against the original manager (the duplicate
+  /// handshake just re-ACKs; the on_ack guard keeps the STAT task).
+  void rehome();
 
   /// Without a device model: the values the next STATs will report.
   void set_reported_state(double utilization_percent, double monitoring_data_mb,

@@ -78,7 +78,7 @@ DustManager::DustManager(sim::Simulator& sim, sim::TransportBase& transport,
   metrics_.nmdb_staleness_ms =
       &registry.histogram("dust_core_nmdb_staleness_ms");
   transport_->register_endpoint(
-      manager_endpoint(),
+      config_.endpoint,
       [this](const sim::Envelope& envelope) { handle(envelope); });
 }
 
@@ -133,7 +133,7 @@ void DustManager::on_offload_capable(const OffloadCapableMsg& msg) {
     nmdb_.set_platform_factor(msg.node, msg.platform_factor);
   if (msg.capable) {
     metrics_.tx_ack->inc();
-    transport_->send(manager_endpoint(), client_endpoint(msg.node),
+    transport_->send(config_.endpoint, client_endpoint(msg.node),
                      Message{AckMsg{msg.node, config_.update_interval_ms}},
                      sim::Priority::kNormal, "ack");
   }
@@ -193,9 +193,13 @@ void DustManager::on_offload_ack(const OffloadAckMsg& msg) {
                   it->second.destination, it->second.amount,
                   "req " + std::to_string(msg.request_id));
   // Grace-stamp the keepalive clock so a just-acked destination is not
-  // declared dead before its first Keepalive crosses the transport.
-  sim::TimeMs& last = last_keepalive_[it->second.destination];
-  last = std::max(last, sim_->now());
+  // declared dead before its first Keepalive crosses the transport. A
+  // delegated destination keepalives to its own shard instead — no clock
+  // to stamp here.
+  if (!it->second.external_destination) {
+    sim::TimeMs& last = last_keepalive_[it->second.destination];
+    last = std::max(last, sim_->now());
+  }
 }
 
 void DustManager::on_keepalive(const KeepaliveMsg& msg) {
@@ -365,10 +369,10 @@ std::size_t DustManager::run_placement_cycle() {
                               request_ctx};
     request.route = routes[index].primary.nodes;
     metrics_.tx_offload_request->inc(2);
-    transport_->send(manager_endpoint(), client_endpoint(assignment.from),
+    transport_->send(config_.endpoint, client_endpoint(assignment.from),
                      Message{request}, sim::Priority::kNormal,
                      "offload_request", request_ctx.trace_id);
-    transport_->send(manager_endpoint(), client_endpoint(assignment.to),
+    transport_->send(config_.endpoint, client_endpoint(assignment.to),
                      Message{request}, sim::Priority::kNormal,
                      "offload_request", request_ctx.trace_id);
     ++created;
@@ -399,11 +403,11 @@ void DustManager::release_offloads_of(graph::NodeId busy) {
     flight().record(obs::FlightEventKind::kRelease, sim_->now(),
                     release_ctx.trace_id, busy, offload.destination,
                     offload.amount, "req " + std::to_string(id));
-    transport_->send(manager_endpoint(), client_endpoint(busy),
+    transport_->send(config_.endpoint, client_endpoint(busy),
                      Message{ReleaseMsg{busy, offload.destination}},
                      sim::Priority::kNormal, "release",
                      release_ctx.trace_id);
-    transport_->send(manager_endpoint(), client_endpoint(offload.destination),
+    transport_->send(config_.endpoint, client_endpoint(offload.destination),
                      Message{ReleaseMsg{busy, offload.destination}},
                      sim::Priority::kNormal, "release",
                      release_ctx.trace_id);
@@ -424,6 +428,10 @@ void DustManager::check_keepalives() {
   std::vector<graph::NodeId> overdue;
   std::vector<graph::NodeId> failed;
   for (auto& [id, offload] : offloads_) {
+    // Delegated-out relationships: the granting shard supervises the
+    // destination's keepalives (and owns retransmission of its side); the
+    // origin shard's federation layer re-delegates on silence instead.
+    if (offload.external_destination) continue;
     if (!offload.acknowledged) {
       // A request nobody acknowledged is invisible to keepalive supervision;
       // without retransmission a dropped Offload-Request dangles forever.
@@ -449,10 +457,10 @@ void DustManager::check_keepalives() {
                                   offload.route,
                                   offload.trace};
         metrics_.tx_offload_request->inc(2);
-        transport_->send(manager_endpoint(), client_endpoint(offload.busy),
+        transport_->send(config_.endpoint, client_endpoint(offload.busy),
                          Message{request}, sim::Priority::kNormal,
                          "offload_request", offload.trace.trace_id);
-        transport_->send(manager_endpoint(),
+        transport_->send(config_.endpoint,
                          client_endpoint(offload.destination),
                          Message{request}, sim::Priority::kNormal,
                          "offload_request", offload.trace.trace_id);
@@ -549,6 +557,21 @@ void DustManager::replace_destination(graph::NodeId failed, bool quarantine) {
   std::vector<std::uint64_t> to_erase;
   for (const auto& [id, offload] : offloads_) {
     if (offload.destination != failed) continue;
+    // Adopted delegations are dropped, not REP'd: the replica would serve a
+    // foreign busy node this manager never hears STATs from. Release the
+    // busy client (reachable over the federation bridge) so it reclaims its
+    // agents; the origin shard re-solves and re-delegates.
+    if (offload.external_origin) {
+      to_erase.push_back(id);
+      metrics_.tx_release->inc();
+      ++releases_;
+      metrics_.releases->inc();
+      transport_->send(config_.endpoint, client_endpoint(offload.busy),
+                       Message{ReleaseMsg{offload.busy, failed}},
+                       sim::Priority::kNormal, "release",
+                       offload.trace.trace_id);
+      continue;
+    }
     moved.push_back(offload);
     to_erase.push_back(id);
     // Tell the (possibly still alive) old destination to drop the hosted
@@ -556,7 +579,7 @@ void DustManager::replace_destination(graph::NodeId failed, bool quarantine) {
     // kind/trace passengers as every other Release so the hop is labelled
     // in the flight recorder and classified by the wire codec.
     metrics_.tx_release->inc();
-    transport_->send(manager_endpoint(), client_endpoint(failed),
+    transport_->send(config_.endpoint, client_endpoint(failed),
                      Message{ReleaseMsg{offload.busy, failed}},
                      sim::Priority::kNormal, "release",
                      offload.trace.trace_id);
@@ -627,11 +650,85 @@ void DustManager::replace_destination(graph::NodeId failed, bool quarantine) {
                     rep_ctx.trace_id, failed, best, old.amount,
                     "req " + std::to_string(replacement.request_id));
     transport_->send(
-        manager_endpoint(), client_endpoint(old.busy),
+        config_.endpoint, client_endpoint(old.busy),
         Message{RepMsg{failed, best, old.busy, replacement.request_id,
                        old.amount, rep_ctx}},
         sim::Priority::kNormal, "rep", rep_ctx.trace_id);
   }
+}
+
+std::uint64_t DustManager::create_delegated_offload(graph::NodeId busy,
+                                                    graph::NodeId destination,
+                                                    double amount,
+                                                    std::uint32_t agents) {
+  const obs::TraceContext stat_ctx =
+      busy < last_stat_trace_.size() ? last_stat_trace_[busy]
+                                     : obs::TraceContext{};
+  const obs::TraceContext request_ctx =
+      obs::record_instant(obs::MetricRegistry::global(), "delegate_offload",
+                          kManagerTrack, stat_ctx, sim_->now());
+  ActiveOffload offload;
+  offload.request_id = next_request_id_++;
+  offload.busy = busy;
+  offload.destination = destination;
+  offload.amount = amount;
+  offload.agents = agents;
+  offload.trace = request_ctx;
+  offload.requested_at = sim_->now();
+  offload.external_destination = true;
+  offloads_[offload.request_id] = offload;
+  metrics_.offloads_created->inc();
+  flight().record(obs::FlightEventKind::kOffloadCreated, sim_->now(),
+                  request_ctx.trace_id, busy, destination, amount,
+                  "delegated req " + std::to_string(offload.request_id));
+  // Only the busy client gets the request: it ACKs here and sends the
+  // AgentTransfer straight to the foreign destination (whose own shard
+  // already booked the capacity when it granted the delegation).
+  OffloadRequestMsg request{offload.request_id, busy,         destination,
+                            amount,             agents,       {},
+                            request_ctx};
+  metrics_.tx_offload_request->inc();
+  transport_->send(config_.endpoint, client_endpoint(busy), Message{request},
+                   sim::Priority::kNormal, "offload_request",
+                   request_ctx.trace_id);
+  return offload.request_id;
+}
+
+std::uint64_t DustManager::adopt_external_offload(graph::NodeId busy,
+                                                  graph::NodeId destination,
+                                                  double amount,
+                                                  std::uint32_t agents) {
+  ActiveOffload offload;
+  offload.request_id = next_request_id_++;
+  offload.busy = busy;
+  offload.destination = destination;
+  offload.amount = amount;
+  offload.agents = agents;
+  // The origin shard owns the busy-side handshake; by the time the grant is
+  // sent this side's only job is supervising the destination.
+  offload.acknowledged = true;
+  offload.requested_at = sim_->now();
+  offload.external_origin = true;
+  offloads_[offload.request_id] = offload;
+  nmdb_.set_hosting(destination, true);
+  metrics_.offloads_created->inc();
+  flight().record(obs::FlightEventKind::kOffloadCreated, sim_->now(), 0, busy,
+                  destination, amount,
+                  "adopted req " + std::to_string(offload.request_id));
+  // Grace-stamp the keepalive clock: the destination only starts
+  // keepaliving after the foreign AgentTransfer lands.
+  sim::TimeMs& last = last_keepalive_[destination];
+  last = std::max(last, sim_->now());
+  return offload.request_id;
+}
+
+bool DustManager::drop_offload(std::uint64_t request_id) {
+  auto it = offloads_.find(request_id);
+  if (it == offloads_.end()) return false;
+  const graph::NodeId destination = it->second.destination;
+  offloads_.erase(it);
+  nmdb_.set_hosting(destination, destination_hosting(destination));
+  return true;
 }
 
 std::size_t DustManager::nodes_reporting() const noexcept {

@@ -75,6 +75,11 @@ struct ManagerConfig {
   /// options untouched. The pool itself is sized via DUST_THREADS (or
   /// util::global_pool's first-use argument).
   std::size_t solver_threads = 0;
+  /// Transport endpoint this manager answers on. The default is the
+  /// classic single-manager name every client targets; federated
+  /// deployments give each shard its own ("dust-manager-shard0", ...) and
+  /// point their clients' ClientConfig::manager at it (DESIGN.md §16).
+  std::string endpoint = manager_endpoint();
   OptimizerOptions optimizer;
 };
 
@@ -109,6 +114,16 @@ struct ActiveOffload {
   sim::TimeMs requested_at = 0;   ///< when the request was (re)sent
   std::uint32_t retransmits = 0;  ///< unacked re-sends so far
   bool via_rep = false;           ///< created by replica substitution
+  /// Federation (DESIGN.md §16): the destination lives in another manager's
+  /// domain. Keepalive supervision and replica substitution for it belong
+  /// to the granting shard; this manager only tracks the busy side.
+  bool external_destination = false;
+  /// Federation: the busy node lives in another manager's domain — this
+  /// manager adopted the offload when it granted a DelegateRequest, and it
+  /// supervises the (local) destination's keepalives. On destination
+  /// failure the offload is dropped, not REP'd: the origin shard re-solves
+  /// and re-delegates instead.
+  bool external_origin = false;
 };
 
 class DustManager {
@@ -178,6 +193,32 @@ class DustManager {
   void set_cycle_observer(CycleObserver observer) {
     cycle_observer_ = std::move(observer);
   }
+
+  // --- federation hooks (DESIGN.md §16) -------------------------------------
+  /// The endpoint name this manager registered on the transport.
+  [[nodiscard]] const std::string& endpoint() const noexcept {
+    return config_.endpoint;
+  }
+  /// Origin side of a granted delegation: create an offload whose
+  /// destination another shard supervises. Sends the Offload-Request to the
+  /// busy client only (the destination-side bookkeeping happens on the
+  /// granting shard via adopt_external_offload). Returns the request_id.
+  std::uint64_t create_delegated_offload(graph::NodeId busy,
+                                         graph::NodeId destination,
+                                         double amount, std::uint32_t agents);
+  /// Granting side of a delegation: adopt an offload whose busy node lives
+  /// in the requesting shard. The local `destination` will receive the
+  /// AgentTransfer directly from the foreign busy client; this manager
+  /// supervises its keepalives from now on. Returns the request_id.
+  std::uint64_t adopt_external_offload(graph::NodeId busy,
+                                       graph::NodeId destination,
+                                       double amount, std::uint32_t agents);
+  /// Epoch-fenced cleanup: erase one offload relationship without sending
+  /// protocol messages (used when a DomainHandoff invalidates delegations
+  /// against a dead peer epoch — the new primary re-solves from scratch, so
+  /// keeping the booking would double-count capacity). Returns whether the
+  /// id existed.
+  bool drop_offload(std::uint64_t request_id);
 
  private:
   void handle(const sim::Envelope& envelope);

@@ -1,0 +1,58 @@
+#include "federation/demo_fleet.hpp"
+
+#include <sstream>
+
+#include "core/scenario.hpp"
+
+namespace dust::federation {
+
+const char* demo_fleet_scenario_text() {
+  return R"(# federated demo: 12-node ring, two 6-node domains (see demo_fleet.hpp)
+nodes 12
+thresholds 80 60 10
+edge 0 1 1000 1.0
+edge 1 2 1000 1.0
+edge 2 3 1000 1.0
+edge 3 4 1000 1.0
+edge 4 5 1000 1.0
+edge 5 6 1000 1.0
+edge 6 7 1000 1.0
+edge 7 8 1000 1.0
+edge 8 9 1000 1.0
+edge 9 10 1000 1.0
+edge 10 11 1000 1.0
+edge 11 0 1000 1.0
+load 0 95 80
+load 1 52 10
+load 2 70 10
+load 3 70 10
+load 4 70 10
+load 5 70 10
+load 6 30 10
+load 7 40 10
+load 8 70 10
+load 9 70 10
+load 10 70 10
+load 11 70 10
+)";
+}
+
+core::Nmdb demo_fleet_nmdb() {
+  std::istringstream in(demo_fleet_scenario_text());
+  return core::load_scenario(in);
+}
+
+DomainPartition demo_fleet_partition() {
+  DomainPartition partition;
+  partition.members.resize(kDemoFleetShards);
+  for (graph::NodeId v = 0; v < kDemoFleetNodeCount; ++v) {
+    const std::uint32_t shard = v < kDemoFleetNodeCount / 2 ? 0 : 1;
+    partition.home.push_back(shard);
+    partition.members[shard].push_back(v);
+  }
+  partition.cut_edges = count_cut_edges(demo_fleet_nmdb().network().graph(),
+                                        partition.home);
+  return partition;
+}
+
+}  // namespace dust::federation

@@ -1,0 +1,29 @@
+// The federated two-shard demo fleet (DESIGN.md §16), shared by
+// examples/federation_daemon and the forked failover test so both sides
+// agree on the exact scenario and cut.
+//
+// A 12-node ring split into two 6-node domains:
+//
+//   shard 0 = {0..5}: node 0 busy at 95% (excess 15), node 1 the only local
+//                     candidate with spare 8 — the local solve absorbs 8 and
+//                     must delegate the residual 7 across the cut;
+//   shard 1 = {6..11}: node 6 (spare 30) and node 7 (spare 20) candidates,
+//                      everything else neutral — the digest advertises 50
+//                      spare and the grant lands on node 6.
+#pragma once
+
+#include "core/nmdb.hpp"
+#include "federation/partition.hpp"
+
+namespace dust::federation {
+
+inline constexpr std::size_t kDemoFleetNodeCount = 12;
+inline constexpr std::size_t kDemoFleetShards = 2;
+
+/// Scenario text in the core::load_scenario format.
+[[nodiscard]] const char* demo_fleet_scenario_text();
+[[nodiscard]] core::Nmdb demo_fleet_nmdb();
+/// The hand-built 6/6 split (nodes 0..5 -> shard 0, 6..11 -> shard 1).
+[[nodiscard]] DomainPartition demo_fleet_partition();
+
+}  // namespace dust::federation

@@ -1,0 +1,88 @@
+#include "federation/partition.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "core/zones.hpp"
+
+namespace dust::federation {
+
+namespace {
+
+DomainPartition finalize(const graph::Graph& graph,
+                         std::vector<std::uint32_t> home,
+                         std::size_t shards) {
+  DomainPartition partition;
+  partition.home = std::move(home);
+  partition.members.resize(shards);
+  for (graph::NodeId v = 0; v < partition.home.size(); ++v)
+    partition.members[partition.home[v]].push_back(v);
+  partition.cut_edges = count_cut_edges(graph, partition.home);
+  return partition;
+}
+
+}  // namespace
+
+std::size_t count_cut_edges(const graph::Graph& graph,
+                            const std::vector<std::uint32_t>& home) {
+  std::size_t cut = 0;
+  for (graph::EdgeId e = 0; e < graph.edge_count(); ++e) {
+    const graph::Edge& edge = graph.edge(e);
+    if (home.at(edge.a) != home.at(edge.b)) ++cut;
+  }
+  return cut;
+}
+
+DomainPartition partition_fat_tree(const graph::FatTree& topo,
+                                   std::size_t shards) {
+  if (shards == 0 || shards > topo.pod_count())
+    throw std::invalid_argument(
+        "partition_fat_tree: require 1 <= shards <= pod_count");
+  const graph::Graph& graph = topo.graph();
+  std::vector<std::uint32_t> home(graph.node_count(), 0);
+  // Pods in contiguous blocks: with k pods over s shards, pod p lands on
+  // shard p*s/k — block sizes differ by at most one.
+  for (std::uint32_t p = 0; p < topo.pod_count(); ++p) {
+    const auto shard = static_cast<std::uint32_t>(p * shards / topo.pod_count());
+    for (std::uint32_t i = 0; i < topo.aggregation_per_pod(); ++i)
+      home[topo.aggregation(p, i)] = shard;
+    for (std::uint32_t i = 0; i < topo.edge_per_pod(); ++i)
+      home[topo.edge_switch(p, i)] = shard;
+  }
+  // Core switches belong to no pod; spread them round-robin so every shard
+  // keeps a share of the spine's (usually idle) capacity.
+  for (std::uint32_t i = 0; i < topo.core_count(); ++i)
+    home[topo.core(i)] = static_cast<std::uint32_t>(i % shards);
+  return finalize(graph, std::move(home), shards);
+}
+
+DomainPartition partition_balanced(const graph::Graph& graph,
+                                   std::size_t shards) {
+  if (shards == 0 || shards > graph.node_count())
+    throw std::invalid_argument(
+        "partition_balanced: require 1 <= shards <= node_count");
+  // Connected building blocks sized so that `shards` of them cover the
+  // graph; the zone partitioner may return more (fragments), which the
+  // greedy packing below absorbs.
+  const std::size_t target =
+      (graph.node_count() + shards - 1) / shards;
+  std::vector<core::Zone> zones = core::partition_zones(graph, target);
+  // Largest zone first into the currently smallest shard: classic LPT
+  // balancing, deterministic via the stable sort + lowest-shard tie-break.
+  std::stable_sort(zones.begin(), zones.end(),
+                   [](const core::Zone& a, const core::Zone& b) {
+                     return a.members.size() > b.members.size();
+                   });
+  std::vector<std::uint32_t> home(graph.node_count(), 0);
+  std::vector<std::size_t> load(shards, 0);
+  for (const core::Zone& zone : zones) {
+    std::uint32_t best = 0;
+    for (std::uint32_t s = 1; s < shards; ++s)
+      if (load[s] < load[best]) best = s;
+    for (graph::NodeId v : zone.members) home[v] = best;
+    load[best] += zone.members.size();
+  }
+  return finalize(graph, std::move(home), shards);
+}
+
+}  // namespace dust::federation

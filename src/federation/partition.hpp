@@ -1,0 +1,63 @@
+// Domain partitioning for federated DUST deployments (DESIGN.md §16).
+//
+// A federated fleet splits the topology into manager domains: each shard
+// runs an unmodified core::DustManager over its own slice of the network
+// and the federation layer stitches the slices together with capacity
+// digests and offload delegation. The partitioner produces the static
+// node -> shard map both sides agree on:
+//
+//   - fat-tree topologies cut on pod boundaries (the natural cut: pods are
+//     internally dense, pod-to-pod traffic already crosses the core), with
+//     core switches spread round-robin across shards;
+//   - arbitrary graphs fall back to a balanced edge-cut built from the
+//     zone partitioner's BFS-grown connected regions, greedily packed into
+//     shards by size.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "graph/topology.hpp"
+
+namespace dust::federation {
+
+/// A complete assignment of every node to exactly one manager domain.
+struct DomainPartition {
+  /// node -> shard index (dense, size == node_count).
+  std::vector<std::uint32_t> home;
+  /// shard -> member nodes, in ascending node order.
+  std::vector<std::vector<graph::NodeId>> members;
+  /// Edges whose endpoints live in different shards (the cut).
+  std::size_t cut_edges = 0;
+
+  [[nodiscard]] std::size_t shard_count() const noexcept {
+    return members.size();
+  }
+  [[nodiscard]] std::uint32_t shard_of(graph::NodeId node) const {
+    return home.at(node);
+  }
+  [[nodiscard]] bool in_domain(graph::NodeId node,
+                               std::uint32_t shard) const {
+    return home.at(node) == shard;
+  }
+};
+
+/// Pod-boundary cut: pods are assigned to shards in contiguous blocks
+/// (pod p -> shard p*shards/k), core switches round-robin. Requires
+/// 1 <= shards <= pod_count.
+[[nodiscard]] DomainPartition partition_fat_tree(const graph::FatTree& topo,
+                                                 std::size_t shards);
+
+/// Balanced edge-cut fallback for arbitrary connected graphs: BFS-grown
+/// connected zones (core::partition_zones) packed greedily into `shards`
+/// bins, largest zone first into the currently smallest shard. Requires
+/// 1 <= shards <= node_count.
+[[nodiscard]] DomainPartition partition_balanced(const graph::Graph& graph,
+                                                 std::size_t shards);
+
+/// Edges of `graph` whose endpoints map to different shards under `home`.
+[[nodiscard]] std::size_t count_cut_edges(
+    const graph::Graph& graph, const std::vector<std::uint32_t>& home);
+
+}  // namespace dust::federation

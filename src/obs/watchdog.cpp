@@ -189,6 +189,41 @@ std::vector<Alert> Watchdog::evaluate(std::int64_t sim_now_ms) {
     }
   }
 
+  // --- federation-failover / federation-stale-epoch ---------------------
+  if (config_.check_federation) {
+    const CounterSnapshot* takeovers =
+        snapshot.find_counter("dust_fed_takeovers_total");
+    const CounterSnapshot* stale =
+        snapshot.find_counter("dust_fed_stale_frames_total");
+    const std::uint64_t takeovers_now = takeovers != nullptr ? takeovers->value : 0;
+    const std::uint64_t stale_now = stale != nullptr ? stale->value : 0;
+    if (takeovers_now < fed_takeovers_seen_ ||
+        stale_now < fed_stale_frames_seen_) {
+      fed_takeovers_seen_ = takeovers_now;  // registry was reset
+      fed_stale_frames_seen_ = stale_now;
+    } else {
+      const std::uint64_t new_takeovers = takeovers_now - fed_takeovers_seen_;
+      const std::uint64_t new_stale = stale_now - fed_stale_frames_seen_;
+      fed_takeovers_seen_ = takeovers_now;
+      fed_stale_frames_seen_ = stale_now;
+      if (primed_ && new_takeovers > 0) {
+        std::ostringstream msg;
+        msg << new_takeovers << " standby takeover(s) in this window — a "
+            << "shard primary went silent and was replaced";
+        raise(alerts, "federation-failover", msg.str(),
+              static_cast<double>(new_takeovers), sim_now_ms);
+      }
+      if (primed_ && new_stale > config_.stale_epoch_frames_limit) {
+        std::ostringstream msg;
+        msg << new_stale << " stale-epoch frame(s) rejected in this window "
+            << "(limit " << config_.stale_epoch_frames_limit
+            << ") — a superseded primary is still emitting";
+        raise(alerts, "federation-stale-epoch", msg.str(),
+              static_cast<double>(new_stale), sim_now_ms);
+      }
+    }
+  }
+
   primed_ = true;
   return alerts;
 }

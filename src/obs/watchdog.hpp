@@ -22,6 +22,14 @@
 //   replica-substitution          keepalive failures in the window without a
 //                                 matching REP: a dead destination's workload
 //                                 was not re-homed
+//   federation-failover           dust_fed_takeovers_total grew in the
+//                                 window: a standby bumped the epoch and took
+//                                 over a shard (DESIGN.md §16) — operators
+//                                 should check what killed the primary
+//   federation-stale-epoch        dust_fed_stale_frames_total grew past
+//                                 `stale_epoch_frames_limit` in the window: a
+//                                 superseded primary (or a partitioned peer)
+//                                 is still emitting frames at an old epoch
 #pragma once
 
 #include <cstdint>
@@ -56,6 +64,12 @@ struct WatchdogConfig {
   /// exclusion threshold, DESIGN.md §14) exceeds distrusted_nodes_limit.
   bool check_trust_collapse = true;
   double distrusted_nodes_limit = 0.0;
+  /// Enable the federation rules (failover + stale-epoch; DESIGN.md §16).
+  bool check_federation = true;
+  /// Stale-epoch frames tolerated per window before federation-stale-epoch
+  /// fires. A couple are normal during a takeover (in-flight frames from the
+  /// deposed primary); sustained growth means it never stopped talking.
+  std::uint64_t stale_epoch_frames_limit = 3;
 };
 
 struct Alert {
@@ -116,6 +130,8 @@ class Watchdog {
   HistCursor staleness_cursor_;
   std::uint64_t keepalive_failures_seen_ = 0;
   std::uint64_t reps_seen_ = 0;
+  std::uint64_t fed_takeovers_seen_ = 0;
+  std::uint64_t fed_stale_frames_seen_ = 0;
   double latency_baseline_ms_ = -1.0;
   std::uint64_t alerts_raised_ = 0;
   Counter* alerts_total_ = nullptr;

@@ -346,6 +346,11 @@ bool get_body(Reader& r, FrameType type, core::Message& out) {
     case FrameType::kDataDegrade:
     case FrameType::kObsScrape:
     case FrameType::kObsSnapshot:
+    case FrameType::kShardHello:
+    case FrameType::kCapacityDigest:
+    case FrameType::kDelegateRequest:
+    case FrameType::kDelegateReply:
+    case FrameType::kDomainHandoff:
       return false;  // handled separately, never reaches here
   }
   return false;
@@ -447,6 +452,101 @@ bool get_obs_snapshot(Reader& r, ObsSnapshotBody& body) {
   return r.ok();
 }
 
+// ---- federation bodies (DESIGN.md §16) -------------------------------------
+
+void put_shard_hello(Writer& w, const ShardHelloBody& body) {
+  w.u32(body.shard);
+  w.u64(body.epoch);
+  w.boolean(body.standby);
+  w.str16(body.endpoint);
+}
+
+bool get_shard_hello(Reader& r, ShardHelloBody& body) {
+  body.shard = r.u32();
+  body.epoch = r.u64();
+  const std::uint8_t standby = r.u8();
+  if (!r.ok() || standby > 1) return false;
+  body.standby = standby != 0;
+  body.endpoint = r.str16();
+  return r.ok();
+}
+
+void put_capacity_digest(Writer& w, const CapacityDigestBody& body) {
+  w.u32(body.shard);
+  w.u64(body.epoch);
+  w.u64(body.seq);
+  w.f64(body.spare);
+  w.f64(body.excess);
+  w.u32(body.busy_count);
+  w.u32(body.candidate_count);
+}
+
+bool get_capacity_digest(Reader& r, CapacityDigestBody& body) {
+  body.shard = r.u32();
+  body.epoch = r.u64();
+  body.seq = r.u64();
+  body.spare = r.f64();
+  body.excess = r.f64();
+  body.busy_count = r.u32();
+  body.candidate_count = r.u32();
+  return r.ok();
+}
+
+void put_delegate_request(Writer& w, const DelegateRequestBody& body) {
+  w.u32(body.shard);
+  w.u64(body.epoch);
+  w.u64(body.delegation_id);
+  w.u32(body.busy);
+  w.f64(body.amount);
+  w.u32(body.agents);
+  w.f64(body.platform_factor);
+}
+
+bool get_delegate_request(Reader& r, DelegateRequestBody& body) {
+  body.shard = r.u32();
+  body.epoch = r.u64();
+  body.delegation_id = r.u64();
+  body.busy = r.u32();
+  body.amount = r.f64();
+  body.agents = r.u32();
+  body.platform_factor = r.f64();
+  return r.ok();
+}
+
+void put_delegate_reply(Writer& w, const DelegateReplyBody& body) {
+  w.u32(body.shard);
+  w.u64(body.epoch);
+  w.u64(body.delegation_id);
+  w.boolean(body.granted);
+  w.u32(body.destination);
+  w.f64(body.amount);
+}
+
+bool get_delegate_reply(Reader& r, DelegateReplyBody& body) {
+  body.shard = r.u32();
+  body.epoch = r.u64();
+  body.delegation_id = r.u64();
+  const std::uint8_t granted = r.u8();
+  if (!r.ok() || granted > 1) return false;
+  body.granted = granted != 0;
+  body.destination = r.u32();
+  body.amount = r.f64();
+  return r.ok();
+}
+
+void put_domain_handoff(Writer& w, const DomainHandoffBody& body) {
+  w.u32(body.domain);
+  w.u64(body.epoch);
+  w.str16(body.endpoint);
+}
+
+bool get_domain_handoff(Reader& r, DomainHandoffBody& body) {
+  body.domain = r.u32();
+  body.epoch = r.u64();
+  body.endpoint = r.str16();
+  return r.ok();
+}
+
 bool get_degrade(Reader& r, DegradeBody& body) {
   body.owner = r.u32();
   const std::uint8_t mode = r.u8();
@@ -497,6 +597,11 @@ const char* to_string(FrameType type) noexcept {
     case FrameType::kDataDegrade: return "data_degrade";
     case FrameType::kObsScrape: return "obs_scrape";
     case FrameType::kObsSnapshot: return "obs_snapshot";
+    case FrameType::kShardHello: return "shard_hello";
+    case FrameType::kCapacityDigest: return "capacity_digest";
+    case FrameType::kDelegateRequest: return "delegate_request";
+    case FrameType::kDelegateReply: return "delegate_reply";
+    case FrameType::kDomainHandoff: return "domain_handoff";
   }
   return "unknown";
 }
@@ -616,6 +721,69 @@ Frame obs_snapshot_frame(std::string from, std::string to,
   return frame;
 }
 
+Frame shard_hello_frame(std::string from, std::string to,
+                        ShardHelloBody body) {
+  Frame frame;
+  frame.type = FrameType::kShardHello;
+  frame.priority = sim::Priority::kNormal;
+  frame.from = std::move(from);
+  frame.to = std::move(to);
+  frame.kind = "shard_hello";
+  frame.shard_hello = std::move(body);
+  return frame;
+}
+
+Frame capacity_digest_frame(std::string from, std::string to,
+                            CapacityDigestBody body) {
+  Frame frame;
+  frame.type = FrameType::kCapacityDigest;
+  frame.priority = sim::Priority::kNormal;
+  frame.from = std::move(from);
+  frame.to = std::move(to);
+  frame.kind = "capacity_digest";
+  frame.capacity_digest = body;
+  return frame;
+}
+
+Frame delegate_request_frame(std::string from, std::string to,
+                             DelegateRequestBody body,
+                             std::uint64_t trace_id) {
+  Frame frame;
+  frame.type = FrameType::kDelegateRequest;
+  frame.priority = sim::Priority::kNormal;
+  frame.trace_id = trace_id;
+  frame.from = std::move(from);
+  frame.to = std::move(to);
+  frame.kind = "delegate_request";
+  frame.delegate_request = body;
+  return frame;
+}
+
+Frame delegate_reply_frame(std::string from, std::string to,
+                           DelegateReplyBody body, std::uint64_t trace_id) {
+  Frame frame;
+  frame.type = FrameType::kDelegateReply;
+  frame.priority = sim::Priority::kNormal;
+  frame.trace_id = trace_id;
+  frame.from = std::move(from);
+  frame.to = std::move(to);
+  frame.kind = "delegate_reply";
+  frame.delegate_reply = body;
+  return frame;
+}
+
+Frame domain_handoff_frame(std::string from, std::string to,
+                           DomainHandoffBody body) {
+  Frame frame;
+  frame.type = FrameType::kDomainHandoff;
+  frame.priority = sim::Priority::kNormal;
+  frame.from = std::move(from);
+  frame.to = std::move(to);
+  frame.kind = "domain_handoff";
+  frame.domain_handoff = std::move(body);
+  return frame;
+}
+
 std::vector<std::uint8_t> encode_frame(const Frame& frame) {
   std::vector<std::uint8_t> out;
   out.reserve(64);
@@ -658,6 +826,16 @@ std::vector<std::uint8_t> encode_frame(const Frame& frame) {
     put_degrade(w, frame.degrade);
   } else if (frame.type == FrameType::kObsScrape) {
     put_obs_scrape(w, frame.obs_scrape);
+  } else if (frame.type == FrameType::kShardHello) {
+    put_shard_hello(w, frame.shard_hello);
+  } else if (frame.type == FrameType::kCapacityDigest) {
+    put_capacity_digest(w, frame.capacity_digest);
+  } else if (frame.type == FrameType::kDelegateRequest) {
+    put_delegate_request(w, frame.delegate_request);
+  } else if (frame.type == FrameType::kDelegateReply) {
+    put_delegate_reply(w, frame.delegate_reply);
+  } else if (frame.type == FrameType::kDomainHandoff) {
+    put_domain_handoff(w, frame.domain_handoff);
   } else if (frame.type == FrameType::kObsSnapshot) {
     put_obs_snapshot_prefix(w, frame.obs_snapshot);
     out.insert(out.end(), frame.obs_snapshot.payload.begin(),
@@ -752,6 +930,40 @@ DecodeResult decode_frame(const std::uint8_t* data, std::size_t size) {
   } else if (raw_type == static_cast<std::uint16_t>(FrameType::kObsSnapshot)) {
     frame.type = FrameType::kObsSnapshot;
     if (!get_obs_snapshot(r, frame.obs_snapshot)) {
+      result.status = DecodeStatus::kMalformedBody;
+      return result;
+    }
+  } else if (raw_type == static_cast<std::uint16_t>(FrameType::kShardHello)) {
+    frame.type = FrameType::kShardHello;
+    if (!get_shard_hello(r, frame.shard_hello)) {
+      result.status = DecodeStatus::kMalformedBody;
+      return result;
+    }
+  } else if (raw_type ==
+             static_cast<std::uint16_t>(FrameType::kCapacityDigest)) {
+    frame.type = FrameType::kCapacityDigest;
+    if (!get_capacity_digest(r, frame.capacity_digest)) {
+      result.status = DecodeStatus::kMalformedBody;
+      return result;
+    }
+  } else if (raw_type ==
+             static_cast<std::uint16_t>(FrameType::kDelegateRequest)) {
+    frame.type = FrameType::kDelegateRequest;
+    if (!get_delegate_request(r, frame.delegate_request)) {
+      result.status = DecodeStatus::kMalformedBody;
+      return result;
+    }
+  } else if (raw_type ==
+             static_cast<std::uint16_t>(FrameType::kDelegateReply)) {
+    frame.type = FrameType::kDelegateReply;
+    if (!get_delegate_reply(r, frame.delegate_reply)) {
+      result.status = DecodeStatus::kMalformedBody;
+      return result;
+    }
+  } else if (raw_type ==
+             static_cast<std::uint16_t>(FrameType::kDomainHandoff)) {
+    frame.type = FrameType::kDomainHandoff;
+    if (!get_domain_handoff(r, frame.domain_handoff)) {
       result.status = DecodeStatus::kMalformedBody;
       return result;
     }

@@ -89,6 +89,28 @@ enum class FrameType : std::uint16_t {
   /// control traffic, and a shed reply is recovered by the ack protocol.
   /// Body: str16 node, u32 payload_bytes, opaque snapshot codec bytes.
   kObsSnapshot = 211,
+  /// Manager-to-manager federation frames (DESIGN.md §16). All carry the
+  /// sending shard id and its current epoch; a receiver rejects any frame
+  /// whose epoch is below the latest it has seen for that shard (epoch
+  /// fencing — a superseded primary can never mutate federation state).
+  /// Shard heartbeat + role announce. Periodic; a standby declares the
+  /// primary dead after hello_timeout_ms of silence.
+  kShardHello = 220,
+  /// Aggregated spare-capacity digest of one domain — totals, not per-node
+  /// state (SOAR-style bounded aggregation): Σ spare, Σ excess, busy /
+  /// candidate counts. O(1) per domain regardless of domain size.
+  kCapacityDigest = 221,
+  /// Origin shard -> neighbor: "host `amount` capacity-percent from busy
+  /// node `busy` in my domain". Sent when the local solve left excess
+  /// unplaced and the neighbor's digest advertised spare.
+  kDelegateRequest = 222,
+  /// Neighbor -> origin: grant (with the chosen destination node) or
+  /// reject. One frame type; `granted` distinguishes.
+  kDelegateReply = 223,
+  /// Epoch-fenced ownership handoff: "domain `domain` is now owned at
+  /// epoch `epoch`" — broadcast by a standby after takeover so peers fence
+  /// out the dead primary and drop delegations adopted from older epochs.
+  kDomainHandoff = 224,
 };
 
 [[nodiscard]] const char* to_string(FrameType type) noexcept;
@@ -172,6 +194,56 @@ struct ObsSnapshotBody {
   std::vector<std::uint8_t> payload;
 };
 
+/// kShardHello body: shard heartbeat + role announce (DESIGN.md §16).
+struct ShardHelloBody {
+  std::uint32_t shard = 0;    ///< sender's shard id
+  std::uint64_t epoch = 0;    ///< sender's current epoch for its domain
+  bool standby = false;       ///< true = hot standby, not serving clients
+  std::string endpoint;       ///< sender's federation endpoint name
+};
+
+/// kCapacityDigest body: one domain's aggregated load summary. Deliberately
+/// O(1) in domain size — shards exchange totals, never per-node state.
+struct CapacityDigestBody {
+  std::uint32_t shard = 0;
+  std::uint64_t epoch = 0;
+  std::uint64_t seq = 0;      ///< per-sender, monotonic (stale digests lose)
+  double spare = 0.0;         ///< Σ spare capacity over domain candidates
+  double excess = 0.0;        ///< Σ excess over domain busy nodes
+  std::uint32_t busy_count = 0;
+  std::uint32_t candidate_count = 0;
+};
+
+/// kDelegateRequest body: offload `amount` from `busy` into your domain.
+struct DelegateRequestBody {
+  std::uint32_t shard = 0;  ///< origin shard
+  std::uint64_t epoch = 0;  ///< origin's epoch (fenced at the receiver)
+  std::uint64_t delegation_id = 0;  ///< per-origin, echoes back in the reply
+  graph::NodeId busy = graph::kInvalidNode;
+  double amount = 0.0;  ///< capacity-percent, pre-platform-factor
+  std::uint32_t agents = 0;
+  double platform_factor = 1.0;  ///< busy node's platform factor
+};
+
+/// kDelegateReply body: grant with the chosen destination, or reject.
+struct DelegateReplyBody {
+  std::uint32_t shard = 0;  ///< granting shard
+  std::uint64_t epoch = 0;  ///< granting shard's epoch
+  std::uint64_t delegation_id = 0;
+  bool granted = false;
+  graph::NodeId destination = graph::kInvalidNode;  ///< valid iff granted
+  double amount = 0.0;  ///< capacity-percent actually reserved
+};
+
+/// kDomainHandoff body: ownership of `domain` moved to `endpoint` at
+/// `epoch`. Receivers fence out lower epochs and drop delegations adopted
+/// from the superseded owner.
+struct DomainHandoffBody {
+  std::uint32_t domain = 0;
+  std::uint64_t epoch = 0;
+  std::string endpoint;  ///< new owner's federation endpoint name
+};
+
 /// One frame, decoded (or about to be encoded). Exactly the information a
 /// sim::Envelope carries, plus the frame type: nothing QoS- or
 /// trace-relevant is lost crossing the wire.
@@ -188,6 +260,11 @@ struct Frame {
   DegradeBody degrade;         ///< valid for kDataDegrade
   ObsScrapeBody obs_scrape;    ///< valid for kObsScrape
   ObsSnapshotBody obs_snapshot;  ///< valid for kObsSnapshot
+  ShardHelloBody shard_hello;          ///< valid for kShardHello
+  CapacityDigestBody capacity_digest;  ///< valid for kCapacityDigest
+  DelegateRequestBody delegate_request;  ///< valid for kDelegateRequest
+  DelegateReplyBody delegate_reply;      ///< valid for kDelegateReply
+  DomainHandoffBody domain_handoff;      ///< valid for kDomainHandoff
 };
 
 /// Build a protocol frame around `message` (type tag derived from the
@@ -221,6 +298,31 @@ struct Frame {
 /// note on the enum).
 [[nodiscard]] Frame obs_snapshot_frame(std::string from, std::string to,
                                        ObsSnapshotBody body);
+
+// Federation frame builders (DESIGN.md §16). All ride kNormal: the
+// manager-to-manager control plane must never be shed behind telemetry.
+[[nodiscard]] Frame shard_hello_frame(std::string from, std::string to,
+                                      ShardHelloBody body);
+[[nodiscard]] Frame capacity_digest_frame(std::string from, std::string to,
+                                          CapacityDigestBody body);
+[[nodiscard]] Frame delegate_request_frame(std::string from, std::string to,
+                                           DelegateRequestBody body,
+                                           std::uint64_t trace_id = 0);
+[[nodiscard]] Frame delegate_reply_frame(std::string from, std::string to,
+                                         DelegateReplyBody body,
+                                         std::uint64_t trace_id = 0);
+[[nodiscard]] Frame domain_handoff_frame(std::string from, std::string to,
+                                         DomainHandoffBody body);
+
+/// True for the manager-to-manager federation frame types (220..224) —
+/// routed through SocketTransport's federation handler.
+[[nodiscard]] constexpr bool is_federation_frame(FrameType type) noexcept {
+  return type == FrameType::kShardHello ||
+         type == FrameType::kCapacityDigest ||
+         type == FrameType::kDelegateRequest ||
+         type == FrameType::kDelegateReply ||
+         type == FrameType::kDomainHandoff;
+}
 
 /// Borrowed view of payload bytes owned elsewhere (a sealed TSDB block).
 struct PayloadRef {

@@ -178,6 +178,16 @@ void SocketTransport::on_link_established() {
   hub_link_.inflight = TxFrame{};
   hub_link_.inflight_offset = 0;
   hub_link_.rx.clear();
+  // Frames queued before or during the outage are stashed aside: they ride
+  // BEHIND the announce and behind anything the reconnect listener sends.
+  // The other end of the link may be a different process entirely (manager
+  // failover restarted the hub), so fresh state — a client's re-home
+  // handshake and current STAT — must reach it before the stale backlog,
+  // or the new manager solves from pre-outage ordering.
+  std::deque<TxFrame> stale_normal = std::move(hub_link_.tx_normal);
+  std::deque<TxFrame> stale_low = std::move(hub_link_.tx_low);
+  hub_link_.tx_normal.clear();
+  hub_link_.tx_low.clear();
   // The announce must be the FIRST frame on a fresh link: protocol frames
   // queued before the connect (the join handshake, anything sent during an
   // outage) ride behind it, so by the time the hub dispatches them it can
@@ -189,7 +199,12 @@ void SocketTransport::on_link_established() {
   for (const auto& [name, entry] : local_endpoints_) names.push_back(name);
   TxFrame announce{encode_frame(announce_frame(std::move(names))), {}, {}};
   hub_link_.queued_bytes += announce.size();
-  hub_link_.tx_normal.push_front(std::move(announce));
+  hub_link_.tx_normal.push_back(std::move(announce));
+  if (ever_connected_ && reconnect_listener_) reconnect_listener_();
+  ever_connected_ = true;
+  for (TxFrame& frame : stale_normal)
+    hub_link_.tx_normal.push_back(std::move(frame));
+  for (TxFrame& frame : stale_low) hub_link_.tx_low.push_back(std::move(frame));
   DUST_LOG_INFO << "wire: leaf connected to " << config_.host << ":"
                 << config_.port;
 }
@@ -401,7 +416,8 @@ bool SocketTransport::send_frame(Frame frame) {
              frame.to, frame.trace_id);
   if (local_endpoints_.count(frame.to) > 0) {
     // Same-process destination: run the codec round trip anyway so the obs
-    // handlers always see decoder-validated frames, local or remote.
+    // and federation handlers always see decoder-validated frames, local or
+    // remote.
     std::vector<std::uint8_t> bytes = encode_frame(frame);
     DecodeResult decoded = decode_frame(bytes.data(), bytes.size());
     if (decoded.status != DecodeStatus::kOk) {
@@ -409,7 +425,10 @@ bool SocketTransport::send_frame(Frame frame) {
       metrics_.decode_errors->inc();
       return false;
     }
-    obs_queue_.push_back(std::move(decoded.frame));
+    if (is_federation_frame(decoded.frame.type))
+      fed_queue_.push_back(std::move(decoded.frame));
+    else
+      obs_queue_.push_back(std::move(decoded.frame));
     return true;
   }
   Peer* peer = config_.role == SocketTransportConfig::Role::kLeaf
@@ -511,6 +530,12 @@ bool SocketTransport::handle_frame(Peer& peer, DecodeResult decoded) {
       obs_queue_.push_back(std::move(frame));
       return true;
     }
+    if (is_federation_frame(frame.type)) {
+      // Manager-to-manager frames (DESIGN.md §16) land on the federation
+      // handler.
+      fed_queue_.push_back(std::move(frame));
+      return true;
+    }
     local_queue_.push_back(sim::Envelope{
         std::move(frame.from), std::move(frame.to), std::move(frame.message),
         frame.priority, std::move(frame.kind), frame.trace_id});
@@ -531,6 +556,14 @@ bool SocketTransport::handle_frame(Peer& peer, DecodeResult decoded) {
                       {}},
               frame.priority, frame.kind, frame.from, frame.to,
               frame.trace_id);
+      return true;
+    }
+    // No local endpoint, no announced route: a gateway (a federated shard
+    // daemon bridging domains, DESIGN.md §16) gets the last word before
+    // the frame drops.
+    if (gateway_ && gateway_(frame)) {
+      ++frames_forwarded_;
+      metrics_.forwarded->inc();
       return true;
     }
   }
@@ -658,7 +691,8 @@ std::size_t SocketTransport::poll_once(int timeout_ms) {
   if (hub_link_.fd >= 0) fds.push_back({hub_link_.fd, wants(hub_link_), 0});
 
   // Local-only work pending? Don't sleep on the sockets.
-  if (!local_queue_.empty() || !data_queue_.empty() || !obs_queue_.empty())
+  if (!local_queue_.empty() || !data_queue_.empty() || !obs_queue_.empty() ||
+      !fed_queue_.empty())
     timeout_ms = 0;
   if (!fds.empty()) {
     ::poll(fds.data(), static_cast<nfds_t>(fds.size()), timeout_ms);
@@ -765,6 +799,16 @@ std::size_t SocketTransport::poll_once(int timeout_ms) {
     }
     ++delivered;
     handler(std::move(frame));
+  }
+  while (!fed_queue_.empty()) {
+    Frame frame = std::move(fed_queue_.front());
+    fed_queue_.pop_front();
+    if (!federation_handler_) {
+      drop_frame(frame, "no_federation_handler", metrics_.dropped_no_endpoint);
+      continue;
+    }
+    ++delivered;
+    federation_handler_(std::move(frame));
   }
   return delivered;
 }

@@ -174,6 +174,38 @@ class SocketTransport final : public sim::TransportBase {
     obs_snapshot_handler_ = std::move(handler);
   }
 
+  // --- federation plane -----------------------------------------------------
+  /// Receive path for manager-to-manager federation frames (kShardHello /
+  /// kCapacityDigest / kDelegateRequest / kDelegateReply / kDomainHandoff,
+  /// DESIGN.md §16): one handler per transport, invoked from poll_once()
+  /// for every federation frame addressed to a locally registered endpoint.
+  /// Send side is the generic send_frame().
+  void set_federation_handler(std::function<void(Frame&&)> handler) {
+    federation_handler_ = std::move(handler);
+  }
+
+  /// Hub only: last-resort route for a received frame whose destination is
+  /// neither a local endpoint nor announced by any connected leaf. A
+  /// federated shard daemon installs this to forward cross-domain client
+  /// traffic (AgentTransfer, TelemetryData) over its manager-to-manager
+  /// links (DESIGN.md §16) — without it a busy client's transfer to a
+  /// destination homed on another shard's hub would drop as unroutable.
+  /// Return true when the frame was taken; false falls through to the
+  /// normal no_endpoint drop.
+  void set_gateway(std::function<bool(const Frame&)> gateway) {
+    gateway_ = std::move(gateway);
+  }
+
+  /// Leaf only: invoked from inside poll_once() every time the hub link is
+  /// RE-established (never on the first connect). The listener runs after
+  /// the kAnnounce is queued but before any frame queued during the outage:
+  /// anything it send()s — a client's fresh STAT, a re-home handshake —
+  /// goes out ahead of the stale backlog, so a restarted manager solves
+  /// from current load instead of replaying pre-outage ordering.
+  void set_reconnect_listener(std::function<void()> listener) {
+    reconnect_listener_ = std::move(listener);
+  }
+
   /// Names of remote endpoints (hub: announced by any leaf) starting with
   /// `prefix`. The scraper's discovery primitive: responders register
   /// "dust-obs-<node>" endpoints and the manager enumerates them here.
@@ -300,6 +332,15 @@ class SocketTransport final : public sim::TransportBase {
   std::deque<Frame> obs_queue_;
   std::function<void(Frame&&)> obs_scrape_handler_;
   std::function<void(Frame&&)> obs_snapshot_handler_;
+  /// Federation frames (kShardHello..kDomainHandoff) awaiting the
+  /// federation handler; same reentrancy discipline as local_queue_.
+  std::deque<Frame> fed_queue_;
+  std::function<void(Frame&&)> federation_handler_;
+  std::function<bool(const Frame&)> gateway_;
+  /// Leaf re-home hook (see set_reconnect_listener). `ever_connected_`
+  /// distinguishes the first connect (no listener call) from reconnects.
+  std::function<void()> reconnect_listener_;
+  bool ever_connected_ = false;
 
   std::uint64_t frames_sent_ = 0;
   std::uint64_t frames_received_ = 0;

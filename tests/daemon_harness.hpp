@@ -1,0 +1,138 @@
+// Shared harness for forked-daemon integration tests: fork/exec a daemon
+// binary, read its machine-readable stdout incrementally against a wall
+// deadline, and reap it (SIGKILL on destruction so a failed assertion never
+// leaks orphan processes). Used by wire_daemon_test (single-manager fleet)
+// and federation_daemon_test (sharded fleet + failover).
+#pragma once
+
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dust::daemon_harness {
+
+inline std::int64_t wall_ms() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// A free TCP port: bind port 0, read the assignment back, close. Racy in
+/// principle, fine for tests that must pre-agree on a port (a standby
+/// re-binding its dead primary's address cannot use an ephemeral port).
+inline std::uint16_t pick_port() {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return 0;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = 0;
+  std::uint16_t port = 0;
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) == 0) {
+    socklen_t len = sizeof addr;
+    if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) == 0)
+      port = ntohs(addr.sin_port);
+  }
+  ::close(fd);
+  return port;
+}
+
+// A forked daemon. Captured stdout is read incrementally (the manager's PORT
+// line must be consumed while the process is still settling). The destructor
+// SIGKILLs stragglers so a failed assertion never leaks orphan daemons.
+class Daemon {
+ public:
+  Daemon(const char* binary, const std::vector<std::string>& args,
+         bool capture_stdout) {
+    int fds[2] = {-1, -1};
+    if (capture_stdout) {
+      if (pipe(fds) != 0) return;
+    }
+    pid_ = fork();
+    if (pid_ == 0) {
+      if (capture_stdout) {
+        dup2(fds[1], STDOUT_FILENO);
+        close(fds[0]);
+        close(fds[1]);
+      }
+      std::vector<char*> argv;
+      argv.push_back(const_cast<char*>(binary));
+      for (const std::string& arg : args)
+        argv.push_back(const_cast<char*>(arg.c_str()));
+      argv.push_back(nullptr);
+      execv(binary, argv.data());
+      _exit(127);
+    }
+    if (capture_stdout) {
+      close(fds[1]);
+      out_ = fds[0];
+    }
+  }
+
+  ~Daemon() {
+    if (out_ >= 0) close(out_);
+    if (pid_ > 0 && !reaped_) {
+      kill(pid_, SIGKILL);
+      waitpid(pid_, nullptr, 0);
+    }
+  }
+
+  Daemon(const Daemon&) = delete;
+  Daemon& operator=(const Daemon&) = delete;
+
+  [[nodiscard]] bool running() const { return pid_ > 0; }
+
+  /// Next stdout line (without the newline), or false on EOF / deadline.
+  bool read_line(std::string& line, std::int64_t deadline_ms) {
+    while (true) {
+      const std::size_t nl = buffer_.find('\n');
+      if (nl != std::string::npos) {
+        line = buffer_.substr(0, nl);
+        buffer_.erase(0, nl + 1);
+        return true;
+      }
+      if (eof_) return false;
+      const std::int64_t remaining = deadline_ms - wall_ms();
+      if (remaining <= 0) return false;
+      pollfd pfd{out_, POLLIN, 0};
+      const int ready = poll(&pfd, 1, static_cast<int>(remaining));
+      if (ready <= 0) return false;
+      char chunk[4096];
+      const ssize_t n = read(out_, chunk, sizeof chunk);
+      if (n <= 0) {
+        eof_ = true;
+        continue;
+      }
+      buffer_.append(chunk, static_cast<std::size_t>(n));
+    }
+  }
+
+  /// Blocks until the process exits; returns its exit code (or 128+signal).
+  int wait_exit() {
+    if (pid_ <= 0) return -1;
+    int status = 0;
+    waitpid(pid_, &status, 0);
+    reaped_ = true;
+    if (WIFEXITED(status)) return WEXITSTATUS(status);
+    if (WIFSIGNALED(status)) return 128 + WTERMSIG(status);
+    return -1;
+  }
+
+ private:
+  pid_t pid_ = -1;
+  int out_ = -1;
+  bool reaped_ = false;
+  bool eof_ = false;
+  std::string buffer_;
+};
+
+}  // namespace dust::daemon_harness

@@ -1,0 +1,241 @@
+// Forked federated-fleet integration (DESIGN.md §16): two shard daemons
+// (examples/federation_daemon), a standby for shard 0, and two client
+// daemons over real loopback TCP, on the shared demo fleet
+// (federation/demo_fleet.hpp — 12-node ring, 6/6 split).
+//
+// The run must show all three acceptance properties end to end:
+//
+//   1. Cross-domain delegation: shard 0's local solve absorbs 8 % on node 1
+//      and delegates the residual 7 % to shard 1, which grants node 6 —
+//      exact amounts pinned bit-for-bit on both sides of the wire.
+//   2. Failover: the shard-0 primary is killed mid-run; the standby detects
+//      silence, re-binds the same port, bumps the epoch to 2, the clients
+//      re-home (all 6 in-domain nodes STAT to the new primary), and the
+//      placement is rebuilt bit-identically — zero placements lost.
+//   3. Epoch fencing: no surviving shard accepts a stale-epoch frame, and
+//      nobody loses a destination to a keepalive failure.
+//
+// These cover the federation invariants for this scenario: placements only
+// onto offload-capable in-domain/granted nodes with positive spare (the
+// amounts match the masked per-shard optimum), delegated amounts conserved
+// across the wire (bit-equal on origin and granting shard), epoch
+// monotonicity (takeover lands at exactly seen+1), and no delegation
+// double-booking (each side ends with exactly its own half of the
+// relationship).
+#include <bit>
+#include <cstdint>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "daemon_harness.hpp"
+#include "federation/demo_fleet.hpp"
+
+#ifndef DUST_FEDERATION_DAEMON_BIN
+#error "DUST_FEDERATION_DAEMON_BIN must point at the federation_daemon binary"
+#endif
+#ifndef DUST_CLIENT_DAEMON_BIN
+#error "DUST_CLIENT_DAEMON_BIN must point at the client_daemon binary"
+#endif
+
+namespace dust {
+namespace {
+
+using daemon_harness::Daemon;
+using daemon_harness::pick_port;
+using daemon_harness::wall_ms;
+
+/// (busy, destination, amount-bits, flavor).
+using FedAssign = std::tuple<unsigned, unsigned, std::uint64_t, std::string>;
+
+struct ShardReport {
+  std::uint16_t port = 0;
+  long reporting = -1;
+  std::uint64_t started_epoch = 0;
+  std::uint64_t takeover_epoch = 0;
+  bool silent = false;
+  std::set<FedAssign> assigns;        ///< every ASSIGN ever printed
+  std::set<FedAssign> final_assigns;  ///< FINAL_ASSIGN set at exit
+  std::uint64_t delegations_confirmed_live = 0;  ///< latest DELEGATION line
+  std::map<std::string, long> fed;    ///< FED key=value fields
+  long final_offloads = -1;
+  long keepalive_failures = -1;
+};
+
+void parse_line(const std::string& line, ShardReport& report) {
+  std::istringstream in(line);
+  std::string tag;
+  in >> tag;
+  if (tag == "PORT") {
+    in >> report.port;
+  } else if (tag == "REPORTING") {
+    std::string field;
+    in >> field;
+    report.reporting = std::stol(field.substr(field.find('=') + 1));
+  } else if (tag == "SILENT") {
+    report.silent = true;
+  } else if (tag == "STARTED" || tag == "TAKEOVER") {
+    std::string field;
+    while (in >> field)
+      if (field.rfind("epoch=", 0) == 0)
+        (tag == "STARTED" ? report.started_epoch : report.takeover_epoch) =
+            std::stoull(field.substr(6));
+  } else if (tag == "ASSIGN" || tag == "FINAL_ASSIGN") {
+    unsigned busy = 0;
+    unsigned destination = 0;
+    std::string hex;
+    std::string flavor;
+    in >> busy >> destination >> hex >> flavor;
+    (tag == "ASSIGN" ? report.assigns : report.final_assigns)
+        .emplace(busy, destination, std::stoull(hex, nullptr, 16), flavor);
+  } else if (tag == "DELEGATION") {
+    std::string field;
+    in >> field;
+    report.delegations_confirmed_live =
+        std::stoull(field.substr(field.find('=') + 1));
+  } else if (tag == "FED" || tag == "FINAL") {
+    std::string field;
+    while (in >> field) {
+      const std::size_t eq = field.find('=');
+      if (eq == std::string::npos) continue;
+      const std::string key = field.substr(0, eq);
+      const long value = std::stol(field.substr(eq + 1));
+      if (tag == "FED") report.fed[key] = value;
+      if (key == "offloads") report.final_offloads = value;
+      if (key == "keepalive_failures") report.keepalive_failures = value;
+    }
+  }
+}
+
+/// Drain every remaining line (until EOF or deadline) into `report`.
+void drain(Daemon& daemon, ShardReport& report, std::int64_t deadline_ms) {
+  std::string line;
+  while (daemon.read_line(line, deadline_ms)) parse_line(line, report);
+}
+
+std::uint64_t bits(double value) { return std::bit_cast<std::uint64_t>(value); }
+
+TEST(FederationDaemon, FailoverMidRunReplacesPrimaryWithoutLosingPlacements) {
+  // The demo fleet's expected placement (see federation/demo_fleet.hpp):
+  // node 0 (excess 15) absorbs 8 locally on node 1 and delegates 7 to
+  // shard 1's node 6.
+  const FedAssign kLocal{0, 1, bits(8.0), "local"};
+  const FedAssign kDelegatedOrigin{0, 6, bits(7.0), "ext-dest"};
+  const FedAssign kDelegatedGrant{0, 6, bits(7.0), "ext-origin"};
+
+  // The standby re-binds the primary's port, so both must agree on it
+  // before launch — ephemeral ports won't do.
+  const std::uint16_t port0 = pick_port();
+  const std::uint16_t port1 = pick_port();
+  ASSERT_NE(port0, 0);
+  ASSERT_NE(port1, 0);
+  const std::string hub0 = "127.0.0.1:" + std::to_string(port0);
+  const std::string hub1 = "127.0.0.1:" + std::to_string(port1);
+
+  // Clients load the shared scenario from a file, like any real fleet.
+  const std::string scenario_path =
+      std::string(::testing::TempDir()) + "federation_demo_fleet.scn";
+  {
+    std::ofstream out(scenario_path);
+    ASSERT_TRUE(out.good());
+    out << federation::demo_fleet_scenario_text();
+  }
+
+  const std::string run_ms = "16000";
+  Daemon shard1(DUST_FEDERATION_DAEMON_BIN,
+                {"--shard", "1", "--port", std::to_string(port1), "--peer",
+                 "0=" + hub0, "--run-ms", run_ms, "--cycle-ms", "500",
+                 "--digest-ms", "300"},
+                true);
+  Daemon primary0(DUST_FEDERATION_DAEMON_BIN,
+                  {"--shard", "0", "--port", std::to_string(port0), "--peer",
+                   "1=" + hub1, "--observer", "dust-fed-0-standby",
+                   "--run-ms", run_ms, "--cycle-ms", "500", "--digest-ms",
+                   "300", "--die-at-ms", "6000"},
+                  true);
+  Daemon standby0(DUST_FEDERATION_DAEMON_BIN,
+                  {"--shard", "0", "--port", std::to_string(port0),
+                   "--standby", hub0, "--peer", "1=" + hub1, "--run-ms",
+                   run_ms, "--cycle-ms", "500", "--digest-ms", "300",
+                   "--silence-ms", "1500"},
+                  true);
+  Daemon clients0(DUST_CLIENT_DAEMON_BIN,
+                  {"--port", std::to_string(port0), "--nodes", "0,1,2,3,4,5",
+                   "--scenario", scenario_path, "--manager",
+                   "dust-manager-shard0", "--run-ms", run_ms},
+                  false);
+  Daemon clients1(DUST_CLIENT_DAEMON_BIN,
+                  {"--port", std::to_string(port1), "--nodes",
+                   "6,7,8,9,10,11", "--scenario", scenario_path, "--manager",
+                   "dust-manager-shard1", "--run-ms", run_ms},
+                  false);
+  ASSERT_TRUE(shard1.running());
+  ASSERT_TRUE(primary0.running());
+  ASSERT_TRUE(standby0.running());
+  ASSERT_TRUE(clients0.running());
+  ASSERT_TRUE(clients1.running());
+
+  const std::int64_t deadline = wall_ms() + 40000;
+
+  // --- phase 1: the original primary delegates, then dies ----------------
+  ShardReport primary0_report;
+  drain(primary0, primary0_report, deadline);  // reads until its _Exit(7)
+  EXPECT_EQ(primary0.wait_exit(), 7);
+  EXPECT_EQ(primary0_report.started_epoch, 1u);
+  EXPECT_EQ(primary0_report.reporting, 6);
+  // Both halves of the placement existed before the crash — the delegated
+  // 7 % crossed the domain cut and was confirmed by shard 1.
+  EXPECT_TRUE(primary0_report.assigns.count(kLocal) == 1)
+      << "local 8% on node 1 missing before the crash";
+  EXPECT_TRUE(primary0_report.assigns.count(kDelegatedOrigin) == 1)
+      << "delegated 7% toward node 6 missing before the crash";
+  EXPECT_GE(primary0_report.delegations_confirmed_live, 1u);
+
+  // --- phase 2: the standby takes over and the fleet re-converges --------
+  ShardReport standby_report;
+  drain(standby0, standby_report, deadline);
+  EXPECT_EQ(standby0.wait_exit(), 0);
+  EXPECT_TRUE(standby_report.silent) << "standby never saw primary silence";
+  EXPECT_EQ(standby_report.port, port0) << "standby re-bound a different port";
+  // Epoch monotonicity: the takeover lands at exactly seen+1.
+  EXPECT_EQ(standby_report.takeover_epoch, 2u);
+  // Client re-home: all 6 in-domain nodes STATed to the new primary (its
+  // NMDB starts blank — only re-homed clients can fill it).
+  EXPECT_EQ(standby_report.reporting, 6);
+  // Zero placements lost: the rebuilt placement is bit-identical.
+  const std::set<FedAssign> expected_shard0{kLocal, kDelegatedOrigin};
+  EXPECT_EQ(standby_report.final_assigns, expected_shard0);
+  EXPECT_EQ(standby_report.final_offloads, 2);
+  EXPECT_EQ(standby_report.keepalive_failures, 0);
+  EXPECT_EQ(standby_report.fed["takeovers"], 1);
+  EXPECT_EQ(standby_report.fed["epoch"], 2);
+  EXPECT_GE(standby_report.fed["confirmed"], 1);
+  EXPECT_EQ(standby_report.fed["stale"], 0);
+
+  // --- phase 3: the surviving peer granted both epochs, fenced cleanly ---
+  ShardReport shard1_report;
+  drain(shard1, shard1_report, deadline);
+  EXPECT_EQ(shard1.wait_exit(), 0);
+  EXPECT_EQ(shard1_report.reporting, 6);
+  // The grant existed under epoch 1, was dropped on the epoch-2 handoff,
+  // and re-granted to the new primary — amount bit-equal both times.
+  EXPECT_TRUE(shard1_report.assigns.count(kDelegatedGrant) == 1);
+  EXPECT_EQ(shard1_report.final_assigns,
+            std::set<FedAssign>{kDelegatedGrant});
+  EXPECT_EQ(shard1_report.final_offloads, 1);
+  EXPECT_GE(shard1_report.fed["granted"], 2);
+  EXPECT_EQ(shard1_report.fed["rejected"], 0);
+  // No stale-epoch frame was ever accepted; none even arrived at shard 1
+  // (the dead primary stopped talking, and its successor fenced upward).
+  EXPECT_EQ(shard1_report.fed["stale"], 0);
+  EXPECT_EQ(shard1_report.keepalive_failures, 0);
+}
+
+}  // namespace
+}  // namespace dust

@@ -1,0 +1,110 @@
+// Domain partitioner properties (DESIGN.md §16): fat-tree pod-boundary
+// cuts, the balanced edge-cut fallback, and the invariants every partition
+// must satisfy (total coverage, ascending members, consistent cut count).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "federation/partition.hpp"
+#include "graph/topology.hpp"
+#include "util/rng.hpp"
+
+namespace dust::federation {
+namespace {
+
+void expect_well_formed(const DomainPartition& p, const graph::Graph& g,
+                        std::size_t shards) {
+  ASSERT_EQ(p.home.size(), g.node_count());
+  ASSERT_EQ(p.shard_count(), shards);
+  std::size_t covered = 0;
+  for (std::uint32_t s = 0; s < shards; ++s) {
+    covered += p.members[s].size();
+    EXPECT_TRUE(std::is_sorted(p.members[s].begin(), p.members[s].end()));
+    for (graph::NodeId v : p.members[s]) {
+      EXPECT_EQ(p.home[v], s);
+      EXPECT_TRUE(p.in_domain(v, s));
+    }
+  }
+  EXPECT_EQ(covered, g.node_count());  // every node in exactly one shard
+  EXPECT_EQ(p.cut_edges, count_cut_edges(g, p.home));
+}
+
+TEST(Partition, FatTreeCutsOnPodBoundaries) {
+  graph::FatTree topo(4);
+  const DomainPartition p = partition_fat_tree(topo, 2);
+  expect_well_formed(p, topo.graph(), 2);
+  // Pods 0,1 -> shard 0; pods 2,3 -> shard 1. Every switch of a pod stays
+  // with its pod — the cut never splits a pod.
+  for (std::uint32_t pod = 0; pod < topo.pod_count(); ++pod) {
+    const std::uint32_t expect = pod < 2 ? 0u : 1u;
+    for (std::uint32_t i = 0; i < topo.aggregation_per_pod(); ++i)
+      EXPECT_EQ(p.shard_of(topo.aggregation(pod, i)), expect);
+    for (std::uint32_t i = 0; i < topo.edge_per_pod(); ++i)
+      EXPECT_EQ(p.shard_of(topo.edge_switch(pod, i)), expect);
+  }
+  // Core switches alternate shards (round-robin keeps spine capacity
+  // spread), so each shard owns exactly half of the k=4 spine.
+  std::size_t core_in_0 = 0;
+  for (std::uint32_t i = 0; i < topo.core_count(); ++i)
+    if (p.shard_of(topo.core(i)) == 0) ++core_in_0;
+  EXPECT_EQ(core_in_0, topo.core_count() / 2);
+  // Pods are internally dense; only pod-to-core links can cross.
+  EXPECT_GT(p.cut_edges, 0u);
+  EXPECT_LT(p.cut_edges, topo.graph().edge_count() / 2);
+}
+
+TEST(Partition, FatTreeShardSizesDifferByAtMostOnePod) {
+  graph::FatTree topo(8);
+  for (std::size_t shards : {2u, 3u, 4u, 8u}) {
+    const DomainPartition p = partition_fat_tree(topo, shards);
+    expect_well_formed(p, topo.graph(), shards);
+    const std::size_t pod_nodes =
+        topo.aggregation_per_pod() + topo.edge_per_pod();
+    std::size_t min_size = topo.graph().node_count(), max_size = 0;
+    for (const auto& members : p.members) {
+      min_size = std::min(min_size, members.size());
+      max_size = std::max(max_size, members.size());
+    }
+    // Block pod assignment: sizes differ by at most one pod plus the
+    // round-robin core remainder.
+    EXPECT_LE(max_size - min_size, pod_nodes + 1) << "shards=" << shards;
+  }
+}
+
+TEST(Partition, FatTreeRejectsImpossibleShardCounts) {
+  graph::FatTree topo(4);
+  EXPECT_THROW(partition_fat_tree(topo, 0), std::invalid_argument);
+  EXPECT_THROW(partition_fat_tree(topo, topo.pod_count() + 1),
+               std::invalid_argument);
+}
+
+TEST(Partition, BalancedPartitionCoversRandomGraphsEvenly) {
+  util::Rng rng(42);
+  const graph::Graph g = graph::make_random_connected(60, 140, rng);
+  for (std::size_t shards : {2u, 3u, 5u}) {
+    const DomainPartition p = partition_balanced(g, shards);
+    expect_well_formed(p, g, shards);
+    // LPT packing of BFS zones: no shard more than 2x the ideal share.
+    const std::size_t ideal = (g.node_count() + shards - 1) / shards;
+    for (const auto& members : p.members)
+      EXPECT_LE(members.size(), 2 * ideal) << "shards=" << shards;
+  }
+}
+
+TEST(Partition, BalancedPartitionIsDeterministic) {
+  util::Rng rng_a(7), rng_b(7);
+  const graph::Graph a = graph::make_random_connected(40, 90, rng_a);
+  const graph::Graph b = graph::make_random_connected(40, 90, rng_b);
+  EXPECT_EQ(partition_balanced(a, 3).home, partition_balanced(b, 3).home);
+}
+
+TEST(Partition, SingleShardHasNoCut) {
+  graph::FatTree topo(4);
+  const DomainPartition p = partition_fat_tree(topo, 1);
+  expect_well_formed(p, topo.graph(), 1);
+  EXPECT_EQ(p.cut_edges, 0u);
+}
+
+}  // namespace
+}  // namespace dust::federation

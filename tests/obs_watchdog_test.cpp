@@ -138,6 +138,46 @@ TEST_F(WatchdogTest, ReplicaSubstitutionShortfallFires) {
   EXPECT_NEAR(alerts[0].value, 2.0, 1e-9);  // the shortfall
 }
 
+TEST_F(WatchdogTest, FederationFailoverFiresOnAnyTakeover) {
+  Watchdog dog(registry, tight());
+  (void)dog.evaluate();  // prime
+  EXPECT_TRUE(dog.evaluate().empty());  // no takeovers yet
+
+  registry.counter("dust_fed_takeovers_total").inc();
+  std::vector<Alert> alerts = dog.evaluate(4200);
+  ASSERT_EQ(alerts.size(), 1u);
+  EXPECT_EQ(alerts[0].rule, "federation-failover");
+  EXPECT_NEAR(alerts[0].value, 1.0, 1e-9);
+  EXPECT_EQ(alerts[0].sim_ms, 4200);
+  EXPECT_TRUE(dog.evaluate().empty());  // windowed: same total, no re-fire
+}
+
+TEST_F(WatchdogTest, FederationStaleEpochToleratesTakeoverNoise) {
+  // A couple of in-flight frames from a deposed primary are normal during a
+  // takeover; sustained growth past the limit means it never stopped.
+  Watchdog dog(registry, tight());
+  (void)dog.evaluate();  // prime
+
+  registry.counter("dust_fed_stale_frames_total").inc(3);  // at the limit
+  EXPECT_TRUE(dog.evaluate().empty());
+
+  registry.counter("dust_fed_stale_frames_total").inc(7);
+  std::vector<Alert> alerts = dog.evaluate();
+  ASSERT_EQ(alerts.size(), 1u);
+  EXPECT_EQ(alerts[0].rule, "federation-stale-epoch");
+  EXPECT_NEAR(alerts[0].value, 7.0, 1e-9);  // the window delta, not lifetime
+}
+
+TEST_F(WatchdogTest, FederationRulesCanBeDisabled) {
+  WatchdogConfig config = tight();
+  config.check_federation = false;
+  Watchdog dog(registry, config);
+  (void)dog.evaluate();  // prime
+  registry.counter("dust_fed_takeovers_total").inc();
+  registry.counter("dust_fed_stale_frames_total").inc(100);
+  EXPECT_TRUE(dog.evaluate().empty());
+}
+
 TEST_F(WatchdogTest, AlertsLandOnCountersAndTheFlightRecorder) {
   FlightRecorder::global().clear();
   Watchdog dog(registry, tight());

@@ -125,6 +125,83 @@ TEST(WireCodec, EveryMessageTypeHasAStableTag) {
   EXPECT_EQ(static_cast<std::uint16_t>(FrameType::kAnnounce), 100);
   EXPECT_EQ(static_cast<std::uint16_t>(FrameType::kDataBlocks), 200);
   EXPECT_EQ(static_cast<std::uint16_t>(FrameType::kDataDegrade), 201);
+  EXPECT_EQ(static_cast<std::uint16_t>(FrameType::kShardHello), 220);
+  EXPECT_EQ(static_cast<std::uint16_t>(FrameType::kCapacityDigest), 221);
+  EXPECT_EQ(static_cast<std::uint16_t>(FrameType::kDelegateRequest), 222);
+  EXPECT_EQ(static_cast<std::uint16_t>(FrameType::kDelegateReply), 223);
+  EXPECT_EQ(static_cast<std::uint16_t>(FrameType::kDomainHandoff), 224);
+}
+
+TEST(WireCodec, FederationFramesRoundTrip) {
+  wire::ShardHelloBody hello;
+  hello.shard = 2;
+  hello.epoch = 7;
+  hello.standby = true;
+  hello.endpoint = "dust-fed-2";
+  wire::CapacityDigestBody digest;
+  digest.shard = 1;
+  digest.epoch = 3;
+  digest.seq = 41;
+  digest.spare = 123.5;
+  digest.excess = 17.25;
+  digest.busy_count = 4;
+  digest.candidate_count = 9;
+  wire::DelegateRequestBody request;
+  request.shard = 0;
+  request.epoch = 5;
+  request.delegation_id = 99;
+  request.busy = 12;
+  request.amount = 6.5;
+  request.agents = 2;
+  request.platform_factor = 1.5;
+  wire::DelegateReplyBody reply;
+  reply.shard = 1;
+  reply.epoch = 5;
+  reply.delegation_id = 99;
+  reply.granted = true;
+  reply.destination = 30;
+  reply.amount = 6.5;
+  wire::DomainHandoffBody handoff;
+  handoff.domain = 1;
+  handoff.epoch = 6;
+  handoff.endpoint = "dust-fed-1";
+
+  const Frame frames[] = {
+      wire::shard_hello_frame("dust-fed-2", "dust-fed-0", hello),
+      wire::capacity_digest_frame("dust-fed-1", "dust-fed-0", digest),
+      wire::delegate_request_frame("dust-fed-0", "dust-fed-1", request, 0xF0),
+      wire::delegate_reply_frame("dust-fed-1", "dust-fed-0", reply, 0xF0),
+      wire::domain_handoff_frame("dust-fed-1", "dust-fed-0", handoff),
+  };
+  for (const Frame& frame : frames) {
+    const std::vector<std::uint8_t> bytes = encode_frame(frame);
+    const DecodeResult decoded = decode_frame(bytes.data(), bytes.size());
+    ASSERT_EQ(decoded.status, DecodeStatus::kOk)
+        << wire::to_string(frame.type);
+    EXPECT_EQ(decoded.frame.type, frame.type);
+    EXPECT_EQ(decoded.frame.priority, sim::Priority::kNormal);
+    EXPECT_EQ(encode_frame(decoded.frame), bytes)
+        << wire::to_string(frame.type);
+  }
+
+  // Spot-check typed fields survive (byte identity already proves it, but a
+  // field-level failure message is far easier to debug).
+  const DecodeResult hello_rt = [&] {
+    const std::vector<std::uint8_t> bytes = encode_frame(frames[0]);
+    return decode_frame(bytes.data(), bytes.size());
+  }();
+  EXPECT_EQ(hello_rt.frame.shard_hello.shard, 2u);
+  EXPECT_EQ(hello_rt.frame.shard_hello.epoch, 7u);
+  EXPECT_TRUE(hello_rt.frame.shard_hello.standby);
+  EXPECT_EQ(hello_rt.frame.shard_hello.endpoint, "dust-fed-2");
+  const DecodeResult reply_rt = [&] {
+    const std::vector<std::uint8_t> bytes = encode_frame(frames[3]);
+    return decode_frame(bytes.data(), bytes.size());
+  }();
+  EXPECT_TRUE(reply_rt.frame.delegate_reply.granted);
+  EXPECT_EQ(reply_rt.frame.delegate_reply.destination, 30u);
+  EXPECT_EQ(reply_rt.frame.delegate_reply.delegation_id, 99u);
+  EXPECT_EQ(reply_rt.frame.trace_id, 0xF0u);
 }
 
 TEST(WireCodec, DataFramesRoundTrip) {
@@ -222,6 +299,9 @@ TEST(WireCodec, StatusAndTypeNamesAreStable) {
   EXPECT_STREQ(wire::to_string(DecodeStatus::kBadCrc), "bad_crc");
   EXPECT_STREQ(wire::to_string(FrameType::kStat), "stat");
   EXPECT_STREQ(wire::to_string(FrameType::kAnnounce), "announce");
+  EXPECT_STREQ(wire::to_string(FrameType::kCapacityDigest), "capacity_digest");
+  EXPECT_STREQ(wire::to_string(FrameType::kDelegateRequest),
+               "delegate_request");
 }
 
 }  // namespace

@@ -6,12 +6,6 @@
 //
 // The daemons print doubles as IEEE-754 bit patterns, so equality here is
 // bit-exact string/integer comparison, never epsilon.
-#include <fcntl.h>
-#include <poll.h>
-#include <signal.h>
-#include <sys/wait.h>
-#include <unistd.h>
-
 #include <bit>
 #include <chrono>
 #include <cstdint>
@@ -30,6 +24,7 @@
 #include "core/client.hpp"
 #include "core/heuristic.hpp"
 #include "core/manager.hpp"
+#include "daemon_harness.hpp"
 #include "sim/transport.hpp"
 #include "util/rng.hpp"
 #include "wire/demo_scenario.hpp"
@@ -47,100 +42,8 @@
 namespace dust {
 namespace {
 
-std::int64_t wall_ms() {
-  return std::chrono::duration_cast<std::chrono::milliseconds>(
-             std::chrono::steady_clock::now().time_since_epoch())
-      .count();
-}
-
-// A forked daemon. Captured stdout is read incrementally (the manager's PORT
-// line must be consumed while the process is still settling). The destructor
-// SIGKILLs stragglers so a failed assertion never leaks orphan daemons.
-class Daemon {
- public:
-  Daemon(const char* binary, const std::vector<std::string>& args,
-         bool capture_stdout) {
-    int fds[2] = {-1, -1};
-    if (capture_stdout) {
-      if (pipe(fds) != 0) return;
-    }
-    pid_ = fork();
-    if (pid_ == 0) {
-      if (capture_stdout) {
-        dup2(fds[1], STDOUT_FILENO);
-        close(fds[0]);
-        close(fds[1]);
-      }
-      std::vector<char*> argv;
-      argv.push_back(const_cast<char*>(binary));
-      for (const std::string& arg : args)
-        argv.push_back(const_cast<char*>(arg.c_str()));
-      argv.push_back(nullptr);
-      execv(binary, argv.data());
-      _exit(127);
-    }
-    if (capture_stdout) {
-      close(fds[1]);
-      out_ = fds[0];
-    }
-  }
-
-  ~Daemon() {
-    if (out_ >= 0) close(out_);
-    if (pid_ > 0 && !reaped_) {
-      kill(pid_, SIGKILL);
-      waitpid(pid_, nullptr, 0);
-    }
-  }
-
-  Daemon(const Daemon&) = delete;
-  Daemon& operator=(const Daemon&) = delete;
-
-  [[nodiscard]] bool running() const { return pid_ > 0; }
-
-  /// Next stdout line (without the newline), or false on EOF / deadline.
-  bool read_line(std::string& line, std::int64_t deadline_ms) {
-    while (true) {
-      const std::size_t nl = buffer_.find('\n');
-      if (nl != std::string::npos) {
-        line = buffer_.substr(0, nl);
-        buffer_.erase(0, nl + 1);
-        return true;
-      }
-      if (eof_) return false;
-      const std::int64_t remaining = deadline_ms - wall_ms();
-      if (remaining <= 0) return false;
-      pollfd pfd{out_, POLLIN, 0};
-      const int ready = poll(&pfd, 1, static_cast<int>(remaining));
-      if (ready <= 0) return false;
-      char chunk[4096];
-      const ssize_t n = read(out_, chunk, sizeof chunk);
-      if (n <= 0) {
-        eof_ = true;
-        continue;
-      }
-      buffer_.append(chunk, static_cast<std::size_t>(n));
-    }
-  }
-
-  /// Blocks until the process exits; returns its exit code (or 128+signal).
-  int wait_exit() {
-    if (pid_ <= 0) return -1;
-    int status = 0;
-    waitpid(pid_, &status, 0);
-    reaped_ = true;
-    if (WIFEXITED(status)) return WEXITSTATUS(status);
-    if (WIFSIGNALED(status)) return 128 + WTERMSIG(status);
-    return -1;
-  }
-
- private:
-  pid_t pid_ = -1;
-  int out_ = -1;
-  bool reaped_ = false;
-  bool eof_ = false;
-  std::string buffer_;
-};
+using daemon_harness::Daemon;
+using daemon_harness::wall_ms;
 
 using Assign = std::tuple<unsigned, unsigned, std::uint64_t>;
 

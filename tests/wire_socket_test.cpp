@@ -203,6 +203,111 @@ TEST(WireSocket, LeafReconnectsAndRedeliversQueuedFrames) {
   EXPECT_EQ(received.back().kind, "keepalive");
 }
 
+TEST(WireSocket, FederationFramesRouteToFederationHandler) {
+  // Two shard managers on separate leaves; delegation frames cross the hub
+  // and land on the peer's federation handler, never on the envelope path.
+  SocketTransport hub(hub_config());
+  SocketTransport left(leaf_config(hub.listen_port()));
+  SocketTransport right(leaf_config(hub.listen_port()));
+
+  left.register_endpoint("dust-fed-0", [](const sim::Envelope&) {});
+  right.register_endpoint("dust-fed-1", [](const sim::Envelope&) {});
+  std::vector<wire::Frame> at_right;
+  right.set_federation_handler(
+      [&](wire::Frame&& frame) { at_right.push_back(std::move(frame)); });
+
+  ASSERT_TRUE(pump_until({&hub, &left, &right},
+                         [&] { return hub.peer_count() == 2; }));
+
+  wire::DelegateRequestBody request;
+  request.shard = 0;
+  request.epoch = 1;
+  request.delegation_id = 7;
+  request.busy = 3;
+  request.amount = 2.5;
+  request.agents = 1;
+  ASSERT_TRUE(left.send_frame(
+      wire::delegate_request_frame("dust-fed-0", "dust-fed-1", request, 0x77)));
+  ASSERT_TRUE(pump_until({&hub, &left, &right},
+                         [&] { return !at_right.empty(); }));
+  EXPECT_EQ(at_right.front().type, wire::FrameType::kDelegateRequest);
+  EXPECT_EQ(at_right.front().delegate_request.delegation_id, 7u);
+  EXPECT_EQ(at_right.front().trace_id, 0x77u);
+
+  // Same-process federation endpoints loop back through the codec and the
+  // same handler (the in-process multi-shard test topology).
+  std::vector<wire::Frame> at_hub;
+  hub.register_endpoint("dust-fed-2", [](const sim::Envelope&) {});
+  hub.register_endpoint("dust-fed-3", [](const sim::Envelope&) {});
+  hub.set_federation_handler(
+      [&](wire::Frame&& frame) { at_hub.push_back(std::move(frame)); });
+  wire::CapacityDigestBody digest;
+  digest.shard = 2;
+  digest.epoch = 1;
+  digest.spare = 9.0;
+  ASSERT_TRUE(hub.send_frame(
+      wire::capacity_digest_frame("dust-fed-2", "dust-fed-3", digest)));
+  hub.poll_once(0);
+  ASSERT_EQ(at_hub.size(), 1u);
+  EXPECT_EQ(at_hub.front().type, wire::FrameType::kCapacityDigest);
+  EXPECT_EQ(at_hub.front().capacity_digest.spare, 9.0);
+}
+
+TEST(WireSocket, ReconnectListenerFramesOutrunTheStaleBacklog) {
+  // Satellite: on re-home the fresh handshake (announce, then whatever the
+  // reconnect listener sends — a client's current STAT) must reach the new
+  // hub BEFORE frames queued during the outage, so a restarted manager
+  // never solves from pre-outage ordering.
+  std::uint16_t port = 0;
+  std::vector<sim::Envelope> received;
+  auto make_hub = [&](std::uint16_t bind_port) {
+    SocketTransportConfig config = hub_config();
+    config.port = bind_port;
+    auto hub = std::make_unique<SocketTransport>(config);
+    hub->register_endpoint("dust-manager",
+                           [&](const sim::Envelope& envelope) {
+                             received.push_back(envelope);
+                           });
+    return hub;
+  };
+
+  auto hub = make_hub(0);
+  port = hub->listen_port();
+  SocketTransportConfig config = leaf_config(port);
+  config.reconnect_initial_ms = 10;
+  config.reconnect_max_ms = 50;
+  SocketTransport leaf(config);
+  leaf.register_endpoint("dust-client-0", [](const sim::Envelope&) {});
+  int listener_calls = 0;
+  leaf.set_reconnect_listener([&] {
+    ++listener_calls;
+    leaf.send("dust-client-0", "dust-manager",
+              core::Message{core::StatMsg{0, 42.0, 1.0, 1, 1.0, {}}},
+              sim::Priority::kNormal, "fresh-stat");
+  });
+
+  core::Message keepalive{core::KeepaliveMsg{0, 1}};
+  leaf.send("dust-client-0", "dust-manager", keepalive, sim::Priority::kNormal,
+            "keepalive");
+  ASSERT_TRUE(
+      pump_until({hub.get(), &leaf}, [&] { return received.size() == 1; }));
+  EXPECT_EQ(listener_calls, 0);  // never on the first connect
+
+  // Hub dies; a stale frame queues on the leaf during the outage.
+  hub.reset();
+  leaf.send("dust-client-0", "dust-manager", keepalive, sim::Priority::kNormal,
+            "stale-keepalive");
+  ASSERT_TRUE(pump_until({&leaf}, [&] { return !leaf.connected(); }));
+
+  // Hub returns: listener fires once, and its STAT lands before the backlog.
+  hub = make_hub(port);
+  ASSERT_TRUE(
+      pump_until({hub.get(), &leaf}, [&] { return received.size() == 3; }));
+  EXPECT_EQ(listener_calls, 1);
+  EXPECT_EQ(received[1].kind, "fresh-stat");
+  EXPECT_EQ(received[2].kind, "stale-keepalive");
+}
+
 // The full control plane over sockets: handshakes, the STAT gate, and one
 // placement cycle must create exactly the offload relationships the
 // simulated transport creates for the same scenario.
